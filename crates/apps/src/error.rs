@@ -1,0 +1,61 @@
+//! Error type for the evaluation applications.
+
+use std::fmt;
+
+/// Errors from assembling or running an evaluation application.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum AppError {
+    /// Invalid configuration.
+    Config(String),
+    /// The SPI layer failed.
+    Spi(spi::SpiError),
+}
+
+impl fmt::Display for AppError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AppError::Config(msg) => write!(f, "invalid application configuration: {msg}"),
+            AppError::Spi(e) => write!(f, "spi failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AppError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AppError::Spi(e) => Some(e),
+            AppError::Config(_) => None,
+        }
+    }
+}
+
+impl From<spi::SpiError> for AppError {
+    fn from(e: spi::SpiError) -> Self {
+        AppError::Spi(e)
+    }
+}
+
+impl From<spi_dataflow::DataflowError> for AppError {
+    fn from(e: spi_dataflow::DataflowError) -> Self {
+        AppError::Spi(spi::SpiError::Dataflow(e))
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, AppError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_and_sources() {
+        use std::error::Error;
+        let e = AppError::Config("bad".into());
+        assert!(e.to_string().contains("bad"));
+        assert!(e.source().is_none());
+        let e: AppError = spi_dataflow::DataflowError::EmptyGraph.into();
+        assert!(e.source().is_some());
+    }
+}

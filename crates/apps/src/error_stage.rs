@@ -1,0 +1,340 @@
+//! The hardware error-generation subsystem of application 1 — the
+//! configuration the paper actually synthesized (§5.2).
+//!
+//! "The FPGA resources were not enough to fit a multiprocessor version
+//! of the whole system. Thus, we explored the parallelization of only
+//! the error generation actor (D) in hardware" — with, per figure 3, an
+//! I/O interface per PE that *sends the input frame*, *sends the
+//! predictor coefficients* and *receives the error values*. Frame length
+//! and model order are not known before run time, so all three transfers
+//! use `SPI_dynamic`.
+//!
+//! This module drives figure 3 (resynchronization of the 3-PE sync
+//! graph), figure 6 (execution time vs sample size for n = 1..4) and
+//! table 1 (FPGA area of the 4-PE implementation).
+
+use std::sync::{Arc, Mutex};
+
+use spi::{Firing, SpiSystem, SpiSystemBuilder};
+use spi_dataflow::{ActorId, EdgeId, SdfGraph};
+use spi_dsp::lpc::{cost, prediction_error_range};
+use spi_platform::components;
+use spi_sched::ProcId;
+
+use crate::error::{AppError, Result};
+use crate::speech::{autocorr_via_fft, solve_normal_equations, synth_frame};
+use crate::util::{f64s_from_bytes, f64s_to_bytes};
+
+/// Configuration of the error-stage subsystem.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorStageConfig {
+    /// Number of error-generation PEs (paper: 1–4).
+    pub n_pes: usize,
+    /// Frame length ("sample size" of figure 6).
+    pub frame: usize,
+    /// LPC model order.
+    pub order: usize,
+    /// Vary frame/order at run time (exercises SPI_dynamic payloads).
+    pub vary_rates: bool,
+    /// RNG seed for the synthetic input.
+    pub seed: u64,
+}
+
+impl Default for ErrorStageConfig {
+    fn default() -> Self {
+        ErrorStageConfig { n_pes: 2, frame: 256, order: 8, vary_rates: false, seed: 3 }
+    }
+}
+
+/// The assembled subsystem.
+pub struct ErrorStageApp {
+    /// Dataflow graph: per PE, `io_send_i → D_i → io_recv_i`.
+    pub graph: SdfGraph,
+    /// Per-PE I/O send actors (processor 0).
+    pub io_send: Vec<ActorId>,
+    /// Per-PE error generators (processor 1 + i).
+    pub d_error: Vec<ActorId>,
+    /// Per-PE I/O receive actors (processor 0).
+    pub io_recv: Vec<ActorId>,
+    /// Section edges io_send_i → D_i.
+    pub section_edges: Vec<EdgeId>,
+    /// Coefficient edges io_send_i → D_i.
+    pub coeff_edges: Vec<EdgeId>,
+    /// Error edges D_i → io_recv_i.
+    pub error_edges: Vec<EdgeId>,
+    config: ErrorStageConfig,
+    /// Residual energy per frame, reassembled at the I/O side.
+    pub residual_energy: Arc<Mutex<Vec<f64>>>,
+}
+
+impl ErrorStageApp {
+    /// Builds the subsystem graph.
+    ///
+    /// # Errors
+    ///
+    /// [`AppError::Config`] for degenerate configurations.
+    pub fn new(config: ErrorStageConfig) -> Result<Self> {
+        if config.n_pes == 0 {
+            return Err(AppError::Config("n_pes must be positive".into()));
+        }
+        if config.frame < 4 * config.order.max(1) || config.order < 1 {
+            return Err(AppError::Config(format!(
+                "frame {} too short for order {}",
+                config.frame, config.order
+            )));
+        }
+        let n = config.n_pes;
+        let bytes_section = ((config.frame / n + config.order + 1) * 8) as u32;
+        let bytes_coeff = (config.order * 8 + 8) as u32;
+        let bytes_errors = ((config.frame / n + 1) * 8) as u32;
+
+        let mut g = SdfGraph::new();
+        let mut io_send = Vec::new();
+        let mut d_error = Vec::new();
+        let mut io_recv = Vec::new();
+        let mut section_edges = Vec::new();
+        let mut coeff_edges = Vec::new();
+        let mut error_edges = Vec::new();
+        // Creation order matters for the self-timed schedule on the I/O
+        // processor: all send interfaces first, then the PEs, then the
+        // receive interfaces, so P0 feeds every PE before collecting.
+        for i in 0..n {
+            io_send.push(g.add_actor(format!("io_send{i}"), cost::read_cycles(config.frame / n)));
+        }
+        for i in 0..n {
+            d_error.push(g.add_actor(
+                format!("D{i}"),
+                cost::error_cycles(config.frame / n, config.order),
+            ));
+        }
+        for i in 0..n {
+            io_recv.push(g.add_actor(format!("io_recv{i}"), cost::read_cycles(config.frame / n)));
+        }
+        for i in 0..n {
+            let (s, d, r) = (io_send[i], d_error[i], io_recv[i]);
+            section_edges.push(g.add_dynamic_edge(s, d, 1, 1, 0, bytes_section)?);
+            coeff_edges.push(g.add_dynamic_edge(s, d, 1, 1, 0, bytes_coeff)?);
+            error_edges.push(g.add_dynamic_edge(d, r, 1, 1, 0, bytes_errors)?);
+        }
+        Ok(ErrorStageApp {
+            graph: g,
+            io_send,
+            d_error,
+            io_recv,
+            section_edges,
+            coeff_edges,
+            error_edges,
+            config,
+            residual_energy: Arc::new(Mutex::new(Vec::new())),
+        })
+    }
+
+    /// Lowers the subsystem onto `1 + n` processors (I/O on P0, one PE
+    /// per error generator) and returns the runnable system.
+    ///
+    /// # Errors
+    ///
+    /// Any SPI build error.
+    pub fn system(&self, iterations: u64) -> Result<SpiSystem> {
+        let mut builder = SpiSystemBuilder::new(self.graph.clone());
+        self.configure(&mut builder);
+        builder.iterations(iterations);
+        Ok(self.build_with(builder)?)
+    }
+
+    /// Finishes a (possibly customized) builder with this app's
+    /// assignment.
+    ///
+    /// # Errors
+    ///
+    /// Any SPI build error.
+    pub fn build_with(&self, builder: SpiSystemBuilder) -> spi::Result<SpiSystem> {
+        let d_actors = self.d_error.clone();
+        builder.build(1 + self.config.n_pes, move |actor| {
+            match d_actors.iter().position(|&d| d == actor) {
+                Some(i) => ProcId(1 + i),
+                None => ProcId(0),
+            }
+        })
+    }
+
+    /// Registers actor implementations and resources on `builder`.
+    pub fn configure(&self, builder: &mut SpiSystemBuilder) {
+        let cfg = self.config;
+        let n = cfg.n_pes;
+
+        // Residual reassembly across the n io_recv actors.
+        let frame_acc: Arc<Mutex<(u64, f64, usize)>> = Arc::new(Mutex::new((0, 0.0, 0)));
+
+        for i in 0..n {
+            let sec = self.section_edges[i];
+            let coe = self.coeff_edges[i];
+            let err = self.error_edges[i];
+
+            // ----- io_send_i: frame section + coefficients ---------------
+            builder.actor(self.io_send[i], move |ctx: &mut Firing| {
+                let (frame_len, order) = dims(cfg, ctx.iter);
+                let frame = synth_frame(cfg.seed, ctx.iter, frame_len);
+                let r = autocorr_via_fft(&frame, order);
+                let coeffs = solve_normal_equations(&r, order);
+                let start = i * frame_len / n;
+                let end = (i + 1) * frame_len / n;
+                let hist_start = start.saturating_sub(order);
+                ctx.set_output(sec, f64s_to_bytes(&frame[hist_start..end]));
+                let mut payload = Vec::with_capacity(8 + coeffs.len() * 8);
+                payload.extend((order as u64).to_le_bytes());
+                payload.extend(f64s_to_bytes(&coeffs));
+                ctx.set_output(coe, payload);
+                cost::read_cycles(end - hist_start)
+            });
+            builder.actor_resources(self.io_send[i], components::io_interface());
+
+            // ----- D_i: the hardware error generator ---------------------
+            builder.actor(self.d_error[i], move |ctx: &mut Firing| {
+                let section = f64s_from_bytes(&ctx.take_input(sec));
+                let raw = ctx.take_input(coe);
+                let order =
+                    u64::from_le_bytes(raw[..8].try_into().expect("order header")) as usize;
+                let coeffs = f64s_from_bytes(&raw[8..]);
+                let hist = if i == 0 { 0 } else { order.min(section.len()) };
+                let errors = prediction_error_range(&section, &coeffs, hist, section.len());
+                ctx.set_output(err, f64s_to_bytes(&errors));
+                cost::error_cycles(errors.len(), order)
+            });
+            builder.actor_resources(self.d_error[i], components::error_generator(cfg.order as u64));
+
+            // ----- io_recv_i: collect error values -----------------------
+            let acc = Arc::clone(&frame_acc);
+            let out = Arc::clone(&self.residual_energy);
+            builder.actor(self.io_recv[i], move |ctx: &mut Firing| {
+                let errors = f64s_from_bytes(&ctx.take_input(err));
+                let energy: f64 = errors.iter().map(|e| e * e).sum();
+                let mut a = acc.lock().expect("frame accumulator");
+                if a.0 != ctx.iter {
+                    *a = (ctx.iter, 0.0, 0);
+                }
+                a.1 += energy;
+                a.2 += 1;
+                if a.2 == n {
+                    out.lock().expect("residuals").push(a.1);
+                }
+                cost::read_cycles(errors.len())
+            });
+        }
+    }
+
+    /// The configuration this app was built with.
+    pub fn config(&self) -> ErrorStageConfig {
+        self.config
+    }
+}
+
+/// Run-time frame length and order for an iteration.
+fn dims(cfg: ErrorStageConfig, iter: u64) -> (usize, usize) {
+    if !cfg.vary_rates {
+        return (cfg.frame, cfg.order);
+    }
+    let span = cfg.frame / 2;
+    let offset = ((iter.wrapping_mul(2654435761) >> 7) as usize) % (span + 1);
+    let frame = (cfg.frame - offset).max(cfg.order * 4 + cfg.n_pes);
+    let order = 2 + ((iter.wrapping_mul(40503) >> 3) as usize) % cfg.order.max(3).saturating_sub(1);
+    (frame, order.min(cfg.order))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_shape_per_figure3() {
+        let app = ErrorStageApp::new(ErrorStageConfig { n_pes: 3, ..Default::default() }).unwrap();
+        assert_eq!(app.graph.actor_count(), 9);
+        assert_eq!(app.graph.edge_count(), 9);
+        assert!(app.graph.dynamic_edges().len() == 9, "all transfers are dynamic");
+    }
+
+    #[test]
+    fn runs_and_collects_residuals() {
+        let app = ErrorStageApp::new(ErrorStageConfig {
+            n_pes: 2,
+            frame: 128,
+            order: 6,
+            ..Default::default()
+        })
+        .unwrap();
+        let sys = app.system(4).unwrap();
+        let report = sys.run().unwrap();
+        assert!(report.makespan_us() > 0.0);
+        let res = app.residual_energy.lock().unwrap();
+        assert_eq!(res.len(), 4);
+        assert!(res.iter().all(|e| e.is_finite() && *e >= 0.0));
+    }
+
+    #[test]
+    fn more_pes_run_faster_at_large_frames() {
+        // The figure-6 shape: with computation-dominated frames, n=4
+        // beats n=1 clearly.
+        let frames = 12;
+        let time = |n: usize| {
+            let app = ErrorStageApp::new(ErrorStageConfig {
+                n_pes: n,
+                frame: 512,
+                order: 10,
+                ..Default::default()
+            })
+            .unwrap();
+            let sys = app.system(frames).unwrap();
+            sys.run().unwrap().period_us()
+        };
+        let t1 = time(1);
+        let t4 = time(4);
+        assert!(
+            t4 < t1 * 0.6,
+            "4 PEs must be much faster than 1: t1={t1:.1}µs t4={t4:.1}µs"
+        );
+    }
+
+    #[test]
+    fn residuals_match_across_pe_counts() {
+        // Functional invariance: the residual energy per frame must not
+        // depend on how many PEs computed it.
+        let run = |n: usize| {
+            let app = ErrorStageApp::new(ErrorStageConfig {
+                n_pes: n,
+                frame: 120,
+                order: 5,
+                seed: 21,
+                vary_rates: false,
+            })
+            .unwrap();
+            let sys = app.system(3).unwrap();
+            sys.run().unwrap();
+            let res = app.residual_energy.lock().unwrap().clone();
+            res
+        };
+        let r1 = run(1);
+        let r3 = run(3);
+        assert_eq!(r1.len(), r3.len());
+        for (a, b) in r1.iter().zip(&r3) {
+            // Section boundaries truncate history differently only when
+            // hist clamps; energies must still agree tightly.
+            let rel = (a - b).abs() / a.max(1e-12);
+            assert!(rel < 0.05, "n=1 {a} vs n=3 {b}");
+        }
+    }
+
+    #[test]
+    fn dynamic_rates_flow_through() {
+        let app = ErrorStageApp::new(ErrorStageConfig {
+            n_pes: 2,
+            frame: 256,
+            order: 8,
+            vary_rates: true,
+            ..Default::default()
+        })
+        .unwrap();
+        let sys = app.system(6).unwrap();
+        sys.run().unwrap();
+        assert_eq!(app.residual_energy.lock().unwrap().len(), 6);
+    }
+}

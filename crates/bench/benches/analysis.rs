@@ -1,0 +1,144 @@
+//! Micro-benchmarks of the dataflow/scheduling analyses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use spi_dataflow::loops::{flat_single_appearance, optimal_chain_schedule};
+use spi_dataflow::{dif, CsdfGraph, PhaseRates, PrecedenceGraph, SdfGraph, VtsConversion};
+use spi_sched::{Assignment, IpcGraph, ProcId, Protocol, SelfTimedSchedule, SyncGraph};
+
+/// A representative multirate chain with a feedback loop. Rates
+/// alternate 2→3 / 3→2 so the cycle closes consistently
+/// (q = [3,2,3,2,…]).
+fn test_graph() -> SdfGraph {
+    let mut g = SdfGraph::new();
+    let actors: Vec<_> = (0..8).map(|i| g.add_actor(format!("v{i}"), 10 + i)).collect();
+    for (i, w) in actors.windows(2).enumerate() {
+        let (p, c) = if i % 2 == 0 { (2, 3) } else { (3, 2) };
+        g.add_edge(w[0], w[1], p, c, 0, 4).expect("edge");
+    }
+    g.add_edge(actors[7], actors[0], 3, 2, 12, 4).expect("feedback");
+    g
+}
+
+fn bench_repetition_vector(c: &mut Criterion) {
+    let g = test_graph();
+    c.bench_function("analysis/repetition_vector", |b| {
+        b.iter(|| g.repetition_vector().expect("consistent"))
+    });
+}
+
+fn bench_class_s(c: &mut Criterion) {
+    let g = test_graph();
+    c.bench_function("analysis/class_s_schedule", |b| {
+        b.iter(|| g.sdf_buffer_bounds().expect("live"))
+    });
+}
+
+fn bench_vts_conversion(c: &mut Criterion) {
+    let mut g = SdfGraph::new();
+    let actors: Vec<_> = (0..16).map(|i| g.add_actor(format!("v{i}"), 10)).collect();
+    for w in actors.windows(2) {
+        g.add_dynamic_edge(w[0], w[1], 32, 24, 0, 8).expect("edge");
+    }
+    c.bench_function("analysis/vts_conversion_15edges", |b| {
+        b.iter(|| VtsConversion::convert(&g).expect("bounded"))
+    });
+}
+
+fn sync_graph_setup() -> SyncGraph {
+    let g = test_graph();
+    let pg = PrecedenceGraph::expand(&g).expect("consistent");
+    let assign = Assignment::by_actor(&pg, 4, |a| ProcId(a.0 % 4)).expect("assigned");
+    let st = SelfTimedSchedule::from_assignment(&pg, assign).expect("scheduled");
+    let ipc = IpcGraph::build(&g, &pg, &st).expect("built");
+    SyncGraph::from_ipc(&ipc, |_| Protocol::Ubs { ack_window: 4 }).expect("live")
+}
+
+fn bench_redundancy(c: &mut Criterion) {
+    let sg = sync_graph_setup();
+    c.bench_function("analysis/remove_redundant", |b| {
+        b.iter(|| {
+            let mut g = sg.clone();
+            g.remove_redundant()
+        })
+    });
+}
+
+fn bench_resync(c: &mut Criterion) {
+    let sg = sync_graph_setup();
+    c.bench_function("analysis/resynchronize", |b| {
+        b.iter(|| {
+            let mut g = sg.clone();
+            g.resynchronize(true)
+        })
+    });
+}
+
+fn bench_mcm(c: &mut Criterion) {
+    let sg = sync_graph_setup();
+    c.bench_function("analysis/max_cycle_mean", |b| {
+        b.iter(|| sg.iteration_period())
+    });
+}
+
+fn bench_chain_dp(c: &mut Criterion) {
+    // A 10-actor rate chain with varied factors.
+    let mut g = SdfGraph::new();
+    let mut prev = g.add_actor("a0", 1);
+    for i in 0..9 {
+        let next = g.add_actor(format!("a{}", i + 1), 1);
+        g.add_edge(prev, next, 2 + (i as u32 % 3), 1 + (i as u32 % 4), 0, 4)
+            .expect("edge");
+        prev = next;
+    }
+    c.bench_function("analysis/chain_dp_10", |b| {
+        b.iter(|| optimal_chain_schedule(&g).expect("chain"))
+    });
+    c.bench_function("analysis/flat_sas_10", |b| {
+        b.iter(|| flat_single_appearance(&g).expect("acyclic"))
+    });
+}
+
+fn bench_csdf_reduction(c: &mut Criterion) {
+    let mut g = CsdfGraph::new();
+    let mut prev = g.add_actor("a0", 1);
+    for i in 0..7 {
+        let next = g.add_actor(format!("a{}", i + 1), 1);
+        g.add_edge(
+            prev,
+            next,
+            PhaseRates::new(vec![1, 0, 2, 1]).expect("valid"),
+            PhaseRates::new(vec![2, 2]).expect("valid"),
+            4,
+            4,
+        )
+        .expect("edge");
+        prev = next;
+    }
+    c.bench_function("analysis/csdf_to_sdf_8", |b| b.iter(|| g.to_sdf().expect("reducible")));
+    c.bench_function("analysis/csdf_phase_schedule_8", |b| {
+        b.iter(|| g.phase_schedule().expect("live"))
+    });
+}
+
+fn bench_dif_roundtrip(c: &mut Criterion) {
+    let g = test_graph();
+    let text = dif::to_dif(&g, "bench");
+    c.bench_function("analysis/dif_parse", |b| {
+        b.iter(|| dif::from_dif(&text).expect("well-formed"))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_repetition_vector,
+    bench_class_s,
+    bench_vts_conversion,
+    bench_redundancy,
+    bench_resync,
+    bench_mcm,
+    bench_chain_dp,
+    bench_csdf_reduction,
+    bench_dif_roundtrip
+);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! One Criterion entry per paper experiment: times a single regeneration
+//! of each figure/table data point so regressions in the simulation
+//! stack are caught.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig6_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    group.bench_function("fig6_point_n2_256", |b| {
+        b.iter(|| spi_bench::fig6_scaling(&[256], &[2], 4))
+    });
+    group.finish();
+}
+
+fn bench_fig7_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    group.bench_function("fig7_point_n2_100", |b| {
+        b.iter(|| spi_bench::fig7_scaling(&[100], &[2], 6))
+    });
+    group.finish();
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    group.bench_function("table1_n4", |b| b.iter(|| spi_bench::table1_resources(4)));
+    group.bench_function("table2_n2", |b| b.iter(|| spi_bench::table2_resources(2)));
+    group.finish();
+}
+
+fn bench_resync_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    group.bench_function("fig3_resync_n3", |b| b.iter(|| spi_bench::fig3_resync(3)));
+    group.bench_function("fig5_resync_n2", |b| b.iter(|| spi_bench::fig5_resync(2)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig6_point,
+    bench_fig7_point,
+    bench_tables,
+    bench_resync_figures
+);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Micro-benchmarks of the DSP kernels behind both applications.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use spi_dsp::fft::{fft, Complex};
+use spi_dsp::huffman::HuffmanCode;
+use spi_dsp::lpc::{prediction_error, predictor_coefficients};
+use spi_dsp::particle::{systematic_draw, CrackModel, ParticleFilter};
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for n in [256usize, 1024] {
+        let data: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.1).sin(), 0.0))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
+            b.iter(|| {
+                let mut d = data.clone();
+                fft(&mut d).expect("power of two");
+                d
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lpc(c: &mut Criterion) {
+    let frame: Vec<f64> = (0..512).map(|i| (i as f64 * 0.17).sin() * 2.0).collect();
+    c.bench_function("lpc/predictor_order8", |b| {
+        b.iter(|| predictor_coefficients(&frame, 8).expect("solvable"))
+    });
+    let coeffs = predictor_coefficients(&frame, 8).expect("solvable");
+    c.bench_function("lpc/prediction_error_512", |b| {
+        b.iter(|| prediction_error(&frame, &coeffs))
+    });
+}
+
+fn bench_huffman(c: &mut Criterion) {
+    let symbols: Vec<u16> = (0..4096).map(|i| ((i * i) % 37) as u16).collect();
+    let code = HuffmanCode::from_symbols(&symbols).expect("nonempty");
+    c.bench_function("huffman/build_4096", |b| {
+        b.iter(|| HuffmanCode::from_symbols(&symbols).expect("nonempty"))
+    });
+    c.bench_function("huffman/encode_4096", |b| {
+        b.iter(|| code.encode(&symbols).expect("known symbols"))
+    });
+}
+
+fn bench_particle(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let model = CrackModel::default();
+    let mut pf = ParticleFilter::new(model, 300, 0.5, 1.5, &mut rng);
+    c.bench_function("particle/predict_update_300", |b| {
+        b.iter(|| {
+            pf.predict(&mut rng);
+            pf.update(1.2);
+            pf.estimate()
+        })
+    });
+    let particles: Vec<f64> = (0..300).map(|i| i as f64 / 100.0).collect();
+    let weights: Vec<f64> = (0..300).map(|i| 1.0 + (i % 7) as f64).collect();
+    c.bench_function("particle/systematic_draw_300", |b| {
+        b.iter(|| systematic_draw(&particles, &weights, 300, &mut rng))
+    });
+}
+
+criterion_group!(benches, bench_fft, bench_lpc, bench_huffman, bench_particle);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Micro-benchmarks of the message layer: SPI framing vs the token
+//! packer vs the MPI envelope path.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use spi::{decode_dynamic, decode_static, encode_dynamic, encode_static};
+use spi_dataflow::{EdgeId, LengthSignal, TokenPacker};
+
+fn bench_spi_framing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spi_framing");
+    for n in [16usize, 256, 4096] {
+        let payload = vec![0xA5u8; n];
+        group.bench_with_input(BenchmarkId::new("static", n), &payload, |b, p| {
+            b.iter(|| {
+                let msg = encode_static(EdgeId(3), p);
+                decode_static(&msg, EdgeId(3), p.len()).expect("well-formed")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dynamic", n), &payload, |b, p| {
+            b.iter(|| {
+                let msg = encode_dynamic(EdgeId(3), p);
+                decode_dynamic(&msg, EdgeId(3), p.len()).expect("well-formed")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_token_packer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("token_packer");
+    let raw = vec![0x7Eu8; 1024]; // worst case for the delimiter escape
+    for signal in [LengthSignal::Header, LengthSignal::Delimiter] {
+        let packer = TokenPacker::new(4, 256, signal);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{signal:?}")),
+            &raw,
+            |b, raw| {
+                b.iter(|| {
+                    let framed = packer.pack(raw).expect("within bound");
+                    packer.unpack(&framed).expect("roundtrip")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_end_to_end_stream(c: &mut Criterion) {
+    // One full simulated SPI stream per iteration (setup + run).
+    let mut group = c.benchmark_group("stream_64B_x100");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    group.bench_function("spi", |b| {
+        b.iter(|| spi_bench::ablation_spi_vs_mpi(64, 100))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spi_framing, bench_token_packer, bench_end_to_end_stream);
+criterion_main!(benches);

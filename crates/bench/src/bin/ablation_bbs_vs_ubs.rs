@@ -1,0 +1,8 @@
+//! Ablation: protocol selection (BBS where bounded) vs forcing UBS.
+
+fn main() {
+    println!("Ablation — BBS/UBS protocol selection (paper §4)\n");
+    for n in [2usize, 4] {
+        println!("{}", spi_bench::ablation_bbs_vs_ubs(n, 10));
+    }
+}

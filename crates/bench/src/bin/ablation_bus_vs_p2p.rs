@@ -1,0 +1,9 @@
+//! Ablation: shared-bus interconnect vs the dedicated point-to-point
+//! FIFOs SPI generates on FPGA fabrics.
+
+fn main() {
+    println!("Ablation — shared bus vs point-to-point FIFOs\n");
+    for n in [2usize, 3, 4] {
+        println!("{}", spi_bench::ablation_bus_vs_p2p(n, 6));
+    }
+}

@@ -1,0 +1,9 @@
+//! Ablation: header vs delimiter length signalling for SPI_dynamic
+//! (the paper's §3 implementation argument).
+
+fn main() {
+    println!("Ablation — header vs delimiter length signalling (paper §3)\n");
+    for n in [1usize, 2, 4] {
+        println!("{}", spi_bench::ablation_header_vs_delimiter(n, 8));
+    }
+}

@@ -1,0 +1,9 @@
+//! Ablation: ordered-transactions bus (compile-time grant order) vs an
+//! arbitrated shared bus.
+
+fn main() {
+    println!("Ablation — ordered transactions vs arbitrated bus\n");
+    for n in [2usize, 3, 4] {
+        println!("{}", spi_bench::ablation_ordered_vs_arbitrated(n, 6));
+    }
+}

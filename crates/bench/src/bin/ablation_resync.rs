@@ -1,0 +1,11 @@
+//! Ablation: resynchronization on/off (§4.1) on the error-stage app.
+
+fn main() {
+    println!("Ablation — resynchronization (paper §4.1)\n");
+    for n in [2usize, 3, 4] {
+        for row in spi_bench::ablation_resync(n, 10) {
+            println!("{row}");
+        }
+        println!();
+    }
+}

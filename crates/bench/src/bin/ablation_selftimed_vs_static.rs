@@ -1,0 +1,9 @@
+//! Ablation: self-timed vs fully-static scheduling under actor
+//! execution-time jitter (the paper's §2 robustness argument).
+
+fn main() {
+    println!("Ablation — self-timed vs fully-static scheduling (paper §2)\n");
+    for jitter in [0u32, 10, 30, 50] {
+        println!("{}", spi_bench::ablation_selftimed_vs_static(jitter, 50));
+    }
+}

@@ -1,0 +1,9 @@
+//! Ablation: SPI vs a generic MPI layer on identical streams — the
+//! overhead gap that motivates the paper (§1).
+
+fn main() {
+    println!("Ablation — SPI vs generic MPI message layer\n");
+    for (bytes, msgs) in [(16usize, 200u64), (64, 200), (256, 100), (1024, 50), (4096, 20)] {
+        println!("{}", spi_bench::ablation_spi_vs_mpi(bytes, msgs));
+    }
+}

@@ -1,0 +1,8 @@
+//! Ablation: VTS variable-size transfers vs worst-case static sizing.
+
+fn main() {
+    println!("Ablation — VTS vs worst-case-static modeling (paper §3)\n");
+    for max_tokens in [16u32, 64, 256] {
+        println!("{}", spi_bench::ablation_vts_vs_worst_case(max_tokens, 50));
+    }
+}

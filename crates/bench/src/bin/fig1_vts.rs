@@ -1,0 +1,6 @@
+//! Regenerates the paper's figure 1: VTS conversion of a dynamic-rate
+//! edge (production bound 10, consumption bound 8).
+
+fn main() {
+    println!("{}", spi_bench::fig1_vts());
+}

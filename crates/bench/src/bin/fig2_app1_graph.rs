@@ -1,0 +1,5 @@
+//! Regenerates the paper's figure 2: the application-1 dataflow graph.
+
+fn main() {
+    println!("{}", spi_bench::fig2_graph(2));
+}

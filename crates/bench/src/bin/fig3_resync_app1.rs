@@ -1,0 +1,11 @@
+//! Regenerates the paper's figure 3: synchronization graph of the 3-PE
+//! error-stage implementation, before and after resynchronization.
+
+fn main() {
+    println!("Figure 3 — resynchronization, 3-PE implementation of actor D\n");
+    println!("{}", spi_bench::fig3_resync(3));
+    let (before, after) = spi_bench::fig3_dot(3);
+    println!("\nGraphviz (render with `dot -Tpng`):\n");
+    println!("// --- before ---\n{before}");
+    println!("// --- after ---\n{after}");
+}

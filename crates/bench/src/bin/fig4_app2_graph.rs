@@ -1,0 +1,5 @@
+//! Regenerates the paper's figure 4: the application-2 dataflow graph.
+
+fn main() {
+    println!("{}", spi_bench::fig4_graph(2));
+}

@@ -1,0 +1,11 @@
+//! Regenerates the paper's figure 5: synchronization graph of the 2-PE
+//! particle-filter implementation, before and after resynchronization.
+
+fn main() {
+    println!("Figure 5 — resynchronization, 2-PE implementation of application 2\n");
+    println!("{}", spi_bench::fig5_resync(2));
+    let (before, after) = spi_bench::fig5_dot(2);
+    println!("\nGraphviz (render with `dot -Tpng`):\n");
+    println!("// --- before ---\n{before}");
+    println!("// --- after ---\n{after}");
+}

@@ -1,0 +1,22 @@
+//! Regenerates the paper's figure 6: execution time vs sample size for
+//! the error-generation stage, n = 1..4 PEs.
+
+use spi_bench::figures::format_scaling;
+
+fn main() {
+    let csv = std::env::args().any(|a| a == "--csv");
+    let sizes = [64, 128, 192, 256, 320, 384, 448, 512];
+    let ns = [1, 2, 3, 4];
+    if !csv {
+        println!("Figure 6 — execution time of actor D vs sample size (µs/frame)\n");
+    }
+    let rows = spi_bench::fig6_scaling(&sizes, &ns, 10);
+    if csv {
+        println!("sample_size,n_pes,time_us");
+        for r in &rows {
+            println!("{},{},{:.3}", r.x, r.n_pes, r.time_us);
+        }
+        return;
+    }
+    println!("{}", format_scaling(&rows, "Sample Size"));
+}

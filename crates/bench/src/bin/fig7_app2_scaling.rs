@@ -1,0 +1,22 @@
+//! Regenerates the paper's figure 7: execution time vs particle count
+//! for the particle filter, n = 1, 2 PEs.
+
+use spi_bench::figures::format_scaling;
+
+fn main() {
+    let csv = std::env::args().any(|a| a == "--csv");
+    let particles = [50, 100, 150, 200, 250, 300];
+    let ns = [1, 2];
+    if !csv {
+        println!("Figure 7 — execution time of application 2 vs particle count (µs/step)\n");
+    }
+    let rows = spi_bench::fig7_scaling(&particles, &ns, 20);
+    if csv {
+        println!("particles,n_pes,time_us");
+        for r in &rows {
+            println!("{},{},{:.3}", r.x, r.n_pes, r.time_us);
+        }
+        return;
+    }
+    println!("{}", format_scaling(&rows, "Particles"));
+}

@@ -1,0 +1,24 @@
+//! Prints a textual Gantt trace of a small 2-PE error-stage run — shows
+//! the SPI actors, waits and transfers cycle by cycle.
+
+use spi::SpiSystemBuilder;
+use spi_apps::{ErrorStageApp, ErrorStageConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let app = ErrorStageApp::new(ErrorStageConfig {
+        n_pes: 2,
+        frame: 64,
+        order: 4,
+        ..Default::default()
+    })?;
+    let mut builder = SpiSystemBuilder::new(app.graph.clone());
+    app.configure(&mut builder);
+    builder.iterations(2);
+    builder.trace(true);
+    let system = app.build_with(builder)?;
+    let report = system.run()?;
+    println!("Gantt trace — 2-PE error stage, 2 frames\n");
+    println!("{}", report.sim.render_gantt());
+    println!("makespan: {} cycles", report.sim.makespan_cycles);
+    Ok(())
+}

@@ -1,0 +1,117 @@
+//! Fuzz-style stress harness: generates random consistent dataflow
+//! graphs (mixed static/dynamic edges, delays, multirate), pushes each
+//! through the complete SPI flow on a random processor count, and
+//! checks the run completes with conserved traffic. Exits nonzero on
+//! the first failure, printing the offending seed.
+//!
+//! Usage: `cargo run -p spi-bench --bin stress_random_graphs [count]`
+
+use std::sync::{Arc, Mutex};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use spi::{Firing, SpiSystemBuilder};
+use spi_dataflow::SdfGraph;
+use spi_sched::ProcId;
+
+fn run_one(seed: u64) -> Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_actors = rng.gen_range(2..7usize);
+    let mut g = SdfGraph::new();
+    let actors: Vec<_> = (0..n_actors)
+        .map(|i| g.add_actor(format!("v{i}"), rng.gen_range(1..60)))
+        .collect();
+    // Forward edges only (plus optional delayed feedback): always live.
+    let mut edges = Vec::new();
+    for i in 1..n_actors {
+        let src = actors[rng.gen_range(0..i)];
+        let dst = actors[i];
+        let dynamic = rng.gen_bool(0.4);
+        let token_bytes = rng.gen_range(1..9u32);
+        let edge = if dynamic {
+            let bound = rng.gen_range(1..20u32);
+            g.add_dynamic_edge(src, dst, bound, bound, 0, token_bytes)
+        } else {
+            let p = rng.gen_range(1..5u32);
+            let c = rng.gen_range(1..5u32);
+            let delay = rng.gen_range(0..4u64);
+            g.add_edge(src, dst, p, c, delay, token_bytes)
+        }
+        .map_err(|e| format!("graph construction: {e}"))?;
+        edges.push(edge);
+    }
+
+    let procs = rng.gen_range(1..=n_actors.min(4));
+    let iterations = rng.gen_range(1..10u64);
+    let mut builder = SpiSystemBuilder::new(g.clone());
+    builder.iterations(iterations);
+    if rng.gen_bool(0.3) {
+        builder.force_ubs(true);
+    }
+    if rng.gen_bool(0.3) {
+        builder.resynchronization(false);
+    }
+    let fired = Arc::new(Mutex::new(vec![0u64; n_actors]));
+    for (i, &a) in actors.iter().enumerate() {
+        let out_edges: Vec<_> = g
+            .edges()
+            .filter(|(_, e)| e.src == a)
+            .map(|(id, e)| (id, e.clone()))
+            .collect();
+        let counter = Arc::clone(&fired);
+        builder.actor(a, move |ctx: &mut Firing| {
+            counter.lock().expect("counter")[i] += 1;
+            for (id, e) in &out_edges {
+                let bytes = if e.is_dynamic() {
+                    // Any size within the bound.
+                    let max = e.produce.bound() as usize * e.token_bytes as usize;
+                    vec![0xAB; (ctx.iter as usize * 7) % (max + 1)]
+                } else {
+                    vec![0xAB; e.produce.bound() as usize * e.token_bytes as usize]
+                };
+                ctx.set_output(*id, bytes);
+            }
+            1 + ctx.k % 5
+        });
+    }
+    let sys = builder
+        .build(procs, |a| ProcId(a.0 % procs))
+        .map_err(|e| format!("build: {e}"))?;
+    let report = sys.run().map_err(|e| format!("run: {e}"))?;
+
+    // Conservation: every actor fired q·iterations times.
+    let q = spi_dataflow::VtsConversion::convert(&g)
+        .map_err(|e| e.to_string())?
+        .graph()
+        .repetition_vector()
+        .map_err(|e| e.to_string())?;
+    let fired = fired.lock().expect("counter");
+    for (i, &a) in actors.iter().enumerate() {
+        let expect = q[a] * iterations;
+        if fired[i] != expect {
+            return Err(format!("actor {a} fired {} times, expected {expect}", fired[i]));
+        }
+    }
+    let _ = report;
+    Ok(())
+}
+
+fn main() {
+    let count: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    let mut failures = 0;
+    for seed in 0..count {
+        if let Err(msg) = run_one(seed) {
+            eprintln!("seed {seed}: FAILED — {msg}");
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures}/{count} random systems failed");
+        std::process::exit(1);
+    }
+    println!("{count} random dataflow systems built, ran and conserved tokens");
+}

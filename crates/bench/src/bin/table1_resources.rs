@@ -1,0 +1,10 @@
+//! Regenerates the paper's table 1: FPGA resources of the 4-PE
+//! error-stage implementation and the SPI library's share.
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4);
+    println!("{}", spi_bench::table1_resources(n));
+}

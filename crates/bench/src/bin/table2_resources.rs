@@ -1,0 +1,10 @@
+//! Regenerates the paper's table 2: FPGA resources of the 2-PE
+//! particle-filter implementation and the SPI library's share.
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2);
+    println!("{}", spi_bench::table2_resources(n));
+}

@@ -1,0 +1,103 @@
+//! Regeneration of the paper's tables 1 and 2 (FPGA resource usage).
+
+use spi_apps::{ErrorStageApp, ErrorStageConfig, PrognosisApp, PrognosisConfig};
+use spi_platform::{Device, ResourcePercent};
+
+/// A reproduced resource table: device utilization of the full system
+/// and the SPI library's share of it — the two rows of tables 1 and 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceTable {
+    /// What the table describes.
+    pub title: String,
+    /// Device used for utilization percentages.
+    pub device: Device,
+    /// "Full system" row: percent of the device.
+    pub full_system: ResourcePercent,
+    /// "SPI library (relative to full system)" row.
+    pub spi_share: ResourcePercent,
+}
+
+impl std::fmt::Display for ResourceTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{} (device: {})", self.title, self.device.name)?;
+        writeln!(
+            f,
+            "{:<34} {:>8} {:>10} {:>12} {:>11} {:>8}",
+            "", "Slices", "Slice FFs", "4-in LUTs", "Block RAMs", "DSP48s"
+        )?;
+        let row = |label: &str, p: &ResourcePercent| {
+            format!(
+                "{label:<34} {:>7.2}% {:>9.2}% {:>11.2}% {:>10.2}% {:>7.2}%",
+                p.slices, p.slice_ffs, p.lut4, p.bram, p.dsp48
+            )
+        };
+        writeln!(f, "{}", row("Full system", &self.full_system))?;
+        write!(f, "{}", row("SPI library (rel. to full system)", &self.spi_share))
+    }
+}
+
+/// Table 1: FPGA resources of the `n`-PE error-stage implementation
+/// (the paper uses n = 4).
+pub fn table1_resources(n_pes: usize) -> ResourceTable {
+    let app = ErrorStageApp::new(ErrorStageConfig { n_pes, ..Default::default() })
+        .expect("valid config");
+    let sys = app.system(1).expect("buildable");
+    let device = Device::virtex4_sx35();
+    let lib = sys.library();
+    ResourceTable {
+        title: format!("Table 1 — {n_pes}-PE implementation of actor D (application 1)"),
+        device,
+        full_system: lib.device_utilization(&device),
+        spi_share: lib.spi_share(),
+    }
+}
+
+/// Table 2: FPGA resources of the `n`-PE particle-filter implementation
+/// (the paper uses n = 2).
+pub fn table2_resources(n_pes: usize) -> ResourceTable {
+    let app = PrognosisApp::new(PrognosisConfig { n_pes, ..Default::default() })
+        .expect("valid config");
+    let sys = app.system(1).expect("buildable");
+    let device = Device::virtex4_sx35();
+    let lib = sys.library();
+    ResourceTable {
+        title: format!("Table 2 — {n_pes}-PE implementation of application 2"),
+        device,
+        full_system: lib.device_utilization(&device),
+        spi_share: lib.spi_share(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_spi_share_is_modest() {
+        let t = table1_resources(4);
+        // Paper: SPI ≈ 12 % of a small full system. Shape: well under half.
+        assert!(t.spi_share.slices > 0.0);
+        assert!(t.spi_share.slices < 50.0, "{}", t.spi_share);
+        assert!(t.full_system.slices < 100.0);
+    }
+
+    #[test]
+    fn table2_spi_share_is_tiny() {
+        let t = table2_resources(2);
+        // Paper: SPI ≈ 0.2 % of a large system. Shape: ≪ table 1's share.
+        let t1 = table1_resources(4);
+        assert!(t.spi_share.slices < t1.spi_share.slices);
+        assert!(t.spi_share.slices < 5.0, "{}", t.spi_share);
+        // The PF system is the big one (paper: 65 % of LUTs).
+        assert!(t.full_system.lut4 > t1.full_system.lut4);
+    }
+
+    #[test]
+    fn display_renders_both_rows() {
+        let t = table1_resources(2);
+        let s = t.to_string();
+        assert!(s.contains("Full system"));
+        assert!(s.contains("SPI library"));
+        assert!(s.contains('%'));
+    }
+}

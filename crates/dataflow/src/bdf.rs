@@ -1,0 +1,292 @@
+//! Boolean dataflow (BDF) switch/select — and the bridge to VTS.
+//!
+//! The paper's §3.1 situates VTS against Boolean dataflow (Buck): in BDF
+//! "the number of tokens produced or consumed by an actor is either
+//! fixed, or is a two-valued function of a control token present on a
+//! control terminal". This module implements the two canonical BDF
+//! actors — `switch` (route one input token to one of two outputs) and
+//! `select` (take one token from one of two inputs) — with a functional
+//! evaluator, plus [`vts_envelope`], the conversion the paper implies:
+//! a bounded run of conditional tokens can be re-modelled as a single
+//! VTS dynamic edge (the *taken* branch's tokens travel, the other
+//! branch sends an empty packed token), restoring static analyzability
+//! at the cost of the declared bound.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::Result;
+use crate::graph::{ActorId, EdgeId, SdfGraph};
+
+/// Which branch a control token selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Branch {
+    /// The `true` output/input.
+    True,
+    /// The `false` output/input.
+    False,
+}
+
+impl Branch {
+    /// Decodes a control byte (nonzero → `True`).
+    pub fn from_byte(b: u8) -> Branch {
+        if b != 0 {
+            Branch::True
+        } else {
+            Branch::False
+        }
+    }
+}
+
+/// A functional BDF `switch`: routes each data token to the branch named
+/// by the paired control token.
+///
+/// # Examples
+///
+/// ```
+/// use spi_dataflow::bdf::{Branch, Switch};
+///
+/// let mut sw = Switch::new();
+/// sw.push_control(Branch::True);
+/// sw.push_control(Branch::False);
+/// sw.push_data(vec![1]);
+/// sw.push_data(vec![2]);
+/// let (t, f) = sw.drain();
+/// assert_eq!(t, vec![vec![1]]);
+/// assert_eq!(f, vec![vec![2]]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Switch {
+    controls: std::collections::VecDeque<Branch>,
+    data: std::collections::VecDeque<Vec<u8>>,
+    out_true: Vec<Vec<u8>>,
+    out_false: Vec<Vec<u8>>,
+}
+
+impl Switch {
+    /// Creates an empty switch.
+    pub fn new() -> Self {
+        Switch::default()
+    }
+
+    /// Queues a control token.
+    pub fn push_control(&mut self, b: Branch) {
+        self.controls.push_back(b);
+        self.step();
+    }
+
+    /// Queues a data token.
+    pub fn push_data(&mut self, token: Vec<u8>) {
+        self.data.push_back(token);
+        self.step();
+    }
+
+    fn step(&mut self) {
+        while !self.controls.is_empty() && !self.data.is_empty() {
+            let b = self.controls.pop_front().expect("checked");
+            let d = self.data.pop_front().expect("checked");
+            match b {
+                Branch::True => self.out_true.push(d),
+                Branch::False => self.out_false.push(d),
+            }
+        }
+    }
+
+    /// Takes everything routed so far: `(true-branch, false-branch)`.
+    pub fn drain(&mut self) -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
+        (std::mem::take(&mut self.out_true), std::mem::take(&mut self.out_false))
+    }
+
+    /// Tokens waiting for a matching control/data partner.
+    pub fn pending(&self) -> usize {
+        self.controls.len() + self.data.len()
+    }
+}
+
+/// A functional BDF `select`: emits tokens drawn from the branch named by
+/// each control token, in control order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Select {
+    controls: std::collections::VecDeque<Branch>,
+    in_true: std::collections::VecDeque<Vec<u8>>,
+    in_false: std::collections::VecDeque<Vec<u8>>,
+    out: Vec<Vec<u8>>,
+}
+
+impl Select {
+    /// Creates an empty select.
+    pub fn new() -> Self {
+        Select::default()
+    }
+
+    /// Queues a control token.
+    pub fn push_control(&mut self, b: Branch) {
+        self.controls.push_back(b);
+        self.step();
+    }
+
+    /// Queues a token on the `true` input.
+    pub fn push_true(&mut self, token: Vec<u8>) {
+        self.in_true.push_back(token);
+        self.step();
+    }
+
+    /// Queues a token on the `false` input.
+    pub fn push_false(&mut self, token: Vec<u8>) {
+        self.in_false.push_back(token);
+        self.step();
+    }
+
+    fn step(&mut self) {
+        loop {
+            match self.controls.front() {
+                Some(Branch::True) if !self.in_true.is_empty() => {
+                    self.controls.pop_front();
+                    self.out.push(self.in_true.pop_front().expect("checked"));
+                }
+                Some(Branch::False) if !self.in_false.is_empty() => {
+                    self.controls.pop_front();
+                    self.out.push(self.in_false.pop_front().expect("checked"));
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Takes the merged output stream.
+    pub fn drain(&mut self) -> Vec<Vec<u8>> {
+        std::mem::take(&mut self.out)
+    }
+}
+
+/// Re-models a conditional (switch/select) region as a VTS dynamic edge
+/// pair — the paper's §3.1 contrast made concrete.
+///
+/// Where BDF would route up to `max_burst` raw tokens of `token_bytes`
+/// each to one of two consumers per decision, the VTS envelope creates
+/// one dynamic edge per branch: per graph iteration the taken branch
+/// carries the burst, the other an empty packed token. The result is a
+/// pure-SDF-analyzable graph (after [`crate::VtsConversion`]) whose
+/// buffer bounds are `max_burst` tokens per branch (eq. 1) instead of
+/// BDF's unbounded control-dependent schedules.
+///
+/// Returns the two branch edges `(true_edge, false_edge)`.
+///
+/// # Errors
+///
+/// Anything [`SdfGraph::add_dynamic_edge`] can return.
+pub fn vts_envelope(
+    graph: &mut SdfGraph,
+    producer: ActorId,
+    consumer_true: ActorId,
+    consumer_false: ActorId,
+    max_burst: u32,
+    token_bytes: u32,
+) -> Result<(EdgeId, EdgeId)> {
+    let t = graph.add_dynamic_edge(producer, consumer_true, max_burst, max_burst, 0, token_bytes)?;
+    let f =
+        graph.add_dynamic_edge(producer, consumer_false, max_burst, max_burst, 0, token_bytes)?;
+    Ok((t, f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VtsConversion;
+
+    #[test]
+    fn switch_routes_in_control_order() {
+        let mut sw = Switch::new();
+        for (i, b) in [Branch::True, Branch::True, Branch::False, Branch::True]
+            .into_iter()
+            .enumerate()
+        {
+            sw.push_control(b);
+            sw.push_data(vec![i as u8]);
+        }
+        let (t, f) = sw.drain();
+        assert_eq!(t, vec![vec![0], vec![1], vec![3]]);
+        assert_eq!(f, vec![vec![2]]);
+        assert_eq!(sw.pending(), 0);
+    }
+
+    #[test]
+    fn switch_waits_for_partners() {
+        let mut sw = Switch::new();
+        sw.push_data(vec![9]);
+        assert_eq!(sw.pending(), 1);
+        let (t, f) = sw.drain();
+        assert!(t.is_empty() && f.is_empty());
+        sw.push_control(Branch::False);
+        let (_, f) = sw.drain();
+        assert_eq!(f, vec![vec![9]]);
+    }
+
+    #[test]
+    fn select_merges_in_control_order() {
+        let mut sel = Select::new();
+        sel.push_true(vec![1]);
+        sel.push_true(vec![2]);
+        sel.push_false(vec![100]);
+        for b in [Branch::False, Branch::True, Branch::True] {
+            sel.push_control(b);
+        }
+        assert_eq!(sel.drain(), vec![vec![100], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn select_blocks_on_missing_branch_token() {
+        let mut sel = Select::new();
+        sel.push_control(Branch::True);
+        sel.push_false(vec![5]); // wrong branch: must NOT pass
+        assert!(sel.drain().is_empty());
+        sel.push_true(vec![6]);
+        assert_eq!(sel.drain(), vec![vec![6]]);
+    }
+
+    #[test]
+    fn switch_select_identity() {
+        // switch then select with the same control stream is an identity.
+        let controls = [Branch::True, Branch::False, Branch::False, Branch::True];
+        let data: Vec<Vec<u8>> = (0..4).map(|i| vec![i * 3]).collect();
+        let mut sw = Switch::new();
+        for (b, d) in controls.iter().zip(&data) {
+            sw.push_control(*b);
+            sw.push_data(d.clone());
+        }
+        let (t, f) = sw.drain();
+        let mut sel = Select::new();
+        for token in t {
+            sel.push_true(token);
+        }
+        for token in f {
+            sel.push_false(token);
+        }
+        for b in controls {
+            sel.push_control(b);
+        }
+        assert_eq!(sel.drain(), data);
+    }
+
+    #[test]
+    fn branch_from_byte() {
+        assert_eq!(Branch::from_byte(0), Branch::False);
+        assert_eq!(Branch::from_byte(1), Branch::True);
+        assert_eq!(Branch::from_byte(255), Branch::True);
+    }
+
+    #[test]
+    fn vts_envelope_restores_static_analyzability() {
+        let mut g = SdfGraph::new();
+        let p = g.add_actor("producer", 1);
+        let ct = g.add_actor("true-path", 1);
+        let cf = g.add_actor("false-path", 1);
+        let (et, ef) = vts_envelope(&mut g, p, ct, cf, 16, 4).unwrap();
+        // Raw graph is dynamic; after VTS it is analyzable.
+        assert!(!g.is_pure_sdf());
+        let vts = VtsConversion::convert(&g).unwrap();
+        let q = vts.graph().repetition_vector().unwrap();
+        assert_eq!(q.total_firings(), 3);
+        assert_eq!(vts.packed_capacity_bytes(et).unwrap(), 64);
+        assert_eq!(vts.packed_capacity_bytes(ef).unwrap(), 64);
+    }
+}

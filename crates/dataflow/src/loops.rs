@@ -1,0 +1,424 @@
+//! Looped schedules and buffer-memory-minimizing chain scheduling.
+//!
+//! Single-processor SPI subsystems are synthesized from *looped
+//! schedules* — nested loop notation like `(2 (3 A) B)` — following the
+//! software-synthesis line of work behind the paper (Bhattacharyya et
+//! al.). A *single-appearance* schedule names each actor once, giving
+//! minimal code size; among those, different loop hierarchies trade
+//! buffer memory. For chain-structured graphs the classic dynamic
+//! program over binary splits finds the buffer-optimal hierarchy; it is
+//! implemented here ([`optimal_chain_schedule`]) along with schedule
+//! flattening, validation and buffer measurement.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{DataflowError, Result};
+use crate::graph::{ActorId, SdfGraph};
+use crate::rates::gcd;
+
+/// A looped schedule term.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LoopedSchedule {
+    /// Fire one actor once.
+    Fire(ActorId),
+    /// Execute the body `count` times.
+    Loop {
+        /// Iteration count.
+        count: u64,
+        /// Loop body, executed in order.
+        body: Vec<LoopedSchedule>,
+    },
+}
+
+impl LoopedSchedule {
+    /// A `(count body…)` loop.
+    pub fn repeat(count: u64, body: Vec<LoopedSchedule>) -> Self {
+        LoopedSchedule::Loop { count, body }
+    }
+
+    /// Expands to the flat firing sequence.
+    pub fn flatten(&self) -> Vec<ActorId> {
+        let mut out = Vec::new();
+        self.flatten_into(&mut out);
+        out
+    }
+
+    fn flatten_into(&self, out: &mut Vec<ActorId>) {
+        match self {
+            LoopedSchedule::Fire(a) => out.push(*a),
+            LoopedSchedule::Loop { count, body } => {
+                for _ in 0..*count {
+                    for term in body {
+                        term.flatten_into(out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of *appearances* (schedule code size, in actor mentions).
+    pub fn appearances(&self) -> usize {
+        match self {
+            LoopedSchedule::Fire(_) => 1,
+            LoopedSchedule::Loop { body, .. } => body.iter().map(Self::appearances).sum(),
+        }
+    }
+
+    /// `true` if every actor appears at most once.
+    pub fn is_single_appearance(&self) -> bool {
+        let flat_actors: Vec<ActorId> = {
+            let mut v = Vec::new();
+            self.collect_appearances(&mut v);
+            v
+        };
+        let mut dedup = flat_actors.clone();
+        dedup.sort();
+        dedup.dedup();
+        dedup.len() == flat_actors.len()
+    }
+
+    fn collect_appearances(&self, out: &mut Vec<ActorId>) {
+        match self {
+            LoopedSchedule::Fire(a) => out.push(*a),
+            LoopedSchedule::Loop { body, .. } => {
+                for term in body {
+                    term.collect_appearances(out);
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for LoopedSchedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoopedSchedule::Fire(a) => write!(f, "{a}"),
+            LoopedSchedule::Loop { count, body } => {
+                write!(f, "({count}")?;
+                for term in body {
+                    write!(f, " {term}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// Validates a looped schedule against `graph`: flattening it must be an
+/// admissible firing sequence covering exactly one iteration.
+///
+/// Returns the per-edge maximum token counts (the schedule's buffer
+/// memory) on success.
+///
+/// # Errors
+///
+/// * [`DataflowError::Deadlock`] if some firing would underflow an edge
+///   (the flattened order is inadmissible) — the starved actors name the
+///   point of failure;
+/// * [`DataflowError::Inconsistent`] if the firing counts do not match
+///   the repetition vector.
+pub fn validate(graph: &SdfGraph, schedule: &LoopedSchedule) -> Result<Vec<u64>> {
+    let q = graph.repetition_vector()?;
+    let flat = schedule.flatten();
+    let mut fired = vec![0u64; graph.actor_count()];
+    let mut tokens: Vec<u64> = graph.edges().map(|(_, e)| e.delay).collect();
+    let mut max_tokens = tokens.clone();
+    for a in flat {
+        for e in graph.in_edges(a) {
+            let need = u64::from(graph.edge(e).consume.bound());
+            if tokens[e.0] < need {
+                return Err(DataflowError::Deadlock { starved: vec![a] });
+            }
+            tokens[e.0] -= need;
+        }
+        for e in graph.out_edges(a) {
+            tokens[e.0] += u64::from(graph.edge(e).produce.bound());
+            max_tokens[e.0] = max_tokens[e.0].max(tokens[e.0]);
+        }
+        fired[a.0] += 1;
+    }
+    for (i, &count) in fired.iter().enumerate() {
+        if count != q[ActorId(i)] {
+            return Err(DataflowError::Inconsistent {
+                edge: crate::graph::EdgeId(0),
+            });
+        }
+    }
+    Ok(max_tokens)
+}
+
+/// Total buffer memory (in tokens) of a schedule: the sum of per-edge
+/// maxima from [`validate`].
+///
+/// # Errors
+///
+/// Same conditions as [`validate`].
+pub fn buffer_memory(graph: &SdfGraph, schedule: &LoopedSchedule) -> Result<u64> {
+    Ok(validate(graph, schedule)?.iter().sum())
+}
+
+/// The naive flat single-appearance schedule of an acyclic graph:
+/// `(q₀ A₀)(q₁ A₁)…` in topological order.
+///
+/// # Errors
+///
+/// Repetition-vector errors, plus [`DataflowError::Deadlock`] if the
+/// graph has a (non-trivially-delayed) cycle, which flat SAS cannot
+/// schedule.
+pub fn flat_single_appearance(graph: &SdfGraph) -> Result<LoopedSchedule> {
+    let q = graph.repetition_vector()?;
+    let order = topological_actors(graph)?;
+    let body = order
+        .into_iter()
+        .map(|a| LoopedSchedule::repeat(q[a], vec![LoopedSchedule::Fire(a)]))
+        .collect();
+    let schedule = LoopedSchedule::repeat(1, body);
+    validate(graph, &schedule)?;
+    Ok(schedule)
+}
+
+/// Buffer-optimal single-appearance schedule for a *chain* graph
+/// `A₀ → A₁ → … → Aₙ₋₁` via the classic O(n³) dynamic program over
+/// binary splits (GDPPO restricted to chains).
+///
+/// # Errors
+///
+/// [`DataflowError::Inconsistent`] if `graph` is not a simple chain in
+/// actor-id order; repetition-vector errors otherwise.
+pub fn optimal_chain_schedule(graph: &SdfGraph) -> Result<LoopedSchedule> {
+    let n = graph.actor_count();
+    if n == 0 {
+        return Err(DataflowError::EmptyGraph);
+    }
+    // Verify chain shape: edge i connects actor i → i+1.
+    if graph.edge_count() != n - 1 {
+        return Err(DataflowError::Inconsistent { edge: crate::graph::EdgeId(0) });
+    }
+    for (id, e) in graph.edges() {
+        if e.src != ActorId(id.0) || e.dst != ActorId(id.0 + 1) {
+            return Err(DataflowError::Inconsistent { edge: id });
+        }
+    }
+    let q = graph.repetition_vector()?;
+
+    // g[i][j] = gcd of q over actors i..=j (loop factor of the subchain).
+    let mut g = vec![vec![0u64; n]; n];
+    for i in 0..n {
+        g[i][i] = q[ActorId(i)];
+        for j in (i + 1)..n {
+            g[i][j] = gcd(g[i][j - 1], q[ActorId(j)]);
+        }
+    }
+
+    // Edge k (between actor k and k+1) inside subchain i..=j contributes
+    // buffer q[k]·p[k] / g[i][j] when split at k: the left and right
+    // subloops exchange one batch per outer-loop iteration.
+    let produced_per_iter =
+        |k: usize| q[ActorId(k)] * u64::from(graph.edge(crate::graph::EdgeId(k)).produce.bound());
+
+    // DP over subchains: cost[i][j] = min over split k of
+    //   cost[i][k] + cost[k+1][j] + produced(k)/g[i][j].
+    let mut cost = vec![vec![0u64; n]; n];
+    let mut split = vec![vec![0usize; n]; n];
+    for len in 2..=n {
+        for i in 0..=(n - len) {
+            let j = i + len - 1;
+            let mut best = u64::MAX;
+            let mut best_k = i;
+            for k in i..j {
+                let c = cost[i][k] + cost[k + 1][j] + produced_per_iter(k) / g[i][j];
+                if c < best {
+                    best = c;
+                    best_k = k;
+                }
+            }
+            cost[i][j] = best;
+            split[i][j] = best_k;
+        }
+    }
+
+    fn build(i: usize, j: usize, outer: u64, g: &[Vec<u64>], split: &[Vec<usize>]) -> LoopedSchedule {
+        let factor = g[i][j] / outer;
+        if i == j {
+            return LoopedSchedule::repeat(factor, vec![LoopedSchedule::Fire(ActorId(i))]);
+        }
+        let k = split[i][j];
+        let body = vec![
+            build(i, k, g[i][j], g, split),
+            build(k + 1, j, g[i][j], g, split),
+        ];
+        LoopedSchedule::repeat(factor, body)
+    }
+
+    let schedule = build(0, n - 1, 1, &g, &split);
+    validate(graph, &schedule)?;
+    Ok(schedule)
+}
+
+/// Topological order of the actors over delay-less edges.
+fn topological_actors(graph: &SdfGraph) -> Result<Vec<ActorId>> {
+    let n = graph.actor_count();
+    let mut indeg = vec![0usize; n];
+    for (_, e) in graph.edges() {
+        if e.delay == 0 {
+            indeg[e.dst.0] += 1;
+        }
+    }
+    let mut stack: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    stack.sort_unstable_by(|a, b| b.cmp(a));
+    let mut order = Vec::with_capacity(n);
+    while let Some(u) = stack.pop() {
+        order.push(ActorId(u));
+        for (_, e) in graph.edges() {
+            if e.delay == 0 && e.src.0 == u {
+                indeg[e.dst.0] -= 1;
+                if indeg[e.dst.0] == 0 {
+                    stack.push(e.dst.0);
+                    stack.sort_unstable_by(|a, b| b.cmp(a));
+                }
+            }
+        }
+    }
+    if order.len() != n {
+        return Err(DataflowError::Deadlock {
+            starved: (0..n).map(ActorId).filter(|a| !order.contains(a)).collect(),
+        });
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The canonical CD-to-DAT-style rate chain used in the SAS papers.
+    fn rate_chain(rates: &[(u32, u32)]) -> SdfGraph {
+        let mut g = SdfGraph::new();
+        let mut prev = g.add_actor("a0", 1);
+        for (i, &(p, c)) in rates.iter().enumerate() {
+            let next = g.add_actor(format!("a{}", i + 1), 1);
+            g.add_edge(prev, next, p, c, 0, 4).unwrap();
+            prev = next;
+        }
+        g
+    }
+
+    #[test]
+    fn flatten_expands_nested_loops() {
+        let a = ActorId(0);
+        let b = ActorId(1);
+        let s = LoopedSchedule::repeat(
+            2,
+            vec![
+                LoopedSchedule::repeat(3, vec![LoopedSchedule::Fire(a)]),
+                LoopedSchedule::Fire(b),
+            ],
+        );
+        let flat = s.flatten();
+        assert_eq!(flat.len(), 8);
+        assert_eq!(flat.iter().filter(|&&x| x == a).count(), 6);
+        assert_eq!(s.to_string(), "(2 (3 a0) a1)");
+        assert!(s.is_single_appearance());
+        assert_eq!(s.appearances(), 2);
+    }
+
+    #[test]
+    fn non_single_appearance_detected() {
+        let a = ActorId(0);
+        let s = LoopedSchedule::repeat(
+            1,
+            vec![LoopedSchedule::Fire(a), LoopedSchedule::Fire(a)],
+        );
+        assert!(!s.is_single_appearance());
+    }
+
+    #[test]
+    fn validate_accepts_admissible_and_measures_buffers() {
+        let g = rate_chain(&[(2, 3)]); // q = [3, 2]
+        let s = LoopedSchedule::repeat(
+            1,
+            vec![
+                LoopedSchedule::repeat(3, vec![LoopedSchedule::Fire(ActorId(0))]),
+                LoopedSchedule::repeat(2, vec![LoopedSchedule::Fire(ActorId(1))]),
+            ],
+        );
+        let bufs = validate(&g, &s).unwrap();
+        assert_eq!(bufs, vec![6], "flat SAS peaks at full production");
+    }
+
+    #[test]
+    fn validate_rejects_underflow_and_wrong_counts() {
+        let g = rate_chain(&[(2, 3)]);
+        // Consumer first: underflow.
+        let bad = LoopedSchedule::repeat(1, vec![LoopedSchedule::Fire(ActorId(1))]);
+        assert!(matches!(validate(&g, &bad), Err(DataflowError::Deadlock { .. })));
+        // Wrong totals.
+        let short = LoopedSchedule::repeat(1, vec![LoopedSchedule::Fire(ActorId(0))]);
+        assert!(matches!(validate(&g, &short), Err(DataflowError::Inconsistent { .. })));
+    }
+
+    #[test]
+    fn flat_sas_matches_topological_order() {
+        let g = rate_chain(&[(3, 1), (1, 2)]); // q = [1, 3, ...]: a0→a1→a2
+        let s = flat_single_appearance(&g).unwrap();
+        assert!(s.is_single_appearance());
+        let flat = s.flatten();
+        let first_a2 = flat.iter().position(|&a| a == ActorId(2)).unwrap();
+        let last_a0 = flat.iter().rposition(|&a| a == ActorId(0)).unwrap();
+        assert!(last_a0 < first_a2);
+    }
+
+    #[test]
+    fn chain_dp_beats_flat_sas_on_classic_example() {
+        // Rates 2→3, 1→4: q = [3, 2, ...]; nested loops share gcd
+        // factors and shrink buffers versus the flat schedule.
+        let g = rate_chain(&[(4, 6), (2, 1)]); // q = [3, 2, 4]
+        let flat = flat_single_appearance(&g).unwrap();
+        let opt = optimal_chain_schedule(&g).unwrap();
+        assert!(opt.is_single_appearance());
+        let m_flat = buffer_memory(&g, &flat).unwrap();
+        let m_opt = buffer_memory(&g, &opt).unwrap();
+        assert!(
+            m_opt <= m_flat,
+            "DP schedule must not need more memory: {m_opt} vs {m_flat} ({opt})"
+        );
+    }
+
+    #[test]
+    fn chain_dp_exploits_common_factors() {
+        // q = [2, 4]: the optimal schedule is (2 a0 (2 a1)).
+        let g = rate_chain(&[(2, 1)]);
+        let opt = optimal_chain_schedule(&g).unwrap();
+        let m = buffer_memory(&g, &opt).unwrap();
+        assert_eq!(m, 2, "schedule {opt} should hold at most one batch");
+    }
+
+    #[test]
+    fn chain_dp_rejects_non_chains() {
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("a", 1);
+        let b = g.add_actor("b", 1);
+        let c = g.add_actor("c", 1);
+        g.add_edge(a, b, 1, 1, 0, 4).unwrap();
+        g.add_edge(a, c, 1, 1, 0, 4).unwrap(); // fan-out, not a chain
+        assert!(optimal_chain_schedule(&g).is_err());
+    }
+
+    #[test]
+    fn single_actor_chain() {
+        let mut g = SdfGraph::new();
+        g.add_actor("solo", 1);
+        let s = optimal_chain_schedule(&g).unwrap();
+        assert_eq!(s.flatten().len(), 1);
+    }
+
+    #[test]
+    fn topological_order_errors_on_undelayed_cycle() {
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("a", 1);
+        let b = g.add_actor("b", 1);
+        g.add_edge(a, b, 1, 1, 0, 4).unwrap();
+        g.add_edge(b, a, 1, 1, 0, 4).unwrap();
+        assert!(flat_single_appearance(&g).is_err());
+    }
+}

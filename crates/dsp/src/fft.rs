@@ -1,0 +1,260 @@
+//! Iterative radix-2 complex FFT (actor "B" of application 1).
+
+use std::f64::consts::PI;
+
+use serde::{Deserialize, Serialize};
+
+/// A complex number (re, im) — minimal, `Copy`, sufficient for the FFT.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates a complex number.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+    }
+
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+/// Errors from the FFT routines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FftError {
+    /// Input length is not a power of two.
+    NotPowerOfTwo {
+        /// Offending length.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for FftError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FftError::NotPowerOfTwo { len } => {
+                write!(f, "fft length {len} is not a power of two")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FftError {}
+
+/// In-place forward FFT (decimation in time).
+///
+/// # Errors
+///
+/// [`FftError::NotPowerOfTwo`] unless `data.len()` is a power of two
+/// (zero-length input is accepted as a no-op).
+pub fn fft(data: &mut [Complex]) -> Result<(), FftError> {
+    transform(data, false)
+}
+
+/// In-place inverse FFT (includes the 1/N scaling).
+///
+/// # Errors
+///
+/// Same conditions as [`fft`].
+pub fn ifft(data: &mut [Complex]) -> Result<(), FftError> {
+    transform(data, true)?;
+    let n = data.len() as f64;
+    for z in data.iter_mut() {
+        z.re /= n;
+        z.im /= n;
+    }
+    Ok(())
+}
+
+fn transform(data: &mut [Complex], inverse: bool) -> Result<(), FftError> {
+    let n = data.len();
+    if n <= 1 {
+        // Zero- and one-point transforms are identities.
+        return Ok(());
+    }
+    if !n.is_power_of_two() {
+        return Err(FftError::NotPowerOfTwo { len: n });
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = Complex::new(ang.cos(), ang.sin());
+        for block in data.chunks_mut(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            let half = len / 2;
+            for i in 0..half {
+                let u = block[i];
+                let v = block[i + half].mul(w);
+                block[i] = u.add(v);
+                block[i + half] = u.sub(v);
+                w = w.mul(wlen);
+            }
+        }
+        len <<= 1;
+    }
+    Ok(())
+}
+
+/// FFT of a real signal: convenience wrapper returning the complex
+/// spectrum.
+///
+/// # Errors
+///
+/// Same conditions as [`fft`].
+pub fn fft_real(signal: &[f64]) -> Result<Vec<Complex>, FftError> {
+    let mut data: Vec<Complex> = signal.iter().map(|&x| Complex::new(x, 0.0)).collect();
+    fft(&mut data)?;
+    Ok(data)
+}
+
+/// Cycle-cost model of a streaming FFT core: `~5·N·log2(N)` cycles plus
+/// load/unload — the figure used when an FFT actor fires in the platform
+/// simulator.
+pub fn fft_cycles(n: usize) -> u64 {
+    if n < 2 {
+        return 8;
+    }
+    let logn = (usize::BITS - (n - 1).leading_zeros()) as u64;
+    5 * n as u64 * logn + 2 * n as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(x: &[Complex]) -> Vec<Complex> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::default();
+                for (j, &v) in x.iter().enumerate() {
+                    let ang = -2.0 * PI * (k * j) as f64 / n as f64;
+                    acc = acc.add(v.mul(Complex::new(ang.cos(), ang.sin())));
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let x: Vec<Complex> = (0..16)
+            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        let expected = naive_dft(&x);
+        let mut got = x.clone();
+        fft(&mut got).unwrap();
+        for (a, b) in got.iter().zip(&expected) {
+            assert!((a.re - b.re).abs() < 1e-9, "{a:?} vs {b:?}");
+            assert!((a.im - b.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn roundtrip_fft_ifft() {
+        let x: Vec<Complex> =
+            (0..64).map(|i| Complex::new(i as f64, -(i as f64) / 3.0)).collect();
+        let mut y = x.clone();
+        fft(&mut y).unwrap();
+        ifft(&mut y).unwrap();
+        for (a, b) in y.iter().zip(&x) {
+            assert!((a.re - b.re).abs() < 1e-9);
+            assert!((a.im - b.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut x = vec![Complex::default(); 8];
+        x[0] = Complex::new(1.0, 0.0);
+        fft(&mut x).unwrap();
+        for z in &x {
+            assert!((z.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sine_concentrates_in_one_bin() {
+        let n = 32;
+        let signal: Vec<f64> =
+            (0..n).map(|i| (2.0 * PI * 4.0 * i as f64 / n as f64).sin()).collect();
+        let spec = fft_real(&signal).unwrap();
+        let peak = spec
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+            .unwrap()
+            .0;
+        assert!(peak == 4 || peak == n - 4, "peak at bin {peak}");
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        let mut x = vec![Complex::default(); 12];
+        assert_eq!(fft(&mut x), Err(FftError::NotPowerOfTwo { len: 12 }));
+    }
+
+    #[test]
+    fn empty_input_is_noop() {
+        let mut x: Vec<Complex> = Vec::new();
+        assert!(fft(&mut x).is_ok());
+    }
+
+    #[test]
+    fn cost_model_grows_superlinearly() {
+        assert!(fft_cycles(1024) > 2 * fft_cycles(512));
+        assert!(fft_cycles(2) >= 8);
+    }
+
+    #[test]
+    fn linearity_property() {
+        // FFT(a·x + y) = a·FFT(x) + FFT(y)
+        let x: Vec<Complex> = (0..16).map(|i| Complex::new(i as f64, 0.0)).collect();
+        let y: Vec<Complex> = (0..16).map(|i| Complex::new(0.0, (i * i) as f64)).collect();
+        let a = 2.5;
+        let mut lhs: Vec<Complex> = x
+            .iter()
+            .zip(&y)
+            .map(|(u, v)| Complex::new(a * u.re + v.re, a * u.im + v.im))
+            .collect();
+        fft(&mut lhs).unwrap();
+        let mut fx = x.clone();
+        let mut fy = y.clone();
+        fft(&mut fx).unwrap();
+        fft(&mut fy).unwrap();
+        for i in 0..16 {
+            let want_re = a * fx[i].re + fy[i].re;
+            let want_im = a * fx[i].im + fy[i].im;
+            assert!((lhs[i].re - want_re).abs() < 1e-9);
+            assert!((lhs[i].im - want_im).abs() < 1e-9);
+        }
+    }
+}

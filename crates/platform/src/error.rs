@@ -1,0 +1,84 @@
+//! Error types for the platform simulator.
+
+use std::fmt;
+
+use crate::sim::{ChannelId, PeId};
+
+/// Errors from building or running a platform simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PlatformError {
+    /// A channel id referenced a channel that does not exist.
+    UnknownChannel(ChannelId),
+    /// A PE id referenced a processing element that does not exist.
+    UnknownPe(PeId),
+    /// A send was attempted with a payload larger than the channel's
+    /// total capacity — it could never be delivered.
+    MessageExceedsCapacity {
+        /// The channel.
+        channel: ChannelId,
+        /// Payload size in bytes.
+        bytes: usize,
+        /// Channel capacity in bytes.
+        capacity: usize,
+    },
+    /// The simulation stopped advancing before every PE finished: PEs are
+    /// mutually blocked on sends/receives (protocol deadlock).
+    Deadlock {
+        /// PEs still blocked when the event queue drained.
+        blocked: Vec<PeId>,
+    },
+    /// The simulation exceeded its configured cycle budget.
+    BudgetExceeded {
+        /// The budget that was exceeded.
+        budget_cycles: u64,
+    },
+    /// A zero-capacity channel was declared (nothing could ever be sent).
+    ZeroCapacity {
+        /// The channel.
+        channel: ChannelId,
+    },
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::UnknownChannel(c) => write!(f, "unknown channel {c}"),
+            PlatformError::UnknownPe(p) => write!(f, "unknown processing element {p}"),
+            PlatformError::MessageExceedsCapacity { channel, bytes, capacity } => write!(
+                f,
+                "message of {bytes} bytes exceeds channel {channel} capacity of {capacity} bytes"
+            ),
+            PlatformError::Deadlock { blocked } => {
+                write!(f, "simulation deadlocked with {} blocked PE(s)", blocked.len())
+            }
+            PlatformError::BudgetExceeded { budget_cycles } => {
+                write!(f, "simulation exceeded its budget of {budget_cycles} cycles")
+            }
+            PlatformError::ZeroCapacity { channel } => {
+                write!(f, "channel {channel} has zero capacity")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, PlatformError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_descriptive() {
+        let e = PlatformError::MessageExceedsCapacity {
+            channel: ChannelId(1),
+            bytes: 100,
+            capacity: 64,
+        };
+        let s = e.to_string();
+        assert!(s.contains("100") && s.contains("64"));
+    }
+}

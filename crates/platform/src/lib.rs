@@ -1,0 +1,57 @@
+//! # spi-platform — simulated multi-PE FPGA platform
+//!
+//! The hardware substrate of the DATE 2008 SPI reproduction. The paper
+//! evaluates on a Xilinx Virtex-4; this crate substitutes (see
+//! `DESIGN.md`) a cycle-level **discrete-event simulator** of processing
+//! elements connected by hardware FIFOs:
+//!
+//! * [`Machine`] / [`Program`] / [`Op`] — PEs execute looped
+//!   compute/send/receive programs with real payload bytes, so runs are
+//!   simultaneously functional and timed;
+//! * [`ChannelSpec`] — FIFO capacity, word width, wire latency and
+//!   per-message occupancy;
+//! * [`MpiEndpoint`] — a faithful generic-MPI baseline (envelopes,
+//!   matching, rendezvous) that SPI is compared against;
+//! * [`ResourceEstimate`] / [`Device`] — the additive area model standing
+//!   in for ISE synthesis reports (tables 1–2);
+//! * [`run_threaded`] — an OS-thread functional runner cross-checking the
+//!   DES's protocol logic under real concurrency.
+//!
+//! # Examples
+//!
+//! ```
+//! use spi_platform::{ChannelSpec, Machine, Op, Program};
+//!
+//! let mut m = Machine::new();
+//! let ch = m.add_channel(ChannelSpec::default());
+//! m.add_pe(Program::new(vec![
+//!     Op::Compute { label: "produce".into(), work: Box::new(|_| 10) },
+//!     Op::Send { channel: ch, payload: Box::new(|_| vec![0u8; 16]) },
+//! ], 100));
+//! m.add_pe(Program::new(vec![Op::Recv { channel: ch }], 100));
+//! let report = m.run()?;
+//! assert_eq!(report.channels[ch.0].messages, 100);
+//! println!("makespan: {:.1} µs at 100 MHz", report.makespan_us(100.0));
+//! # Ok::<(), spi_platform::PlatformError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+mod mpi;
+mod resource;
+mod runner;
+mod sim;
+
+pub use error::{PlatformError, Result};
+pub use mpi::{
+    MpiConfig, MpiEndpoint, CONTROL_BYTES, EAGER_LIMIT_BYTES, ENVELOPE_BYTES, MARSHAL_CYCLES,
+    MATCH_CYCLES,
+};
+pub use resource::{components, Device, ResourceEstimate, ResourcePercent};
+pub use runner::{run_threaded, ThreadedPeResult};
+pub use sim::{
+    BusSpec, OrderedBusSpec, ChannelId, ChannelSpec, ChannelStats, ComputeFn, Machine, Op, PayloadFn, PeId,
+    PeLocal, PeLocalSnapshot, PeStats, Program, SimReport, TraceEvent, TraceKind, WaitFn,
+};

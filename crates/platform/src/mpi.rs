@@ -1,0 +1,257 @@
+//! A generic MPI-style message layer — the baseline SPI is measured
+//! against.
+//!
+//! The paper's motivation (§1) is that MPI, being general-purpose, pays
+//! overheads a dataflow-specialized interface avoids: full message
+//! envelopes (source, destination, tag, datatype, length), receive-side
+//! envelope matching, and a rendezvous handshake for flow control. This
+//! module reproduces that baseline faithfully enough to measure the gap:
+//! an `MpiEndpoint` lowers each logical transfer to the same platform
+//! primitives SPI uses, but with the envelope bytes, matching cycles and
+//! handshake round-trip included.
+//!
+//! The numbers come from the eager/rendezvous split used by real MPI
+//! implementations (including TMD-MPI, the FPGA MPI the paper cites):
+//! small messages go eagerly with an envelope; large ones negotiate a
+//! request/clear-to-send exchange first.
+
+use crate::sim::{ChannelId, Op, PeLocal};
+
+/// Size of a full MPI envelope in bytes:
+/// source (4) + dest (4) + tag (4) + datatype (4) + length (4) + comm (4).
+pub const ENVELOPE_BYTES: usize = 24;
+
+/// Cycles the receiver spends matching an incoming envelope against its
+/// posted-receive queue (hash + compare, conservative small constant).
+pub const MATCH_CYCLES: u64 = 12;
+
+/// Cycles for the sender to marshal the envelope.
+pub const MARSHAL_CYCLES: u64 = 6;
+
+/// Messages at or below this payload size are sent eagerly; larger ones
+/// use the rendezvous protocol (request-to-send / clear-to-send).
+pub const EAGER_LIMIT_BYTES: usize = 256;
+
+/// Size of a rendezvous control message (RTS or CTS).
+pub const CONTROL_BYTES: usize = 8;
+
+/// Configuration of the MPI baseline's cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MpiConfig {
+    /// Envelope bytes prepended to every message.
+    pub envelope_bytes: usize,
+    /// Receive-side matching cost per message.
+    pub match_cycles: u64,
+    /// Send-side marshaling cost per message.
+    pub marshal_cycles: u64,
+    /// Eager/rendezvous threshold.
+    pub eager_limit_bytes: usize,
+}
+
+impl Default for MpiConfig {
+    fn default() -> Self {
+        MpiConfig {
+            envelope_bytes: ENVELOPE_BYTES,
+            match_cycles: MATCH_CYCLES,
+            marshal_cycles: MARSHAL_CYCLES,
+            eager_limit_bytes: EAGER_LIMIT_BYTES,
+        }
+    }
+}
+
+/// Builder of MPI-style operation sequences for one logical channel pair.
+///
+/// For rendezvous transfers the caller must supply a *reverse* control
+/// channel (receiver→sender) used for the clear-to-send message.
+#[derive(Debug, Clone, Copy)]
+pub struct MpiEndpoint {
+    /// Data channel (sender→receiver).
+    pub data: ChannelId,
+    /// Control channel (receiver→sender), required for rendezvous.
+    pub control: Option<ChannelId>,
+    /// Cost model.
+    pub config: MpiConfig,
+}
+
+impl MpiEndpoint {
+    /// Creates an endpoint with the default cost model.
+    pub fn new(data: ChannelId, control: Option<ChannelId>) -> Self {
+        MpiEndpoint { data, control, config: MpiConfig::default() }
+    }
+
+    /// Lowers `MPI_Send` of a payload produced by `payload` into platform
+    /// ops. Rendezvous is chosen when the payload *bound* exceeds the
+    /// eager limit (the protocol must be fixed at compile time since the
+    /// program structure is static).
+    ///
+    /// # Panics
+    ///
+    /// Panics if rendezvous is required but no control channel was
+    /// supplied — that is a construction error, not a run-time condition.
+    pub fn send_ops(
+        &self,
+        payload_bound: usize,
+        mut payload: impl FnMut(&mut PeLocal) -> Vec<u8> + Send + 'static,
+    ) -> Vec<Op> {
+        let cfg = self.config;
+        let mut ops = Vec::new();
+        // Marshal the envelope.
+        ops.push(Op::Compute {
+            label: "mpi:marshal".into(),
+            work: Box::new(move |_| cfg.marshal_cycles),
+        });
+        if payload_bound > cfg.eager_limit_bytes {
+            let control = self
+                .control
+                .expect("rendezvous transfer requires a control channel");
+            // Request-to-send carrying the envelope.
+            let env = cfg.envelope_bytes;
+            ops.push(Op::Send {
+                channel: self.data,
+                payload: Box::new(move |_| vec![0u8; env]),
+            });
+            // Wait for clear-to-send.
+            ops.push(Op::Recv { channel: control });
+            ops.push(Op::Compute {
+                label: "mpi:cts".into(),
+                work: Box::new(move |l| {
+                    let _ = l.take_from(control);
+                    1
+                }),
+            });
+            // Payload (envelope already delivered with the RTS).
+            ops.push(Op::Send { channel: self.data, payload: Box::new(payload) });
+        } else {
+            // Eager: envelope + payload in one message.
+            let env = cfg.envelope_bytes;
+            ops.push(Op::Send {
+                channel: self.data,
+                payload: Box::new(move |l| {
+                    let mut msg = vec![0u8; env];
+                    msg.extend(payload(l));
+                    msg
+                }),
+            });
+        }
+        ops
+    }
+
+    /// Lowers `MPI_Recv` into platform ops; the received payload (with
+    /// the envelope stripped) is pushed to the PE store under `store_key`.
+    pub fn recv_ops(&self, payload_bound: usize, store_key: &str) -> Vec<Op> {
+        let cfg = self.config;
+        let key = store_key.to_string();
+        let data = self.data;
+        let mut ops = Vec::new();
+        if payload_bound > cfg.eager_limit_bytes {
+            let control = self
+                .control
+                .expect("rendezvous transfer requires a control channel");
+            // Receive the RTS, match it, send CTS, then the payload.
+            ops.push(Op::Recv { channel: data });
+            ops.push(Op::Compute {
+                label: "mpi:match".into(),
+                work: Box::new(move |l| {
+                    let _ = l.take_from(data);
+                    cfg.match_cycles
+                }),
+            });
+            ops.push(Op::Send {
+                channel: control,
+                payload: Box::new(|_| vec![0u8; CONTROL_BYTES]),
+            });
+            ops.push(Op::Recv { channel: data });
+            ops.push(Op::Compute {
+                label: "mpi:deliver".into(),
+                work: Box::new(move |l| {
+                    let msg = l.take_from(data).expect("payload follows CTS");
+                    l.store.insert(key.clone(), msg);
+                    1
+                }),
+            });
+        } else {
+            ops.push(Op::Recv { channel: data });
+            ops.push(Op::Compute {
+                label: "mpi:match+deliver".into(),
+                work: Box::new(move |l| {
+                    let msg = l.take_from(data).expect("eager message");
+                    let payload = msg[cfg.envelope_bytes.min(msg.len())..].to_vec();
+                    l.store.insert(key.clone(), payload);
+                    cfg.match_cycles
+                }),
+            });
+        }
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{ChannelSpec, Machine, Program};
+
+    #[test]
+    fn eager_transfer_carries_envelope_overhead() {
+        let mut m = Machine::new();
+        let ch = m.add_channel(ChannelSpec::default());
+        let ep = MpiEndpoint::new(ch, None);
+        let mut sender = ep.send_ops(64, |_| vec![7u8; 64]);
+        let mut s_ops = Vec::new();
+        s_ops.append(&mut sender);
+        m.add_pe(Program::new(s_ops, 1));
+        m.add_pe(Program::new(ep.recv_ops(64, "msg"), 1));
+        let report = m.run().unwrap();
+        // Bytes on the wire = payload + envelope.
+        assert_eq!(report.channels[0].bytes, 64 + ENVELOPE_BYTES as u64);
+        assert_eq!(report.locals[1].store["msg"], vec![7u8; 64]);
+    }
+
+    #[test]
+    fn rendezvous_used_above_eager_limit() {
+        let mut m = Machine::new();
+        let data = m.add_channel(ChannelSpec { capacity_bytes: 8192, ..ChannelSpec::default() });
+        let ctrl = m.add_channel(ChannelSpec::default());
+        let ep = MpiEndpoint::new(data, Some(ctrl));
+        let n = EAGER_LIMIT_BYTES + 100;
+        m.add_pe(Program::new(ep.send_ops(n, move |_| vec![3u8; n]), 1));
+        m.add_pe(Program::new(ep.recv_ops(n, "big"), 1));
+        let report = m.run().unwrap();
+        // Three messages: RTS, CTS, payload.
+        assert_eq!(report.total_messages(), 3);
+        assert_eq!(report.locals[1].store["big"].len(), n);
+    }
+
+    #[test]
+    fn rendezvous_without_control_channel_panics() {
+        let ep = MpiEndpoint::new(ChannelId(0), None);
+        let result = std::panic::catch_unwind(|| {
+            ep.send_ops(100_000, |_| Vec::new());
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn repeated_eager_messages_in_order() {
+        let mut m = Machine::new();
+        let ch = m.add_channel(ChannelSpec::default());
+        let ep = MpiEndpoint::new(ch, None);
+        m.add_pe(Program::new(
+            ep.send_ops(4, |l| vec![l.iter as u8; 4]),
+            5,
+        ));
+        let mut recv = ep.recv_ops(4, "last");
+        recv.push(Op::Compute {
+            label: "accumulate".into(),
+            work: Box::new(|l| {
+                let v = l.store.get("last").cloned().unwrap_or_default();
+                let mut acc = l.store.remove("acc").unwrap_or_default();
+                acc.push(v[0]);
+                l.store.insert("acc".into(), acc);
+                1
+            }),
+        });
+        m.add_pe(Program::new(recv, 5));
+        let report = m.run().unwrap();
+        assert_eq!(report.locals[1].store["acc"], vec![0, 1, 2, 3, 4]);
+    }
+}

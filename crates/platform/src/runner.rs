@@ -1,0 +1,257 @@
+//! Threaded functional runner — a concurrency cross-check for the DES.
+//!
+//! The discrete-event engine in [`crate::sim`] is deterministic; this
+//! runner executes the *same* PE programs on real OS threads connected by
+//! bounded `crossbeam` channels. It carries no notion of simulated time —
+//! its purpose is to validate that protocol logic (blocking sends and
+//! receives, message ordering per channel) is correct under genuine
+//! parallel, racy execution, not just under the event queue's
+//! serialization. Integration tests run both engines on the same programs
+//! and compare the functional outputs.
+//!
+//! Capacity semantics differ slightly from the DES: crossbeam bounds
+//! channels by *message count*, not bytes, so the runner bounds each
+//! channel at `max(1, capacity_bytes / word_bytes)` messages — enough to
+//! exercise back-pressure without byte-exact fidelity.
+
+use std::collections::HashMap;
+use std::thread;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use crate::error::{PlatformError, Result};
+use crate::sim::{ChannelSpec, Op, PeId, PeLocal, Program};
+
+/// Functional result of one PE's threaded execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadedPeResult {
+    /// Final keyed store of the PE.
+    pub store: HashMap<String, Vec<u8>>,
+    /// Messages left unconsumed in the PE's inbox.
+    pub leftover_inbox: usize,
+}
+
+/// Executes programs on OS threads; see the module docs for semantics.
+///
+/// `timeout` bounds every blocking channel operation; a deadlocked
+/// program surfaces as [`PlatformError::Deadlock`] once any thread times
+/// out.
+///
+/// # Errors
+///
+/// [`PlatformError::Deadlock`] on timeout;
+/// [`PlatformError::ZeroCapacity`] for unusable channels.
+pub fn run_threaded(
+    channels: &[ChannelSpec],
+    programs: Vec<Program>,
+    timeout: Duration,
+) -> Result<Vec<ThreadedPeResult>> {
+    for (i, c) in channels.iter().enumerate() {
+        if c.capacity_bytes == 0 {
+            return Err(PlatformError::ZeroCapacity { channel: crate::sim::ChannelId(i) });
+        }
+    }
+    type Endpoint = (Sender<Vec<u8>>, Receiver<Vec<u8>>);
+    let endpoints: Vec<Endpoint> = channels
+        .iter()
+        .map(|c| bounded(usize::max(1, c.capacity_bytes / c.word_bytes.max(1) as usize)))
+        .collect();
+
+    let timed_out: Mutex<Vec<PeId>> = Mutex::new(Vec::new());
+    let results: Mutex<Vec<Option<ThreadedPeResult>>> =
+        Mutex::new((0..programs.len()).map(|_| None).collect());
+
+    thread::scope(|scope| {
+        for (idx, mut program) in programs.into_iter().enumerate() {
+            let endpoints = &endpoints;
+            let timed_out = &timed_out;
+            let results = &results;
+            scope.spawn(move || {
+                let mut local = PeLocal::default();
+                let mut prologue = std::mem::take(&mut program.prologue);
+                let mut aborted = false;
+                for op in &mut prologue {
+                    match op {
+                        Op::Compute { work, .. } => {
+                            let _ = work(&mut local);
+                        }
+                        Op::Send { channel, payload } => {
+                            let data = payload(&mut local);
+                            if endpoints[channel.0].0.send_timeout(data, timeout).is_err() {
+                                timed_out.lock().push(PeId(idx));
+                                aborted = true;
+                                break;
+                            }
+                        }
+                        Op::Recv { channel } => match endpoints[channel.0].1.recv_timeout(timeout) {
+                            Ok(data) => local.inbox.push_back((*channel, data)),
+                            Err(_) => {
+                                timed_out.lock().push(PeId(idx));
+                                aborted = true;
+                                break;
+                            }
+                        },
+                        // The functional runner has no simulated clock.
+                        Op::WaitUntil { .. } => {}
+                    }
+                }
+                if aborted {
+                    results.lock()[idx] = Some(ThreadedPeResult {
+                        store: std::mem::take(&mut local.store),
+                        leftover_inbox: local.inbox.len(),
+                    });
+                    return;
+                }
+                'outer: for iter in 0..program.iterations {
+                    local.iter = iter;
+                    for op in &mut program.ops {
+                        match op {
+                            Op::Compute { work, .. } => {
+                                let _cycles = work(&mut local);
+                            }
+                            Op::Send { channel, payload } => {
+                                let data = payload(&mut local);
+                                let tx = &endpoints[channel.0].0;
+                                if tx.send_timeout(data, timeout).is_err() {
+                                    timed_out.lock().push(PeId(idx));
+                                    break 'outer;
+                                }
+                            }
+                            Op::Recv { channel } => {
+                                let rx = &endpoints[channel.0].1;
+                                match rx.recv_timeout(timeout) {
+                                    Ok(data) => local.inbox.push_back((*channel, data)),
+                                    Err(RecvTimeoutError::Timeout)
+                                    | Err(RecvTimeoutError::Disconnected) => {
+                                        timed_out.lock().push(PeId(idx));
+                                        break 'outer;
+                                    }
+                                }
+                            }
+                            // No simulated clock in the threaded runner.
+                            Op::WaitUntil { .. } => {}
+                        }
+                    }
+                }
+                results.lock()[idx] = Some(ThreadedPeResult {
+                    store: std::mem::take(&mut local.store),
+                    leftover_inbox: local.inbox.len(),
+                });
+            });
+        }
+    });
+
+    let blocked = timed_out.into_inner();
+    if !blocked.is_empty() {
+        return Err(PlatformError::Deadlock { blocked });
+    }
+    Ok(results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every PE thread stores a result"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{ChannelId, ChannelSpec};
+
+    #[test]
+    fn threaded_pipeline_matches_expectations() {
+        let channels = vec![ChannelSpec::default()];
+        let producer = Program::new(
+            vec![Op::Send {
+                channel: ChannelId(0),
+                payload: Box::new(|l| vec![l.iter as u8 * 3]),
+            }],
+            4,
+        );
+        let consumer = Program::new(
+            vec![
+                Op::Recv { channel: ChannelId(0) },
+                Op::Compute {
+                    label: "fold".into(),
+                    work: Box::new(|l| {
+                        let v = l.take_from(ChannelId(0)).expect("data");
+                        let mut acc = l.store.remove("acc").unwrap_or_default();
+                        acc.push(v[0]);
+                        l.store.insert("acc".into(), acc);
+                        0
+                    }),
+                },
+            ],
+            4,
+        );
+        let results = run_threaded(
+            &channels,
+            vec![producer, consumer],
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(results[1].store["acc"], vec![0, 3, 6, 9]);
+        assert_eq!(results[1].leftover_inbox, 0);
+    }
+
+    #[test]
+    fn threaded_deadlock_times_out() {
+        let channels = vec![ChannelSpec::default(), ChannelSpec::default()];
+        let a = Program::new(
+            vec![
+                Op::Recv { channel: ChannelId(1) },
+                Op::Send { channel: ChannelId(0), payload: Box::new(|_| vec![0]) },
+            ],
+            1,
+        );
+        let b = Program::new(
+            vec![
+                Op::Recv { channel: ChannelId(0) },
+                Op::Send { channel: ChannelId(1), payload: Box::new(|_| vec![0]) },
+            ],
+            1,
+        );
+        let err = run_threaded(&channels, vec![a, b], Duration::from_millis(100));
+        assert!(matches!(err, Err(PlatformError::Deadlock { .. })));
+    }
+
+    #[test]
+    fn zero_capacity_rejected_up_front() {
+        let channels = vec![ChannelSpec { capacity_bytes: 0, ..ChannelSpec::default() }];
+        let err = run_threaded(&channels, vec![], Duration::from_secs(1));
+        assert!(matches!(err, Err(PlatformError::ZeroCapacity { .. })));
+    }
+
+    #[test]
+    fn bounded_capacity_applies_backpressure() {
+        // One-slot channel: producer cannot run more than one message
+        // ahead; with a slow consumer the run still completes.
+        let channels = vec![ChannelSpec {
+            capacity_bytes: 4,
+            word_bytes: 4,
+            ..ChannelSpec::default()
+        }];
+        let producer = Program::new(
+            vec![Op::Send { channel: ChannelId(0), payload: Box::new(|_| vec![1, 2, 3, 4]) }],
+            16,
+        );
+        let consumer = Program::new(
+            vec![
+                Op::Recv { channel: ChannelId(0) },
+                Op::Compute {
+                    label: "drop".into(),
+                    work: Box::new(|l| {
+                        let _ = l.take_from(ChannelId(0));
+                        std::thread::sleep(Duration::from_millis(1));
+                        0
+                    }),
+                },
+            ],
+            16,
+        );
+        let results =
+            run_threaded(&channels, vec![producer, consumer], Duration::from_secs(10)).unwrap();
+        assert_eq!(results[1].leftover_inbox, 0);
+    }
+}

@@ -1,0 +1,1348 @@
+//! Discrete-event simulation of a multi-PE system with hardware FIFOs.
+//!
+//! This is the reproduction's stand-in for the paper's Virtex-4 FPGA
+//! testbed. Each processing element (PE) executes a *program* — a looped
+//! sequence of compute / send / receive operations — under self-timed
+//! semantics: operations run as soon as their data is available, sends
+//! block on full FIFOs, receives block on empty ones. Payloads are real
+//! bytes, so a simulation is simultaneously a functional execution (the
+//! DSP kernels actually run inside compute closures) and a timed one
+//! (every operation advances a cycle-accurate clock).
+//!
+//! Costs are intentionally explicit: channel word width, per-word wire
+//! latency, per-message sender/receiver occupancy. Protocol layers (SPI,
+//! the MPI baseline) lower to these primitives, so their overhead
+//! differences are measured, not assumed.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::fmt;
+
+use crate::error::{PlatformError, Result};
+
+/// Identifier of a processing element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PeId(pub usize);
+
+impl fmt::Display for PeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pe{}", self.0)
+    }
+}
+
+/// Identifier of a point-to-point FIFO channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChannelId(pub usize);
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
+/// Static parameters of a FIFO channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelSpec {
+    /// Buffer capacity in bytes (a full FIFO blocks the sender).
+    pub capacity_bytes: usize,
+    /// Channel word width in bytes (a 32-bit FPGA FIFO moves 4 B/cycle).
+    pub word_bytes: u32,
+    /// Cycles for one word to traverse the channel.
+    pub cycles_per_word: u64,
+    /// Fixed cycles of sender-side occupancy per message (handshake,
+    /// header emission).
+    pub send_overhead_cycles: u64,
+    /// Fixed cycles of receiver-side occupancy per message (header
+    /// parse, pointer update).
+    pub recv_overhead_cycles: u64,
+}
+
+impl Default for ChannelSpec {
+    fn default() -> Self {
+        // A 32-bit FIFO moving one word per cycle with 2-cycle framing at
+        // each end — typical of the System-Generator-era FIFO cores.
+        ChannelSpec {
+            capacity_bytes: 4096,
+            word_bytes: 4,
+            cycles_per_word: 1,
+            send_overhead_cycles: 2,
+            recv_overhead_cycles: 2,
+        }
+    }
+}
+
+impl ChannelSpec {
+    /// Cycles to push `bytes` of payload through the channel wire.
+    pub fn wire_cycles(&self, bytes: usize) -> u64 {
+        let words = (bytes as u64).div_ceil(u64::from(self.word_bytes.max(1)));
+        words * self.cycles_per_word
+    }
+}
+
+/// Mutable per-PE state visible to program closures.
+///
+/// `store` is the PE's local memory (keyed scratch space shared by all
+/// ops of the PE); `inbox` receives payloads in arrival order, tagged by
+/// channel.
+#[derive(Debug, Default)]
+pub struct PeLocal {
+    /// Current iteration index (0-based).
+    pub iter: u64,
+    /// Payloads received and not yet consumed by compute closures.
+    pub inbox: VecDeque<(ChannelId, Vec<u8>)>,
+    /// Keyed local memory.
+    pub store: HashMap<String, Vec<u8>>,
+}
+
+impl PeLocal {
+    /// Pops the oldest pending payload from `channel`.
+    ///
+    /// Compute closures use this to consume data received by earlier
+    /// `Recv` ops of the same program.
+    pub fn take_from(&mut self, channel: ChannelId) -> Option<Vec<u8>> {
+        let idx = self.inbox.iter().position(|(c, _)| *c == channel)?;
+        self.inbox.remove(idx).map(|(_, d)| d)
+    }
+}
+
+/// Closure computing a data-dependent cycle cost and performing the
+/// actual (functional) work of an operation.
+pub type ComputeFn = Box<dyn FnMut(&mut PeLocal) -> u64 + Send>;
+/// Closure producing the payload for a send.
+pub type PayloadFn = Box<dyn FnMut(&mut PeLocal) -> Vec<u8> + Send>;
+/// Closure computing an absolute target cycle for a timed wait.
+pub type WaitFn = Box<dyn FnMut(u64) -> u64 + Send>;
+
+/// One operation in a PE program.
+pub enum Op {
+    /// Run `work`, advancing the PE clock by the returned cycle count.
+    Compute {
+        /// Label for traces and profiling.
+        label: String,
+        /// The functional work + cost model.
+        work: ComputeFn,
+    },
+    /// Produce a payload and push it into `channel` (blocking while the
+    /// FIFO lacks space).
+    Send {
+        /// Destination channel.
+        channel: ChannelId,
+        /// Payload generator.
+        payload: PayloadFn,
+    },
+    /// Block until one message is available on `channel`, then deliver it
+    /// to the PE's inbox.
+    Recv {
+        /// Source channel.
+        channel: ChannelId,
+    },
+    /// Stall until the absolute cycle returned by `target(iter)` —
+    /// the primitive behind *fully-static* schedules, where a global
+    /// clock (not data arrival) releases each firing.
+    WaitUntil {
+        /// Computes the release cycle for the current iteration.
+        target: WaitFn,
+    },
+}
+
+impl fmt::Debug for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Compute { label, .. } => write!(f, "Compute({label})"),
+            Op::Send { channel, .. } => write!(f, "Send({channel})"),
+            Op::Recv { channel } => write!(f, "Recv({channel})"),
+            Op::WaitUntil { .. } => write!(f, "WaitUntil"),
+        }
+    }
+}
+
+/// A PE program: `prologue` executed once, then `ops` executed
+/// `iterations` times.
+#[derive(Debug, Default)]
+pub struct Program {
+    /// The looped operation sequence.
+    pub ops: Vec<Op>,
+    /// Number of loop iterations to run.
+    pub iterations: u64,
+    /// One-shot ops run before the loop (pipeline fills, credit grants,
+    /// delay-token priming).
+    pub prologue: Vec<Op>,
+    /// Compute-time scaling as a rational `num/den`: a software PE at a
+    /// third of the hardware clock uses `(3, 1)`; a double-speed
+    /// hardware block uses `(1, 2)`. Communication costs are unaffected
+    /// (the wires run at fabric speed). Zero components are treated as 1.
+    pub speed: (u64, u64),
+}
+
+impl Program {
+    /// Creates a program running `ops` for `iterations` iterations with
+    /// an empty prologue at nominal speed.
+    pub fn new(ops: Vec<Op>, iterations: u64) -> Self {
+        Program { ops, iterations, prologue: Vec::new(), speed: (1, 1) }
+    }
+
+    /// Scales every compute op's duration by `num/den` (heterogeneous
+    /// hardware/software platforms).
+    pub fn with_speed(mut self, num: u64, den: u64) -> Self {
+        self.speed = (num.max(1), den.max(1));
+        self
+    }
+
+}
+
+/// Per-channel traffic statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Messages delivered.
+    pub messages: u64,
+    /// Payload bytes delivered.
+    pub bytes: u64,
+    /// High-water mark of buffer occupancy in bytes (committed +
+    /// in-flight), the number an RTL FIFO would be sized to.
+    pub peak_bytes: u64,
+}
+
+/// Per-PE blocking statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeStats {
+    /// Cycles spent blocked waiting to send.
+    pub send_stall_cycles: u64,
+    /// Cycles spent blocked waiting to receive.
+    pub recv_stall_cycles: u64,
+    /// Cycles spent in compute ops.
+    pub busy_cycles: u64,
+    /// Cycles spent stalled on `WaitUntil` releases (fully-static mode).
+    pub wait_cycles: u64,
+    /// Cycle at which the PE finished its program.
+    pub finish_cycle: u64,
+}
+
+/// One recorded simulation event (tracing must be enabled via
+/// [`Machine::enable_trace`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulation cycle.
+    pub cycle: u64,
+    /// PE the event belongs to.
+    pub pe: PeId,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// Kinds of trace events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A compute op started; carries its label and duration.
+    Compute {
+        /// The op's label.
+        label: String,
+        /// Cycles it will occupy.
+        cycles: u64,
+    },
+    /// A message entered a channel.
+    Send {
+        /// Destination channel.
+        channel: ChannelId,
+        /// Payload bytes.
+        bytes: usize,
+    },
+    /// A message was taken from a channel.
+    Recv {
+        /// Source channel.
+        channel: ChannelId,
+        /// Payload bytes.
+        bytes: usize,
+    },
+}
+
+/// Result of a completed simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Cycle at which the last PE finished (makespan).
+    pub makespan_cycles: u64,
+    /// Per-PE statistics, indexed by `PeId`.
+    pub pe: Vec<PeStats>,
+    /// Per-channel statistics, indexed by `ChannelId`.
+    pub channels: Vec<ChannelStats>,
+    /// Final local state of each PE (for functional checks).
+    pub locals: Vec<PeLocalSnapshot>,
+    /// Recorded events, empty unless tracing was enabled.
+    pub trace: Vec<TraceEvent>,
+}
+
+impl SimReport {
+    /// Renders the trace as a per-PE activity listing — a textual Gantt
+    /// chart. Empty string when tracing was off.
+    pub fn render_gantt(&self) -> String {
+        let mut out = String::new();
+        for (i, _) in self.pe.iter().enumerate() {
+            let events: Vec<&TraceEvent> =
+                self.trace.iter().filter(|e| e.pe.0 == i).collect();
+            if events.is_empty() {
+                continue;
+            }
+            out.push_str(&format!("pe{i}:\n"));
+            for e in events {
+                match &e.kind {
+                    TraceKind::Compute { label, cycles } => out.push_str(&format!(
+                        "  [{:>8}..{:>8}] {}\n",
+                        e.cycle,
+                        e.cycle + cycles,
+                        label
+                    )),
+                    TraceKind::Send { channel, bytes } => out.push_str(&format!(
+                        "  [{:>8}] send {bytes} B -> {channel}\n",
+                        e.cycle
+                    )),
+                    TraceKind::Recv { channel, bytes } => out.push_str(&format!(
+                        "  [{:>8}] recv {bytes} B <- {channel}\n",
+                        e.cycle
+                    )),
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Snapshot of a PE's local memory after simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeLocalSnapshot {
+    /// The PE's keyed store.
+    pub store: HashMap<String, Vec<u8>>,
+    /// Unconsumed inbox payloads.
+    pub leftover_inbox: usize,
+}
+
+impl SimReport {
+    /// Converts the makespan to microseconds at `clock_mhz`.
+    pub fn makespan_us(&self, clock_mhz: f64) -> f64 {
+        self.makespan_cycles as f64 / clock_mhz
+    }
+
+    /// Total messages over all channels.
+    pub fn total_messages(&self) -> u64 {
+        self.channels.iter().map(|c| c.messages).sum()
+    }
+
+    /// Total payload bytes over all channels.
+    pub fn total_bytes(&self) -> u64 {
+        self.channels.iter().map(|c| c.bytes).sum()
+    }
+}
+
+/// Builder/owner of one simulated platform instance.
+///
+/// # Examples
+///
+/// A producer PE streams two words to a consumer PE:
+///
+/// ```
+/// use spi_platform::{Machine, ChannelSpec, Op, Program};
+///
+/// let mut m = Machine::new();
+/// let ch = m.add_channel(ChannelSpec::default());
+/// let producer = m.add_pe(Program::new(vec![
+///     Op::Send { channel: ch, payload: Box::new(|_| vec![1, 2, 3, 4]) },
+/// ], 2));
+/// let _consumer = m.add_pe(Program::new(vec![
+///     Op::Recv { channel: ch },
+/// ], 2));
+/// let report = m.run()?;
+/// assert_eq!(report.channels[ch.0].messages, 2);
+/// assert!(report.makespan_cycles > 0);
+/// # let _ = producer;
+/// # Ok::<(), spi_platform::PlatformError>(())
+/// ```
+pub struct Machine {
+    channels: Vec<ChannelSpec>,
+    programs: Vec<Program>,
+    budget_cycles: u64,
+    trace: bool,
+    bus: Option<BusSpec>,
+    ordered_bus: Option<OrderedBusSpec>,
+}
+
+/// A shared interconnect: every channel transfer serializes through one
+/// bus. Models bus-based MPSoC fabrics for the point-to-point-vs-bus
+/// ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusSpec {
+    /// Arbitration cycles charged per transfer.
+    pub arbitration_cycles: u64,
+}
+
+/// An *ordered-transactions* interconnect (Sriram): bus grants follow a
+/// compile-time cyclic order of channels, so no run-time arbitration is
+/// needed — a transfer whose channel is next in the order proceeds with
+/// only `slot_overhead_cycles`; one out of turn waits for its slot.
+/// Channels absent from the order (and sends issued from a PE's
+/// prologue) bypass the ordering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderedBusSpec {
+    /// The cyclic grant order, one entry per steady-state send per
+    /// iteration (a channel may appear multiple times).
+    pub order: Vec<ChannelId>,
+    /// Cycles per granted slot (address strobe etc.), typically smaller
+    /// than an arbitrated bus's `arbitration_cycles`.
+    pub slot_overhead_cycles: u64,
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        Machine::new()
+    }
+}
+
+impl Machine {
+    /// Creates an empty machine with a generous default cycle budget.
+    pub fn new() -> Self {
+        Machine {
+            channels: Vec::new(),
+            programs: Vec::new(),
+            budget_cycles: u64::MAX / 4,
+            trace: false,
+            bus: None,
+            ordered_bus: None,
+        }
+    }
+
+    /// Records a [`TraceEvent`] log during the run (off by default —
+    /// traces of long simulations are large).
+    pub fn enable_trace(&mut self) {
+        self.trace = true;
+    }
+
+    /// Routes every transfer through a shared bus with the given
+    /// arbitration cost instead of dedicated point-to-point wires.
+    pub fn set_shared_bus(&mut self, bus: BusSpec) {
+        self.bus = Some(bus);
+        self.ordered_bus = None;
+    }
+
+    /// Routes transfers through an ordered-transactions bus: grants
+    /// follow the compile-time `spec.order` cyclically, eliminating
+    /// arbitration.
+    pub fn set_ordered_bus(&mut self, spec: OrderedBusSpec) {
+        self.ordered_bus = Some(spec);
+        self.bus = None;
+    }
+
+    /// Adds a channel; returns its id.
+    pub fn add_channel(&mut self, spec: ChannelSpec) -> ChannelId {
+        self.channels.push(spec);
+        ChannelId(self.channels.len() - 1)
+    }
+
+    /// Adds a PE running `program`; returns its id.
+    pub fn add_pe(&mut self, program: Program) -> PeId {
+        self.programs.push(program);
+        PeId(self.programs.len() - 1)
+    }
+
+    /// Caps simulated time; exceeding it aborts with
+    /// [`PlatformError::BudgetExceeded`].
+    pub fn set_budget_cycles(&mut self, budget: u64) {
+        self.budget_cycles = budget;
+    }
+
+    /// Decomposes the machine into its channel specs and PE programs —
+    /// the inputs [`crate::run_threaded`] needs to execute the same
+    /// system on OS threads.
+    pub fn into_parts(self) -> (Vec<ChannelSpec>, Vec<Program>) {
+        (self.channels, self.programs)
+    }
+
+    /// Runs the simulation to completion.
+    ///
+    /// # Errors
+    ///
+    /// * [`PlatformError::ZeroCapacity`] for an unusable channel;
+    /// * [`PlatformError::MessageExceedsCapacity`] if a payload can never
+    ///   fit its channel;
+    /// * [`PlatformError::Deadlock`] if PEs block each other forever;
+    /// * [`PlatformError::BudgetExceeded`] if the cycle budget runs out.
+    pub fn run(self) -> Result<SimReport> {
+        Engine::new(self)?.run()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine internals
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PeState {
+    Ready,
+    BlockedSend(ChannelId),
+    BlockedRecv(ChannelId),
+    /// Waiting for the ordered bus to reach this channel's slot.
+    BlockedBus(ChannelId),
+    Done,
+}
+
+struct ChannelState {
+    spec: ChannelSpec,
+    /// Bytes committed (sent or in flight) and not yet consumed.
+    used_bytes: usize,
+    /// Messages in flight: (arrival_cycle, payload).
+    in_flight: VecDeque<(u64, Vec<u8>)>,
+    /// Messages arrived and waiting for a receiver.
+    available: VecDeque<Vec<u8>>,
+    stats: ChannelStats,
+}
+
+struct PeRuntime {
+    program: Program,
+    pc: usize,
+    in_prologue: bool,
+    iter: u64,
+    state: PeState,
+    local: PeLocal,
+    stats: PeStats,
+    /// Cycle at which the current blocking started (for stall stats).
+    blocked_since: u64,
+    /// Pending payload for a blocked send.
+    pending_send: Option<Vec<u8>>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    PeReady(PeId),
+    Arrival(ChannelId),
+}
+
+struct Engine {
+    now: u64,
+    seq: u64,
+    queue: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    // Parallel array decoding events: (time, seq) → event payload.
+    payloads: HashMap<(u64, u64), Event>,
+    pes: Vec<PeRuntime>,
+    channels: Vec<ChannelState>,
+    budget: u64,
+    /// Fatal condition detected inside the event loop.
+    fault: Option<PlatformError>,
+    trace_on: bool,
+    trace: Vec<TraceEvent>,
+    bus: Option<BusSpec>,
+    ordered_bus: Option<OrderedBusSpec>,
+    /// Position in the ordered-bus grant sequence.
+    grant_idx: usize,
+    /// Cycle at which the shared bus frees up (bus modes only).
+    bus_free: u64,
+}
+
+impl Engine {
+    fn new(m: Machine) -> Result<Self> {
+        for (i, c) in m.channels.iter().enumerate() {
+            if c.capacity_bytes == 0 {
+                return Err(PlatformError::ZeroCapacity { channel: ChannelId(i) });
+            }
+        }
+        let channels = m
+            .channels
+            .into_iter()
+            .map(|spec| ChannelState {
+                spec,
+                used_bytes: 0,
+                in_flight: VecDeque::new(),
+                available: VecDeque::new(),
+                stats: ChannelStats::default(),
+            })
+            .collect();
+        let pes = m
+            .programs
+            .into_iter()
+            .map(|program| PeRuntime {
+                in_prologue: !program.prologue.is_empty(),
+                program,
+                pc: 0,
+                iter: 0,
+                state: PeState::Ready,
+                local: PeLocal::default(),
+                stats: PeStats::default(),
+                blocked_since: 0,
+                pending_send: None,
+            })
+            .collect();
+        Ok(Engine {
+            now: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            payloads: HashMap::new(),
+            pes,
+            channels,
+            budget: m.budget_cycles,
+            fault: None,
+            trace_on: m.trace,
+            trace: Vec::new(),
+            bus: m.bus,
+            ordered_bus: m.ordered_bus,
+            grant_idx: 0,
+            bus_free: 0,
+        })
+    }
+
+    fn schedule(&mut self, time: u64, ev: Event) {
+        let key = (time, self.seq);
+        self.queue.push(Reverse((time, self.seq, 0)));
+        self.payloads.insert(key, ev);
+        self.seq += 1;
+    }
+
+    fn run(mut self) -> Result<SimReport> {
+        for i in 0..self.pes.len() {
+            self.schedule(0, Event::PeReady(PeId(i)));
+        }
+        while let Some(Reverse((time, seq, _))) = self.queue.pop() {
+            if time > self.budget {
+                return Err(PlatformError::BudgetExceeded { budget_cycles: self.budget });
+            }
+            self.now = time;
+            let ev = self.payloads.remove(&(time, seq)).expect("event payload");
+            match ev {
+                Event::PeReady(p) => self.step_pe(p),
+                Event::Arrival(ch) => self.handle_arrival(ch),
+            }
+            if let Some(fault) = self.fault.take() {
+                return Err(fault);
+            }
+        }
+
+        let blocked: Vec<PeId> = self
+            .pes
+            .iter()
+            .enumerate()
+            .filter(|(_, pe)| pe.state != PeState::Done)
+            .map(|(i, _)| PeId(i))
+            .collect();
+        if !blocked.is_empty() {
+            return Err(PlatformError::Deadlock { blocked });
+        }
+
+        Ok(SimReport {
+            makespan_cycles: self.pes.iter().map(|p| p.stats.finish_cycle).max().unwrap_or(0),
+            pe: self.pes.iter().map(|p| p.stats).collect(),
+            channels: self.channels.iter().map(|c| c.stats).collect(),
+            locals: self
+                .pes
+                .into_iter()
+                .map(|p| PeLocalSnapshot {
+                    store: p.local.store,
+                    leftover_inbox: p.local.inbox.len(),
+                })
+                .collect(),
+            trace: self.trace,
+        })
+    }
+
+    fn handle_arrival(&mut self, ch: ChannelId) {
+        let c = &mut self.channels[ch.0];
+        while let Some(&(arrival, _)) = c.in_flight.front() {
+            if arrival <= self.now {
+                let (_, data) = c.in_flight.pop_front().expect("front exists");
+                c.stats.messages += 1;
+                c.stats.bytes += data.len() as u64;
+                c.available.push_back(data);
+            } else {
+                break;
+            }
+        }
+        // Wake any PE blocked receiving on this channel.
+        let waiters: Vec<usize> = self
+            .pes
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.state == PeState::BlockedRecv(ch))
+            .map(|(i, _)| i)
+            .collect();
+        for i in waiters {
+            self.pes[i].state = PeState::Ready;
+            self.pes[i].stats.recv_stall_cycles += self.now - self.pes[i].blocked_since;
+            self.step_pe(PeId(i));
+        }
+    }
+
+    /// Advances one PE until it blocks, finishes, or schedules a timed
+    /// resume.
+    fn step_pe(&mut self, id: PeId) {
+        loop {
+            let pe = &mut self.pes[id.0];
+            if !pe.in_prologue
+                && (pe.iter >= pe.program.iterations || pe.program.ops.is_empty())
+            {
+                pe.state = PeState::Done;
+                pe.stats.finish_cycle = pe.stats.finish_cycle.max(self.now);
+                return;
+            }
+            let pc = pe.pc;
+            let op = if pe.in_prologue {
+                &mut pe.program.prologue[pc]
+            } else {
+                &mut pe.program.ops[pc]
+            };
+            match op {
+                Op::Compute { label, work } => {
+                    pe.local.iter = pe.iter;
+                    let speed = pe.program.speed;
+                    let raw = work(&mut pe.local);
+                    let cycles = (raw * speed.0.max(1)).div_ceil(speed.1.max(1));
+                    pe.stats.busy_cycles += cycles;
+                    pe.state = PeState::Ready;
+                    if self.trace_on {
+                        let label = label.clone();
+                        self.trace.push(TraceEvent {
+                            cycle: self.now,
+                            pe: id,
+                            kind: TraceKind::Compute { label, cycles },
+                        });
+                    }
+                    self.advance_pc(id.0);
+                    if cycles > 0 {
+                        let resume = self.now + cycles;
+                        self.pes[id.0].stats.finish_cycle = resume;
+                        self.schedule(resume, Event::PeReady(id));
+                        return;
+                    }
+                }
+                Op::Send { channel, payload } => {
+                    let ch = *channel;
+                    // Produce the payload once, retry delivery as needed.
+                    if pe.pending_send.is_none() {
+                        pe.local.iter = pe.iter;
+                        pe.pending_send = Some(payload(&mut pe.local));
+                    }
+                    let data_len = pe.pending_send.as_ref().expect("just set").len();
+                    let in_prologue = pe.in_prologue;
+                    let spec = self.channels[ch.0].spec;
+                    if data_len > spec.capacity_bytes {
+                        // Payload sizes are dynamic, so this can only be
+                        // checked at send time. Abort the whole run.
+                        pe.state = PeState::BlockedSend(ch);
+                        pe.blocked_since = self.now;
+                        self.fault = Some(PlatformError::MessageExceedsCapacity {
+                            channel: ch,
+                            bytes: data_len,
+                            capacity: spec.capacity_bytes,
+                        });
+                        return;
+                    }
+                    // Ordered-transactions bus: out-of-turn steady-state
+                    // sends wait for their slot (prologue sends and
+                    // channels outside the order bypass).
+                    if let Some(ob) = &self.ordered_bus {
+                        let gated = !in_prologue
+                            && !ob.order.is_empty()
+                            && ob.order.contains(&ch);
+                        if gated && ob.order[self.grant_idx % ob.order.len()] != ch {
+                            let pe = &mut self.pes[id.0];
+                            pe.state = PeState::BlockedBus(ch);
+                            pe.blocked_since = self.now;
+                            return;
+                        }
+                    }
+                    if self.channels[ch.0].used_bytes + data_len <= spec.capacity_bytes {
+                        let data = self.pes[id.0].pending_send.take().expect("pending");
+                        let send_busy = spec.send_overhead_cycles;
+                        let wire = spec.wire_cycles(data.len());
+                        let mut advanced_order = false;
+                        let arrival = match (&self.bus, &self.ordered_bus) {
+                            (None, None) => self.now + send_busy + wire,
+                            (Some(bus), _) => {
+                                // Shared bus: the transfer occupies the
+                                // single interconnect after arbitration.
+                                let grant = self
+                                    .bus_free
+                                    .max(self.now + send_busy)
+                                    + bus.arbitration_cycles;
+                                self.bus_free = grant + wire;
+                                self.bus_free
+                            }
+                            (None, Some(ob)) => {
+                                let gated = !in_prologue
+                                    && !ob.order.is_empty()
+                                    && ob.order.contains(&ch);
+                                let slot = ob.slot_overhead_cycles;
+                                if gated {
+                                    advanced_order = true;
+                                    let grant =
+                                        self.bus_free.max(self.now + send_busy) + slot;
+                                    self.bus_free = grant + wire;
+                                    self.bus_free
+                                } else {
+                                    self.now + send_busy + wire
+                                }
+                            }
+                        };
+                        if advanced_order {
+                            self.grant_idx += 1;
+                        }
+                        if self.trace_on {
+                            self.trace.push(TraceEvent {
+                                cycle: self.now,
+                                pe: id,
+                                kind: TraceKind::Send { channel: ch, bytes: data.len() },
+                            });
+                        }
+                        let c = &mut self.channels[ch.0];
+                        c.used_bytes += data.len();
+                        c.stats.peak_bytes = c.stats.peak_bytes.max(c.used_bytes as u64);
+                        c.in_flight.push_back((arrival, data));
+                        self.schedule(arrival, Event::Arrival(ch));
+                        self.advance_pc(id.0);
+                        let pe = &mut self.pes[id.0];
+                        pe.state = PeState::Ready;
+                        if advanced_order {
+                            self.wake_bus_waiters();
+                        }
+                        if send_busy > 0 {
+                            let resume = self.now + send_busy;
+                            self.pes[id.0].stats.finish_cycle = resume;
+                            self.schedule(resume, Event::PeReady(id));
+                            return;
+                        }
+                    } else {
+                        pe.state = PeState::BlockedSend(ch);
+                        pe.blocked_since = self.now;
+                        return;
+                    }
+                }
+                Op::WaitUntil { target } => {
+                    let release = target(pe.iter);
+                    self.advance_pc(id.0);
+                    if release > self.now {
+                        let pe = &mut self.pes[id.0];
+                        pe.stats.wait_cycles += release - self.now;
+                        pe.state = PeState::Ready;
+                        pe.stats.finish_cycle = pe.stats.finish_cycle.max(release);
+                        self.schedule(release, Event::PeReady(id));
+                        return;
+                    }
+                }
+                Op::Recv { channel } => {
+                    let ch = *channel;
+                    if let Some(data) = self.channels[ch.0].available.pop_front() {
+                        let spec = self.channels[ch.0].spec;
+                        self.channels[ch.0].used_bytes -= data.len();
+                        if self.trace_on {
+                            self.trace.push(TraceEvent {
+                                cycle: self.now,
+                                pe: id,
+                                kind: TraceKind::Recv { channel: ch, bytes: data.len() },
+                            });
+                        }
+                        let pe = &mut self.pes[id.0];
+                        pe.local.inbox.push_back((ch, data));
+                        pe.state = PeState::Ready;
+                        self.advance_pc(id.0);
+                        // Freed space: wake blocked senders on this channel.
+                        self.wake_senders(ch);
+                        let recv_busy = spec.recv_overhead_cycles;
+                        if recv_busy > 0 {
+                            let resume = self.now + recv_busy;
+                            self.pes[id.0].stats.finish_cycle = resume;
+                            self.schedule(resume, Event::PeReady(id));
+                            return;
+                        }
+                    } else {
+                        pe.state = PeState::BlockedRecv(ch);
+                        pe.blocked_since = self.now;
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    fn advance_pc(&mut self, i: usize) {
+        let pe = &mut self.pes[i];
+        pe.pc += 1;
+        if pe.in_prologue {
+            if pe.pc >= pe.program.prologue.len() {
+                pe.in_prologue = false;
+                pe.pc = 0;
+            }
+        } else if pe.pc >= pe.program.ops.len() {
+            pe.pc = 0;
+            pe.iter += 1;
+        }
+    }
+
+    /// Re-steps PEs waiting for their ordered-bus slot; the one whose
+    /// channel matches the new grant position proceeds.
+    fn wake_bus_waiters(&mut self) {
+        let waiters: Vec<usize> = self
+            .pes
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| matches!(p.state, PeState::BlockedBus(_)))
+            .map(|(i, _)| i)
+            .collect();
+        for i in waiters {
+            self.pes[i].state = PeState::Ready;
+            self.pes[i].stats.send_stall_cycles +=
+                self.now - self.pes[i].blocked_since;
+            self.step_pe(PeId(i));
+        }
+    }
+
+    fn wake_senders(&mut self, ch: ChannelId) {
+        let waiters: Vec<usize> = self
+            .pes
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.state == PeState::BlockedSend(ch))
+            .map(|(i, _)| i)
+            .collect();
+        for i in waiters {
+            self.pes[i].state = PeState::Ready;
+            self.pes[i].stats.send_stall_cycles += self.now - self.pes[i].blocked_since;
+            self.step_pe(PeId(i));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tight_channel() -> ChannelSpec {
+        ChannelSpec {
+            capacity_bytes: 8,
+            word_bytes: 4,
+            cycles_per_word: 1,
+            send_overhead_cycles: 1,
+            recv_overhead_cycles: 1,
+        }
+    }
+
+    #[test]
+    fn single_pe_compute_accumulates_time() {
+        let mut m = Machine::new();
+        m.add_pe(Program::new(
+            vec![Op::Compute { label: "work".into(), work: Box::new(|_| 25) }],
+            4,
+        ));
+        let report = m.run().unwrap();
+        assert_eq!(report.makespan_cycles, 100);
+        assert_eq!(report.pe[0].busy_cycles, 100);
+    }
+
+    #[test]
+    fn producer_consumer_delivers_payloads() {
+        let mut m = Machine::new();
+        let ch = m.add_channel(ChannelSpec::default());
+        m.add_pe(Program::new(
+            vec![Op::Send {
+                channel: ch,
+                payload: Box::new(|l| vec![l.iter as u8; 4]),
+            }],
+            3,
+        ));
+        m.add_pe(Program::new(
+            vec![
+                Op::Recv { channel: ch },
+                Op::Compute {
+                    label: "check".into(),
+                    work: Box::new(move |l| {
+                        let data = l.take_from(ChannelId(0)).expect("payload");
+                        let key = format!("got{}", l.iter);
+                        l.store.insert(key, data);
+                        1
+                    }),
+                },
+            ],
+            3,
+        ));
+        let report = m.run().unwrap();
+        assert_eq!(report.channels[0].messages, 3);
+        assert_eq!(report.channels[0].bytes, 12);
+        let store = &report.locals[1].store;
+        assert_eq!(store["got0"], vec![0, 0, 0, 0]);
+        assert_eq!(store["got2"], vec![2, 2, 2, 2]);
+        assert_eq!(report.locals[1].leftover_inbox, 0);
+    }
+
+    #[test]
+    fn full_fifo_blocks_sender() {
+        let mut m = Machine::new();
+        let ch = m.add_channel(tight_channel()); // 8 B capacity
+        // Sender pushes 8 B messages back-to-back; receiver consumes
+        // slowly (100-cycle compute between receives).
+        m.add_pe(Program::new(
+            vec![Op::Send { channel: ch, payload: Box::new(|_| vec![0u8; 8]) }],
+            4,
+        ));
+        m.add_pe(Program::new(
+            vec![
+                Op::Recv { channel: ch },
+                Op::Compute { label: "slow".into(), work: Box::new(|_| 100) },
+            ],
+            4,
+        ));
+        let report = m.run().unwrap();
+        assert!(report.pe[0].send_stall_cycles > 0, "sender must have stalled");
+        assert_eq!(report.channels[0].messages, 4);
+    }
+
+    #[test]
+    fn empty_fifo_blocks_receiver() {
+        let mut m = Machine::new();
+        let ch = m.add_channel(ChannelSpec::default());
+        m.add_pe(Program::new(
+            vec![
+                Op::Compute { label: "slow-src".into(), work: Box::new(|_| 500) },
+                Op::Send { channel: ch, payload: Box::new(|_| vec![1, 2, 3, 4]) },
+            ],
+            1,
+        ));
+        m.add_pe(Program::new(vec![Op::Recv { channel: ch }], 1));
+        let report = m.run().unwrap();
+        assert!(report.pe[1].recv_stall_cycles >= 500);
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        // Two PEs each receive before sending → classic deadlock.
+        let mut m = Machine::new();
+        let ab = m.add_channel(ChannelSpec::default());
+        let ba = m.add_channel(ChannelSpec::default());
+        m.add_pe(Program::new(
+            vec![
+                Op::Recv { channel: ba },
+                Op::Send { channel: ab, payload: Box::new(|_| vec![0; 4]) },
+            ],
+            1,
+        ));
+        m.add_pe(Program::new(
+            vec![
+                Op::Recv { channel: ab },
+                Op::Send { channel: ba, payload: Box::new(|_| vec![0; 4]) },
+            ],
+            1,
+        ));
+        match m.run() {
+            Err(PlatformError::Deadlock { blocked }) => assert_eq!(blocked.len(), 2),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_capacity_rejected() {
+        let mut m = Machine::new();
+        let bad = ChannelSpec { capacity_bytes: 0, ..ChannelSpec::default() };
+        m.add_channel(bad);
+        assert!(matches!(m.run(), Err(PlatformError::ZeroCapacity { .. })));
+    }
+
+    #[test]
+    fn wire_latency_scales_with_message_size() {
+        let spec = ChannelSpec::default(); // 4 B words, 1 cycle/word
+        assert_eq!(spec.wire_cycles(4), 1);
+        assert_eq!(spec.wire_cycles(5), 2);
+        assert_eq!(spec.wire_cycles(400), 100);
+        assert_eq!(spec.wire_cycles(0), 0);
+    }
+
+    #[test]
+    fn makespan_in_microseconds() {
+        let mut m = Machine::new();
+        m.add_pe(Program::new(
+            vec![Op::Compute { label: "w".into(), work: Box::new(|_| 100) }],
+            1,
+        ));
+        let report = m.run().unwrap();
+        let us = report.makespan_us(100.0); // 100 MHz → 1 µs per 100 cycles
+        assert!((us - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_exceeded_detected() {
+        let mut m = Machine::new();
+        m.add_pe(Program::new(
+            vec![Op::Compute { label: "w".into(), work: Box::new(|_| 1000) }],
+            10,
+        ));
+        m.set_budget_cycles(500);
+        assert!(matches!(m.run(), Err(PlatformError::BudgetExceeded { .. })));
+    }
+
+    #[test]
+    fn two_hop_pipeline_composes() {
+        let mut m = Machine::new();
+        let c1 = m.add_channel(ChannelSpec::default());
+        let c2 = m.add_channel(ChannelSpec::default());
+        m.add_pe(Program::new(
+            vec![Op::Send { channel: c1, payload: Box::new(|l| vec![l.iter as u8]) }],
+            5,
+        ));
+        m.add_pe(Program::new(
+            vec![
+                Op::Recv { channel: c1 },
+                Op::Compute {
+                    label: "double".into(),
+                    work: Box::new(move |l| {
+                        let v = l.take_from(ChannelId(0)).expect("data");
+                        l.store.insert("fwd".into(), vec![v[0] * 2]);
+                        5
+                    }),
+                },
+                Op::Send {
+                    channel: c2,
+                    payload: Box::new(|l| l.store.get("fwd").cloned().expect("set")),
+                },
+            ],
+            5,
+        ));
+        m.add_pe(Program::new(
+            vec![
+                Op::Recv { channel: c2 },
+                Op::Compute {
+                    label: "sink".into(),
+                    work: Box::new(move |l| {
+                        let v = l.take_from(ChannelId(1)).expect("data");
+                        let mut acc = l.store.remove("acc").unwrap_or_default();
+                        acc.push(v[0]);
+                        l.store.insert("acc".into(), acc);
+                        1
+                    }),
+                },
+            ],
+            5,
+        ));
+        let report = m.run().unwrap();
+        assert_eq!(report.locals[2].store["acc"], vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn speed_scaling_slows_software_pes() {
+        let mut m = Machine::new();
+        m.add_pe(Program::new(
+            vec![Op::Compute { label: "hw".into(), work: Box::new(|_| 100) }],
+            4,
+        ));
+        m.add_pe(
+            Program::new(
+                vec![Op::Compute { label: "sw".into(), work: Box::new(|_| 100) }],
+                4,
+            )
+            .with_speed(3, 1),
+        );
+        let report = m.run().unwrap();
+        assert_eq!(report.pe[0].busy_cycles, 400);
+        assert_eq!(report.pe[1].busy_cycles, 1200, "software PE runs 3× slower");
+        assert_eq!(report.makespan_cycles, 1200);
+    }
+
+    #[test]
+    fn speed_scaling_can_also_accelerate() {
+        let mut m = Machine::new();
+        m.add_pe(
+            Program::new(
+                vec![Op::Compute { label: "fast".into(), work: Box::new(|_| 99) }],
+                1,
+            )
+            .with_speed(1, 2),
+        );
+        let report = m.run().unwrap();
+        assert_eq!(report.pe[0].busy_cycles, 50, "ceil(99/2)");
+    }
+
+    #[test]
+    fn engine_is_deterministic() {
+        let build = || {
+            let mut m = Machine::new();
+            let c1 = m.add_channel(ChannelSpec::default());
+            let c2 = m.add_channel(tight_channel());
+            m.add_pe(Program::new(
+                vec![
+                    Op::Compute { label: "w".into(), work: Box::new(|l| 3 + l.iter % 7) },
+                    Op::Send { channel: c1, payload: Box::new(|l| vec![l.iter as u8; 8]) },
+                ],
+                20,
+            ));
+            m.add_pe(Program::new(
+                vec![
+                    Op::Recv { channel: c1 },
+                    Op::Send { channel: c2, payload: Box::new(|_| vec![9; 4]) },
+                ],
+                20,
+            ));
+            m.add_pe(Program::new(vec![Op::Recv { channel: c2 }], 20));
+            m
+        };
+        let a = build().run().unwrap();
+        let b = build().run().unwrap();
+        assert_eq!(a.makespan_cycles, b.makespan_cycles);
+        assert_eq!(a.pe, b.pe);
+        assert_eq!(a.channels, b.channels);
+    }
+
+    #[test]
+    fn trace_records_compute_send_recv() {
+        let mut m = Machine::new();
+        m.enable_trace();
+        let ch = m.add_channel(ChannelSpec::default());
+        m.add_pe(Program::new(
+            vec![
+                Op::Compute { label: "produce".into(), work: Box::new(|_| 5) },
+                Op::Send { channel: ch, payload: Box::new(|_| vec![0; 8]) },
+            ],
+            2,
+        ));
+        m.add_pe(Program::new(vec![Op::Recv { channel: ch }], 2));
+        let report = m.run().unwrap();
+        let computes = report
+            .trace
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::Compute { .. }))
+            .count();
+        let sends = report
+            .trace
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::Send { .. }))
+            .count();
+        let recvs = report
+            .trace
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::Recv { .. }))
+            .count();
+        assert_eq!((computes, sends, recvs), (2, 2, 2));
+        let gantt = report.render_gantt();
+        assert!(gantt.contains("pe0:"));
+        assert!(gantt.contains("produce"));
+        assert!(gantt.contains("send 8 B"));
+    }
+
+    #[test]
+    fn trace_off_by_default() {
+        let mut m = Machine::new();
+        m.add_pe(Program::new(
+            vec![Op::Compute { label: "w".into(), work: Box::new(|_| 1) }],
+            3,
+        ));
+        let report = m.run().unwrap();
+        assert!(report.trace.is_empty());
+        assert!(report.render_gantt().is_empty());
+    }
+
+    #[test]
+    fn peak_bytes_tracks_high_water_mark() {
+        let mut m = Machine::new();
+        let ch = m.add_channel(ChannelSpec::default());
+        // Producer bursts 3 × 16 B before the consumer wakes up.
+        m.add_pe(Program::new(
+            vec![Op::Send { channel: ch, payload: Box::new(|_| vec![0; 16]) }],
+            3,
+        ));
+        m.add_pe(Program::new(
+            vec![
+                Op::Compute { label: "late".into(), work: Box::new(|_| 1000) },
+                Op::Recv { channel: ch },
+            ],
+            3,
+        ));
+        let report = m.run().unwrap();
+        assert_eq!(report.channels[0].peak_bytes, 48);
+    }
+
+    #[test]
+    fn shared_bus_serializes_transfers() {
+        // Two disjoint producer→consumer pairs: point-to-point they run
+        // fully parallel; on a shared bus the wire times serialize.
+        let run = |bus: Option<BusSpec>| {
+            let mut m = Machine::new();
+            if let Some(b) = bus {
+                m.set_shared_bus(b);
+            }
+            for _ in 0..2 {
+                let ch = m.add_channel(ChannelSpec::default());
+                m.add_pe(Program::new(
+                    vec![Op::Send { channel: ch, payload: Box::new(|_| vec![0; 4000]) }],
+                    4,
+                ));
+                m.add_pe(Program::new(vec![Op::Recv { channel: ch }], 4));
+            }
+            m.run().unwrap().makespan_cycles
+        };
+        let p2p = run(None);
+        let bus = run(Some(BusSpec { arbitration_cycles: 4 }));
+        assert!(
+            bus > p2p + 500,
+            "bus contention must slow disjoint streams: p2p={p2p} bus={bus}"
+        );
+    }
+
+    #[test]
+    fn ordered_bus_enforces_grant_order() {
+        // Two producers; the order says ch1 goes first each round. PE0
+        // (ch0) is ready immediately but must wait for PE1's send.
+        let mut m = Machine::new();
+        let ch0 = m.add_channel(ChannelSpec::default());
+        let ch1 = m.add_channel(ChannelSpec::default());
+        m.set_ordered_bus(OrderedBusSpec {
+            order: vec![ch1, ch0],
+            slot_overhead_cycles: 1,
+        });
+        m.add_pe(Program::new(
+            vec![Op::Send { channel: ch0, payload: Box::new(|_| vec![0; 4]) }],
+            3,
+        ));
+        m.add_pe(Program::new(
+            vec![
+                Op::Compute { label: "slow".into(), work: Box::new(|_| 200) },
+                Op::Send { channel: ch1, payload: Box::new(|_| vec![0; 4]) },
+            ],
+            3,
+        ));
+        m.add_pe(Program::new(vec![Op::Recv { channel: ch0 }], 3));
+        m.add_pe(Program::new(vec![Op::Recv { channel: ch1 }], 3));
+        let report = m.run().unwrap();
+        // PE0 stalls waiting for its slots behind PE1's slow compute.
+        assert!(report.pe[0].send_stall_cycles >= 200);
+        assert_eq!(report.channels[0].messages, 3);
+        assert_eq!(report.channels[1].messages, 3);
+    }
+
+    #[test]
+    fn ordered_bus_bypasses_unlisted_channels() {
+        let mut m = Machine::new();
+        let listed = m.add_channel(ChannelSpec::default());
+        let unlisted = m.add_channel(ChannelSpec::default());
+        m.set_ordered_bus(OrderedBusSpec {
+            order: vec![listed],
+            slot_overhead_cycles: 1,
+        });
+        m.add_pe(Program::new(
+            vec![
+                Op::Send { channel: unlisted, payload: Box::new(|_| vec![0; 4]) },
+                Op::Send { channel: listed, payload: Box::new(|_| vec![0; 4]) },
+            ],
+            2,
+        ));
+        m.add_pe(Program::new(
+            vec![Op::Recv { channel: unlisted }, Op::Recv { channel: listed }],
+            2,
+        ));
+        let report = m.run().unwrap();
+        assert_eq!(report.total_messages(), 4);
+    }
+
+    #[test]
+    fn stats_account_busy_and_stall_separately() {
+        let mut m = Machine::new();
+        let ch = m.add_channel(ChannelSpec::default());
+        m.add_pe(Program::new(
+            vec![
+                Op::Compute { label: "w".into(), work: Box::new(|_| 10) },
+                Op::Send { channel: ch, payload: Box::new(|_| vec![0; 4]) },
+            ],
+            2,
+        ));
+        m.add_pe(Program::new(vec![Op::Recv { channel: ch }], 2));
+        let report = m.run().unwrap();
+        assert_eq!(report.pe[0].busy_cycles, 20);
+        assert!(report.pe[1].recv_stall_cycles >= 10);
+    }
+}

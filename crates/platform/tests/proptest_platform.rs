@@ -1,0 +1,94 @@
+//! Property-based tests of the discrete-event engine.
+
+use proptest::prelude::*;
+
+use spi_platform::{ChannelId, ChannelSpec, Machine, Op, Program};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_sent_message_is_delivered_in_order(
+        sizes in prop::collection::vec(1usize..64, 1..20),
+        cap in 128usize..1024,
+        consumer_cost in 0u64..50,
+    ) {
+        let mut m = Machine::new();
+        let ch = m.add_channel(ChannelSpec {
+            capacity_bytes: cap,
+            ..ChannelSpec::default()
+        });
+        let sizes_p = sizes.clone();
+        let n = sizes.len() as u64;
+        m.add_pe(Program::new(
+            vec![Op::Send {
+                channel: ch,
+                payload: Box::new(move |l| {
+                    let sz = sizes_p[l.iter as usize];
+                    vec![(l.iter % 251) as u8; sz]
+                }),
+            }],
+            n,
+        ));
+        m.add_pe(Program::new(
+            vec![
+                Op::Recv { channel: ch },
+                Op::Compute {
+                    label: "check".into(),
+                    work: Box::new(move |l| {
+                        let msg = l.take_from(ChannelId(0)).expect("delivered");
+                        let mut seq = l.store.remove("seq").unwrap_or_default();
+                        seq.push(msg[0]);
+                        l.store.insert("seq".into(), seq);
+                        consumer_cost
+                    }),
+                },
+            ],
+            n,
+        ));
+        let report = m.run().expect("live pipeline");
+        prop_assert_eq!(report.channels[0].messages, n);
+        let expected: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
+        prop_assert_eq!(&report.locals[1].store["seq"], &expected);
+        // Byte accounting matches the payloads.
+        prop_assert_eq!(
+            report.channels[0].bytes,
+            sizes.iter().map(|&s| s as u64).sum::<u64>()
+        );
+        prop_assert!(report.channels[0].peak_bytes as usize <= cap);
+    }
+
+    #[test]
+    fn makespan_dominates_total_busy_per_pe(
+        costs in prop::collection::vec(1u64..200, 1..6),
+        iters in 1u64..20,
+    ) {
+        let mut m = Machine::new();
+        for &c in &costs {
+            m.add_pe(Program::new(
+                vec![Op::Compute { label: "w".into(), work: Box::new(move |_| c) }],
+                iters,
+            ));
+        }
+        let report = m.run().expect("independent PEs");
+        for (i, &c) in costs.iter().enumerate() {
+            prop_assert_eq!(report.pe[i].busy_cycles, c * iters);
+            prop_assert!(report.pe[i].finish_cycle >= c * iters);
+        }
+        prop_assert_eq!(
+            report.makespan_cycles,
+            costs.iter().map(|&c| c * iters).max().expect("nonempty")
+        );
+    }
+
+    #[test]
+    fn budget_is_respected(budget in 1u64..500) {
+        let mut m = Machine::new();
+        m.add_pe(Program::new(
+            vec![Op::Compute { label: "w".into(), work: Box::new(|_| 100) }],
+            1000,
+        ));
+        m.set_budget_cycles(budget);
+        prop_assert!(m.run().is_err());
+    }
+}

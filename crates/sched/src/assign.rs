@@ -1,0 +1,462 @@
+//! Processor assignment: manual mappings and HLFET list scheduling.
+//!
+//! SPI's methodology (paper §2) assumes a *self-timed* implementation: a
+//! compile-time processor assignment plus per-processor firing order,
+//! with run-time synchronization only where data crosses processors.
+//! This module produces the assignment, either from an explicit
+//! actor→processor map or automatically via Highest-Level-First /
+//! Estimated-Time (HLFET) list scheduling on the acyclic precedence
+//! graph.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use spi_dataflow::{ActorId, Firing, PrecedenceGraph, SdfGraph};
+
+use crate::error::{Result, SchedError};
+
+/// A processor index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcId(pub usize);
+
+impl std::fmt::Display for ProcId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// A firing→processor assignment over a fixed processor count.
+///
+/// # Examples
+///
+/// ```
+/// use spi_dataflow::{SdfGraph, PrecedenceGraph};
+/// use spi_sched::{Assignment, ProcId};
+///
+/// let mut g = SdfGraph::new();
+/// let a = g.add_actor("A", 10);
+/// let b = g.add_actor("B", 10);
+/// g.add_edge(a, b, 1, 1, 0, 4)?;
+/// let pg = PrecedenceGraph::expand(&g)?;
+///
+/// // Put every firing of A on P0 and of B on P1.
+/// let assign = Assignment::by_actor(&pg, 2, |actor| {
+///     if actor == a { ProcId(0) } else { ProcId(1) }
+/// })?;
+/// assert_eq!(assign.processor_count(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Assignment {
+    map: HashMap<Firing, ProcId>,
+    processors: usize,
+}
+
+impl Assignment {
+    /// Builds an assignment by mapping each *actor* to one processor
+    /// (all its firings follow).
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::NoProcessors`] for a zero processor count and
+    /// [`SchedError::ProcessorOutOfRange`] if the function returns an
+    /// index ≥ `processors`.
+    pub fn by_actor(
+        pg: &PrecedenceGraph,
+        processors: usize,
+        mut f: impl FnMut(ActorId) -> ProcId,
+    ) -> Result<Self> {
+        if processors == 0 {
+            return Err(SchedError::NoProcessors);
+        }
+        let mut map = HashMap::new();
+        for &firing in pg.firings() {
+            let p = f(firing.actor);
+            if p.0 >= processors {
+                return Err(SchedError::ProcessorOutOfRange { proc: p.0, count: processors });
+            }
+            map.insert(firing, p);
+        }
+        Ok(Assignment { map, processors })
+    }
+
+    /// Builds an assignment from an explicit firing→processor map.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::NoProcessors`], [`SchedError::ProcessorOutOfRange`],
+    /// or [`SchedError::UnassignedFiring`] if a firing of `pg` is missing
+    /// from `map`.
+    pub fn from_map(
+        pg: &PrecedenceGraph,
+        processors: usize,
+        map: HashMap<Firing, ProcId>,
+    ) -> Result<Self> {
+        if processors == 0 {
+            return Err(SchedError::NoProcessors);
+        }
+        for &firing in pg.firings() {
+            match map.get(&firing) {
+                None => return Err(SchedError::UnassignedFiring(firing)),
+                Some(p) if p.0 >= processors => {
+                    return Err(SchedError::ProcessorOutOfRange {
+                        proc: p.0,
+                        count: processors,
+                    })
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(Assignment { map, processors })
+    }
+
+    /// HLFET (Highest Level First, Estimated Time) list scheduling.
+    ///
+    /// Levels are longest paths (in execution cycles) to any APG sink;
+    /// ready firings are greedily placed on the earliest-available
+    /// processor. A classic, deterministic baseline mapper.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::NoProcessors`] for a zero processor count.
+    pub fn hlfet(graph: &SdfGraph, pg: &PrecedenceGraph, processors: usize) -> Result<Self> {
+        if processors == 0 {
+            return Err(SchedError::NoProcessors);
+        }
+        let firings = pg.firings();
+        let n = firings.len();
+        let idx: HashMap<Firing, usize> =
+            firings.iter().enumerate().map(|(i, &f)| (f, i)).collect();
+
+        // Build APG adjacency.
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut pred_count = vec![0usize; n];
+        for p in pg.apg_edges() {
+            let (u, v) = (idx[&p.from], idx[&p.to]);
+            succ[u].push(v);
+            pred_count[v] += 1;
+        }
+
+        // Static levels via reverse topological order.
+        let exec = |i: usize| graph.actor(firings[i].actor).exec_cycles;
+        let order = pg
+            .topological_order()
+            .expect("APG of a consistent graph is acyclic");
+        let mut level = vec![0u64; n];
+        for &f in order.iter().rev() {
+            let u = idx[&f];
+            let best_succ = succ[u].iter().map(|&v| level[v]).max().unwrap_or(0);
+            level[u] = exec(u) + best_succ;
+        }
+
+        // List schedule: ready set ordered by (level desc, firing id asc).
+        let mut ready: Vec<usize> = (0..n).filter(|&i| pred_count[i] == 0).collect();
+        let mut proc_free = vec![0u64; processors];
+        let mut finish = vec![0u64; n];
+        let mut map = HashMap::new();
+        let mut remaining_preds = pred_count;
+        let mut scheduled = 0;
+        while scheduled < n {
+            ready.sort_by(|&x, &y| {
+                level[y].cmp(&level[x]).then(firings[x].cmp(&firings[y]))
+            });
+            let u = ready.remove(0);
+            // Earliest start = max(processor free, predecessors' finish).
+            let data_ready = pg
+                .apg_edges()
+                .filter(|p| idx[&p.to] == u)
+                .map(|p| finish[idx[&p.from]])
+                .max()
+                .unwrap_or(0);
+            let (best_p, _) = proc_free
+                .iter()
+                .enumerate()
+                .min_by_key(|&(p, &free)| (free.max(data_ready), p))
+                .expect("processors > 0");
+            let start = proc_free[best_p].max(data_ready);
+            finish[u] = start + exec(u);
+            proc_free[best_p] = finish[u];
+            map.insert(firings[u], ProcId(best_p));
+            scheduled += 1;
+            for &v in &succ[u] {
+                remaining_preds[v] -= 1;
+                if remaining_preds[v] == 0 {
+                    ready.push(v);
+                }
+            }
+        }
+        Ok(Assignment { map, processors })
+    }
+
+    /// ETF (Earliest Task First) list scheduling with communication
+    /// costs: like HLFET, but a candidate's start time on a processor
+    /// includes `comm_cycles(bytes)` for every cross-processor
+    /// dependence, so the mapper weighs data locality against load
+    /// balance. `comm_cycles` receives the producing edge's payload
+    /// bytes per firing.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::NoProcessors`] for a zero processor count.
+    pub fn etf(
+        graph: &SdfGraph,
+        pg: &PrecedenceGraph,
+        processors: usize,
+        mut comm_cycles: impl FnMut(u64) -> u64,
+    ) -> Result<Self> {
+        if processors == 0 {
+            return Err(SchedError::NoProcessors);
+        }
+        let firings = pg.firings();
+        let n = firings.len();
+        let idx: HashMap<Firing, usize> =
+            firings.iter().enumerate().map(|(i, &f)| (f, i)).collect();
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut remaining_preds = vec![0usize; n];
+        for p in pg.apg_edges() {
+            let (u, v) = (idx[&p.from], idx[&p.to]);
+            succ[u].push(v);
+            remaining_preds[v] += 1;
+        }
+        let exec = |i: usize| graph.actor(firings[i].actor).exec_cycles;
+        // Per-edge transfer bytes per producer firing.
+        let bytes_of = |via: spi_dataflow::EdgeId| {
+            let e = graph.edge(via);
+            u64::from(e.produce.bound()) * u64::from(e.token_bytes)
+        };
+
+        let mut ready: Vec<usize> =
+            (0..n).filter(|&i| remaining_preds[i] == 0).collect();
+        let mut proc_free = vec![0u64; processors];
+        let mut placed: Vec<Option<(usize, u64)>> = vec![None; n]; // (proc, finish)
+        let mut map = HashMap::new();
+        let mut scheduled = 0;
+        while scheduled < n {
+            // For every (ready firing, processor) pair compute the
+            // earliest start; pick the global minimum.
+            let mut best: Option<(u64, usize, usize)> = None; // (start, firing, proc)
+            for &u in &ready {
+                #[allow(clippy::needless_range_loop)] // p IS the processor index
+                for p in 0..processors {
+                    let mut data_ready = 0u64;
+                    for dep in pg.apg_edges().filter(|d| idx[&d.to] == u) {
+                        let (dp, dfinish) =
+                            placed[idx[&dep.from]].expect("preds scheduled first");
+                        let arrive = if dp == p {
+                            dfinish
+                        } else {
+                            dfinish + comm_cycles(bytes_of(dep.via))
+                        };
+                        data_ready = data_ready.max(arrive);
+                    }
+                    let start = proc_free[p].max(data_ready);
+                    if best
+                        .map(|(s, bu, bp)| (start, u, p) < (s, bu, bp))
+                        .unwrap_or(true)
+                    {
+                        best = Some((start, u, p));
+                    }
+                }
+            }
+            let (start, u, p) = best.expect("ready set nonempty");
+            let finish = start + exec(u);
+            placed[u] = Some((p, finish));
+            proc_free[p] = finish;
+            map.insert(firings[u], ProcId(p));
+            ready.retain(|&x| x != u);
+            scheduled += 1;
+            for &v in &succ[u] {
+                remaining_preds[v] -= 1;
+                if remaining_preds[v] == 0 {
+                    ready.push(v);
+                }
+            }
+        }
+        Ok(Assignment { map, processors })
+    }
+
+    /// Processor of `firing`.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::UnassignedFiring`] if the firing is unknown.
+    pub fn processor(&self, firing: Firing) -> Result<ProcId> {
+        self.map
+            .get(&firing)
+            .copied()
+            .ok_or(SchedError::UnassignedFiring(firing))
+    }
+
+    /// Number of processors in the target.
+    pub fn processor_count(&self) -> usize {
+        self.processors
+    }
+
+    /// All firings assigned to `proc`, in deterministic (actor, k) order.
+    pub fn firings_on(&self, proc: ProcId) -> Vec<Firing> {
+        let mut v: Vec<Firing> = self
+            .map
+            .iter()
+            .filter(|(_, &p)| p == proc)
+            .map(|(&f, _)| f)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Number of distinct processors actually used.
+    pub fn processors_used(&self) -> usize {
+        let mut used: Vec<ProcId> = self.map.values().copied().collect();
+        used.sort();
+        used.dedup();
+        used.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spi_dataflow::SdfGraph;
+
+    fn diamond() -> (SdfGraph, PrecedenceGraph) {
+        // A -> B, A -> C, B -> D, C -> D (all rate 1).
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("A", 10);
+        let b = g.add_actor("B", 30);
+        let c = g.add_actor("C", 20);
+        let d = g.add_actor("D", 10);
+        g.add_edge(a, b, 1, 1, 0, 4).unwrap();
+        g.add_edge(a, c, 1, 1, 0, 4).unwrap();
+        g.add_edge(b, d, 1, 1, 0, 4).unwrap();
+        g.add_edge(c, d, 1, 1, 0, 4).unwrap();
+        let pg = PrecedenceGraph::expand(&g).unwrap();
+        (g, pg)
+    }
+
+    #[test]
+    fn by_actor_assigns_every_firing() {
+        let (_, pg) = diamond();
+        let assign = Assignment::by_actor(&pg, 2, |a| ProcId(a.0 % 2)).unwrap();
+        for &f in pg.firings() {
+            assert_eq!(assign.processor(f).unwrap().0, f.actor.0 % 2);
+        }
+        assert_eq!(assign.processor_count(), 2);
+        assert_eq!(assign.processors_used(), 2);
+    }
+
+    #[test]
+    fn by_actor_rejects_out_of_range() {
+        let (_, pg) = diamond();
+        assert!(matches!(
+            Assignment::by_actor(&pg, 2, |_| ProcId(7)),
+            Err(SchedError::ProcessorOutOfRange { proc: 7, count: 2 })
+        ));
+        assert!(matches!(
+            Assignment::by_actor(&pg, 0, |_| ProcId(0)),
+            Err(SchedError::NoProcessors)
+        ));
+    }
+
+    #[test]
+    fn from_map_requires_total_coverage() {
+        let (_, pg) = diamond();
+        let partial: HashMap<Firing, ProcId> =
+            pg.firings().iter().take(2).map(|&f| (f, ProcId(0))).collect();
+        assert!(matches!(
+            Assignment::from_map(&pg, 1, partial),
+            Err(SchedError::UnassignedFiring(_))
+        ));
+    }
+
+    #[test]
+    fn hlfet_uses_all_processors_when_parallelism_exists() {
+        let (g, pg) = diamond();
+        let assign = Assignment::hlfet(&g, &pg, 2).unwrap();
+        // B and C are independent; a 2-PE HLFET must separate them.
+        let b = g.actor_by_name("B").unwrap();
+        let c = g.actor_by_name("C").unwrap();
+        let pb = assign.processor(Firing { actor: b, k: 0 }).unwrap();
+        let pc = assign.processor(Firing { actor: c, k: 0 }).unwrap();
+        assert_ne!(pb, pc);
+    }
+
+    #[test]
+    fn hlfet_single_processor_is_total() {
+        let (g, pg) = diamond();
+        let assign = Assignment::hlfet(&g, &pg, 1).unwrap();
+        assert_eq!(assign.processors_used(), 1);
+        assert_eq!(assign.firings_on(ProcId(0)).len(), pg.firings().len());
+    }
+
+    #[test]
+    fn firings_on_is_sorted_and_disjoint() {
+        let (g, pg) = diamond();
+        let assign = Assignment::hlfet(&g, &pg, 2).unwrap();
+        let on0 = assign.firings_on(ProcId(0));
+        let on1 = assign.firings_on(ProcId(1));
+        assert_eq!(on0.len() + on1.len(), pg.firings().len());
+        let mut sorted = on0.clone();
+        sorted.sort();
+        assert_eq!(on0, sorted);
+        assert!(on0.iter().all(|f| !on1.contains(f)));
+    }
+
+    #[test]
+    fn etf_prefers_locality_under_heavy_comm() {
+        // Chain a → b with huge transfer cost: ETF should co-locate
+        // them; with zero comm cost it may split freely.
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("A", 10);
+        let b = g.add_actor("B", 10);
+        g.add_edge(a, b, 1, 1, 0, 4096).unwrap();
+        let pg = PrecedenceGraph::expand(&g).unwrap();
+        let heavy = Assignment::etf(&g, &pg, 2, |bytes| bytes).unwrap();
+        let pa = heavy.processor(Firing { actor: a, k: 0 }).unwrap();
+        let pb = heavy.processor(Firing { actor: b, k: 0 }).unwrap();
+        assert_eq!(pa, pb, "huge comm cost must keep the chain together");
+    }
+
+    #[test]
+    fn etf_spreads_independent_work() {
+        // Fork A → {B, C} with cheap comm: B and C go to different PEs.
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("A", 5);
+        let b = g.add_actor("B", 200);
+        let c = g.add_actor("C", 200);
+        g.add_edge(a, b, 1, 1, 0, 4).unwrap();
+        g.add_edge(a, c, 1, 1, 0, 4).unwrap();
+        let pg = PrecedenceGraph::expand(&g).unwrap();
+        let assign = Assignment::etf(&g, &pg, 2, |_| 1).unwrap();
+        let pb = assign.processor(Firing { actor: b, k: 0 }).unwrap();
+        let pc = assign.processor(Firing { actor: c, k: 0 }).unwrap();
+        assert_ne!(pb, pc, "independent heavy work must spread");
+    }
+
+    #[test]
+    fn etf_covers_every_firing() {
+        let (g, pg) = diamond();
+        let assign = Assignment::etf(&g, &pg, 3, |b| b / 4).unwrap();
+        for &f in pg.firings() {
+            assert!(assign.processor(f).is_ok());
+        }
+        assert!(matches!(
+            Assignment::etf(&g, &pg, 0, |_| 0),
+            Err(SchedError::NoProcessors)
+        ));
+    }
+
+    #[test]
+    fn hlfet_multirate_graph() {
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("src", 5);
+        let b = g.add_actor("work", 50);
+        let c = g.add_actor("snk", 5);
+        g.add_edge(a, b, 4, 1, 0, 4).unwrap();
+        g.add_edge(b, c, 1, 4, 0, 4).unwrap();
+        let pg = PrecedenceGraph::expand(&g).unwrap();
+        let assign = Assignment::hlfet(&g, &pg, 3).unwrap();
+        // The four independent "work" firings should spread across PEs.
+        assert!(assign.processors_used() >= 2);
+    }
+}

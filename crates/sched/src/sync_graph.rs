@@ -1,0 +1,669 @@
+//! Synchronization graphs and resynchronization (paper §4, §4.1).
+//!
+//! The synchronization graph `G_s` starts as a copy of `G_ipc` but tracks
+//! only ordering constraints. Each *removable* synchronization edge costs
+//! run-time work (a semaphore check, or for SPI's UBS protocol an
+//! acknowledgement message). Two optimizations reduce that cost:
+//!
+//! 1. **Redundant-edge elimination** — a sync edge `(x → y, d)` is
+//!    redundant when another `x → y` path has total delay ≤ `d`; its
+//!    constraint is already enforced transitively. Removing *all*
+//!    redundant edges at once is safe (Sriram & Bhattacharyya, ch. 5 of
+//!    *Embedded Multiprocessors*).
+//! 2. **Resynchronization** — deliberately *adding* a cheap sync edge can
+//!    make several existing ones redundant; the paper applies this to
+//!    prune SPI_UBS acknowledgement edges on distributed-memory targets.
+//!    Optimal resynchronization reduces to set cover (NP-hard); we
+//!    implement the standard greedy heuristic with an optional
+//!    throughput-preservation guard.
+
+use serde::{Deserialize, Serialize};
+
+use spi_dataflow::EdgeId;
+
+use crate::analysis::max_cycle_mean;
+use crate::error::{Result, SchedError};
+use crate::ipc_graph::{IpcEdgeKind, IpcGraph, Task, TaskId};
+
+/// Classification of synchronization edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SyncKind {
+    /// Processor-internal sequencing; enforced by the program counter,
+    /// costs nothing, never removable.
+    Sequence,
+    /// Processor iteration loopback; also free.
+    Loopback,
+    /// "Data available" synchronization of an IPC edge (sender→receiver).
+    Data {
+        /// Application edge it derives from.
+        via: EdgeId,
+    },
+    /// BBS back-pressure: receiver→sender edge whose delay is the buffer
+    /// capacity minus the edge delay.
+    Feedback {
+        /// Application edge it derives from.
+        via: EdgeId,
+    },
+    /// UBS acknowledgement message: receiver→sender.
+    Ack {
+        /// Application edge it derives from.
+        via: EdgeId,
+    },
+    /// An edge added by resynchronization.
+    Resync,
+}
+
+impl SyncKind {
+    /// `true` if eliminating this edge saves run-time synchronization
+    /// work (messages or semaphore operations).
+    pub fn is_removable(&self) -> bool {
+        !matches!(self, SyncKind::Sequence | SyncKind::Loopback)
+    }
+}
+
+/// One synchronization edge: `start(to, k) ≥ end(from, k − delay)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SyncEdge {
+    /// Source task.
+    pub from: TaskId,
+    /// Destination task.
+    pub to: TaskId,
+    /// Iteration delay of the constraint.
+    pub delay: u64,
+    /// What the edge models.
+    pub kind: SyncKind,
+}
+
+/// Synchronization protocol chosen for one IPC edge (paper §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Protocol {
+    /// Bounded-buffer synchronization: usable when a static buffer bound
+    /// is guaranteed; sender blocks via shared read/write pointers.
+    Bbs {
+        /// Buffer capacity in packed tokens (≥ the eq. (2) bound).
+        capacity: u64,
+    },
+    /// Unbounded-buffer synchronization: growable buffer plus
+    /// acknowledgement messages for consistency.
+    Ubs {
+        /// Outstanding unacknowledged messages allowed before the sender
+        /// must block on an ack.
+        ack_window: u64,
+    },
+}
+
+/// The synchronization graph of a self-timed SPI implementation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyncGraph {
+    tasks: Vec<Task>,
+    edges: Vec<SyncEdge>,
+}
+
+impl SyncGraph {
+    /// Derives `G_s` from `G_ipc`, materializing each IPC edge's
+    /// synchronization structure according to its protocol:
+    /// every IPC edge contributes a forward [`SyncKind::Data`] edge;
+    /// BBS edges add a [`SyncKind::Feedback`] back-pressure edge with
+    /// delay `capacity − delay(e)`; UBS edges add a [`SyncKind::Ack`]
+    /// edge with delay `ack_window + delay(e)`.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::ZeroDelayCycle`] if a BBS capacity is smaller than
+    /// the edge's delay (the back-pressure edge would need negative
+    /// delay, i.e. the buffer cannot even hold the initial tokens).
+    pub fn from_ipc(
+        ipc: &IpcGraph,
+        mut protocol_of: impl FnMut(&crate::ipc_graph::IpcEdge) -> Protocol,
+    ) -> Result<Self> {
+        let mut edges = Vec::new();
+        for e in ipc.edges() {
+            match e.kind {
+                IpcEdgeKind::Sequence => edges.push(SyncEdge {
+                    from: e.from,
+                    to: e.to,
+                    delay: e.delay,
+                    kind: SyncKind::Sequence,
+                }),
+                IpcEdgeKind::Loopback => edges.push(SyncEdge {
+                    from: e.from,
+                    to: e.to,
+                    delay: e.delay,
+                    kind: SyncKind::Loopback,
+                }),
+                IpcEdgeKind::Ipc { via } => {
+                    edges.push(SyncEdge {
+                        from: e.from,
+                        to: e.to,
+                        delay: e.delay,
+                        kind: SyncKind::Data { via },
+                    });
+                    match protocol_of(e) {
+                        Protocol::Bbs { capacity } => {
+                            if capacity < e.delay {
+                                return Err(SchedError::ZeroDelayCycle);
+                            }
+                            edges.push(SyncEdge {
+                                from: e.to,
+                                to: e.from,
+                                delay: capacity - e.delay,
+                                kind: SyncKind::Feedback { via },
+                            });
+                        }
+                        Protocol::Ubs { ack_window } => {
+                            edges.push(SyncEdge {
+                                from: e.to,
+                                to: e.from,
+                                delay: ack_window + e.delay,
+                                kind: SyncKind::Ack { via },
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        let g = SyncGraph { tasks: ipc.tasks().to_vec(), edges };
+        if g.has_zero_delay_cycle() {
+            return Err(SchedError::ZeroDelayCycle);
+        }
+        Ok(g)
+    }
+
+    /// All tasks.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// All synchronization edges.
+    pub fn edges(&self) -> &[SyncEdge] {
+        &self.edges
+    }
+
+    /// Number of removable synchronization edges — the paper's "net
+    /// synchronization cost" metric (each costs messages/semaphore work
+    /// per iteration).
+    pub fn sync_cost(&self) -> usize {
+        self.edges.iter().filter(|e| e.kind.is_removable()).count()
+    }
+
+    /// Number of UBS acknowledgement edges still present.
+    pub fn ack_count(&self) -> usize {
+        self.edges
+            .iter()
+            .filter(|e| matches!(e.kind, SyncKind::Ack { .. }))
+            .count()
+    }
+
+    /// All-pairs minimum path delays (min-plus Floyd–Warshall).
+    /// `dist[u][v] == u64::MAX` means unreachable.
+    fn all_pairs_min_delay(&self) -> Vec<Vec<u64>> {
+        let n = self.tasks.len();
+        let mut dist = vec![vec![u64::MAX; n]; n];
+        for (i, row) in dist.iter_mut().enumerate() {
+            row[i] = 0;
+        }
+        for e in &self.edges {
+            let d = &mut dist[e.from.0][e.to.0];
+            *d = (*d).min(e.delay);
+        }
+        for k in 0..n {
+            for i in 0..n {
+                if dist[i][k] == u64::MAX {
+                    continue;
+                }
+                for j in 0..n {
+                    if dist[k][j] == u64::MAX {
+                        continue;
+                    }
+                    let via = dist[i][k] + dist[k][j];
+                    if via < dist[i][j] {
+                        dist[i][j] = via;
+                    }
+                }
+            }
+        }
+        dist
+    }
+
+    /// Indices (into [`SyncGraph::edges`]) of removable edges that are
+    /// redundant: another path with no greater delay already enforces
+    /// their constraint.
+    ///
+    /// Uses the classic criterion: `e = (x → y, d)` is redundant iff some
+    /// other edge `e' = (x → z, d')` with `e' ≠ e` satisfies
+    /// `d' + ρ(z, y) ≤ d`, where `ρ` is the all-pairs minimum path delay.
+    ///
+    /// Note the returned set may contain edges that are only *mutually*
+    /// redundant (two identical parallel edges each cite the other);
+    /// [`SyncGraph::remove_redundant`] therefore removes one edge at a
+    /// time, re-evaluating in between, which is always safe: a single
+    /// redundant edge's constraint survives through the witnessing path,
+    /// which is still intact after removing just that edge.
+    pub fn redundant_edges(&self) -> Vec<usize> {
+        let dist = self.all_pairs_min_delay();
+        let mut out = Vec::new();
+        for (i, e) in self.edges.iter().enumerate() {
+            if !e.kind.is_removable() {
+                continue;
+            }
+            let redundant = self.edges.iter().enumerate().any(|(j, e2)| {
+                j != i
+                    && e2.from == e.from
+                    && e2.delay <= e.delay
+                    && dist[e2.to.0][e.to.0] != u64::MAX
+                    && e2.delay + dist[e2.to.0][e.to.0] <= e.delay
+            });
+            if redundant {
+                out.push(i);
+            }
+        }
+        out
+    }
+
+    /// Removes redundant removable edges until none remain, returning
+    /// how many were dropped. Removal is one edge per pass (lowest index
+    /// first) so mutually-redundant ties cannot erase each other.
+    pub fn remove_redundant(&mut self) -> usize {
+        let mut removed = 0;
+        while let Some(&i) = self.redundant_edges().first() {
+            self.edges.remove(i);
+            removed += 1;
+        }
+        removed
+    }
+
+    /// Greedy resynchronization (paper §4.1): repeatedly add one
+    /// zero-delay `Resync` edge between tasks on different processors if
+    /// doing so lets strictly more existing removable edges be removed
+    /// than the one edge added — i.e. the *net* synchronization cost
+    /// drops. When `preserve_throughput` is set, a candidate that would
+    /// increase the maximum cycle mean (lengthen the iteration period) is
+    /// rejected.
+    ///
+    /// Returns a report of edges added and removed.
+    pub fn resynchronize(&mut self, preserve_throughput: bool) -> ResyncReport {
+        self.resynchronize_constrained(preserve_throughput, None)
+    }
+
+    /// Latency-constrained resynchronization: like
+    /// [`SyncGraph::resynchronize`], but additionally rejects any added
+    /// edge that would push the first-iteration completion time of any
+    /// task beyond `max_latency` cycles (the latency-aware variant of
+    /// the optimization in Sriram & Bhattacharyya).
+    pub fn resynchronize_constrained(
+        &mut self,
+        preserve_throughput: bool,
+        max_latency: Option<u64>,
+    ) -> ResyncReport {
+        let baseline_cost = self.sync_cost();
+        // Always start from the irredundant form.
+        let mut removed = self.remove_redundant();
+        let mut added = 0;
+        let base_mcm = max_cycle_mean(&self.tasks, &self.edges);
+
+        loop {
+            let dist = self.all_pairs_min_delay();
+            let n = self.tasks.len();
+            let mut best: Option<(usize, usize, usize)> = None; // (gain, u, v)
+            for u in 0..n {
+                for v in 0..n {
+                    if u == v || self.tasks[u].proc == self.tasks[v].proc {
+                        continue;
+                    }
+                    // A zero-delay u→v edge must not close a zero-delay
+                    // cycle: require every v→u path to carry delay ≥ 1.
+                    if dist[v][u] == 0 {
+                        continue;
+                    }
+                    // Skip if an equal-or-better u→v ordering already
+                    // exists (the candidate would be instantly redundant).
+                    if dist[u][v] == 0 {
+                        continue;
+                    }
+                    let gain = self.count_killed_by(u, v, &dist);
+                    if gain >= 2 && best.map(|(g, ..)| gain > g).unwrap_or(true) {
+                        best = Some((gain, u, v));
+                    }
+                }
+            }
+            let Some((_, u, v)) = best else { break };
+            let candidate = SyncEdge {
+                from: TaskId(u),
+                to: TaskId(v),
+                delay: 0,
+                kind: SyncKind::Resync,
+            };
+            let mut trial = self.clone();
+            trial.edges.push(candidate);
+            let killed = trial.remove_redundant();
+            if killed < 2 {
+                break; // stale estimate; no profitable candidate remains
+            }
+            if preserve_throughput {
+                let new_mcm = max_cycle_mean(&trial.tasks, &trial.edges);
+                if mcm_worse(base_mcm, new_mcm) {
+                    // Blacklist by just stopping: a finer implementation
+                    // would skip this candidate; in practice profitable
+                    // candidates that hurt throughput are rare on these
+                    // app graphs.
+                    break;
+                }
+            }
+            if let Some(limit) = max_latency {
+                let times = crate::latency::self_timed_times(&trial, 1);
+                let worst = times[0].iter().map(|&(_, e)| e).max().unwrap_or(0);
+                if worst > limit {
+                    break;
+                }
+            }
+            *self = trial;
+            added += 1;
+            removed += killed;
+        }
+
+        ResyncReport {
+            sync_cost_before: baseline_cost,
+            sync_cost_after: self.sync_cost(),
+            edges_added: added,
+            edges_removed: removed,
+        }
+    }
+
+    /// How many removable edges would become redundant if a zero-delay
+    /// `u→v` edge existed (approximation used to rank candidates).
+    fn count_killed_by(&self, u: usize, v: usize, dist: &[Vec<u64>]) -> usize {
+        self.edges
+            .iter()
+            .filter(|e| {
+                e.kind.is_removable()
+                    && reach(dist, e.from.0, u)
+                        .and_then(|a| reach(dist, v, e.to.0).map(|b| a + b))
+                        .map(|through| through <= e.delay)
+                        .unwrap_or(false)
+            })
+            .count()
+    }
+
+    /// `true` if the delay-0 subgraph has a cycle (self-timed deadlock).
+    pub fn has_zero_delay_cycle(&self) -> bool {
+        let n = self.tasks.len();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for e in &self.edges {
+            if e.delay == 0 {
+                adj[e.from.0].push(e.to.0);
+            }
+        }
+        // Kahn's algorithm: cycle iff not all nodes drain.
+        let mut indeg = vec![0usize; n];
+        for row in &adj {
+            for &v in row {
+                indeg[v] += 1;
+            }
+        }
+        let mut stack: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0;
+        while let Some(u) = stack.pop() {
+            seen += 1;
+            for &v in &adj[u] {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    stack.push(v);
+                }
+            }
+        }
+        seen != n
+    }
+
+    /// Renders the graph in Graphviz DOT, the form in which the paper
+    /// draws its figures 3 and 5. Sequence/loopback edges are drawn
+    /// solid (processor structure), removable synchronization edges
+    /// dashed — matching the paper's "dashed edges represent
+    /// synchronization edges" convention.
+    pub fn to_dot(&self, title: &str) -> String {
+        let mut out = format!("digraph \"{title}\" {{\n  rankdir=LR;\n");
+        // Group tasks by processor into clusters.
+        let mut procs: Vec<_> = self.tasks.iter().map(|t| t.proc).collect();
+        procs.sort();
+        procs.dedup();
+        for p in procs {
+            out.push_str(&format!("  subgraph cluster_{} {{\n    label=\"{p}\";\n", p.0));
+            for (i, t) in self.tasks.iter().enumerate() {
+                if t.proc == p {
+                    out.push_str(&format!(
+                        "    t{i} [label=\"{}#{}\"];\n",
+                        t.firing.actor, t.firing.k
+                    ));
+                }
+            }
+            out.push_str("  }\n");
+        }
+        for e in &self.edges {
+            let style = if e.kind.is_removable() { "dashed" } else { "solid" };
+            let label = if e.delay > 0 {
+                format!(" label=\"{}\"", e.delay)
+            } else {
+                String::new()
+            };
+            out.push_str(&format!(
+                "  t{} -> t{} [style={style}{label}];\n",
+                e.from.0, e.to.0
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Estimated iteration period in cycles: the maximum cycle mean of
+    /// the graph (`None` if the graph is acyclic, which cannot happen for
+    /// well-formed schedules since every processor has a loopback).
+    pub fn iteration_period(&self) -> Option<f64> {
+        max_cycle_mean(&self.tasks, &self.edges)
+    }
+}
+
+fn reach(dist: &[Vec<u64>], a: usize, b: usize) -> Option<u64> {
+    (dist[a][b] != u64::MAX).then(|| dist[a][b])
+}
+
+fn mcm_worse(base: Option<f64>, new: Option<f64>) -> bool {
+    match (base, new) {
+        (Some(b), Some(n)) => n > b + 1e-9,
+        (None, Some(_)) => true,
+        _ => false,
+    }
+}
+
+/// Outcome of a resynchronization pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResyncReport {
+    /// Removable sync edges before any optimization.
+    pub sync_cost_before: usize,
+    /// Removable sync edges after redundancy removal + resynchronization.
+    pub sync_cost_after: usize,
+    /// Resync edges added.
+    pub edges_added: usize,
+    /// Redundant edges removed (including those killed by added edges).
+    pub edges_removed: usize,
+}
+
+impl ResyncReport {
+    /// Net reduction in synchronization cost.
+    pub fn net_reduction(&self) -> isize {
+        self.sync_cost_before as isize - self.sync_cost_after as isize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assign::{Assignment, ProcId};
+    use crate::ipc_graph::IpcGraph;
+    use crate::selftimed::SelfTimedSchedule;
+    use spi_dataflow::{PrecedenceGraph, SdfGraph};
+
+    /// Pipeline A→B→C split over 2 processors: A,C on P0; B on P1.
+    fn two_proc_pipeline() -> SyncGraph {
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("A", 10);
+        let b = g.add_actor("B", 10);
+        let c = g.add_actor("C", 10);
+        g.add_edge(a, b, 1, 1, 0, 4).unwrap();
+        g.add_edge(b, c, 1, 1, 0, 4).unwrap();
+        let pg = PrecedenceGraph::expand(&g).unwrap();
+        let assign =
+            Assignment::by_actor(&pg, 2, |x| ProcId(if x == b { 1 } else { 0 })).unwrap();
+        let st = SelfTimedSchedule::from_assignment(&pg, assign).unwrap();
+        let ipc = IpcGraph::build(&g, &pg, &st).unwrap();
+        SyncGraph::from_ipc(&ipc, |_| Protocol::Ubs { ack_window: 1 }).unwrap()
+    }
+
+    #[test]
+    fn from_ipc_materializes_acks_for_ubs() {
+        let sg = two_proc_pipeline();
+        // Two IPC edges (A→B, B→C) → 2 Data + 2 Ack.
+        assert_eq!(sg.ack_count(), 2);
+        assert_eq!(sg.sync_cost(), 4);
+    }
+
+    #[test]
+    fn bbs_feedback_edge_has_capacity_delay() {
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("A", 10);
+        let b = g.add_actor("B", 10);
+        g.add_edge(a, b, 1, 1, 0, 4).unwrap();
+        let pg = PrecedenceGraph::expand(&g).unwrap();
+        let assign = Assignment::by_actor(&pg, 2, |x| ProcId(x.0)).unwrap();
+        let st = SelfTimedSchedule::from_assignment(&pg, assign).unwrap();
+        let ipc = IpcGraph::build(&g, &pg, &st).unwrap();
+        let sg = SyncGraph::from_ipc(&ipc, |_| Protocol::Bbs { capacity: 3 }).unwrap();
+        let fb: Vec<_> = sg
+            .edges()
+            .iter()
+            .filter(|e| matches!(e.kind, SyncKind::Feedback { .. }))
+            .collect();
+        assert_eq!(fb.len(), 1);
+        assert_eq!(fb[0].delay, 3);
+    }
+
+    #[test]
+    fn bbs_capacity_below_delay_rejected() {
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("A", 10);
+        let b = g.add_actor("B", 10);
+        g.add_edge(a, b, 1, 1, 2, 4).unwrap();
+        let pg = PrecedenceGraph::expand(&g).unwrap();
+        let assign = Assignment::by_actor(&pg, 2, |x| ProcId(x.0)).unwrap();
+        let st = SelfTimedSchedule::from_assignment(&pg, assign).unwrap();
+        let ipc = IpcGraph::build(&g, &pg, &st).unwrap();
+        // IPC edge (delay 2 via the dataflow edge? the precedence edge has
+        // inter-iteration delay); capacity 1 < delay 2 → error.
+        let r = SyncGraph::from_ipc(&ipc, |_| Protocol::Bbs { capacity: 1 });
+        assert!(matches!(r, Err(SchedError::ZeroDelayCycle)));
+    }
+
+    #[test]
+    fn redundant_ack_detected_and_removed() {
+        // A→B then B→A(ack). If A and B exchange two parallel data edges
+        // in the same direction, one Data edge's sync is redundant.
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("A", 10);
+        let b = g.add_actor("B", 10);
+        g.add_edge(a, b, 1, 1, 0, 4).unwrap();
+        g.add_edge(a, b, 1, 1, 0, 4).unwrap(); // parallel duplicate
+        let pg = PrecedenceGraph::expand(&g).unwrap();
+        let assign = Assignment::by_actor(&pg, 2, |x| ProcId(x.0)).unwrap();
+        let st = SelfTimedSchedule::from_assignment(&pg, assign).unwrap();
+        let ipc = IpcGraph::build(&g, &pg, &st).unwrap();
+        let mut sg = SyncGraph::from_ipc(&ipc, |_| Protocol::Ubs { ack_window: 1 }).unwrap();
+        let before = sg.sync_cost();
+        let removed = sg.remove_redundant();
+        assert!(removed >= 1, "parallel sync edges must collapse");
+        assert_eq!(sg.sync_cost(), before - removed);
+        // Constraint still enforced: some A→B sync edge remains.
+        assert!(sg
+            .edges()
+            .iter()
+            .any(|e| matches!(e.kind, SyncKind::Data { .. })));
+    }
+
+    #[test]
+    fn pipeline_acks_are_redundant_via_loopbacks() {
+        // This is the paper's figure-3 effect in miniature: the UBS acks
+        // B->A and C->B are enforced by data + loopback paths
+        // (B->C, C->loop->A) of equal total delay, so redundancy removal
+        // drops both acks while every Data edge survives.
+        let mut sg = two_proc_pipeline();
+        assert_eq!(sg.sync_cost(), 4);
+        let removed = sg.remove_redundant();
+        assert_eq!(removed, 2);
+        assert_eq!(sg.ack_count(), 0);
+        let data = sg
+            .edges()
+            .iter()
+            .filter(|e| matches!(e.kind, SyncKind::Data { .. }))
+            .count();
+        assert_eq!(data, 2, "data synchronization is essential");
+        assert!(!sg.has_zero_delay_cycle());
+    }
+
+    #[test]
+    fn zero_delay_cycle_detection() {
+        let sg = two_proc_pipeline();
+        assert!(!sg.has_zero_delay_cycle());
+    }
+
+    #[test]
+    fn resync_reports_consistent_costs() {
+        let mut sg = two_proc_pipeline();
+        let report = sg.resynchronize(true);
+        assert_eq!(report.sync_cost_after, sg.sync_cost());
+        assert!(report.sync_cost_after <= report.sync_cost_before);
+        assert!(report.net_reduction() >= 0);
+        assert!(!sg.has_zero_delay_cycle(), "resync must preserve liveness");
+    }
+
+    #[test]
+    fn resync_prunes_fan_out_acks() {
+        // Hub H on P0 sends to workers W1..W3 (P1..P3), all with UBS acks
+        // back to H. Worker-to-worker resync edges can chain the acks so
+        // fewer reverse messages are needed.
+        let mut g = SdfGraph::new();
+        let h = g.add_actor("H", 10);
+        let ws: Vec<_> = (0..3).map(|i| g.add_actor(format!("W{i}"), 10)).collect();
+        for &w in &ws {
+            g.add_edge(h, w, 1, 1, 0, 4).unwrap();
+            // Results return for the *next* iteration (delay 1), else the
+            // zero-delay H->W->H cycle would deadlock.
+            g.add_edge(w, h, 1, 1, 1, 4).unwrap();
+        }
+        let pg = PrecedenceGraph::expand(&g).unwrap();
+        let assign = Assignment::by_actor(&pg, 4, |x| ProcId(x.0)).unwrap();
+        let st = SelfTimedSchedule::from_assignment(&pg, assign).unwrap();
+        let ipc = IpcGraph::build(&g, &pg, &st).unwrap();
+        let mut sg = SyncGraph::from_ipc(&ipc, |_| Protocol::Ubs { ack_window: 1 }).unwrap();
+        let report = sg.resynchronize(false);
+        // At minimum the redundancy pass must notice that result edges
+        // W→H make the ack edges W→H redundant (same endpoints, the data
+        // sync subsumes the ack).
+        assert!(report.net_reduction() >= 3, "report: {report:?}");
+    }
+
+    #[test]
+    fn dot_export_marks_sync_edges_dashed() {
+        let sg = two_proc_pipeline();
+        let dot = sg.to_dot("fig");
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("cluster_0") && dot.contains("cluster_1"));
+        assert!(dot.contains("style=dashed"), "sync edges are dashed");
+        assert!(dot.contains("style=solid"), "processor structure is solid");
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn iteration_period_exists_for_scheduled_graph() {
+        let sg = two_proc_pipeline();
+        let period = sg.iteration_period();
+        assert!(period.is_some());
+        assert!(period.unwrap() >= 20.0, "P0 runs A and C: ≥ 20 cycles");
+    }
+}

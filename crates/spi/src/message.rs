@@ -1,0 +1,198 @@
+//! SPI message format (paper §5.1).
+//!
+//! SPI exploits compile-time knowledge to shrink headers to the minimum:
+//!
+//! * **SPI_static** — "the message header consists of the ID of the
+//!   interprocessor edge only": 2 bytes. The payload length is a
+//!   compile-time constant of the edge (rate × token size), so it is not
+//!   transmitted.
+//! * **SPI_dynamic** — the header "also contains the message size":
+//!   2 bytes edge id + 4 bytes payload length.
+//!
+//! "The message datatype for all communication edges is known at
+//! compile-time, and hence need not be included in the message header" —
+//! contrast with the 24-byte envelope of the
+//! [`spi_platform::MpiEndpoint`] baseline.
+
+use spi_dataflow::EdgeId;
+
+use crate::error::{Result, SpiError};
+
+/// Header size of an SPI_static message.
+pub const STATIC_HEADER_BYTES: usize = 2;
+/// Header size of an SPI_dynamic message.
+pub const DYNAMIC_HEADER_BYTES: usize = 6;
+
+/// Which SPI interface phase an edge uses (paper §5.1's two-phase
+/// interface).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpiPhase {
+    /// Compile-time-known transfer sizes (SPI_static).
+    Static,
+    /// Run-time-varying transfer sizes under a VTS bound (SPI_dynamic).
+    Dynamic,
+}
+
+/// Frames `payload` as an SPI_static message for `edge`.
+///
+/// # Panics
+///
+/// Panics if the edge id exceeds `u16::MAX` — SPI systems index edges
+/// compactly, and 65 536 inter-processor edges is far outside the
+/// supported envelope.
+pub fn encode_static(edge: EdgeId, payload: &[u8]) -> Vec<u8> {
+    let id = u16::try_from(edge.0).expect("edge ids fit in the 2-byte header");
+    let mut msg = Vec::with_capacity(STATIC_HEADER_BYTES + payload.len());
+    msg.extend_from_slice(&id.to_le_bytes());
+    msg.extend_from_slice(payload);
+    msg
+}
+
+/// Decodes an SPI_static message, checking it belongs to `expect_edge`
+/// and carries exactly `expect_len` payload bytes.
+///
+/// # Errors
+///
+/// [`SpiError::Message`] on truncation, edge-id mismatch, or length
+/// mismatch.
+pub fn decode_static(msg: &[u8], expect_edge: EdgeId, expect_len: usize) -> Result<Vec<u8>> {
+    if msg.len() < STATIC_HEADER_BYTES {
+        return Err(SpiError::Message { reason: format!("static header truncated: {} bytes", msg.len()) });
+    }
+    let id = u16::from_le_bytes([msg[0], msg[1]]) as usize;
+    if id != expect_edge.0 {
+        return Err(SpiError::Message {
+            reason: format!("edge id {id} does not match expected {expect_edge}"),
+        });
+    }
+    let payload = &msg[STATIC_HEADER_BYTES..];
+    if payload.len() != expect_len {
+        return Err(SpiError::Message {
+            reason: format!(
+                "static payload is {} bytes, edge {expect_edge} requires {expect_len}",
+                payload.len()
+            ),
+        });
+    }
+    Ok(payload.to_vec())
+}
+
+/// Frames `payload` as an SPI_dynamic message for `edge`.
+///
+/// # Panics
+///
+/// Panics if the edge id exceeds `u16::MAX` or the payload exceeds
+/// `u32::MAX` bytes.
+pub fn encode_dynamic(edge: EdgeId, payload: &[u8]) -> Vec<u8> {
+    let id = u16::try_from(edge.0).expect("edge ids fit in the 2-byte header");
+    let len = u32::try_from(payload.len()).expect("payload fits the 4-byte size field");
+    let mut msg = Vec::with_capacity(DYNAMIC_HEADER_BYTES + payload.len());
+    msg.extend_from_slice(&id.to_le_bytes());
+    msg.extend_from_slice(&len.to_le_bytes());
+    msg.extend_from_slice(payload);
+    msg
+}
+
+/// Decodes an SPI_dynamic message, checking the edge id and the VTS
+/// bound.
+///
+/// # Errors
+///
+/// [`SpiError::Message`] on truncation or id mismatch;
+/// [`SpiError::VtsBoundExceeded`] if the size field exceeds `bound`.
+pub fn decode_dynamic(msg: &[u8], expect_edge: EdgeId, bound: usize) -> Result<Vec<u8>> {
+    if msg.len() < DYNAMIC_HEADER_BYTES {
+        return Err(SpiError::Message {
+            reason: format!("dynamic header truncated: {} bytes", msg.len()),
+        });
+    }
+    let id = u16::from_le_bytes([msg[0], msg[1]]) as usize;
+    if id != expect_edge.0 {
+        return Err(SpiError::Message {
+            reason: format!("edge id {id} does not match expected {expect_edge}"),
+        });
+    }
+    let len = u32::from_le_bytes([msg[2], msg[3], msg[4], msg[5]]) as usize;
+    if len > bound {
+        return Err(SpiError::VtsBoundExceeded { edge: expect_edge, got: len, bound });
+    }
+    if msg.len() < DYNAMIC_HEADER_BYTES + len {
+        return Err(SpiError::Message {
+            reason: format!("dynamic payload truncated: have {}, need {len}", msg.len() - DYNAMIC_HEADER_BYTES),
+        });
+    }
+    Ok(msg[DYNAMIC_HEADER_BYTES..DYNAMIC_HEADER_BYTES + len].to_vec())
+}
+
+/// Header size for a phase.
+pub fn header_bytes(phase: SpiPhase) -> usize {
+    match phase {
+        SpiPhase::Static => STATIC_HEADER_BYTES,
+        SpiPhase::Dynamic => DYNAMIC_HEADER_BYTES,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_roundtrip() {
+        let payload = vec![1, 2, 3, 4];
+        let msg = encode_static(EdgeId(7), &payload);
+        assert_eq!(msg.len(), 2 + 4);
+        let back = decode_static(&msg, EdgeId(7), 4).unwrap();
+        assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn static_rejects_wrong_edge() {
+        let msg = encode_static(EdgeId(7), &[0; 4]);
+        assert!(decode_static(&msg, EdgeId(8), 4).is_err());
+    }
+
+    #[test]
+    fn static_rejects_wrong_length() {
+        let msg = encode_static(EdgeId(7), &[0; 4]);
+        assert!(decode_static(&msg, EdgeId(7), 8).is_err());
+        assert!(decode_static(&[1], EdgeId(7), 0).is_err());
+    }
+
+    #[test]
+    fn dynamic_roundtrip_various_sizes() {
+        for n in [0usize, 1, 17, 255] {
+            let payload = vec![0xAB; n];
+            let msg = encode_dynamic(EdgeId(3), &payload);
+            assert_eq!(msg.len(), 6 + n);
+            let back = decode_dynamic(&msg, EdgeId(3), 255).unwrap();
+            assert_eq!(back, payload);
+        }
+    }
+
+    #[test]
+    fn dynamic_enforces_vts_bound() {
+        let msg = encode_dynamic(EdgeId(3), &[0; 100]);
+        assert!(matches!(
+            decode_dynamic(&msg, EdgeId(3), 50),
+            Err(SpiError::VtsBoundExceeded { got: 100, bound: 50, .. })
+        ));
+    }
+
+    #[test]
+    fn dynamic_detects_truncation() {
+        let msg = encode_dynamic(EdgeId(3), &[0; 10]);
+        assert!(decode_dynamic(&msg[..8], EdgeId(3), 100).is_err());
+        assert!(decode_dynamic(&msg[..3], EdgeId(3), 100).is_err());
+    }
+
+    #[test]
+    fn headers_are_much_smaller_than_mpi_envelopes() {
+        // Computed through a function so the comparison stays a runtime
+        // check (clippy: assertions_on_constants).
+        let ratio = |h: usize| spi_platform::ENVELOPE_BYTES / h;
+        assert!(ratio(header_bytes(SpiPhase::Static)) >= 8);
+        assert!(ratio(header_bytes(SpiPhase::Dynamic)) >= 4);
+        assert_eq!(header_bytes(SpiPhase::Static), 2);
+        assert_eq!(header_bytes(SpiPhase::Dynamic), 6);
+    }
+}

@@ -1,0 +1,145 @@
+//! The discrete-event engine and the OS-thread runner must agree
+//! functionally on identical programs: same stores, same per-channel
+//! message order — protocol logic that only works under the event
+//! queue's serialization would be a bug.
+
+use std::time::Duration;
+
+use spi_repro::platform::{
+    run_threaded, ChannelId, ChannelSpec, Machine, Op, Program,
+};
+
+/// Builds the same 3-PE pipeline twice (programs contain closures and
+/// cannot be cloned).
+fn pipeline_programs() -> (Vec<ChannelSpec>, Vec<Program>) {
+    let specs = vec![ChannelSpec::default(), ChannelSpec::default()];
+    let c1 = ChannelId(0);
+    let c2 = ChannelId(1);
+    let producer = Program::new(
+        vec![Op::Send {
+            channel: c1,
+            payload: Box::new(|l| vec![(l.iter * 3 % 251) as u8]),
+        }],
+        25,
+    );
+    let transformer = Program::new(
+        vec![
+            Op::Recv { channel: c1 },
+            Op::Compute {
+                label: "xform".into(),
+                work: Box::new(move |l| {
+                    let v = l.take_from(c1).expect("input");
+                    l.store.insert("fwd".into(), vec![v[0].wrapping_mul(2)]);
+                    7
+                }),
+            },
+            Op::Send {
+                channel: c2,
+                payload: Box::new(|l| l.store.get("fwd").cloned().expect("staged")),
+            },
+        ],
+        25,
+    );
+    let collector = Program::new(
+        vec![
+            Op::Recv { channel: c2 },
+            Op::Compute {
+                label: "collect".into(),
+                work: Box::new(move |l| {
+                    let v = l.take_from(c2).expect("input");
+                    let mut acc = l.store.remove("acc").unwrap_or_default();
+                    acc.push(v[0]);
+                    l.store.insert("acc".into(), acc);
+                    3
+                }),
+            },
+        ],
+        25,
+    );
+    (specs, vec![producer, transformer, collector])
+}
+
+#[test]
+fn des_and_threads_produce_identical_stores() {
+    // DES run.
+    let (specs, programs) = pipeline_programs();
+    let mut machine = Machine::new();
+    for s in &specs {
+        machine.add_channel(*s);
+    }
+    for p in programs {
+        machine.add_pe(p);
+    }
+    let des = machine.run().expect("DES run");
+
+    // Threaded run of freshly built identical programs.
+    let (specs, programs) = pipeline_programs();
+    let threaded =
+        run_threaded(&specs, programs, Duration::from_secs(10)).expect("threaded run");
+
+    for (i, t) in threaded.iter().enumerate() {
+        assert_eq!(
+            des.locals[i].store, t.store,
+            "store mismatch on PE {i}"
+        );
+        assert_eq!(des.locals[i].leftover_inbox, t.leftover_inbox);
+    }
+    // The collector saw the full transformed sequence, in order.
+    let acc = &threaded[2].store["acc"];
+    assert_eq!(acc.len(), 25);
+    for (iter, &v) in acc.iter().enumerate() {
+        assert_eq!(v, ((iter as u64 * 3 % 251) as u8).wrapping_mul(2));
+    }
+}
+
+#[test]
+fn engines_agree_with_prologues_and_backpressure() {
+    let build = || {
+        let specs = vec![ChannelSpec {
+            capacity_bytes: 8, // tight: forces back-pressure
+            ..ChannelSpec::default()
+        }];
+        let ch = ChannelId(0);
+        let mut producer = Program::new(
+            vec![Op::Send { channel: ch, payload: Box::new(|l| vec![l.iter as u8; 4]) }],
+            10,
+        );
+        // Prologue primes one extra message.
+        producer.prologue = vec![Op::Send { channel: ch, payload: Box::new(|_| vec![0xFF; 4]) }];
+        let consumer = Program::new(
+            vec![
+                Op::Recv { channel: ch },
+                Op::Compute {
+                    label: "fold".into(),
+                    work: Box::new(move |l| {
+                        let v = l.take_from(ch).expect("msg");
+                        let mut acc = l.store.remove("acc").unwrap_or_default();
+                        acc.push(v[0]);
+                        l.store.insert("acc".into(), acc);
+                        11
+                    }),
+                },
+            ],
+            11, // 10 + the primed message
+        );
+        (specs, vec![producer, consumer])
+    };
+
+    let (specs, programs) = build();
+    let mut machine = Machine::new();
+    for s in &specs {
+        machine.add_channel(*s);
+    }
+    for p in programs {
+        machine.add_pe(p);
+    }
+    let des = machine.run().expect("DES run");
+
+    let (specs, programs) = build();
+    let threaded = run_threaded(&specs, programs, Duration::from_secs(10)).expect("threads");
+
+    assert_eq!(des.locals[1].store, threaded[1].store);
+    let acc = &threaded[1].store["acc"];
+    assert_eq!(acc[0], 0xFF, "primed message arrives first");
+    assert_eq!(acc.len(), 11);
+}

@@ -1,0 +1,167 @@
+//! Integration tests for the beyond-the-paper extensions: CSDF, the
+//! filter bank, fully-static scheduling, the shared bus, DIF round-trips
+//! and trace rendering.
+
+use spi_repro::apps::{FilterBankApp, FilterBankConfig, PrognosisApp, PrognosisConfig};
+use spi_repro::dataflow::{dif, CsdfGraph, PhaseRates};
+use spi_repro::spi::{SchedulingMode, SpiSystemBuilder};
+use spi_repro::platform::BusSpec;
+use spi_repro::sched::ProcId;
+
+#[test]
+fn filter_bank_output_is_band_limited() {
+    // The low band (cutoff 0.2) must carry more energy than the high
+    // band (cutoff 0.05) for a mixed-tone input.
+    let cfg = FilterBankConfig { frame: 256, taps: 31, ..Default::default() };
+    let app = FilterBankApp::new(cfg).expect("valid config");
+    let sys = app.system(8).expect("buildable");
+    sys.run().expect("clean run");
+    let out = app.output.lock().expect("output");
+    let split = cfg.frame / cfg.low_decimation;
+    let (mut low_e, mut high_e) = (0.0, 0.0);
+    for frame in out.iter().skip(2) {
+        low_e += frame[..split].iter().map(|x| x * x).sum::<f64>();
+        high_e += frame[split..].iter().map(|x| x * x).sum::<f64>();
+    }
+    assert!(
+        low_e > high_e,
+        "wider-band branch keeps more energy: low {low_e} vs high {high_e}"
+    );
+}
+
+#[test]
+fn four_pe_prognosis_extension_runs() {
+    // The paper could only fit 2 PEs on its FPGA; the simulator scales.
+    let app = PrognosisApp::new(PrognosisConfig {
+        n_pes: 4,
+        particles: 240,
+        steps: 30,
+        ..Default::default()
+    })
+    .expect("valid config");
+    let sys = app.system(30).expect("buildable");
+    sys.run().expect("clean run");
+    let rmse = app.tracking_rmse(8);
+    assert!(rmse < 0.4, "4-PE filter still tracks: {rmse}");
+}
+
+#[test]
+fn app_graphs_roundtrip_through_dif() {
+    let app = PrognosisApp::new(PrognosisConfig::default()).expect("valid config");
+    let text = dif::to_dif(&app.graph, "prognosis");
+    let back = dif::from_dif(&text).expect("self-produced text parses");
+    assert_eq!(app.graph, back);
+}
+
+#[test]
+fn csdf_reduction_feeds_spi_directly() {
+    // Reduce a CSDF distributor and lower the reduction through SPI.
+    let mut csdf = CsdfGraph::new();
+    let src = csdf.add_actor("src", 10);
+    let snk = csdf.add_actor("snk", 10);
+    csdf.add_edge(
+        src,
+        snk,
+        PhaseRates::new(vec![2, 1]).expect("valid"),
+        PhaseRates::constant(1).expect("valid"),
+        0,
+        4,
+    )
+    .expect("edge");
+    let reduction = csdf.to_sdf().expect("reducible");
+    let g = reduction.graph().clone();
+    let e = g.edges().next().expect("one edge").0;
+    let mut b = SpiSystemBuilder::new(g);
+    b.actor(src, move |ctx: &mut spi_repro::spi::Firing| {
+        // One SDF firing = the 2-phase cycle = 3 raw tokens.
+        ctx.set_output(e, vec![ctx.iter as u8; 3 * 4]);
+        20
+    });
+    b.actor(snk, move |ctx: &mut spi_repro::spi::Firing| {
+        assert_eq!(ctx.input(e).len(), 4, "per firing: 1 token of 4 B");
+        10
+    });
+    b.iterations(6);
+    let sys = b.build(2, |a| ProcId(a.0)).expect("buildable");
+    sys.run().expect("clean run");
+}
+
+#[test]
+fn fully_static_and_bus_compose() {
+    // Worst-case platform: static releases over a shared bus — must
+    // still complete and be slower than the self-timed p2p baseline.
+    let build = |static_mode: bool, bus: bool| {
+        let mut g = spi_repro::dataflow::SdfGraph::new();
+        let a = g.add_actor("a", 50);
+        let b_ = g.add_actor("b", 50);
+        let e = g.add_edge(a, b_, 1, 1, 0, 64).expect("edge");
+        let mut b = SpiSystemBuilder::new(g);
+        b.actor(a, move |ctx: &mut spi_repro::spi::Firing| {
+            ctx.set_output(e, vec![0; 64]);
+            50
+        });
+        b.actor(b_, |_: &mut spi_repro::spi::Firing| 50);
+        b.iterations(20);
+        if static_mode {
+            b.scheduling_mode(SchedulingMode::FullyStatic { slack_percent: 25 });
+        }
+        if bus {
+            b.shared_bus(BusSpec { arbitration_cycles: 8 });
+        }
+        let sys = b.build(2, |x| ProcId(x.0)).expect("buildable");
+        sys.run().expect("clean run").sim.makespan_cycles
+    };
+    let baseline = build(false, false);
+    let worst = build(true, true);
+    assert!(worst >= baseline, "baseline {baseline} vs static+bus {worst}");
+}
+
+#[test]
+fn spi_systems_run_identically_on_real_threads() {
+    use std::time::Duration;
+    use spi_repro::apps::{ErrorStageApp, ErrorStageConfig};
+
+    let build = || {
+        let app = ErrorStageApp::new(ErrorStageConfig {
+            n_pes: 3,
+            frame: 120,
+            order: 5,
+            vary_rates: true,
+            seed: 31,
+        })
+        .expect("valid config");
+        let sys = app.system(4).expect("buildable");
+        (app, sys)
+    };
+    // DES run.
+    let (app_des, sys) = build();
+    sys.run().expect("DES run");
+    let des_residuals = app_des.residual_energy.lock().expect("res").clone();
+    // Threaded run of an identical, freshly built system.
+    let (app_thr, sys) = build();
+    sys.run_threaded(Duration::from_secs(30)).expect("threaded run");
+    let thr_residuals = app_thr.residual_energy.lock().expect("res").clone();
+    assert_eq!(des_residuals.len(), 4);
+    assert_eq!(des_residuals, thr_residuals, "engines must agree bit-for-bit");
+}
+
+#[test]
+fn trace_gantt_covers_all_pes() {
+    let mut g = spi_repro::dataflow::SdfGraph::new();
+    let a = g.add_actor("producer", 10);
+    let b_ = g.add_actor("consumer", 10);
+    let e = g.add_edge(a, b_, 1, 1, 0, 4).expect("edge");
+    let mut b = SpiSystemBuilder::new(g);
+    b.actor(a, move |ctx: &mut spi_repro::spi::Firing| {
+        ctx.set_output(e, vec![0; 4]);
+        10
+    });
+    b.actor(b_, |_: &mut spi_repro::spi::Firing| 10);
+    b.iterations(3);
+    b.trace(true);
+    let sys = b.build(2, |x| ProcId(x.0)).expect("buildable");
+    let report = sys.run().expect("clean run");
+    let gantt = report.sim.render_gantt();
+    assert!(gantt.contains("pe0:") && gantt.contains("pe1:"));
+    assert!(gantt.contains("fire:producer"));
+}

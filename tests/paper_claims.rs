@@ -1,0 +1,95 @@
+//! Integration tests pinning the paper's qualitative claims — the
+//! "shape" assertions EXPERIMENTS.md reports. Each test regenerates a
+//! (reduced-size) experiment and checks the direction and rough
+//! magnitude of the published result.
+
+use spi_bench::{
+    ablation_header_vs_delimiter, ablation_resync, ablation_spi_vs_mpi,
+    ablation_vts_vs_worst_case, fig3_resync, fig5_resync, fig6_scaling, fig7_scaling,
+    table1_resources, table2_resources,
+};
+
+#[test]
+fn fig6_execution_time_shape() {
+    let rows = fig6_scaling(&[128, 256, 384], &[1, 2, 4], 5);
+    let t = |n: usize, x: usize| rows.iter().find(|r| r.n_pes == n && r.x == x).unwrap().time_us;
+    // Monotone in sample size for every n.
+    for n in [1, 2, 4] {
+        assert!(t(n, 128) < t(n, 256));
+        assert!(t(n, 256) < t(n, 384));
+    }
+    // Monotone (decreasing) in n for every size, with diminishing returns.
+    for x in [128, 256, 384] {
+        assert!(t(1, x) > t(2, x));
+        assert!(t(2, x) > t(4, x));
+        let s2 = t(1, x) / t(2, x);
+        let s4 = t(1, x) / t(4, x);
+        assert!(s2 < 2.0, "communication overhead keeps speedup sub-linear");
+        assert!(s4 < 4.0);
+        assert!(s4 > s2, "more PEs still help");
+    }
+}
+
+#[test]
+fn fig7_execution_time_shape() {
+    let rows = fig7_scaling(&[50, 150, 300], &[1, 2], 10);
+    let t = |n: usize, x: usize| rows.iter().find(|r| r.n_pes == n && r.x == x).unwrap().time_us;
+    for n in [1, 2] {
+        assert!(t(n, 50) < t(n, 150) && t(n, 150) < t(n, 300));
+    }
+    for x in [50, 150, 300] {
+        let speedup = t(1, x) / t(2, x);
+        assert!(speedup > 1.0, "2 PEs help at {x} particles");
+        assert!(speedup < 2.0, "resampling communication keeps it sub-linear");
+    }
+}
+
+#[test]
+fn table1_and_table2_shapes() {
+    let t1 = table1_resources(4);
+    let t2 = table2_resources(2);
+    // SPI is a minor part of both systems.
+    assert!(t1.spi_share.slices < 35.0, "{}", t1.spi_share);
+    assert!(t2.spi_share.slices < 10.0, "{}", t2.spi_share);
+    // The big application dwarfs SPI far more (paper: 11.88 % vs 0.2 %).
+    assert!(t2.spi_share.slices < t1.spi_share.slices / 2.0);
+    // SPI's BRAM share is its largest share in the small system
+    // (paper: 50 % — the IPC FIFOs).
+    assert!(t1.spi_share.bram >= t1.spi_share.slices);
+    // The PF system is the heavier design (paper: 65 % of LUTs).
+    assert!(t2.full_system.lut4 > t1.full_system.lut4);
+}
+
+#[test]
+fn resynchronization_reduces_sync_cost_on_both_apps() {
+    let f3 = fig3_resync(3);
+    assert!(f3.sync_after < f3.sync_before, "{f3:?}");
+    let f5 = fig5_resync(2);
+    assert!(f5.sync_after < f5.sync_before, "{f5:?}");
+    // And it eliminates real acknowledgement messages under UBS.
+    let rows = ablation_resync(3, 5);
+    assert!(rows[1].baseline > rows[1].optimized, "{}", rows[1]);
+}
+
+#[test]
+fn spi_outperforms_generic_mpi() {
+    for (bytes, msgs) in [(16usize, 60u64), (512, 30)] {
+        let row = ablation_spi_vs_mpi(bytes, msgs);
+        assert!(
+            row.improvement() > 1.0,
+            "SPI must beat the MPI baseline at {bytes} B: {row}"
+        );
+    }
+}
+
+#[test]
+fn header_signalling_beats_delimiters() {
+    let row = ablation_header_vs_delimiter(2, 4);
+    assert!(row.improvement() >= 1.0, "{row}");
+}
+
+#[test]
+fn vts_saves_wire_traffic() {
+    let row = ablation_vts_vs_worst_case(64, 30);
+    assert!(row.improvement() > 1.5, "{row}");
+}
