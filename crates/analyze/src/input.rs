@@ -1,0 +1,106 @@
+//! What the analyzer looks at.
+//!
+//! Passes degrade gracefully: each one inspects only the sections of
+//! [`AnalysisInput`] it understands and stays silent when its section is
+//! absent. A graph-only input therefore runs the graph-level passes; the
+//! builder's pre-flight adds the schedule-level sections once they exist.
+
+use std::collections::HashMap;
+
+use spi_dataflow::{EdgeId, LengthSignal, SdfGraph, VtsConversion};
+use spi_platform::{Device, ResourceEstimate};
+use spi_sched::{IpcGraph, Protocol, SyncGraph};
+
+/// Everything a pass may inspect. Only `graph` is mandatory.
+pub struct AnalysisInput<'a> {
+    /// The SDF graph under analysis (possibly with dynamic-rate edges).
+    pub graph: &'a SdfGraph,
+    /// VTS conversion of `graph`, if already computed. When absent, VTS
+    /// passes convert on the fly.
+    pub vts: Option<&'a VtsConversion>,
+    /// Length-signalling scheme chosen for dynamic tokens.
+    pub signal: Option<LengthSignal>,
+    /// Declared FIFO payload capacity in bytes per edge, when the
+    /// hardware depths are fixed up front.
+    pub fifo_depths: Option<&'a HashMap<EdgeId, u64>>,
+    /// The interprocessor-communication graph of the chosen schedule.
+    pub ipc: Option<&'a IpcGraph>,
+    /// The synchronization graph after protocol selection (and after
+    /// resynchronization, if it ran).
+    pub sync: Option<&'a SyncGraph>,
+    /// Protocol chosen per dataflow edge with at least one IPC instance.
+    pub protocols: Option<&'a HashMap<EdgeId, Protocol>>,
+    /// Aggregated hardware cost of the system.
+    pub resources: Option<ResourceEstimate>,
+    /// Target device; defaults to the paper's Virtex-4 SX35 when
+    /// `resources` is given without one.
+    pub device: Option<Device>,
+}
+
+impl<'a> AnalysisInput<'a> {
+    /// Graph-only input: runs the structural passes.
+    pub fn new(graph: &'a SdfGraph) -> Self {
+        AnalysisInput {
+            graph,
+            vts: None,
+            signal: None,
+            fifo_depths: None,
+            ipc: None,
+            sync: None,
+            protocols: None,
+            resources: None,
+            device: None,
+        }
+    }
+
+    /// Attaches a precomputed VTS conversion.
+    pub fn with_vts(mut self, vts: &'a VtsConversion) -> Self {
+        self.vts = Some(vts);
+        self
+    }
+
+    /// Declares the length-signalling scheme.
+    pub fn with_signal(mut self, signal: LengthSignal) -> Self {
+        self.signal = Some(signal);
+        self
+    }
+
+    /// Declares fixed FIFO payload capacities (bytes per edge).
+    pub fn with_fifo_depths(mut self, depths: &'a HashMap<EdgeId, u64>) -> Self {
+        self.fifo_depths = Some(depths);
+        self
+    }
+
+    /// Attaches the IPC graph of the schedule.
+    pub fn with_ipc(mut self, ipc: &'a IpcGraph) -> Self {
+        self.ipc = Some(ipc);
+        self
+    }
+
+    /// Attaches the synchronization graph.
+    pub fn with_sync(mut self, sync: &'a SyncGraph) -> Self {
+        self.sync = Some(sync);
+        self
+    }
+
+    /// Attaches the per-edge protocol decisions.
+    pub fn with_protocols(mut self, protocols: &'a HashMap<EdgeId, Protocol>) -> Self {
+        self.protocols = Some(protocols);
+        self
+    }
+
+    /// Attaches the aggregated resource estimate (and optional device).
+    pub fn with_resources(mut self, used: ResourceEstimate, device: Option<Device>) -> Self {
+        self.resources = Some(used);
+        self.device = device;
+        self
+    }
+
+    /// Resolves the actor name for messages, tolerating bad ids.
+    pub(crate) fn actor_name(&self, id: spi_dataflow::ActorId) -> String {
+        self.graph
+            .try_actor(id)
+            .map(|a| a.name.clone())
+            .unwrap_or_else(|_| format!("{id}"))
+    }
+}

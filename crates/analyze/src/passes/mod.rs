@@ -1,0 +1,37 @@
+//! The built-in analysis passes.
+//!
+//! | Code   | Severity | Pass | Finding |
+//! |--------|----------|------|---------|
+//! | SPI001 | warning  | well-formedness | actor connected to no edge |
+//! | SPI002 | error    | well-formedness | zero production/consumption rate |
+//! | SPI003 | error    | well-formedness | self-loop with fewer initial tokens than one firing consumes |
+//! | SPI004 | warning  | well-formedness | disconnected subgraph |
+//! | SPI010 | error    | rate-consistency | inconsistent balance equations, with the offending cycle |
+//! | SPI020 | error    | deadlock-witness | delay-free cycle (or starved actor set) that deadlocks the schedule |
+//! | SPI030 | error    | vts-soundness | dynamic edge with `b_max = 0` (unusable rate bound or zero token size) |
+//! | SPI031 | error    | vts-soundness | declared FIFO depth below the eq. (1) packed capacity |
+//! | SPI032 | warning/error | vts-soundness | delimiter signalling: worst-case frame expansion (error when it overflows a declared depth) |
+//! | SPI040 | warning  | protocol-lints | UBS chosen although a static eq. (2) bound exists (§5.1 prefers BBS) |
+//! | SPI041 | error    | protocol-lints | BBS chosen with no provable buffer bound |
+//! | SPI042 | error    | protocol-lints | BBS capacity below the eq. (2) bound |
+//! | SPI050 | error    | sync-coverage | IPC edge not enforced by any synchronization path (data race) |
+//! | SPI060 | warning  | resync-fixpoint | redundant synchronization edges remain after optimization |
+//! | SPI070 | warning/error | resource-overcommit | device utilization above 80 % (error above 100 %) |
+
+mod deadlock;
+mod protocol;
+mod rate_consistency;
+mod resources;
+mod resync;
+mod sync_coverage;
+mod vts_soundness;
+mod well_formed;
+
+pub use deadlock::DeadlockWitness;
+pub use protocol::ProtocolLints;
+pub use rate_consistency::RateConsistency;
+pub use resources::ResourceOvercommit;
+pub use resync::ResyncFixpoint;
+pub use sync_coverage::SyncCoverage;
+pub use vts_soundness::VtsSoundness;
+pub use well_formed::WellFormedness;

@@ -1,0 +1,111 @@
+//! SPI040/041/042 — synchronization-protocol lints (§4.2, §5.1).
+//!
+//! BBS (bounded-buffer synchronization) needs a provable buffer bound —
+//! eq. (2): `B(e) = (Gamma + delay(e)) · c(e)` tokens, where `Gamma` is
+//! the minimum-delay feedback path of the IPC graph. When the bound
+//! exists, BBS is free of acknowledgement traffic and the paper's §5.1
+//! measurements show it beats UBS; when it does not, only UBS is sound.
+
+use std::collections::HashMap;
+
+use spi_dataflow::EdgeId;
+use spi_sched::{IpcEdgeKind, Protocol};
+
+use crate::analyzer::Pass;
+use crate::diag::{Diagnostic, Locus, Severity};
+use crate::input::AnalysisInput;
+
+/// Checks each edge's protocol choice against its provable bound.
+pub struct ProtocolLints;
+
+impl Pass for ProtocolLints {
+    fn name(&self) -> &'static str {
+        "protocol-lints"
+    }
+
+    fn run(&self, input: &AnalysisInput<'_>, out: &mut Vec<Diagnostic>) {
+        let (Some(ipc), Some(protocols)) = (input.ipc, input.protocols) else {
+            return;
+        };
+
+        // Fold the eq. (2) bound over every IPC instance of each edge:
+        // the edge's buffer must hold the worst instance; one unbounded
+        // instance makes the whole edge unbounded.
+        let mut bounds: HashMap<EdgeId, Option<u64>> = HashMap::new();
+        for e in ipc.ipc_edges() {
+            let IpcEdgeKind::Ipc { via } = e.kind else {
+                continue;
+            };
+            let instance = ipc.ipc_buffer_bound_tokens(e);
+            bounds
+                .entry(via)
+                .and_modify(|acc| {
+                    *acc = match (*acc, instance) {
+                        (Some(a), Some(b)) => Some(a.max(b)),
+                        _ => None,
+                    }
+                })
+                .or_insert(instance);
+        }
+
+        let mut entries: Vec<_> = protocols.iter().collect();
+        entries.sort_by_key(|(id, _)| id.0);
+        for (&edge, &protocol) in entries {
+            let Some(&bound) = bounds.get(&edge) else {
+                // Not an IPC edge under this schedule; no protocol runs.
+                continue;
+            };
+            let e = input.graph.edge(edge);
+            let pair = format!("{} -> {}", input.actor_name(e.src), input.actor_name(e.dst));
+            match (protocol, bound) {
+                (Protocol::Ubs { .. }, Some(b)) => {
+                    out.push(
+                        Diagnostic::new(
+                            "SPI040",
+                            Severity::Warning,
+                            Locus::Edge(edge),
+                            format!(
+                                "edge {edge} ({pair}) uses UBS although eq. (2) proves a \
+                                 static bound of {b} token(s); BBS at that capacity removes \
+                                 the acknowledgement traffic (the paper's §5.1 selection \
+                                 rule prefers BBS whenever the bound exists)"
+                            ),
+                        )
+                        .with_suggestion(format!("use BBS with capacity {b} on edge {edge}")),
+                    );
+                }
+                (Protocol::Bbs { capacity }, None) => {
+                    out.push(
+                        Diagnostic::new(
+                            "SPI041",
+                            Severity::Error,
+                            Locus::Edge(edge),
+                            format!(
+                                "edge {edge} ({pair}) uses BBS with capacity {capacity}, but \
+                                 no feedback path bounds its buffer (eq. (2) has no finite \
+                                 Gamma); the producer can overrun the consumer"
+                            ),
+                        )
+                        .with_suggestion("use UBS on this edge or add a feedback path"),
+                    );
+                }
+                (Protocol::Bbs { capacity }, Some(b)) if capacity < b => {
+                    out.push(
+                        Diagnostic::new(
+                            "SPI042",
+                            Severity::Error,
+                            Locus::Edge(edge),
+                            format!(
+                                "edge {edge} ({pair}) uses BBS with capacity {capacity}, \
+                                 below the eq. (2) bound of {b} token(s); the self-timed \
+                                 schedule can legally buffer more than the FIFO holds"
+                            ),
+                        )
+                        .with_suggestion(format!("raise the BBS capacity to at least {b}")),
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+}

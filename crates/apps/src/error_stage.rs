@@ -42,7 +42,13 @@ pub struct ErrorStageConfig {
 
 impl Default for ErrorStageConfig {
     fn default() -> Self {
-        ErrorStageConfig { n_pes: 2, frame: 256, order: 8, vary_rates: false, seed: 3 }
+        ErrorStageConfig {
+            n_pes: 2,
+            frame: 256,
+            order: 8,
+            vary_rates: false,
+            seed: 3,
+        }
     }
 }
 
@@ -193,15 +199,17 @@ impl ErrorStageApp {
             builder.actor(self.d_error[i], move |ctx: &mut Firing| {
                 let section = f64s_from_bytes(&ctx.take_input(sec));
                 let raw = ctx.take_input(coe);
-                let order =
-                    u64::from_le_bytes(raw[..8].try_into().expect("order header")) as usize;
+                let order = u64::from_le_bytes(raw[..8].try_into().expect("order header")) as usize;
                 let coeffs = f64s_from_bytes(&raw[8..]);
                 let hist = if i == 0 { 0 } else { order.min(section.len()) };
                 let errors = prediction_error_range(&section, &coeffs, hist, section.len());
                 ctx.set_output(err, f64s_to_bytes(&errors));
                 cost::error_cycles(errors.len(), order)
             });
-            builder.actor_resources(self.d_error[i], components::error_generator(cfg.order as u64));
+            builder.actor_resources(
+                self.d_error[i],
+                components::error_generator(cfg.order as u64),
+            );
 
             // ----- io_recv_i: collect error values -----------------------
             let acc = Arc::clone(&frame_acc);
@@ -247,10 +255,17 @@ mod tests {
 
     #[test]
     fn graph_shape_per_figure3() {
-        let app = ErrorStageApp::new(ErrorStageConfig { n_pes: 3, ..Default::default() }).unwrap();
+        let app = ErrorStageApp::new(ErrorStageConfig {
+            n_pes: 3,
+            ..Default::default()
+        })
+        .unwrap();
         assert_eq!(app.graph.actor_count(), 9);
         assert_eq!(app.graph.edge_count(), 9);
-        assert!(app.graph.dynamic_edges().len() == 9, "all transfers are dynamic");
+        assert!(
+            app.graph.dynamic_edges().len() == 9,
+            "all transfers are dynamic"
+        );
     }
 
     #[test]

@@ -36,7 +36,13 @@ pub struct FilterBankConfig {
 
 impl Default for FilterBankConfig {
     fn default() -> Self {
-        FilterBankConfig { frame: 128, taps: 15, low_decimation: 2, high_decimation: 4, seed: 17 }
+        FilterBankConfig {
+            frame: 128,
+            taps: 15,
+            low_decimation: 2,
+            high_decimation: 4,
+            seed: 17,
+        }
     }
 }
 
@@ -82,8 +88,22 @@ impl FilterBankApp {
         let c_high = csdf.add_actor("high-band", fir_cycles(config.frame, config.taps));
         let c_sink = csdf.add_actor("combine", 30);
         let one = || PhaseRates::constant(1).expect("positive");
-        csdf.add_edge(c_src, c_low, PhaseRates::new(vec![1, 0]).expect("valid"), one(), 0, 8)?;
-        csdf.add_edge(c_src, c_high, PhaseRates::new(vec![0, 1]).expect("valid"), one(), 0, 8)?;
+        csdf.add_edge(
+            c_src,
+            c_low,
+            PhaseRates::new(vec![1, 0]).expect("valid"),
+            one(),
+            0,
+            8,
+        )?;
+        csdf.add_edge(
+            c_src,
+            c_high,
+            PhaseRates::new(vec![0, 1]).expect("valid"),
+            one(),
+            0,
+            8,
+        )?;
         csdf.add_edge(c_low, c_sink, one(), one(), 0, 8)?;
         csdf.add_edge(c_high, c_sink, one(), one(), 0, 8)?;
         let reduction = csdf.to_sdf()?;
@@ -213,7 +233,11 @@ mod tests {
         let reduction = app.csdf.to_sdf().unwrap();
         let q = reduction.graph().repetition_vector().unwrap();
         assert_eq!(q.total_firings(), 4);
-        assert_eq!(reduction.phases_of(ActorId(0)), 2, "distributor has 2 phases");
+        assert_eq!(
+            reduction.phases_of(ActorId(0)),
+            2,
+            "distributor has 2 phases"
+        );
         // The phase-accurate schedule exists.
         assert_eq!(app.csdf.phase_schedule().unwrap().len(), 5);
     }
@@ -236,7 +260,11 @@ mod tests {
     #[test]
     fn branches_run_in_parallel() {
         // 3-proc period must beat single-proc clearly at large frames.
-        let cfg = FilterBankConfig { frame: 512, taps: 31, ..Default::default() };
+        let cfg = FilterBankConfig {
+            frame: 512,
+            taps: 31,
+            ..Default::default()
+        };
         let app = FilterBankApp::new(cfg).unwrap();
         let par = app.system(6).unwrap().run().unwrap().period_us();
 
@@ -255,7 +283,15 @@ mod tests {
 
     #[test]
     fn degenerate_config_rejected() {
-        assert!(FilterBankApp::new(FilterBankConfig { frame: 2, ..Default::default() }).is_err());
-        assert!(FilterBankApp::new(FilterBankConfig { taps: 0, ..Default::default() }).is_err());
+        assert!(FilterBankApp::new(FilterBankConfig {
+            frame: 2,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(FilterBankApp::new(FilterBankConfig {
+            taps: 0,
+            ..Default::default()
+        })
+        .is_err());
     }
 }

@@ -123,7 +123,10 @@ impl PrognosisApp {
         let mut stage2 = Vec::new();
         let mut stage3 = Vec::new();
         for i in 0..n {
-            stage1.push(g.add_actor(format!("E/U{i}"), cost::estimate_cycles(per_pe) + cost::update_cycles(per_pe)));
+            stage1.push(g.add_actor(
+                format!("E/U{i}"),
+                cost::estimate_cycles(per_pe) + cost::update_cycles(per_pe),
+            ));
             stage2.push(g.add_actor(format!("S-local{i}"), cost::resample_cycles(per_pe)));
             stage3.push(g.add_actor(format!("S-intra{i}"), cost::resample_cycles(per_pe / 2 + 1)));
         }
@@ -250,12 +253,10 @@ impl PrognosisApp {
 
             // ----- Stage 1: predict + update + partial sums -------------
             let state = Arc::clone(&states[i]);
-            let my_sum_edges: Vec<EdgeId> =
-                (0..n).map(|j| self.sum_edges[&(i, j)]).collect();
+            let my_sum_edges: Vec<EdgeId> = (0..n).map(|j| self.sum_edges[&(i, j)]).collect();
             builder.actor(self.stage1[i], move |ctx: &mut Firing| {
-                let y = f64::from_le_bytes(
-                    ctx.input(obs_edge).try_into().expect("8-byte observation"),
-                );
+                let y =
+                    f64::from_le_bytes(ctx.input(obs_edge).try_into().expect("8-byte observation"));
                 let mut st = state.lock().expect("pe state");
                 st.rng = StdRng::seed_from_u64(
                     cfg.seed ^ ctx.iter.wrapping_mul(0x5851F42D) ^ (i as u64),
@@ -278,12 +279,14 @@ impl PrognosisApp {
                 }
                 cost::estimate_cycles(per_pe) + cost::update_cycles(per_pe)
             });
-            builder.actor_resources(self.stage1[i], components::particle_filter_pe(per_pe as u64) + components::noise_generator());
+            builder.actor_resources(
+                self.stage1[i],
+                components::particle_filter_pe(per_pe as u64) + components::noise_generator(),
+            );
 
             // ----- Stage 2: local resampling + exchange planning --------
             let state = Arc::clone(&states[i]);
-            let in_sum_edges: Vec<EdgeId> =
-                (0..n).map(|j| self.sum_edges[&(j, i)]).collect();
+            let in_sum_edges: Vec<EdgeId> = (0..n).map(|j| self.sum_edges[&(j, i)]).collect();
             let out_particle_edges: Vec<EdgeId> =
                 (0..n).map(|j| self.particle_edges[&(i, j)]).collect();
             let estimates = Arc::clone(&self.estimates);
@@ -298,21 +301,18 @@ impl PrognosisApp {
                 }
                 let total_w: f64 = sums_w.iter().sum();
                 if i == 0 {
-                    estimates
-                        .lock()
-                        .expect("estimates")
-                        .push(if total_w > 0.0 { total_wx / total_w } else { 0.0 });
+                    estimates.lock().expect("estimates").push(if total_w > 0.0 {
+                        total_wx / total_w
+                    } else {
+                        0.0
+                    });
                 }
                 // Proportional allocation + local systematic resample.
                 let alloc = allocate_counts(&sums_w, total);
                 let mut st = state.lock().expect("pe state");
                 let mut rng = st.rng.clone();
-                let drawn = systematic_draw(
-                    &st.filter.particles,
-                    &st.filter.weights,
-                    alloc[i],
-                    &mut rng,
-                );
+                let drawn =
+                    systematic_draw(&st.filter.particles, &st.filter.weights, alloc[i], &mut rng);
                 st.rng = rng;
                 let target = per_pe;
                 let keep = target.min(drawn.len());
@@ -428,7 +428,11 @@ mod tests {
 
     #[test]
     fn graph_matches_figure4_distribution() {
-        let app = PrognosisApp::new(PrognosisConfig { n_pes: 2, ..Default::default() }).unwrap();
+        let app = PrognosisApp::new(PrognosisConfig {
+            n_pes: 2,
+            ..Default::default()
+        })
+        .unwrap();
         // obs + 3 stages × 2 PEs.
         assert_eq!(app.graph.actor_count(), 7);
         // 2 obs edges + 4 sum edges + 4 particle edges.
@@ -439,7 +443,11 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(PrognosisApp::new(PrognosisConfig { n_pes: 0, ..Default::default() }).is_err());
+        assert!(PrognosisApp::new(PrognosisConfig {
+            n_pes: 0,
+            ..Default::default()
+        })
+        .is_err());
         assert!(PrognosisApp::new(PrognosisConfig {
             n_pes: 8,
             particles: 4,
@@ -479,7 +487,10 @@ mod tests {
         let sys = app.system(40).unwrap();
         let report = sys.run().unwrap();
         let rmse = app.tracking_rmse(10);
-        assert!(rmse < 2.0 * app.config().model.measurement_noise, "rmse {rmse}");
+        assert!(
+            rmse < 2.0 * app.config().model.measurement_noise,
+            "rmse {rmse}"
+        );
         // Cross-PE traffic existed: sums + particle exchanges.
         assert!(report.sim.total_messages() > 0);
     }
@@ -516,7 +527,8 @@ mod tests {
             .expect("valid config");
             let sys = app.system(steps).expect("buildable");
             sys.run().expect("clean run");
-            app.remaining_useful_life(3.0, 100_000).expect("pooled particles")
+            app.remaining_useful_life(3.0, 100_000)
+                .expect("pooled particles")
         };
         let (early_mean, ..) = rul_after(5);
         let (late_mean, p10, p90) = rul_after(110);

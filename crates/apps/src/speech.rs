@@ -44,7 +44,13 @@ pub struct SpeechConfig {
 
 impl Default for SpeechConfig {
     fn default() -> Self {
-        SpeechConfig { n_pes: 2, max_frame: 256, max_order: 8, vary_rates: true, seed: 7 }
+        SpeechConfig {
+            n_pes: 2,
+            max_frame: 256,
+            max_order: 8,
+            vary_rates: true,
+            seed: 7,
+        }
     }
 }
 
@@ -101,8 +107,10 @@ impl CompressedFrame {
     pub fn decompress(&self) -> Option<Vec<f64>> {
         let code = self.code.as_ref()?;
         let symbols = code.decode(&self.bits, self.bitlen, self.frame_len).ok()?;
-        let residual: Vec<f64> =
-            symbols.iter().map(|&s| self.quantizer.dequantize(s)).collect();
+        let residual: Vec<f64> = symbols
+            .iter()
+            .map(|&s| self.quantizer.dequantize(s))
+            .collect();
         Some(spi_dsp::lpc::synthesize(&residual, &self.coeffs))
     }
 }
@@ -160,10 +168,7 @@ impl SpeechApp {
         let mut g = SdfGraph::new();
         let a = g.add_actor("A:read", cost::read_cycles(config.max_frame));
         let b = g.add_actor("B:fft", fft_cycles(config.max_frame.next_power_of_two()));
-        let c = g.add_actor(
-            "C:lu",
-            cost::lu_cycles(config.max_frame, config.max_order),
-        );
+        let c = g.add_actor("C:lu", cost::lu_cycles(config.max_frame, config.max_order));
         let e = g.add_actor("E:huffman", huffman_cycles(config.max_frame));
         let mut d = Vec::new();
         let mut section_edges = Vec::new();
@@ -294,8 +299,7 @@ impl SpeechApp {
             builder.actor(di, move |ctx: &mut Firing| {
                 let section = f64s_from_bytes(&ctx.take_input(sec));
                 let raw = ctx.take_input(coe);
-                let order =
-                    u64::from_le_bytes(raw[..8].try_into().expect("order header")) as usize;
+                let order = u64::from_le_bytes(raw[..8].try_into().expect("order header")) as usize;
                 let coeffs = f64s_from_bytes(&raw[8..]);
                 // History samples precede the section's own range.
                 let hist = section.len().min(if i == 0 { 0 } else { order });
@@ -365,7 +369,9 @@ pub fn synth_frame(seed: u64, iter: u64, len: usize) -> Vec<f64> {
     let mut noise_prev = 0.0;
     (0..len)
         .map(|t| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let u = ((state >> 11) as f64) / ((1u64 << 53) as f64) - 0.5;
             noise_prev = 0.7 * noise_prev + 0.3 * u;
             let ph = t as f64 + (iter % 16) as f64 * 31.0;
@@ -420,7 +426,11 @@ mod tests {
 
     #[test]
     fn graph_matches_figure2_topology() {
-        let app = SpeechApp::new(SpeechConfig { n_pes: 3, ..Default::default() }).unwrap();
+        let app = SpeechApp::new(SpeechConfig {
+            n_pes: 3,
+            ..Default::default()
+        })
+        .unwrap();
         // A, B, C, E + 3 D's.
         assert_eq!(app.graph.actor_count(), 7);
         // A→B, B→C, C→E + 3×(A→D, C→D, D→E).
@@ -430,7 +440,11 @@ mod tests {
 
     #[test]
     fn degenerate_configs_rejected() {
-        assert!(SpeechApp::new(SpeechConfig { n_pes: 0, ..Default::default() }).is_err());
+        assert!(SpeechApp::new(SpeechConfig {
+            n_pes: 0,
+            ..Default::default()
+        })
+        .is_err());
         assert!(SpeechApp::new(SpeechConfig {
             max_frame: 8,
             max_order: 8,
@@ -540,7 +554,11 @@ mod tests {
             // only at section starts where history is truncated — the
             // energies must agree closely.
             let rel = (f.residual_energy - serial).abs() / serial.max(1e-9);
-            assert!(rel < 0.2, "parallel {} vs serial {serial}", f.residual_energy);
+            assert!(
+                rel < 0.2,
+                "parallel {} vs serial {serial}",
+                f.residual_energy
+            );
         }
     }
 }

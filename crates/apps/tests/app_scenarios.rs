@@ -19,17 +19,23 @@ fn prognosis_with_non_divisible_particle_count() {
     sys.run().expect("clean run");
     assert_eq!(app.estimates.lock().expect("estimates").len(), 25);
     let rmse = app.tracking_rmse(8);
-    assert!(rmse < 0.5, "filter still tracks with truncated count: {rmse}");
+    assert!(
+        rmse < 0.5,
+        "filter still tracks with truncated count: {rmse}"
+    );
 }
 
 #[test]
 fn prognosis_rmse_improves_with_more_particles() {
-    let rmse = |particles: usize| {
+    // Monte-Carlo error shrinks as 1/sqrt(N) only in expectation; a
+    // single-seed comparison at the measurement-noise floor is noise, so
+    // average the RMSE over several seeds before comparing counts.
+    let rmse = |particles: usize, seed: u64| {
         let app = PrognosisApp::new(PrognosisConfig {
             n_pes: 2,
             particles,
             steps: 40,
-            seed: 4242,
+            seed,
             ..Default::default()
         })
         .expect("valid config");
@@ -37,8 +43,12 @@ fn prognosis_rmse_improves_with_more_particles() {
         sys.run().expect("clean run");
         app.tracking_rmse(10)
     };
-    let coarse = rmse(20);
-    let fine = rmse(400);
+    let seeds = [4242, 4243, 4244, 4245];
+    let mean = |particles: usize| {
+        seeds.iter().map(|&s| rmse(particles, s)).sum::<f64>() / seeds.len() as f64
+    };
+    let coarse = mean(20);
+    let fine = mean(400);
     assert!(
         fine < coarse * 1.2,
         "more particles must not clearly hurt: 20→{coarse:.4}, 400→{fine:.4}"
@@ -77,7 +87,11 @@ fn error_stage_period_monotone_in_order() {
             ..Default::default()
         })
         .expect("valid config");
-        app.system(5).expect("buildable").run().expect("clean run").period_us()
+        app.system(5)
+            .expect("buildable")
+            .run()
+            .expect("clean run")
+            .period_us()
     };
     assert!(period(16) > period(4));
 }
@@ -103,8 +117,11 @@ fn filterbank_extreme_decimation() {
 #[test]
 fn speech_resource_report_scales_with_pes() {
     let spi_slices = |n: usize| {
-        let app = SpeechApp::new(SpeechConfig { n_pes: n, ..Default::default() })
-            .expect("valid config");
+        let app = SpeechApp::new(SpeechConfig {
+            n_pes: n,
+            ..Default::default()
+        })
+        .expect("valid config");
         let sys = app.system(1).expect("buildable");
         sys.library().spi_library.slices
     };

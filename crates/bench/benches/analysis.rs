@@ -11,12 +11,15 @@ use spi_sched::{Assignment, IpcGraph, ProcId, Protocol, SelfTimedSchedule, SyncG
 /// (q = [3,2,3,2,…]).
 fn test_graph() -> SdfGraph {
     let mut g = SdfGraph::new();
-    let actors: Vec<_> = (0..8).map(|i| g.add_actor(format!("v{i}"), 10 + i)).collect();
+    let actors: Vec<_> = (0..8)
+        .map(|i| g.add_actor(format!("v{i}"), 10 + i))
+        .collect();
     for (i, w) in actors.windows(2).enumerate() {
         let (p, c) = if i % 2 == 0 { (2, 3) } else { (3, 2) };
         g.add_edge(w[0], w[1], p, c, 0, 4).expect("edge");
     }
-    g.add_edge(actors[7], actors[0], 3, 2, 12, 4).expect("feedback");
+    g.add_edge(actors[7], actors[0], 3, 2, 12, 4)
+        .expect("feedback");
     g
 }
 
@@ -115,7 +118,9 @@ fn bench_csdf_reduction(c: &mut Criterion) {
         .expect("edge");
         prev = next;
     }
-    c.bench_function("analysis/csdf_to_sdf_8", |b| b.iter(|| g.to_sdf().expect("reducible")));
+    c.bench_function("analysis/csdf_to_sdf_8", |b| {
+        b.iter(|| g.to_sdf().expect("reducible"))
+    });
     c.bench_function("analysis/csdf_phase_schedule_8", |b| {
         b.iter(|| g.phase_schedule().expect("live"))
     });

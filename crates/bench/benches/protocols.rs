@@ -14,13 +14,13 @@ fn bench_spi_framing(c: &mut Criterion) {
         let payload = vec![0xA5u8; n];
         group.bench_with_input(BenchmarkId::new("static", n), &payload, |b, p| {
             b.iter(|| {
-                let msg = encode_static(EdgeId(3), p);
+                let msg = encode_static(EdgeId(3), p).expect("small edge id");
                 decode_static(&msg, EdgeId(3), p.len()).expect("well-formed")
             })
         });
         group.bench_with_input(BenchmarkId::new("dynamic", n), &payload, |b, p| {
             b.iter(|| {
-                let msg = encode_dynamic(EdgeId(3), p);
+                let msg = encode_dynamic(EdgeId(3), p).expect("small edge id");
                 decode_dynamic(&msg, EdgeId(3), p.len()).expect("well-formed")
             })
         });
@@ -59,5 +59,10 @@ fn bench_end_to_end_stream(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_spi_framing, bench_token_packer, bench_end_to_end_stream);
+criterion_group!(
+    benches,
+    bench_spi_framing,
+    bench_token_packer,
+    bench_end_to_end_stream
+);
 criterion_main!(benches);

@@ -50,11 +50,17 @@ impl std::fmt::Display for AblationRow {
 pub fn ablation_spi_vs_mpi(payload_bytes: usize, messages: u64) -> AblationRow {
     // ---- MPI side ----------------------------------------------------
     let mut m = Machine::new();
-    let data = m.add_channel(ChannelSpec { capacity_bytes: 1 << 20, ..ChannelSpec::default() });
+    let data = m.add_channel(ChannelSpec {
+        capacity_bytes: 1 << 20,
+        ..ChannelSpec::default()
+    });
     let ctrl = m.add_channel(ChannelSpec::default());
     let ep = MpiEndpoint::new(data, Some(ctrl));
     let n = payload_bytes;
-    m.add_pe(Program::new(ep.send_ops(n, move |_| vec![0xA5; n]), messages));
+    m.add_pe(Program::new(
+        ep.send_ops(n, move |_| vec![0xA5; n]),
+        messages,
+    ));
     m.add_pe(Program::new(ep.recv_ops(n, "sink"), messages));
     let mpi_report = m.run().expect("mpi baseline runs");
     let mpi_us = mpi_report.makespan_us(100.0);
@@ -95,8 +101,11 @@ pub fn ablation_spi_vs_mpi(payload_bytes: usize, messages: u64) -> AblationRow {
 /// the I/O processor's loop structure and deletes it).
 pub fn ablation_resync(n_pes: usize, frames: u64) -> Vec<AblationRow> {
     let run = |resync: bool, force_ubs: bool| {
-        let app = ErrorStageApp::new(ErrorStageConfig { n_pes, ..Default::default() })
-            .expect("valid config");
+        let app = ErrorStageApp::new(ErrorStageConfig {
+            n_pes,
+            ..Default::default()
+        })
+        .expect("valid config");
         let mut builder = SpiSystemBuilder::new(app.graph.clone());
         app.configure(&mut builder);
         builder.iterations(frames);
@@ -105,7 +114,11 @@ pub fn ablation_resync(n_pes: usize, frames: u64) -> Vec<AblationRow> {
         let sys = app.build_with(builder).expect("buildable");
         let sync_cost = sys.sync_cost() as f64;
         let report = sys.run().expect("clean run");
-        (report.period_us(), report.sim.total_messages() as f64, sync_cost)
+        (
+            report.period_us(),
+            report.sim.total_messages() as f64,
+            sync_cost,
+        )
     };
     let (_, _, sync_off) = run(false, false);
     let (_, _, sync_on) = run(true, false);
@@ -150,9 +163,7 @@ pub fn ablation_bbs_vs_ubs(n_pes: usize, steps: u64) -> AblationRow {
         builder.force_ubs(force_ubs);
         builder.resynchronization(false); // isolate the protocol effect
         let map = app.actor_processor_map();
-        let sys = builder
-            .build(n_pes, move |a| map[&a])
-            .expect("buildable");
+        let sys = builder.build(n_pes, move |a| map[&a]).expect("buildable");
         sys.run().expect("clean run").sim.total_messages() as f64
     };
     AblationRow {
@@ -221,7 +232,8 @@ pub fn ablation_selftimed_vs_static(jitter_percent: u32, iterations: u64) -> Abl
                 let h = ctx
                     .iter
                     .wrapping_mul(0x9E3779B97F4A7C15)
-                    .wrapping_add(i as u64) >> 33;
+                    .wrapping_add(i as u64)
+                    >> 33;
                 let frac = (h % 2001) as f64 / 1000.0 - 1.0; // [-1, 1)
                 let factor = 1.0 + frac * f64::from(jitter_percent) / 100.0;
                 (mean as f64 * factor).round() as u64
@@ -236,7 +248,9 @@ pub fn ablation_selftimed_vs_static(jitter_percent: u32, iterations: u64) -> Abl
     };
     AblationRow {
         label: format!("4-stage pipeline, ±{jitter_percent}% jitter: static vs self-timed"),
-        baseline: build(SchedulingMode::FullyStatic { slack_percent: jitter_percent }),
+        baseline: build(SchedulingMode::FullyStatic {
+            slack_percent: jitter_percent,
+        }),
         optimized: build(SchedulingMode::SelfTimed),
         unit: "µs",
     }
@@ -247,7 +261,11 @@ pub fn ablation_selftimed_vs_static(jitter_percent: u32, iterations: u64) -> Abl
 /// CPU next to custom PEs, the paper's actual deployment). Returns
 /// `(n, period_hw_io, period_sw_io)` per PE count — the software I/O
 /// side caps the parallel speedup.
-pub fn hwsw_codesign_sweep(pe_counts: &[usize], sw_factor: u64, frames: u64) -> Vec<(usize, f64, f64)> {
+pub fn hwsw_codesign_sweep(
+    pe_counts: &[usize],
+    sw_factor: u64,
+    frames: u64,
+) -> Vec<(usize, f64, f64)> {
     let run = |n: usize, factor: u64| {
         let app = ErrorStageApp::new(ErrorStageConfig {
             n_pes: n,
@@ -285,7 +303,9 @@ pub fn ablation_bus_vs_p2p(n_pes: usize, frames: u64) -> AblationRow {
         app.configure(&mut builder);
         builder.iterations(frames);
         if bus {
-            builder.shared_bus(spi_platform::BusSpec { arbitration_cycles: 4 });
+            builder.shared_bus(spi_platform::BusSpec {
+                arbitration_cycles: 4,
+            });
         }
         let sys = app.build_with(builder).expect("buildable");
         sys.run().expect("clean run").period_us()
@@ -317,7 +337,9 @@ pub fn ablation_ordered_vs_arbitrated(n_pes: usize, frames: u64) -> AblationRow 
         if ordered {
             builder.ordered_transactions(1);
         } else {
-            builder.shared_bus(spi_platform::BusSpec { arbitration_cycles: 8 });
+            builder.shared_bus(spi_platform::BusSpec {
+                arbitration_cycles: 8,
+            });
         }
         let sys = app.build_with(builder).expect("buildable");
         sys.run().expect("clean run").period_us()
@@ -342,7 +364,9 @@ pub fn ablation_vts_vs_worst_case(max_tokens: u32, iterations: u64) -> AblationR
         let mut g = spi_dataflow::SdfGraph::new();
         let a = g.add_actor("A", 1);
         let b_ = g.add_actor("B", 1);
-        let e = g.add_edge(a, b_, max_tokens, max_tokens, 0, 4).expect("edge");
+        let e = g
+            .add_edge(a, b_, max_tokens, max_tokens, 0, 4)
+            .expect("edge");
         let mut b = SpiSystemBuilder::new(g);
         let payload = (max_tokens * 4) as usize;
         b.actor(a, move |ctx: &mut spi::Firing| {

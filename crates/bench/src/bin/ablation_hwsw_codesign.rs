@@ -4,7 +4,10 @@
 fn main() {
     println!("Ablation — hardware/software co-design sensitivity (paper §5.2)\n");
     let rows = spi_bench::hwsw_codesign_sweep(&[1, 2, 3, 4], 4, 8);
-    println!("{:>4} {:>14} {:>14} {:>12} {:>12}", "n", "hw-I/O (µs)", "sw-I/O (µs)", "speedup hw", "speedup sw");
+    println!(
+        "{:>4} {:>14} {:>14} {:>12} {:>12}",
+        "n", "hw-I/O (µs)", "sw-I/O (µs)", "speedup hw", "speedup sw"
+    );
     let (base_hw, base_sw) = (rows[0].1, rows[0].2);
     for (n, hw, sw) in rows {
         println!(

@@ -3,7 +3,13 @@
 
 fn main() {
     println!("Ablation — SPI vs generic MPI message layer\n");
-    for (bytes, msgs) in [(16usize, 200u64), (64, 200), (256, 100), (1024, 50), (4096, 20)] {
+    for (bytes, msgs) in [
+        (16usize, 200u64),
+        (64, 200),
+        (256, 100),
+        (1024, 50),
+        (4096, 20),
+    ] {
         println!("{}", spi_bench::ablation_spi_vs_mpi(bytes, msgs));
     }
 }

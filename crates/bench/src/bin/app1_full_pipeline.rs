@@ -8,7 +8,10 @@ use spi_sched::speedup_bounds;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Full application-1 pipeline scaling (extension study)\n");
-    println!("{:>4} {:>14} {:>10} {:>16}", "n", "µs/frame", "speedup", "Brent bound");
+    println!(
+        "{:>4} {:>14} {:>10} {:>16}",
+        "n", "µs/frame", "speedup", "Brent bound"
+    );
     let mut base = None;
     for n in [1usize, 2, 3, 4, 6] {
         let cfg = SpeechConfig {

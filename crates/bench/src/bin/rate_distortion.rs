@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     sys.run()?;
     let frames = app.output.lock().expect("output").clone();
 
-    println!("{:>6} {:>14} {:>12} {:>10}", "bits", "bits/sample", "ratio", "SNR (dB)");
+    println!(
+        "{:>6} {:>14} {:>12} {:>10}",
+        "bits", "bits/sample", "ratio", "SNR (dB)"
+    );
     for bits in [3u32, 4, 5, 6, 8, 10] {
         let (mut total_bits, mut total_samples) = (0usize, 0usize);
         let (mut sig, mut err) = (0.0f64, 0.0f64);
@@ -47,10 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         let bps = total_bits as f64 / total_samples as f64;
         let snr = 10.0 * (sig / err.max(1e-15)).log10();
-        println!(
-            "{bits:>6} {bps:>14.2} {:>11.1}x {snr:>10.1}",
-            64.0 / bps
-        );
+        println!("{bits:>6} {bps:>14.2} {:>11.1}x {snr:>10.1}", 64.0 / bps);
     }
     println!("\n(ratio = vs raw 64-bit samples; SNR of the closed decode loop)");
     Ok(())

@@ -6,14 +6,20 @@ use spi_apps::{ErrorStageApp, ErrorStageConfig, PrognosisApp, PrognosisConfig};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Buffer sizing — eq. (1)/(2) in practice\n");
 
-    let app = ErrorStageApp::new(ErrorStageConfig { n_pes: 3, ..Default::default() })?;
+    let app = ErrorStageApp::new(ErrorStageConfig {
+        n_pes: 3,
+        ..Default::default()
+    })?;
     let sys = app.system(1)?;
     println!("3-PE error stage (application 1 hardware subsystem):");
     for row in sys.buffer_report() {
         println!("  {row}");
     }
 
-    let app = PrognosisApp::new(PrognosisConfig { n_pes: 2, ..Default::default() })?;
+    let app = PrognosisApp::new(PrognosisConfig {
+        n_pes: 2,
+        ..Default::default()
+    })?;
     let sys = app.system(1)?;
     println!("\n2-PE particle filter (application 2):");
     for row in sys.buffer_report() {

@@ -1,0 +1,262 @@
+//! `spi-lint` — static analysis of DIF dataflow files.
+//!
+//! Runs the full `spi-analyze` pipeline over each DIF file and renders
+//! the diagnostics. With `--procs N` the graph is additionally pushed
+//! through scheduling (round-robin actor assignment, like the stress
+//! harness) so the schedule-level passes — protocol lints, sync
+//! coverage, resynchronization fixpoint — run too.
+//!
+//! Usage:
+//!   spi-lint [--format human|json] [--procs N] [--force-ubs]
+//!            [--no-resync] [--delimiter] FILE...
+//!
+//! Exit status: 0 clean (warnings allowed), 1 when any error-severity
+//! diagnostic fires, 2 on usage or parse problems.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use spi_analyze::{AnalysisInput, Analyzer};
+use spi_dataflow::dif::from_dif;
+use spi_dataflow::{EdgeId, LengthSignal, PrecedenceGraph, SdfGraph, VtsConversion};
+use spi_sched::{
+    Assignment, IpcEdgeKind, IpcGraph, ProcId, Protocol, SelfTimedSchedule, SyncGraph,
+};
+
+struct Options {
+    json: bool,
+    procs: Option<usize>,
+    force_ubs: bool,
+    resync: bool,
+    delimiter: bool,
+    files: Vec<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: spi-lint [--format human|json] [--procs N] [--force-ubs] \
+     [--no-resync] [--delimiter] FILE..."
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        procs: None,
+        force_ubs: false,
+        resync: true,
+        delimiter: false,
+        files: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => {
+                match it.next().map(String::as_str) {
+                    Some("json") => opts.json = true,
+                    Some("human") => opts.json = false,
+                    Some(other) => {
+                        return Err(format!("--format expects human|json, got `{other}`"))
+                    }
+                    None => return Err("--format expects human|json".into()),
+                };
+            }
+            "--procs" => {
+                let n = it
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--procs expects a positive integer")?;
+                opts.procs = Some(n);
+            }
+            "--force-ubs" => opts.force_ubs = true,
+            "--no-resync" => opts.resync = false,
+            "--delimiter" => opts.delimiter = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
+            file => opts.files.push(file.to_string()),
+        }
+    }
+    if opts.files.is_empty() {
+        return Err(usage().to_string());
+    }
+    Ok(opts)
+}
+
+/// Mirrors the builder's schedule derivation far enough to feed the
+/// schedule-level passes: VTS → precedence graph → round-robin actor
+/// assignment → IPC graph → protocol selection → sync graph (+ resync).
+struct ScheduleArtifacts {
+    vts: VtsConversion,
+    ipc: IpcGraph,
+    sync: SyncGraph,
+    protocols: HashMap<EdgeId, Protocol>,
+}
+
+fn derive_schedule(
+    graph: &SdfGraph,
+    procs: usize,
+    force_ubs: bool,
+    resync: bool,
+) -> Result<ScheduleArtifacts, String> {
+    let vts = VtsConversion::convert(graph).map_err(|e| e.to_string())?;
+    let cg = vts.graph().clone();
+    let pg = PrecedenceGraph::expand(&cg).map_err(|e| e.to_string())?;
+    let assignment =
+        Assignment::by_actor(&pg, procs, |a| ProcId(a.0 % procs)).map_err(|e| e.to_string())?;
+    let st = SelfTimedSchedule::from_assignment(&pg, assignment).map_err(|e| e.to_string())?;
+    let ipc = IpcGraph::build(&cg, &pg, &st).map_err(|e| e.to_string())?;
+
+    // eq. (2) bound per edge, folded with MAX; one unbounded instance
+    // forces UBS (same rule as the system builder).
+    let mut bounds: HashMap<EdgeId, Option<u64>> = HashMap::new();
+    for e in ipc.ipc_edges() {
+        let IpcEdgeKind::Ipc { via } = e.kind else {
+            continue;
+        };
+        let instance = ipc.ipc_buffer_bound_tokens(e);
+        bounds
+            .entry(via)
+            .and_modify(|acc| {
+                *acc = match (*acc, instance) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    _ => None,
+                }
+            })
+            .or_insert(instance);
+    }
+    let mut max_delay: HashMap<EdgeId, u64> = HashMap::new();
+    for e in ipc.ipc_edges() {
+        if let IpcEdgeKind::Ipc { via } = e.kind {
+            let d = max_delay.entry(via).or_insert(0);
+            *d = (*d).max(e.delay);
+        }
+    }
+    let q = pg.repetitions().clone();
+    let protocols: HashMap<EdgeId, Protocol> = bounds
+        .iter()
+        .map(|(&via, &bound)| {
+            let protocol = match bound {
+                Some(b) if !force_ubs => Protocol::Bbs {
+                    capacity: b.max(max_delay[&via] + 1),
+                },
+                _ => Protocol::Ubs {
+                    ack_window: q[cg.edge(via).src].max(1),
+                },
+            };
+            (via, protocol)
+        })
+        .collect();
+
+    let protocols_view = protocols.clone();
+    let mut sync = SyncGraph::from_ipc(&ipc, |e| {
+        let IpcEdgeKind::Ipc { via } = e.kind else {
+            unreachable!("protocol_of is only called for IPC edges")
+        };
+        match protocols_view[&via] {
+            Protocol::Ubs { .. } => Protocol::Ubs { ack_window: 1 },
+            bbs => bbs,
+        }
+    })
+    .map_err(|e| e.to_string())?;
+    if resync {
+        sync.resynchronize(true);
+    }
+    Ok(ScheduleArtifacts {
+        vts,
+        ipc,
+        sync,
+        protocols,
+    })
+}
+
+fn lint_file(path: &str, opts: &Options) -> Result<spi_analyze::AnalysisReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let graph = from_dif(&text).map_err(|e| format!("{path}: {e}"))?;
+    let signal = if opts.delimiter {
+        LengthSignal::Delimiter
+    } else {
+        LengthSignal::Header
+    };
+
+    let analyzer = Analyzer::default_pipeline();
+    let report = match opts.procs {
+        None => analyzer.run(&AnalysisInput::new(&graph).with_signal(signal)),
+        Some(procs) => {
+            // Graph-level errors make schedule derivation meaningless;
+            // report them directly.
+            let graph_report = analyzer.run(&AnalysisInput::new(&graph).with_signal(signal));
+            if graph_report.has_errors() {
+                graph_report
+            } else {
+                let art = derive_schedule(&graph, procs, opts.force_ubs, opts.resync)
+                    .map_err(|e| format!("{path}: scheduling failed: {e}"))?;
+                analyzer.run(
+                    &AnalysisInput::new(&graph)
+                        .with_vts(&art.vts)
+                        .with_signal(signal)
+                        .with_ipc(&art.ipc)
+                        .with_sync(&art.sync)
+                        .with_protocols(&art.protocols),
+                )
+            }
+        }
+    };
+    Ok(report)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut any_error = false;
+    let mut json_files: Vec<String> = Vec::new();
+    for path in &opts.files {
+        match lint_file(path, &opts) {
+            Ok(report) => {
+                any_error |= report.has_errors();
+                if opts.json {
+                    json_files.push(format!(
+                        "{{\"file\":{},\"report\":{}}}",
+                        json_escape(path),
+                        report.render_json()
+                    ));
+                } else {
+                    println!("{path}:");
+                    print!("{}", report.render_human());
+                }
+            }
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if opts.json {
+        println!("[{}]", json_files.join(","));
+    }
+    if any_error {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

@@ -80,6 +80,22 @@ fn run_one(seed: u64) -> Result<(), String> {
         .map_err(|e| format!("build: {e}"))?;
     let report = sys.run().map_err(|e| format!("run: {e}"))?;
 
+    // Zero-false-positive oracle for the static analyzer: a system that
+    // just built and simulated correctly must carry no error-severity
+    // diagnostics. (The builder aborts on errors, so reaching here with
+    // one means the analyzer contradicted a demonstrably working system.)
+    let lint = spi_analyze::analyze_graph(&g);
+    if lint.has_errors() {
+        let msgs: Vec<String> = lint
+            .errors()
+            .map(|d| format!("{}: {}", d.code, d.message))
+            .collect();
+        return Err(format!(
+            "analyzer false positive on a working graph: {}",
+            msgs.join("; ")
+        ));
+    }
+
     // Conservation: every actor fired q·iterations times.
     let q = spi_dataflow::VtsConversion::convert(&g)
         .map_err(|e| e.to_string())?
@@ -90,7 +106,10 @@ fn run_one(seed: u64) -> Result<(), String> {
     for (i, &a) in actors.iter().enumerate() {
         let expect = q[a] * iterations;
         if fired[i] != expect {
-            return Err(format!("actor {a} fired {} times, expected {expect}", fired[i]));
+            return Err(format!(
+                "actor {a} fired {} times, expected {expect}",
+                fired[i]
+            ));
         }
     }
     let _ = report;

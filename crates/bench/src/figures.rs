@@ -1,6 +1,8 @@
 //! Regeneration of the paper's figures.
 
-use spi_apps::{ErrorStageApp, ErrorStageConfig, PrognosisApp, PrognosisConfig, SpeechApp, SpeechConfig};
+use spi_apps::{
+    ErrorStageApp, ErrorStageConfig, PrognosisApp, PrognosisConfig, SpeechApp, SpeechConfig,
+};
 use spi_dataflow::{SdfGraph, VtsConversion};
 
 /// One point of a scaling figure (figures 6 and 7).
@@ -53,8 +55,11 @@ pub fn fig1_vts() -> String {
 
 /// Figure 2: application 1's dataflow graph.
 pub fn fig2_graph(n_pes: usize) -> String {
-    let app = SpeechApp::new(SpeechConfig { n_pes, ..Default::default() })
-        .expect("valid default config");
+    let app = SpeechApp::new(SpeechConfig {
+        n_pes,
+        ..Default::default()
+    })
+    .expect("valid default config");
     format!(
         "Figure 2 — application 1 (LPC compression), D parallelized {n_pes}×\n\n{}",
         app.graph
@@ -63,8 +68,11 @@ pub fn fig2_graph(n_pes: usize) -> String {
 
 /// Figure 4: application 2's dataflow graph.
 pub fn fig4_graph(n_pes: usize) -> String {
-    let app = PrognosisApp::new(PrognosisConfig { n_pes, ..Default::default() })
-        .expect("valid default config");
+    let app = PrognosisApp::new(PrognosisConfig {
+        n_pes,
+        ..Default::default()
+    })
+    .expect("valid default config");
     format!(
         "Figure 4 — application 2 (particle filter), {n_pes} PEs\n\n{}",
         app.graph
@@ -97,9 +105,21 @@ impl ResyncFigure {
 
 impl std::fmt::Display for ResyncFigure {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "  sync edges before resynchronization: {}", self.sync_before)?;
-        writeln!(f, "  sync edges after  resynchronization: {}", self.sync_after)?;
-        writeln!(f, "  resync edges added: {}, redundant removed: {}", self.added, self.removed)?;
+        writeln!(
+            f,
+            "  sync edges before resynchronization: {}",
+            self.sync_before
+        )?;
+        writeln!(
+            f,
+            "  sync edges after  resynchronization: {}",
+            self.sync_after
+        )?;
+        writeln!(
+            f,
+            "  resync edges added: {}, redundant removed: {}",
+            self.added, self.removed
+        )?;
         write!(
             f,
             "  net synchronization reduction: {}",
@@ -110,8 +130,11 @@ impl std::fmt::Display for ResyncFigure {
 
 /// Figure 3: resynchronization of the 3-PE error-stage implementation.
 pub fn fig3_resync(n_pes: usize) -> ResyncFigure {
-    let app = ErrorStageApp::new(ErrorStageConfig { n_pes, ..Default::default() })
-        .expect("valid config");
+    let app = ErrorStageApp::new(ErrorStageConfig {
+        n_pes,
+        ..Default::default()
+    })
+    .expect("valid config");
     let sys = app.system(1).expect("buildable system");
     ResyncFigure::from_report(sys.resync_report().expect("resync enabled by default"))
 }
@@ -119,8 +142,11 @@ pub fn fig3_resync(n_pes: usize) -> ResyncFigure {
 /// Figure 3 as drawings: Graphviz DOT of the synchronization graph
 /// `(before, after)` resynchronization.
 pub fn fig3_dot(n_pes: usize) -> (String, String) {
-    let app = ErrorStageApp::new(ErrorStageConfig { n_pes, ..Default::default() })
-        .expect("valid config");
+    let app = ErrorStageApp::new(ErrorStageConfig {
+        n_pes,
+        ..Default::default()
+    })
+    .expect("valid config");
     let sys = app.system(1).expect("buildable system");
     let (b, a) = sys.sync_graph_dot();
     (b.to_string(), a.to_string())
@@ -128,8 +154,11 @@ pub fn fig3_dot(n_pes: usize) -> (String, String) {
 
 /// Figure 5 as drawings: Graphviz DOT `(before, after)`.
 pub fn fig5_dot(n_pes: usize) -> (String, String) {
-    let app = PrognosisApp::new(PrognosisConfig { n_pes, ..Default::default() })
-        .expect("valid config");
+    let app = PrognosisApp::new(PrognosisConfig {
+        n_pes,
+        ..Default::default()
+    })
+    .expect("valid config");
     let sys = app.system(1).expect("buildable system");
     let (b, a) = sys.sync_graph_dot();
     (b.to_string(), a.to_string())
@@ -138,8 +167,11 @@ pub fn fig5_dot(n_pes: usize) -> (String, String) {
 /// Figure 5: resynchronization of the 2-PE particle-filter
 /// implementation.
 pub fn fig5_resync(n_pes: usize) -> ResyncFigure {
-    let app = PrognosisApp::new(PrognosisConfig { n_pes, ..Default::default() })
-        .expect("valid config");
+    let app = PrognosisApp::new(PrognosisConfig {
+        n_pes,
+        ..Default::default()
+    })
+    .expect("valid config");
     let sys = app.system(1).expect("buildable system");
     ResyncFigure::from_report(sys.resync_report().expect("resync enabled by default"))
 }
@@ -160,7 +192,11 @@ pub fn fig6_scaling(sample_sizes: &[usize], pe_counts: &[usize], frames: u64) ->
             .expect("valid config");
             let sys = app.system(frames).expect("buildable");
             let report = sys.run().expect("clean run");
-            rows.push(ScalingRow { n_pes: n, x: size, time_us: report.period_us() });
+            rows.push(ScalingRow {
+                n_pes: n,
+                x: size,
+                time_us: report.period_us(),
+            });
         }
     }
     rows
@@ -181,7 +217,11 @@ pub fn fig7_scaling(particle_counts: &[usize], pe_counts: &[usize], steps: u64) 
             .expect("valid config");
             let sys = app.system(steps).expect("buildable");
             let report = sys.run().expect("clean run");
-            rows.push(ScalingRow { n_pes: n, x: particles, time_us: report.period_us() });
+            rows.push(ScalingRow {
+                n_pes: n,
+                x: particles,
+                time_us: report.period_us(),
+            });
         }
     }
     rows
@@ -263,7 +303,10 @@ mod tests {
         // Time grows with sample size; n=2 beats n=1 at the largest size.
         let rows = fig6_scaling(&[128, 384], &[1, 2], 6);
         let t = |n: usize, x: usize| {
-            rows.iter().find(|r| r.n_pes == n && r.x == x).unwrap().time_us
+            rows.iter()
+                .find(|r| r.n_pes == n && r.x == x)
+                .unwrap()
+                .time_us
         };
         assert!(t(1, 384) > t(1, 128));
         assert!(t(2, 384) < t(1, 384));
@@ -273,7 +316,10 @@ mod tests {
     fn fig7_shape_holds() {
         let rows = fig7_scaling(&[60, 240], &[1, 2], 8);
         let t = |n: usize, x: usize| {
-            rows.iter().find(|r| r.n_pes == n && r.x == x).unwrap().time_us
+            rows.iter()
+                .find(|r| r.n_pes == n && r.x == x)
+                .unwrap()
+                .time_us
         };
         assert!(t(1, 240) > t(1, 60), "time grows with particles");
         assert!(t(2, 240) < t(1, 240), "2 PEs beat 1 at high load");
@@ -284,8 +330,16 @@ mod tests {
     #[test]
     fn format_scaling_aligns_series() {
         let rows = vec![
-            ScalingRow { n_pes: 1, x: 100, time_us: 10.0 },
-            ScalingRow { n_pes: 2, x: 100, time_us: 6.0 },
+            ScalingRow {
+                n_pes: 1,
+                x: 100,
+                time_us: 10.0,
+            },
+            ScalingRow {
+                n_pes: 2,
+                x: 100,
+                time_us: 6.0,
+            },
         ];
         let s = format_scaling(&rows, "Sample Size");
         assert!(s.contains("n=1"));

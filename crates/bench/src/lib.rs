@@ -38,9 +38,9 @@ pub mod figures;
 pub mod tables;
 
 pub use ablations::{
-    ablation_bbs_vs_ubs, ablation_bus_vs_p2p, ablation_header_vs_delimiter, ablation_resync,
-    ablation_ordered_vs_arbitrated, ablation_selftimed_vs_static, ablation_spi_vs_mpi,
-    ablation_vts_vs_worst_case, hwsw_codesign_sweep, AblationRow,
+    ablation_bbs_vs_ubs, ablation_bus_vs_p2p, ablation_header_vs_delimiter,
+    ablation_ordered_vs_arbitrated, ablation_resync, ablation_selftimed_vs_static,
+    ablation_spi_vs_mpi, ablation_vts_vs_worst_case, hwsw_codesign_sweep, AblationRow,
 };
 pub use figures::{
     fig1_vts, fig2_graph, fig3_dot, fig3_resync, fig4_graph, fig5_dot, fig5_resync, fig6_scaling,

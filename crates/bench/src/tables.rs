@@ -32,15 +32,22 @@ impl std::fmt::Display for ResourceTable {
             )
         };
         writeln!(f, "{}", row("Full system", &self.full_system))?;
-        write!(f, "{}", row("SPI library (rel. to full system)", &self.spi_share))
+        write!(
+            f,
+            "{}",
+            row("SPI library (rel. to full system)", &self.spi_share)
+        )
     }
 }
 
 /// Table 1: FPGA resources of the `n`-PE error-stage implementation
 /// (the paper uses n = 4).
 pub fn table1_resources(n_pes: usize) -> ResourceTable {
-    let app = ErrorStageApp::new(ErrorStageConfig { n_pes, ..Default::default() })
-        .expect("valid config");
+    let app = ErrorStageApp::new(ErrorStageConfig {
+        n_pes,
+        ..Default::default()
+    })
+    .expect("valid config");
     let sys = app.system(1).expect("buildable");
     let device = Device::virtex4_sx35();
     let lib = sys.library();
@@ -55,8 +62,11 @@ pub fn table1_resources(n_pes: usize) -> ResourceTable {
 /// Table 2: FPGA resources of the `n`-PE particle-filter implementation
 /// (the paper uses n = 2).
 pub fn table2_resources(n_pes: usize) -> ResourceTable {
-    let app = PrognosisApp::new(PrognosisConfig { n_pes, ..Default::default() })
-        .expect("valid config");
+    let app = PrognosisApp::new(PrognosisConfig {
+        n_pes,
+        ..Default::default()
+    })
+    .expect("valid config");
     let sys = app.system(1).expect("buildable");
     let device = Device::virtex4_sx35();
     let lib = sys.library();

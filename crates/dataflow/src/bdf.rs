@@ -93,7 +93,10 @@ impl Switch {
 
     /// Takes everything routed so far: `(true-branch, false-branch)`.
     pub fn drain(&mut self) -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
-        (std::mem::take(&mut self.out_true), std::mem::take(&mut self.out_false))
+        (
+            std::mem::take(&mut self.out_true),
+            std::mem::take(&mut self.out_false),
+        )
     }
 
     /// Tokens waiting for a matching control/data partner.
@@ -182,9 +185,22 @@ pub fn vts_envelope(
     max_burst: u32,
     token_bytes: u32,
 ) -> Result<(EdgeId, EdgeId)> {
-    let t = graph.add_dynamic_edge(producer, consumer_true, max_burst, max_burst, 0, token_bytes)?;
-    let f =
-        graph.add_dynamic_edge(producer, consumer_false, max_burst, max_burst, 0, token_bytes)?;
+    let t = graph.add_dynamic_edge(
+        producer,
+        consumer_true,
+        max_burst,
+        max_burst,
+        0,
+        token_bytes,
+    )?;
+    let f = graph.add_dynamic_edge(
+        producer,
+        consumer_false,
+        max_burst,
+        max_burst,
+        0,
+        token_bytes,
+    )?;
     Ok((t, f))
 }
 

@@ -151,7 +151,14 @@ impl CsdfGraph {
         if dst.0 >= self.names.len() {
             return Err(DataflowError::UnknownActor(dst));
         }
-        self.edges.push(CsdfEdge { src, dst, produce, consume, delay, token_bytes });
+        self.edges.push(CsdfEdge {
+            src,
+            dst,
+            produce,
+            consume,
+            delay,
+            token_bytes,
+        });
         Ok(EdgeId(self.edges.len() - 1))
     }
 
@@ -203,7 +210,10 @@ impl CsdfGraph {
             let c32 = u32::try_from(c).map_err(|_| DataflowError::Overflow)?;
             sdf.add_edge(e.src, e.dst, p32, c32, e.delay, e.token_bytes)?;
         }
-        Ok(CsdfReduction { graph: sdf, phases: cycle_of })
+        Ok(CsdfReduction {
+            graph: sdf,
+            phases: cycle_of,
+        })
     }
 
     /// Phase-accurate admissible schedule by simulation: fires any actor
@@ -228,14 +238,11 @@ impl CsdfGraph {
         let mut fired = vec![0u64; n];
         let mut schedule = Vec::new();
         loop {
-            let candidate = (0..n)
-                .filter(|&a| fired[a] < quota[a])
-                .find(|&a| {
-                    self.edges.iter().enumerate().all(|(ei, e)| {
-                        e.dst != ActorId(a)
-                            || tokens[ei] >= u64::from(e.consume.rate_at(fired[a]))
-                    })
-                });
+            let candidate = (0..n).filter(|&a| fired[a] < quota[a]).find(|&a| {
+                self.edges.iter().enumerate().all(|(ei, e)| {
+                    e.dst != ActorId(a) || tokens[ei] >= u64::from(e.consume.rate_at(fired[a]))
+                })
+            });
             let Some(a) = candidate else { break };
             for (ei, e) in self.edges.iter().enumerate() {
                 if e.dst == ActorId(a) {
@@ -351,7 +358,10 @@ mod tests {
         assert_eq!(count(bot), 1);
         // top can only fire after src's phase 0, bot after phase 1.
         let pos = |a: ActorId, k: u64| {
-            schedule.iter().position(|&(x, kk)| x == a && kk == k).unwrap()
+            schedule
+                .iter()
+                .position(|&(x, kk)| x == a && kk == k)
+                .unwrap()
         };
         assert!(pos(top, 0) > pos(src, 0));
         assert!(pos(bot, 0) > pos(src, 1));
@@ -414,7 +424,10 @@ mod tests {
             4,
         )
         .unwrap();
-        assert!(matches!(g.phase_schedule(), Err(DataflowError::Deadlock { .. })));
+        assert!(matches!(
+            g.phase_schedule(),
+            Err(DataflowError::Deadlock { .. })
+        ));
     }
 
     #[test]

@@ -26,7 +26,10 @@ use crate::graph::{Rate, SdfGraph};
 pub fn to_dif(graph: &SdfGraph, name: &str) -> String {
     let mut out = format!("graph {name} {{\n");
     for (_, actor) in graph.actors() {
-        out.push_str(&format!("  actor {} exec {};\n", actor.name, actor.exec_cycles));
+        out.push_str(&format!(
+            "  actor {} exec {};\n",
+            actor.name, actor.exec_cycles
+        ));
     }
     for (_, e) in graph.edges() {
         let rate = |r: Rate| match r {
@@ -65,14 +68,19 @@ pub fn from_dif(text: &str) -> Result<SdfGraph> {
         if line.is_empty() {
             continue;
         }
-        let err = |message: String| DataflowError::Parse { line: lineno + 1, message };
+        let err = |message: String| DataflowError::Parse {
+            line: lineno + 1,
+            message,
+        };
 
         if !in_graph {
             let mut toks = line.split_whitespace();
             if toks.next() != Some("graph") {
                 return Err(err("expected `graph <name> {`".into()));
             }
-            let _name = toks.next().ok_or_else(|| err("missing graph name".into()))?;
+            let _name = toks
+                .next()
+                .ok_or_else(|| err("missing graph name".into()))?;
             if toks.next() != Some("{") {
                 return Err(err("expected `{` after graph name".into()));
             }
@@ -113,13 +121,15 @@ pub fn from_dif(text: &str) -> Result<SdfGraph> {
                 actors.insert(name, id);
             }
             Some("edge") => {
-                let src_name =
-                    toks.next().ok_or_else(|| err("edge needs a source".into()))?;
+                let src_name = toks
+                    .next()
+                    .ok_or_else(|| err("edge needs a source".into()))?;
                 if toks.next() != Some("->") {
                     return Err(err("expected `->`".into()));
                 }
-                let dst_name =
-                    toks.next().ok_or_else(|| err("edge needs a destination".into()))?;
+                let dst_name = toks
+                    .next()
+                    .ok_or_else(|| err("edge needs a destination".into()))?;
                 let src = *actors
                     .get(src_name)
                     .ok_or_else(|| err(format!("unknown actor `{src_name}`")))?;
@@ -283,7 +293,10 @@ graph lpc {
     fn zero_rate_rejected_with_location() {
         let bad =
             "graph g {\n actor A exec 1;\n actor B exec 1;\n edge A -> B produce 0 consume 1 bytes 4;\n}\n";
-        assert!(matches!(from_dif(bad), Err(DataflowError::Parse { line: 4, .. })));
+        assert!(matches!(
+            from_dif(bad),
+            Err(DataflowError::Parse { line: 4, .. })
+        ));
     }
 
     #[test]

@@ -62,7 +62,10 @@ impl fmt::Display for DataflowError {
             DataflowError::UnknownActor(a) => write!(f, "unknown actor id {a}"),
             DataflowError::UnknownEdge(e) => write!(f, "unknown edge id {e}"),
             DataflowError::ZeroRate { edge } => {
-                write!(f, "zero token rate declared on edge {edge}; SDF rates must be positive")
+                write!(
+                    f,
+                    "zero token rate declared on edge {edge}; SDF rates must be positive"
+                )
             }
             DataflowError::Inconsistent { edge } => {
                 write!(f, "balance equations are inconsistent at edge {edge}")
@@ -75,7 +78,10 @@ impl fmt::Display for DataflowError {
                 write!(f, "graph deadlocks; {} actor(s) starved", starved.len())
             }
             DataflowError::MissingRateBound { edge } => {
-                write!(f, "dynamic port on edge {edge} lacks the upper bound required by VTS")
+                write!(
+                    f,
+                    "dynamic port on edge {edge} lacks the upper bound required by VTS"
+                )
             }
             DataflowError::EmptyGraph => write!(f, "graph contains no actors"),
             DataflowError::Overflow => {
@@ -105,7 +111,9 @@ mod tests {
             DataflowError::ZeroRate { edge: EdgeId(0) },
             DataflowError::Inconsistent { edge: EdgeId(1) },
             DataflowError::DynamicRate { edge: EdgeId(2) },
-            DataflowError::Deadlock { starved: vec![ActorId(0)] },
+            DataflowError::Deadlock {
+                starved: vec![ActorId(0)],
+            },
             DataflowError::MissingRateBound { edge: EdgeId(4) },
             DataflowError::EmptyGraph,
             DataflowError::Overflow,

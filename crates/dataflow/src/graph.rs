@@ -103,7 +103,10 @@ pub struct Actor {
 impl Actor {
     /// Creates an actor with the given name and estimated firing cost.
     pub fn new(name: impl Into<String>, exec_cycles: u64) -> Self {
-        Actor { name: name.into(), exec_cycles }
+        Actor {
+            name: name.into(),
+            exec_cycles,
+        }
     }
 }
 
@@ -226,7 +229,14 @@ impl SdfGraph {
         if produce.bound() == 0 || consume.bound() == 0 {
             return Err(DataflowError::ZeroRate { edge: id });
         }
-        self.edges.push(Edge { src, dst, produce, consume, delay, token_bytes });
+        self.edges.push(Edge {
+            src,
+            dst,
+            produce,
+            consume,
+            delay,
+            token_bytes,
+        });
         Ok(id)
     }
 
@@ -250,8 +260,12 @@ impl SdfGraph {
         self.add_edge_with_rates(
             src,
             dst,
-            Rate::Dynamic { bound: produce_bound },
-            Rate::Dynamic { bound: consume_bound },
+            Rate::Dynamic {
+                bound: produce_bound,
+            },
+            Rate::Dynamic {
+                bound: consume_bound,
+            },
             delay,
             token_bytes,
         )
@@ -355,7 +369,9 @@ impl SdfGraph {
 
     /// Looks up an actor by name (first match).
     pub fn actor_by_name(&self, name: &str) -> Option<ActorId> {
-        self.actors().find(|(_, a)| a.name == name).map(|(id, _)| id)
+        self.actors()
+            .find(|(_, a)| a.name == name)
+            .map(|(id, _)| id)
     }
 
     /// Crate-internal mutable edge access used by VTS conversion.
@@ -376,7 +392,12 @@ impl SdfGraph {
 /// figure-regeneration binaries.
 impl fmt::Display for SdfGraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "dataflow graph: {} actors, {} edges", self.actors.len(), self.edges.len())?;
+        writeln!(
+            f,
+            "dataflow graph: {} actors, {} edges",
+            self.actors.len(),
+            self.edges.len()
+        )?;
         for (id, e) in self.edges() {
             writeln!(
                 f,
@@ -417,8 +438,14 @@ mod tests {
     #[test]
     fn add_edge_rejects_zero_rates() {
         let (mut g, a, b) = two_actor_graph();
-        assert!(matches!(g.add_edge(a, b, 0, 1, 0, 4), Err(DataflowError::ZeroRate { .. })));
-        assert!(matches!(g.add_edge(a, b, 1, 0, 0, 4), Err(DataflowError::ZeroRate { .. })));
+        assert!(matches!(
+            g.add_edge(a, b, 0, 1, 0, 4),
+            Err(DataflowError::ZeroRate { .. })
+        ));
+        assert!(matches!(
+            g.add_edge(a, b, 1, 0, 0, 4),
+            Err(DataflowError::ZeroRate { .. })
+        ));
         assert_eq!(g.edge_count(), 0);
     }
 

@@ -100,8 +100,14 @@ impl PrecedenceGraph {
                     let delay = -((i_g - 1).div_euclid(q_src));
                     debug_assert!(delay >= 0, "future-iteration producer is impossible");
                     edges.push(Precedence {
-                        from: Firing { actor: e.src, k: k_src as u64 },
-                        to: Firing { actor: e.dst, k: j - 1 },
+                        from: Firing {
+                            actor: e.src,
+                            k: k_src as u64,
+                        },
+                        to: Firing {
+                            actor: e.dst,
+                            k: j - 1,
+                        },
                         via: eid,
                         delay: delay as u64,
                     });
@@ -112,7 +118,6 @@ impl PrecedenceGraph {
         edges.dedup();
         Ok(PrecedenceGraph { firings, edges, q })
     }
-
 
     /// All firings, grouped by actor in id order.
     pub fn firings(&self) -> &[Firing] {
@@ -142,8 +147,12 @@ impl PrecedenceGraph {
     /// deadlock); callers that have already scheduled may unwrap.
     pub fn topological_order(&self) -> Option<Vec<Firing>> {
         use std::collections::HashMap;
-        let idx: HashMap<Firing, usize> =
-            self.firings.iter().enumerate().map(|(i, &f)| (f, i)).collect();
+        let idx: HashMap<Firing, usize> = self
+            .firings
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (f, i))
+            .collect();
         let n = self.firings.len();
         let mut indeg = vec![0usize; n];
         let mut out: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -200,11 +209,7 @@ mod tests {
         g.add_edge(a, b, 2, 3, 0, 4).unwrap();
         let pg = PrecedenceGraph::expand(&g).unwrap();
         assert_eq!(pg.firings().len(), 5);
-        let deps: Vec<(u64, u64)> = pg
-            .edges()
-            .iter()
-            .map(|p| (p.from.k, p.to.k))
-            .collect();
+        let deps: Vec<(u64, u64)> = pg.edges().iter().map(|p| (p.from.k, p.to.k)).collect();
         assert_eq!(deps, vec![(0, 0), (1, 0), (1, 1), (2, 1)]);
         assert!(pg.edges().iter().all(|p| p.delay == 0));
     }

@@ -192,7 +192,9 @@ pub fn optimal_chain_schedule(graph: &SdfGraph) -> Result<LoopedSchedule> {
     }
     // Verify chain shape: edge i connects actor i → i+1.
     if graph.edge_count() != n - 1 {
-        return Err(DataflowError::Inconsistent { edge: crate::graph::EdgeId(0) });
+        return Err(DataflowError::Inconsistent {
+            edge: crate::graph::EdgeId(0),
+        });
     }
     for (id, e) in graph.edges() {
         if e.src != ActorId(id.0) || e.dst != ActorId(id.0 + 1) {
@@ -237,7 +239,13 @@ pub fn optimal_chain_schedule(graph: &SdfGraph) -> Result<LoopedSchedule> {
         }
     }
 
-    fn build(i: usize, j: usize, outer: u64, g: &[Vec<u64>], split: &[Vec<usize>]) -> LoopedSchedule {
+    fn build(
+        i: usize,
+        j: usize,
+        outer: u64,
+        g: &[Vec<u64>],
+        split: &[Vec<usize>],
+    ) -> LoopedSchedule {
         let factor = g[i][j] / outer;
         if i == j {
             return LoopedSchedule::repeat(factor, vec![LoopedSchedule::Fire(ActorId(i))]);
@@ -325,10 +333,7 @@ mod tests {
     #[test]
     fn non_single_appearance_detected() {
         let a = ActorId(0);
-        let s = LoopedSchedule::repeat(
-            1,
-            vec![LoopedSchedule::Fire(a), LoopedSchedule::Fire(a)],
-        );
+        let s = LoopedSchedule::repeat(1, vec![LoopedSchedule::Fire(a), LoopedSchedule::Fire(a)]);
         assert!(!s.is_single_appearance());
     }
 
@@ -351,10 +356,16 @@ mod tests {
         let g = rate_chain(&[(2, 3)]);
         // Consumer first: underflow.
         let bad = LoopedSchedule::repeat(1, vec![LoopedSchedule::Fire(ActorId(1))]);
-        assert!(matches!(validate(&g, &bad), Err(DataflowError::Deadlock { .. })));
+        assert!(matches!(
+            validate(&g, &bad),
+            Err(DataflowError::Deadlock { .. })
+        ));
         // Wrong totals.
         let short = LoopedSchedule::repeat(1, vec![LoopedSchedule::Fire(ActorId(0))]);
-        assert!(matches!(validate(&g, &short), Err(DataflowError::Inconsistent { .. })));
+        assert!(matches!(
+            validate(&g, &short),
+            Err(DataflowError::Inconsistent { .. })
+        ));
     }
 
     #[test]

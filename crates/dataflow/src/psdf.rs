@@ -134,8 +134,15 @@ impl PsdfGraph {
     /// positive over the whole domain, so such a declaration is a
     /// construction bug.
     pub fn add_param(&mut self, name: impl Into<String>, min: u32, max: u32) -> ParamId {
-        assert!(min >= 1 && min <= max, "parameter domain must be [min≥1, max≥min]");
-        self.params.push(Param { name: name.into(), min, max });
+        assert!(
+            min >= 1 && min <= max,
+            "parameter domain must be [min≥1, max≥min]"
+        );
+        self.params.push(Param {
+            name: name.into(),
+            min,
+            max,
+        });
         ParamId(self.params.len() - 1)
     }
 
@@ -181,7 +188,14 @@ impl PsdfGraph {
                 }
             }
         }
-        self.edges.push(PsdfEdge { src, dst, produce, consume, delay, token_bytes });
+        self.edges.push(PsdfEdge {
+            src,
+            dst,
+            produce,
+            consume,
+            delay,
+            token_bytes,
+        });
         Ok(id)
     }
 
@@ -281,8 +295,11 @@ impl PsdfGraph {
                         .collect(),
                 );
             }
-            let mids: Vec<u32> =
-                self.params.iter().map(|p| p.min + (p.max - p.min) / 2).collect();
+            let mids: Vec<u32> = self
+                .params
+                .iter()
+                .map(|p| p.min + (p.max - p.min) / 2)
+                .collect();
             out.push(mids);
             out
         };
@@ -340,7 +357,10 @@ fn check_all(g: &PsdfGraph, valuations: Vec<Vec<u32>>) -> Result<()> {
 
 /// Human-readable parameter table (for reports).
 pub fn param_table(g: &PsdfGraph) -> Vec<(String, u32, u32)> {
-    g.params.iter().map(|p| (p.name.clone(), p.min, p.max)).collect()
+    g.params
+        .iter()
+        .map(|p| (p.name.clone(), p.min, p.max))
+        .collect()
 }
 
 /// Map from parameter name to id, convenient for tooling.
@@ -408,8 +428,15 @@ mod tests {
         let b = g.add_actor("b", 1);
         // Parallel edges: one at rate N→1, one at 1→1. Consistent only
         // when N = 1 — never in the domain.
-        g.add_edge(a, b, RateExpr::Param { param: n, mul: 1 }, RateExpr::Const(1), 0, 4)
-            .unwrap();
+        g.add_edge(
+            a,
+            b,
+            RateExpr::Param { param: n, mul: 1 },
+            RateExpr::Const(1),
+            0,
+            4,
+        )
+        .unwrap();
         g.add_edge(a, b, RateExpr::Const(1), RateExpr::Const(1), 0, 4)
             .unwrap();
         assert!(g.check_consistency().is_err());
@@ -431,7 +458,8 @@ mod tests {
         let _m = g.add_param("M", 1, 4);
         let a = g.add_actor("a", 1);
         let b = g.add_actor("b", 1);
-        g.add_edge(a, b, RateExpr::Const(2), RateExpr::Const(3), 1, 4).unwrap();
+        g.add_edge(a, b, RateExpr::Const(2), RateExpr::Const(3), 1, 4)
+            .unwrap();
         let env = g.vts_envelope().unwrap();
         let e = env.edges().next().unwrap().1;
         assert!(!e.is_dynamic());
@@ -469,7 +497,14 @@ mod tests {
             .add_edge(a, b, RateExpr::Const(0), RateExpr::Const(1), 0, 4)
             .is_err());
         assert!(g
-            .add_edge(a, b, RateExpr::Param { param: m, mul: 0 }, RateExpr::Const(1), 0, 4)
+            .add_edge(
+                a,
+                b,
+                RateExpr::Param { param: m, mul: 0 },
+                RateExpr::Const(1),
+                0,
+                4
+            )
             .is_err());
     }
 
@@ -481,10 +516,24 @@ mod tests {
         let a = g.add_actor("a", 1);
         let b = g.add_actor("b", 1);
         let c = g.add_actor("c", 1);
-        g.add_edge(a, b, RateExpr::Param { param: n, mul: 1 }, RateExpr::Param { param: n, mul: 1 }, 0, 4)
-            .unwrap();
-        g.add_edge(b, c, RateExpr::Param { param: m, mul: 1 }, RateExpr::Param { param: m, mul: 1 }, 0, 4)
-            .unwrap();
+        g.add_edge(
+            a,
+            b,
+            RateExpr::Param { param: n, mul: 1 },
+            RateExpr::Param { param: n, mul: 1 },
+            0,
+            4,
+        )
+        .unwrap();
+        g.add_edge(
+            b,
+            c,
+            RateExpr::Param { param: m, mul: 1 },
+            RateExpr::Param { param: m, mul: 1 },
+            0,
+            4,
+        )
+        .unwrap();
         g.check_consistency().unwrap();
     }
 

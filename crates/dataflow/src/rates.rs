@@ -67,7 +67,10 @@ impl RepetitionVector {
 
     /// Iterates over `(ActorId, firings)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ActorId, u64)> + '_ {
-        self.counts.iter().enumerate().map(|(i, &c)| (ActorId(i), c))
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (ActorId(i), c))
     }
 }
 
@@ -94,7 +97,10 @@ impl Ratio {
         }
         let g = gcd_i128(num.abs(), den.abs()).max(1);
         let sign = if den < 0 { -1 } else { 1 };
-        Ok(Ratio { num: sign * num / g, den: sign * den / g })
+        Ok(Ratio {
+            num: sign * num / g,
+            den: sign * den / g,
+        })
     }
 
     fn mul(self, num: i128, den: i128) -> Result<Self> {
@@ -222,7 +228,10 @@ impl SdfGraph {
             for &v in &members {
                 let r = frac[v].expect("member has ratio");
                 let scaled = r.num * (denom_lcm / r.den) / num_gcd;
-                frac[v] = Some(Ratio { num: scaled, den: 1 });
+                frac[v] = Some(Ratio {
+                    num: scaled,
+                    den: 1,
+                });
             }
         }
 
@@ -338,7 +347,10 @@ mod tests {
     #[test]
     fn empty_graph_errors() {
         let g = SdfGraph::new();
-        assert!(matches!(g.repetition_vector(), Err(DataflowError::EmptyGraph)));
+        assert!(matches!(
+            g.repetition_vector(),
+            Err(DataflowError::EmptyGraph)
+        ));
     }
 
     #[test]

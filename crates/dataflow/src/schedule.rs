@@ -137,18 +137,16 @@ impl SdfGraph {
             usize::try_from(q.total_firings()).map_err(|_| DataflowError::Overflow)?,
         );
 
-        let in_edges: Vec<Vec<EdgeId>> =
-            (0..n).map(|a| self.in_edges(ActorId(a))).collect();
-        let out_edges: Vec<Vec<EdgeId>> =
-            (0..n).map(|a| self.out_edges(ActorId(a))).collect();
+        let in_edges: Vec<Vec<EdgeId>> = (0..n).map(|a| self.in_edges(ActorId(a))).collect();
+        let out_edges: Vec<Vec<EdgeId>> = (0..n).map(|a| self.out_edges(ActorId(a))).collect();
 
         let fireable = |a: usize, fired: &[u64], tokens: &[u64]| -> bool {
             if fired[a] >= q.count(ActorId(a)) {
                 return false;
             }
-            in_edges[a].iter().all(|&e| {
-                tokens[e.0] >= u64::from(self.edge(e).consume.bound())
-            })
+            in_edges[a]
+                .iter()
+                .all(|&e| tokens[e.0] >= u64::from(self.edge(e).consume.bound()))
         };
 
         loop {
@@ -156,9 +154,7 @@ impl SdfGraph {
                 FirePolicy::FewestFirings => (0..n)
                     .filter(|&a| fireable(a, &fired, &tokens))
                     .min_by_key(|&a| (fired[a], a)),
-                FirePolicy::LowestId => {
-                    (0..n).find(|&a| fireable(a, &fired, &tokens))
-                }
+                FirePolicy::LowestId => (0..n).find(|&a| fireable(a, &fired, &tokens)),
             };
             let Some(a) = candidate else { break };
 
@@ -249,7 +245,12 @@ mod tests {
         let report = g.class_s_schedule(FirePolicy::FewestFirings).unwrap();
         let q = g.repetition_vector().unwrap();
         let count = |x: ActorId| {
-            report.schedule.firings().iter().filter(|&&f| f == x).count() as u64
+            report
+                .schedule
+                .firings()
+                .iter()
+                .filter(|&&f| f == x)
+                .count() as u64
         };
         assert_eq!(count(a), q[a]);
         assert_eq!(count(b), q[b]);
@@ -284,7 +285,10 @@ mod tests {
         let bounds = g.sdf_buffer_bounds().unwrap();
         // On e1 the lock-step policy reaches at most 4 tokens
         // (A A fire -> 4, B consumes 3 -> 1, ...).
-        assert!(bounds.bound(e1) >= 3, "must hold at least one consumption batch");
+        assert!(
+            bounds.bound(e1) >= 3,
+            "must hold at least one consumption batch"
+        );
         assert!(bounds.bound(e1) <= 4);
         assert!(bounds.bound(e2) >= 1);
         assert!(bounds.total_tokens() >= bounds.bound(e1));
@@ -349,7 +353,10 @@ mod tests {
     fn validate_reports_aggregates() {
         let (g, ..) = chain();
         let v = g.validate().unwrap();
-        assert_eq!(v.total_firings, g.repetition_vector().unwrap().total_firings());
+        assert_eq!(
+            v.total_firings,
+            g.repetition_vector().unwrap().total_firings()
+        );
         assert!(v.total_buffer_tokens >= 3);
         assert_eq!(v.total_buffer_bytes, v.total_buffer_tokens * 4);
     }

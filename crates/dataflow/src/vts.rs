@@ -118,7 +118,10 @@ impl VtsConversion {
             edge_mut.produce = Rate::Static(1);
             edge_mut.consume = Rate::Static(1);
         }
-        Ok(VtsConversion { graph: out, converted })
+        Ok(VtsConversion {
+            graph: out,
+            converted,
+        })
     }
 
     /// The converted, pure-SDF graph.
@@ -196,12 +199,20 @@ impl TokenPacker {
     /// Creates a packer for tokens of `raw_token_bytes` bytes with at most
     /// `max_raw_tokens` tokens per packed token.
     pub fn new(raw_token_bytes: u32, max_raw_tokens: u32, signal: LengthSignal) -> Self {
-        TokenPacker { raw_token_bytes, max_raw_tokens, signal }
+        TokenPacker {
+            raw_token_bytes,
+            max_raw_tokens,
+            signal,
+        }
     }
 
     /// Builds a packer matching a converted edge's producer side.
     pub fn for_edge(info: &VtsEdge, signal: LengthSignal) -> Self {
-        TokenPacker::new(info.raw_token_bytes, info.produce_bound.max(info.consume_bound), signal)
+        TokenPacker::new(
+            info.raw_token_bytes,
+            info.produce_bound.max(info.consume_bound),
+            signal,
+        )
     }
 
     /// Upper bound in bytes of any packed token this packer can emit,
@@ -233,7 +244,10 @@ impl TokenPacker {
         }
         let n_tokens = (raw.len() / self.raw_token_bytes as usize) as u32;
         if n_tokens > self.max_raw_tokens {
-            return Err(PackError::TooManyTokens { got: n_tokens, bound: self.max_raw_tokens });
+            return Err(PackError::TooManyTokens {
+                got: n_tokens,
+                bound: self.max_raw_tokens,
+            });
         }
         let mut out = Vec::with_capacity(raw.len() + 5);
         match self.signal {
@@ -305,7 +319,8 @@ impl TokenPacker {
     }
 
     fn check_payload(&self, payload: &[u8]) -> std::result::Result<(), PackError> {
-        if self.raw_token_bytes == 0 || !payload.len().is_multiple_of(self.raw_token_bytes as usize) {
+        if self.raw_token_bytes == 0 || !payload.len().is_multiple_of(self.raw_token_bytes as usize)
+        {
             return Err(PackError::NotTokenAligned {
                 len: payload.len(),
                 token_bytes: self.raw_token_bytes,
@@ -313,7 +328,10 @@ impl TokenPacker {
         }
         let n = (payload.len() / self.raw_token_bytes as usize) as u32;
         if n > self.max_raw_tokens {
-            return Err(PackError::TooManyTokens { got: n, bound: self.max_raw_tokens });
+            return Err(PackError::TooManyTokens {
+                got: n,
+                bound: self.max_raw_tokens,
+            });
         }
         Ok(())
     }
@@ -345,10 +363,16 @@ impl std::fmt::Display for PackError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PackError::NotTokenAligned { len, token_bytes } => {
-                write!(f, "payload of {len} bytes is not a multiple of {token_bytes}-byte tokens")
+                write!(
+                    f,
+                    "payload of {len} bytes is not a multiple of {token_bytes}-byte tokens"
+                )
             }
             PackError::TooManyTokens { got, bound } => {
-                write!(f, "packed token holds {got} raw tokens, exceeding the VTS bound {bound}")
+                write!(
+                    f,
+                    "packed token holds {got} raw tokens, exceeding the VTS bound {bound}"
+                )
             }
             PackError::Truncated => write!(f, "framed packed token is truncated"),
         }
@@ -398,7 +422,10 @@ mod tests {
     #[test]
     fn converted_graph_gets_repetition_vector() {
         let (g, _) = figure1_graph();
-        assert!(g.repetition_vector().is_err(), "dynamic graph must be rejected");
+        assert!(
+            g.repetition_vector().is_err(),
+            "dynamic graph must be rejected"
+        );
         let vts = VtsConversion::convert(&g).unwrap();
         let q = vts.graph().repetition_vector().unwrap();
         assert_eq!(q.total_firings(), 2);
@@ -459,7 +486,10 @@ mod tests {
     #[test]
     fn pack_rejects_misaligned_payload() {
         let p = TokenPacker::new(4, 8, LengthSignal::Header);
-        assert!(matches!(p.pack(&[0u8; 7]), Err(PackError::NotTokenAligned { .. })));
+        assert!(matches!(
+            p.pack(&[0u8; 7]),
+            Err(PackError::NotTokenAligned { .. })
+        ));
     }
 
     #[test]

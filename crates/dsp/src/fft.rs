@@ -25,7 +25,10 @@ impl Complex {
     }
 
     fn mul(self, o: Complex) -> Complex {
-        Complex::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
     }
 
     fn add(self, o: Complex) -> Complex {
@@ -180,8 +183,9 @@ mod tests {
 
     #[test]
     fn roundtrip_fft_ifft() {
-        let x: Vec<Complex> =
-            (0..64).map(|i| Complex::new(i as f64, -(i as f64) / 3.0)).collect();
+        let x: Vec<Complex> = (0..64)
+            .map(|i| Complex::new(i as f64, -(i as f64) / 3.0))
+            .collect();
         let mut y = x.clone();
         fft(&mut y).unwrap();
         ifft(&mut y).unwrap();
@@ -204,8 +208,9 @@ mod tests {
     #[test]
     fn sine_concentrates_in_one_bin() {
         let n = 32;
-        let signal: Vec<f64> =
-            (0..n).map(|i| (2.0 * PI * 4.0 * i as f64 / n as f64).sin()).collect();
+        let signal: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * 4.0 * i as f64 / n as f64).sin())
+            .collect();
         let spec = fft_real(&signal).unwrap();
         let peak = spec
             .iter()

@@ -148,8 +148,12 @@ mod tests {
     fn lowpass_attenuates_high_frequency() {
         let mut f = Fir::lowpass(31, 0.1);
         let n = 256;
-        let low: Vec<f64> = (0..n).map(|i| (2.0 * std::f64::consts::PI * 0.02 * i as f64).sin()).collect();
-        let high: Vec<f64> = (0..n).map(|i| (2.0 * std::f64::consts::PI * 0.4 * i as f64).sin()).collect();
+        let low: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * 0.02 * i as f64).sin())
+            .collect();
+        let high: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * 0.4 * i as f64).sin())
+            .collect();
         let low_out = f.process(&low);
         f.reset();
         let high_out = f.process(&high);

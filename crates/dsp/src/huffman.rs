@@ -139,7 +139,10 @@ impl HuffmanCode {
             code += 1;
             prev_len = len;
         }
-        HuffmanCode { lengths, encode_table }
+        HuffmanCode {
+            lengths,
+            encode_table,
+        }
     }
 
     /// Number of distinct symbols in the code.
@@ -192,7 +195,12 @@ impl HuffmanCode {
     ///
     /// [`HuffmanError::CorruptBitstream`] if the stream is exhausted or an
     /// invalid prefix is encountered.
-    pub fn decode(&self, bits: &[u8], bitlen: usize, count: usize) -> Result<Vec<u16>, HuffmanError> {
+    pub fn decode(
+        &self,
+        bits: &[u8],
+        bitlen: usize,
+        count: usize,
+    ) -> Result<Vec<u16>, HuffmanError> {
         // Build decode map: (length, code) → symbol.
         let mut decode_map: HashMap<(u8, u32), u16> = HashMap::new();
         let mut max_len = 0u8;
@@ -273,7 +281,10 @@ mod tests {
             *freq.entry(s).or_insert(0u64) += 1;
         }
         let bps = code.expected_bits(&freq);
-        assert!(bps < 2.0, "expected < 2 bits/symbol on skewed data, got {bps}");
+        assert!(
+            bps < 2.0,
+            "expected < 2 bits/symbol on skewed data, got {bps}"
+        );
         // Frequent symbol gets the shortest code.
         let zero_len = code.code_length(0).unwrap();
         for s in 1..8 {
@@ -294,7 +305,10 @@ mod tests {
 
     #[test]
     fn empty_input_rejected() {
-        assert!(matches!(HuffmanCode::from_symbols(&[]), Err(HuffmanError::EmptyInput)));
+        assert!(matches!(
+            HuffmanCode::from_symbols(&[]),
+            Err(HuffmanError::EmptyInput)
+        ));
     }
 
     #[test]
@@ -346,7 +360,10 @@ mod tests {
             .iter()
             .map(|&(_, l)| 2f64.powi(-i32::from(l)))
             .sum();
-        assert!((kraft - 1.0).abs() < 1e-9, "complete huffman codes are tight: {kraft}");
+        assert!(
+            (kraft - 1.0).abs() < 1e-9,
+            "complete huffman codes are tight: {kraft}"
+        );
     }
 
     #[test]

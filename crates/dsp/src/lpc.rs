@@ -33,7 +33,10 @@ impl std::fmt::Display for LpcError {
                 write!(f, "normal equations singular at column {column}")
             }
             LpcError::BadOrder { order, frame } => {
-                write!(f, "model order {order} invalid for frame of {frame} samples")
+                write!(
+                    f,
+                    "model order {order} invalid for frame of {frame} samples"
+                )
             }
         }
     }
@@ -139,7 +142,10 @@ pub fn lu_solve(lu: &[f64], n: usize, perm: &[usize], b: &[f64]) -> Vec<f64> {
 /// [`LpcError::SingularMatrix`] for pathological (e.g. all-zero) frames.
 pub fn predictor_coefficients(frame: &[f64], order: usize) -> Result<Vec<f64>, LpcError> {
     if order == 0 || order >= frame.len() {
-        return Err(LpcError::BadOrder { order, frame: frame.len() });
+        return Err(LpcError::BadOrder {
+            order,
+            frame: frame.len(),
+        });
     }
     let r = autocorrelation(frame, order);
     // Toeplitz system: R[i][j] = r[|i−j|], rhs = r[1..=order].
@@ -180,12 +186,7 @@ pub fn prediction_error(frame: &[f64], coeffs: &[f64]) -> Vec<f64> {
 /// (paper §5.2: "each PE computes N/n error values" over overlapping
 /// sections). The PE still needs `coeffs.len()` samples of history before
 /// `start`, which the caller supplies by sending an overlapping section.
-pub fn prediction_error_range(
-    frame: &[f64],
-    coeffs: &[f64],
-    start: usize,
-    end: usize,
-) -> Vec<f64> {
+pub fn prediction_error_range(frame: &[f64], coeffs: &[f64], start: usize, end: usize) -> Vec<f64> {
     (start..end.min(frame.len()))
         .map(|t| {
             let predicted: f64 = coeffs
@@ -314,7 +315,10 @@ mod tests {
     #[test]
     fn lu_detects_singular() {
         let mut a = vec![1.0, 2.0, 2.0, 4.0];
-        assert!(matches!(lu_decompose(&mut a, 2), Err(LpcError::SingularMatrix { .. })));
+        assert!(matches!(
+            lu_decompose(&mut a, 2),
+            Err(LpcError::SingularMatrix { .. })
+        ));
     }
 
     #[test]
@@ -339,7 +343,10 @@ mod tests {
         let err = prediction_error(&x, &coeffs);
         let energy: f64 = x.iter().map(|v| v * v).sum();
         let err_energy: f64 = err.iter().skip(2).map(|v| v * v).sum();
-        assert!(err_energy < 0.01 * energy, "prediction must capture the AR structure");
+        assert!(
+            err_energy < 0.01 * energy,
+            "prediction must capture the AR structure"
+        );
     }
 
     #[test]
@@ -401,12 +408,18 @@ mod tests {
         let coeffs = predictor_coefficients(&x, 6).unwrap();
         let residual = prediction_error(&x, &coeffs);
         let q = Quantizer::new(1.0, 8);
-        let qres: Vec<f64> = residual.iter().map(|&e| q.dequantize(q.quantize(e))).collect();
+        let qres: Vec<f64> = residual
+            .iter()
+            .map(|&e| q.dequantize(q.quantize(e)))
+            .collect();
         let back = synthesize(&qres, &coeffs);
         let err: f64 = back.iter().zip(&x).map(|(a, b)| (a - b) * (a - b)).sum();
         let sig: f64 = x.iter().map(|v| v * v).sum();
         let snr_db = 10.0 * (sig / err.max(1e-12)).log10();
-        assert!(snr_db > 20.0, "8-bit residual coding must exceed 20 dB, got {snr_db:.1}");
+        assert!(
+            snr_db > 20.0,
+            "8-bit residual coding must exceed 20 dB, got {snr_db:.1}"
+        );
     }
 
     #[test]

@@ -62,12 +62,7 @@ impl CrackModel {
     }
 
     /// Simulates a ground-truth trajectory and its noisy observations.
-    pub fn simulate(
-        &self,
-        a0: f64,
-        steps: usize,
-        rng: &mut impl Rng,
-    ) -> (Vec<f64>, Vec<f64>) {
+    pub fn simulate(&self, a0: f64, steps: usize, rng: &mut impl Rng) -> (Vec<f64>, Vec<f64>) {
         let mut truth = Vec::with_capacity(steps);
         let mut obs = Vec::with_capacity(steps);
         let mut a = a0;
@@ -109,7 +104,11 @@ impl ParticleFilter {
     pub fn new(model: CrackModel, n: usize, lo: f64, hi: f64, rng: &mut impl Rng) -> Self {
         let particles: Vec<f64> = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
         let weights = vec![1.0 / n as f64; n];
-        ParticleFilter { model, particles, weights }
+        ParticleFilter {
+            model,
+            particles,
+            weights,
+        }
     }
 
     /// Prediction step (actor "E"): propagate every particle.
@@ -296,7 +295,11 @@ pub fn plan_exchanges(counts: &[usize], target: usize) -> Vec<Exchange> {
     let (mut si, mut di) = (0, 0);
     while si < surplus.len() && di < deficit.len() {
         let move_n = surplus[si].1.min(deficit[di].1);
-        plan.push(Exchange { from: surplus[si].0, to: deficit[di].0, count: move_n });
+        plan.push(Exchange {
+            from: surplus[si].0,
+            to: deficit[di].0,
+            count: move_n,
+        });
         surplus[si].1 -= move_n;
         deficit[di].1 -= move_n;
         if surplus[si].1 == 0 {
@@ -428,7 +431,10 @@ mod tests {
         let drawn = systematic_draw(&particles, &weights, 1000, &mut r);
         let n2 = drawn.iter().filter(|&&p| p == 2.0).count();
         let n4 = drawn.iter().filter(|&&p| p == 4.0).count();
-        assert!(n2 > 850 && n2 < 950, "≈90% replicas of the heavy particle, got {n2}");
+        assert!(
+            n2 > 850 && n2 < 950,
+            "≈90% replicas of the heavy particle, got {n2}"
+        );
         assert_eq!(n4, 0);
     }
 
@@ -541,7 +547,10 @@ mod tests {
     #[test]
     fn rul_grows_with_distance_to_threshold() {
         let mut r = rng();
-        let model = CrackModel { process_noise: 0.005, ..CrackModel::default() };
+        let model = CrackModel {
+            process_noise: 0.005,
+            ..CrackModel::default()
+        };
         let near: Vec<f64> = vec![2.8; 200];
         let far: Vec<f64> = vec![1.0; 200];
         let rul_near = remaining_useful_life(&model, &near, 3.0, 10_000, &mut r);
@@ -555,7 +564,11 @@ mod tests {
     #[test]
     fn rul_censors_at_horizon() {
         let mut r = rng();
-        let model = CrackModel { c: 1e-9, process_noise: 0.0, ..CrackModel::default() };
+        let model = CrackModel {
+            c: 1e-9,
+            process_noise: 0.0,
+            ..CrackModel::default()
+        };
         let rul = remaining_useful_life(&model, &[0.1; 10], 100.0, 50, &mut r);
         assert!(rul.iter().all(|&s| s == 50), "glacial growth never crosses");
         let crossed = remaining_useful_life(&model, &[200.0; 4], 100.0, 50, &mut r);

@@ -99,7 +99,10 @@ mod tests {
             assert!(c[0] < 0.12, "{w:?} starts low: {}", c[0]);
             assert!((c[32] - 1.0).abs() < 0.12, "{w:?} peaks mid-frame");
         }
-        assert!(Window::Rectangular.coefficients(64).iter().all(|&c| c == 1.0));
+        assert!(Window::Rectangular
+            .coefficients(64)
+            .iter()
+            .all(|&c| c == 1.0));
     }
 
     #[test]

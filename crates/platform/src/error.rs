@@ -45,15 +45,26 @@ impl fmt::Display for PlatformError {
         match self {
             PlatformError::UnknownChannel(c) => write!(f, "unknown channel {c}"),
             PlatformError::UnknownPe(p) => write!(f, "unknown processing element {p}"),
-            PlatformError::MessageExceedsCapacity { channel, bytes, capacity } => write!(
+            PlatformError::MessageExceedsCapacity {
+                channel,
+                bytes,
+                capacity,
+            } => write!(
                 f,
                 "message of {bytes} bytes exceeds channel {channel} capacity of {capacity} bytes"
             ),
             PlatformError::Deadlock { blocked } => {
-                write!(f, "simulation deadlocked with {} blocked PE(s)", blocked.len())
+                write!(
+                    f,
+                    "simulation deadlocked with {} blocked PE(s)",
+                    blocked.len()
+                )
             }
             PlatformError::BudgetExceeded { budget_cycles } => {
-                write!(f, "simulation exceeded its budget of {budget_cycles} cycles")
+                write!(
+                    f,
+                    "simulation exceeded its budget of {budget_cycles} cycles"
+                )
             }
             PlatformError::ZeroCapacity { channel } => {
                 write!(f, "channel {channel} has zero capacity")

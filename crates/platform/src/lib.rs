@@ -52,6 +52,7 @@ pub use mpi::{
 pub use resource::{components, Device, ResourceEstimate, ResourcePercent};
 pub use runner::{run_threaded, ThreadedPeResult};
 pub use sim::{
-    BusSpec, OrderedBusSpec, ChannelId, ChannelSpec, ChannelStats, ComputeFn, Machine, Op, PayloadFn, PeId,
-    PeLocal, PeLocalSnapshot, PeStats, Program, SimReport, TraceEvent, TraceKind, WaitFn,
+    BusSpec, ChannelId, ChannelSpec, ChannelStats, ComputeFn, Machine, Op, OrderedBusSpec,
+    PayloadFn, PeId, PeLocal, PeLocalSnapshot, PeStats, Program, SimReport, TraceEvent, TraceKind,
+    WaitFn,
 };

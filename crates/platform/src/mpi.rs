@@ -76,7 +76,11 @@ pub struct MpiEndpoint {
 impl MpiEndpoint {
     /// Creates an endpoint with the default cost model.
     pub fn new(data: ChannelId, control: Option<ChannelId>) -> Self {
-        MpiEndpoint { data, control, config: MpiConfig::default() }
+        MpiEndpoint {
+            data,
+            control,
+            config: MpiConfig::default(),
+        }
     }
 
     /// Lowers `MPI_Send` of a payload produced by `payload` into platform
@@ -120,7 +124,10 @@ impl MpiEndpoint {
                 }),
             });
             // Payload (envelope already delivered with the RTS).
-            ops.push(Op::Send { channel: self.data, payload: Box::new(payload) });
+            ops.push(Op::Send {
+                channel: self.data,
+                payload: Box::new(payload),
+            });
         } else {
             // Eager: envelope + payload in one message.
             let env = cfg.envelope_bytes;
@@ -209,7 +216,10 @@ mod tests {
     #[test]
     fn rendezvous_used_above_eager_limit() {
         let mut m = Machine::new();
-        let data = m.add_channel(ChannelSpec { capacity_bytes: 8192, ..ChannelSpec::default() });
+        let data = m.add_channel(ChannelSpec {
+            capacity_bytes: 8192,
+            ..ChannelSpec::default()
+        });
         let ctrl = m.add_channel(ChannelSpec::default());
         let ep = MpiEndpoint::new(data, Some(ctrl));
         let n = EAGER_LIMIT_BYTES + 100;
@@ -235,10 +245,7 @@ mod tests {
         let mut m = Machine::new();
         let ch = m.add_channel(ChannelSpec::default());
         let ep = MpiEndpoint::new(ch, None);
-        m.add_pe(Program::new(
-            ep.send_ops(4, |l| vec![l.iter as u8; 4]),
-            5,
-        ));
+        m.add_pe(Program::new(ep.send_ops(4, |l| vec![l.iter as u8; 4]), 5));
         let mut recv = ep.recv_ops(4, "last");
         recv.push(Op::Compute {
             label: "accumulate".into(),

@@ -33,18 +33,35 @@ pub struct ResourceEstimate {
 
 impl ResourceEstimate {
     /// A zero estimate.
-    pub const ZERO: ResourceEstimate =
-        ResourceEstimate { slices: 0, slice_ffs: 0, lut4: 0, bram: 0, dsp48: 0 };
+    pub const ZERO: ResourceEstimate = ResourceEstimate {
+        slices: 0,
+        slice_ffs: 0,
+        lut4: 0,
+        bram: 0,
+        dsp48: 0,
+    };
 
     /// Creates an estimate from the five category counts.
     pub fn new(slices: u64, slice_ffs: u64, lut4: u64, bram: u64, dsp48: u64) -> Self {
-        ResourceEstimate { slices, slice_ffs, lut4, bram, dsp48 }
+        ResourceEstimate {
+            slices,
+            slice_ffs,
+            lut4,
+            bram,
+            dsp48,
+        }
     }
 
     /// Fraction of `self` relative to `total`, per category (0–100 %).
     /// Categories where `total` is zero report 0.
     pub fn percent_of(&self, total: &ResourceEstimate) -> ResourcePercent {
-        let pct = |a: u64, b: u64| if b == 0 { 0.0 } else { 100.0 * a as f64 / b as f64 };
+        let pct = |a: u64, b: u64| {
+            if b == 0 {
+                0.0
+            } else {
+                100.0 * a as f64 / b as f64
+            }
+        };
         ResourcePercent {
             slices: pct(self.slices, total.slices),
             slice_ffs: pct(self.slice_ffs, total.slice_ffs),
@@ -205,7 +222,13 @@ pub mod components {
     /// Radix-2 streaming FFT datapath for `n`-point frames.
     pub fn fft_core(n: u64) -> ResourceEstimate {
         let stages = 64 - u64::from(n.max(2).leading_zeros()) - 1;
-        ResourceEstimate::new(350 + 40 * stages, 700 + 60 * stages, 900 + 90 * stages, 2, 4 * stages)
+        ResourceEstimate::new(
+            350 + 40 * stages,
+            700 + 60 * stages,
+            900 + 90 * stages,
+            2,
+            4 * stages,
+        )
     }
 
     /// LU-decomposition solver for an `m × m` system.
@@ -290,7 +313,10 @@ mod tests {
     fn spi_components_are_small_relative_to_cores() {
         let spi_pair = components::spi_send_dynamic() + components::spi_receive_dynamic();
         let fft = components::fft_core(1024);
-        assert!(spi_pair.slices * 4 < fft.slices, "SPI must be small vs. compute cores");
+        assert!(
+            spi_pair.slices * 4 < fft.slices,
+            "SPI must be small vs. compute cores"
+        );
     }
 
     #[test]

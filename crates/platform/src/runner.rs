@@ -2,27 +2,87 @@
 //!
 //! The discrete-event engine in [`crate::sim`] is deterministic; this
 //! runner executes the *same* PE programs on real OS threads connected by
-//! bounded `crossbeam` channels. It carries no notion of simulated time —
+//! bounded in-process channels. It carries no notion of simulated time —
 //! its purpose is to validate that protocol logic (blocking sends and
 //! receives, message ordering per channel) is correct under genuine
 //! parallel, racy execution, not just under the event queue's
 //! serialization. Integration tests run both engines on the same programs
 //! and compare the functional outputs.
 //!
-//! Capacity semantics differ slightly from the DES: crossbeam bounds
-//! channels by *message count*, not bytes, so the runner bounds each
-//! channel at `max(1, capacity_bytes / word_bytes)` messages — enough to
-//! exercise back-pressure without byte-exact fidelity.
+//! Capacity semantics differ slightly from the DES: the runner bounds
+//! channels by *message count*, not bytes, at `max(1, capacity_bytes /
+//! word_bytes)` messages — enough to exercise back-pressure without
+//! byte-exact fidelity.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex};
 use std::thread;
-use std::time::Duration;
-
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::Mutex;
+use std::time::{Duration, Instant};
 
 use crate::error::{PlatformError, Result};
 use crate::sim::{ChannelSpec, Op, PeId, PeLocal, Program};
+
+/// A bounded MPMC FIFO with timed blocking send/recv, built on
+/// `Mutex` + `Condvar` (std's mpsc offers no `send_timeout`, and the
+/// deadlock check below needs a timeout on both directions).
+struct BoundedChannel {
+    queue: Mutex<VecDeque<Vec<u8>>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl BoundedChannel {
+    fn new(capacity: usize) -> Self {
+        BoundedChannel {
+            queue: Mutex::new(VecDeque::new()),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Blocks until a slot frees up, or gives up after `timeout`.
+    fn send_timeout(&self, data: Vec<u8>, timeout: Duration) -> std::result::Result<(), ()> {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.queue.lock().expect("channel lock");
+        while q.len() >= self.capacity {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(());
+            }
+            let (guard, _) = self
+                .not_full
+                .wait_timeout(q, deadline - now)
+                .expect("channel lock");
+            q = guard;
+        }
+        q.push_back(data);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a message arrives, or gives up after `timeout`.
+    fn recv_timeout(&self, timeout: Duration) -> Option<Vec<u8>> {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.queue.lock().expect("channel lock");
+        loop {
+            if let Some(data) = q.pop_front() {
+                self.not_full.notify_one();
+                return Some(data);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .not_empty
+                .wait_timeout(q, deadline - now)
+                .expect("channel lock");
+            q = guard;
+        }
+    }
+}
 
 /// Functional result of one PE's threaded execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,13 +110,19 @@ pub fn run_threaded(
 ) -> Result<Vec<ThreadedPeResult>> {
     for (i, c) in channels.iter().enumerate() {
         if c.capacity_bytes == 0 {
-            return Err(PlatformError::ZeroCapacity { channel: crate::sim::ChannelId(i) });
+            return Err(PlatformError::ZeroCapacity {
+                channel: crate::sim::ChannelId(i),
+            });
         }
     }
-    type Endpoint = (Sender<Vec<u8>>, Receiver<Vec<u8>>);
-    let endpoints: Vec<Endpoint> = channels
+    let endpoints: Vec<BoundedChannel> = channels
         .iter()
-        .map(|c| bounded(usize::max(1, c.capacity_bytes / c.word_bytes.max(1) as usize)))
+        .map(|c| {
+            BoundedChannel::new(usize::max(
+                1,
+                c.capacity_bytes / c.word_bytes.max(1) as usize,
+            ))
+        })
         .collect();
 
     let timed_out: Mutex<Vec<PeId>> = Mutex::new(Vec::new());
@@ -79,16 +145,16 @@ pub fn run_threaded(
                         }
                         Op::Send { channel, payload } => {
                             let data = payload(&mut local);
-                            if endpoints[channel.0].0.send_timeout(data, timeout).is_err() {
-                                timed_out.lock().push(PeId(idx));
+                            if endpoints[channel.0].send_timeout(data, timeout).is_err() {
+                                timed_out.lock().expect("timed_out lock").push(PeId(idx));
                                 aborted = true;
                                 break;
                             }
                         }
-                        Op::Recv { channel } => match endpoints[channel.0].1.recv_timeout(timeout) {
-                            Ok(data) => local.inbox.push_back((*channel, data)),
-                            Err(_) => {
-                                timed_out.lock().push(PeId(idx));
+                        Op::Recv { channel } => match endpoints[channel.0].recv_timeout(timeout) {
+                            Some(data) => local.inbox.push_back((*channel, data)),
+                            None => {
+                                timed_out.lock().expect("timed_out lock").push(PeId(idx));
                                 aborted = true;
                                 break;
                             }
@@ -98,7 +164,7 @@ pub fn run_threaded(
                     }
                 }
                 if aborted {
-                    results.lock()[idx] = Some(ThreadedPeResult {
+                    results.lock().expect("results lock")[idx] = Some(ThreadedPeResult {
                         store: std::mem::take(&mut local.store),
                         leftover_inbox: local.inbox.len(),
                     });
@@ -113,19 +179,18 @@ pub fn run_threaded(
                             }
                             Op::Send { channel, payload } => {
                                 let data = payload(&mut local);
-                                let tx = &endpoints[channel.0].0;
+                                let tx = &endpoints[channel.0];
                                 if tx.send_timeout(data, timeout).is_err() {
-                                    timed_out.lock().push(PeId(idx));
+                                    timed_out.lock().expect("timed_out lock").push(PeId(idx));
                                     break 'outer;
                                 }
                             }
                             Op::Recv { channel } => {
-                                let rx = &endpoints[channel.0].1;
+                                let rx = &endpoints[channel.0];
                                 match rx.recv_timeout(timeout) {
-                                    Ok(data) => local.inbox.push_back((*channel, data)),
-                                    Err(RecvTimeoutError::Timeout)
-                                    | Err(RecvTimeoutError::Disconnected) => {
-                                        timed_out.lock().push(PeId(idx));
+                                    Some(data) => local.inbox.push_back((*channel, data)),
+                                    None => {
+                                        timed_out.lock().expect("timed_out lock").push(PeId(idx));
                                         break 'outer;
                                     }
                                 }
@@ -135,7 +200,7 @@ pub fn run_threaded(
                         }
                     }
                 }
-                results.lock()[idx] = Some(ThreadedPeResult {
+                results.lock().expect("results lock")[idx] = Some(ThreadedPeResult {
                     store: std::mem::take(&mut local.store),
                     leftover_inbox: local.inbox.len(),
                 });
@@ -143,12 +208,13 @@ pub fn run_threaded(
         }
     });
 
-    let blocked = timed_out.into_inner();
+    let blocked = timed_out.into_inner().expect("timed_out lock");
     if !blocked.is_empty() {
         return Err(PlatformError::Deadlock { blocked });
     }
     Ok(results
         .into_inner()
+        .expect("results lock")
         .into_iter()
         .map(|r| r.expect("every PE thread stores a result"))
         .collect())
@@ -171,7 +237,9 @@ mod tests {
         );
         let consumer = Program::new(
             vec![
-                Op::Recv { channel: ChannelId(0) },
+                Op::Recv {
+                    channel: ChannelId(0),
+                },
                 Op::Compute {
                     label: "fold".into(),
                     work: Box::new(|l| {
@@ -185,12 +253,8 @@ mod tests {
             ],
             4,
         );
-        let results = run_threaded(
-            &channels,
-            vec![producer, consumer],
-            Duration::from_secs(5),
-        )
-        .unwrap();
+        let results =
+            run_threaded(&channels, vec![producer, consumer], Duration::from_secs(5)).unwrap();
         assert_eq!(results[1].store["acc"], vec![0, 3, 6, 9]);
         assert_eq!(results[1].leftover_inbox, 0);
     }
@@ -200,15 +264,25 @@ mod tests {
         let channels = vec![ChannelSpec::default(), ChannelSpec::default()];
         let a = Program::new(
             vec![
-                Op::Recv { channel: ChannelId(1) },
-                Op::Send { channel: ChannelId(0), payload: Box::new(|_| vec![0]) },
+                Op::Recv {
+                    channel: ChannelId(1),
+                },
+                Op::Send {
+                    channel: ChannelId(0),
+                    payload: Box::new(|_| vec![0]),
+                },
             ],
             1,
         );
         let b = Program::new(
             vec![
-                Op::Recv { channel: ChannelId(0) },
-                Op::Send { channel: ChannelId(1), payload: Box::new(|_| vec![0]) },
+                Op::Recv {
+                    channel: ChannelId(0),
+                },
+                Op::Send {
+                    channel: ChannelId(1),
+                    payload: Box::new(|_| vec![0]),
+                },
             ],
             1,
         );
@@ -218,7 +292,10 @@ mod tests {
 
     #[test]
     fn zero_capacity_rejected_up_front() {
-        let channels = vec![ChannelSpec { capacity_bytes: 0, ..ChannelSpec::default() }];
+        let channels = vec![ChannelSpec {
+            capacity_bytes: 0,
+            ..ChannelSpec::default()
+        }];
         let err = run_threaded(&channels, vec![], Duration::from_secs(1));
         assert!(matches!(err, Err(PlatformError::ZeroCapacity { .. })));
     }
@@ -233,12 +310,17 @@ mod tests {
             ..ChannelSpec::default()
         }];
         let producer = Program::new(
-            vec![Op::Send { channel: ChannelId(0), payload: Box::new(|_| vec![1, 2, 3, 4]) }],
+            vec![Op::Send {
+                channel: ChannelId(0),
+                payload: Box::new(|_| vec![1, 2, 3, 4]),
+            }],
             16,
         );
         let consumer = Program::new(
             vec![
-                Op::Recv { channel: ChannelId(0) },
+                Op::Recv {
+                    channel: ChannelId(0),
+                },
                 Op::Compute {
                     label: "drop".into(),
                     work: Box::new(|l| {
@@ -253,5 +335,14 @@ mod tests {
         let results =
             run_threaded(&channels, vec![producer, consumer], Duration::from_secs(10)).unwrap();
         assert_eq!(results[1].leftover_inbox, 0);
+    }
+
+    #[test]
+    fn bounded_channel_send_times_out_when_full() {
+        let ch = BoundedChannel::new(1);
+        ch.send_timeout(vec![1], Duration::from_millis(10)).unwrap();
+        assert!(ch.send_timeout(vec![2], Duration::from_millis(10)).is_err());
+        assert_eq!(ch.recv_timeout(Duration::from_millis(10)), Some(vec![1]));
+        assert_eq!(ch.recv_timeout(Duration::from_millis(10)), None);
     }
 }

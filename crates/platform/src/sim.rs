@@ -178,7 +178,12 @@ impl Program {
     /// Creates a program running `ops` for `iterations` iterations with
     /// an empty prologue at nominal speed.
     pub fn new(ops: Vec<Op>, iterations: u64) -> Self {
-        Program { ops, iterations, prologue: Vec::new(), speed: (1, 1) }
+        Program {
+            ops,
+            iterations,
+            prologue: Vec::new(),
+            speed: (1, 1),
+        }
     }
 
     /// Scales every compute op's duration by `num/den` (heterogeneous
@@ -187,7 +192,6 @@ impl Program {
         self.speed = (num.max(1), den.max(1));
         self
     }
-
 }
 
 /// Per-channel traffic statistics.
@@ -276,8 +280,7 @@ impl SimReport {
     pub fn render_gantt(&self) -> String {
         let mut out = String::new();
         for (i, _) in self.pe.iter().enumerate() {
-            let events: Vec<&TraceEvent> =
-                self.trace.iter().filter(|e| e.pe.0 == i).collect();
+            let events: Vec<&TraceEvent> = self.trace.iter().filter(|e| e.pe.0 == i).collect();
             if events.is_empty() {
                 continue;
             }
@@ -290,14 +293,12 @@ impl SimReport {
                         e.cycle + cycles,
                         label
                     )),
-                    TraceKind::Send { channel, bytes } => out.push_str(&format!(
-                        "  [{:>8}] send {bytes} B -> {channel}\n",
-                        e.cycle
-                    )),
-                    TraceKind::Recv { channel, bytes } => out.push_str(&format!(
-                        "  [{:>8}] recv {bytes} B <- {channel}\n",
-                        e.cycle
-                    )),
+                    TraceKind::Send { channel, bytes } => {
+                        out.push_str(&format!("  [{:>8}] send {bytes} B -> {channel}\n", e.cycle))
+                    }
+                    TraceKind::Recv { channel, bytes } => {
+                        out.push_str(&format!("  [{:>8}] recv {bytes} B <- {channel}\n", e.cycle))
+                    }
                 }
             }
         }
@@ -537,7 +538,9 @@ impl Engine {
     fn new(m: Machine) -> Result<Self> {
         for (i, c) in m.channels.iter().enumerate() {
             if c.capacity_bytes == 0 {
-                return Err(PlatformError::ZeroCapacity { channel: ChannelId(i) });
+                return Err(PlatformError::ZeroCapacity {
+                    channel: ChannelId(i),
+                });
             }
         }
         let channels = m
@@ -597,7 +600,9 @@ impl Engine {
         }
         while let Some(Reverse((time, seq, _))) = self.queue.pop() {
             if time > self.budget {
-                return Err(PlatformError::BudgetExceeded { budget_cycles: self.budget });
+                return Err(PlatformError::BudgetExceeded {
+                    budget_cycles: self.budget,
+                });
             }
             self.now = time;
             let ev = self.payloads.remove(&(time, seq)).expect("event payload");
@@ -622,7 +627,12 @@ impl Engine {
         }
 
         Ok(SimReport {
-            makespan_cycles: self.pes.iter().map(|p| p.stats.finish_cycle).max().unwrap_or(0),
+            makespan_cycles: self
+                .pes
+                .iter()
+                .map(|p| p.stats.finish_cycle)
+                .max()
+                .unwrap_or(0),
             pe: self.pes.iter().map(|p| p.stats).collect(),
             channels: self.channels.iter().map(|c| c.stats).collect(),
             locals: self
@@ -669,9 +679,7 @@ impl Engine {
     fn step_pe(&mut self, id: PeId) {
         loop {
             let pe = &mut self.pes[id.0];
-            if !pe.in_prologue
-                && (pe.iter >= pe.program.iterations || pe.program.ops.is_empty())
-            {
+            if !pe.in_prologue && (pe.iter >= pe.program.iterations || pe.program.ops.is_empty()) {
                 pe.state = PeState::Done;
                 pe.stats.finish_cycle = pe.stats.finish_cycle.max(self.now);
                 return;
@@ -732,9 +740,7 @@ impl Engine {
                     // sends wait for their slot (prologue sends and
                     // channels outside the order bypass).
                     if let Some(ob) = &self.ordered_bus {
-                        let gated = !in_prologue
-                            && !ob.order.is_empty()
-                            && ob.order.contains(&ch);
+                        let gated = !in_prologue && !ob.order.is_empty() && ob.order.contains(&ch);
                         if gated && ob.order[self.grant_idx % ob.order.len()] != ch {
                             let pe = &mut self.pes[id.0];
                             pe.state = PeState::BlockedBus(ch);
@@ -752,22 +758,18 @@ impl Engine {
                             (Some(bus), _) => {
                                 // Shared bus: the transfer occupies the
                                 // single interconnect after arbitration.
-                                let grant = self
-                                    .bus_free
-                                    .max(self.now + send_busy)
+                                let grant = self.bus_free.max(self.now + send_busy)
                                     + bus.arbitration_cycles;
                                 self.bus_free = grant + wire;
                                 self.bus_free
                             }
                             (None, Some(ob)) => {
-                                let gated = !in_prologue
-                                    && !ob.order.is_empty()
-                                    && ob.order.contains(&ch);
+                                let gated =
+                                    !in_prologue && !ob.order.is_empty() && ob.order.contains(&ch);
                                 let slot = ob.slot_overhead_cycles;
                                 if gated {
                                     advanced_order = true;
-                                    let grant =
-                                        self.bus_free.max(self.now + send_busy) + slot;
+                                    let grant = self.bus_free.max(self.now + send_busy) + slot;
                                     self.bus_free = grant + wire;
                                     self.bus_free
                                 } else {
@@ -782,7 +784,10 @@ impl Engine {
                             self.trace.push(TraceEvent {
                                 cycle: self.now,
                                 pe: id,
-                                kind: TraceKind::Send { channel: ch, bytes: data.len() },
+                                kind: TraceKind::Send {
+                                    channel: ch,
+                                    bytes: data.len(),
+                                },
                             });
                         }
                         let c = &mut self.channels[ch.0];
@@ -829,7 +834,10 @@ impl Engine {
                             self.trace.push(TraceEvent {
                                 cycle: self.now,
                                 pe: id,
-                                kind: TraceKind::Recv { channel: ch, bytes: data.len() },
+                                kind: TraceKind::Recv {
+                                    channel: ch,
+                                    bytes: data.len(),
+                                },
                             });
                         }
                         let pe = &mut self.pes[id.0];
@@ -881,8 +889,7 @@ impl Engine {
             .collect();
         for i in waiters {
             self.pes[i].state = PeState::Ready;
-            self.pes[i].stats.send_stall_cycles +=
-                self.now - self.pes[i].blocked_since;
+            self.pes[i].stats.send_stall_cycles += self.now - self.pes[i].blocked_since;
             self.step_pe(PeId(i));
         }
     }
@@ -921,7 +928,10 @@ mod tests {
     fn single_pe_compute_accumulates_time() {
         let mut m = Machine::new();
         m.add_pe(Program::new(
-            vec![Op::Compute { label: "work".into(), work: Box::new(|_| 25) }],
+            vec![Op::Compute {
+                label: "work".into(),
+                work: Box::new(|_| 25),
+            }],
             4,
         ));
         let report = m.run().unwrap();
@@ -968,21 +978,30 @@ mod tests {
     fn full_fifo_blocks_sender() {
         let mut m = Machine::new();
         let ch = m.add_channel(tight_channel()); // 8 B capacity
-        // Sender pushes 8 B messages back-to-back; receiver consumes
-        // slowly (100-cycle compute between receives).
+                                                 // Sender pushes 8 B messages back-to-back; receiver consumes
+                                                 // slowly (100-cycle compute between receives).
         m.add_pe(Program::new(
-            vec![Op::Send { channel: ch, payload: Box::new(|_| vec![0u8; 8]) }],
+            vec![Op::Send {
+                channel: ch,
+                payload: Box::new(|_| vec![0u8; 8]),
+            }],
             4,
         ));
         m.add_pe(Program::new(
             vec![
                 Op::Recv { channel: ch },
-                Op::Compute { label: "slow".into(), work: Box::new(|_| 100) },
+                Op::Compute {
+                    label: "slow".into(),
+                    work: Box::new(|_| 100),
+                },
             ],
             4,
         ));
         let report = m.run().unwrap();
-        assert!(report.pe[0].send_stall_cycles > 0, "sender must have stalled");
+        assert!(
+            report.pe[0].send_stall_cycles > 0,
+            "sender must have stalled"
+        );
         assert_eq!(report.channels[0].messages, 4);
     }
 
@@ -992,8 +1011,14 @@ mod tests {
         let ch = m.add_channel(ChannelSpec::default());
         m.add_pe(Program::new(
             vec![
-                Op::Compute { label: "slow-src".into(), work: Box::new(|_| 500) },
-                Op::Send { channel: ch, payload: Box::new(|_| vec![1, 2, 3, 4]) },
+                Op::Compute {
+                    label: "slow-src".into(),
+                    work: Box::new(|_| 500),
+                },
+                Op::Send {
+                    channel: ch,
+                    payload: Box::new(|_| vec![1, 2, 3, 4]),
+                },
             ],
             1,
         ));
@@ -1011,14 +1036,20 @@ mod tests {
         m.add_pe(Program::new(
             vec![
                 Op::Recv { channel: ba },
-                Op::Send { channel: ab, payload: Box::new(|_| vec![0; 4]) },
+                Op::Send {
+                    channel: ab,
+                    payload: Box::new(|_| vec![0; 4]),
+                },
             ],
             1,
         ));
         m.add_pe(Program::new(
             vec![
                 Op::Recv { channel: ab },
-                Op::Send { channel: ba, payload: Box::new(|_| vec![0; 4]) },
+                Op::Send {
+                    channel: ba,
+                    payload: Box::new(|_| vec![0; 4]),
+                },
             ],
             1,
         ));
@@ -1031,7 +1062,10 @@ mod tests {
     #[test]
     fn zero_capacity_rejected() {
         let mut m = Machine::new();
-        let bad = ChannelSpec { capacity_bytes: 0, ..ChannelSpec::default() };
+        let bad = ChannelSpec {
+            capacity_bytes: 0,
+            ..ChannelSpec::default()
+        };
         m.add_channel(bad);
         assert!(matches!(m.run(), Err(PlatformError::ZeroCapacity { .. })));
     }
@@ -1049,7 +1083,10 @@ mod tests {
     fn makespan_in_microseconds() {
         let mut m = Machine::new();
         m.add_pe(Program::new(
-            vec![Op::Compute { label: "w".into(), work: Box::new(|_| 100) }],
+            vec![Op::Compute {
+                label: "w".into(),
+                work: Box::new(|_| 100),
+            }],
             1,
         ));
         let report = m.run().unwrap();
@@ -1061,7 +1098,10 @@ mod tests {
     fn budget_exceeded_detected() {
         let mut m = Machine::new();
         m.add_pe(Program::new(
-            vec![Op::Compute { label: "w".into(), work: Box::new(|_| 1000) }],
+            vec![Op::Compute {
+                label: "w".into(),
+                work: Box::new(|_| 1000),
+            }],
             10,
         ));
         m.set_budget_cycles(500);
@@ -1074,7 +1114,10 @@ mod tests {
         let c1 = m.add_channel(ChannelSpec::default());
         let c2 = m.add_channel(ChannelSpec::default());
         m.add_pe(Program::new(
-            vec![Op::Send { channel: c1, payload: Box::new(|l| vec![l.iter as u8]) }],
+            vec![Op::Send {
+                channel: c1,
+                payload: Box::new(|l| vec![l.iter as u8]),
+            }],
             5,
         ));
         m.add_pe(Program::new(
@@ -1119,12 +1162,18 @@ mod tests {
     fn speed_scaling_slows_software_pes() {
         let mut m = Machine::new();
         m.add_pe(Program::new(
-            vec![Op::Compute { label: "hw".into(), work: Box::new(|_| 100) }],
+            vec![Op::Compute {
+                label: "hw".into(),
+                work: Box::new(|_| 100),
+            }],
             4,
         ));
         m.add_pe(
             Program::new(
-                vec![Op::Compute { label: "sw".into(), work: Box::new(|_| 100) }],
+                vec![Op::Compute {
+                    label: "sw".into(),
+                    work: Box::new(|_| 100),
+                }],
                 4,
             )
             .with_speed(3, 1),
@@ -1140,7 +1189,10 @@ mod tests {
         let mut m = Machine::new();
         m.add_pe(
             Program::new(
-                vec![Op::Compute { label: "fast".into(), work: Box::new(|_| 99) }],
+                vec![Op::Compute {
+                    label: "fast".into(),
+                    work: Box::new(|_| 99),
+                }],
                 1,
             )
             .with_speed(1, 2),
@@ -1157,15 +1209,24 @@ mod tests {
             let c2 = m.add_channel(tight_channel());
             m.add_pe(Program::new(
                 vec![
-                    Op::Compute { label: "w".into(), work: Box::new(|l| 3 + l.iter % 7) },
-                    Op::Send { channel: c1, payload: Box::new(|l| vec![l.iter as u8; 8]) },
+                    Op::Compute {
+                        label: "w".into(),
+                        work: Box::new(|l| 3 + l.iter % 7),
+                    },
+                    Op::Send {
+                        channel: c1,
+                        payload: Box::new(|l| vec![l.iter as u8; 8]),
+                    },
                 ],
                 20,
             ));
             m.add_pe(Program::new(
                 vec![
                     Op::Recv { channel: c1 },
-                    Op::Send { channel: c2, payload: Box::new(|_| vec![9; 4]) },
+                    Op::Send {
+                        channel: c2,
+                        payload: Box::new(|_| vec![9; 4]),
+                    },
                 ],
                 20,
             ));
@@ -1186,8 +1247,14 @@ mod tests {
         let ch = m.add_channel(ChannelSpec::default());
         m.add_pe(Program::new(
             vec![
-                Op::Compute { label: "produce".into(), work: Box::new(|_| 5) },
-                Op::Send { channel: ch, payload: Box::new(|_| vec![0; 8]) },
+                Op::Compute {
+                    label: "produce".into(),
+                    work: Box::new(|_| 5),
+                },
+                Op::Send {
+                    channel: ch,
+                    payload: Box::new(|_| vec![0; 8]),
+                },
             ],
             2,
         ));
@@ -1219,7 +1286,10 @@ mod tests {
     fn trace_off_by_default() {
         let mut m = Machine::new();
         m.add_pe(Program::new(
-            vec![Op::Compute { label: "w".into(), work: Box::new(|_| 1) }],
+            vec![Op::Compute {
+                label: "w".into(),
+                work: Box::new(|_| 1),
+            }],
             3,
         ));
         let report = m.run().unwrap();
@@ -1233,12 +1303,18 @@ mod tests {
         let ch = m.add_channel(ChannelSpec::default());
         // Producer bursts 3 × 16 B before the consumer wakes up.
         m.add_pe(Program::new(
-            vec![Op::Send { channel: ch, payload: Box::new(|_| vec![0; 16]) }],
+            vec![Op::Send {
+                channel: ch,
+                payload: Box::new(|_| vec![0; 16]),
+            }],
             3,
         ));
         m.add_pe(Program::new(
             vec![
-                Op::Compute { label: "late".into(), work: Box::new(|_| 1000) },
+                Op::Compute {
+                    label: "late".into(),
+                    work: Box::new(|_| 1000),
+                },
                 Op::Recv { channel: ch },
             ],
             3,
@@ -1259,7 +1335,10 @@ mod tests {
             for _ in 0..2 {
                 let ch = m.add_channel(ChannelSpec::default());
                 m.add_pe(Program::new(
-                    vec![Op::Send { channel: ch, payload: Box::new(|_| vec![0; 4000]) }],
+                    vec![Op::Send {
+                        channel: ch,
+                        payload: Box::new(|_| vec![0; 4000]),
+                    }],
                     4,
                 ));
                 m.add_pe(Program::new(vec![Op::Recv { channel: ch }], 4));
@@ -1267,7 +1346,9 @@ mod tests {
             m.run().unwrap().makespan_cycles
         };
         let p2p = run(None);
-        let bus = run(Some(BusSpec { arbitration_cycles: 4 }));
+        let bus = run(Some(BusSpec {
+            arbitration_cycles: 4,
+        }));
         assert!(
             bus > p2p + 500,
             "bus contention must slow disjoint streams: p2p={p2p} bus={bus}"
@@ -1286,13 +1367,22 @@ mod tests {
             slot_overhead_cycles: 1,
         });
         m.add_pe(Program::new(
-            vec![Op::Send { channel: ch0, payload: Box::new(|_| vec![0; 4]) }],
+            vec![Op::Send {
+                channel: ch0,
+                payload: Box::new(|_| vec![0; 4]),
+            }],
             3,
         ));
         m.add_pe(Program::new(
             vec![
-                Op::Compute { label: "slow".into(), work: Box::new(|_| 200) },
-                Op::Send { channel: ch1, payload: Box::new(|_| vec![0; 4]) },
+                Op::Compute {
+                    label: "slow".into(),
+                    work: Box::new(|_| 200),
+                },
+                Op::Send {
+                    channel: ch1,
+                    payload: Box::new(|_| vec![0; 4]),
+                },
             ],
             3,
         ));
@@ -1316,8 +1406,14 @@ mod tests {
         });
         m.add_pe(Program::new(
             vec![
-                Op::Send { channel: unlisted, payload: Box::new(|_| vec![0; 4]) },
-                Op::Send { channel: listed, payload: Box::new(|_| vec![0; 4]) },
+                Op::Send {
+                    channel: unlisted,
+                    payload: Box::new(|_| vec![0; 4]),
+                },
+                Op::Send {
+                    channel: listed,
+                    payload: Box::new(|_| vec![0; 4]),
+                },
             ],
             2,
         ));
@@ -1335,8 +1431,14 @@ mod tests {
         let ch = m.add_channel(ChannelSpec::default());
         m.add_pe(Program::new(
             vec![
-                Op::Compute { label: "w".into(), work: Box::new(|_| 10) },
-                Op::Send { channel: ch, payload: Box::new(|_| vec![0; 4]) },
+                Op::Compute {
+                    label: "w".into(),
+                    work: Box::new(|_| 10),
+                },
+                Op::Send {
+                    channel: ch,
+                    payload: Box::new(|_| vec![0; 4]),
+                },
             ],
             2,
         ));

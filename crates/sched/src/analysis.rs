@@ -218,8 +218,18 @@ mod tests {
     #[test]
     fn simple_loop_ratio() {
         let edges = [
-            WeightedEdge { from: 0, to: 1, weight: 5, delay: 0 },
-            WeightedEdge { from: 1, to: 0, weight: 7, delay: 2 },
+            WeightedEdge {
+                from: 0,
+                to: 1,
+                weight: 5,
+                delay: 0,
+            },
+            WeightedEdge {
+                from: 1,
+                to: 0,
+                weight: 7,
+                delay: 2,
+            },
         ];
         let mcr = maximum_cycle_ratio(2, &edges).unwrap();
         assert!((mcr - 6.0).abs() < 1e-6, "(5+7)/2 = 6, got {mcr}");
@@ -228,8 +238,18 @@ mod tests {
     #[test]
     fn acyclic_graph_has_no_ratio() {
         let edges = [
-            WeightedEdge { from: 0, to: 1, weight: 5, delay: 0 },
-            WeightedEdge { from: 1, to: 2, weight: 5, delay: 3 },
+            WeightedEdge {
+                from: 0,
+                to: 1,
+                weight: 5,
+                delay: 0,
+            },
+            WeightedEdge {
+                from: 1,
+                to: 2,
+                weight: 5,
+                delay: 3,
+            },
         ];
         assert_eq!(maximum_cycle_ratio(3, &edges), None);
     }
@@ -237,8 +257,18 @@ mod tests {
     #[test]
     fn zero_delay_cycle_is_infinite() {
         let edges = [
-            WeightedEdge { from: 0, to: 1, weight: 5, delay: 0 },
-            WeightedEdge { from: 1, to: 0, weight: 5, delay: 0 },
+            WeightedEdge {
+                from: 0,
+                to: 1,
+                weight: 5,
+                delay: 0,
+            },
+            WeightedEdge {
+                from: 1,
+                to: 0,
+                weight: 5,
+                delay: 0,
+            },
         ];
         assert_eq!(maximum_cycle_ratio(2, &edges), Some(f64::INFINITY));
     }
@@ -247,9 +277,24 @@ mod tests {
     fn max_over_multiple_cycles() {
         // Cycle A: ratio 10/1 = 10. Cycle B: ratio 30/2 = 15 → MCR 15.
         let edges = [
-            WeightedEdge { from: 0, to: 0, weight: 10, delay: 1 },
-            WeightedEdge { from: 1, to: 2, weight: 10, delay: 1 },
-            WeightedEdge { from: 2, to: 1, weight: 20, delay: 1 },
+            WeightedEdge {
+                from: 0,
+                to: 0,
+                weight: 10,
+                delay: 1,
+            },
+            WeightedEdge {
+                from: 1,
+                to: 2,
+                weight: 10,
+                delay: 1,
+            },
+            WeightedEdge {
+                from: 2,
+                to: 1,
+                weight: 20,
+                delay: 1,
+            },
         ];
         let mcr = maximum_cycle_ratio(3, &edges).unwrap();
         assert!((mcr - 15.0).abs() < 1e-6, "got {mcr}");
@@ -258,8 +303,18 @@ mod tests {
     #[test]
     fn disconnected_components_both_considered() {
         let edges = [
-            WeightedEdge { from: 0, to: 0, weight: 4, delay: 2 },
-            WeightedEdge { from: 3, to: 3, weight: 9, delay: 1 },
+            WeightedEdge {
+                from: 0,
+                to: 0,
+                weight: 4,
+                delay: 2,
+            },
+            WeightedEdge {
+                from: 3,
+                to: 3,
+                weight: 9,
+                delay: 1,
+            },
         ];
         let mcr = maximum_cycle_ratio(4, &edges).unwrap();
         assert!((mcr - 9.0).abs() < 1e-6);
@@ -305,9 +360,24 @@ mod tests {
         // A degenerate cycle that costs nothing should not report deadlock;
         // the other cycle dominates.
         let edges = [
-            WeightedEdge { from: 0, to: 1, weight: 0, delay: 0 },
-            WeightedEdge { from: 1, to: 0, weight: 0, delay: 0 },
-            WeightedEdge { from: 2, to: 2, weight: 8, delay: 4 },
+            WeightedEdge {
+                from: 0,
+                to: 1,
+                weight: 0,
+                delay: 0,
+            },
+            WeightedEdge {
+                from: 1,
+                to: 0,
+                weight: 0,
+                delay: 0,
+            },
+            WeightedEdge {
+                from: 2,
+                to: 2,
+                weight: 8,
+                delay: 4,
+            },
         ];
         let mcr = maximum_cycle_ratio(3, &edges).unwrap();
         assert!((mcr - 2.0).abs() < 1e-6, "got {mcr}");

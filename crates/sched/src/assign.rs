@@ -74,7 +74,10 @@ impl Assignment {
         for &firing in pg.firings() {
             let p = f(firing.actor);
             if p.0 >= processors {
-                return Err(SchedError::ProcessorOutOfRange { proc: p.0, count: processors });
+                return Err(SchedError::ProcessorOutOfRange {
+                    proc: p.0,
+                    count: processors,
+                });
             }
             map.insert(firing, p);
         }
@@ -158,9 +161,7 @@ impl Assignment {
         let mut remaining_preds = pred_count;
         let mut scheduled = 0;
         while scheduled < n {
-            ready.sort_by(|&x, &y| {
-                level[y].cmp(&level[x]).then(firings[x].cmp(&firings[y]))
-            });
+            ready.sort_by(|&x, &y| level[y].cmp(&level[x]).then(firings[x].cmp(&firings[y])));
             let u = ready.remove(0);
             // Earliest start = max(processor free, predecessors' finish).
             let data_ready = pg
@@ -226,8 +227,7 @@ impl Assignment {
             u64::from(e.produce.bound()) * u64::from(e.token_bytes)
         };
 
-        let mut ready: Vec<usize> =
-            (0..n).filter(|&i| remaining_preds[i] == 0).collect();
+        let mut ready: Vec<usize> = (0..n).filter(|&i| remaining_preds[i] == 0).collect();
         let mut proc_free = vec![0u64; processors];
         let mut placed: Vec<Option<(usize, u64)>> = vec![None; n]; // (proc, finish)
         let mut map = HashMap::new();
@@ -241,8 +241,7 @@ impl Assignment {
                 for p in 0..processors {
                     let mut data_ready = 0u64;
                     for dep in pg.apg_edges().filter(|d| idx[&d.to] == u) {
-                        let (dp, dfinish) =
-                            placed[idx[&dep.from]].expect("preds scheduled first");
+                        let (dp, dfinish) = placed[idx[&dep.from]].expect("preds scheduled first");
                         let arrive = if dp == p {
                             dfinish
                         } else {
@@ -361,8 +360,12 @@ mod tests {
     #[test]
     fn from_map_requires_total_coverage() {
         let (_, pg) = diamond();
-        let partial: HashMap<Firing, ProcId> =
-            pg.firings().iter().take(2).map(|&f| (f, ProcId(0))).collect();
+        let partial: HashMap<Firing, ProcId> = pg
+            .firings()
+            .iter()
+            .take(2)
+            .map(|&f| (f, ProcId(0)))
+            .collect();
         assert!(matches!(
             Assignment::from_map(&pg, 1, partial),
             Err(SchedError::UnassignedFiring(_))

@@ -136,11 +136,20 @@ impl IpcGraph {
             let from = by_firing[&p.from];
             let to = by_firing[&p.to];
             if tasks[from.0].proc != tasks[to.0].proc {
-                edges.push(IpcEdge { from, to, delay: p.delay, kind: IpcEdgeKind::Ipc { via: p.via } });
+                edges.push(IpcEdge {
+                    from,
+                    to,
+                    delay: p.delay,
+                    kind: IpcEdgeKind::Ipc { via: p.via },
+                });
             }
         }
 
-        Ok(IpcGraph { tasks, edges, by_firing })
+        Ok(IpcGraph {
+            tasks,
+            edges,
+            by_firing,
+        })
     }
 
     /// All tasks in id order.
@@ -372,7 +381,11 @@ mod tests {
         let t0 = TaskId(0);
         let t1 = TaskId(1);
         // A's task to B's task via the zero-delay IPC edge.
-        let (src, dst) = if ipc.task(t0).firing.actor.0 == 0 { (t0, t1) } else { (t1, t0) };
+        let (src, dst) = if ipc.task(t0).firing.actor.0 == 0 {
+            (t0, t1)
+        } else {
+            (t1, t0)
+        };
         assert_eq!(ipc.min_delay_path(src, dst), Some(0));
     }
 

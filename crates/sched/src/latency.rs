@@ -103,7 +103,10 @@ pub fn latency_report(graph: &SyncGraph) -> LatencyReport {
         .enumerate()
         .map(|(i, &(s, e))| (TaskId(i), s, e))
         .collect();
-    LatencyReport { first_iteration, period: measured_period(graph, 16) }
+    LatencyReport {
+        first_iteration,
+        period: measured_period(graph, 16),
+    }
 }
 
 /// Map from firing label to first completion, convenient for tests.

@@ -48,10 +48,14 @@ pub mod latency;
 mod selftimed;
 mod sync_graph;
 
-pub use analysis::{max_cycle_mean, maximum_cycle_ratio, speedup_bounds, SpeedupBounds, WeightedEdge};
-pub use latency::{first_completion, latency_report, measured_period, self_timed_times, LatencyReport};
+pub use analysis::{
+    max_cycle_mean, maximum_cycle_ratio, speedup_bounds, SpeedupBounds, WeightedEdge,
+};
 pub use assign::{Assignment, ProcId};
 pub use error::{Result, SchedError};
 pub use ipc_graph::{IpcEdge, IpcEdgeKind, IpcGraph, Task, TaskId};
+pub use latency::{
+    first_completion, latency_report, measured_period, self_timed_times, LatencyReport,
+};
 pub use selftimed::SelfTimedSchedule;
 pub use sync_graph::{Protocol, ResyncReport, SyncEdge, SyncGraph, SyncKind};

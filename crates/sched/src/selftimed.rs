@@ -61,9 +61,7 @@ impl SelfTimedSchedule {
         let pos: HashMap<Firing, (usize, usize)> = order
             .iter()
             .enumerate()
-            .flat_map(|(p, list)| {
-                list.iter().enumerate().map(move |(i, &f)| (f, (p, i)))
-            })
+            .flat_map(|(p, list)| list.iter().enumerate().map(move |(i, &f)| (f, (p, i))))
             .collect();
         for &f in pg.firings() {
             let p = assignment.processor(f)?;
@@ -159,7 +157,8 @@ mod tests {
     fn from_assignment_orders_respect_precedence() {
         let (_, pg) = pipeline();
         // A and C on P0 — A must come first because A→B→C.
-        let assign = Assignment::by_actor(&pg, 2, |a| ProcId(if a.0 == 1 { 1 } else { 0 })).unwrap();
+        let assign =
+            Assignment::by_actor(&pg, 2, |a| ProcId(if a.0 == 1 { 1 } else { 0 })).unwrap();
         let st = SelfTimedSchedule::from_assignment(&pg, assign).unwrap();
         let p0 = st.order_on(ProcId(0));
         assert_eq!(p0.len(), 2);
@@ -173,7 +172,10 @@ mod tests {
         let mut firings: Vec<Firing> = pg.firings().to_vec();
         firings.reverse(); // C, B, A — violates A→B on the same processor
         let err = SelfTimedSchedule::from_orders(&pg, assign, vec![firings]);
-        assert!(matches!(err, Err(SchedError::OrderViolatesPrecedence { .. })));
+        assert!(matches!(
+            err,
+            Err(SchedError::OrderViolatesPrecedence { .. })
+        ));
     }
 
     #[test]
@@ -201,11 +203,8 @@ mod tests {
         let (_, pg) = pipeline();
         let assign = Assignment::by_actor(&pg, 2, |a| ProcId(a.0 % 2)).unwrap();
         // Put everything on P0's list although B is assigned to P1.
-        let err = SelfTimedSchedule::from_orders(
-            &pg,
-            assign,
-            vec![pg.firings().to_vec(), Vec::new()],
-        );
+        let err =
+            SelfTimedSchedule::from_orders(&pg, assign, vec![pg.firings().to_vec(), Vec::new()]);
         assert!(matches!(err, Err(SchedError::UnassignedFiring(_))));
     }
 }

@@ -162,7 +162,10 @@ impl SyncGraph {
                 }
             }
         }
-        let g = SyncGraph { tasks: ipc.tasks().to_vec(), edges };
+        let g = SyncGraph {
+            tasks: ipc.tasks().to_vec(),
+            edges,
+        };
         if g.has_zero_delay_cycle() {
             return Err(SchedError::ZeroDelayCycle);
         }
@@ -426,7 +429,10 @@ impl SyncGraph {
         procs.sort();
         procs.dedup();
         for p in procs {
-            out.push_str(&format!("  subgraph cluster_{} {{\n    label=\"{p}\";\n", p.0));
+            out.push_str(&format!(
+                "  subgraph cluster_{} {{\n    label=\"{p}\";\n",
+                p.0
+            ));
             for (i, t) in self.tasks.iter().enumerate() {
                 if t.proc == p {
                     out.push_str(&format!(
@@ -438,7 +444,11 @@ impl SyncGraph {
             out.push_str("  }\n");
         }
         for e in &self.edges {
-            let style = if e.kind.is_removable() { "dashed" } else { "solid" };
+            let style = if e.kind.is_removable() {
+                "dashed"
+            } else {
+                "solid"
+            };
             let label = if e.delay > 0 {
                 format!(" label=\"{}\"", e.delay)
             } else {
@@ -510,8 +520,7 @@ mod tests {
         g.add_edge(a, b, 1, 1, 0, 4).unwrap();
         g.add_edge(b, c, 1, 1, 0, 4).unwrap();
         let pg = PrecedenceGraph::expand(&g).unwrap();
-        let assign =
-            Assignment::by_actor(&pg, 2, |x| ProcId(if x == b { 1 } else { 0 })).unwrap();
+        let assign = Assignment::by_actor(&pg, 2, |x| ProcId(if x == b { 1 } else { 0 })).unwrap();
         let st = SelfTimedSchedule::from_assignment(&pg, assign).unwrap();
         let ipc = IpcGraph::build(&g, &pg, &st).unwrap();
         SyncGraph::from_ipc(&ipc, |_| Protocol::Ubs { ack_window: 1 }).unwrap()

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this shim provides
+//! just enough surface for the workspace's `use serde::{Deserialize,
+//! Serialize}` + `#[derive(...)]` annotations to compile: empty marker
+//! traits and derive macros that expand to nothing. No code in the
+//! workspace performs actual (de)serialization; the annotations document
+//! intent for a future online build, where this path dependency can be
+//! swapped back to the real crate without touching any annotated type.
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the shim).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the shim).
+pub trait Deserialize<'de> {}
+
+// Same-name re-exports are legal because derive macros and traits live in
+// different namespaces, exactly as in real serde.
+pub use serde_derive::{Deserialize, Serialize};

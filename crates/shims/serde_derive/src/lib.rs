@@ -1,0 +1,20 @@
+//! No-op derive macros standing in for `serde_derive` in offline builds.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` purely as
+//! forward-looking annotation — nothing serializes at run time — so the
+//! offline shim accepts the attributes and expands to nothing. See
+//! `crates/shims/serde` for the matching trait definitions.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and emits no code.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and emits no code.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

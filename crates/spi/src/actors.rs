@@ -28,7 +28,12 @@ pub struct Firing {
 impl Firing {
     /// Creates a context with the given consumed inputs.
     pub fn new(iter: u64, k: u64, inputs: HashMap<EdgeId, Vec<u8>>) -> Self {
-        Firing { iter, k, inputs, outputs: HashMap::new() }
+        Firing {
+            iter,
+            k,
+            inputs,
+            outputs: HashMap::new(),
+        }
     }
 
     /// The bytes consumed from `edge` this firing.

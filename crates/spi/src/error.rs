@@ -52,6 +52,12 @@ pub enum SpiError {
         /// The declared bound.
         bound: usize,
     },
+    /// The static pre-flight analysis found error-severity diagnostics;
+    /// the system was not built. Each diagnostic explains one defect.
+    Analysis {
+        /// Error-severity diagnostics, most severe first.
+        diagnostics: Vec<spi_analyze::Diagnostic>,
+    },
 }
 
 impl fmt::Display for SpiError {
@@ -70,7 +76,11 @@ impl fmt::Display for SpiError {
                 write!(f, "actor implementation failed: {message}")
             }
             SpiError::Message { reason } => write!(f, "message decode failed: {reason}"),
-            SpiError::StaticSizeMismatch { edge, got, expected } => write!(
+            SpiError::StaticSizeMismatch {
+                edge,
+                got,
+                expected,
+            } => write!(
                 f,
                 "static edge {edge} produced {got} bytes, rate requires {expected}"
             ),
@@ -78,6 +88,13 @@ impl fmt::Display for SpiError {
                 f,
                 "dynamic edge {edge} produced {got} bytes, exceeding the VTS bound {bound}"
             ),
+            SpiError::Analysis { diagnostics } => {
+                write!(f, "static analysis found {} error(s):", diagnostics.len())?;
+                for d in diagnostics {
+                    write!(f, "\n{}", d.render_human())?;
+                }
+                Ok(())
+            }
         }
     }
 }

@@ -42,4 +42,6 @@ pub use message::{
     decode_dynamic, decode_static, encode_dynamic, encode_static, header_bytes, SpiPhase,
     DYNAMIC_HEADER_BYTES, STATIC_HEADER_BYTES,
 };
-pub use system::{BufferRow, EdgePlan, SchedulingMode, SpiRunReport, SpiSystem, SpiSystemBuilder, ACK_BYTES};
+pub use system::{
+    BufferRow, EdgePlan, SchedulingMode, SpiRunReport, SpiSystem, SpiSystemBuilder, ACK_BYTES,
+};

@@ -48,9 +48,7 @@ impl SpiLibraryReport {
             // FIFO actually instantiated (credit-bounded working set),
             // not the nominal "unbounded" capacity.
             let fifo_bytes = match plan.protocol {
-                spi_sched::Protocol::Bbs { capacity } => {
-                    capacity.max(1) * plan.payload_max as u64
-                }
+                spi_sched::Protocol::Bbs { capacity } => capacity.max(1) * plan.payload_max as u64,
                 spi_sched::Protocol::Ubs { ack_window } => {
                     (ack_window + 1) * plan.payload_max as u64
                 }
@@ -77,7 +75,10 @@ impl SpiLibraryReport {
             .copied()
             .sum();
 
-        SpiLibraryReport { spi_library: spi, application }
+        SpiLibraryReport {
+            spi_library: spi,
+            application,
+        }
     }
 
     /// Total system area (application + SPI library).

@@ -35,17 +35,27 @@ pub enum SpiPhase {
 
 /// Frames `payload` as an SPI_static message for `edge`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the edge id exceeds `u16::MAX` — SPI systems index edges
-/// compactly, and 65 536 inter-processor edges is far outside the
-/// supported envelope.
-pub fn encode_static(edge: EdgeId, payload: &[u8]) -> Vec<u8> {
-    let id = u16::try_from(edge.0).expect("edge ids fit in the 2-byte header");
+/// [`SpiError::Message`] if the edge id exceeds `u16::MAX` — SPI systems
+/// index edges compactly, and 65 536 inter-processor edges is far
+/// outside the supported envelope.
+pub fn encode_static(edge: EdgeId, payload: &[u8]) -> Result<Vec<u8>> {
+    let id = header_edge_id(edge)?;
     let mut msg = Vec::with_capacity(STATIC_HEADER_BYTES + payload.len());
     msg.extend_from_slice(&id.to_le_bytes());
     msg.extend_from_slice(payload);
-    msg
+    Ok(msg)
+}
+
+/// Narrows an edge id to the 2-byte header field.
+fn header_edge_id(edge: EdgeId) -> Result<u16> {
+    u16::try_from(edge.0).map_err(|_| SpiError::Message {
+        reason: format!(
+            "edge id {edge} exceeds the 2-byte header field (max {})",
+            u16::MAX
+        ),
+    })
 }
 
 /// Decodes an SPI_static message, checking it belongs to `expect_edge`
@@ -57,7 +67,9 @@ pub fn encode_static(edge: EdgeId, payload: &[u8]) -> Vec<u8> {
 /// mismatch.
 pub fn decode_static(msg: &[u8], expect_edge: EdgeId, expect_len: usize) -> Result<Vec<u8>> {
     if msg.len() < STATIC_HEADER_BYTES {
-        return Err(SpiError::Message { reason: format!("static header truncated: {} bytes", msg.len()) });
+        return Err(SpiError::Message {
+            reason: format!("static header truncated: {} bytes", msg.len()),
+        });
     }
     let id = u16::from_le_bytes([msg[0], msg[1]]) as usize;
     if id != expect_edge.0 {
@@ -79,18 +91,24 @@ pub fn decode_static(msg: &[u8], expect_edge: EdgeId, expect_len: usize) -> Resu
 
 /// Frames `payload` as an SPI_dynamic message for `edge`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the edge id exceeds `u16::MAX` or the payload exceeds
-/// `u32::MAX` bytes.
-pub fn encode_dynamic(edge: EdgeId, payload: &[u8]) -> Vec<u8> {
-    let id = u16::try_from(edge.0).expect("edge ids fit in the 2-byte header");
-    let len = u32::try_from(payload.len()).expect("payload fits the 4-byte size field");
+/// [`SpiError::Message`] if the edge id exceeds `u16::MAX` or the
+/// payload exceeds the 4-byte size field (`u32::MAX` bytes).
+pub fn encode_dynamic(edge: EdgeId, payload: &[u8]) -> Result<Vec<u8>> {
+    let id = header_edge_id(edge)?;
+    let len = u32::try_from(payload.len()).map_err(|_| SpiError::Message {
+        reason: format!(
+            "payload of {} bytes exceeds the 4-byte size field (max {})",
+            payload.len(),
+            u32::MAX
+        ),
+    })?;
     let mut msg = Vec::with_capacity(DYNAMIC_HEADER_BYTES + payload.len());
     msg.extend_from_slice(&id.to_le_bytes());
     msg.extend_from_slice(&len.to_le_bytes());
     msg.extend_from_slice(payload);
-    msg
+    Ok(msg)
 }
 
 /// Decodes an SPI_dynamic message, checking the edge id and the VTS
@@ -114,11 +132,18 @@ pub fn decode_dynamic(msg: &[u8], expect_edge: EdgeId, bound: usize) -> Result<V
     }
     let len = u32::from_le_bytes([msg[2], msg[3], msg[4], msg[5]]) as usize;
     if len > bound {
-        return Err(SpiError::VtsBoundExceeded { edge: expect_edge, got: len, bound });
+        return Err(SpiError::VtsBoundExceeded {
+            edge: expect_edge,
+            got: len,
+            bound,
+        });
     }
     if msg.len() < DYNAMIC_HEADER_BYTES + len {
         return Err(SpiError::Message {
-            reason: format!("dynamic payload truncated: have {}, need {len}", msg.len() - DYNAMIC_HEADER_BYTES),
+            reason: format!(
+                "dynamic payload truncated: have {}, need {len}",
+                msg.len() - DYNAMIC_HEADER_BYTES
+            ),
         });
     }
     Ok(msg[DYNAMIC_HEADER_BYTES..DYNAMIC_HEADER_BYTES + len].to_vec())
@@ -139,7 +164,7 @@ mod tests {
     #[test]
     fn static_roundtrip() {
         let payload = vec![1, 2, 3, 4];
-        let msg = encode_static(EdgeId(7), &payload);
+        let msg = encode_static(EdgeId(7), &payload).unwrap();
         assert_eq!(msg.len(), 2 + 4);
         let back = decode_static(&msg, EdgeId(7), 4).unwrap();
         assert_eq!(back, payload);
@@ -147,13 +172,13 @@ mod tests {
 
     #[test]
     fn static_rejects_wrong_edge() {
-        let msg = encode_static(EdgeId(7), &[0; 4]);
+        let msg = encode_static(EdgeId(7), &[0; 4]).unwrap();
         assert!(decode_static(&msg, EdgeId(8), 4).is_err());
     }
 
     #[test]
     fn static_rejects_wrong_length() {
-        let msg = encode_static(EdgeId(7), &[0; 4]);
+        let msg = encode_static(EdgeId(7), &[0; 4]).unwrap();
         assert!(decode_static(&msg, EdgeId(7), 8).is_err());
         assert!(decode_static(&[1], EdgeId(7), 0).is_err());
     }
@@ -162,7 +187,7 @@ mod tests {
     fn dynamic_roundtrip_various_sizes() {
         for n in [0usize, 1, 17, 255] {
             let payload = vec![0xAB; n];
-            let msg = encode_dynamic(EdgeId(3), &payload);
+            let msg = encode_dynamic(EdgeId(3), &payload).unwrap();
             assert_eq!(msg.len(), 6 + n);
             let back = decode_dynamic(&msg, EdgeId(3), 255).unwrap();
             assert_eq!(back, payload);
@@ -171,18 +196,37 @@ mod tests {
 
     #[test]
     fn dynamic_enforces_vts_bound() {
-        let msg = encode_dynamic(EdgeId(3), &[0; 100]);
+        let msg = encode_dynamic(EdgeId(3), &[0; 100]).unwrap();
         assert!(matches!(
             decode_dynamic(&msg, EdgeId(3), 50),
-            Err(SpiError::VtsBoundExceeded { got: 100, bound: 50, .. })
+            Err(SpiError::VtsBoundExceeded {
+                got: 100,
+                bound: 50,
+                ..
+            })
         ));
     }
 
     #[test]
     fn dynamic_detects_truncation() {
-        let msg = encode_dynamic(EdgeId(3), &[0; 10]);
+        let msg = encode_dynamic(EdgeId(3), &[0; 10]).unwrap();
         assert!(decode_dynamic(&msg[..8], EdgeId(3), 100).is_err());
         assert!(decode_dynamic(&msg[..3], EdgeId(3), 100).is_err());
+    }
+
+    #[test]
+    fn encode_rejects_oversized_edge_id() {
+        let too_big = EdgeId(usize::from(u16::MAX) + 1);
+        assert!(matches!(
+            encode_static(too_big, &[0; 4]),
+            Err(SpiError::Message { .. })
+        ));
+        assert!(matches!(
+            encode_dynamic(too_big, &[0; 4]),
+            Err(SpiError::Message { .. })
+        ));
+        // The largest representable id still frames fine.
+        assert!(encode_static(EdgeId(usize::from(u16::MAX)), &[]).is_ok());
     }
 
     #[test]

@@ -22,13 +22,13 @@
 
 use std::collections::HashMap;
 
-use spi_dataflow::{
-    ActorId, EdgeId, LengthSignal, PrecedenceGraph, SdfGraph, VtsConversion,
-};
+use spi_dataflow::{ActorId, EdgeId, LengthSignal, PrecedenceGraph, SdfGraph, VtsConversion};
 use spi_platform::{
     ChannelId, ChannelSpec, Machine, Op, PeLocal, Program, ResourceEstimate, SimReport,
 };
-use spi_sched::{Assignment, IpcGraph, ProcId, Protocol, ResyncReport, SelfTimedSchedule, SyncGraph, SyncKind};
+use spi_sched::{
+    Assignment, IpcGraph, ProcId, Protocol, ResyncReport, SelfTimedSchedule, SyncGraph, SyncKind,
+};
 
 use crate::actors::{Firing, SharedActor};
 use crate::error::{Result, SpiError};
@@ -173,8 +173,13 @@ impl SpiSystemBuilder {
     }
 
     /// Registers the implementation of `actor`.
-    pub fn actor(&mut self, actor: ActorId, implementation: impl crate::ActorFire + 'static) -> &mut Self {
-        self.impls.insert(actor, crate::actors::share(implementation));
+    pub fn actor(
+        &mut self,
+        actor: ActorId,
+        implementation: impl crate::ActorFire + 'static,
+    ) -> &mut Self {
+        self.impls
+            .insert(actor, crate::actors::share(implementation));
         self
     }
 
@@ -259,6 +264,7 @@ impl SpiSystemBuilder {
     ///
     /// Same conditions as [`SpiSystemBuilder::build`].
     pub fn build_auto(self, processors: usize) -> Result<SpiSystem> {
+        preflight(&self.graph, self.signal)?;
         let vts = VtsConversion::convert(&self.graph)?;
         let pg = PrecedenceGraph::expand(vts.graph())?;
         let firing_assign = Assignment::hlfet(vts.graph(), &pg, processors)?;
@@ -279,18 +285,31 @@ impl SpiSystemBuilder {
                 (a, best)
             })
             .collect();
-        self.build(processors, move |a| actor_map.get(&a).copied().unwrap_or(ProcId(0)))
+        self.build(processors, move |a| {
+            actor_map.get(&a).copied().unwrap_or(ProcId(0))
+        })
     }
 
     /// Runs the full SPI flow and produces a runnable system.
     ///
     /// # Errors
     ///
-    /// Any dataflow/scheduling error from the underlying analyses;
+    /// [`SpiError::Analysis`] when the static pre-flight finds
+    /// error-severity diagnostics (ill-formed graph, inconsistent rates,
+    /// deadlock, unsound VTS bounds, uncovered IPC edges…) — the
+    /// diagnostics explain each defect;
+    /// any dataflow/scheduling error from the underlying analyses;
     /// [`SpiError::MissingActorImpl`] for unregistered actors;
     /// [`SpiError::ActorSplitAcrossProcessors`] if the assignment puts
     /// firings of one actor on different processors.
-    pub fn build(self, processors: usize, assign: impl FnMut(ActorId) -> ProcId) -> Result<SpiSystem> {
+    pub fn build(
+        self,
+        processors: usize,
+        assign: impl FnMut(ActorId) -> ProcId,
+    ) -> Result<SpiSystem> {
+        // Graph-level pre-flight: explain structural defects before the
+        // raw scheduler errors would surface them.
+        preflight(&self.graph, self.signal)?;
         let vts = VtsConversion::convert(&self.graph)?;
         let cg = vts.graph().clone();
         let pg = PrecedenceGraph::expand(&cg)?;
@@ -340,12 +359,10 @@ impl SpiSystemBuilder {
                     SpiPhase::Static
                 };
                 let payload_max = match phase {
-                    SpiPhase::Static => {
-                        edge.produce.bound() as usize * edge.token_bytes as usize
+                    SpiPhase::Static => edge.produce.bound() as usize * edge.token_bytes as usize,
+                    SpiPhase::Dynamic => {
+                        vts.bytes_per_packed_token(via).expect("edge exists") as usize
                     }
-                    SpiPhase::Dynamic => vts
-                        .bytes_per_packed_token(via)
-                        .expect("edge exists") as usize,
                 };
                 EdgePlan {
                     edge: via,
@@ -354,7 +371,9 @@ impl SpiSystemBuilder {
                     src_proc: actor_proc[&edge.src],
                     dst_proc: actor_proc[&edge.dst],
                     bound_tokens: None,
-                    protocol: Protocol::Ubs { ack_window: self.ack_window },
+                    protocol: Protocol::Ubs {
+                        ack_window: self.ack_window,
+                    },
                     ack_kept: false,
                     data_ch: ChannelId(0),
                     ack_ch: None,
@@ -377,7 +396,10 @@ impl SpiSystemBuilder {
             // acknowledges after its firing consumes, so a window smaller
             // than the burst deadlocks the self-timed execution.
             let edge = cg.edge(plan.edge);
-            let (p_, c_) = (i64::from(edge.produce.bound()), i64::from(edge.consume.bound()));
+            let (p_, c_) = (
+                i64::from(edge.produce.bound()),
+                i64::from(edge.consume.bound()),
+            );
             let d_ = edge.delay as i64;
             let max_burst = (0..q[edge.dst] as i64)
                 .map(|j| {
@@ -390,9 +412,9 @@ impl SpiSystemBuilder {
             // instance has delay `capacity − d_max`; keep it ≥ 1.
             let d_max = max_delay.get(&plan.edge).copied().unwrap_or(0);
             plan.protocol = match plan.bound_tokens {
-                Some(b) if !self.force_ubs => {
-                    Protocol::Bbs { capacity: b.max(d_max + 1) }
-                }
+                Some(b) if !self.force_ubs => Protocol::Bbs {
+                    capacity: b.max(d_max + 1),
+                },
                 _ => {
                     // The credit window must cover (a) the consumer's
                     // largest per-firing burst and (b) one full iteration
@@ -422,7 +444,9 @@ impl SpiSystemBuilder {
                 // `w` messages grants ⌊w / q_src⌋ iterations of slack.
                 Protocol::Ubs { ack_window } => {
                     let q_src = q_view[cg_view.edge(via).src];
-                    Protocol::Ubs { ack_window: (ack_window / q_src).max(1) }
+                    Protocol::Ubs {
+                        ack_window: (ack_window / q_src).max(1),
+                    }
                 }
                 bbs => bbs,
             }
@@ -439,9 +463,10 @@ impl SpiSystemBuilder {
         // survived the optimization.
         for plan in plans.values_mut() {
             if matches!(plan.protocol, Protocol::Ubs { .. }) {
-                plan.ack_kept = sync.edges().iter().any(|s| {
-                    matches!(s.kind, SyncKind::Ack { via } if via == plan.edge)
-                });
+                plan.ack_kept = sync
+                    .edges()
+                    .iter()
+                    .any(|s| matches!(s.kind, SyncKind::Ack { via } if via == plan.edge));
             }
         }
 
@@ -563,6 +588,29 @@ impl SpiSystemBuilder {
         // ---- Resource report --------------------------------------------
         let library = SpiLibraryReport::for_system(&plans, &actor_proc, &self.actor_resources);
 
+        // ---- Schedule-level verification --------------------------------
+        // Re-run the analyzer with the full picture (VTS, IPC graph,
+        // optimized sync graph, protocol decisions, resource totals).
+        // Errors here mean the lowering itself is unsound — abort rather
+        // than hand out a racy or overcommitted system; warnings (e.g.
+        // SPI040 under `force_ubs`) ride along on the built system.
+        let protocols: HashMap<EdgeId, Protocol> =
+            plans.iter().map(|(&e, p)| (e, p.protocol)).collect();
+        let analysis = spi_analyze::Analyzer::default_pipeline().run(
+            &spi_analyze::AnalysisInput::new(&self.graph)
+                .with_vts(&vts)
+                .with_signal(self.signal)
+                .with_ipc(&ipc)
+                .with_sync(&sync)
+                .with_protocols(&protocols)
+                .with_resources(library.full_system(), None),
+        );
+        if analysis.has_errors() {
+            return Err(SpiError::Analysis {
+                diagnostics: analysis.errors().cloned().collect(),
+            });
+        }
+
         Ok(SpiSystem {
             machine,
             plans,
@@ -574,8 +622,22 @@ impl SpiSystemBuilder {
             iterations: self.iterations,
             sync_dot_before,
             sync_dot_after,
+            analysis,
         })
     }
+}
+
+/// Graph-level static analysis gate shared by [`SpiSystemBuilder::build`]
+/// and [`SpiSystemBuilder::build_auto`].
+fn preflight(graph: &SdfGraph, signal: LengthSignal) -> Result<()> {
+    let report = spi_analyze::Analyzer::default_pipeline()
+        .run(&spi_analyze::AnalysisInput::new(graph).with_signal(signal));
+    if report.has_errors() {
+        return Err(SpiError::Analysis {
+            diagnostics: report.errors().cloned().collect(),
+        });
+    }
+    Ok(())
 }
 
 /// Lowered plan for one inter-processor edge.
@@ -615,12 +677,26 @@ pub struct SpiSystem {
     iterations: u64,
     sync_dot_before: String,
     sync_dot_after: String,
+    analysis: spi_analyze::AnalysisReport,
 }
 
 impl SpiSystem {
     /// Per-edge lowering decisions.
     pub fn edge_plans(&self) -> &HashMap<EdgeId, EdgePlan> {
         &self.plans
+    }
+
+    /// The full static-analysis report of the build. Error-severity
+    /// diagnostics abort [`SpiSystemBuilder::build`], so this contains
+    /// at most warnings and notes.
+    pub fn analysis(&self) -> &spi_analyze::AnalysisReport {
+        &self.analysis
+    }
+
+    /// Warning-severity diagnostics collected during the build (e.g.
+    /// SPI040 when `force_ubs` discards a provable BBS bound).
+    pub fn analysis_warnings(&self) -> Vec<&spi_analyze::Diagnostic> {
+        self.analysis.warnings().collect()
     }
 
     /// Resynchronization outcome (if the pass was enabled).
@@ -712,11 +788,7 @@ impl SpiSystem {
             }
         }
         Ok(SpiRunReport {
-            edge_channels: self
-                .plans
-                .values()
-                .map(|p| (p.edge, p.data_ch))
-                .collect(),
+            edge_channels: self.plans.values().map(|p| (p.edge, p.data_ch)).collect(),
             sim,
             resync: self.resync_report,
             sync_cost: self.sync_cost_after,
@@ -801,7 +873,11 @@ impl SpiRunReport {
     /// overhead and idling — the quantity parallelization studies watch.
     pub fn utilization(&self) -> Vec<f64> {
         let total = self.sim.makespan_cycles.max(1) as f64;
-        self.sim.pe.iter().map(|p| p.busy_cycles as f64 / total).collect()
+        self.sim
+            .pe
+            .iter()
+            .map(|p| p.busy_cycles as f64 / total)
+            .collect()
     }
 }
 
@@ -812,7 +888,10 @@ impl SpiRunReport {
 const FAIL_KEY: &str = "__spi_error";
 
 fn fail(local: &mut PeLocal, msg: String) {
-    local.store.entry(FAIL_KEY.to_string()).or_insert_with(|| msg.into_bytes());
+    local
+        .store
+        .entry(FAIL_KEY.to_string())
+        .or_insert_with(|| msg.into_bytes());
 }
 
 fn failed(local: &PeLocal) -> bool {
@@ -829,7 +908,11 @@ fn send_key(edge: EdgeId) -> String {
 
 /// Appends raw bytes to an edge's byte queue.
 fn queue_push(local: &mut PeLocal, edge: EdgeId, bytes: &[u8]) {
-    local.store.entry(queue_key(edge)).or_default().extend_from_slice(bytes);
+    local
+        .store
+        .entry(queue_key(edge))
+        .or_default()
+        .extend_from_slice(bytes);
 }
 
 /// Takes exactly `n` bytes from the queue; `None` if short (a protocol
@@ -955,7 +1038,7 @@ impl ProgramGen<'_> {
                 if !edges_seen.contains(&eid) {
                     edges_seen.push(eid);
                 }
-                self.fill_producer_once(proc, eid, f, &mut prologue);
+                self.fill_producer_once(proc, eid, f, &mut prologue)?;
             }
         }
 
@@ -993,7 +1076,11 @@ impl ProgramGen<'_> {
             let override_payloads = self.initial_payloads.get(&eid).cloned();
             // Cross edges consume override entries after the producer's
             // pipeline-fill messages; local edges start at entry 0.
-            let offset = if is_cross { self.fill_messages(eid) as usize } else { 0 };
+            let offset = if is_cross {
+                self.fill_messages(eid) as usize
+            } else {
+                0
+            };
             let edge = eid;
             prologue.push(Op::Compute {
                 label: format!("spi:prime:{edge}"),
@@ -1033,9 +1120,7 @@ impl ProgramGen<'_> {
                 for _ in 0..window {
                     prologue.push(Op::Send {
                         channel: ack_ch,
-                        payload: Box::new(move |_| {
-                            (edge.0 as u16).to_le_bytes().to_vec()
-                        }),
+                        payload: Box::new(move |_| (edge.0 as u16).to_le_bytes().to_vec()),
                     });
                 }
             }
@@ -1049,10 +1134,12 @@ impl ProgramGen<'_> {
         eid: EdgeId,
         _f: spi_dataflow::Firing,
         prologue: &mut Vec<Op>,
-    ) {
-        let Some(plan) = self.plans.get(&eid) else { return };
+    ) -> Result<()> {
+        let Some(plan) = self.plans.get(&eid) else {
+            return Ok(());
+        };
         if plan.src_proc != proc {
-            return;
+            return Ok(());
         }
         // Only emit once per edge: prologue may be visited via multiple
         // firings of the producer; guard by checking we have not emitted
@@ -1061,11 +1148,11 @@ impl ProgramGen<'_> {
             Op::Compute { label, .. } => label == &format!("spi:fillmark:{eid}"),
             _ => false,
         }) {
-            return;
+            return Ok(());
         }
         let fills = self.fill_messages(eid);
         if fills == 0 {
-            return;
+            return Ok(());
         }
         prologue.push(Op::Compute {
             label: format!("spi:fillmark:{eid}"),
@@ -1074,37 +1161,32 @@ impl ProgramGen<'_> {
         let e = self.graph.edge(eid);
         let phase = plan.phase;
         let payload_len = e.produce.bound() as usize * e.token_bytes as usize;
-        let overrides = self.initial_payloads.get(&eid).cloned();
+        let overrides = self.initial_payloads.get(&eid);
         for i in 0..fills {
-            let edge = eid;
-            let ov = overrides.clone();
+            // Fill payloads depend only on the fill index, so frame them
+            // now and surface encoding problems as build errors instead
+            // of panicking inside the send closure at run time.
+            let payload = overrides
+                .and_then(|v| v.get(i as usize))
+                .cloned()
+                .unwrap_or_else(|| match phase {
+                    SpiPhase::Static => vec![0u8; payload_len],
+                    SpiPhase::Dynamic => Vec::new(),
+                });
+            let framed = match phase {
+                SpiPhase::Static => message::encode_static(eid, &payload)?,
+                SpiPhase::Dynamic => message::encode_dynamic(eid, &payload)?,
+            };
             prologue.push(Op::Send {
                 channel: plan.data_ch,
-                payload: Box::new(move |_| {
-                    let payload = ov
-                        .as_ref()
-                        .and_then(|v| v.get(i as usize))
-                        .cloned()
-                        .unwrap_or_else(|| match phase {
-                            SpiPhase::Static => vec![0u8; payload_len],
-                            SpiPhase::Dynamic => Vec::new(),
-                        });
-                    match phase {
-                        SpiPhase::Static => message::encode_static(edge, &payload),
-                        SpiPhase::Dynamic => message::encode_dynamic(edge, &payload),
-                    }
-                }),
+                payload: Box::new(move |_| framed.clone()),
             });
         }
+        Ok(())
     }
 
     /// Emits the op sequence of one firing.
-    fn emit_firing(
-        &self,
-        proc: ProcId,
-        f: spi_dataflow::Firing,
-        ops: &mut Vec<Op>,
-    ) -> Result<()> {
+    fn emit_firing(&self, proc: ProcId, f: spi_dataflow::Firing, ops: &mut Vec<Op>) -> Result<()> {
         let actor = f.actor;
         if let Some(timing) = self.static_timing {
             let start = timing.start.get(&f).copied().unwrap_or(0);
@@ -1125,7 +1207,9 @@ impl ProgramGen<'_> {
                 debug_assert_eq!(plan.dst_proc, proc);
                 let count = self.recv_count(eid, f.k);
                 for _ in 0..count {
-                    ops.push(Op::Recv { channel: plan.data_ch });
+                    ops.push(Op::Recv {
+                        channel: plan.data_ch,
+                    });
                 }
                 recv_plan.push((eid, count));
             }
@@ -1200,11 +1284,7 @@ impl ProgramGen<'_> {
                             return 0;
                         };
                         let decoded = match d.phase {
-                            SpiPhase::Static => message::decode_static(
-                                &msg,
-                                d.edge,
-                                d.payload_max,
-                            ),
+                            SpiPhase::Static => message::decode_static(&msg, d.edge, d.payload_max),
                             SpiPhase::Dynamic => {
                                 message::decode_dynamic(&msg, d.edge, d.payload_max)
                             }
@@ -1284,6 +1364,13 @@ impl ProgramGen<'_> {
                             SpiPhase::Static => message::encode_static(p.edge, &bytes),
                             SpiPhase::Dynamic => message::encode_dynamic(p.edge, &bytes),
                         };
+                        let framed = match framed {
+                            Ok(framed) => framed,
+                            Err(e) => {
+                                fail(l, e.to_string());
+                                return 0;
+                            }
+                        };
                         overhead += 1; // header emission
                         l.store.insert(send_key(p.edge), framed);
                     } else if p.dynamic {
@@ -1314,7 +1401,9 @@ impl ProgramGen<'_> {
         // 4. Data sends for cross out-edges (credit-gated when acks are
         //    kept).
         for &eid in &out_edges {
-            let Some(plan) = self.plans.get(&eid) else { continue };
+            let Some(plan) = self.plans.get(&eid) else {
+                continue;
+            };
             debug_assert_eq!(plan.src_proc, proc);
             if plan.ack_kept {
                 let ack_ch = plan.ack_ch.expect("ack channel");
@@ -1330,9 +1419,7 @@ impl ProgramGen<'_> {
             let edge = eid;
             ops.push(Op::Send {
                 channel: plan.data_ch,
-                payload: Box::new(move |l| {
-                    l.store.remove(&send_key(edge)).unwrap_or_default()
-                }),
+                payload: Box::new(move |l| l.store.remove(&send_key(edge)).unwrap_or_default()),
             });
         }
         Ok(())
@@ -1365,7 +1452,6 @@ struct ProduceInfo {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     /// Builds and runs a 2-proc pipeline with a payload check, returning
     /// the run report.
@@ -1683,7 +1769,10 @@ mod tests {
         };
         let balanced = build(1);
         let sw_slow = build(4);
-        assert!(sw_slow > 3 * balanced, "balanced {balanced} vs sw {sw_slow}");
+        assert!(
+            sw_slow > 3 * balanced,
+            "balanced {balanced} vs sw {sw_slow}"
+        );
     }
 
     #[test]

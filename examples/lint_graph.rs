@@ -1,0 +1,49 @@
+//! Lint a dataflow graph before (and instead of) building it.
+//!
+//! The `spi-analyze` crate runs the same diagnostics pipeline the
+//! builder uses as its pre-flight gate. Running it directly is useful
+//! while iterating on a graph: the report explains *why* a model is
+//! broken — naming the offending cycle, edge, or actor — rather than
+//! failing deep inside scheduling.
+//!
+//! Run with: `cargo run --example lint_graph`
+
+use spi_analyze::{analyze_graph, AnalysisInput, Analyzer};
+use spi_dataflow::SdfGraph;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A healthy 2:3 sample-rate converter.
+    let mut good = SdfGraph::new();
+    let src = good.add_actor("src", 40);
+    let dst = good.add_actor("dst", 60);
+    good.add_edge(src, dst, 2, 3, 0, 4)?;
+
+    let report = analyze_graph(&good);
+    println!("--- healthy graph ---");
+    println!("{}", report.render_human());
+
+    // The same graph with a contradictory shortcut edge: 2:3 on one
+    // path and 1:1 on the other admits no integer repetition vector.
+    let mut bad = good.clone();
+    bad.add_edge(src, dst, 1, 1, 0, 4)?;
+
+    let report = analyze_graph(&bad);
+    println!("--- inconsistent rates ---");
+    println!("{}", report.render_human());
+    assert!(report.has_errors(), "the lint must catch this");
+
+    // A zero-delay feedback loop: neither actor can fire first.
+    let mut deadlocked = good.clone();
+    deadlocked.add_edge(dst, src, 3, 2, 0, 4)?;
+
+    let report = analyze_graph(&deadlocked);
+    println!("--- deadlocked feedback ---");
+    println!("{}", report.render_human());
+
+    // Machine-readable output for tooling: the same report as JSON.
+    // (`spi-lint --format json` wraps exactly this for .dif files.)
+    let report = Analyzer::default_pipeline().run(&AnalysisInput::new(&deadlocked));
+    println!("--- as JSON ---");
+    println!("{}", report.render_json());
+    Ok(())
+}

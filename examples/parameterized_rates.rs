@@ -6,8 +6,8 @@
 //! Run with: `cargo run --example parameterized_rates`
 
 use spi_repro::dataflow::psdf::{param_table, PsdfGraph, RateExpr};
-use spi_repro::spi::{Firing, SpiSystemBuilder};
 use spi_repro::sched::ProcId;
+use spi_repro::spi::{Firing, SpiSystemBuilder};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The model: a reader emits N samples; a solver turns them into M
@@ -29,7 +29,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Quasi-static check: every (N, M) point is a consistent SDF graph.
     psdf.check_consistency()?;
-    println!("\nall {}×{} domain points are consistent and live", 64 - 16 + 1, 8 - 2 + 1);
+    println!(
+        "\nall {}×{} domain points are consistent and live",
+        64 - 16 + 1,
+        8 - 2 + 1
+    );
 
     // A specific configuration instantiates to plain SDF…
     let fixed = psdf.instantiate(&[32, 4])?;
@@ -52,7 +56,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
     builder.actor(solver, move |ctx: &mut Firing| {
         let got = ctx.input(e_data).len() / 8;
-        assert_eq!(got as u64, n_at(ctx.iter), "frame length follows the schedule");
+        assert_eq!(
+            got as u64,
+            n_at(ctx.iter),
+            "frame length follows the schedule"
+        );
         let m_now = m_at(ctx.iter) as usize;
         ctx.set_output(e_coef, vec![0x22; m_now * 8]);
         80

@@ -20,10 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let app = PrognosisApp::new(config)?;
     let system = app.system(60)?;
     for (edge, plan) in system.edge_plans() {
-        println!(
-            "  edge {edge}: {:?} via {:?}",
-            plan.phase, plan.protocol
-        );
+        println!("  edge {edge}: {:?} via {:?}", plan.phase, plan.protocol);
     }
     let report = system.run()?;
 
@@ -41,11 +38,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         // The guard must drop before tracking_rmse re-locks the mutex.
     }
-    println!("\ntracking RMSE (after burn-in): {:.4}", app.tracking_rmse(10));
+    println!(
+        "\ntracking RMSE (after burn-in): {:.4}",
+        app.tracking_rmse(10)
+    );
     if let Some((mean, p10, p90)) = app.remaining_useful_life(3.0, 100_000) {
-        println!(
-            "prognosis: crack reaches 3.0 in ~{mean:.0} steps (p10 {p10}, p90 {p90})"
-        );
+        println!("prognosis: crack reaches 3.0 in ~{mean:.0} steps (p10 {p10}, p90 {p90})");
     }
     Ok(())
 }

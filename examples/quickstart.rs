@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("{graph}");
     let q = graph.repetition_vector()?;
-    println!("repetition vector: producer ×{}, consumer ×{}\n", q[producer], q[consumer]);
+    println!(
+        "repetition vector: producer ×{}, consumer ×{}\n",
+        q[producer], q[consumer]
+    );
 
     // 2. Implement the actors. Each firing reads its exact inputs and
     //    stages its exact outputs; SPI handles everything in between.
@@ -49,12 +52,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let system = builder.build(2, |actor| ProcId(actor.0))?;
     println!(
         "edge protocol: {:?}",
-        system.edge_plans().values().map(|p| p.protocol).collect::<Vec<_>>()
+        system
+            .edge_plans()
+            .values()
+            .map(|p| p.protocol)
+            .collect::<Vec<_>>()
     );
     let report = system.run()?;
 
     println!("simulated {} iterations", report.iterations);
-    println!("makespan: {:.1} µs at {} MHz", report.makespan_us(), report.clock_mhz);
+    println!(
+        "makespan: {:.1} µs at {} MHz",
+        report.makespan_us(),
+        report.clock_mhz
+    );
     println!("period:   {:.2} µs per iteration", report.period_us());
     println!(
         "traffic:  {} messages, {} payload bytes",

@@ -7,7 +7,10 @@ use spi::SpiSystemBuilder;
 use spi_apps::{ErrorStageApp, ErrorStageConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let config = ErrorStageConfig { n_pes: 3, ..Default::default() };
+    let config = ErrorStageConfig {
+        n_pes: 3,
+        ..Default::default()
+    };
     println!("3-PE error-generation stage (paper figure 3)\n");
 
     let app = ErrorStageApp::new(config)?;

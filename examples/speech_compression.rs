@@ -13,7 +13,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         vary_rates: true, // frame length & order vary per frame
         seed: 2026,
     };
-    println!("LPC acoustic data compression (paper §5.2), D parallelized {}×", config.n_pes);
+    println!(
+        "LPC acoustic data compression (paper §5.2), D parallelized {}×",
+        config.n_pes
+    );
 
     let app = SpeechApp::new(config)?;
     println!("\n{}", app.graph);
@@ -39,8 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let snr = f
             .decompress()
             .map(|decoded| {
-                let original =
-                    spi_apps::speech::synth_frame(config.seed, f.iter, f.frame_len);
+                let original = spi_apps::speech::synth_frame(config.seed, f.iter, f.frame_len);
                 let err: f64 = decoded
                     .iter()
                     .zip(&original)

@@ -18,21 +18,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let edge = graph.add_dynamic_edge(a, b, 10, 8, 0, 4)?;
 
     println!("before VTS conversion:\n{graph}");
-    println!("plain SDF analysis: {}\n", graph.repetition_vector().unwrap_err());
+    println!(
+        "plain SDF analysis: {}\n",
+        graph.repetition_vector().unwrap_err()
+    );
 
     let vts = VtsConversion::convert(&graph)?;
     println!("after VTS conversion:\n{}", vts.graph());
     let info = vts.edge_info(edge).expect("converted edge");
     println!("packed-token bound b_max = {} bytes", info.b_max);
-    println!("eq. (1) capacity c(e) = {} bytes\n", vts.packed_capacity_bytes(edge)?);
+    println!(
+        "eq. (1) capacity c(e) = {} bytes\n",
+        vts.packed_capacity_bytes(edge)?
+    );
 
     // Run it: A sends a varying number of 4-byte tokens per firing.
     let mut builder = SpiSystemBuilder::new(graph);
     builder.actor(a, move |ctx: &mut Firing| {
         let tokens = (ctx.iter % 11) as usize; // 0..=10 raw tokens
-        let payload: Vec<u8> = (0..tokens)
-            .flat_map(|t| (t as u32).to_le_bytes())
-            .collect();
+        let payload: Vec<u8> = (0..tokens).flat_map(|t| (t as u32).to_le_bytes()).collect();
         ctx.set_output(edge, payload);
         30
     });

@@ -4,9 +4,9 @@
 use spi_repro::apps::{
     ErrorStageApp, ErrorStageConfig, PrognosisApp, PrognosisConfig, SpeechApp, SpeechConfig,
 };
-use spi_repro::spi::{Firing, SpiSystemBuilder};
 use spi_repro::dataflow::SdfGraph;
 use spi_repro::sched::ProcId;
+use spi_repro::spi::{Firing, SpiSystemBuilder};
 
 #[test]
 fn speech_pipeline_scales_and_stays_correct() {
@@ -66,8 +66,11 @@ fn prognosis_estimates_insensitive_to_distribution() {
 #[test]
 fn error_stage_handles_every_pe_count() {
     for n in 1..=4 {
-        let app = ErrorStageApp::new(ErrorStageConfig { n_pes: n, ..Default::default() })
-            .expect("valid config");
+        let app = ErrorStageApp::new(ErrorStageConfig {
+            n_pes: n,
+            ..Default::default()
+        })
+        .expect("valid config");
         let sys = app.system(3).expect("buildable");
         let report = sys.run().expect("clean run");
         assert_eq!(app.residual_energy.lock().expect("res").len(), 3);

@@ -5,9 +5,7 @@
 
 use std::time::Duration;
 
-use spi_repro::platform::{
-    run_threaded, ChannelId, ChannelSpec, Machine, Op, Program,
-};
+use spi_repro::platform::{run_threaded, ChannelId, ChannelSpec, Machine, Op, Program};
 
 /// Builds the same 3-PE pipeline twice (programs contain closures and
 /// cannot be cloned).
@@ -74,14 +72,10 @@ fn des_and_threads_produce_identical_stores() {
 
     // Threaded run of freshly built identical programs.
     let (specs, programs) = pipeline_programs();
-    let threaded =
-        run_threaded(&specs, programs, Duration::from_secs(10)).expect("threaded run");
+    let threaded = run_threaded(&specs, programs, Duration::from_secs(10)).expect("threaded run");
 
     for (i, t) in threaded.iter().enumerate() {
-        assert_eq!(
-            des.locals[i].store, t.store,
-            "store mismatch on PE {i}"
-        );
+        assert_eq!(des.locals[i].store, t.store, "store mismatch on PE {i}");
         assert_eq!(des.locals[i].leftover_inbox, t.leftover_inbox);
     }
     // The collector saw the full transformed sequence, in order.
@@ -101,11 +95,17 @@ fn engines_agree_with_prologues_and_backpressure() {
         }];
         let ch = ChannelId(0);
         let mut producer = Program::new(
-            vec![Op::Send { channel: ch, payload: Box::new(|l| vec![l.iter as u8; 4]) }],
+            vec![Op::Send {
+                channel: ch,
+                payload: Box::new(|l| vec![l.iter as u8; 4]),
+            }],
             10,
         );
         // Prologue primes one extra message.
-        producer.prologue = vec![Op::Send { channel: ch, payload: Box::new(|_| vec![0xFF; 4]) }];
+        producer.prologue = vec![Op::Send {
+            channel: ch,
+            payload: Box::new(|_| vec![0xFF; 4]),
+        }];
         let consumer = Program::new(
             vec![
                 Op::Recv { channel: ch },

@@ -4,15 +4,19 @@
 
 use spi_repro::apps::{FilterBankApp, FilterBankConfig, PrognosisApp, PrognosisConfig};
 use spi_repro::dataflow::{dif, CsdfGraph, PhaseRates};
-use spi_repro::spi::{SchedulingMode, SpiSystemBuilder};
 use spi_repro::platform::BusSpec;
 use spi_repro::sched::ProcId;
+use spi_repro::spi::{SchedulingMode, SpiSystemBuilder};
 
 #[test]
 fn filter_bank_output_is_band_limited() {
     // The low band (cutoff 0.2) must carry more energy than the high
     // band (cutoff 0.05) for a mixed-tone input.
-    let cfg = FilterBankConfig { frame: 256, taps: 31, ..Default::default() };
+    let cfg = FilterBankConfig {
+        frame: 256,
+        taps: 31,
+        ..Default::default()
+    };
     let app = FilterBankApp::new(cfg).expect("valid config");
     let sys = app.system(8).expect("buildable");
     sys.run().expect("clean run");
@@ -106,20 +110,25 @@ fn fully_static_and_bus_compose() {
             b.scheduling_mode(SchedulingMode::FullyStatic { slack_percent: 25 });
         }
         if bus {
-            b.shared_bus(BusSpec { arbitration_cycles: 8 });
+            b.shared_bus(BusSpec {
+                arbitration_cycles: 8,
+            });
         }
         let sys = b.build(2, |x| ProcId(x.0)).expect("buildable");
         sys.run().expect("clean run").sim.makespan_cycles
     };
     let baseline = build(false, false);
     let worst = build(true, true);
-    assert!(worst >= baseline, "baseline {baseline} vs static+bus {worst}");
+    assert!(
+        worst >= baseline,
+        "baseline {baseline} vs static+bus {worst}"
+    );
 }
 
 #[test]
 fn spi_systems_run_identically_on_real_threads() {
-    use std::time::Duration;
     use spi_repro::apps::{ErrorStageApp, ErrorStageConfig};
+    use std::time::Duration;
 
     let build = || {
         let app = ErrorStageApp::new(ErrorStageConfig {
@@ -139,10 +148,14 @@ fn spi_systems_run_identically_on_real_threads() {
     let des_residuals = app_des.residual_energy.lock().expect("res").clone();
     // Threaded run of an identical, freshly built system.
     let (app_thr, sys) = build();
-    sys.run_threaded(Duration::from_secs(30)).expect("threaded run");
+    sys.run_threaded(Duration::from_secs(30))
+        .expect("threaded run");
     let thr_residuals = app_thr.residual_energy.lock().expect("res").clone();
     assert_eq!(des_residuals.len(), 4);
-    assert_eq!(des_residuals, thr_residuals, "engines must agree bit-for-bit");
+    assert_eq!(
+        des_residuals, thr_residuals,
+        "engines must agree bit-for-bit"
+    );
 }
 
 #[test]

@@ -4,15 +4,19 @@
 //! magnitude of the published result.
 
 use spi_bench::{
-    ablation_header_vs_delimiter, ablation_resync, ablation_spi_vs_mpi,
-    ablation_vts_vs_worst_case, fig3_resync, fig5_resync, fig6_scaling, fig7_scaling,
-    table1_resources, table2_resources,
+    ablation_header_vs_delimiter, ablation_resync, ablation_spi_vs_mpi, ablation_vts_vs_worst_case,
+    fig3_resync, fig5_resync, fig6_scaling, fig7_scaling, table1_resources, table2_resources,
 };
 
 #[test]
 fn fig6_execution_time_shape() {
     let rows = fig6_scaling(&[128, 256, 384], &[1, 2, 4], 5);
-    let t = |n: usize, x: usize| rows.iter().find(|r| r.n_pes == n && r.x == x).unwrap().time_us;
+    let t = |n: usize, x: usize| {
+        rows.iter()
+            .find(|r| r.n_pes == n && r.x == x)
+            .unwrap()
+            .time_us
+    };
     // Monotone in sample size for every n.
     for n in [1, 2, 4] {
         assert!(t(n, 128) < t(n, 256));
@@ -33,14 +37,22 @@ fn fig6_execution_time_shape() {
 #[test]
 fn fig7_execution_time_shape() {
     let rows = fig7_scaling(&[50, 150, 300], &[1, 2], 10);
-    let t = |n: usize, x: usize| rows.iter().find(|r| r.n_pes == n && r.x == x).unwrap().time_us;
+    let t = |n: usize, x: usize| {
+        rows.iter()
+            .find(|r| r.n_pes == n && r.x == x)
+            .unwrap()
+            .time_us
+    };
     for n in [1, 2] {
         assert!(t(n, 50) < t(n, 150) && t(n, 150) < t(n, 300));
     }
     for x in [50, 150, 300] {
         let speedup = t(1, x) / t(2, x);
         assert!(speedup > 1.0, "2 PEs help at {x} particles");
-        assert!(speedup < 2.0, "resampling communication keeps it sub-linear");
+        assert!(
+            speedup < 2.0,
+            "resampling communication keeps it sub-linear"
+        );
     }
 }
 

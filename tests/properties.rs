@@ -178,9 +178,9 @@ proptest! {
         use spi_repro::spi::{decode_dynamic, decode_static, encode_dynamic, encode_static};
         use spi_repro::dataflow::EdgeId;
         let e = EdgeId(edge);
-        let s = encode_static(e, &payload);
+        let s = encode_static(e, &payload).expect("edge id fits the header");
         prop_assert_eq!(decode_static(&s, e, payload.len()).expect("static"), payload.clone());
-        let d = encode_dynamic(e, &payload);
+        let d = encode_dynamic(e, &payload).expect("edge id fits the header");
         prop_assert_eq!(decode_dynamic(&d, e, payload.len()).expect("dynamic"), payload);
     }
 }
