@@ -11,6 +11,17 @@ use spi_dataflow::{EdgeId, LengthSignal, SdfGraph, VtsConversion};
 use spi_platform::{Device, ResourceEstimate};
 use spi_sched::{IpcGraph, Protocol, SyncGraph};
 
+/// Runtime transport declared for one edge's data channel: what the
+/// execution layer actually allocated, checked by SPI043 against the
+/// statically required eq. (2) bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransportDecl {
+    /// Total payload capacity of the channel in bytes.
+    pub capacity_bytes: u64,
+    /// Framed size of the largest message (packed token + header).
+    pub message_bytes_max: u64,
+}
+
 /// Everything a pass may inspect. Only `graph` is mandatory.
 pub struct AnalysisInput<'a> {
     /// The SDF graph under analysis (possibly with dynamic-rate edges).
@@ -30,6 +41,8 @@ pub struct AnalysisInput<'a> {
     pub sync: Option<&'a SyncGraph>,
     /// Protocol chosen per dataflow edge with at least one IPC instance.
     pub protocols: Option<&'a HashMap<EdgeId, Protocol>>,
+    /// Transport capacities declared per edge by the execution layer.
+    pub transports: Option<&'a HashMap<EdgeId, TransportDecl>>,
     /// Aggregated hardware cost of the system.
     pub resources: Option<ResourceEstimate>,
     /// Target device; defaults to the paper's Virtex-4 SX35 when
@@ -48,6 +61,7 @@ impl<'a> AnalysisInput<'a> {
             ipc: None,
             sync: None,
             protocols: None,
+            transports: None,
             resources: None,
             device: None,
         }
@@ -86,6 +100,13 @@ impl<'a> AnalysisInput<'a> {
     /// Attaches the per-edge protocol decisions.
     pub fn with_protocols(mut self, protocols: &'a HashMap<EdgeId, Protocol>) -> Self {
         self.protocols = Some(protocols);
+        self
+    }
+
+    /// Declares the runtime transport allocated per edge (capacity and
+    /// largest framed message), enabling the SPI043 capacity check.
+    pub fn with_transports(mut self, transports: &'a HashMap<EdgeId, TransportDecl>) -> Self {
+        self.transports = Some(transports);
         self
     }
 

@@ -42,7 +42,7 @@ pub mod passes;
 
 pub use analyzer::{AnalysisReport, Analyzer, Pass};
 pub use diag::{Diagnostic, Locus, Severity};
-pub use input::AnalysisInput;
+pub use input::{AnalysisInput, TransportDecl};
 
 /// Convenience: run the default pipeline on a bare graph.
 pub fn analyze_graph(graph: &spi_dataflow::SdfGraph) -> AnalysisReport {

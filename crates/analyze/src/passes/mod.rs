@@ -14,6 +14,7 @@
 //! | SPI040 | warning  | protocol-lints | UBS chosen although a static eq. (2) bound exists (§5.1 prefers BBS) |
 //! | SPI041 | error    | protocol-lints | BBS chosen with no provable buffer bound |
 //! | SPI042 | error    | protocol-lints | BBS capacity below the eq. (2) bound |
+//! | SPI043 | warning  | protocol-lints | declared transport capacity below the eq. (2) byte requirement |
 //! | SPI050 | error    | sync-coverage | IPC edge not enforced by any synchronization path (data race) |
 //! | SPI060 | warning  | resync-fixpoint | redundant synchronization edges remain after optimization |
 //! | SPI070 | warning/error | resource-overcommit | device utilization above 80 % (error above 100 %) |

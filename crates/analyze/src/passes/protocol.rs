@@ -1,15 +1,15 @@
-//! SPI040/041/042 — synchronization-protocol lints (§4.2, §5.1).
+//! SPI040/041/042/043 — synchronization-protocol lints (§4.2, §5.1).
 //!
 //! BBS (bounded-buffer synchronization) needs a provable buffer bound —
 //! eq. (2): `B(e) = (Gamma + delay(e)) · c(e)` tokens, where `Gamma` is
 //! the minimum-delay feedback path of the IPC graph. When the bound
 //! exists, BBS is free of acknowledgement traffic and the paper's §5.1
 //! measurements show it beats UBS; when it does not, only UBS is sound.
+//! SPI043 closes the loop at the runtime layer: a declared transport
+//! allocation smaller than the eq. (2) bytes can deadlock a legal
+//! self-timed execution.
 
-use std::collections::HashMap;
-
-use spi_dataflow::EdgeId;
-use spi_sched::{IpcEdgeKind, Protocol};
+use spi_sched::Protocol;
 
 use crate::analyzer::Pass;
 use crate::diag::{Diagnostic, Locus, Severity};
@@ -28,25 +28,10 @@ impl Pass for ProtocolLints {
             return;
         };
 
-        // Fold the eq. (2) bound over every IPC instance of each edge:
+        // The eq. (2) bound folded over every IPC instance of each edge:
         // the edge's buffer must hold the worst instance; one unbounded
         // instance makes the whole edge unbounded.
-        let mut bounds: HashMap<EdgeId, Option<u64>> = HashMap::new();
-        for e in ipc.ipc_edges() {
-            let IpcEdgeKind::Ipc { via } = e.kind else {
-                continue;
-            };
-            let instance = ipc.ipc_buffer_bound_tokens(e);
-            bounds
-                .entry(via)
-                .and_modify(|acc| {
-                    *acc = match (*acc, instance) {
-                        (Some(a), Some(b)) => Some(a.max(b)),
-                        _ => None,
-                    }
-                })
-                .or_insert(instance);
-        }
+        let bounds = ipc.buffer_bounds_by_edge();
 
         let mut entries: Vec<_> = protocols.iter().collect();
         entries.sort_by_key(|(id, _)| id.0);
@@ -105,6 +90,42 @@ impl Pass for ProtocolLints {
                     );
                 }
                 _ => {}
+            }
+
+            // SPI043: the runtime allocation must cover the statically
+            // required bytes — bound tokens per iteration of drift ×
+            // producer firings per iteration × framed message size.
+            if let (Some(decls), Some(b)) = (input.transports, bound) {
+                if let Some(decl) = decls.get(&edge) {
+                    let q_src = ipc
+                        .tasks()
+                        .iter()
+                        .filter(|t| t.firing.actor == e.src)
+                        .count() as u64;
+                    let required = b * q_src.max(1) * decl.message_bytes_max;
+                    if decl.capacity_bytes < required {
+                        out.push(
+                            Diagnostic::new(
+                                "SPI043",
+                                Severity::Warning,
+                                Locus::Edge(edge),
+                                format!(
+                                    "edge {edge} ({pair}) declares a transport of \
+                                     {} byte(s), below the eq. (2) requirement of \
+                                     {required} bytes ({b} token(s) × {} firing(s) × \
+                                     {} bytes/message); a self-timed run can block on a \
+                                     legally full buffer",
+                                    decl.capacity_bytes,
+                                    q_src.max(1),
+                                    decl.message_bytes_max,
+                                ),
+                            )
+                            .with_suggestion(format!(
+                                "allocate at least {required} bytes for edge {edge}"
+                            )),
+                        );
+                    }
+                }
             }
         }
     }

@@ -52,22 +52,7 @@ fn derive(
     let st = SelfTimedSchedule::from_assignment(&pg, assignment).unwrap();
     let ipc = IpcGraph::build(&cg, &pg, &st).unwrap();
 
-    let mut bounds: HashMap<EdgeId, Option<u64>> = HashMap::new();
-    for e in ipc.ipc_edges() {
-        let IpcEdgeKind::Ipc { via } = e.kind else {
-            continue;
-        };
-        let instance = ipc.ipc_buffer_bound_tokens(e);
-        bounds
-            .entry(via)
-            .and_modify(|acc| {
-                *acc = match (*acc, instance) {
-                    (Some(a), Some(b)) => Some(a.max(b)),
-                    _ => None,
-                }
-            })
-            .or_insert(instance);
-    }
+    let bounds = ipc.buffer_bounds_by_edge();
     let protocols: HashMap<EdgeId, Protocol> = bounds
         .iter()
         .map(|(&via, &b)| (via, protocol_of(via, b)))
@@ -386,6 +371,77 @@ fn mutation_undersized_bbs_fires_spi042() {
         report.render_human()
     );
     assert!(report.has_errors());
+}
+
+#[test]
+fn mutation_undersized_transport_fires_spi043() {
+    use spi_analyze::TransportDecl;
+    let g = bounded_graph();
+    let d = derive(&g, 2, default_protocol);
+    // Declare one byte of runtime buffer for every edge — far below any
+    // eq. (2) requirement — while the protocol choices stay sound.
+    let starved: HashMap<EdgeId, TransportDecl> = d
+        .protocols
+        .keys()
+        .map(|&id| {
+            (
+                id,
+                TransportDecl {
+                    capacity_bytes: 1,
+                    message_bytes_max: 6,
+                },
+            )
+        })
+        .collect();
+    let report = Analyzer::default_pipeline().run(
+        &AnalysisInput::new(&g)
+            .with_vts(&d.vts)
+            .with_ipc(&d.ipc)
+            .with_sync(&d.sync)
+            .with_protocols(&d.protocols)
+            .with_transports(&starved),
+    );
+    let spi043: Vec<_> = report.with_code("SPI043").collect();
+    assert!(!spi043.is_empty(), "got: {}", report.render_human());
+    assert!(spi043.iter().all(|d| d.severity == Severity::Warning));
+    assert!(
+        spi043[0].message.contains("eq. (2)"),
+        "names the bound it checks against"
+    );
+}
+
+#[test]
+fn adequately_sized_transport_stays_clean_of_spi043() {
+    use spi_analyze::TransportDecl;
+    let g = bounded_graph();
+    let d = derive(&g, 2, default_protocol);
+    // Generously sized: no edge can require more than this.
+    let roomy: HashMap<EdgeId, TransportDecl> = d
+        .protocols
+        .keys()
+        .map(|&id| {
+            (
+                id,
+                TransportDecl {
+                    capacity_bytes: 1 << 20,
+                    message_bytes_max: 6,
+                },
+            )
+        })
+        .collect();
+    let report = Analyzer::default_pipeline().run(
+        &AnalysisInput::new(&g)
+            .with_vts(&d.vts)
+            .with_ipc(&d.ipc)
+            .with_sync(&d.sync)
+            .with_protocols(&d.protocols)
+            .with_transports(&roomy),
+    );
+    assert!(
+        !codes(&report).contains(&"SPI043"),
+        "got: {}",
+        report.render_human()
+    );
 }
 
 // ---- sync coverage ------------------------------------------------------

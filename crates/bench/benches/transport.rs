@@ -1,0 +1,110 @@
+//! Criterion throughput benchmark of the transport layer: the locked
+//! reference queue vs the lock-free ring, raw and through the 3-PE
+//! pipeline executor. `bench_transport` (a bin) writes the committed
+//! `BENCH_transport.json` from the same scenarios.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use spi_platform::{
+    ChannelId, ChannelSpec, LockedTransport, Op, Program, RingTransport, ThreadedRunner, Transport,
+    TransportKind,
+};
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+fn stream(transport: &dyn Transport, messages: u64) {
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let payload = [0xA5u8; 8];
+            for _ in 0..messages {
+                transport.send(&payload, TIMEOUT).expect("send");
+            }
+        });
+        s.spawn(|| {
+            for _ in 0..messages {
+                transport.recv(TIMEOUT).expect("recv");
+            }
+        });
+    });
+}
+
+fn bench_raw_spsc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transport_raw_spsc_8B");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    const N: u64 = 50_000;
+    group.bench_with_input(BenchmarkId::new("locked", N), &N, |b, &n| {
+        b.iter(|| stream(&LockedTransport::new(64 * 8, 8), n))
+    });
+    group.bench_with_input(BenchmarkId::new("ring", N), &N, |b, &n| {
+        b.iter(|| stream(&RingTransport::new(64 * 8, 8), n))
+    });
+    group.finish();
+}
+
+fn pipeline(kind: TransportKind, iterations: u64) {
+    let spec = ChannelSpec {
+        capacity_bytes: 64 * 8,
+        max_message_bytes: 8,
+        ..ChannelSpec::default()
+    };
+    let c1 = ChannelId(0);
+    let c2 = ChannelId(1);
+    let producer = Program::new(
+        vec![Op::Send {
+            channel: c1,
+            payload: Box::new(|l| l.iter.to_le_bytes().to_vec()),
+        }],
+        iterations,
+    );
+    let forwarder = Program::new(
+        vec![
+            Op::Recv { channel: c1 },
+            Op::Send {
+                channel: c2,
+                payload: Box::new(move |l| l.take_from(c1).expect("input")),
+            },
+        ],
+        iterations,
+    );
+    let sink = Program::new(
+        vec![
+            Op::Recv { channel: c2 },
+            Op::Compute {
+                label: "drain".into(),
+                work: Box::new(move |l| {
+                    let _ = l.take_from(c2);
+                    0
+                }),
+            },
+        ],
+        iterations,
+    );
+    ThreadedRunner::new()
+        .transport(kind)
+        .timeout(TIMEOUT)
+        .run(&[spec, spec], vec![producer, forwarder, sink])
+        .expect("pipeline run");
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transport_pipeline_3pe");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    const N: u64 = 20_000;
+    for kind in [TransportKind::Locked, TransportKind::Ring] {
+        group.bench_with_input(
+            BenchmarkId::new(&format!("{kind:?}").to_lowercase(), N),
+            &N,
+            |b, &n| b.iter(|| pipeline(kind, n)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_raw_spsc, bench_pipeline);
+criterion_main!(benches);

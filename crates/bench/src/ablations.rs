@@ -58,10 +58,14 @@ pub fn ablation_spi_vs_mpi(payload_bytes: usize, messages: u64) -> AblationRow {
     let ep = MpiEndpoint::new(data, Some(ctrl));
     let n = payload_bytes;
     m.add_pe(Program::new(
-        ep.send_ops(n, move |_| vec![0xA5; n]),
+        ep.send_ops(n, move |_| vec![0xA5; n])
+            .expect("control channel supplied"),
         messages,
     ));
-    m.add_pe(Program::new(ep.recv_ops(n, "sink"), messages));
+    m.add_pe(Program::new(
+        ep.recv_ops(n, "sink").expect("control channel supplied"),
+        messages,
+    ));
     let mpi_report = m.run().expect("mpi baseline runs");
     let mpi_us = mpi_report.makespan_us(100.0);
 

@@ -38,6 +38,15 @@ pub enum PlatformError {
         /// The channel.
         channel: ChannelId,
     },
+    /// A rendezvous transfer was requested on an endpoint built without
+    /// the reverse control channel the clear-to-send message needs.
+    MissingControlChannel {
+        /// The endpoint's data channel.
+        data: ChannelId,
+        /// The payload bound that pushed the transfer past the eager
+        /// limit into the rendezvous protocol.
+        payload_bound: usize,
+    },
 }
 
 impl fmt::Display for PlatformError {
@@ -69,6 +78,14 @@ impl fmt::Display for PlatformError {
             PlatformError::ZeroCapacity { channel } => {
                 write!(f, "channel {channel} has zero capacity")
             }
+            PlatformError::MissingControlChannel {
+                data,
+                payload_bound,
+            } => write!(
+                f,
+                "rendezvous transfer of up to {payload_bound} bytes on channel {data} \
+                 requires a control channel, but the endpoint has none"
+            ),
         }
     }
 }

@@ -14,8 +14,12 @@
 //!   matching, rendezvous) that SPI is compared against;
 //! * [`ResourceEstimate`] / [`Device`] — the additive area model standing
 //!   in for ISE synthesis reports (tables 1–2);
-//! * [`run_threaded`] — an OS-thread functional runner cross-checking the
-//!   DES's protocol logic under real concurrency.
+//! * [`Transport`] / [`LockedTransport`] / [`RingTransport`] — pluggable
+//!   byte-accurate inter-thread channels; the ring is a lock-free SPSC
+//!   buffer sized exactly to the paper's eq. (2) bound `B(e)`;
+//! * [`run_threaded`] / [`ThreadedRunner`] — an OS-thread functional
+//!   runner cross-checking the DES's protocol logic under real
+//!   concurrency, executing over any [`Transport`].
 //!
 //! # Examples
 //!
@@ -36,13 +40,16 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the lock-free ring in `transport` needs a
+// scoped `#[allow(unsafe_code)]`; everything else stays safe Rust.
+#![deny(unsafe_code)]
 
 mod error;
 mod mpi;
 mod resource;
 mod runner;
 mod sim;
+mod transport;
 
 pub use error::{PlatformError, Result};
 pub use mpi::{
@@ -50,9 +57,10 @@ pub use mpi::{
     MATCH_CYCLES,
 };
 pub use resource::{components, Device, ResourceEstimate, ResourcePercent};
-pub use runner::{run_threaded, ThreadedPeResult};
+pub use runner::{run_threaded, ThreadedPeResult, ThreadedRunner, DEFAULT_DEADLOCK_TIMEOUT};
 pub use sim::{
     BusSpec, ChannelId, ChannelSpec, ChannelStats, ComputeFn, Machine, Op, OrderedBusSpec,
     PayloadFn, PeId, PeLocal, PeLocalSnapshot, PeStats, Program, SimReport, TraceEvent, TraceKind,
     WaitFn,
 };
+pub use transport::{LockedTransport, RingTransport, Transport, TransportError, TransportKind};

@@ -15,6 +15,7 @@
 //! small messages go eagerly with an envelope; large ones negotiate a
 //! request/clear-to-send exchange first.
 
+use crate::error::{PlatformError, Result};
 use crate::sim::{ChannelId, Op, PeLocal};
 
 /// Size of a full MPI envelope in bytes:
@@ -83,20 +84,30 @@ impl MpiEndpoint {
         }
     }
 
+    /// Channel used for clear-to-send, or the typed construction error
+    /// when the endpoint has none.
+    fn control_for_rendezvous(&self, payload_bound: usize) -> Result<ChannelId> {
+        self.control.ok_or(PlatformError::MissingControlChannel {
+            data: self.data,
+            payload_bound,
+        })
+    }
+
     /// Lowers `MPI_Send` of a payload produced by `payload` into platform
     /// ops. Rendezvous is chosen when the payload *bound* exceeds the
     /// eager limit (the protocol must be fixed at compile time since the
     /// program structure is static).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if rendezvous is required but no control channel was
-    /// supplied — that is a construction error, not a run-time condition.
+    /// [`PlatformError::MissingControlChannel`] if rendezvous is required
+    /// but no control channel was supplied — a construction error caught
+    /// at lowering time, not a run-time condition.
     pub fn send_ops(
         &self,
         payload_bound: usize,
         mut payload: impl FnMut(&mut PeLocal) -> Vec<u8> + Send + 'static,
-    ) -> Vec<Op> {
+    ) -> Result<Vec<Op>> {
         let cfg = self.config;
         let mut ops = Vec::new();
         // Marshal the envelope.
@@ -105,9 +116,7 @@ impl MpiEndpoint {
             work: Box::new(move |_| cfg.marshal_cycles),
         });
         if payload_bound > cfg.eager_limit_bytes {
-            let control = self
-                .control
-                .expect("rendezvous transfer requires a control channel");
+            let control = self.control_for_rendezvous(payload_bound)?;
             // Request-to-send carrying the envelope.
             let env = cfg.envelope_bytes;
             ops.push(Op::Send {
@@ -140,20 +149,22 @@ impl MpiEndpoint {
                 }),
             });
         }
-        ops
+        Ok(ops)
     }
 
     /// Lowers `MPI_Recv` into platform ops; the received payload (with
     /// the envelope stripped) is pushed to the PE store under `store_key`.
-    pub fn recv_ops(&self, payload_bound: usize, store_key: &str) -> Vec<Op> {
+    ///
+    /// # Errors
+    ///
+    /// As [`MpiEndpoint::send_ops`].
+    pub fn recv_ops(&self, payload_bound: usize, store_key: &str) -> Result<Vec<Op>> {
         let cfg = self.config;
         let key = store_key.to_string();
         let data = self.data;
         let mut ops = Vec::new();
         if payload_bound > cfg.eager_limit_bytes {
-            let control = self
-                .control
-                .expect("rendezvous transfer requires a control channel");
+            let control = self.control_for_rendezvous(payload_bound)?;
             // Receive the RTS, match it, send CTS, then the payload.
             ops.push(Op::Recv { channel: data });
             ops.push(Op::Compute {
@@ -188,7 +199,7 @@ impl MpiEndpoint {
                 }),
             });
         }
-        ops
+        Ok(ops)
     }
 }
 
@@ -202,11 +213,11 @@ mod tests {
         let mut m = Machine::new();
         let ch = m.add_channel(ChannelSpec::default());
         let ep = MpiEndpoint::new(ch, None);
-        let mut sender = ep.send_ops(64, |_| vec![7u8; 64]);
+        let mut sender = ep.send_ops(64, |_| vec![7u8; 64]).unwrap();
         let mut s_ops = Vec::new();
         s_ops.append(&mut sender);
         m.add_pe(Program::new(s_ops, 1));
-        m.add_pe(Program::new(ep.recv_ops(64, "msg"), 1));
+        m.add_pe(Program::new(ep.recv_ops(64, "msg").unwrap(), 1));
         let report = m.run().unwrap();
         // Bytes on the wire = payload + envelope.
         assert_eq!(report.channels[0].bytes, 64 + ENVELOPE_BYTES as u64);
@@ -223,8 +234,11 @@ mod tests {
         let ctrl = m.add_channel(ChannelSpec::default());
         let ep = MpiEndpoint::new(data, Some(ctrl));
         let n = EAGER_LIMIT_BYTES + 100;
-        m.add_pe(Program::new(ep.send_ops(n, move |_| vec![3u8; n]), 1));
-        m.add_pe(Program::new(ep.recv_ops(n, "big"), 1));
+        m.add_pe(Program::new(
+            ep.send_ops(n, move |_| vec![3u8; n]).unwrap(),
+            1,
+        ));
+        m.add_pe(Program::new(ep.recv_ops(n, "big").unwrap(), 1));
         let report = m.run().unwrap();
         // Three messages: RTS, CTS, payload.
         assert_eq!(report.total_messages(), 3);
@@ -232,12 +246,22 @@ mod tests {
     }
 
     #[test]
-    fn rendezvous_without_control_channel_panics() {
-        let ep = MpiEndpoint::new(ChannelId(0), None);
-        let result = std::panic::catch_unwind(|| {
-            ep.send_ops(100_000, |_| Vec::new());
-        });
-        assert!(result.is_err());
+    fn rendezvous_without_control_channel_is_a_typed_error() {
+        let ep = MpiEndpoint::new(ChannelId(3), None);
+        let err = ep.send_ops(100_000, |_| Vec::new()).unwrap_err();
+        assert!(matches!(
+            err,
+            PlatformError::MissingControlChannel {
+                data: ChannelId(3),
+                payload_bound: 100_000,
+            }
+        ));
+        assert!(err.to_string().contains("control channel"));
+        let err = ep.recv_ops(100_000, "sink").unwrap_err();
+        assert!(matches!(err, PlatformError::MissingControlChannel { .. }));
+        // Eager-sized transfers never need the control channel.
+        assert!(ep.send_ops(EAGER_LIMIT_BYTES, |_| Vec::new()).is_ok());
+        assert!(ep.recv_ops(EAGER_LIMIT_BYTES, "sink").is_ok());
     }
 
     #[test]
@@ -245,8 +269,11 @@ mod tests {
         let mut m = Machine::new();
         let ch = m.add_channel(ChannelSpec::default());
         let ep = MpiEndpoint::new(ch, None);
-        m.add_pe(Program::new(ep.send_ops(4, |l| vec![l.iter as u8; 4]), 5));
-        let mut recv = ep.recv_ops(4, "last");
+        m.add_pe(Program::new(
+            ep.send_ops(4, |l| vec![l.iter as u8; 4]).unwrap(),
+            5,
+        ));
+        let mut recv = ep.recv_ops(4, "last").unwrap();
         recv.push(Op::Compute {
             label: "accumulate".into(),
             work: Box::new(|l| {

@@ -2,87 +2,32 @@
 //!
 //! The discrete-event engine in [`crate::sim`] is deterministic; this
 //! runner executes the *same* PE programs on real OS threads connected by
-//! bounded in-process channels. It carries no notion of simulated time —
-//! its purpose is to validate that protocol logic (blocking sends and
-//! receives, message ordering per channel) is correct under genuine
+//! pluggable [`Transport`] channels. It carries no notion of simulated
+//! time — its purpose is to validate that protocol logic (blocking sends
+//! and receives, message ordering per channel) is correct under genuine
 //! parallel, racy execution, not just under the event queue's
-//! serialization. Integration tests run both engines on the same programs
-//! and compare the functional outputs.
+//! serialization. Integration tests run both engines on the same
+//! programs and compare the functional outputs.
 //!
-//! Capacity semantics differ slightly from the DES: the runner bounds
-//! channels by *message count*, not bytes, at `max(1, capacity_bytes /
-//! word_bytes)` messages — enough to exercise back-pressure without
-//! byte-exact fidelity.
+//! Channel capacity is accounted in **bytes**, matching the DES and the
+//! paper's eq. (2) buffer bounds. The transport implementation is chosen
+//! per run via [`ThreadedRunner::transport`]: the `Mutex`+`Condvar`
+//! reference queue, or the lock-free ring sized to the static bound.
 
-use std::collections::{HashMap, VecDeque};
-use std::sync::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::Mutex;
 use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crate::error::{PlatformError, Result};
-use crate::sim::{ChannelSpec, Op, PeId, PeLocal, Program};
+use crate::sim::{ChannelId, ChannelSpec, Op, PeId, PeLocal, Program};
+use crate::transport::{Transport, TransportError, TransportKind};
 
-/// A bounded MPMC FIFO with timed blocking send/recv, built on
-/// `Mutex` + `Condvar` (std's mpsc offers no `send_timeout`, and the
-/// deadlock check below needs a timeout on both directions).
-struct BoundedChannel {
-    queue: Mutex<VecDeque<Vec<u8>>>,
-    not_full: Condvar,
-    not_empty: Condvar,
-    capacity: usize,
-}
-
-impl BoundedChannel {
-    fn new(capacity: usize) -> Self {
-        BoundedChannel {
-            queue: Mutex::new(VecDeque::new()),
-            not_full: Condvar::new(),
-            not_empty: Condvar::new(),
-            capacity: capacity.max(1),
-        }
-    }
-
-    /// Blocks until a slot frees up, or gives up after `timeout`.
-    fn send_timeout(&self, data: Vec<u8>, timeout: Duration) -> std::result::Result<(), ()> {
-        let deadline = Instant::now() + timeout;
-        let mut q = self.queue.lock().expect("channel lock");
-        while q.len() >= self.capacity {
-            let now = Instant::now();
-            if now >= deadline {
-                return Err(());
-            }
-            let (guard, _) = self
-                .not_full
-                .wait_timeout(q, deadline - now)
-                .expect("channel lock");
-            q = guard;
-        }
-        q.push_back(data);
-        self.not_empty.notify_one();
-        Ok(())
-    }
-
-    /// Blocks until a message arrives, or gives up after `timeout`.
-    fn recv_timeout(&self, timeout: Duration) -> Option<Vec<u8>> {
-        let deadline = Instant::now() + timeout;
-        let mut q = self.queue.lock().expect("channel lock");
-        loop {
-            if let Some(data) = q.pop_front() {
-                self.not_full.notify_one();
-                return Some(data);
-            }
-            let now = Instant::now();
-            if now >= deadline {
-                return None;
-            }
-            let (guard, _) = self
-                .not_empty
-                .wait_timeout(q, deadline - now)
-                .expect("channel lock");
-            q = guard;
-        }
-    }
-}
+/// Default bound on every blocking channel operation before the runner
+/// declares a deadlock. Generous: real systems block for microseconds,
+/// so half a minute of no progress is unambiguous even on a loaded CI
+/// machine.
+pub const DEFAULT_DEADLOCK_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Functional result of one PE's threaded execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -93,7 +38,227 @@ pub struct ThreadedPeResult {
     pub leftover_inbox: usize,
 }
 
-/// Executes programs on OS threads; see the module docs for semantics.
+/// Builder-style configuration for threaded execution.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use spi_platform::{ChannelSpec, ChannelId, Op, Program, ThreadedRunner, TransportKind};
+///
+/// let channels = vec![ChannelSpec::default()];
+/// let producer = Program::new(vec![Op::Send {
+///     channel: ChannelId(0),
+///     payload: Box::new(|_| vec![42u8; 4]),
+/// }], 3);
+/// let consumer = Program::new(vec![Op::Recv { channel: ChannelId(0) }], 3);
+/// let results = ThreadedRunner::new()
+///     .transport(TransportKind::Ring)
+///     .timeout(Duration::from_secs(5))
+///     .run(&channels, vec![producer, consumer])?;
+/// assert_eq!(results[1].leftover_inbox, 3);
+/// # Ok::<(), spi_platform::PlatformError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadedRunner {
+    kind: TransportKind,
+    timeout: Duration,
+}
+
+impl Default for ThreadedRunner {
+    fn default() -> Self {
+        ThreadedRunner {
+            kind: TransportKind::default(),
+            timeout: DEFAULT_DEADLOCK_TIMEOUT,
+        }
+    }
+}
+
+impl ThreadedRunner {
+    /// A runner with the default transport ([`TransportKind::Locked`])
+    /// and deadlock timeout ([`DEFAULT_DEADLOCK_TIMEOUT`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects the transport implementation used for every channel.
+    #[must_use]
+    pub fn transport(mut self, kind: TransportKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Overrides the deadlock timeout bounding each blocking channel
+    /// operation.
+    #[must_use]
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The configured transport kind.
+    pub fn transport_kind(&self) -> TransportKind {
+        self.kind
+    }
+
+    /// The configured deadlock timeout.
+    pub fn deadlock_timeout(&self) -> Duration {
+        self.timeout
+    }
+
+    /// Executes `programs` on OS threads over `channels`.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::Deadlock`] once any thread's blocking operation
+    /// times out; [`PlatformError::MessageExceedsCapacity`] when a
+    /// payload exceeds the channel's per-message bound;
+    /// [`PlatformError::ZeroCapacity`] for unusable channels.
+    pub fn run(
+        &self,
+        channels: &[ChannelSpec],
+        programs: Vec<Program>,
+    ) -> Result<Vec<ThreadedPeResult>> {
+        for (i, c) in channels.iter().enumerate() {
+            if c.capacity_bytes == 0 {
+                return Err(PlatformError::ZeroCapacity {
+                    channel: ChannelId(i),
+                });
+            }
+        }
+        let endpoints: Vec<Box<dyn Transport>> =
+            channels.iter().map(|c| self.kind.instantiate(c)).collect();
+        let timeout = self.timeout;
+
+        let timed_out: Mutex<Vec<PeId>> = Mutex::new(Vec::new());
+        let fault: Mutex<Option<PlatformError>> = Mutex::new(None);
+        let results: Mutex<Vec<Option<ThreadedPeResult>>> =
+            Mutex::new((0..programs.len()).map(|_| None).collect());
+
+        thread::scope(|scope| {
+            for (idx, mut program) in programs.into_iter().enumerate() {
+                let endpoints = &endpoints;
+                let timed_out = &timed_out;
+                let fault = &fault;
+                let results = &results;
+                scope.spawn(move || {
+                    let mut local = PeLocal::default();
+                    let mut prologue = std::mem::take(&mut program.prologue);
+                    let mut aborted = false;
+                    for op in &mut prologue {
+                        if !step(op, &mut local, endpoints, timeout, idx, timed_out, fault) {
+                            aborted = true;
+                            break;
+                        }
+                    }
+                    if !aborted {
+                        'outer: for iter in 0..program.iterations {
+                            local.iter = iter;
+                            for op in &mut program.ops {
+                                if !step(op, &mut local, endpoints, timeout, idx, timed_out, fault)
+                                {
+                                    break 'outer;
+                                }
+                            }
+                        }
+                    }
+                    results.lock().expect("results lock")[idx] = Some(ThreadedPeResult {
+                        store: std::mem::take(&mut local.store),
+                        leftover_inbox: local.inbox.len(),
+                    });
+                });
+            }
+        });
+
+        if let Some(err) = fault.into_inner().expect("fault lock") {
+            return Err(err);
+        }
+        let blocked = timed_out.into_inner().expect("timed_out lock");
+        if !blocked.is_empty() {
+            return Err(PlatformError::Deadlock { blocked });
+        }
+        Ok(results
+            .into_inner()
+            .expect("results lock")
+            .into_iter()
+            .map(|r| r.expect("every PE thread stores a result"))
+            .collect())
+    }
+}
+
+/// Executes one op; returns `false` when the PE must abort (timeout or
+/// transport fault), recording the cause.
+fn step(
+    op: &mut Op,
+    local: &mut PeLocal,
+    endpoints: &[Box<dyn Transport>],
+    timeout: Duration,
+    idx: usize,
+    timed_out: &Mutex<Vec<PeId>>,
+    fault: &Mutex<Option<PlatformError>>,
+) -> bool {
+    match op {
+        Op::Compute { work, .. } => {
+            let _cycles = work(local);
+            true
+        }
+        Op::Send { channel, payload } => {
+            let data = payload(local);
+            match endpoints[channel.0].send(&data, timeout) {
+                Ok(()) => true,
+                Err(TransportError::Timeout { .. }) => {
+                    timed_out.lock().expect("timed_out lock").push(PeId(idx));
+                    false
+                }
+                Err(e) => {
+                    record_fault(fault, *channel, &data, &e, endpoints);
+                    false
+                }
+            }
+        }
+        Op::Recv { channel } => match endpoints[channel.0].recv(timeout) {
+            Ok(data) => {
+                local.inbox.push_back((*channel, data));
+                true
+            }
+            Err(_) => {
+                timed_out.lock().expect("timed_out lock").push(PeId(idx));
+                false
+            }
+        },
+        // The functional runner has no simulated clock.
+        Op::WaitUntil { .. } => true,
+    }
+}
+
+/// Maps a non-timeout transport failure to the platform error space.
+fn record_fault(
+    fault: &Mutex<Option<PlatformError>>,
+    channel: ChannelId,
+    data: &[u8],
+    err: &TransportError,
+    endpoints: &[Box<dyn Transport>],
+) {
+    // Blocking sends only fail with Timeout (handled by the caller) or
+    // TooLarge; map everything else conservatively to the same shape.
+    let bytes = match err {
+        TransportError::TooLarge { bytes, .. } => *bytes,
+        _ => data.len(),
+    };
+    let mapped = PlatformError::MessageExceedsCapacity {
+        channel,
+        bytes,
+        capacity: endpoints[channel.0].capacity_bytes(),
+    };
+    let mut slot = fault.lock().expect("fault lock");
+    if slot.is_none() {
+        *slot = Some(mapped);
+    }
+}
+
+/// Executes programs with the default (locked) transport; see
+/// [`ThreadedRunner`] for transport selection and the module docs for
+/// semantics.
 ///
 /// `timeout` bounds every blocking channel operation; a deadlocked
 /// program surfaces as [`PlatformError::Deadlock`] once any thread times
@@ -101,123 +266,15 @@ pub struct ThreadedPeResult {
 ///
 /// # Errors
 ///
-/// [`PlatformError::Deadlock`] on timeout;
-/// [`PlatformError::ZeroCapacity`] for unusable channels.
+/// As [`ThreadedRunner::run`].
 pub fn run_threaded(
     channels: &[ChannelSpec],
     programs: Vec<Program>,
     timeout: Duration,
 ) -> Result<Vec<ThreadedPeResult>> {
-    for (i, c) in channels.iter().enumerate() {
-        if c.capacity_bytes == 0 {
-            return Err(PlatformError::ZeroCapacity {
-                channel: crate::sim::ChannelId(i),
-            });
-        }
-    }
-    let endpoints: Vec<BoundedChannel> = channels
-        .iter()
-        .map(|c| {
-            BoundedChannel::new(usize::max(
-                1,
-                c.capacity_bytes / c.word_bytes.max(1) as usize,
-            ))
-        })
-        .collect();
-
-    let timed_out: Mutex<Vec<PeId>> = Mutex::new(Vec::new());
-    let results: Mutex<Vec<Option<ThreadedPeResult>>> =
-        Mutex::new((0..programs.len()).map(|_| None).collect());
-
-    thread::scope(|scope| {
-        for (idx, mut program) in programs.into_iter().enumerate() {
-            let endpoints = &endpoints;
-            let timed_out = &timed_out;
-            let results = &results;
-            scope.spawn(move || {
-                let mut local = PeLocal::default();
-                let mut prologue = std::mem::take(&mut program.prologue);
-                let mut aborted = false;
-                for op in &mut prologue {
-                    match op {
-                        Op::Compute { work, .. } => {
-                            let _ = work(&mut local);
-                        }
-                        Op::Send { channel, payload } => {
-                            let data = payload(&mut local);
-                            if endpoints[channel.0].send_timeout(data, timeout).is_err() {
-                                timed_out.lock().expect("timed_out lock").push(PeId(idx));
-                                aborted = true;
-                                break;
-                            }
-                        }
-                        Op::Recv { channel } => match endpoints[channel.0].recv_timeout(timeout) {
-                            Some(data) => local.inbox.push_back((*channel, data)),
-                            None => {
-                                timed_out.lock().expect("timed_out lock").push(PeId(idx));
-                                aborted = true;
-                                break;
-                            }
-                        },
-                        // The functional runner has no simulated clock.
-                        Op::WaitUntil { .. } => {}
-                    }
-                }
-                if aborted {
-                    results.lock().expect("results lock")[idx] = Some(ThreadedPeResult {
-                        store: std::mem::take(&mut local.store),
-                        leftover_inbox: local.inbox.len(),
-                    });
-                    return;
-                }
-                'outer: for iter in 0..program.iterations {
-                    local.iter = iter;
-                    for op in &mut program.ops {
-                        match op {
-                            Op::Compute { work, .. } => {
-                                let _cycles = work(&mut local);
-                            }
-                            Op::Send { channel, payload } => {
-                                let data = payload(&mut local);
-                                let tx = &endpoints[channel.0];
-                                if tx.send_timeout(data, timeout).is_err() {
-                                    timed_out.lock().expect("timed_out lock").push(PeId(idx));
-                                    break 'outer;
-                                }
-                            }
-                            Op::Recv { channel } => {
-                                let rx = &endpoints[channel.0];
-                                match rx.recv_timeout(timeout) {
-                                    Some(data) => local.inbox.push_back((*channel, data)),
-                                    None => {
-                                        timed_out.lock().expect("timed_out lock").push(PeId(idx));
-                                        break 'outer;
-                                    }
-                                }
-                            }
-                            // No simulated clock in the threaded runner.
-                            Op::WaitUntil { .. } => {}
-                        }
-                    }
-                }
-                results.lock().expect("results lock")[idx] = Some(ThreadedPeResult {
-                    store: std::mem::take(&mut local.store),
-                    leftover_inbox: local.inbox.len(),
-                });
-            });
-        }
-    });
-
-    let blocked = timed_out.into_inner().expect("timed_out lock");
-    if !blocked.is_empty() {
-        return Err(PlatformError::Deadlock { blocked });
-    }
-    Ok(results
-        .into_inner()
-        .expect("results lock")
-        .into_iter()
-        .map(|r| r.expect("every PE thread stores a result"))
-        .collect())
+    ThreadedRunner::new()
+        .timeout(timeout)
+        .run(channels, programs)
 }
 
 #[cfg(test)]
@@ -225,69 +282,88 @@ mod tests {
     use super::*;
     use crate::sim::{ChannelId, ChannelSpec};
 
+    /// Every runner test runs under both transports — the executor must
+    /// be implementation-agnostic.
+    fn kinds() -> [TransportKind; 2] {
+        [TransportKind::Locked, TransportKind::Ring]
+    }
+
     #[test]
     fn threaded_pipeline_matches_expectations() {
-        let channels = vec![ChannelSpec::default()];
-        let producer = Program::new(
-            vec![Op::Send {
-                channel: ChannelId(0),
-                payload: Box::new(|l| vec![l.iter as u8 * 3]),
-            }],
-            4,
-        );
-        let consumer = Program::new(
-            vec![
-                Op::Recv {
+        for kind in kinds() {
+            let channels = vec![ChannelSpec::default()];
+            let producer = Program::new(
+                vec![Op::Send {
                     channel: ChannelId(0),
-                },
-                Op::Compute {
-                    label: "fold".into(),
-                    work: Box::new(|l| {
-                        let v = l.take_from(ChannelId(0)).expect("data");
-                        let mut acc = l.store.remove("acc").unwrap_or_default();
-                        acc.push(v[0]);
-                        l.store.insert("acc".into(), acc);
-                        0
-                    }),
-                },
-            ],
-            4,
-        );
-        let results =
-            run_threaded(&channels, vec![producer, consumer], Duration::from_secs(5)).unwrap();
-        assert_eq!(results[1].store["acc"], vec![0, 3, 6, 9]);
-        assert_eq!(results[1].leftover_inbox, 0);
+                    payload: Box::new(|l| vec![l.iter as u8 * 3]),
+                }],
+                4,
+            );
+            let consumer = Program::new(
+                vec![
+                    Op::Recv {
+                        channel: ChannelId(0),
+                    },
+                    Op::Compute {
+                        label: "fold".into(),
+                        work: Box::new(|l| {
+                            let v = l.take_from(ChannelId(0)).expect("data");
+                            let mut acc = l.store.remove("acc").unwrap_or_default();
+                            acc.push(v[0]);
+                            l.store.insert("acc".into(), acc);
+                            0
+                        }),
+                    },
+                ],
+                4,
+            );
+            let results = ThreadedRunner::new()
+                .transport(kind)
+                .timeout(Duration::from_secs(5))
+                .run(&channels, vec![producer, consumer])
+                .unwrap();
+            assert_eq!(results[1].store["acc"], vec![0, 3, 6, 9], "{kind:?}");
+            assert_eq!(results[1].leftover_inbox, 0);
+        }
     }
 
     #[test]
     fn threaded_deadlock_times_out() {
-        let channels = vec![ChannelSpec::default(), ChannelSpec::default()];
-        let a = Program::new(
-            vec![
-                Op::Recv {
-                    channel: ChannelId(1),
-                },
-                Op::Send {
-                    channel: ChannelId(0),
-                    payload: Box::new(|_| vec![0]),
-                },
-            ],
-            1,
-        );
-        let b = Program::new(
-            vec![
-                Op::Recv {
-                    channel: ChannelId(0),
-                },
-                Op::Send {
-                    channel: ChannelId(1),
-                    payload: Box::new(|_| vec![0]),
-                },
-            ],
-            1,
-        );
-        let err = run_threaded(&channels, vec![a, b], Duration::from_millis(100));
-        assert!(matches!(err, Err(PlatformError::Deadlock { .. })));
+        for kind in kinds() {
+            let channels = vec![ChannelSpec::default(), ChannelSpec::default()];
+            let a = Program::new(
+                vec![
+                    Op::Recv {
+                        channel: ChannelId(1),
+                    },
+                    Op::Send {
+                        channel: ChannelId(0),
+                        payload: Box::new(|_| vec![0]),
+                    },
+                ],
+                1,
+            );
+            let b = Program::new(
+                vec![
+                    Op::Recv {
+                        channel: ChannelId(0),
+                    },
+                    Op::Send {
+                        channel: ChannelId(1),
+                        payload: Box::new(|_| vec![0]),
+                    },
+                ],
+                1,
+            );
+            let err = ThreadedRunner::new()
+                .transport(kind)
+                .timeout(Duration::from_millis(100))
+                .run(&channels, vec![a, b]);
+            assert!(
+                matches!(err, Err(PlatformError::Deadlock { .. })),
+                "{kind:?}"
+            );
+        }
     }
 
     #[test]
@@ -304,45 +380,80 @@ mod tests {
     fn bounded_capacity_applies_backpressure() {
         // One-slot channel: producer cannot run more than one message
         // ahead; with a slow consumer the run still completes.
+        for kind in kinds() {
+            let channels = vec![ChannelSpec {
+                capacity_bytes: 4,
+                word_bytes: 4,
+                ..ChannelSpec::default()
+            }];
+            let producer = Program::new(
+                vec![Op::Send {
+                    channel: ChannelId(0),
+                    payload: Box::new(|_| vec![1, 2, 3, 4]),
+                }],
+                16,
+            );
+            let consumer = Program::new(
+                vec![
+                    Op::Recv {
+                        channel: ChannelId(0),
+                    },
+                    Op::Compute {
+                        label: "drop".into(),
+                        work: Box::new(|l| {
+                            let _ = l.take_from(ChannelId(0));
+                            std::thread::sleep(Duration::from_millis(1));
+                            0
+                        }),
+                    },
+                ],
+                16,
+            );
+            let results = ThreadedRunner::new()
+                .transport(kind)
+                .timeout(Duration::from_secs(10))
+                .run(&channels, vec![producer, consumer])
+                .unwrap();
+            assert_eq!(results[1].leftover_inbox, 0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_message_surfaces_as_capacity_error() {
+        // Ring slots are the declared max message size; a payload larger
+        // than the slot is a programming error, not a deadlock.
         let channels = vec![ChannelSpec {
-            capacity_bytes: 4,
-            word_bytes: 4,
+            capacity_bytes: 16,
+            max_message_bytes: 4,
             ..ChannelSpec::default()
         }];
         let producer = Program::new(
             vec![Op::Send {
                 channel: ChannelId(0),
-                payload: Box::new(|_| vec![1, 2, 3, 4]),
+                payload: Box::new(|_| vec![0u8; 9]),
             }],
-            16,
+            1,
         );
         let consumer = Program::new(
-            vec![
-                Op::Recv {
-                    channel: ChannelId(0),
-                },
-                Op::Compute {
-                    label: "drop".into(),
-                    work: Box::new(|l| {
-                        let _ = l.take_from(ChannelId(0));
-                        std::thread::sleep(Duration::from_millis(1));
-                        0
-                    }),
-                },
-            ],
-            16,
+            vec![Op::Recv {
+                channel: ChannelId(0),
+            }],
+            1,
         );
-        let results =
-            run_threaded(&channels, vec![producer, consumer], Duration::from_secs(10)).unwrap();
-        assert_eq!(results[1].leftover_inbox, 0);
+        let err = ThreadedRunner::new()
+            .transport(TransportKind::Ring)
+            .timeout(Duration::from_millis(200))
+            .run(&channels, vec![producer, consumer]);
+        assert!(matches!(
+            err,
+            Err(PlatformError::MessageExceedsCapacity { bytes: 9, .. })
+        ));
     }
 
     #[test]
-    fn bounded_channel_send_times_out_when_full() {
-        let ch = BoundedChannel::new(1);
-        ch.send_timeout(vec![1], Duration::from_millis(10)).unwrap();
-        assert!(ch.send_timeout(vec![2], Duration::from_millis(10)).is_err());
-        assert_eq!(ch.recv_timeout(Duration::from_millis(10)), Some(vec![1]));
-        assert_eq!(ch.recv_timeout(Duration::from_millis(10)), None);
+    fn default_runner_uses_locked_transport_and_default_timeout() {
+        let r = ThreadedRunner::new();
+        assert_eq!(r.transport_kind(), TransportKind::Locked);
+        assert_eq!(r.deadlock_timeout(), DEFAULT_DEADLOCK_TIMEOUT);
     }
 }

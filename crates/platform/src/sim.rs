@@ -55,6 +55,12 @@ pub struct ChannelSpec {
     /// Fixed cycles of receiver-side occupancy per message (header
     /// parse, pointer update).
     pub recv_overhead_cycles: u64,
+    /// Largest single message the channel carries, in bytes — the packed
+    /// token size `c(e) = c_sdf(e) · b_max(e)` plus header when derived
+    /// from the paper's eq. (1). `0` means "not declared": transports
+    /// fall back to word granularity and the analyzer skips
+    /// capacity-vs-bound checks.
+    pub max_message_bytes: usize,
 }
 
 impl Default for ChannelSpec {
@@ -67,6 +73,7 @@ impl Default for ChannelSpec {
             cycles_per_word: 1,
             send_overhead_cycles: 2,
             recv_overhead_cycles: 2,
+            max_message_bytes: 0,
         }
     }
 }
@@ -921,6 +928,7 @@ mod tests {
             cycles_per_word: 1,
             send_overhead_cycles: 1,
             recv_overhead_cycles: 1,
+            max_message_bytes: 0,
         }
     }
 

@@ -1,0 +1,880 @@
+//! Pluggable channel transports for the OS-thread runner.
+//!
+//! The discrete-event engine in [`crate::sim`] accounts channel
+//! occupancy in *bytes* against the statically derived capacity
+//! `B(e) = (Γ + delay(e)) · c(e)` of the paper's eq. (2). The threaded
+//! runner historically approximated that bound by message count through
+//! one hardwired `Mutex`+`Condvar` queue; this module turns the channel
+//! into a first-class [`Transport`] abstraction with two byte-accurate
+//! implementations:
+//!
+//! * [`LockedTransport`] — the reference implementation: a bounded FIFO
+//!   of owned payloads behind a `Mutex` with two `Condvar`s. Simple,
+//!   obviously correct, and the baseline the ring is benchmarked
+//!   against.
+//! * [`RingTransport`] — a lock-free ring buffer of fixed packed-token
+//!   slots, sized exactly `capacity_bytes / max_message_bytes` slots of
+//!   `max_message_bytes` each, so the eq. (2) bound *is* the allocation.
+//!   Head/tail move with atomics (per-slot sequence numbers, Vyukov
+//!   style), payloads are written into the ring storage in place
+//!   ([`Transport::send_with`] / [`Transport::recv_with`] never touch
+//!   the heap), and a full/empty ring backpressures via
+//!   `thread::park_timeout` / `unpark` instead of a condition variable.
+//!
+//! SPI edges are point-to-point, so the ring is used single-producer /
+//! single-consumer in practice; the per-slot sequence protocol keeps it
+//! memory-safe (merely slower) if a hand-written program ever shares an
+//! endpoint between threads.
+
+#![allow(unsafe_code)]
+
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::thread::{self, Thread};
+use std::time::{Duration, Instant};
+
+use crate::sim::ChannelSpec;
+
+/// Errors surfaced by [`Transport`] operations.
+///
+/// Blocking operations fail with [`TransportError::Timeout`] (the
+/// runner's deadlock detector), non-blocking ones with
+/// [`TransportError::Full`] / [`TransportError::Empty`], and both send
+/// paths reject messages that could never fit with
+/// [`TransportError::TooLarge`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TransportError {
+    /// A blocking send or receive gave up after its timeout — the
+    /// runner interprets this as a deadlocked processing element.
+    Timeout {
+        /// The timeout that elapsed.
+        after: Duration,
+    },
+    /// A non-blocking send found the channel full.
+    Full,
+    /// A non-blocking receive found the channel empty.
+    Empty,
+    /// The message can never be accepted: it exceeds the per-message
+    /// bound (ring slot size) or the whole channel capacity.
+    TooLarge {
+        /// Payload size in bytes.
+        bytes: usize,
+        /// Largest acceptable message in bytes.
+        max: usize,
+    },
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Timeout { after } => {
+                write!(f, "transport operation timed out after {after:?}")
+            }
+            TransportError::Full => write!(f, "channel full"),
+            TransportError::Empty => write!(f, "channel empty"),
+            TransportError::TooLarge { bytes, max } => {
+                write!(
+                    f,
+                    "message of {bytes} bytes exceeds transport maximum of {max} bytes"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// A bounded, blocking, FIFO point-to-point channel between OS threads.
+///
+/// Capacity is accounted in **bytes**, matching the discrete-event
+/// engine and the paper's eq. (1)/(2) buffer bounds, not in message
+/// counts. All methods take `&self`; implementations are internally
+/// synchronized.
+pub trait Transport: Send + Sync {
+    /// Total payload capacity in bytes. For [`RingTransport`] this is
+    /// exactly `slots × slot_bytes`, i.e. the eq. (2) allocation.
+    fn capacity_bytes(&self) -> usize;
+
+    /// Largest single message this transport accepts, in bytes.
+    fn max_message_bytes(&self) -> usize;
+
+    /// Blocking send of an owned payload; gives up after `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::TooLarge`] if the payload can never fit;
+    /// [`TransportError::Timeout`] if no space freed up in time.
+    fn send(&self, data: &[u8], timeout: Duration) -> Result<(), TransportError> {
+        self.send_with(data.len(), &mut |buf| buf.copy_from_slice(data), timeout)
+    }
+
+    /// Non-blocking send.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Full`] when no space is available right now;
+    /// [`TransportError::TooLarge`] if the payload can never fit.
+    fn try_send(&self, data: &[u8]) -> Result<(), TransportError>;
+
+    /// Blocking receive of an owned payload; gives up after `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Timeout`] if no message arrived in time.
+    fn recv(&self, timeout: Duration) -> Result<Vec<u8>, TransportError> {
+        let mut out = Vec::new();
+        self.recv_with(&mut |bytes| out.extend_from_slice(bytes), timeout)?;
+        Ok(out)
+    }
+
+    /// Non-blocking receive.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Empty`] when no message is waiting.
+    fn try_recv(&self) -> Result<Vec<u8>, TransportError>;
+
+    /// Blocking zero-copy send: reserves `len` bytes of channel storage
+    /// and invokes `fill` to write the payload directly into it. The
+    /// ring implementation performs **no heap allocation** on this path;
+    /// the locked implementation allocates its owned queue entry.
+    ///
+    /// # Errors
+    ///
+    /// As [`Transport::send`].
+    fn send_with(
+        &self,
+        len: usize,
+        fill: &mut dyn FnMut(&mut [u8]),
+        timeout: Duration,
+    ) -> Result<(), TransportError>;
+
+    /// Blocking zero-copy receive: invokes `consume` on the payload
+    /// bytes while they still live in channel storage, then releases
+    /// the slot. No heap allocation on the ring implementation.
+    ///
+    /// # Errors
+    ///
+    /// As [`Transport::recv`].
+    fn recv_with(
+        &self,
+        consume: &mut dyn FnMut(&[u8]),
+        timeout: Duration,
+    ) -> Result<(), TransportError>;
+}
+
+/// Which [`Transport`] implementation a runner should instantiate per
+/// channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// `Mutex`+`Condvar` bounded queue ([`LockedTransport`]) — the
+    /// reference implementation.
+    #[default]
+    Locked,
+    /// Lock-free SPSC ring of fixed slots ([`RingTransport`]).
+    Ring,
+}
+
+impl TransportKind {
+    /// Builds a transport for `spec`.
+    ///
+    /// The per-message bound comes from [`ChannelSpec::max_message_bytes`]
+    /// when declared (the SPI builder always declares it — the packed
+    /// token size `c(e) = c_sdf(e) · b_max(e)` plus header); otherwise it
+    /// falls back to the channel word size, preserving the historical
+    /// "capacity ÷ word" message-count approximation for hand-written
+    /// programs.
+    pub fn instantiate(self, spec: &ChannelSpec) -> Box<dyn Transport> {
+        let max_msg = if spec.max_message_bytes > 0 {
+            spec.max_message_bytes
+        } else {
+            spec.word_bytes.max(1) as usize
+        };
+        match self {
+            TransportKind::Locked => Box::new(LockedTransport::new(
+                spec.capacity_bytes,
+                spec.capacity_bytes.max(max_msg),
+            )),
+            TransportKind::Ring => Box::new(RingTransport::new(spec.capacity_bytes, max_msg)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// LockedTransport
+// ---------------------------------------------------------------------
+
+struct LockedInner {
+    queue: VecDeque<Vec<u8>>,
+    used_bytes: usize,
+}
+
+/// The reference transport: a byte-accounted bounded FIFO behind a
+/// `Mutex` with separate not-full / not-empty `Condvar`s (std's mpsc
+/// offers no `send_timeout`, and deadlock detection needs timeouts in
+/// both directions).
+pub struct LockedTransport {
+    inner: Mutex<LockedInner>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity_bytes: usize,
+    max_message_bytes: usize,
+}
+
+impl LockedTransport {
+    /// Creates a queue holding at most `capacity_bytes` of payload, with
+    /// single messages capped at `max_message_bytes`.
+    pub fn new(capacity_bytes: usize, max_message_bytes: usize) -> Self {
+        let capacity_bytes = capacity_bytes.max(1);
+        LockedTransport {
+            inner: Mutex::new(LockedInner {
+                queue: VecDeque::new(),
+                used_bytes: 0,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity_bytes,
+            max_message_bytes: max_message_bytes.clamp(1, capacity_bytes),
+        }
+    }
+}
+
+impl Transport for LockedTransport {
+    fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    fn max_message_bytes(&self) -> usize {
+        self.max_message_bytes
+    }
+
+    fn try_send(&self, data: &[u8]) -> Result<(), TransportError> {
+        if data.len() > self.max_message_bytes {
+            return Err(TransportError::TooLarge {
+                bytes: data.len(),
+                max: self.max_message_bytes,
+            });
+        }
+        let mut inner = self.inner.lock().expect("transport lock");
+        if inner.used_bytes + data.len() > self.capacity_bytes && !inner.queue.is_empty() {
+            return Err(TransportError::Full);
+        }
+        inner.used_bytes += data.len();
+        inner.queue.push_back(data.to_vec());
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    fn try_recv(&self) -> Result<Vec<u8>, TransportError> {
+        let mut inner = self.inner.lock().expect("transport lock");
+        match inner.queue.pop_front() {
+            Some(data) => {
+                inner.used_bytes -= data.len();
+                self.not_full.notify_one();
+                Ok(data)
+            }
+            None => Err(TransportError::Empty),
+        }
+    }
+
+    fn send_with(
+        &self,
+        len: usize,
+        fill: &mut dyn FnMut(&mut [u8]),
+        timeout: Duration,
+    ) -> Result<(), TransportError> {
+        if len > self.max_message_bytes {
+            return Err(TransportError::TooLarge {
+                bytes: len,
+                max: self.max_message_bytes,
+            });
+        }
+        let mut data = vec![0u8; len];
+        fill(&mut data);
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.inner.lock().expect("transport lock");
+        // An empty queue always admits one message: `max_message_bytes`
+        // is clamped to the capacity, so progress is never wedged.
+        while inner.used_bytes + len > self.capacity_bytes && !inner.queue.is_empty() {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(TransportError::Timeout { after: timeout });
+            }
+            let (guard, _) = self
+                .not_full
+                .wait_timeout(inner, deadline - now)
+                .expect("transport lock");
+            inner = guard;
+        }
+        inner.used_bytes += len;
+        inner.queue.push_back(data);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    fn recv_with(
+        &self,
+        consume: &mut dyn FnMut(&[u8]),
+        timeout: Duration,
+    ) -> Result<(), TransportError> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.inner.lock().expect("transport lock");
+        loop {
+            if let Some(data) = inner.queue.pop_front() {
+                inner.used_bytes -= data.len();
+                drop(inner);
+                self.not_full.notify_one();
+                consume(&data);
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(TransportError::Timeout { after: timeout });
+            }
+            let (guard, _) = self
+                .not_empty
+                .wait_timeout(inner, deadline - now)
+                .expect("transport lock");
+            inner = guard;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// RingTransport
+// ---------------------------------------------------------------------
+
+/// A set of threads parked on one side (producer or consumer) of a
+/// ring. The fast path is a single relaxed load of `waiting`; the mutex
+/// is only touched when a thread actually has to park — i.e. when the
+/// ring is full or empty and blocking was inevitable anyway.
+#[derive(Default)]
+struct WaitList {
+    waiting: AtomicUsize,
+    threads: Mutex<Vec<Thread>>,
+}
+
+impl WaitList {
+    /// Wakes one parked thread, if any.
+    fn wake_one(&self) {
+        if self.waiting.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let popped = self.threads.lock().expect("waitlist lock").pop();
+        if let Some(t) = popped {
+            t.unpark();
+        }
+    }
+
+    /// Registers the current thread, re-checks `ready`, and parks until
+    /// `deadline` if it still holds false. Returns `false` on timeout.
+    ///
+    /// The registration-before-recheck order closes the lost-wakeup
+    /// race: a publisher that misses the registration is ordered before
+    /// the re-check; one that sees it will unpark us.
+    fn park_until(&self, deadline: Instant, ready: &dyn Fn() -> bool) -> bool {
+        {
+            let mut threads = self.threads.lock().expect("waitlist lock");
+            threads.push(thread::current());
+            self.waiting.store(threads.len(), Ordering::Release);
+        }
+        let mut timed_out = false;
+        loop {
+            if ready() {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                timed_out = true;
+                break;
+            }
+            thread::park_timeout(deadline - now);
+        }
+        {
+            let mut threads = self.threads.lock().expect("waitlist lock");
+            let me = thread::current().id();
+            threads.retain(|t| t.id() != me);
+            self.waiting.store(threads.len(), Ordering::Release);
+        }
+        // A wake token issued for us after we decided to deregister may
+        // have popped a different thread's entry semantics-wise; waking
+        // peers is cheap and keeps the protocol simple.
+        !timed_out
+    }
+}
+
+/// A lock-free bounded ring of fixed-size packed-token slots.
+///
+/// Layout: `slots × slot_bytes` of payload storage, a length word per
+/// slot, and a per-slot sequence number driving the claim/publish
+/// protocol (Vyukov's bounded queue). `capacity_bytes()` is exactly the
+/// storage allocation, so when the SPI builder sizes a channel to the
+/// eq. (2) bound `B(e)` with slot size `c(e)`, those numbers *are* the
+/// runtime buffer — no approximation layer in between.
+///
+/// Designed for the single-producer / single-consumer topology of SPI's
+/// point-to-point edges; the sequence protocol keeps concurrent misuse
+/// memory-safe. `send_with` / `recv_with` move payload bytes directly
+/// between caller buffers and ring storage with zero heap allocation
+/// per message.
+pub struct RingTransport {
+    slot_bytes: usize,
+    slots: usize,
+    /// Claim/publish state per slot, in a doubled sequence space so the
+    /// states stay distinct even for a single-slot ring: `seq == 2·pos`
+    /// ⇒ free for the enqueuer at position `pos`; `seq == 2·pos + 1` ⇒
+    /// holds the message published at `pos`, free for the dequeuer,
+    /// which recycles it to `2·(pos + slots)`.
+    seq: Box<[AtomicUsize]>,
+    /// Payload length per slot; written by the owning producer before
+    /// the publishing seq store, read by the consumer after its
+    /// acquiring seq load.
+    lens: Box<[UnsafeCell<usize>]>,
+    /// Slot payload storage, `slots × slot_bytes` contiguous bytes.
+    buf: Box<[UnsafeCell<u8>]>,
+    /// Next dequeue position.
+    head: AtomicUsize,
+    /// Next enqueue position.
+    tail: AtomicUsize,
+    /// Consumers parked on an empty ring.
+    recv_waiters: WaitList,
+    /// Producers parked on a full ring.
+    send_waiters: WaitList,
+}
+
+// SAFETY: slot payload (`lens`, `buf`) is only accessed by the thread
+// that currently owns the slot via the `seq` claim/publish protocol;
+// the release/acquire pairs on `seq` order those accesses.
+unsafe impl Sync for RingTransport {}
+
+impl RingTransport {
+    /// Creates a ring with `capacity_bytes / slot_bytes` slots (at least
+    /// one) of `slot_bytes` each.
+    pub fn new(capacity_bytes: usize, slot_bytes: usize) -> Self {
+        let slot_bytes = slot_bytes.max(1);
+        let slots = (capacity_bytes / slot_bytes).max(1);
+        let seq: Box<[AtomicUsize]> = (0..slots).map(|i| AtomicUsize::new(2 * i)).collect();
+        let lens: Box<[UnsafeCell<usize>]> = (0..slots).map(|_| UnsafeCell::new(0)).collect();
+        let buf: Box<[UnsafeCell<u8>]> = (0..slots * slot_bytes)
+            .map(|_| UnsafeCell::new(0))
+            .collect();
+        RingTransport {
+            slot_bytes,
+            slots,
+            seq,
+            lens,
+            buf,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            recv_waiters: WaitList::default(),
+            send_waiters: WaitList::default(),
+        }
+    }
+
+    /// Number of message slots.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Claims the next enqueue position, or `None` when the ring is
+    /// full. On success the caller owns slot `pos % slots` until it
+    /// publishes `seq = pos + 1`.
+    fn claim_send(&self) -> Option<usize> {
+        let mut pos = self.tail.load(Ordering::Relaxed);
+        loop {
+            let idx = pos % self.slots;
+            let seq = self.seq[idx].load(Ordering::Acquire);
+            let dif = seq as isize - pos.wrapping_mul(2) as isize;
+            if dif == 0 {
+                match self.tail.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => return Some(pos),
+                    Err(p) => pos = p,
+                }
+            } else if dif < 0 {
+                // Slot still holds an unconsumed message from one lap
+                // ago: the ring is full.
+                return None;
+            } else {
+                pos = self.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Claims the next dequeue position, or `None` when the ring is
+    /// empty. On success the caller owns slot `pos % slots` until it
+    /// releases `seq = pos + slots`.
+    fn claim_recv(&self) -> Option<usize> {
+        let mut pos = self.head.load(Ordering::Relaxed);
+        loop {
+            let idx = pos % self.slots;
+            let seq = self.seq[idx].load(Ordering::Acquire);
+            let dif = seq as isize - pos.wrapping_mul(2).wrapping_add(1) as isize;
+            if dif == 0 {
+                match self.head.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => return Some(pos),
+                    Err(p) => pos = p,
+                }
+            } else if dif < 0 {
+                return None;
+            } else {
+                pos = self.head.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Writes the claimed slot and publishes it to the consumer side.
+    fn publish(&self, pos: usize, len: usize, fill: &mut dyn FnMut(&mut [u8])) {
+        let idx = pos % self.slots;
+        // SAFETY: the claim protocol gives this thread exclusive access
+        // to slot `idx` between `claim_send` and the seq store below;
+        // slots are disjoint byte ranges of `buf`.
+        unsafe {
+            *self.lens[idx].get() = len;
+            let dst = std::slice::from_raw_parts_mut(self.buf[idx * self.slot_bytes].get(), len);
+            fill(dst);
+        }
+        self.seq[idx].store(pos.wrapping_mul(2).wrapping_add(1), Ordering::Release);
+        self.recv_waiters.wake_one();
+    }
+
+    /// Reads the claimed slot, then recycles it to the producer side.
+    fn consume_slot(&self, pos: usize, consume: &mut dyn FnMut(&[u8])) {
+        let idx = pos % self.slots;
+        // SAFETY: symmetric to `publish` — exclusive access between
+        // `claim_recv` and the seq store below.
+        unsafe {
+            let len = *self.lens[idx].get();
+            let src =
+                std::slice::from_raw_parts(self.buf[idx * self.slot_bytes].get() as *const u8, len);
+            consume(src);
+        }
+        self.seq[idx].store(
+            pos.wrapping_add(self.slots).wrapping_mul(2),
+            Ordering::Release,
+        );
+        self.send_waiters.wake_one();
+    }
+
+    /// Whether an enqueue can currently claim a slot (used as the park
+    /// re-check; exact in the SPSC case).
+    fn can_send(&self) -> bool {
+        let pos = self.tail.load(Ordering::Relaxed);
+        let seq = self.seq[pos % self.slots].load(Ordering::Acquire);
+        seq as isize - pos.wrapping_mul(2) as isize >= 0
+    }
+
+    /// Whether a dequeue can currently claim a slot.
+    fn can_recv(&self) -> bool {
+        let pos = self.head.load(Ordering::Relaxed);
+        let seq = self.seq[pos % self.slots].load(Ordering::Acquire);
+        seq as isize - pos.wrapping_mul(2).wrapping_add(1) as isize >= 0
+    }
+}
+
+impl Transport for RingTransport {
+    fn capacity_bytes(&self) -> usize {
+        self.slots * self.slot_bytes
+    }
+
+    fn max_message_bytes(&self) -> usize {
+        self.slot_bytes
+    }
+
+    fn try_send(&self, data: &[u8]) -> Result<(), TransportError> {
+        if data.len() > self.slot_bytes {
+            return Err(TransportError::TooLarge {
+                bytes: data.len(),
+                max: self.slot_bytes,
+            });
+        }
+        match self.claim_send() {
+            Some(pos) => {
+                self.publish(pos, data.len(), &mut |buf| buf.copy_from_slice(data));
+                Ok(())
+            }
+            None => Err(TransportError::Full),
+        }
+    }
+
+    fn try_recv(&self) -> Result<Vec<u8>, TransportError> {
+        match self.claim_recv() {
+            Some(pos) => {
+                let mut out = Vec::new();
+                self.consume_slot(pos, &mut |bytes| out.extend_from_slice(bytes));
+                Ok(out)
+            }
+            None => Err(TransportError::Empty),
+        }
+    }
+
+    fn send_with(
+        &self,
+        len: usize,
+        fill: &mut dyn FnMut(&mut [u8]),
+        timeout: Duration,
+    ) -> Result<(), TransportError> {
+        if len > self.slot_bytes {
+            return Err(TransportError::TooLarge {
+                bytes: len,
+                max: self.slot_bytes,
+            });
+        }
+        if let Some(pos) = self.claim_send() {
+            self.publish(pos, len, fill);
+            return Ok(());
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(pos) = self.claim_send() {
+                self.publish(pos, len, fill);
+                return Ok(());
+            }
+            if !self.send_waiters.park_until(deadline, &|| self.can_send()) {
+                // One last claim attempt closes the race where space
+                // freed up exactly at the deadline.
+                if let Some(pos) = self.claim_send() {
+                    self.publish(pos, len, fill);
+                    return Ok(());
+                }
+                return Err(TransportError::Timeout { after: timeout });
+            }
+        }
+    }
+
+    fn recv_with(
+        &self,
+        consume: &mut dyn FnMut(&[u8]),
+        timeout: Duration,
+    ) -> Result<(), TransportError> {
+        if let Some(pos) = self.claim_recv() {
+            self.consume_slot(pos, consume);
+            return Ok(());
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(pos) = self.claim_recv() {
+                self.consume_slot(pos, consume);
+                return Ok(());
+            }
+            if !self.recv_waiters.park_until(deadline, &|| self.can_recv()) {
+                if let Some(pos) = self.claim_recv() {
+                    self.consume_slot(pos, consume);
+                    return Ok(());
+                }
+                return Err(TransportError::Timeout { after: timeout });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn both(capacity: usize, slot: usize) -> Vec<Box<dyn Transport>> {
+        vec![
+            Box::new(LockedTransport::new(capacity, slot)),
+            Box::new(RingTransport::new(capacity, slot)),
+        ]
+    }
+
+    const T: Duration = Duration::from_millis(200);
+
+    #[test]
+    fn fifo_order_preserved() {
+        for t in both(64, 8) {
+            for i in 0..5u8 {
+                t.send(&[i; 3], T).unwrap();
+            }
+            for i in 0..5u8 {
+                assert_eq!(t.recv(T).unwrap(), vec![i; 3]);
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_is_byte_accurate() {
+        let locked = LockedTransport::new(24, 8);
+        assert_eq!(locked.capacity_bytes(), 24);
+        let ring = RingTransport::new(24, 8);
+        assert_eq!(ring.capacity_bytes(), 24);
+        assert_eq!(ring.slots(), 3);
+        assert_eq!(ring.max_message_bytes(), 8);
+        // Capacity not divisible by the slot size rounds down (eq. (2)
+        // sizing always divides exactly; raw specs may not).
+        assert_eq!(RingTransport::new(20, 8).slots(), 2);
+        assert_eq!(RingTransport::new(4, 8).slots(), 1, "at least one slot");
+    }
+
+    #[test]
+    fn full_channel_rejects_try_send_then_times_out() {
+        for t in both(8, 8) {
+            t.send(&[1; 8], T).unwrap();
+            assert_eq!(t.try_send(&[2; 8]), Err(TransportError::Full));
+            assert!(matches!(
+                t.send(&[2; 8], Duration::from_millis(30)),
+                Err(TransportError::Timeout { .. })
+            ));
+            assert_eq!(t.recv(T).unwrap(), vec![1; 8]);
+            assert_eq!(t.try_recv(), Err(TransportError::Empty));
+        }
+    }
+
+    #[test]
+    fn oversized_message_rejected() {
+        for t in both(64, 8) {
+            assert_eq!(
+                t.send(&[0; 9], T),
+                Err(TransportError::TooLarge { bytes: 9, max: 8 })
+            );
+            assert_eq!(
+                t.try_send(&[0; 9]),
+                Err(TransportError::TooLarge { bytes: 9, max: 8 })
+            );
+        }
+    }
+
+    #[test]
+    fn empty_recv_times_out() {
+        for t in both(64, 8) {
+            assert!(matches!(
+                t.recv(Duration::from_millis(30)),
+                Err(TransportError::Timeout { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn zero_length_messages_flow() {
+        for t in both(16, 4) {
+            t.send(&[], T).unwrap();
+            t.send(&[7], T).unwrap();
+            assert_eq!(t.recv(T).unwrap(), Vec::<u8>::new());
+            assert_eq!(t.recv(T).unwrap(), vec![7]);
+        }
+    }
+
+    #[test]
+    fn in_place_send_and_recv_roundtrip() {
+        for t in both(32, 8) {
+            t.send_with(6, &mut |buf| buf.copy_from_slice(b"packed"), T)
+                .unwrap();
+            let mut got = Vec::new();
+            t.recv_with(&mut |bytes| got.extend_from_slice(bytes), T)
+                .unwrap();
+            assert_eq!(got, b"packed");
+        }
+    }
+
+    #[test]
+    fn blocked_sender_wakes_on_recv() {
+        for (kind, t) in [
+            (
+                "locked",
+                Arc::new(LockedTransport::new(4, 4)) as Arc<dyn Transport>,
+            ),
+            (
+                "ring",
+                Arc::new(RingTransport::new(4, 4)) as Arc<dyn Transport>,
+            ),
+        ] {
+            t.send(&[1; 4], T).unwrap();
+            let t2 = Arc::clone(&t);
+            let sender = thread::spawn(move || t2.send(&[2; 4], Duration::from_secs(5)));
+            thread::sleep(Duration::from_millis(20));
+            assert_eq!(t.recv(T).unwrap(), vec![1; 4], "{kind}");
+            sender.join().unwrap().unwrap();
+            assert_eq!(t.recv(T).unwrap(), vec![2; 4], "{kind}");
+        }
+    }
+
+    #[test]
+    fn blocked_receiver_wakes_on_send() {
+        for t in [
+            Arc::new(LockedTransport::new(16, 4)) as Arc<dyn Transport>,
+            Arc::new(RingTransport::new(16, 4)) as Arc<dyn Transport>,
+        ] {
+            let t2 = Arc::clone(&t);
+            let receiver = thread::spawn(move || t2.recv(Duration::from_secs(5)));
+            thread::sleep(Duration::from_millis(20));
+            t.send(&[9; 4], T).unwrap();
+            assert_eq!(receiver.join().unwrap().unwrap(), vec![9; 4]);
+        }
+    }
+
+    #[test]
+    fn ring_streams_many_messages_across_threads() {
+        let ring = Arc::new(RingTransport::new(8 * 16, 16));
+        let tx = Arc::clone(&ring);
+        let n: u32 = 20_000;
+        let producer = thread::spawn(move || {
+            for i in 0..n {
+                tx.send_with(
+                    4,
+                    &mut |buf| buf.copy_from_slice(&i.to_le_bytes()),
+                    Duration::from_secs(10),
+                )
+                .unwrap();
+            }
+        });
+        let mut next = 0u32;
+        for _ in 0..n {
+            ring.recv_with(
+                &mut |bytes| {
+                    let got = u32::from_le_bytes(bytes.try_into().expect("4 bytes"));
+                    assert_eq!(got, next);
+                    next += 1;
+                },
+                Duration::from_secs(10),
+            )
+            .unwrap();
+        }
+        producer.join().unwrap();
+        assert_eq!(next, n);
+    }
+
+    #[test]
+    fn transport_kind_sizes_from_spec() {
+        let spec = ChannelSpec {
+            capacity_bytes: 48,
+            max_message_bytes: 6,
+            ..ChannelSpec::default()
+        };
+        let ring = TransportKind::Ring.instantiate(&spec);
+        assert_eq!(ring.capacity_bytes(), 48);
+        assert_eq!(ring.max_message_bytes(), 6);
+        let locked = TransportKind::Locked.instantiate(&spec);
+        assert_eq!(locked.capacity_bytes(), 48);
+        // Undeclared bound falls back to word granularity for the ring.
+        let raw = ChannelSpec {
+            capacity_bytes: 16,
+            ..ChannelSpec::default()
+        };
+        assert_eq!(TransportKind::Ring.instantiate(&raw).max_message_bytes(), 4);
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        let e = TransportError::TooLarge {
+            bytes: 100,
+            max: 64,
+        };
+        assert!(e.to_string().contains("100") && e.to_string().contains("64"));
+        assert!(TransportError::Full.to_string().contains("full"));
+    }
+}

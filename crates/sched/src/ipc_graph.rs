@@ -262,6 +262,35 @@ impl IpcGraph {
         self.ipc_buffer_bound_tokens(edge)
             .map(|t| t * bytes_per_packed_token)
     }
+
+    /// Eq. (2) bounds folded per application edge: a dataflow edge can
+    /// induce several IPC-edge instances (one per precedence instance),
+    /// and a runtime buffer must cover the *worst* of them, so bounds
+    /// fold with MAX; any unbounded instance makes the whole edge
+    /// unbounded (`None`). This is the canonical edge→bound map used by
+    /// both the SPI lowering and the analyzer's protocol lints.
+    pub fn buffer_bounds_by_edge(&self) -> HashMap<EdgeId, Option<u64>> {
+        let mut bounds: HashMap<EdgeId, Option<u64>> = HashMap::new();
+        for e in self.ipc_edges() {
+            let IpcEdgeKind::Ipc { via } = e.kind else {
+                continue;
+            };
+            match self.ipc_buffer_bound_tokens(e) {
+                Some(b) => {
+                    // `None` (an unbounded instance seen earlier) is
+                    // absorbing; otherwise fold with MAX.
+                    let slot = bounds.entry(via).or_insert(Some(0));
+                    if let Some(cur) = slot {
+                        *slot = Some((*cur).max(b));
+                    }
+                }
+                None => {
+                    bounds.insert(via, None);
+                }
+            }
+        }
+        bounds
+    }
 }
 
 #[cfg(test)]

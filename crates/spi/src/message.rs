@@ -48,6 +48,36 @@ pub fn encode_static(edge: EdgeId, payload: &[u8]) -> Result<Vec<u8>> {
     Ok(msg)
 }
 
+/// Total framed size of an SPI_static message carrying `payload_len`
+/// bytes.
+pub fn static_frame_bytes(payload_len: usize) -> usize {
+    STATIC_HEADER_BYTES + payload_len
+}
+
+/// Frames `payload` as an SPI_static message directly into `buf`
+/// (typically a transport ring slot), returning the framed length. No
+/// heap allocation.
+///
+/// # Errors
+///
+/// [`SpiError::Message`] if the edge id exceeds `u16::MAX` or `buf` is
+/// smaller than the framed message.
+pub fn encode_static_into(edge: EdgeId, payload: &[u8], buf: &mut [u8]) -> Result<usize> {
+    let id = header_edge_id(edge)?;
+    let total = static_frame_bytes(payload.len());
+    if buf.len() < total {
+        return Err(SpiError::Message {
+            reason: format!(
+                "static frame of {total} bytes does not fit buffer of {}",
+                buf.len()
+            ),
+        });
+    }
+    buf[..STATIC_HEADER_BYTES].copy_from_slice(&id.to_le_bytes());
+    buf[STATIC_HEADER_BYTES..total].copy_from_slice(payload);
+    Ok(total)
+}
+
 /// Narrows an edge id to the 2-byte header field.
 fn header_edge_id(edge: EdgeId) -> Result<u16> {
     u16::try_from(edge.0).map_err(|_| SpiError::Message {
@@ -109,6 +139,44 @@ pub fn encode_dynamic(edge: EdgeId, payload: &[u8]) -> Result<Vec<u8>> {
     msg.extend_from_slice(&len.to_le_bytes());
     msg.extend_from_slice(payload);
     Ok(msg)
+}
+
+/// Total framed size of an SPI_dynamic message carrying `payload_len`
+/// bytes.
+pub fn dynamic_frame_bytes(payload_len: usize) -> usize {
+    DYNAMIC_HEADER_BYTES + payload_len
+}
+
+/// Frames `payload` as an SPI_dynamic message directly into `buf`
+/// (typically a transport ring slot), returning the framed length. No
+/// heap allocation.
+///
+/// # Errors
+///
+/// As [`encode_dynamic`], plus [`SpiError::Message`] when `buf` is
+/// smaller than the framed message.
+pub fn encode_dynamic_into(edge: EdgeId, payload: &[u8], buf: &mut [u8]) -> Result<usize> {
+    let id = header_edge_id(edge)?;
+    let len = u32::try_from(payload.len()).map_err(|_| SpiError::Message {
+        reason: format!(
+            "payload of {} bytes exceeds the 4-byte size field (max {})",
+            payload.len(),
+            u32::MAX
+        ),
+    })?;
+    let total = dynamic_frame_bytes(payload.len());
+    if buf.len() < total {
+        return Err(SpiError::Message {
+            reason: format!(
+                "dynamic frame of {total} bytes does not fit buffer of {}",
+                buf.len()
+            ),
+        });
+    }
+    buf[..2].copy_from_slice(&id.to_le_bytes());
+    buf[2..DYNAMIC_HEADER_BYTES].copy_from_slice(&len.to_le_bytes());
+    buf[DYNAMIC_HEADER_BYTES..total].copy_from_slice(payload);
+    Ok(total)
 }
 
 /// Decodes an SPI_dynamic message, checking the edge id and the VTS
@@ -227,6 +295,28 @@ mod tests {
         ));
         // The largest representable id still frames fine.
         assert!(encode_static(EdgeId(usize::from(u16::MAX)), &[]).is_ok());
+    }
+
+    #[test]
+    fn in_place_encoders_match_owning_encoders() {
+        let payload = vec![9u8, 8, 7, 6, 5];
+        let mut buf = [0u8; 32];
+        let n = encode_static_into(EdgeId(7), &payload, &mut buf).unwrap();
+        assert_eq!(n, static_frame_bytes(payload.len()));
+        assert_eq!(&buf[..n], &encode_static(EdgeId(7), &payload).unwrap()[..]);
+        let n = encode_dynamic_into(EdgeId(7), &payload, &mut buf).unwrap();
+        assert_eq!(n, dynamic_frame_bytes(payload.len()));
+        assert_eq!(&buf[..n], &encode_dynamic(EdgeId(7), &payload).unwrap()[..]);
+    }
+
+    #[test]
+    fn in_place_encoders_reject_short_buffers() {
+        let mut buf = [0u8; 4];
+        assert!(encode_static_into(EdgeId(1), &[0; 4], &mut buf).is_err());
+        assert!(encode_dynamic_into(EdgeId(1), &[0; 4], &mut buf).is_err());
+        // Exactly-sized buffers work.
+        let mut exact = [0u8; 6];
+        assert!(encode_static_into(EdgeId(1), &[0; 4], &mut exact).is_ok());
     }
 
     #[test]

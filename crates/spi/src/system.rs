@@ -336,8 +336,9 @@ impl SpiSystemBuilder {
         // ---- Per-edge protocol classification -------------------------
         // A channel's capacity must cover its longest-resident message,
         // so the eq. (2) bound is folded with MAX over the edge's
-        // precedence instances; any unbounded instance forces UBS.
-        let mut unbounded: std::collections::HashSet<EdgeId> = std::collections::HashSet::new();
+        // precedence instances; any unbounded instance forces UBS
+        // (`buffer_bounds_by_edge` encodes exactly that fold).
+        let edge_bounds = ipc.buffer_bounds_by_edge();
         let mut max_delay: HashMap<EdgeId, u64> = HashMap::new();
         let mut plans: HashMap<EdgeId, EdgePlan> = HashMap::new();
         for e in ipc.ipc_edges() {
@@ -345,10 +346,6 @@ impl SpiSystemBuilder {
                 spi_sched::IpcEdgeKind::Ipc { via } => via,
                 _ => continue,
             };
-            let bound = ipc.ipc_buffer_bound_tokens(e);
-            if bound.is_none() {
-                unbounded.insert(via);
-            }
             let md = max_delay.entry(via).or_insert(0);
             *md = (*md).max(e.delay);
             let plan = plans.entry(via).or_insert_with(|| {
@@ -379,16 +376,7 @@ impl SpiSystemBuilder {
                     ack_ch: None,
                 }
             });
-            plan.bound_tokens = match (plan.bound_tokens, bound) {
-                (Some(a), Some(b)) => Some(a.max(b)),
-                (None, b) => b,
-                (a, None) => a,
-            };
-        }
-        for via in &unbounded {
-            if let Some(plan) = plans.get_mut(via) {
-                plan.bound_tokens = None;
-            }
+            plan.bound_tokens = edge_bounds.get(&via).copied().flatten();
         }
         for plan in plans.values_mut() {
             // A UBS credit window must at least cover the consumer's
@@ -480,6 +468,7 @@ impl SpiSystemBuilder {
         }
         let mut ordered_edges: Vec<EdgeId> = plans.keys().copied().collect();
         ordered_edges.sort();
+        let mut transport_decls: HashMap<EdgeId, spi_analyze::TransportDecl> = HashMap::new();
         for eid in &ordered_edges {
             let plan = plans.get_mut(eid).expect("planned edge");
             let msg_max = message::header_bytes(plan.phase) + plan.payload_max;
@@ -496,10 +485,22 @@ impl SpiSystemBuilder {
                     (msg_max * 256).max(1 << 20)
                 }
             };
+            // Declaring the packed-token message size makes the channel a
+            // valid substrate for slot-based transports: a ring of
+            // `capacity / msg_max` fixed slots is exactly the eq. (2)
+            // allocation.
             plan.data_ch = machine.add_channel(ChannelSpec {
                 capacity_bytes: capacity.max(msg_max),
+                max_message_bytes: msg_max,
                 ..self.channel_template
             });
+            transport_decls.insert(
+                *eid,
+                spi_analyze::TransportDecl {
+                    capacity_bytes: capacity.max(msg_max) as u64,
+                    message_bytes_max: msg_max as u64,
+                },
+            );
             if plan.ack_kept {
                 let window = match plan.protocol {
                     Protocol::Ubs { ack_window } => ack_window,
@@ -508,6 +509,7 @@ impl SpiSystemBuilder {
                 let cap = ((window as usize + 1) * ACK_BYTES).max(16);
                 plan.ack_ch = Some(machine.add_channel(ChannelSpec {
                     capacity_bytes: cap,
+                    max_message_bytes: ACK_BYTES,
                     ..self.channel_template
                 }));
             }
@@ -603,6 +605,7 @@ impl SpiSystemBuilder {
                 .with_ipc(&ipc)
                 .with_sync(&sync)
                 .with_protocols(&protocols)
+                .with_transports(&transport_decls)
                 .with_resources(library.full_system(), None),
         );
         if analysis.has_errors() {
@@ -751,16 +754,31 @@ impl SpiSystem {
     /// generated programs — the strongest check that the protocol logic
     /// is not an artifact of event-queue serialization.
     ///
+    /// Runs with the default [`spi_platform::ThreadedRunner`]
+    /// configuration (locked transport, 30 s deadlock timeout); use
+    /// [`SpiSystem::run_threaded_with`] to select the lock-free ring
+    /// transport or a different timeout.
+    ///
     /// # Errors
     ///
     /// Platform errors (a timeout surfaces as deadlock) and
     /// [`SpiError::ActorFailed`] if any actor recorded a failure.
-    pub fn run_threaded(
+    pub fn run_threaded(self) -> Result<Vec<spi_platform::ThreadedPeResult>> {
+        self.run_threaded_with(&spi_platform::ThreadedRunner::new())
+    }
+
+    /// As [`SpiSystem::run_threaded`], with an explicit runner
+    /// configuration (transport implementation, deadlock timeout).
+    ///
+    /// # Errors
+    ///
+    /// As [`SpiSystem::run_threaded`].
+    pub fn run_threaded_with(
         self,
-        timeout: std::time::Duration,
+        runner: &spi_platform::ThreadedRunner,
     ) -> Result<Vec<spi_platform::ThreadedPeResult>> {
         let (channels, programs) = self.machine.into_parts();
-        let results = spi_platform::run_threaded(&channels, programs, timeout)?;
+        let results = runner.run(&channels, programs)?;
         for r in &results {
             if let Some(err) = r.store.get(FAIL_KEY) {
                 return Err(SpiError::ActorFailed {
@@ -769,6 +787,13 @@ impl SpiSystem {
             }
         }
         Ok(results)
+    }
+
+    /// Decomposes the built system into its channel specs and PE
+    /// programs — the raw inputs of the threaded runner, for callers
+    /// (benchmarks, harnesses) that drive transports directly.
+    pub fn into_parts(self) -> (Vec<spi_platform::ChannelSpec>, Vec<spi_platform::Program>) {
+        self.machine.into_parts()
     }
 
     /// Executes the system to completion.

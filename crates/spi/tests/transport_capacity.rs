@@ -1,0 +1,107 @@
+//! The ring transport must be byte-accurate to the paper's static
+//! bounds: for every BBS data channel the builder emits, the allocated
+//! ring is exactly the eq. (2) sizing derived from `sched::ipc_graph` —
+//! `slots = (bound ∨ (d_max+1)) + 1 slack) × q_src` messages of
+//! `header + payload_max` bytes each, nothing rounded up to a power of
+//! two, nothing approximated by message counts.
+
+use std::collections::HashMap;
+
+use spi::{SpiSystemBuilder, STATIC_HEADER_BYTES};
+use spi_dataflow::{EdgeId, PrecedenceGraph, SdfGraph, VtsConversion};
+use spi_platform::{RingTransport, Transport};
+use spi_sched::{Assignment, IpcEdgeKind, IpcGraph, ProcId, SelfTimedSchedule};
+
+/// Two actors on two processors exchanging tokens in both directions;
+/// the delayed feedback edge gives every edge a finite eq. (2) bound,
+/// so both channels use BBS.
+fn bounded_graph() -> (SdfGraph, EdgeId, EdgeId) {
+    let mut g = SdfGraph::new();
+    let a = g.add_actor("src", 10);
+    let b = g.add_actor("dst", 20);
+    let fwd = g.add_edge(a, b, 1, 1, 0, 4).unwrap();
+    let fb = g.add_edge(b, a, 1, 1, 2, 4).unwrap();
+    (g, fwd, fb)
+}
+
+#[test]
+fn ring_capacity_equals_eq2_bytes_from_ipc_graph() {
+    let (g, fwd, fb) = bounded_graph();
+
+    // Independently derive the schedule exactly as the builder does.
+    let vts = VtsConversion::convert(&g).unwrap();
+    let cg = vts.graph().clone();
+    let pg = PrecedenceGraph::expand(&cg).unwrap();
+    let assignment = Assignment::by_actor(&pg, 2, |a| ProcId(a.0)).unwrap();
+    let st = SelfTimedSchedule::from_assignment(&pg, assignment).unwrap();
+    let ipc = IpcGraph::build(&cg, &pg, &st).unwrap();
+    let q = pg.repetitions().clone();
+    let bounds = ipc.buffer_bounds_by_edge();
+
+    // Per-edge max delay over IPC instances — the builder's liveness
+    // guard raises the BBS capacity to at least d_max + 1.
+    let mut d_max: HashMap<EdgeId, u64> = HashMap::new();
+    for e in ipc.ipc_edges() {
+        if let IpcEdgeKind::Ipc { via } = e.kind {
+            let m = d_max.entry(via).or_insert(0);
+            *m = (*m).max(e.delay);
+        }
+    }
+
+    // Build the runnable system with the same assignment.
+    let (g, _, _) = bounded_graph();
+    let mut b = SpiSystemBuilder::new(g);
+    b.actor(cg.edge(fwd).src, {
+        move |ctx: &mut spi::Firing| {
+            ctx.set_output(fwd, vec![1u8; 4]);
+            5
+        }
+    });
+    b.actor(cg.edge(fb).src, {
+        move |ctx: &mut spi::Firing| {
+            ctx.set_output(fb, vec![2u8; 4]);
+            5
+        }
+    });
+    b.iterations(3);
+    let sys = b.build(2, |a| ProcId(a.0)).expect("buildable");
+
+    let report = sys.buffer_report();
+    let (specs, _programs) = sys.into_parts();
+
+    // Channels are created in sorted edge order (data channel first per
+    // edge; BBS keeps no ack channel), so channel i belongs to edge i.
+    assert_eq!(report.len(), 2, "both edges cross processors");
+    assert_eq!(specs.len(), 2, "BBS needs no ack channels");
+    for row in &report {
+        let bound = bounds[&row.edge].expect("feedback makes every edge bounded");
+        assert_eq!(
+            row.bound_tokens,
+            Some(bound),
+            "report agrees with ipc_graph"
+        );
+        let cap_tokens = bound.max(d_max[&row.edge] + 1);
+        let q_src = q[cg.edge(row.edge).src];
+        let expected_msgs = ((cap_tokens + 1) * q_src) as usize;
+        let msg_max = STATIC_HEADER_BYTES + 4; // header + 1 token × 4 B
+        assert_eq!(row.message_bytes_max, msg_max);
+
+        let spec = &specs[row.edge.0];
+        assert_eq!(
+            spec.max_message_bytes, msg_max,
+            "slot size is the packed token"
+        );
+        assert_eq!(
+            spec.capacity_bytes,
+            expected_msgs * msg_max,
+            "edge {}: eq. (2) bytes are the literal allocation",
+            row.edge
+        );
+
+        // The ring allocates exactly that: no rounding, no slop.
+        let ring = RingTransport::new(spec.capacity_bytes, spec.max_message_bytes);
+        assert_eq!(ring.capacity_bytes(), expected_msgs * msg_max);
+        assert_eq!(ring.slots(), expected_msgs);
+        assert_eq!(ring.max_message_bytes(), msg_max);
+    }
+}

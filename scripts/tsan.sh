@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Runs the transport-layer concurrency tests under ThreadSanitizer when a
+# nightly toolchain is available, and falls back to a high-volume stress
+# loop otherwise (e.g. offline containers with only stable installed).
+#
+# TSan needs `-Z sanitizer=thread`, which implies nightly plus a
+# rebuilt-std (`-Z build-std`) so the standard library is instrumented
+# too — without it, races through std primitives go unreported.
+#
+# Usage: scripts/tsan.sh [extra cargo test args]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TARGET="$(rustc -vV | sed -n 's/^host: //p')"
+
+if rustup toolchain list 2>/dev/null | grep -q nightly && \
+   rustup component list --toolchain nightly 2>/dev/null | grep -q 'rust-src (installed)'; then
+  echo "== ThreadSanitizer: cargo +nightly test (target ${TARGET}) =="
+  RUSTFLAGS="-Z sanitizer=thread" \
+  RUSTDOCFLAGS="-Z sanitizer=thread" \
+  TSAN_OPTIONS="halt_on_error=1" \
+  SPI_STRESS_ITERS="${SPI_STRESS_ITERS:-50000}" \
+    cargo +nightly test -Z build-std --target "${TARGET}" \
+      -p spi-platform --tests "$@" -- --test-threads=1
+  RUSTFLAGS="-Z sanitizer=thread" \
+  TSAN_OPTIONS="halt_on_error=1" \
+    cargo +nightly test -Z build-std --target "${TARGET}" \
+      --test engine_equivalence "$@"
+else
+  echo "== nightly + rust-src unavailable: falling back to stress loop =="
+  echo "   (raising SPI_STRESS_ITERS and repeating to widen interleavings)"
+  export SPI_STRESS_ITERS="${SPI_STRESS_ITERS:-100000}"
+  for round in 1 2 3; do
+    echo "-- stress round ${round}/3 (SPI_STRESS_ITERS=${SPI_STRESS_ITERS})"
+    cargo test --release -p spi-platform --test transport_stress "$@"
+  done
+  cargo test --release --test engine_equivalence "$@"
+fi
+echo "== transport concurrency checks passed =="

@@ -5,7 +5,11 @@
 
 use std::time::Duration;
 
-use spi_repro::platform::{run_threaded, ChannelId, ChannelSpec, Machine, Op, Program};
+use proptest::prelude::*;
+
+use spi_repro::platform::{
+    run_threaded, ChannelId, ChannelSpec, Machine, Op, Program, ThreadedRunner, TransportKind,
+};
 
 /// Builds the same 3-PE pipeline twice (programs contain closures and
 /// cannot be cloned).
@@ -142,4 +146,124 @@ fn engines_agree_with_prologues_and_backpressure() {
     let acc = &threaded[1].store["acc"];
     assert_eq!(acc[0], 0xFF, "primed message arrives first");
     assert_eq!(acc.len(), 11);
+}
+
+/// Parameters of one randomized linear pipeline.
+#[derive(Debug, Clone, Copy)]
+struct PipelineParams {
+    n_pes: u64,
+    payload: u64,
+    cap_msgs: u64,
+    iterations: u64,
+    seed: u64,
+}
+
+/// Builds a random linear pipeline: PE 0 produces `payload`-byte
+/// messages derived from (iteration, seed); every later PE folds the
+/// first byte of each arrival into its "acc" store key (recording the
+/// per-channel message order) and, except the last, forwards a
+/// deterministically transformed message. Channels are `cap_msgs`
+/// messages deep with the per-message bound declared, so the ring sizes
+/// its slots exactly.
+fn random_pipeline(p: PipelineParams) -> (Vec<ChannelSpec>, Vec<Program>) {
+    let n = p.n_pes as usize;
+    let payload = p.payload as usize;
+    let specs: Vec<ChannelSpec> = (0..n - 1)
+        .map(|_| ChannelSpec {
+            capacity_bytes: (p.cap_msgs as usize) * payload,
+            max_message_bytes: payload,
+            ..ChannelSpec::default()
+        })
+        .collect();
+    let mut programs = Vec::with_capacity(n);
+    let seed = p.seed;
+    programs.push(Program::new(
+        vec![Op::Send {
+            channel: ChannelId(0),
+            payload: Box::new(move |l| {
+                (0..payload)
+                    .map(|b| (l.iter.wrapping_mul(31).wrapping_add(seed + b as u64) % 251) as u8)
+                    .collect()
+            }),
+        }],
+        p.iterations,
+    ));
+    for pe in 1..n {
+        let input = ChannelId(pe - 1);
+        let mul = (2 * pe + 1) as u8; // odd → invertible mod 256
+        let add = (seed % 256) as u8;
+        let mut ops = vec![
+            Op::Recv { channel: input },
+            Op::Compute {
+                label: format!("stage{pe}"),
+                work: Box::new(move |l| {
+                    let v = l.take_from(input).expect("message");
+                    let out: Vec<u8> = v
+                        .iter()
+                        .map(|&b| b.wrapping_mul(mul).wrapping_add(add))
+                        .collect();
+                    let mut acc = l.store.remove("acc").unwrap_or_default();
+                    acc.push(out[0]);
+                    l.store.insert("acc".into(), acc);
+                    l.store.insert("fwd".into(), out);
+                    1
+                }),
+            },
+        ];
+        if pe != n - 1 {
+            ops.push(Op::Send {
+                channel: ChannelId(pe),
+                payload: Box::new(|l| l.store.get("fwd").cloned().expect("staged")),
+            });
+        }
+        programs.push(Program::new(ops, p.iterations));
+    }
+    (specs, programs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// DES, LockedTransport, and RingTransport must produce identical
+    /// stores and per-channel message orders on random pipelines.
+    #[test]
+    fn all_three_engines_agree_on_random_pipelines(
+        n_pes in 2u64..5,
+        payload in 1u64..9,
+        cap_msgs in 1u64..5,
+        iterations in 1u64..21,
+        seed in 0u64..256,
+    ) {
+        let p = PipelineParams { n_pes, payload, cap_msgs, iterations, seed };
+
+        // Reference: the discrete-event engine.
+        let (specs, programs) = random_pipeline(p);
+        let mut machine = Machine::new();
+        for s in &specs {
+            machine.add_channel(*s);
+        }
+        for prog in programs {
+            machine.add_pe(prog);
+        }
+        let des = machine.run().expect("DES run");
+
+        for kind in [TransportKind::Locked, TransportKind::Ring] {
+            let (specs, programs) = random_pipeline(p);
+            let threaded = ThreadedRunner::new()
+                .transport(kind)
+                .timeout(Duration::from_secs(20))
+                .run(&specs, programs)
+                .expect("threaded run");
+            for (i, t) in threaded.iter().enumerate() {
+                prop_assert_eq!(
+                    &des.locals[i].store, &t.store,
+                    "store mismatch on PE {} under {:?} with {:?}", i, kind, p
+                );
+                prop_assert_eq!(
+                    des.locals[i].leftover_inbox, t.leftover_inbox,
+                    "inbox mismatch on PE {} under {:?} with {:?}", i, kind, p
+                );
+            }
+        }
+    }
 }

@@ -128,7 +128,7 @@ fn fully_static_and_bus_compose() {
 #[test]
 fn spi_systems_run_identically_on_real_threads() {
     use spi_repro::apps::{ErrorStageApp, ErrorStageConfig};
-    use std::time::Duration;
+    use spi_repro::platform::{ThreadedRunner, TransportKind};
 
     let build = || {
         let app = ErrorStageApp::new(ErrorStageConfig {
@@ -146,16 +146,19 @@ fn spi_systems_run_identically_on_real_threads() {
     let (app_des, sys) = build();
     sys.run().expect("DES run");
     let des_residuals = app_des.residual_energy.lock().expect("res").clone();
-    // Threaded run of an identical, freshly built system.
-    let (app_thr, sys) = build();
-    sys.run_threaded(Duration::from_secs(30))
-        .expect("threaded run");
-    let thr_residuals = app_thr.residual_energy.lock().expect("res").clone();
-    assert_eq!(des_residuals.len(), 4);
-    assert_eq!(
-        des_residuals, thr_residuals,
-        "engines must agree bit-for-bit"
-    );
+    // Threaded runs of identical, freshly built systems — once per
+    // transport implementation.
+    for kind in [TransportKind::Locked, TransportKind::Ring] {
+        let (app_thr, sys) = build();
+        sys.run_threaded_with(&ThreadedRunner::new().transport(kind))
+            .expect("threaded run");
+        let thr_residuals = app_thr.residual_energy.lock().expect("res").clone();
+        assert_eq!(des_residuals.len(), 4);
+        assert_eq!(
+            des_residuals, thr_residuals,
+            "engines must agree bit-for-bit ({kind:?})"
+        );
+    }
 }
 
 #[test]
