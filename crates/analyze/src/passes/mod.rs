@@ -18,6 +18,20 @@
 //! | SPI050 | error    | sync-coverage | IPC edge not enforced by any synchronization path (data race) |
 //! | SPI060 | warning  | resync-fixpoint | redundant synchronization edges remain after optimization |
 //! | SPI070 | warning/error | resource-overcommit | device utilization above 80 % (error above 100 %) |
+//!
+//! The `SPI08x` range is reserved for the *runtime* conformance checker
+//! in `spi-trace` (`spi-lint trace-check`), which replays a captured
+//! execution trace against the same static bounds these passes verify
+//! up front:
+//!
+//! | Code   | Severity | Pass | Finding |
+//! |--------|----------|------|---------|
+//! | SPI080 | error    | trace-check | observed occupancy exceeded the eq. (2) buffer bound |
+//! | SPI081 | error    | trace-check | a message exceeded the eq. (1) packed-token size |
+//! | SPI082 | error    | trace-check | per-channel FIFO order violated (digest mismatch) |
+//! | SPI083 | error    | trace-check | observed makespan exceeded the predicted bound |
+//! | SPI084 | warning  | trace-check | capture dropped events; checks ran on a partial stream |
+//! | SPI085 | error    | trace-check | conservation violated: more receives than sends |
 
 mod deadlock;
 mod protocol;

@@ -142,9 +142,26 @@ impl FilterBankApp {
     ///
     /// Any SPI build error.
     pub fn system(&self, iterations: u64) -> Result<SpiSystem> {
+        self.system_with(iterations, |_| {})
+    }
+
+    /// As [`FilterBankApp::system`], with a hook to customize the
+    /// builder before lowering — attach a tracer, swap the channel
+    /// template, toggle resynchronization — while keeping the canonical
+    /// three-processor assignment.
+    ///
+    /// # Errors
+    ///
+    /// Any SPI build error.
+    pub fn system_with(
+        &self,
+        iterations: u64,
+        customize: impl FnOnce(&mut SpiSystemBuilder),
+    ) -> Result<SpiSystem> {
         let mut builder = SpiSystemBuilder::new(self.graph.clone());
         self.configure(&mut builder);
         builder.iterations(iterations);
+        customize(&mut builder);
         let (low, high) = (self.low, self.high);
         Ok(builder.build(3, move |a| {
             if a == low {

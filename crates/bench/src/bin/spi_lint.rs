@@ -1,4 +1,5 @@
-//! `spi-lint` — static analysis of DIF dataflow files.
+//! `spi-lint` — static analysis of DIF dataflow files, and runtime
+//! trace conformance.
 //!
 //! Runs the full `spi-analyze` pipeline over each DIF file and renders
 //! the diagnostics. With `--procs N` the graph is additionally pushed
@@ -6,9 +7,16 @@
 //! harness) so the schedule-level passes — protocol lints, sync
 //! coverage, resynchronization fixpoint — run too.
 //!
+//! The `trace-check` subcommand instead replays captured `spi-trace`
+//! files (native `# spi-trace v1` format) against the bounds recorded
+//! in their metadata — eq. (2) occupancy, eq. (1) message size,
+//! per-channel FIFO, token conservation and the predicted makespan —
+//! emitting the `SPI080`–`SPI085` runtime diagnostics.
+//!
 //! Usage:
 //!   spi-lint [--format human|json] [--procs N] [--force-ubs]
 //!            [--no-resync] [--delimiter] FILE...
+//!   spi-lint trace-check [--format human|json] TRACE...
 //!
 //! Exit status: 0 clean (warnings allowed), 1 when any error-severity
 //! diagnostic fires, 2 on usage or parse problems.
@@ -203,8 +211,100 @@ fn lint_file(path: &str, opts: &Options) -> Result<spi_analyze::AnalysisReport, 
     Ok(report)
 }
 
+/// `trace-check TRACE...`: replay each captured trace file against its
+/// recorded bounds and render the conformance report.
+fn trace_check(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut files: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => json = true,
+                Some("human") => json = false,
+                _ => {
+                    eprintln!("--format expects human|json");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: spi-lint trace-check [--format human|json] TRACE...");
+                return ExitCode::from(2);
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag {flag}");
+                return ExitCode::from(2);
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("usage: spi-lint trace-check [--format human|json] TRACE...");
+        return ExitCode::from(2);
+    }
+
+    let mut any_error = false;
+    let mut json_files: Vec<String> = Vec::new();
+    for path in &files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let trace = match spi_trace::Trace::from_native(&text) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let report = spi_trace::check(&trace);
+        any_error |= report.has_errors();
+        if json {
+            let diags: Vec<String> = report
+                .diagnostics
+                .iter()
+                .map(spi_analyze::Diagnostic::render_json)
+                .collect();
+            json_files.push(format!(
+                "{{\"file\":{},\"events\":{},\"channels\":{},\"messages\":{},\
+                 \"observed_makespan\":{},\"predicted_makespan\":{},\"slack\":{},\
+                 \"diagnostics\":[{}]}}",
+                json_escape(path),
+                trace.events.len(),
+                report.channels_checked,
+                report.messages_checked,
+                report.observed_makespan,
+                report
+                    .predicted_makespan
+                    .map_or_else(|| "null".into(), |v| v.to_string()),
+                report
+                    .slack
+                    .map_or_else(|| "null".into(), |v| v.to_string()),
+                diags.join(",")
+            ));
+        } else {
+            println!("{path}:");
+            print!("{}", report.render_human());
+        }
+    }
+    if json {
+        println!("[{}]", json_files.join(","));
+    }
+    if any_error {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("trace-check") {
+        return trace_check(&args[1..]);
+    }
     let opts = match parse_args(&args) {
         Ok(o) => o,
         Err(msg) => {

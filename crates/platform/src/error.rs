@@ -27,6 +27,10 @@ pub enum PlatformError {
     Deadlock {
         /// PEs still blocked when the event queue drained.
         blocked: Vec<PeId>,
+        /// Per-PE description of what each blocked PE was waiting on,
+        /// including the channel's observed fill — the difference
+        /// between "something timed out" and an actionable report.
+        detail: Vec<BlockedOp>,
     },
     /// The simulation exceeded its configured cycle budget.
     BudgetExceeded {
@@ -49,6 +53,52 @@ pub enum PlatformError {
     },
 }
 
+/// Which direction a PE was blocked in when a deadlock was declared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockKind {
+    /// Waiting for space to send into a channel.
+    Send,
+    /// Waiting for a message to arrive on a channel.
+    Recv,
+}
+
+/// One blocked PE in a [`PlatformError::Deadlock`] report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockedOp {
+    /// The blocked PE.
+    pub pe: PeId,
+    /// The channel it was blocked on.
+    pub channel: ChannelId,
+    /// Send- or receive-side block.
+    pub kind: BlockKind,
+    /// Payload bytes occupying the channel when the deadlock was
+    /// declared.
+    pub occupied_bytes: usize,
+    /// Messages occupying the channel.
+    pub occupied_messages: usize,
+    /// The channel's total capacity in bytes.
+    pub capacity_bytes: usize,
+}
+
+impl fmt::Display for BlockedOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let verb = match self.kind {
+            BlockKind::Send => "send on",
+            BlockKind::Recv => "recv from",
+        };
+        write!(
+            f,
+            "{} blocked to {} {} ({}/{} B, {} msg)",
+            self.pe,
+            verb,
+            self.channel,
+            self.occupied_bytes,
+            self.capacity_bytes,
+            self.occupied_messages
+        )
+    }
+}
+
 impl fmt::Display for PlatformError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -62,12 +112,16 @@ impl fmt::Display for PlatformError {
                 f,
                 "message of {bytes} bytes exceeds channel {channel} capacity of {capacity} bytes"
             ),
-            PlatformError::Deadlock { blocked } => {
+            PlatformError::Deadlock { blocked, detail } => {
                 write!(
                     f,
                     "simulation deadlocked with {} blocked PE(s)",
                     blocked.len()
-                )
+                )?;
+                for (i, b) in detail.iter().enumerate() {
+                    write!(f, "{} {b}", if i == 0 { ":" } else { ";" })?;
+                }
+                Ok(())
             }
             PlatformError::BudgetExceeded { budget_cycles } => {
                 write!(
@@ -108,5 +162,34 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("100") && s.contains("64"));
+    }
+
+    #[test]
+    fn deadlock_report_names_channels_and_fill() {
+        let e = PlatformError::Deadlock {
+            blocked: vec![PeId(0), PeId(1)],
+            detail: vec![
+                BlockedOp {
+                    pe: PeId(0),
+                    channel: ChannelId(3),
+                    kind: BlockKind::Send,
+                    occupied_bytes: 16,
+                    occupied_messages: 2,
+                    capacity_bytes: 16,
+                },
+                BlockedOp {
+                    pe: PeId(1),
+                    channel: ChannelId(0),
+                    kind: BlockKind::Recv,
+                    occupied_bytes: 0,
+                    occupied_messages: 0,
+                    capacity_bytes: 64,
+                },
+            ],
+        };
+        let s = e.to_string();
+        assert!(s.contains("ch3") && s.contains("ch0"), "{s}");
+        assert!(s.contains("16/16 B") && s.contains("0/64 B"), "{s}");
+        assert!(s.contains("send on") && s.contains("recv from"), "{s}");
     }
 }

@@ -19,7 +19,12 @@
 //!   buffer sized exactly to the paper's eq. (2) bound `B(e)`;
 //! * [`run_threaded`] / [`ThreadedRunner`] — an OS-thread functional
 //!   runner cross-checking the DES's protocol logic under real
-//!   concurrency, executing over any [`Transport`].
+//!   concurrency, executing over any [`Transport`];
+//! * [`Tracer`] / [`NopTracer`] — runtime probe points both engines emit
+//!   through (firing begin/end, send/receive with payload digests and
+//!   occupancy, block/unblock); the `spi-trace` crate supplies the
+//!   lock-free capture buffer, exporters, and the conformance checker
+//!   that validates the paper's eq. (2) bounds against observed runs.
 //!
 //! # Examples
 //!
@@ -49,9 +54,10 @@ mod mpi;
 mod resource;
 mod runner;
 mod sim;
+mod trace;
 mod transport;
 
-pub use error::{PlatformError, Result};
+pub use error::{BlockKind, BlockedOp, PlatformError, Result};
 pub use mpi::{
     MpiConfig, MpiEndpoint, CONTROL_BYTES, EAGER_LIMIT_BYTES, ENVELOPE_BYTES, MARSHAL_CYCLES,
     MATCH_CYCLES,
@@ -63,4 +69,5 @@ pub use sim::{
     PayloadFn, PeId, PeLocal, PeLocalSnapshot, PeStats, Program, SimReport, TraceEvent, TraceKind,
     WaitFn,
 };
+pub use trace::{payload_digest, NopTracer, ProbeEvent, ProbeKind, Tracer};
 pub use transport::{LockedTransport, RingTransport, Transport, TransportError, TransportKind};

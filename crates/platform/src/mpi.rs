@@ -14,6 +14,12 @@
 //! implementations (including TMD-MPI, the FPGA MPI the paper cites):
 //! small messages go eagerly with an envelope; large ones negotiate a
 //! request/clear-to-send exchange first.
+//!
+//! Because the lowering targets plain [`Op`] sequences, MPI transfers
+//! are observable through the [`crate::Tracer`] probe machinery with no
+//! extra instrumentation: the `mpi:marshal` / `mpi:match` computes
+//! appear as firings and the envelope/control/payload messages as
+//! ordinary send/receive events on whichever engine executes them.
 
 use crate::error::{PlatformError, Result};
 use crate::sim::{ChannelId, Op, PeLocal};

@@ -15,12 +15,14 @@
 //! reference queue, or the lock-free ring sized to the static bound.
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::fmt;
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Duration;
 
-use crate::error::{PlatformError, Result};
+use crate::error::{BlockKind, BlockedOp, PlatformError, Result};
 use crate::sim::{ChannelId, ChannelSpec, Op, PeId, PeLocal, Program};
+use crate::trace::{payload_digest, ProbeKind, Tracer};
 use crate::transport::{Transport, TransportError, TransportKind};
 
 /// Default bound on every blocking channel operation before the runner
@@ -59,10 +61,21 @@ pub struct ThreadedPeResult {
 /// assert_eq!(results[1].leftover_inbox, 3);
 /// # Ok::<(), spi_platform::PlatformError>(())
 /// ```
-#[derive(Debug, Clone, Copy)]
+#[derive(Clone)]
 pub struct ThreadedRunner {
     kind: TransportKind,
     timeout: Duration,
+    tracer: Option<Arc<dyn Tracer>>,
+}
+
+impl fmt::Debug for ThreadedRunner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadedRunner")
+            .field("kind", &self.kind)
+            .field("timeout", &self.timeout)
+            .field("tracer", &self.tracer.is_some())
+            .finish()
+    }
 }
 
 impl Default for ThreadedRunner {
@@ -70,6 +83,7 @@ impl Default for ThreadedRunner {
         ThreadedRunner {
             kind: TransportKind::default(),
             timeout: DEFAULT_DEADLOCK_TIMEOUT,
+            tracer: None,
         }
     }
 }
@@ -93,6 +107,18 @@ impl ThreadedRunner {
     #[must_use]
     pub fn timeout(mut self, timeout: Duration) -> Self {
         self.timeout = timeout;
+        self
+    }
+
+    /// Attaches a [`Tracer`] probe sink: every PE thread emits firing
+    /// begin/end, send/receive (with payload digest and post-op channel
+    /// occupancy) and block/unblock events through it, timestamped with
+    /// [`Tracer::now`] (monotonic nanoseconds). Blocking detection works
+    /// by attempting the non-blocking variant first, so a tracer whose
+    /// [`Tracer::enabled`] is `false` keeps the untraced fast path.
+    #[must_use]
+    pub fn tracer(mut self, tracer: Arc<dyn Tracer>) -> Self {
+        self.tracer = Some(tracer);
         self
     }
 
@@ -129,8 +155,11 @@ impl ThreadedRunner {
         let endpoints: Vec<Box<dyn Transport>> =
             channels.iter().map(|c| self.kind.instantiate(c)).collect();
         let timeout = self.timeout;
+        // Resolve the tracer once: a disabled tracer takes the untraced
+        // code path everywhere (emitters check a plain Option).
+        let probe: Option<&dyn Tracer> = self.tracer.as_deref().filter(|t| t.enabled());
 
-        let timed_out: Mutex<Vec<PeId>> = Mutex::new(Vec::new());
+        let timed_out: Mutex<Vec<(PeId, ChannelId, BlockKind)>> = Mutex::new(Vec::new());
         let fault: Mutex<Option<PlatformError>> = Mutex::new(None);
         let results: Mutex<Vec<Option<ThreadedPeResult>>> =
             Mutex::new((0..programs.len()).map(|_| None).collect());
@@ -141,12 +170,19 @@ impl ThreadedRunner {
                 let timed_out = &timed_out;
                 let fault = &fault;
                 let results = &results;
+                // Firing labels are static across iterations; intern
+                // them up front so the hot loop never touches the
+                // tracer's (locking) intern table.
+                let labels = intern_labels(probe, &program);
                 scope.spawn(move || {
                     let mut local = PeLocal::default();
                     let mut prologue = std::mem::take(&mut program.prologue);
                     let mut aborted = false;
-                    for op in &mut prologue {
-                        if !step(op, &mut local, endpoints, timeout, idx, timed_out, fault) {
+                    for (i, op) in prologue.iter_mut().enumerate() {
+                        let label = labels.prologue.get(i).copied().unwrap_or(0);
+                        if !step(
+                            op, label, &mut local, endpoints, timeout, idx, probe, timed_out, fault,
+                        ) {
                             aborted = true;
                             break;
                         }
@@ -154,9 +190,12 @@ impl ThreadedRunner {
                     if !aborted {
                         'outer: for iter in 0..program.iterations {
                             local.iter = iter;
-                            for op in &mut program.ops {
-                                if !step(op, &mut local, endpoints, timeout, idx, timed_out, fault)
-                                {
+                            for (i, op) in program.ops.iter_mut().enumerate() {
+                                let label = labels.ops.get(i).copied().unwrap_or(0);
+                                if !step(
+                                    op, label, &mut local, endpoints, timeout, idx, probe,
+                                    timed_out, fault,
+                                ) {
                                     break 'outer;
                                 }
                             }
@@ -173,9 +212,21 @@ impl ThreadedRunner {
         if let Some(err) = fault.into_inner().expect("fault lock") {
             return Err(err);
         }
-        let blocked = timed_out.into_inner().expect("timed_out lock");
-        if !blocked.is_empty() {
-            return Err(PlatformError::Deadlock { blocked });
+        let timed = timed_out.into_inner().expect("timed_out lock");
+        if !timed.is_empty() {
+            let blocked: Vec<PeId> = timed.iter().map(|&(pe, _, _)| pe).collect();
+            let detail = timed
+                .into_iter()
+                .map(|(pe, channel, kind)| BlockedOp {
+                    pe,
+                    channel,
+                    kind,
+                    occupied_bytes: endpoints[channel.0].len_bytes(),
+                    occupied_messages: endpoints[channel.0].occupancy(),
+                    capacity_bytes: endpoints[channel.0].capacity_bytes(),
+                })
+                .collect();
+            return Err(PlatformError::Deadlock { blocked, detail });
         }
         Ok(results
             .into_inner()
@@ -186,46 +237,184 @@ impl ThreadedRunner {
     }
 }
 
+/// Interned firing-label ids for a program's prologue and loop ops,
+/// parallel to the op lists (non-compute ops hold id 0).
+struct ProgramLabels {
+    prologue: Vec<u32>,
+    ops: Vec<u32>,
+}
+
+fn intern_labels(probe: Option<&dyn Tracer>, program: &Program) -> ProgramLabels {
+    let intern_list = |ops: &[Op]| -> Vec<u32> {
+        match probe {
+            Some(t) => ops
+                .iter()
+                .map(|op| match op {
+                    Op::Compute { label, .. } => t.intern(label),
+                    _ => 0,
+                })
+                .collect(),
+            None => Vec::new(),
+        }
+    };
+    ProgramLabels {
+        prologue: intern_list(&program.prologue),
+        ops: intern_list(&program.ops),
+    }
+}
+
+/// Shortest wait worth recording as a Block/Unblock event pair, in
+/// nanoseconds. A failed non-blocking attempt that the blocking retry
+/// resolves within this window is a claim race, not a stall — recording
+/// every such blip on a fast pipeline doubles the event volume (and its
+/// cost) without telling the trace reader anything. Genuine
+/// backpressure parks the thread for multiple microseconds and is
+/// always captured.
+const STALL_RECORD_NS: u64 = 1_000;
+
 /// Executes one op; returns `false` when the PE must abort (timeout or
 /// transport fault), recording the cause.
+///
+/// With a probe attached, blocking channel ops attempt the non-blocking
+/// variant first: a `Full`/`Empty` result marks the block edge, and the
+/// Block/Unblock pair is emitted retroactively once the blocking call
+/// resolves — but only when the wait exceeded [`STALL_RECORD_NS`].
+/// Without a probe the original single blocking call is used, so
+/// tracing costs nothing when disabled.
+#[allow(clippy::too_many_arguments)]
 fn step(
     op: &mut Op,
+    label: u32,
     local: &mut PeLocal,
     endpoints: &[Box<dyn Transport>],
     timeout: Duration,
     idx: usize,
-    timed_out: &Mutex<Vec<PeId>>,
+    probe: Option<&dyn Tracer>,
+    timed_out: &Mutex<Vec<(PeId, ChannelId, BlockKind)>>,
     fault: &Mutex<Option<PlatformError>>,
 ) -> bool {
+    let pe = PeId(idx);
     match op {
         Op::Compute { work, .. } => {
-            let _cycles = work(local);
+            if let Some(t) = probe {
+                t.record(pe, t.now(), ProbeKind::FiringBegin { label });
+                let _cycles = work(local);
+                t.record(pe, t.now(), ProbeKind::FiringEnd { label });
+            } else {
+                let _cycles = work(local);
+            }
             true
         }
         Op::Send { channel, payload } => {
+            let ch = *channel;
             let data = payload(local);
-            match endpoints[channel.0].send(&data, timeout) {
-                Ok(()) => true,
+            let ep = &endpoints[ch.0];
+            let sent = match probe {
+                Some(t) => match ep.try_send(&data) {
+                    Ok(()) => Ok(()),
+                    Err(TransportError::Full) => {
+                        let blocked_at = t.now();
+                        let res = ep.send(&data, timeout);
+                        if res.is_ok() {
+                            let resumed_at = t.now();
+                            if resumed_at.saturating_sub(blocked_at) >= STALL_RECORD_NS {
+                                t.record(pe, blocked_at, ProbeKind::BlockSend { channel: ch });
+                                t.record(pe, resumed_at, ProbeKind::UnblockSend { channel: ch });
+                            }
+                        } else {
+                            // Never resumed: keep the block edge so the
+                            // trace shows where the PE was stuck.
+                            t.record(pe, blocked_at, ProbeKind::BlockSend { channel: ch });
+                        }
+                        res
+                    }
+                    Err(e) => Err(e),
+                },
+                None => ep.send(&data, timeout),
+            };
+            match sent {
+                Ok(()) => {
+                    if let Some(t) = probe {
+                        let (occ_b, occ_m) = ep.snapshot();
+                        t.record(
+                            pe,
+                            t.now(),
+                            ProbeKind::Send {
+                                channel: ch,
+                                bytes: data.len() as u32,
+                                digest: payload_digest(&data),
+                                occ_bytes: occ_b as u32,
+                                occ_msgs: occ_m as u32,
+                            },
+                        );
+                    }
+                    true
+                }
                 Err(TransportError::Timeout { .. }) => {
-                    timed_out.lock().expect("timed_out lock").push(PeId(idx));
+                    timed_out
+                        .lock()
+                        .expect("timed_out lock")
+                        .push((pe, ch, BlockKind::Send));
                     false
                 }
                 Err(e) => {
-                    record_fault(fault, *channel, &data, &e, endpoints);
+                    record_fault(fault, ch, &data, &e, endpoints);
                     false
                 }
             }
         }
-        Op::Recv { channel } => match endpoints[channel.0].recv(timeout) {
-            Ok(data) => {
-                local.inbox.push_back((*channel, data));
-                true
+        Op::Recv { channel } => {
+            let ch = *channel;
+            let ep = &endpoints[ch.0];
+            let got = match probe {
+                Some(t) => match ep.try_recv() {
+                    Ok(d) => Ok(d),
+                    Err(TransportError::Empty) => {
+                        let blocked_at = t.now();
+                        let res = ep.recv(timeout);
+                        if res.is_ok() {
+                            let resumed_at = t.now();
+                            if resumed_at.saturating_sub(blocked_at) >= STALL_RECORD_NS {
+                                t.record(pe, blocked_at, ProbeKind::BlockRecv { channel: ch });
+                                t.record(pe, resumed_at, ProbeKind::UnblockRecv { channel: ch });
+                            }
+                        } else {
+                            t.record(pe, blocked_at, ProbeKind::BlockRecv { channel: ch });
+                        }
+                        res
+                    }
+                    Err(e) => Err(e),
+                },
+                None => ep.recv(timeout),
+            };
+            match got {
+                Ok(data) => {
+                    if let Some(t) = probe {
+                        let (occ_b, occ_m) = ep.snapshot();
+                        t.record(
+                            pe,
+                            t.now(),
+                            ProbeKind::Recv {
+                                channel: ch,
+                                bytes: data.len() as u32,
+                                digest: payload_digest(&data),
+                                occ_bytes: occ_b as u32,
+                                occ_msgs: occ_m as u32,
+                            },
+                        );
+                    }
+                    local.inbox.push_back((ch, data));
+                    true
+                }
+                Err(_) => {
+                    timed_out
+                        .lock()
+                        .expect("timed_out lock")
+                        .push((pe, ch, BlockKind::Recv));
+                    false
+                }
             }
-            Err(_) => {
-                timed_out.lock().expect("timed_out lock").push(PeId(idx));
-                false
-            }
-        },
+        }
         // The functional runner has no simulated clock.
         Op::WaitUntil { .. } => true,
     }
@@ -359,10 +548,59 @@ mod tests {
                 .transport(kind)
                 .timeout(Duration::from_millis(100))
                 .run(&channels, vec![a, b]);
-            assert!(
-                matches!(err, Err(PlatformError::Deadlock { .. })),
-                "{kind:?}"
+            match err {
+                Err(e @ PlatformError::Deadlock { .. }) => {
+                    // The report must name the starved channels and
+                    // their observed fill, not just count PEs.
+                    let msg = e.to_string();
+                    assert!(
+                        msg.contains("ch0") && msg.contains("ch1"),
+                        "{kind:?}: {msg}"
+                    );
+                    assert!(msg.contains("recv from"), "{kind:?}: {msg}");
+                    assert!(
+                        msg.contains("0/"),
+                        "empty-channel fill shown: {kind:?}: {msg}"
+                    );
+                }
+                other => panic!("expected deadlock under {kind:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn deadlock_detail_reports_send_side_occupancy() {
+        // Producer fills a 1-slot channel nobody drains: the report
+        // must show the channel as full on the send side.
+        let channels = vec![ChannelSpec {
+            capacity_bytes: 4,
+            max_message_bytes: 4,
+            ..ChannelSpec::default()
+        }];
+        for kind in kinds() {
+            let producer = Program::new(
+                vec![Op::Send {
+                    channel: ChannelId(0),
+                    payload: Box::new(|_| vec![7; 4]),
+                }],
+                3,
             );
+            let err = ThreadedRunner::new()
+                .transport(kind)
+                .timeout(Duration::from_millis(100))
+                .run(&channels, vec![Program::new(vec![], 0), producer]);
+            match err {
+                Err(PlatformError::Deadlock { blocked, detail }) => {
+                    assert_eq!(blocked, vec![PeId(1)]);
+                    assert_eq!(detail.len(), 1);
+                    assert_eq!(detail[0].channel, ChannelId(0));
+                    assert_eq!(detail[0].kind, BlockKind::Send);
+                    assert_eq!(detail[0].occupied_bytes, 4, "{kind:?}");
+                    assert_eq!(detail[0].occupied_messages, 1);
+                    assert_eq!(detail[0].capacity_bytes, 4);
+                }
+                other => panic!("expected deadlock under {kind:?}, got {other:?}"),
+            }
         }
     }
 

@@ -17,8 +17,10 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 
-use crate::error::{PlatformError, Result};
+use crate::error::{BlockKind, BlockedOp, PlatformError, Result};
+use crate::trace::{payload_digest, ProbeKind, Tracer};
 
 /// Identifier of a processing element.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -367,6 +369,7 @@ pub struct Machine {
     programs: Vec<Program>,
     budget_cycles: u64,
     trace: bool,
+    tracer: Option<Arc<dyn Tracer>>,
     bus: Option<BusSpec>,
     ordered_bus: Option<OrderedBusSpec>,
 }
@@ -410,6 +413,7 @@ impl Machine {
             programs: Vec::new(),
             budget_cycles: u64::MAX / 4,
             trace: false,
+            tracer: None,
             bus: None,
             ordered_bus: None,
         }
@@ -419,6 +423,16 @@ impl Machine {
     /// traces of long simulations are large).
     pub fn enable_trace(&mut self) {
         self.trace = true;
+    }
+
+    /// Attaches a [`Tracer`] probe sink: the engine emits firing
+    /// begin/end, send/receive (with payload digest and occupancy), and
+    /// block/unblock events through it, timestamped in **simulation
+    /// cycles**. Independent of [`Machine::enable_trace`]'s in-report
+    /// event log. A tracer whose [`Tracer::enabled`] is `false` costs
+    /// nothing.
+    pub fn set_tracer(&mut self, tracer: Arc<dyn Tracer>) {
+        self.tracer = Some(tracer);
     }
 
     /// Routes every transfer through a shared bus with the given
@@ -533,6 +547,9 @@ struct Engine {
     fault: Option<PlatformError>,
     trace_on: bool,
     trace: Vec<TraceEvent>,
+    /// Probe sink, `None` when absent or disabled so the hot loop pays
+    /// one pointer test per emission site.
+    probe: Option<Arc<dyn Tracer>>,
     bus: Option<BusSpec>,
     ordered_bus: Option<OrderedBusSpec>,
     /// Position in the ordered-bus grant sequence.
@@ -587,6 +604,7 @@ impl Engine {
             fault: None,
             trace_on: m.trace,
             trace: Vec::new(),
+            probe: m.tracer.filter(|t| t.enabled()),
             bus: m.bus,
             ordered_bus: m.ordered_bus,
             grant_idx: 0,
@@ -630,7 +648,28 @@ impl Engine {
             .map(|(i, _)| PeId(i))
             .collect();
         if !blocked.is_empty() {
-            return Err(PlatformError::Deadlock { blocked });
+            let detail = self
+                .pes
+                .iter()
+                .enumerate()
+                .filter_map(|(i, pe)| {
+                    let (ch, kind) = match pe.state {
+                        PeState::BlockedSend(c) | PeState::BlockedBus(c) => (c, BlockKind::Send),
+                        PeState::BlockedRecv(c) => (c, BlockKind::Recv),
+                        _ => return None,
+                    };
+                    let cs = &self.channels[ch.0];
+                    Some(BlockedOp {
+                        pe: PeId(i),
+                        channel: ch,
+                        kind,
+                        occupied_bytes: cs.used_bytes,
+                        occupied_messages: cs.in_flight.len() + cs.available.len(),
+                        capacity_bytes: cs.spec.capacity_bytes,
+                    })
+                })
+                .collect();
+            return Err(PlatformError::Deadlock { blocked, detail });
         }
 
         Ok(SimReport {
@@ -677,6 +716,9 @@ impl Engine {
         for i in waiters {
             self.pes[i].state = PeState::Ready;
             self.pes[i].stats.recv_stall_cycles += self.now - self.pes[i].blocked_since;
+            if let Some(t) = &self.probe {
+                t.record(PeId(i), self.now, ProbeKind::UnblockRecv { channel: ch });
+            }
             self.step_pe(PeId(i));
         }
     }
@@ -712,6 +754,15 @@ impl Engine {
                             pe: id,
                             kind: TraceKind::Compute { label, cycles },
                         });
+                    }
+                    if let Some(t) = &self.probe {
+                        // The DES knows the firing's duration up front,
+                        // so both endpoints are stamped here; the PE
+                        // resumes exactly at the end cycle, keeping the
+                        // per-PE stream ordered.
+                        let lbl = t.intern(label);
+                        t.record(id, self.now, ProbeKind::FiringBegin { label: lbl });
+                        t.record(id, self.now + cycles, ProbeKind::FiringEnd { label: lbl });
                     }
                     self.advance_pc(id.0);
                     if cycles > 0 {
@@ -752,6 +803,10 @@ impl Engine {
                             let pe = &mut self.pes[id.0];
                             pe.state = PeState::BlockedBus(ch);
                             pe.blocked_since = self.now;
+                            if let Some(t) = &self.probe {
+                                // A bus-slot wait stalls the send side.
+                                t.record(id, self.now, ProbeKind::BlockSend { channel: ch });
+                            }
                             return;
                         }
                     }
@@ -800,6 +855,19 @@ impl Engine {
                         let c = &mut self.channels[ch.0];
                         c.used_bytes += data.len();
                         c.stats.peak_bytes = c.stats.peak_bytes.max(c.used_bytes as u64);
+                        if let Some(t) = &self.probe {
+                            t.record(
+                                id,
+                                self.now,
+                                ProbeKind::Send {
+                                    channel: ch,
+                                    bytes: data.len() as u32,
+                                    digest: payload_digest(&data),
+                                    occ_bytes: c.used_bytes as u32,
+                                    occ_msgs: (c.in_flight.len() + c.available.len() + 1) as u32,
+                                },
+                            );
+                        }
                         c.in_flight.push_back((arrival, data));
                         self.schedule(arrival, Event::Arrival(ch));
                         self.advance_pc(id.0);
@@ -817,6 +885,9 @@ impl Engine {
                     } else {
                         pe.state = PeState::BlockedSend(ch);
                         pe.blocked_since = self.now;
+                        if let Some(t) = &self.probe {
+                            t.record(id, self.now, ProbeKind::BlockSend { channel: ch });
+                        }
                         return;
                     }
                 }
@@ -847,6 +918,20 @@ impl Engine {
                                 },
                             });
                         }
+                        if let Some(t) = &self.probe {
+                            let c = &self.channels[ch.0];
+                            t.record(
+                                id,
+                                self.now,
+                                ProbeKind::Recv {
+                                    channel: ch,
+                                    bytes: data.len() as u32,
+                                    digest: payload_digest(&data),
+                                    occ_bytes: c.used_bytes as u32,
+                                    occ_msgs: (c.in_flight.len() + c.available.len()) as u32,
+                                },
+                            );
+                        }
                         let pe = &mut self.pes[id.0];
                         pe.local.inbox.push_back((ch, data));
                         pe.state = PeState::Ready;
@@ -863,6 +948,9 @@ impl Engine {
                     } else {
                         pe.state = PeState::BlockedRecv(ch);
                         pe.blocked_since = self.now;
+                        if let Some(t) = &self.probe {
+                            t.record(id, self.now, ProbeKind::BlockRecv { channel: ch });
+                        }
                         return;
                     }
                 }
@@ -895,8 +983,15 @@ impl Engine {
             .map(|(i, _)| i)
             .collect();
         for i in waiters {
+            let ch = match self.pes[i].state {
+                PeState::BlockedBus(c) => c,
+                _ => unreachable!("filtered to BlockedBus"),
+            };
             self.pes[i].state = PeState::Ready;
             self.pes[i].stats.send_stall_cycles += self.now - self.pes[i].blocked_since;
+            if let Some(t) = &self.probe {
+                t.record(PeId(i), self.now, ProbeKind::UnblockSend { channel: ch });
+            }
             self.step_pe(PeId(i));
         }
     }
@@ -912,6 +1007,9 @@ impl Engine {
         for i in waiters {
             self.pes[i].state = PeState::Ready;
             self.pes[i].stats.send_stall_cycles += self.now - self.pes[i].blocked_since;
+            if let Some(t) = &self.probe {
+                t.record(PeId(i), self.now, ProbeKind::UnblockSend { channel: ch });
+            }
             self.step_pe(PeId(i));
         }
     }
@@ -1062,7 +1160,13 @@ mod tests {
             1,
         ));
         match m.run() {
-            Err(PlatformError::Deadlock { blocked }) => assert_eq!(blocked.len(), 2),
+            Err(PlatformError::Deadlock { blocked, detail }) => {
+                assert_eq!(blocked.len(), 2);
+                // Both PEs are named with the channel they starve on.
+                assert_eq!(detail.len(), 2);
+                let msg = PlatformError::Deadlock { blocked, detail }.to_string();
+                assert!(msg.contains("ch0") && msg.contains("ch1"), "{msg}");
+            }
             other => panic!("expected deadlock, got {other:?}"),
         }
     }

@@ -1,0 +1,227 @@
+//! Runtime probe points and the [`Tracer`] sink they feed.
+//!
+//! The paper's pitch is that SPI's *static* analysis — packed-token
+//! capacity `c(e)` (eq. 1), the IPC buffer bound `B(e)` (eq. 2), the
+//! self-timed schedule's predicted period — makes dynamic-rate execution
+//! predictable. This module is the runtime half of checking that claim:
+//! both execution engines (the DES in [`crate::sim`] and the OS-thread
+//! runner in [`crate::runner`]) emit a common event vocabulary through a
+//! [`Tracer`] chosen at build time, and the `spi-trace` crate turns the
+//! captured stream into metrics and conformance diagnostics.
+//!
+//! Only the *interface* lives here (the platform crate must stay at the
+//! bottom of the dependency stack); the lock-free capture buffer, the
+//! exporters and the checker live in `spi-trace`. The default sink is
+//! [`NopTracer`], whose [`Tracer::enabled`] returns `false` — emitters
+//! cache that flag in a local before their hot loops, so a disabled
+//! tracer costs one branch per run, not per event.
+//!
+//! Timestamps are a bare `u64` whose unit depends on the engine: the
+//! DES stamps events with its **simulation cycle**, the threaded runner
+//! with **monotonic nanoseconds** since the tracer's epoch
+//! ([`Tracer::now`]). Trace consumers learn which from the trace
+//! metadata.
+
+use crate::sim::{ChannelId, PeId};
+
+/// What a probe observed. Every variant is `Copy` and fixed-size so a
+/// capture buffer can be a flat preallocated array — no allocation on
+/// the hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProbeKind {
+    /// An actor firing (compute op) started. `label` is an id interned
+    /// via [`Tracer::intern`] (firing labels are static per program, so
+    /// emitters intern once, outside the iteration loop).
+    FiringBegin {
+        /// Interned compute label.
+        label: u32,
+    },
+    /// The firing that began with the same `label` on this PE ended.
+    FiringEnd {
+        /// Interned compute label.
+        label: u32,
+    },
+    /// A message was committed into a channel.
+    Send {
+        /// Destination channel.
+        channel: ChannelId,
+        /// Payload bytes.
+        bytes: u32,
+        /// FNV-1a hash of the payload — lets consumers check per-edge
+        /// FIFO order and cross-engine agreement without storing bytes.
+        digest: u64,
+        /// Channel occupancy in bytes observed just after the send
+        /// (exact in the DES; a racy-but-conservative snapshot from
+        /// [`crate::Transport::len_bytes`] in the threaded runner).
+        occ_bytes: u32,
+        /// Channel occupancy in messages observed just after the send.
+        occ_msgs: u32,
+    },
+    /// A message was taken out of a channel.
+    Recv {
+        /// Source channel.
+        channel: ChannelId,
+        /// Payload bytes.
+        bytes: u32,
+        /// FNV-1a hash of the payload.
+        digest: u64,
+        /// Channel occupancy in bytes just after the receive.
+        occ_bytes: u32,
+        /// Channel occupancy in messages just after the receive.
+        occ_msgs: u32,
+    },
+    /// A send found the channel full and the PE started blocking.
+    BlockSend {
+        /// The full channel.
+        channel: ChannelId,
+    },
+    /// A receive found the channel empty and the PE started blocking.
+    BlockRecv {
+        /// The empty channel.
+        channel: ChannelId,
+    },
+    /// A PE blocked on a send resumed.
+    UnblockSend {
+        /// The channel it was blocked on.
+        channel: ChannelId,
+    },
+    /// A PE blocked on a receive resumed.
+    UnblockRecv {
+        /// The channel it was blocked on.
+        channel: ChannelId,
+    },
+}
+
+/// One captured probe record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeEvent {
+    /// Engine timestamp: DES cycle or monotonic nanoseconds (see the
+    /// module docs).
+    pub ts: u64,
+    /// PE the event belongs to.
+    pub pe: PeId,
+    /// What happened.
+    pub kind: ProbeKind,
+}
+
+/// A sink for runtime probe events.
+///
+/// Implementations must be cheap and callable from multiple PE threads
+/// concurrently ([`Tracer::record`] is invoked from each runner thread
+/// with that thread's own `pe` id). The contract emitters rely on:
+///
+/// * [`Tracer::enabled`] is constant for the lifetime of a run —
+///   engines read it once and skip all probe work when `false`;
+/// * [`Tracer::intern`] may lock (it is only called outside hot loops);
+/// * [`Tracer::record`] must not lock or allocate in a real capture
+///   implementation — the `spi-trace` ring uses per-PE single-writer
+///   buffers.
+pub trait Tracer: Send + Sync {
+    /// Whether this tracer captures anything at all. `false` lets
+    /// emitters skip payload digests, occupancy reads and timestamping
+    /// entirely.
+    fn enabled(&self) -> bool;
+
+    /// Interns a label string, returning the id carried by
+    /// [`ProbeKind::FiringBegin`] / [`ProbeKind::FiringEnd`].
+    fn intern(&self, label: &str) -> u32;
+
+    /// Records one event. `ts` follows the emitting engine's clock.
+    fn record(&self, pe: PeId, ts: u64, kind: ProbeKind);
+
+    /// Monotonic nanoseconds since the tracer's epoch — the timestamp
+    /// source for engines without a simulated clock.
+    fn now(&self) -> u64;
+}
+
+/// The zero-overhead default: captures nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NopTracer;
+
+impl Tracer for NopTracer {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn intern(&self, _label: &str) -> u32 {
+        0
+    }
+
+    fn record(&self, _pe: PeId, _ts: u64, _kind: ProbeKind) {}
+
+    fn now(&self) -> u64 {
+        0
+    }
+}
+
+/// FNV-1a 64-bit hash — the payload digest carried by send/receive
+/// probe events. Stable across engines and platforms, so two traces of
+/// the same system can be compared digest-by-digest.
+///
+/// Payloads up to 64 bytes are hashed in full. Longer payloads hash
+/// their length plus the first and last 32 bytes, bounding the
+/// per-event cost on frame-sized messages: the digest exists to pin
+/// down message *identity* across engines (FIFO order, truncation,
+/// cross-engine divergence), not to checksum every byte, and both
+/// engines apply the same rule so traces stay comparable.
+pub fn payload_digest(bytes: &[u8]) -> u64 {
+    const FULL: usize = 64;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |chunk: &[u8]| {
+        for &b in chunk {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    if bytes.len() <= FULL {
+        mix(bytes);
+    } else {
+        mix(&(bytes.len() as u64).to_le_bytes());
+        mix(&bytes[..FULL / 2]);
+        mix(&bytes[bytes.len() - FULL / 2..]);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nop_tracer_is_disabled_and_inert() {
+        let t = NopTracer;
+        assert!(!t.enabled());
+        assert_eq!(t.intern("fire:x#0"), 0);
+        assert_eq!(t.now(), 0);
+        t.record(PeId(0), 0, ProbeKind::FiringBegin { label: 0 });
+    }
+
+    #[test]
+    fn digest_distinguishes_payloads_and_is_stable() {
+        assert_eq!(payload_digest(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(payload_digest(b"a"), payload_digest(b"b"));
+        assert_eq!(payload_digest(b"spi"), payload_digest(b"spi"));
+    }
+
+    #[test]
+    fn digest_bounds_work_on_long_payloads() {
+        let frame = vec![0x5Au8; 512];
+        assert_eq!(payload_digest(&frame), payload_digest(&frame));
+
+        // Identity-bearing differences are visible: length, head, tail.
+        let longer = vec![0x5Au8; 513];
+        assert_ne!(payload_digest(&frame), payload_digest(&longer));
+        let mut head = frame.clone();
+        head[0] = 0;
+        assert_ne!(payload_digest(&frame), payload_digest(&head));
+        let mut tail = frame.clone();
+        *tail.last_mut().unwrap() = 0;
+        assert_ne!(payload_digest(&frame), payload_digest(&tail));
+
+        // Middle bytes are outside the sampled window by design.
+        let mut mid = frame.clone();
+        mid[256] = 0;
+        assert_eq!(payload_digest(&frame), payload_digest(&mid));
+    }
+}

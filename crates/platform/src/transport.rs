@@ -31,7 +31,7 @@
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{self, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::thread::{self, Thread};
 use std::time::{Duration, Instant};
@@ -101,6 +101,30 @@ pub trait Transport: Send + Sync {
 
     /// Largest single message this transport accepts, in bytes.
     fn max_message_bytes(&self) -> usize;
+
+    /// Payload bytes currently buffered in the channel.
+    ///
+    /// Exact for [`LockedTransport`]; for [`RingTransport`] it is
+    /// **slot-granular** (`occupancy() × slot size` — the ring reserves
+    /// a full packed-token slot per message, which is also what the
+    /// eq. (2) bound accounts). Under concurrent traffic the value is a
+    /// point-in-time snapshot, never an over-estimate of what a
+    /// linearized observer could have seen.
+    fn len_bytes(&self) -> usize;
+
+    /// Messages currently buffered in the channel (same snapshot
+    /// semantics as [`Transport::len_bytes`]).
+    fn occupancy(&self) -> usize;
+
+    /// `(len_bytes, occupancy)` from a single observation. Semantically
+    /// identical to calling the two accessors back to back, but
+    /// implementations override it to read their shared state once —
+    /// this sits on the traced runner's per-message path, where a
+    /// redundant load of a cache line owned by the peer thread is
+    /// measurable.
+    fn snapshot(&self) -> (usize, usize) {
+        (self.len_bytes(), self.occupancy())
+    }
 
     /// Blocking send of an owned payload; gives up after `timeout`.
     ///
@@ -252,6 +276,19 @@ impl Transport for LockedTransport {
         self.max_message_bytes
     }
 
+    fn len_bytes(&self) -> usize {
+        self.inner.lock().expect("transport lock").used_bytes
+    }
+
+    fn occupancy(&self) -> usize {
+        self.inner.lock().expect("transport lock").queue.len()
+    }
+
+    fn snapshot(&self) -> (usize, usize) {
+        let inner = self.inner.lock().expect("transport lock");
+        (inner.used_bytes, inner.queue.len())
+    }
+
     fn try_send(&self, data: &[u8]) -> Result<(), TransportError> {
         if data.len() > self.max_message_bytes {
             return Err(TransportError::TooLarge {
@@ -359,29 +396,54 @@ struct WaitList {
 }
 
 impl WaitList {
-    /// Wakes one parked thread, if any.
+    /// Wakes every registered thread. Entries are *not* removed — only
+    /// the owning thread deregisters itself in [`WaitList::park_until`],
+    /// so a waiter whose wake token gets absorbed early (consumed by an
+    /// interleaved park on another channel's wait list — the park token
+    /// is per-thread, not per-list) is simply re-unparked by the next
+    /// wake. Removing on wake would orphan such a re-parking thread for
+    /// good. SPI edges are SPSC, so "every" is at most one thread.
+    ///
+    /// The caller has just stored new slot state (a `seq` publish or
+    /// recycle). The fence pairs with the one in [`WaitList::park_until`]
+    /// — the store-buffer (Dekker) pattern: without it, this thread's
+    /// slot store and the parker's `waiting` store can both sit in store
+    /// buffers while each side's subsequent load reads stale state, so
+    /// the parker re-checks "still blocked" *and* this load reads
+    /// "nobody waiting", losing the wakeup for good.
     fn wake_one(&self) {
+        atomic::fence(Ordering::SeqCst);
         if self.waiting.load(Ordering::Acquire) == 0 {
             return;
         }
-        let popped = self.threads.lock().expect("waitlist lock").pop();
-        if let Some(t) = popped {
+        for t in self.threads.lock().expect("waitlist lock").iter() {
             t.unpark();
         }
     }
+
+    /// Longest single park before re-checking `ready` regardless of
+    /// wake tokens. Parking only happens once the channel is already
+    /// full/empty — i.e. off the throughput path — so a periodic
+    /// re-check costs nothing measurable, and it bounds the damage of
+    /// any wake lost to scheduler pathology to one slice instead of the
+    /// full deadlock-detection timeout.
+    const MAX_PARK_SLICE: Duration = Duration::from_millis(50);
 
     /// Registers the current thread, re-checks `ready`, and parks until
     /// `deadline` if it still holds false. Returns `false` on timeout.
     ///
     /// The registration-before-recheck order closes the lost-wakeup
     /// race: a publisher that misses the registration is ordered before
-    /// the re-check; one that sees it will unpark us.
+    /// the re-check; one that sees it will unpark us. The SeqCst fence
+    /// between registration and re-check makes that ordering real on
+    /// hardware with store buffers (see [`WaitList::wake_one`]).
     fn park_until(&self, deadline: Instant, ready: &dyn Fn() -> bool) -> bool {
         {
             let mut threads = self.threads.lock().expect("waitlist lock");
             threads.push(thread::current());
             self.waiting.store(threads.len(), Ordering::Release);
         }
+        atomic::fence(Ordering::SeqCst);
         let mut timed_out = false;
         loop {
             if ready() {
@@ -392,7 +454,7 @@ impl WaitList {
                 timed_out = true;
                 break;
             }
-            thread::park_timeout(deadline - now);
+            thread::park_timeout((deadline - now).min(Self::MAX_PARK_SLICE));
         }
         {
             let mut threads = self.threads.lock().expect("waitlist lock");
@@ -400,9 +462,6 @@ impl WaitList {
             threads.retain(|t| t.id() != me);
             self.waiting.store(threads.len(), Ordering::Release);
         }
-        // A wake token issued for us after we decided to deregister may
-        // have popped a different thread's entry semantics-wise; waking
-        // peers is cheap and keeps the protocol simple.
         !timed_out
     }
 }
@@ -452,6 +511,20 @@ pub struct RingTransport {
 unsafe impl Sync for RingTransport {}
 
 impl RingTransport {
+    /// Claim retries spun through before a blocked send/receive parks.
+    /// Roughly a few hundred nanoseconds of polling — shorter than one
+    /// park/unpark round trip, long enough to ride out a pipelined
+    /// peer's typical slot turnaround. Zero on single-hardware-thread
+    /// hosts, where spinning only delays the peer that would free the
+    /// slot.
+    fn spin_claims() -> u32 {
+        static N: std::sync::OnceLock<u32> = std::sync::OnceLock::new();
+        *N.get_or_init(|| match std::thread::available_parallelism() {
+            Ok(n) if n.get() > 1 => 64,
+            _ => 0,
+        })
+    }
+
     /// Creates a ring with `capacity_bytes / slot_bytes` slots (at least
     /// one) of `slot_bytes` each.
     pub fn new(capacity_bytes: usize, slot_bytes: usize) -> Self {
@@ -594,6 +667,31 @@ impl Transport for RingTransport {
         self.slot_bytes
     }
 
+    fn len_bytes(&self) -> usize {
+        self.occupancy() * self.slot_bytes
+    }
+
+    fn occupancy(&self) -> usize {
+        // `tail` and `head` are monotonic claim counters; their
+        // difference is the number of occupied (claimed-or-published)
+        // slots. Loading `tail` first means a racing consumer can only
+        // shrink the difference (possibly below zero, which clamps to
+        // empty), so the snapshot never over-estimates.
+        let tail = self.tail.load(Ordering::Acquire);
+        let head = self.head.load(Ordering::Acquire);
+        let diff = tail.wrapping_sub(head);
+        if diff > self.slots {
+            0
+        } else {
+            diff
+        }
+    }
+
+    fn snapshot(&self) -> (usize, usize) {
+        let occ = self.occupancy();
+        (occ * self.slot_bytes, occ)
+    }
+
     fn try_send(&self, data: &[u8]) -> Result<(), TransportError> {
         if data.len() > self.slot_bytes {
             return Err(TransportError::TooLarge {
@@ -637,6 +735,16 @@ impl Transport for RingTransport {
             self.publish(pos, len, fill);
             return Ok(());
         }
+        // Brief spin before parking: a pipelined peer typically frees a
+        // slot within a few hundred nanoseconds, far cheaper to catch
+        // here than via a park/unpark round trip through the kernel.
+        for _ in 0..Self::spin_claims() {
+            std::hint::spin_loop();
+            if let Some(pos) = self.claim_send() {
+                self.publish(pos, len, fill);
+                return Ok(());
+            }
+        }
         let deadline = Instant::now() + timeout;
         loop {
             if let Some(pos) = self.claim_send() {
@@ -663,6 +771,13 @@ impl Transport for RingTransport {
         if let Some(pos) = self.claim_recv() {
             self.consume_slot(pos, consume);
             return Ok(());
+        }
+        for _ in 0..Self::spin_claims() {
+            std::hint::spin_loop();
+            if let Some(pos) = self.claim_recv() {
+                self.consume_slot(pos, consume);
+                return Ok(());
+            }
         }
         let deadline = Instant::now() + timeout;
         loop {
@@ -866,6 +981,39 @@ mod tests {
             ..ChannelSpec::default()
         };
         assert_eq!(TransportKind::Ring.instantiate(&raw).max_message_bytes(), 4);
+    }
+
+    #[test]
+    fn occupancy_tracks_sends_and_recvs() {
+        // Locked is byte-exact; the ring reports slot-granular bytes.
+        let locked = LockedTransport::new(64, 8);
+        locked.send(&[1; 3], T).unwrap();
+        locked.send(&[2; 5], T).unwrap();
+        assert_eq!(locked.occupancy(), 2);
+        assert_eq!(locked.len_bytes(), 8);
+        locked.recv(T).unwrap();
+        assert_eq!((locked.occupancy(), locked.len_bytes()), (1, 5));
+
+        let ring = RingTransport::new(64, 8);
+        assert_eq!((ring.occupancy(), ring.len_bytes()), (0, 0));
+        ring.send(&[1; 3], T).unwrap();
+        ring.send(&[2; 5], T).unwrap();
+        assert_eq!(ring.occupancy(), 2);
+        assert_eq!(ring.len_bytes(), 16, "slot-granular: 2 slots × 8 B");
+        ring.recv(T).unwrap();
+        ring.recv(T).unwrap();
+        assert_eq!((ring.occupancy(), ring.len_bytes()), (0, 0));
+    }
+
+    #[test]
+    fn occupancy_saturates_at_capacity() {
+        for t in both(16, 4) {
+            for _ in 0..4 {
+                t.send(&[0; 4], T).unwrap();
+            }
+            assert_eq!(t.occupancy(), 4);
+            assert_eq!(t.len_bytes(), 16);
+        }
     }
 
     #[test]

@@ -45,6 +45,7 @@ mod assign;
 mod error;
 mod ipc_graph;
 pub mod latency;
+mod predicted;
 mod selftimed;
 mod sync_graph;
 
@@ -57,5 +58,6 @@ pub use ipc_graph::{IpcEdge, IpcEdgeKind, IpcGraph, Task, TaskId};
 pub use latency::{
     first_completion, latency_report, measured_period, self_timed_times, LatencyReport,
 };
+pub use predicted::{predicted_metrics, PredictedMetrics};
 pub use selftimed::SelfTimedSchedule;
 pub use sync_graph::{Protocol, ResyncReport, SyncEdge, SyncGraph, SyncKind};

@@ -1,0 +1,192 @@
+//! Predicted-performance query API for self-timed schedules.
+//!
+//! The paper's eq. (3) semantics give every task of the synchronization
+//! graph an analytic ASAP start/end time; [`crate::latency`] computes
+//! those by fixed-point iteration. This module packages the numbers the
+//! *runtime* side wants to compare itself against: an iteration-period
+//! estimate (the maximum cycle mean the schedule converges to) and a
+//! **makespan bound** for a finite horizon of iterations — the value a
+//! trace-conformance checker holds an observed execution against.
+//!
+//! The bound is computed exactly (fixed point) up to a capped horizon
+//! and extrapolated linearly past it using the worst of the analytic
+//! period and the measured tail increment, rounded up — extrapolation
+//! never undercuts the exact value for a longer horizon, because
+//! self-timed iteration increments are non-increasing toward the steady
+//! state (monotonicity of eq. (3) with fixed initial tokens).
+//!
+//! The numbers cover **computation and synchronization ordering only**:
+//! the sync graph carries no per-message communication costs (channel
+//! wire time, send/receive overhead). Callers that know those costs —
+//! the SPI system builder does — add them as slack via
+//! [`PredictedMetrics::makespan_with_slack`].
+
+use crate::latency::self_timed_times;
+use crate::sync_graph::SyncGraph;
+
+/// Horizon up to which the makespan is computed by exact fixed point;
+/// longer horizons extrapolate from this prefix.
+const EXACT_HORIZON_CAP: u64 = 256;
+
+/// Analytic performance prediction for a self-timed schedule over a
+/// finite horizon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictedMetrics {
+    /// Number of tasks in the synchronization graph.
+    pub tasks: usize,
+    /// Iterations the prediction covers.
+    pub horizon: u64,
+    /// Completion cycle of the first iteration (pipeline fill latency).
+    pub first_iteration_makespan: u64,
+    /// Steady-state iteration period from maximum-cycle-mean analysis;
+    /// `None` when the graph is acyclic (unbounded pipelining).
+    pub iteration_period: Option<f64>,
+    /// Compute-only makespan bound for `horizon` iterations, in cycles.
+    pub makespan_cycles: u64,
+}
+
+impl PredictedMetrics {
+    /// The makespan bound with communication slack added: a fixed
+    /// startup allowance plus a per-iteration cost, both in cycles.
+    /// Callers use this to turn the compute-only analytic number into a
+    /// conservative envelope for an execution that also pays per-message
+    /// channel costs.
+    pub fn makespan_with_slack(&self, per_iteration_cycles: u64, fixed_cycles: u64) -> u64 {
+        self.makespan_cycles
+            .saturating_add(per_iteration_cycles.saturating_mul(self.horizon))
+            .saturating_add(fixed_cycles)
+    }
+}
+
+/// Computes [`PredictedMetrics`] for `iterations` of `graph` under the
+/// self-timed (eq. 3) semantics.
+pub fn predicted_metrics(graph: &SyncGraph, iterations: u64) -> PredictedMetrics {
+    let tasks = graph.tasks().len();
+    let period = graph.iteration_period();
+    if tasks == 0 || iterations == 0 {
+        return PredictedMetrics {
+            tasks,
+            horizon: iterations,
+            first_iteration_makespan: 0,
+            iteration_period: period,
+            makespan_cycles: 0,
+        };
+    }
+
+    let exact_horizon = iterations.min(EXACT_HORIZON_CAP);
+    let times = self_timed_times(graph, exact_horizon);
+    let makespan_at = |k: usize| -> u64 { times[k].iter().map(|&(_, e)| e).max().unwrap_or(0) };
+    let first_iteration_makespan = makespan_at(0);
+    let exact_makespan = makespan_at(exact_horizon as usize - 1);
+
+    let makespan_cycles = if iterations <= exact_horizon {
+        exact_makespan
+    } else {
+        // Extrapolate with the larger of the analytic period and the
+        // measured tail increment (conservative for schedules still
+        // settling at the cap), rounded up.
+        let tail_inc = if exact_horizon >= 2 {
+            exact_makespan - makespan_at(exact_horizon as usize - 2)
+        } else {
+            exact_makespan
+        };
+        let per_iter = period.unwrap_or(0.0).max(tail_inc as f64);
+        let remaining = iterations - exact_horizon;
+        exact_makespan.saturating_add((per_iter * remaining as f64).ceil() as u64)
+    };
+
+    PredictedMetrics {
+        tasks,
+        horizon: iterations,
+        first_iteration_makespan,
+        iteration_period: period,
+        makespan_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assign::{Assignment, ProcId};
+    use crate::ipc_graph::IpcGraph;
+    use crate::selftimed::SelfTimedSchedule;
+    use crate::sync_graph::Protocol;
+    use spi_dataflow::{PrecedenceGraph, SdfGraph};
+
+    fn two_proc_pipeline(exec: &[u64]) -> SyncGraph {
+        let mut g = SdfGraph::new();
+        let actors: Vec<_> = exec
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| g.add_actor(format!("v{i}"), c))
+            .collect();
+        for w in actors.windows(2) {
+            g.add_edge(w[0], w[1], 1, 1, 0, 4).unwrap();
+        }
+        let pg = PrecedenceGraph::expand(&g).unwrap();
+        let assign = Assignment::by_actor(&pg, 2, |a| ProcId(a.0 % 2)).unwrap();
+        let st = SelfTimedSchedule::from_assignment(&pg, assign).unwrap();
+        let ipc = IpcGraph::build(&g, &pg, &st).unwrap();
+        SyncGraph::from_ipc(&ipc, |_| Protocol::Ubs { ack_window: 2 }).unwrap()
+    }
+
+    #[test]
+    fn one_iteration_matches_first_completion() {
+        let sg = two_proc_pipeline(&[10, 20, 30]);
+        let m = predicted_metrics(&sg, 1);
+        assert_eq!(m.first_iteration_makespan, 60);
+        assert_eq!(m.makespan_cycles, 60);
+        assert_eq!(m.horizon, 1);
+        assert_eq!(m.tasks, sg.tasks().len());
+    }
+
+    #[test]
+    fn makespan_grows_monotonically_with_horizon() {
+        let sg = two_proc_pipeline(&[10, 40, 10]);
+        let mut prev = 0;
+        for iters in [1, 2, 4, 8, 32] {
+            let m = predicted_metrics(&sg, iters).makespan_cycles;
+            assert!(m >= prev, "{iters} iterations: {m} < {prev}");
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn extrapolated_bound_dominates_exact_fixpoint() {
+        let sg = two_proc_pipeline(&[10, 20, 5]);
+        // 300 > EXACT_HORIZON_CAP forces the extrapolated path; the
+        // directly computed fixpoint must stay under the bound.
+        let predicted = predicted_metrics(&sg, 300).makespan_cycles;
+        let exact = self_timed_times(&sg, 300)
+            .last()
+            .unwrap()
+            .iter()
+            .map(|&(_, e)| e)
+            .max()
+            .unwrap();
+        assert!(
+            predicted >= exact,
+            "extrapolation must be conservative: {predicted} < {exact}"
+        );
+        // ...but not uselessly loose.
+        assert!(
+            predicted <= exact.saturating_mul(2),
+            "{predicted} vs {exact}"
+        );
+    }
+
+    #[test]
+    fn slack_adds_per_iteration_and_fixed_terms() {
+        let sg = two_proc_pipeline(&[10, 10]);
+        let m = predicted_metrics(&sg, 5);
+        assert_eq!(m.makespan_with_slack(7, 100), m.makespan_cycles + 35 + 100);
+    }
+
+    #[test]
+    fn zero_iterations_predict_zero() {
+        let sg = two_proc_pipeline(&[10, 10]);
+        let m = predicted_metrics(&sg, 0);
+        assert_eq!(m.makespan_cycles, 0);
+        assert_eq!(m.first_iteration_makespan, 0);
+    }
+}

@@ -31,7 +31,10 @@ impl Criterion {
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { _parent: self, name: name.to_string() }
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
     }
 }
 
@@ -87,12 +90,18 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Function name plus parameter value.
     pub fn new<P: fmt::Display>(function: &str, parameter: P) -> Self {
-        BenchmarkId { function: Some(function.to_string()), parameter: parameter.to_string() }
+        BenchmarkId {
+            function: Some(function.to_string()),
+            parameter: parameter.to_string(),
+        }
     }
 
     /// Parameter value only.
     pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
-        BenchmarkId { function: None, parameter: parameter.to_string() }
+        BenchmarkId {
+            function: None,
+            parameter: parameter.to_string(),
+        }
     }
 }
 
@@ -127,9 +136,16 @@ impl Bencher {
 }
 
 fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
-    let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
     f(&mut b);
-    let mean = if b.iters > 0 { b.elapsed / b.iters as u32 } else { Duration::ZERO };
+    let mean = if b.iters > 0 {
+        b.elapsed / b.iters as u32
+    } else {
+        Duration::ZERO
+    };
     println!("bench {label:<48} {mean:>12.2?}/iter ({} iters)", b.iters);
 }
 

@@ -31,7 +31,9 @@ impl TestRng {
         for b in test_name.bytes() {
             h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
         }
-        TestRng { state: h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)) }
+        TestRng {
+            state: h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
     }
 
     /// Next 64 random bits.
@@ -206,7 +208,9 @@ impl<T: Arbitrary> Strategy for Any<T> {
 
 /// Unconstrained strategy for any [`Arbitrary`] type.
 pub fn any<T: Arbitrary>() -> Any<T> {
-    Any { _marker: std::marker::PhantomData }
+    Any {
+        _marker: std::marker::PhantomData,
+    }
 }
 
 /// Collection strategies (`prop::collection::vec`).

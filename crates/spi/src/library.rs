@@ -112,6 +112,7 @@ mod tests {
             src_proc: ProcId(0),
             dst_proc: ProcId(1),
             bound_tokens: Some(2),
+            bound_msgs: Some(3),
             protocol: if ack {
                 Protocol::Ubs { ack_window: 1 }
             } else {

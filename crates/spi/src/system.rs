@@ -21,10 +21,11 @@
 //!    hardware (tables 1–2).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use spi_dataflow::{ActorId, EdgeId, LengthSignal, PrecedenceGraph, SdfGraph, VtsConversion};
 use spi_platform::{
-    ChannelId, ChannelSpec, Machine, Op, PeLocal, Program, ResourceEstimate, SimReport,
+    ChannelId, ChannelSpec, Machine, Op, PeLocal, Program, ResourceEstimate, SimReport, Tracer,
 };
 use spi_sched::{
     Assignment, IpcGraph, ProcId, Protocol, ResyncReport, SelfTimedSchedule, SyncGraph, SyncKind,
@@ -103,6 +104,7 @@ pub struct SpiSystemBuilder {
     mode: SchedulingMode,
     proc_speeds: HashMap<ProcId, (u64, u64)>,
     ordered_transactions: Option<u64>,
+    tracer: Option<Arc<dyn Tracer>>,
 }
 
 impl SpiSystemBuilder {
@@ -128,6 +130,7 @@ impl SpiSystemBuilder {
             mode: SchedulingMode::SelfTimed,
             proc_speeds: HashMap::new(),
             ordered_transactions: None,
+            tracer: None,
         }
     }
 
@@ -162,6 +165,19 @@ impl SpiSystemBuilder {
     /// [`spi_platform::SimReport::render_gantt`]).
     pub fn trace(&mut self, on: bool) -> &mut Self {
         self.trace = on;
+        self
+    }
+
+    /// Attaches a runtime probe ([`spi_platform::Tracer`], e.g.
+    /// `spi_trace::RingTracer`): every engine the built system runs on —
+    /// the discrete-event simulator and the threaded runner — emits
+    /// firing begin/end, send/receive (with payload digest and
+    /// post-operation occupancy) and block/unblock events into it.
+    /// Combine with [`SpiSystem::trace_meta`] to produce a
+    /// `spi_trace::Trace` that the conformance checker can replay
+    /// against the eq. (1)/(2) bounds.
+    pub fn tracer(&mut self, tracer: Arc<dyn Tracer>) -> &mut Self {
+        self.tracer = Some(tracer);
         self
     }
 
@@ -368,6 +384,7 @@ impl SpiSystemBuilder {
                     src_proc: actor_proc[&edge.src],
                     dst_proc: actor_proc[&edge.dst],
                     bound_tokens: None,
+                    bound_msgs: None,
                     protocol: Protocol::Ubs {
                         ack_window: self.ack_window,
                     },
@@ -463,6 +480,9 @@ impl SpiSystemBuilder {
         if self.trace {
             machine.enable_trace();
         }
+        if let Some(tracer) = &self.tracer {
+            machine.set_tracer(tracer.clone());
+        }
         if let Some(bus) = self.bus {
             machine.set_shared_bus(bus);
         }
@@ -477,6 +497,14 @@ impl SpiSystemBuilder {
                     // eq. (2): tokens-in-flight bound × messages per
                     // iteration of drift, plus one message of slack.
                     let msgs = (capacity + 1) * q[cg.edge(*eid).src];
+                    // Static-phase messages are always exactly `msg_max`
+                    // bytes, so the byte capacity implies a message-count
+                    // bound the runtime checker can hold occupancy
+                    // against. Dynamic messages may be shorter, letting
+                    // more of them legitimately fit in the same bytes.
+                    if plan.phase == SpiPhase::Static {
+                        plan.bound_msgs = Some(msgs);
+                    }
                     (msgs as usize) * msg_max
                 }
                 Protocol::Ubs { .. } => {
@@ -614,6 +642,70 @@ impl SpiSystemBuilder {
             });
         }
 
+        // ---- Predicted-makespan bound for trace conformance -------------
+        // The sync-graph fixed point covers computation and blocking
+        // order; the engines additionally charge per-message channel
+        // costs (codec overhead, send/recv busy time, wire cycles). In a
+        // monotonic event system, inflating operation durations by deltas
+        // inflates the makespan by at most their sum, so adding every
+        // per-message cost as slack yields a sound upper bound. Only the
+        // paper's baseline configuration is predictable this way: a
+        // shared/ordered bus serializes transfers and heterogeneous
+        // processor speeds rescale compute outside the sync model.
+        let predicted_makespan_cycles = if matches!(self.mode, SchedulingMode::SelfTimed)
+            && self.bus.is_none()
+            && self.ordered_transactions.is_none()
+            && self.proc_speeds.is_empty()
+        {
+            let base = spi_sched::predicted_metrics(&sync, self.iterations);
+            let spec = &self.channel_template;
+            let mut per_iter = 0u64;
+            let mut fixed = 0u64;
+            for plan in plans.values() {
+                let edge = cg.edge(plan.edge);
+                let q_src = q[edge.src];
+                let msg_max = message::header_bytes(plan.phase) + plan.payload_max;
+                let decode = match (plan.phase, self.signal) {
+                    (SpiPhase::Static, _) => 1,
+                    (SpiPhase::Dynamic, LengthSignal::Header) => 2,
+                    (SpiPhase::Dynamic, LengthSignal::Delimiter) => 2 + plan.payload_max as u64,
+                };
+                let data_cost = 1 // header emission inside the firing
+                    + spec.send_overhead_cycles
+                    + spec.wire_cycles(msg_max)
+                    + spec.recv_overhead_cycles
+                    + decode;
+                per_iter = per_iter.saturating_add(q_src.saturating_mul(data_cost));
+                // Pipeline-fill sends happen once, ahead of the loop.
+                let fills = edge.delay / u64::from(edge.produce.bound());
+                fixed = fixed.saturating_add(
+                    fills.saturating_mul(spec.send_overhead_cycles + spec.wire_cycles(msg_max)),
+                );
+                if plan.ack_kept {
+                    let ack_cost = spec.send_overhead_cycles
+                        + spec.wire_cycles(ACK_BYTES)
+                        + spec.recv_overhead_cycles
+                        + 1; // credit-consume compute
+                    per_iter = per_iter.saturating_add(q_src.saturating_mul(ack_cost));
+                    let window = match plan.protocol {
+                        Protocol::Ubs { ack_window } => ack_window,
+                        Protocol::Bbs { .. } => 0,
+                    };
+                    // The consumer grants the initial credit window once.
+                    fixed =
+                        fixed.saturating_add(window.saturating_mul(
+                            spec.send_overhead_cycles + spec.wire_cycles(ACK_BYTES),
+                        ));
+                }
+                // Consumer-side priming compute and iteration-boundary
+                // drift of the cumulative-message counts.
+                fixed = fixed.saturating_add(4);
+            }
+            Some(base.makespan_with_slack(per_iter, fixed))
+        } else {
+            None
+        };
+
         Ok(SpiSystem {
             machine,
             plans,
@@ -626,6 +718,9 @@ impl SpiSystemBuilder {
             sync_dot_before,
             sync_dot_after,
             analysis,
+            transports: transport_decls,
+            predicted_makespan_cycles,
+            tracer: self.tracer,
         })
     }
 }
@@ -658,6 +753,11 @@ pub struct EdgePlan {
     pub dst_proc: ProcId,
     /// eq. (2) bound in tokens, when it exists.
     pub bound_tokens: Option<u64>,
+    /// Message-count capacity the data channel was provisioned for
+    /// (`(capacity + 1) · q_src` for BBS); `None` for UBS, where credits
+    /// govern flow instead of the buffer. The runtime conformance
+    /// checker holds observed occupancy against this.
+    pub bound_msgs: Option<u64>,
     /// Chosen protocol.
     pub protocol: Protocol,
     /// Whether UBS acknowledgements survived resynchronization.
@@ -681,6 +781,9 @@ pub struct SpiSystem {
     sync_dot_before: String,
     sync_dot_after: String,
     analysis: spi_analyze::AnalysisReport,
+    transports: HashMap<EdgeId, spi_analyze::TransportDecl>,
+    predicted_makespan_cycles: Option<u64>,
+    tracer: Option<Arc<dyn Tracer>>,
 }
 
 impl SpiSystem {
@@ -727,6 +830,49 @@ impl SpiSystem {
     /// and 5.
     pub fn sync_graph_dot(&self) -> (&str, &str) {
         (&self.sync_dot_before, &self.sync_dot_after)
+    }
+
+    /// The predicted self-timed makespan bound in cycles for this
+    /// system's iteration horizon — the eq. (3) fixed point plus
+    /// conservative per-message communication slack. `None` when the
+    /// configuration falls outside the analytic model (fully-static
+    /// mode, shared or ordered bus, heterogeneous processor speeds).
+    pub fn predicted_makespan_cycles(&self) -> Option<u64> {
+        self.predicted_makespan_cycles
+    }
+
+    /// Trace metadata for a capture of this system: the per-edge
+    /// eq. (1)/(2) bounds, the iteration horizon, and (for cycle-clocked
+    /// captures) the predicted makespan bound. Pass the result to
+    /// `spi_trace::RingTracer::finish` so the conformance checker can
+    /// replay the observed run against the static contract.
+    ///
+    /// Ack and control channels are deliberately absent from the edge
+    /// table: their sizing is a protocol concern, not an eq. (2) bound,
+    /// so the checker replays them for FIFO order only.
+    pub fn trace_meta(&self, clock: spi_trace::ClockKind) -> spi_trace::TraceMeta {
+        let mut meta = spi_trace::TraceMeta::new(clock);
+        meta.iterations = self.iterations;
+        if clock == spi_trace::ClockKind::Cycles {
+            meta.predicted_makespan_cycles = self.predicted_makespan_cycles;
+        }
+        let mut edges: Vec<spi_trace::EdgeBound> = self
+            .plans
+            .values()
+            .map(|p| {
+                let t = &self.transports[&p.edge];
+                spi_trace::EdgeBound {
+                    edge: p.edge,
+                    channel: p.data_ch,
+                    capacity_bytes: t.capacity_bytes,
+                    max_message_bytes: t.message_bytes_max,
+                    bound_tokens: p.bound_msgs,
+                }
+            })
+            .collect();
+        edges.sort_by_key(|e| e.edge);
+        meta.edges = edges;
+        meta
     }
 
     /// Per-edge buffer sizing report: the paper's bounded-memory story
@@ -777,6 +923,12 @@ impl SpiSystem {
         self,
         runner: &spi_platform::ThreadedRunner,
     ) -> Result<Vec<spi_platform::ThreadedPeResult>> {
+        // A tracer attached at build time follows the system onto
+        // whichever engine runs it.
+        let runner = match &self.tracer {
+            Some(t) => runner.clone().tracer(t.clone()),
+            None => runner.clone(),
+        };
         let (channels, programs) = self.machine.into_parts();
         let results = runner.run(&channels, programs)?;
         for r in &results {

@@ -1,0 +1,599 @@
+//! Trace conformance: replaying an observed run against the paper's
+//! static guarantees.
+//!
+//! The static side of this repo *proves* things about an SPI system:
+//! eq. (1) bounds every packed message to `c(e)` bytes, eq. (2) sizes
+//! every IPC buffer to `B(e) = (Γ + delay(e)) · c(e)`, the SPSC
+//! transports promise per-channel FIFO delivery, and the self-timed
+//! analysis predicts a makespan. This module closes the loop: given a
+//! captured [`Trace`], it verifies the run actually stayed inside every
+//! one of those envelopes, and emits analyzer-style diagnostics
+//! (`SPI080`–`SPI085`, same [`spi_analyze::Diagnostic`] machinery as
+//! the static passes) when it did not.
+//!
+//! | code   | severity | meaning |
+//! |--------|----------|---------|
+//! | SPI080 | error    | observed occupancy exceeded the eq. (2) buffer bound |
+//! | SPI081 | error    | a message exceeded the eq. (1) packed-token size |
+//! | SPI082 | error    | per-channel FIFO order violated (digest mismatch) |
+//! | SPI083 | error    | observed makespan exceeded the predicted bound |
+//! | SPI084 | warning  | capture dropped events; checks ran on a partial stream |
+//! | SPI085 | error    | conservation violated: more receives than sends |
+//!
+//! A clean report on a cycle-clocked DES trace is strong evidence the
+//! builder's provisioning math and the engines' flow control agree with
+//! the analysis; a clean report on a threaded-runner trace additionally
+//! exercises the real lock-free transports.
+
+use std::collections::HashMap;
+
+use spi_analyze::{Diagnostic, Locus, Severity};
+use spi_platform::{ChannelId, ProbeKind};
+
+use crate::model::{ClockKind, EdgeBound, Trace, TraceMeta};
+
+/// Outcome of [`check`]: the diagnostics plus the headline numbers a
+/// report wants to print even when everything passed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConformanceReport {
+    /// Findings, worst first.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Channels whose event streams were replayed.
+    pub channels_checked: usize,
+    /// Send/receive pairs whose digests were compared in FIFO order.
+    pub messages_checked: u64,
+    /// Observed makespan (last event timestamp).
+    pub observed_makespan: u64,
+    /// The predicted bound the makespan was held against, when the
+    /// trace metadata carried one and the clock is cycle-denominated.
+    pub predicted_makespan: Option<u64>,
+    /// `predicted − observed` when both exist and the run met the
+    /// bound; how much headroom the prediction left.
+    pub slack: Option<u64>,
+}
+
+impl ConformanceReport {
+    /// Whether any diagnostic is an error.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// Renders the report in the analyzer's human format, with a
+    /// trailing summary line.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render_human());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "trace-check: {} channel(s), {} message(s)",
+            self.channels_checked, self.messages_checked
+        ));
+        match (self.predicted_makespan, self.slack) {
+            (Some(p), Some(s)) => out.push_str(&format!(
+                ", makespan {} <= {} (slack {})",
+                self.observed_makespan, p, s
+            )),
+            (Some(p), None) => {
+                out.push_str(&format!(
+                    ", makespan {} vs bound {}",
+                    self.observed_makespan, p
+                ));
+            }
+            _ => out.push_str(&format!(", makespan {}", self.observed_makespan)),
+        }
+        out.push_str(if self.has_errors() {
+            ": FAIL\n"
+        } else {
+            ": ok\n"
+        });
+        out
+    }
+}
+
+/// Per-channel replay state.
+///
+/// Sends and receives are collected separately and matched **by index**
+/// at the end, not by stream position: the transports are SPSC, so each
+/// side's per-channel order in the merged stream is exact (one writer,
+/// monotonic per-PE timestamps), but the *relative* interleaving of the
+/// two sides is not trustworthy on a wall-clock trace — a receiver can
+/// pop a message and stamp its event before the sender stamps the
+/// matching send. Index matching is immune to that race and still exact
+/// for the FIFO property.
+#[derive(Default)]
+struct ChannelReplay {
+    /// (digest, bytes) of every send, in emission order.
+    sent: Vec<(u64, u32)>,
+    /// (digest, bytes, ts) of every receive, in emission order.
+    recvd: Vec<(u64, u32, u64)>,
+}
+
+/// Replays `trace` against the bounds in its metadata.
+///
+/// Channels that carry traffic but appear in no [`EdgeBound`] (ack and
+/// control channels, whose capacity the builder provisions separately)
+/// are exempt from the eq. (1)/(2) checks but still replayed for FIFO
+/// and conservation.
+pub fn check(trace: &Trace) -> ConformanceReport {
+    let meta = &trace.meta;
+    let bounds: HashMap<usize, &EdgeBound> = meta.edges.iter().map(|b| (b.channel.0, b)).collect();
+
+    let mut diagnostics = Vec::new();
+    let mut replays: HashMap<usize, ChannelReplay> = HashMap::new();
+    let mut messages_checked = 0u64;
+    // Report each bound violation class once per channel, at its worst
+    // observation — a sustained overflow would otherwise flood the
+    // report with one diagnostic per event.
+    let mut worst_occ: HashMap<usize, (u64, u64, u64)> = HashMap::new(); // ch -> (occ_bytes, occ_msgs, ts)
+    let mut worst_msg: HashMap<usize, (u64, u64)> = HashMap::new(); // ch -> (bytes, ts)
+
+    for ev in &trace.events {
+        match ev.kind {
+            ProbeKind::Send {
+                channel,
+                bytes,
+                digest,
+                occ_bytes,
+                occ_msgs,
+            } => {
+                if let Some(b) = bounds.get(&channel.0) {
+                    if u64::from(bytes) > b.max_message_bytes {
+                        let w = worst_msg.entry(channel.0).or_insert((0, ev.ts));
+                        if u64::from(bytes) > w.0 {
+                            *w = (u64::from(bytes), ev.ts);
+                        }
+                    }
+                    record_occupancy(&mut worst_occ, channel, occ_bytes, occ_msgs, ev.ts, b);
+                }
+                replays
+                    .entry(channel.0)
+                    .or_default()
+                    .sent
+                    .push((digest, bytes));
+            }
+            ProbeKind::Recv {
+                channel,
+                bytes,
+                digest,
+                occ_bytes,
+                occ_msgs,
+            } => {
+                if let Some(b) = bounds.get(&channel.0) {
+                    record_occupancy(&mut worst_occ, channel, occ_bytes, occ_msgs, ev.ts, b);
+                }
+                replays
+                    .entry(channel.0)
+                    .or_default()
+                    .recvd
+                    .push((digest, bytes, ev.ts));
+            }
+            _ => {}
+        }
+    }
+
+    // FIFO + conservation: match receives against sends by index. One
+    // diagnostic per channel — a single out-of-order message
+    // desynchronizes every later comparison on that channel.
+    for (&ch, r) in &replays {
+        let channel = ChannelId(ch);
+        let mut broken = false;
+        for (i, &(digest, bytes, ts)) in r.recvd.iter().enumerate() {
+            match r.sent.get(i) {
+                Some(&(sent_digest, sent_bytes)) => {
+                    if sent_digest != digest || sent_bytes != bytes {
+                        broken = true;
+                        diagnostics.push(
+                            Diagnostic::new(
+                                "SPI082",
+                                Severity::Error,
+                                locus_for(&bounds, channel),
+                                format!(
+                                    "FIFO violation on {} at t={}: receive #{} carries \
+                                     digest {:#018x} ({} B) but send #{} was digest \
+                                     {:#018x} ({} B)",
+                                    channel, ts, i, digest, bytes, i, sent_digest, sent_bytes
+                                ),
+                            )
+                            .with_suggestion(
+                                "the SPSC transport contract promises per-channel order; \
+                                 a mismatch means payload corruption or interleaved \
+                                 writers on one channel",
+                            ),
+                        );
+                    } else {
+                        messages_checked += 1;
+                    }
+                }
+                None => {
+                    // More receives than sends: conservation broken.
+                    broken = true;
+                    diagnostics.push(
+                        Diagnostic::new(
+                            "SPI085",
+                            Severity::Error,
+                            locus_for(&bounds, channel),
+                            format!(
+                                "conservation violation on {} at t={}: receive #{} \
+                                 observed but only {} send(s) traced",
+                                channel,
+                                ts,
+                                i,
+                                r.sent.len()
+                            ),
+                        )
+                        .with_suggestion(
+                            "tokens appeared from nowhere — if the capture dropped \
+                             events (SPI084) the send may simply be missing from \
+                             the stream",
+                        ),
+                    );
+                }
+            }
+            if broken {
+                break;
+            }
+        }
+    }
+
+    for (ch, (occ_bytes, occ_msgs, ts)) in &worst_occ {
+        let b = bounds[ch];
+        let over_bytes = *occ_bytes > b.capacity_bytes;
+        let over_msgs = b.bound_tokens.is_some_and(|t| *occ_msgs > t);
+        if over_bytes || over_msgs {
+            let bound_desc = match b.bound_tokens {
+                Some(t) => format!("{} B / {} msg", b.capacity_bytes, t),
+                None => format!("{} B", b.capacity_bytes),
+            };
+            diagnostics.push(
+                Diagnostic::new(
+                    "SPI080",
+                    Severity::Error,
+                    Locus::Edge(b.edge),
+                    format!(
+                        "occupancy on {} (edge {}) reached {} B / {} msg at t={}, \
+                         exceeding the eq. (2) bound B(e) = {}",
+                        ChannelId(*ch),
+                        b.edge,
+                        occ_bytes,
+                        occ_msgs,
+                        ts,
+                        bound_desc
+                    ),
+                )
+                .with_suggestion(
+                    "the buffer bound (Γ + delay(e)) · c(e) was violated at runtime; \
+                     the provisioned capacity or the flow-control window is wrong",
+                ),
+            );
+        }
+    }
+
+    for (ch, (bytes, ts)) in &worst_msg {
+        let b = bounds[ch];
+        diagnostics.push(
+            Diagnostic::new(
+                "SPI081",
+                Severity::Error,
+                Locus::Edge(b.edge),
+                format!(
+                    "message of {} B on {} (edge {}) at t={} exceeds the eq. (1) \
+                     packed-token bound c(e) = {} B",
+                    bytes,
+                    ChannelId(*ch),
+                    b.edge,
+                    ts,
+                    b.max_message_bytes
+                ),
+            )
+            .with_suggestion(
+                "the vectorization degree or the per-token size bound used at build \
+                 time does not match what the actor actually sent",
+            ),
+        );
+    }
+
+    let observed_makespan = trace.observed_end();
+    let predicted_makespan = predicted_bound(meta);
+    let mut slack = None;
+    if let Some(p) = predicted_makespan {
+        if observed_makespan > p {
+            diagnostics.push(
+                Diagnostic::new(
+                    "SPI083",
+                    Severity::Error,
+                    Locus::System,
+                    format!(
+                        "observed makespan {} cycles exceeds the predicted self-timed \
+                         bound {} cycles (overshoot {})",
+                        observed_makespan,
+                        p,
+                        observed_makespan - p
+                    ),
+                )
+                .with_suggestion(
+                    "either the analytic model under-counts a communication cost or \
+                     the run hit contention the self-timed analysis does not model",
+                ),
+            );
+        } else {
+            slack = Some(p - observed_makespan);
+        }
+    }
+
+    if meta.dropped > 0 {
+        diagnostics.push(
+            Diagnostic::new(
+                "SPI084",
+                Severity::Warning,
+                Locus::System,
+                format!(
+                    "capture dropped {} event(s); all checks ran on a partial stream",
+                    meta.dropped
+                ),
+            )
+            .with_suggestion("enlarge the per-PE ring (RingTracer::new events_per_pe)"),
+        );
+    }
+
+    diagnostics.sort_by(|a, b| {
+        b.severity
+            .cmp(&a.severity)
+            .then(a.code.cmp(b.code))
+            .then(a.message.cmp(&b.message))
+    });
+
+    ConformanceReport {
+        diagnostics,
+        channels_checked: replays.len(),
+        messages_checked,
+        observed_makespan,
+        predicted_makespan,
+        slack,
+    }
+}
+
+/// The makespan bound is only comparable when the timestamps are
+/// cycle-denominated (DES traces); a wall-clock trace against a cycle
+/// bound would be apples to oranges.
+fn predicted_bound(meta: &TraceMeta) -> Option<u64> {
+    match meta.clock {
+        ClockKind::Cycles => meta.predicted_makespan_cycles,
+        ClockKind::Nanos => None,
+    }
+}
+
+fn record_occupancy(
+    worst: &mut HashMap<usize, (u64, u64, u64)>,
+    channel: ChannelId,
+    occ_bytes: u32,
+    occ_msgs: u32,
+    ts: u64,
+    bound: &EdgeBound,
+) {
+    let over_bytes = u64::from(occ_bytes) > bound.capacity_bytes;
+    let over_msgs = bound.bound_tokens.is_some_and(|t| u64::from(occ_msgs) > t);
+    if over_bytes || over_msgs {
+        let w = worst.entry(channel.0).or_insert((0, 0, ts));
+        if u64::from(occ_bytes) >= w.0 {
+            *w = (u64::from(occ_bytes), u64::from(occ_msgs), ts);
+        }
+    }
+}
+
+fn locus_for(bounds: &HashMap<usize, &EdgeBound>, channel: ChannelId) -> Locus {
+    match bounds.get(&channel.0) {
+        Some(b) => Locus::Edge(b.edge),
+        None => Locus::System,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spi_dataflow::EdgeId;
+    use spi_platform::{PeId, ProbeEvent};
+
+    fn bounded_meta() -> TraceMeta {
+        let mut meta = TraceMeta::new(ClockKind::Cycles);
+        meta.edges.push(EdgeBound {
+            edge: EdgeId(0),
+            channel: ChannelId(0),
+            capacity_bytes: 64,
+            max_message_bytes: 16,
+            bound_tokens: Some(4),
+        });
+        meta
+    }
+
+    fn send(ts: u64, ch: usize, bytes: u32, digest: u64, occ_b: u32, occ_m: u32) -> ProbeEvent {
+        ProbeEvent {
+            ts,
+            pe: PeId(0),
+            kind: ProbeKind::Send {
+                channel: ChannelId(ch),
+                bytes,
+                digest,
+                occ_bytes: occ_b,
+                occ_msgs: occ_m,
+            },
+        }
+    }
+
+    fn recv(ts: u64, ch: usize, bytes: u32, digest: u64, occ_b: u32, occ_m: u32) -> ProbeEvent {
+        ProbeEvent {
+            ts,
+            pe: PeId(1),
+            kind: ProbeKind::Recv {
+                channel: ChannelId(ch),
+                bytes,
+                digest,
+                occ_bytes: occ_b,
+                occ_msgs: occ_m,
+            },
+        }
+    }
+
+    fn codes(r: &ConformanceReport) -> Vec<&'static str> {
+        r.diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_trace_reports_no_diagnostics_and_slack() {
+        let mut meta = bounded_meta();
+        meta.predicted_makespan_cycles = Some(100);
+        let trace = Trace {
+            meta,
+            events: vec![
+                send(10, 0, 16, 0xaa, 16, 1),
+                send(20, 0, 16, 0xbb, 32, 2),
+                recv(30, 0, 16, 0xaa, 16, 1),
+                recv(40, 0, 16, 0xbb, 0, 0),
+            ],
+        };
+        let r = check(&trace);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        assert!(!r.has_errors());
+        assert_eq!(r.messages_checked, 2);
+        assert_eq!(r.channels_checked, 1);
+        assert_eq!(r.slack, Some(60));
+        assert!(r.render_human().contains("slack 60"));
+        assert!(r.render_human().contains(": ok"));
+    }
+
+    #[test]
+    fn occupancy_over_bound_fires_spi080_once_at_worst() {
+        let trace = Trace {
+            meta: bounded_meta(),
+            events: vec![
+                send(1, 0, 16, 1, 65, 5),
+                send(2, 0, 16, 2, 81, 6), // worse
+            ],
+        };
+        let r = check(&trace);
+        assert_eq!(codes(&r), vec!["SPI080"]);
+        assert!(r.diagnostics[0].message.contains("81 B"));
+        assert!(r.diagnostics[0].message.contains("t=2"));
+        assert_eq!(r.diagnostics[0].locus, Locus::Edge(EdgeId(0)));
+    }
+
+    #[test]
+    fn token_count_over_bound_fires_spi080_even_under_byte_capacity() {
+        let trace = Trace {
+            meta: bounded_meta(),
+            // 5 msgs > bound_tokens=4, but 40 B < 64 B capacity.
+            events: vec![send(1, 0, 8, 1, 40, 5)],
+        };
+        let r = check(&trace);
+        assert_eq!(codes(&r), vec!["SPI080"]);
+        assert!(r.diagnostics[0].message.contains("5 msg"));
+    }
+
+    #[test]
+    fn oversized_message_fires_spi081() {
+        let trace = Trace {
+            meta: bounded_meta(),
+            events: vec![send(1, 0, 17, 1, 17, 1)],
+        };
+        let r = check(&trace);
+        assert_eq!(codes(&r), vec!["SPI081"]);
+        assert!(r.diagnostics[0].message.contains("17 B"));
+        assert!(r.diagnostics[0].message.contains("c(e) = 16"));
+    }
+
+    #[test]
+    fn digest_mismatch_fires_spi082_once() {
+        let trace = Trace {
+            meta: bounded_meta(),
+            events: vec![
+                send(1, 0, 16, 0xaa, 16, 1),
+                send(2, 0, 16, 0xbb, 32, 2),
+                recv(3, 0, 16, 0xbb, 16, 1), // out of order
+                recv(4, 0, 16, 0xaa, 0, 0),
+            ],
+        };
+        let r = check(&trace);
+        assert_eq!(codes(&r), vec!["SPI082"]);
+        assert!(r.diagnostics[0].message.contains("receive #0"));
+    }
+
+    #[test]
+    fn excess_receives_fire_spi085() {
+        let trace = Trace {
+            meta: bounded_meta(),
+            events: vec![
+                send(1, 0, 16, 0xaa, 16, 1),
+                recv(2, 0, 16, 0xaa, 0, 0),
+                recv(3, 0, 16, 0xcc, 0, 0),
+            ],
+        };
+        let r = check(&trace);
+        assert_eq!(codes(&r), vec!["SPI085"]);
+        assert!(r.diagnostics[0].message.contains("receive #1"));
+    }
+
+    #[test]
+    fn makespan_overshoot_fires_spi083_cycles_only() {
+        let mut meta = bounded_meta();
+        meta.predicted_makespan_cycles = Some(10);
+        let events = vec![send(50, 0, 16, 1, 16, 1)];
+        let r = check(&Trace {
+            meta: meta.clone(),
+            events: events.clone(),
+        });
+        assert_eq!(codes(&r), vec!["SPI083"]);
+        assert!(r.diagnostics[0].message.contains("overshoot 40"));
+
+        // Same numbers on a nanosecond clock: not comparable, no finding.
+        meta.clock = ClockKind::Nanos;
+        let r = check(&Trace { meta, events });
+        assert!(r.diagnostics.is_empty());
+        assert_eq!(r.predicted_makespan, None);
+    }
+
+    #[test]
+    fn dropped_events_fire_spi084_warning() {
+        let mut meta = bounded_meta();
+        meta.dropped = 7;
+        let r = check(&Trace {
+            meta,
+            events: vec![],
+        });
+        assert_eq!(codes(&r), vec!["SPI084"]);
+        assert_eq!(r.diagnostics[0].severity, Severity::Warning);
+        assert!(!r.has_errors());
+    }
+
+    #[test]
+    fn unbounded_channels_skip_bound_checks_but_keep_fifo() {
+        // Channel 9 has no EdgeBound: huge message + occupancy are fine,
+        // but a digest mismatch still fires.
+        let trace = Trace {
+            meta: bounded_meta(),
+            events: vec![
+                send(1, 9, 4096, 0xaa, 4096, 1),
+                recv(2, 9, 4096, 0xdd, 0, 0),
+            ],
+        };
+        let r = check(&trace);
+        assert_eq!(codes(&r), vec!["SPI082"]);
+        assert_eq!(r.diagnostics[0].locus, Locus::System);
+    }
+
+    #[test]
+    fn errors_sort_before_warnings() {
+        let mut meta = bounded_meta();
+        meta.dropped = 1;
+        let trace = Trace {
+            meta,
+            events: vec![send(1, 0, 17, 1, 65, 5)],
+        };
+        let r = check(&trace);
+        let cs = codes(&r);
+        assert_eq!(cs, vec!["SPI080", "SPI081", "SPI084"]);
+        assert!(r.render_human().contains("FAIL"));
+    }
+}

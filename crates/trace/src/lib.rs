@@ -1,0 +1,56 @@
+//! # spi-trace — runtime observability for SPI systems
+//!
+//! The static layers of this repo derive guarantees *before* a system
+//! runs: eq. (1) bounds every packed message, eq. (2) sizes every IPC
+//! buffer, and the self-timed analysis predicts a makespan. This crate
+//! turns those paper bounds into **checked runtime invariants**:
+//!
+//! * [`RingTracer`] — lock-free per-PE event capture implementing the
+//!   platform's [`Tracer`] probe trait: no locks or allocation on the
+//!   hot path, overflow drops-and-counts instead of blocking, and a
+//!   stable timestamp merge that preserves per-channel FIFO order.
+//! * [`Trace`] / [`TraceMeta`] — the owned capture model plus a
+//!   line-oriented native format (`# spi-trace v1`) that is diffable
+//!   and greppable in failure reports.
+//! * [`aggregate`] — per-actor utilization, per-PE stall time,
+//!   per-channel occupancy high-water marks, observed iteration period.
+//! * [`to_chrome_json`] / [`render_gantt`] — Chrome `trace_event`
+//!   export (open in `chrome://tracing` or Perfetto) and a terminal
+//!   Gantt chart.
+//! * [`check`] — the conformance checker: replays a trace against the
+//!   eq. (1)/(2) bounds, per-channel FIFO, token conservation, and the
+//!   predicted makespan, emitting analyzer-style `SPI080`–`SPI085`
+//!   diagnostics.
+//!
+//! ## Typical flow
+//!
+//! ```text
+//! builder.tracer(ring.clone())         // attach a RingTracer
+//!     -> system.run()                  // engines emit probe events
+//!     -> ring.finish(system.trace_meta(ClockKind::Cycles))
+//!     -> check(&trace)                 // SPI08x conformance report
+//!     -> to_chrome_json(&trace)        // visualize
+//! ```
+//!
+//! The capture module is the only unsafe code in the crate (the same
+//! single-writer claim/publish idiom as the platform's `RingTransport`);
+//! everything else is `#![deny(unsafe_code)]`-clean.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+mod capture;
+mod check;
+mod export;
+mod metrics;
+mod model;
+
+pub use capture::{RingTracer, DEFAULT_EVENTS_PER_PE};
+pub use check::{check, ConformanceReport};
+pub use export::{render_gantt, to_chrome_json};
+pub use metrics::{aggregate, ActorMetrics, ChannelMetrics, PeMetrics, TraceMetrics};
+pub use model::{ClockKind, EdgeBound, Trace, TraceMeta, TraceParseError, NATIVE_VERSION};
+
+// Re-export the probe-side vocabulary so trace consumers need only this
+// crate.
+pub use spi_platform::{payload_digest, NopTracer, ProbeEvent, ProbeKind, Tracer};

@@ -1,0 +1,374 @@
+//! Post-run aggregation: from a raw event stream to the numbers a
+//! performance investigation starts with.
+//!
+//! Everything here is derived purely from a [`Trace`], so the same
+//! aggregation works for DES traces (cycle-exact) and threaded traces
+//! (wall-clock nanoseconds); the [`crate::ClockKind`] in the metadata
+//! says which unit the numbers carry.
+
+use std::collections::HashMap;
+
+use spi_platform::{ChannelId, PeId, ProbeKind};
+
+use crate::model::Trace;
+
+/// Aggregated view of one actor label (`fire:<name>#<k>` as interned by
+/// the engines; SPI protocol ops like `spi:credit:e0` aggregate too).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActorMetrics {
+    /// The firing label, resolved through the trace's intern table.
+    pub label: String,
+    /// PE the firings ran on.
+    pub pe: PeId,
+    /// Completed firings observed.
+    pub firings: u64,
+    /// Total clock units spent inside begin/end pairs.
+    pub busy: u64,
+}
+
+/// Aggregated view of one PE.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeMetrics {
+    /// The PE.
+    pub pe: PeId,
+    /// Clock units inside firing begin/end pairs.
+    pub busy: u64,
+    /// Clock units blocked on full channels (send side).
+    pub send_stall: u64,
+    /// Clock units blocked on empty channels (receive side).
+    pub recv_stall: u64,
+    /// `busy / span` over the observed window (0.0–1.0).
+    pub utilization: f64,
+}
+
+/// Aggregated view of one channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelMetrics {
+    /// The channel.
+    pub channel: ChannelId,
+    /// Messages observed entering the channel.
+    pub sends: u64,
+    /// Messages observed leaving the channel.
+    pub recvs: u64,
+    /// Payload bytes sent.
+    pub bytes: u64,
+    /// Occupancy high-water mark in bytes (post-send snapshots).
+    pub peak_bytes: u64,
+    /// Occupancy high-water mark in messages.
+    pub peak_msgs: u64,
+}
+
+/// Everything [`aggregate`] computes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceMetrics {
+    /// Timestamp of the last event (the observed makespan for a
+    /// cycle-clocked trace).
+    pub observed_end: u64,
+    /// Width of the observed window (`max ts − min ts`).
+    pub span: u64,
+    /// `span / iterations` when the metadata records an iteration
+    /// count — the observed steady-state iteration period.
+    pub observed_period: Option<f64>,
+    /// Per-actor-label aggregates, sorted by PE then label.
+    pub actors: Vec<ActorMetrics>,
+    /// Per-PE aggregates, indexed by PE id.
+    pub pes: Vec<PeMetrics>,
+    /// Per-channel aggregates, sorted by channel id.
+    pub channels: Vec<ChannelMetrics>,
+}
+
+impl TraceMetrics {
+    /// Channel metrics by id, if the channel appears in the trace.
+    pub fn channel(&self, ch: ChannelId) -> Option<&ChannelMetrics> {
+        self.channels.iter().find(|c| c.channel == ch)
+    }
+
+    /// A compact human-readable summary table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "observed end {}  span {}  period {}\n",
+            self.observed_end,
+            self.span,
+            self.observed_period
+                .map_or_else(|| "-".into(), |p| format!("{p:.1}")),
+        ));
+        for p in &self.pes {
+            out.push_str(&format!(
+                "{}: busy {} ({:.1}%)  send-stall {}  recv-stall {}\n",
+                p.pe,
+                p.busy,
+                p.utilization * 100.0,
+                p.send_stall,
+                p.recv_stall
+            ));
+        }
+        for c in &self.channels {
+            out.push_str(&format!(
+                "{}: {} sent / {} recvd, {} B, peak {} B / {} msg\n",
+                c.channel, c.sends, c.recvs, c.bytes, c.peak_bytes, c.peak_msgs
+            ));
+        }
+        out
+    }
+}
+
+/// Folds a trace into [`TraceMetrics`].
+///
+/// Unpaired events degrade gracefully: a `FiringEnd` without a matching
+/// begin (possible after ring overflow) is ignored, an unclosed block
+/// interval contributes nothing. That keeps the aggregation total even
+/// on partial streams; the conformance checker, not this module, is
+/// responsible for complaining about them.
+pub fn aggregate(trace: &Trace) -> TraceMetrics {
+    let mut actors: HashMap<(usize, u32), ActorMetrics> = HashMap::new();
+    // Open firing begins per (pe, label) — a stack, since MPI-lowered
+    // programs can nest distinct labels but repeat the same one only
+    // sequentially.
+    let mut open_fire: HashMap<(usize, u32), Vec<u64>> = HashMap::new();
+    let mut open_send_block: HashMap<usize, u64> = HashMap::new();
+    let mut open_recv_block: HashMap<usize, u64> = HashMap::new();
+    let mut max_pe = 0usize;
+    let mut pe_busy: HashMap<usize, u64> = HashMap::new();
+    let mut pe_send_stall: HashMap<usize, u64> = HashMap::new();
+    let mut pe_recv_stall: HashMap<usize, u64> = HashMap::new();
+    let mut channels: HashMap<usize, ChannelMetrics> = HashMap::new();
+
+    fn chan(channels: &mut HashMap<usize, ChannelMetrics>, ch: ChannelId) -> &mut ChannelMetrics {
+        channels.entry(ch.0).or_insert(ChannelMetrics {
+            channel: ch,
+            sends: 0,
+            recvs: 0,
+            bytes: 0,
+            peak_bytes: 0,
+            peak_msgs: 0,
+        })
+    }
+
+    for ev in &trace.events {
+        max_pe = max_pe.max(ev.pe.0);
+        match ev.kind {
+            ProbeKind::FiringBegin { label } => {
+                open_fire.entry((ev.pe.0, label)).or_default().push(ev.ts);
+            }
+            ProbeKind::FiringEnd { label } => {
+                if let Some(begin) = open_fire.entry((ev.pe.0, label)).or_default().pop() {
+                    let dt = ev.ts.saturating_sub(begin);
+                    let a = actors
+                        .entry((ev.pe.0, label))
+                        .or_insert_with(|| ActorMetrics {
+                            label: trace.meta.label(label).to_string(),
+                            pe: ev.pe,
+                            firings: 0,
+                            busy: 0,
+                        });
+                    a.firings += 1;
+                    a.busy += dt;
+                    *pe_busy.entry(ev.pe.0).or_default() += dt;
+                }
+            }
+            ProbeKind::Send {
+                channel,
+                bytes,
+                occ_bytes,
+                occ_msgs,
+                ..
+            } => {
+                let c = chan(&mut channels, channel);
+                c.sends += 1;
+                c.bytes += u64::from(bytes);
+                c.peak_bytes = c.peak_bytes.max(u64::from(occ_bytes));
+                c.peak_msgs = c.peak_msgs.max(u64::from(occ_msgs));
+            }
+            ProbeKind::Recv {
+                channel,
+                occ_bytes,
+                occ_msgs,
+                ..
+            } => {
+                let c = chan(&mut channels, channel);
+                c.recvs += 1;
+                c.peak_bytes = c.peak_bytes.max(u64::from(occ_bytes));
+                c.peak_msgs = c.peak_msgs.max(u64::from(occ_msgs));
+            }
+            ProbeKind::BlockSend { .. } => {
+                open_send_block.insert(ev.pe.0, ev.ts);
+            }
+            ProbeKind::UnblockSend { .. } => {
+                if let Some(begin) = open_send_block.remove(&ev.pe.0) {
+                    *pe_send_stall.entry(ev.pe.0).or_default() += ev.ts.saturating_sub(begin);
+                }
+            }
+            ProbeKind::BlockRecv { .. } => {
+                open_recv_block.insert(ev.pe.0, ev.ts);
+            }
+            ProbeKind::UnblockRecv { .. } => {
+                if let Some(begin) = open_recv_block.remove(&ev.pe.0) {
+                    *pe_recv_stall.entry(ev.pe.0).or_default() += ev.ts.saturating_sub(begin);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let observed_end = trace.observed_end();
+    let span = trace.span();
+    let observed_period = if trace.meta.iterations > 0 && span > 0 {
+        Some(span as f64 / trace.meta.iterations as f64)
+    } else {
+        None
+    };
+
+    let pe_count = if trace.events.is_empty() {
+        0
+    } else {
+        max_pe + 1
+    };
+    let pes: Vec<PeMetrics> = (0..pe_count)
+        .map(|i| {
+            let busy = pe_busy.get(&i).copied().unwrap_or(0);
+            PeMetrics {
+                pe: PeId(i),
+                busy,
+                send_stall: pe_send_stall.get(&i).copied().unwrap_or(0),
+                recv_stall: pe_recv_stall.get(&i).copied().unwrap_or(0),
+                utilization: if span > 0 {
+                    busy as f64 / span as f64
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect();
+
+    let mut actors: Vec<ActorMetrics> = actors.into_values().collect();
+    actors.sort_by(|a, b| (a.pe.0, &a.label).cmp(&(b.pe.0, &b.label)));
+    let mut channels: Vec<ChannelMetrics> = channels.into_values().collect();
+    channels.sort_by_key(|c| c.channel.0);
+
+    TraceMetrics {
+        observed_end,
+        span,
+        observed_period,
+        actors,
+        pes,
+        channels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ClockKind, TraceMeta};
+    use spi_platform::ProbeEvent;
+
+    fn ev(ts: u64, pe: usize, kind: ProbeKind) -> ProbeEvent {
+        ProbeEvent {
+            ts,
+            pe: PeId(pe),
+            kind,
+        }
+    }
+
+    fn send(ch: usize, bytes: u32, occ_bytes: u32, occ_msgs: u32) -> ProbeKind {
+        ProbeKind::Send {
+            channel: ChannelId(ch),
+            bytes,
+            digest: 0,
+            occ_bytes,
+            occ_msgs,
+        }
+    }
+
+    #[test]
+    fn busy_stall_and_peaks_aggregate() {
+        let mut meta = TraceMeta::new(ClockKind::Cycles);
+        meta.labels = vec!["fire:a#0".into()];
+        meta.iterations = 2;
+        let trace = Trace {
+            meta,
+            events: vec![
+                ev(0, 0, ProbeKind::FiringBegin { label: 0 }),
+                ev(10, 0, ProbeKind::FiringEnd { label: 0 }),
+                ev(10, 0, send(0, 8, 8, 1)),
+                ev(12, 0, send(0, 8, 16, 2)),
+                ev(
+                    13,
+                    1,
+                    ProbeKind::BlockRecv {
+                        channel: ChannelId(0),
+                    },
+                ),
+                ev(
+                    15,
+                    1,
+                    ProbeKind::UnblockRecv {
+                        channel: ChannelId(0),
+                    },
+                ),
+                ev(
+                    15,
+                    1,
+                    ProbeKind::Recv {
+                        channel: ChannelId(0),
+                        bytes: 8,
+                        digest: 0,
+                        occ_bytes: 8,
+                        occ_msgs: 1,
+                    },
+                ),
+                ev(20, 0, ProbeKind::FiringBegin { label: 0 }),
+                ev(30, 0, ProbeKind::FiringEnd { label: 0 }),
+            ],
+        };
+        let m = aggregate(&trace);
+        assert_eq!(m.observed_end, 30);
+        assert_eq!(m.span, 30);
+        assert_eq!(m.observed_period, Some(15.0));
+        assert_eq!(m.actors.len(), 1);
+        assert_eq!(m.actors[0].firings, 2);
+        assert_eq!(m.actors[0].busy, 20);
+        assert_eq!(m.pes.len(), 2);
+        assert_eq!(m.pes[0].busy, 20);
+        assert!((m.pes[0].utilization - 20.0 / 30.0).abs() < 1e-9);
+        assert_eq!(m.pes[1].recv_stall, 2);
+        let c = m.channel(ChannelId(0)).unwrap();
+        assert_eq!((c.sends, c.recvs, c.bytes), (2, 1, 16));
+        assert_eq!((c.peak_bytes, c.peak_msgs), (16, 2));
+        assert!(m.render().contains("pe0"));
+    }
+
+    #[test]
+    fn unpaired_events_are_tolerated() {
+        let trace = Trace {
+            meta: TraceMeta::new(ClockKind::Nanos),
+            events: vec![
+                ev(5, 0, ProbeKind::FiringEnd { label: 0 }),
+                ev(
+                    6,
+                    0,
+                    ProbeKind::UnblockSend {
+                        channel: ChannelId(0),
+                    },
+                ),
+            ],
+        };
+        let m = aggregate(&trace);
+        assert_eq!(m.pes[0].busy, 0);
+        assert_eq!(m.pes[0].send_stall, 0);
+        assert!(m.actors.is_empty());
+    }
+
+    #[test]
+    fn empty_trace_aggregates_to_zeroes() {
+        let trace = Trace {
+            meta: TraceMeta::new(ClockKind::Cycles),
+            events: vec![],
+        };
+        let m = aggregate(&trace);
+        assert_eq!(m.observed_end, 0);
+        assert!(m.pes.is_empty());
+        assert!(m.channels.is_empty());
+        assert_eq!(m.observed_period, None);
+    }
+}

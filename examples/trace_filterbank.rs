@@ -1,0 +1,62 @@
+//! Observability end to end: run the filter bank under a `RingTracer`,
+//! check the captured trace against the paper's static bounds, and
+//! export it for visualization.
+//!
+//! Produces three artifacts in the working directory:
+//!
+//! * `filterbank.trace` — native `spi-trace` format; feed it to
+//!   `spi-lint trace-check filterbank.trace`;
+//! * `filterbank_trace.json` — Chrome `trace_event` JSON; open it in
+//!   `chrome://tracing` or <https://ui.perfetto.dev>;
+//! * a terminal Gantt chart, metrics table, and conformance report.
+//!
+//! Run with: `cargo run --example trace_filterbank`
+
+use std::sync::Arc;
+
+use spi_repro::apps::{FilterBankApp, FilterBankConfig};
+use spi_repro::trace::{aggregate, check, render_gantt, to_chrome_json, ClockKind, RingTracer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const ITERATIONS: u64 = 16;
+
+    let app = FilterBankApp::new(FilterBankConfig::default())?;
+    let ring = Arc::new(RingTracer::with_default_capacity(3));
+    let system = app.system_with(ITERATIONS, |b| {
+        b.tracer(ring.clone());
+    })?;
+    let meta = system.trace_meta(ClockKind::Cycles);
+    println!(
+        "filter bank, {ITERATIONS} iterations on 3 PEs; predicted makespan bound: {} cycles\n",
+        meta.predicted_makespan_cycles
+            .map_or_else(|| "-".into(), |p| p.to_string())
+    );
+    system.run()?;
+    let trace = ring.finish(meta);
+    println!(
+        "captured {} events ({} dropped)\n",
+        trace.events.len(),
+        trace.meta.dropped
+    );
+
+    // Gantt + metrics.
+    println!("{}", render_gantt(&trace, 72));
+    let metrics = aggregate(&trace);
+    println!("{}", metrics.render());
+
+    // Conformance: eq. (1)/(2), FIFO, conservation, makespan.
+    let report = check(&trace);
+    print!("{}", report.render_human());
+
+    // Artifacts.
+    std::fs::write("filterbank.trace", trace.to_native())?;
+    std::fs::write("filterbank_trace.json", to_chrome_json(&trace))?;
+    println!("\nwrote filterbank.trace and filterbank_trace.json");
+    println!("  check again with: spi-lint trace-check filterbank.trace");
+    println!("  visualize: load filterbank_trace.json in chrome://tracing or ui.perfetto.dev");
+
+    if report.has_errors() {
+        return Err("trace violates static bounds".into());
+    }
+    Ok(())
+}

@@ -13,6 +13,8 @@
 //! * [`dsp`] — FFT / LPC / Huffman / particle-filter kernels
 //!   ([`spi_dsp`]);
 //! * [`spi`] — the Signal Passing Interface itself;
+//! * [`trace`] — runtime observability: lock-free capture, Chrome
+//!   trace export and the bound-conformance checker ([`spi_trace`]);
 //! * [`apps`] — the paper's two evaluation applications
 //!   ([`spi_apps`]).
 //!
@@ -29,3 +31,4 @@ pub use spi_dataflow as dataflow;
 pub use spi_dsp as dsp;
 pub use spi_platform as platform;
 pub use spi_sched as sched;
+pub use spi_trace as trace;

@@ -2,7 +2,14 @@
 //! functionally on identical programs: same stores, same per-channel
 //! message order — protocol logic that only works under the event
 //! queue's serialization would be a bug.
+//!
+//! The randomized case also runs every engine under a `RingTracer` and
+//! cross-checks the captured traces: identical per-channel send/receive
+//! digest sequences on all three engines, and a clean FIFO/conservation
+//! replay by the conformance checker.
 
+use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 use proptest::prelude::*;
@@ -10,6 +17,7 @@ use proptest::prelude::*;
 use spi_repro::platform::{
     run_threaded, ChannelId, ChannelSpec, Machine, Op, Program, ThreadedRunner, TransportKind,
 };
+use spi_repro::trace::{check, ClockKind, ProbeEvent, ProbeKind, RingTracer, TraceMeta};
 
 /// Builds the same 3-PE pipeline twice (programs contain closures and
 /// cannot be cloned).
@@ -221,11 +229,32 @@ fn random_pipeline(p: PipelineParams) -> (Vec<ChannelSpec>, Vec<Program>) {
     (specs, programs)
 }
 
+/// Per-channel send and receive digest sequences of a captured event
+/// stream — the trace-level fingerprint two engines must share.
+fn channel_digests(events: &[ProbeEvent]) -> (HashMap<usize, Vec<u64>>, HashMap<usize, Vec<u64>>) {
+    let mut sends: HashMap<usize, Vec<u64>> = HashMap::new();
+    let mut recvs: HashMap<usize, Vec<u64>> = HashMap::new();
+    for ev in events {
+        match ev.kind {
+            ProbeKind::Send {
+                channel, digest, ..
+            } => sends.entry(channel.0).or_default().push(digest),
+            ProbeKind::Recv {
+                channel, digest, ..
+            } => recvs.entry(channel.0).or_default().push(digest),
+            _ => {}
+        }
+    }
+    (sends, recvs)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// DES, LockedTransport, and RingTransport must produce identical
-    /// stores and per-channel message orders on random pipelines.
+    /// stores, per-channel message orders, and — under trace capture —
+    /// identical per-channel digest sequences with a clean conformance
+    /// replay.
     #[test]
     fn all_three_engines_agree_on_random_pipelines(
         n_pes in 2u64..5,
@@ -236,7 +265,7 @@ proptest! {
     ) {
         let p = PipelineParams { n_pes, payload, cap_msgs, iterations, seed };
 
-        // Reference: the discrete-event engine.
+        // Reference: the discrete-event engine, traced.
         let (specs, programs) = random_pipeline(p);
         let mut machine = Machine::new();
         for s in &specs {
@@ -245,13 +274,28 @@ proptest! {
         for prog in programs {
             machine.add_pe(prog);
         }
+        let ring = Arc::new(RingTracer::new(n_pes as usize, 4096));
+        machine.set_tracer(ring.clone());
         let des = machine.run().expect("DES run");
+        let des_trace = ring.finish(TraceMeta::new(ClockKind::Cycles));
+        prop_assert_eq!(des_trace.meta.dropped, 0);
+        let des_report = check(&des_trace);
+        prop_assert!(
+            des_report.diagnostics.is_empty(),
+            "DES trace must replay clean:\n{}", des_report.render_human()
+        );
+        let (des_sends, des_recvs) = channel_digests(&des_trace.events);
+        // Every message the pipeline carries is accounted for: channel 0
+        // sees one send per iteration.
+        prop_assert_eq!(des_sends[&0].len() as u64, iterations);
 
         for kind in [TransportKind::Locked, TransportKind::Ring] {
             let (specs, programs) = random_pipeline(p);
+            let ring = Arc::new(RingTracer::new(n_pes as usize, 4096));
             let threaded = ThreadedRunner::new()
                 .transport(kind)
                 .timeout(Duration::from_secs(20))
+                .tracer(ring.clone())
                 .run(&specs, programs)
                 .expect("threaded run");
             for (i, t) in threaded.iter().enumerate() {
@@ -264,6 +308,22 @@ proptest! {
                     "inbox mismatch on PE {} under {:?} with {:?}", i, kind, p
                 );
             }
+            let trace = ring.finish(TraceMeta::new(ClockKind::Nanos));
+            prop_assert_eq!(trace.meta.dropped, 0);
+            let report = check(&trace);
+            prop_assert!(
+                report.diagnostics.is_empty(),
+                "{:?} trace must replay clean:\n{}", kind, report.render_human()
+            );
+            let (sends, recvs) = channel_digests(&trace.events);
+            prop_assert_eq!(
+                &sends, &des_sends,
+                "send digests diverge under {:?} with {:?}", kind, p
+            );
+            prop_assert_eq!(
+                &recvs, &des_recvs,
+                "recv digests diverge under {:?} with {:?}", kind, p
+            );
         }
     }
 }

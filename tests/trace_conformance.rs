@@ -1,0 +1,175 @@
+//! Runtime conformance of a real application: a traced filterbank run
+//! must stay inside every bound the static layers derived — eq. (2)
+//! occupancy, eq. (1) message size, per-channel FIFO order and the
+//! predicted self-timed makespan — and each `SPI08x` check must
+//! actually fire when the trace is corrupted the way it guards against.
+
+use std::sync::Arc;
+
+use spi_repro::apps::{FilterBankApp, FilterBankConfig};
+use spi_repro::trace::{check, ClockKind, RingTracer, Trace};
+
+/// Runs the 3-PE filterbank on the DES with a RingTracer attached and
+/// returns the finished cycle-clocked trace.
+fn traced_filterbank(iterations: u64) -> Trace {
+    let app = FilterBankApp::new(FilterBankConfig::default()).expect("filterbank builds");
+    let ring = Arc::new(RingTracer::with_default_capacity(3));
+    let system = app
+        .system_with(iterations, |b| {
+            b.tracer(ring.clone());
+        })
+        .expect("system builds");
+    let meta = system.trace_meta(ClockKind::Cycles);
+    system.run().expect("filterbank runs");
+    assert_eq!(ring.dropped(), 0, "capture ring must not overflow");
+    ring.finish(meta)
+}
+
+#[test]
+fn filterbank_trace_conforms_to_static_bounds() {
+    let trace = traced_filterbank(8);
+    assert!(!trace.events.is_empty());
+    assert_eq!(trace.meta.iterations, 8);
+    // The filterbank has four cross-processor data edges.
+    assert_eq!(trace.meta.edges.len(), 4);
+    assert!(
+        trace.meta.predicted_makespan_cycles.is_some(),
+        "baseline self-timed config must carry a predicted bound"
+    );
+
+    let report = check(&trace);
+    assert!(
+        report.diagnostics.is_empty(),
+        "clean run must produce no findings:\n{}",
+        report.render_human()
+    );
+    assert!(report.channels_checked >= 4);
+    assert!(
+        report.messages_checked >= 8 * 4,
+        "q=1 per edge per iteration"
+    );
+    let slack = report.slack.expect("cycle trace with bound has slack");
+    assert!(
+        report.observed_makespan + slack == report.predicted_makespan.unwrap(),
+        "slack is the headroom under the predicted bound"
+    );
+    assert!(report.render_human().contains(": ok"));
+}
+
+#[test]
+fn conformance_survives_native_roundtrip() {
+    let trace = traced_filterbank(4);
+    let text = trace.to_native();
+    let back = Trace::from_native(&text).expect("roundtrip parses");
+    assert_eq!(back, trace);
+    let report = check(&back);
+    assert!(report.diagnostics.is_empty(), "{}", report.render_human());
+}
+
+/// Applies a line-level mutation to the native text and returns the
+/// checker's diagnostic codes on the corrupted trace.
+fn codes_after(mutate: impl Fn(&str) -> String) -> Vec<&'static str> {
+    let text = traced_filterbank(4).to_native();
+    let mutated = mutate(&text);
+    assert_ne!(mutated, text, "mutation must change the trace");
+    let trace = Trace::from_native(&mutated).expect("mutated trace still parses");
+    check(&trace).diagnostics.iter().map(|d| d.code).collect()
+}
+
+/// Rewrites one whitespace-separated field of the first line matching
+/// `select`.
+fn rewrite_field(text: &str, select: impl Fn(&str) -> bool, idx: usize, to: &str) -> String {
+    let mut done = false;
+    text.lines()
+        .map(|l| {
+            if !done && select(l) {
+                done = true;
+                let mut f: Vec<String> = l.split_whitespace().map(String::from).collect();
+                f[idx] = to.to_string();
+                f.join(" ")
+            } else {
+                l.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n"
+}
+
+#[test]
+fn mutation_shrunk_capacity_fires_spi080() {
+    // "# edge <id> ch <n> cap <B> max <m> tokens <t>": cap -> 1 byte.
+    let codes = codes_after(|t| rewrite_field(t, |l| l.starts_with("# edge "), 6, "1"));
+    assert!(codes.contains(&"SPI080"), "got {codes:?}");
+}
+
+#[test]
+fn mutation_shrunk_message_bound_fires_spi081() {
+    let codes = codes_after(|t| rewrite_field(t, |l| l.starts_with("# edge "), 8, "1"));
+    assert!(codes.contains(&"SPI081"), "got {codes:?}");
+}
+
+#[test]
+fn mutation_corrupted_receive_digest_fires_spi082() {
+    // "E <ts> <pe> R <ch> <bytes> <digest> ...": digest -> wrong value.
+    let codes =
+        codes_after(|t| rewrite_field(t, |l| l.split_whitespace().nth(3) == Some("R"), 6, "12345"));
+    assert!(codes.contains(&"SPI082"), "got {codes:?}");
+}
+
+#[test]
+fn mutation_tiny_predicted_makespan_fires_spi083() {
+    let codes =
+        codes_after(|t| rewrite_field(t, |l| l.starts_with("# predicted_makespan"), 2, "1"));
+    assert!(codes.contains(&"SPI083"), "got {codes:?}");
+}
+
+#[test]
+fn mutation_dropped_events_fire_spi084() {
+    let codes = codes_after(|t| rewrite_field(t, |l| l.starts_with("# dropped"), 2, "3"));
+    assert_eq!(codes, vec!["SPI084"], "a partial stream alone only warns");
+}
+
+#[test]
+fn mutation_duplicated_receive_fires_spi085() {
+    // Duplicating the last receive makes receives outnumber sends on
+    // its channel.
+    let codes = codes_after(|t| {
+        let last_recv = t
+            .lines()
+            .rev()
+            .find(|l| l.split_whitespace().nth(3) == Some("R"))
+            .expect("trace has receives")
+            .to_string();
+        format!("{}{}\n", t, last_recv)
+    });
+    assert!(codes.contains(&"SPI085"), "got {codes:?}");
+}
+
+#[test]
+fn threaded_run_trace_is_fifo_clean() {
+    // The threaded runner exercises the real lock-free transports; its
+    // wall-clock trace must still pass FIFO, conservation and occupancy
+    // replay (the cycle-denominated makespan bound does not apply).
+    let app = FilterBankApp::new(FilterBankConfig::default()).expect("filterbank builds");
+    let ring = Arc::new(RingTracer::with_default_capacity(3));
+    let system = app
+        .system_with(4, |b| {
+            b.tracer(ring.clone());
+        })
+        .expect("system builds");
+    let meta = system.trace_meta(ClockKind::Nanos);
+    system.run_threaded().expect("threaded run succeeds");
+    let trace = ring.finish(meta);
+    assert!(!trace.events.is_empty());
+    let report = check(&trace);
+    assert!(
+        report.diagnostics.is_empty(),
+        "threaded run must conform:\n{}",
+        report.render_human()
+    );
+    assert_eq!(
+        report.predicted_makespan, None,
+        "ns clock has no cycle bound"
+    );
+}
