@@ -17,6 +17,13 @@
 //! Each measurement is the best of several repeats (min wall time), so
 //! scheduler noise inflates neither side.
 //!
+//! A fourth measurement prices the **fault-tolerance safety net**: the
+//! 3-PE FIR pipeline on the ring transport, bare vs supervised
+//! (CRC-checked frames, sequence tracking, deadline-armed ops,
+//! iteration checkpoints) with no faults injected. The acceptance bar
+//! is 5% throughput overhead; the number lands in the `supervision`
+//! section of `BENCH_transport.json`.
+//!
 //! Two further scenarios measure observability cost and are written to
 //! `BENCH_trace.json`: a 3-PE pipeline on the ring transport, once
 //! under the disabled `NopTracer` (untraced fast path) and once under a
@@ -35,8 +42,8 @@ use std::time::{Duration, Instant};
 
 use spi_apps::{FilterBankApp, FilterBankConfig};
 use spi_platform::{
-    ChannelId, ChannelSpec, LockedTransport, NopTracer, Op, Program, RingTransport, ThreadedRunner,
-    Tracer, Transport, TransportKind,
+    ChannelId, ChannelSpec, LockedTransport, NopTracer, Op, Program, RingTransport,
+    SupervisionPolicy, ThreadedRunner, Tracer, Transport, TransportKind,
 };
 use spi_trace::{ClockKind, RingTracer, TraceMeta};
 
@@ -295,6 +302,24 @@ fn trace_scenario(
     }
 }
 
+/// The same FIR pipeline on the ring transport, bare vs supervised
+/// (CRC-checked framing, sequence tracking, checkpoint bookkeeping,
+/// deadline-armed channel ops). No faults are injected — this measures
+/// the price of the safety net when nothing goes wrong, the number the
+/// fault-tolerance acceptance criterion bounds at 5%.
+fn supervisable_pipeline_run(supervised: bool, iterations: u64) -> Duration {
+    let (specs, programs) = fir_pipeline_programs(iterations);
+    let mut runner = ThreadedRunner::new()
+        .transport(TransportKind::Ring)
+        .timeout(TIMEOUT);
+    if supervised {
+        runner = runner.supervise(SupervisionPolicy::retry(3).with_deadline(TIMEOUT));
+    }
+    let start = Instant::now();
+    runner.run(&specs, programs).expect("fir pipeline run");
+    start.elapsed()
+}
+
 /// Messages a program set will emit: sends per iteration × iterations,
 /// plus prologue sends.
 fn message_count(programs: &[Program]) -> u64 {
@@ -381,6 +406,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if met { "MET" } else { "NOT MET" }
     );
 
+    // Fault-free supervision overhead on the 3-PE FIR pipeline; repeats
+    // alternate bare/supervised so host drift lands on both sides.
+    let sup_iters = 30_000u64;
+    let sup_msgs = 2 * sup_iters;
+    let mut bare_t = Duration::MAX;
+    let mut sup_t = Duration::MAX;
+    for _ in 0..TRACE_REPEATS {
+        bare_t = bare_t.min(supervisable_pipeline_run(false, sup_iters));
+        sup_t = sup_t.min(supervisable_pipeline_run(true, sup_iters));
+    }
+    let bare_rate = sup_msgs as f64 / bare_t.as_secs_f64();
+    let sup_rate = sup_msgs as f64 / sup_t.as_secs_f64();
+    let sup_overhead = (bare_rate / sup_rate - 1.0) * 100.0;
+    let sup_met = sup_overhead <= 5.0;
+    println!(
+        "supervision_fir      {:>9} msgs   bare {:>12.0} msg/s   supervised {:>10.0} msg/s   overhead {:.2}%",
+        sup_msgs, bare_rate, sup_rate, sup_overhead
+    );
+    println!(
+        "acceptance: fault-free supervision overhead on pipeline_3pe_fir = {:.2}% (<= 5% required) — {}",
+        sup_overhead,
+        if sup_met { "MET" } else { "NOT MET" }
+    );
+
     // The serde shim performs no serialization offline, so the report is
     // emitted by hand — the schema is three scenario objects plus the
     // acceptance verdict.
@@ -399,7 +448,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ));
     }
     json.push_str(&format!(
-        "  ],\n  \"acceptance\": {{\"criterion\": \"pipeline_3pe speedup >= 2.0\", \
+        "  ],\n  \"supervision\": {{\"scenario\": \"pipeline_3pe_fir\", \"messages\": {sup_msgs}, \
+         \"bare_msgs_per_sec\": {bare_rate:.0}, \"supervised_msgs_per_sec\": {sup_rate:.0}, \
+         \"overhead_pct\": {sup_overhead:.3}, \
+         \"criterion\": \"fault-free supervision overhead <= 5%\", \"met\": {sup_met}}},\n",
+    ));
+    json.push_str(&format!(
+        "  \"acceptance\": {{\"criterion\": \"pipeline_3pe speedup >= 2.0\", \
          \"speedup\": {:.3}, \"met\": {}}}\n}}\n",
         pipeline.speedup(),
         met
@@ -463,6 +518,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     if !trace_met {
         return Err("RingTracer overhead above the 5% acceptance bar".into());
+    }
+    if !sup_met {
+        return Err("fault-free supervision overhead above the 5% acceptance bar".into());
     }
     Ok(())
 }

@@ -1,0 +1,529 @@
+//! # spi-fault — deterministic fault injection for SPI transports
+//!
+//! The supervision layer in `spi-platform` claims a strong property:
+//! under its declared budgets, a run either converges to the fault-free
+//! output or terminates with an error naming the faulted edge — never a
+//! hang, never silent corruption. This crate supplies the adversary
+//! that claim is tested against.
+//!
+//! A [`FaultPlan`] is a list of [`FaultSpec`]s — *(channel, message
+//! index, kind)* triples — built explicitly or sampled from a seed
+//! ([`FaultPlan::random`]). [`FaultPlan::into_decorator`] compiles the
+//! plan into a [`spi_platform::TransportDecorator`]: channels named by
+//! the plan are wrapped in a [`FaultyTransport`] that counts blocking
+//! send calls and fires the planned fault when the count matches, so
+//! the same plan on the same program faults the same tokens every run
+//! — *schedule-indexed* determinism, independent of thread timing.
+//!
+//! ## Fault kinds and their observable contracts
+//!
+//! | kind | wire effect | typed signal to the sender |
+//! |------|-------------|-----------------------------|
+//! | [`FaultKind::Delay`] | token arrives late | none (send succeeds) |
+//! | [`FaultKind::Stall`] | link stalls for a long beat | none (send succeeds) |
+//! | [`FaultKind::Drop`] | token never delivered | [`InjectedFault::Dropped`] |
+//! | [`FaultKind::Duplicate`] | token delivered twice | none (send succeeds) |
+//! | [`FaultKind::Corrupt`] | bit-flipped copy delivered | [`InjectedFault::Corrupted`] |
+//!
+//! `Drop` and `Corrupt` report a typed [`TransportError::Injected`] so
+//! a *supervised* sender retransmits the same sequence number (the
+//! receiver's CRC check rejects the corrupt copy, its sequence dedup
+//! discards the duplicate). An *unsupervised* runner surfaces the same
+//! error as a terminal `ChannelFault` naming the edge — injected
+//! faults are never silent.
+//!
+//! Every fault that fires is appended to the shared [`InjectionLog`]
+//! returned alongside the decorator, so tests can assert exactly which
+//! faults the run absorbed.
+//!
+//! ```
+//! use spi_fault::{FaultKind, FaultPlan};
+//! use spi_platform::ChannelId;
+//!
+//! let plan = FaultPlan::new()
+//!     .inject(ChannelId(0), 2, FaultKind::Drop)
+//!     .inject(ChannelId(0), 5, FaultKind::Corrupt);
+//! let (decorator, log) = plan.into_decorator().unwrap();
+//! // ThreadedRunner::new().supervise(policy).decorate_transports(decorator)…
+//! # let _ = (decorator, log);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use spi_platform::{ChannelId, InjectedFault, Transport, TransportDecorator, TransportError};
+
+/// One kind of injected transport fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The token is delivered after an extra `micros` microseconds —
+    /// models a transient slow link. Invisible to the sender.
+    Delay {
+        /// Added latency in microseconds.
+        micros: u64,
+    },
+    /// The link stalls for `millis` milliseconds before delivering —
+    /// long enough to trip receiver deadlines and exercise the retry
+    /// path (or, past the retry budget, degradation).
+    Stall {
+        /// Stall length in milliseconds.
+        millis: u64,
+    },
+    /// The token is never delivered; the sender gets
+    /// [`InjectedFault::Dropped`].
+    Drop,
+    /// The token is delivered twice (the second copy is dropped
+    /// silently if the channel is full — duplication can never push
+    /// occupancy past the eq. (2) bound).
+    Duplicate,
+    /// A copy with a flipped byte is delivered and the sender gets
+    /// [`InjectedFault::Corrupted`] — under supervision the receiver's
+    /// CRC check rejects the bad frame and the retransmission heals it.
+    Corrupt,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::Delay { micros } => write!(f, "delay({micros}µs)"),
+            FaultKind::Stall { millis } => write!(f, "stall({millis}ms)"),
+            FaultKind::Drop => write!(f, "drop"),
+            FaultKind::Duplicate => write!(f, "duplicate"),
+            FaultKind::Corrupt => write!(f, "corrupt"),
+        }
+    }
+}
+
+/// One planned fault: fire `kind` on the `message_index`-th blocking
+/// send call on `channel` (0-based; retransmissions count, so a fault
+/// at index *i* can land on the retry of a fault at *i − 1*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// The edge to fault.
+    pub channel: ChannelId,
+    /// Which send call on that edge to fault (0-based).
+    pub message_index: u64,
+    /// What to do to it.
+    pub kind: FaultKind,
+}
+
+/// A plan rejected by [`FaultPlan::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPlanError {
+    /// Two faults target the same `(channel, message_index)` — the
+    /// plan would be ambiguous.
+    DuplicateTarget {
+        /// The doubly-targeted channel.
+        channel: ChannelId,
+        /// The doubly-targeted send index.
+        message_index: u64,
+    },
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPlanError::DuplicateTarget {
+                channel,
+                message_index,
+            } => write!(
+                f,
+                "fault plan targets {channel} message {message_index} more than once"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+/// A fault that actually fired at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectionRecord {
+    /// The faulted edge.
+    pub channel: ChannelId,
+    /// The send index the fault fired on.
+    pub message_index: u64,
+    /// The fault that fired.
+    pub kind: FaultKind,
+}
+
+/// Shared log of fired injections, filled by every [`FaultyTransport`]
+/// the decorator created.
+pub type InjectionLog = Arc<Mutex<Vec<InjectionRecord>>>;
+
+/// A deterministic set of planned faults over a system's edges.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one fault (builder-style).
+    #[must_use]
+    pub fn inject(mut self, channel: ChannelId, message_index: u64, kind: FaultKind) -> Self {
+        self.faults.push(FaultSpec {
+            channel,
+            message_index,
+            kind,
+        });
+        self
+    }
+
+    /// Samples `count` faults over `n_channels` edges and the first
+    /// `messages` sends of each, deterministically from `seed`. Fault
+    /// kinds are drawn uniformly; delays are 10–200 µs and stalls 1–3 ms
+    /// — sized to perturb scheduling without blowing sensible retry
+    /// budgets (chaos tests wanting budget-busting stalls add them
+    /// explicitly via [`FaultPlan::inject`]).
+    pub fn random(seed: u64, n_channels: usize, messages: u64, count: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut taken: HashSet<(usize, u64)> = HashSet::new();
+        let mut plan = FaultPlan::new();
+        if n_channels == 0 || messages == 0 {
+            return plan;
+        }
+        let max_faults = (n_channels as u64 * messages).min(count as u64);
+        while (plan.faults.len() as u64) < max_faults {
+            let ch = rng.gen_range(0..n_channels);
+            let idx = rng.gen_range(0..messages);
+            if !taken.insert((ch, idx)) {
+                continue;
+            }
+            let kind = match rng.gen_range(0..5u32) {
+                0 => FaultKind::Delay {
+                    micros: rng.gen_range(10..200u64),
+                },
+                1 => FaultKind::Stall {
+                    millis: rng.gen_range(1..3u64),
+                },
+                2 => FaultKind::Drop,
+                3 => FaultKind::Duplicate,
+                _ => FaultKind::Corrupt,
+            };
+            plan = plan.inject(ChannelId(ch), idx, kind);
+        }
+        plan
+    }
+
+    /// The planned faults, in insertion order.
+    pub fn faults(&self) -> &[FaultSpec] {
+        &self.faults
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Number of planned faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Rejects ambiguous plans (two faults on one `(channel, index)`).
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
+        let mut seen = HashSet::new();
+        for f in &self.faults {
+            if !seen.insert((f.channel, f.message_index)) {
+                return Err(FaultPlanError::DuplicateTarget {
+                    channel: f.channel,
+                    message_index: f.message_index,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Compiles the plan into a transport decorator for
+    /// [`spi_platform::ThreadedRunner::decorate_transports`], plus the
+    /// shared log of faults that actually fire. Channels the plan does
+    /// not name pass through undecorated (zero overhead).
+    ///
+    /// # Errors
+    ///
+    /// [`FaultPlanError`] when [`FaultPlan::validate`] fails.
+    pub fn into_decorator(self) -> Result<(Arc<TransportDecorator>, InjectionLog), FaultPlanError> {
+        self.validate()?;
+        let mut by_channel: HashMap<usize, HashMap<u64, FaultKind>> = HashMap::new();
+        for f in self.faults {
+            by_channel
+                .entry(f.channel.0)
+                .or_default()
+                .insert(f.message_index, f.kind);
+        }
+        let log: InjectionLog = Arc::new(Mutex::new(Vec::new()));
+        let log_out = Arc::clone(&log);
+        let decorator: Arc<TransportDecorator> = Arc::new(
+            move |ch: ChannelId, inner: Box<dyn Transport>| -> Box<dyn Transport> {
+                match by_channel.get(&ch.0) {
+                    Some(faults) => Box::new(FaultyTransport {
+                        inner,
+                        channel: ch,
+                        faults: faults.clone(),
+                        sends: AtomicU64::new(0),
+                        log: Arc::clone(&log),
+                    }),
+                    None => inner,
+                }
+            },
+        );
+        Ok((decorator, log_out))
+    }
+}
+
+/// A [`Transport`] decorator that fires planned faults on blocking
+/// sends, indexed by the per-channel send-call count. Receives and
+/// non-blocking sends pass straight through to the wrapped transport.
+pub struct FaultyTransport {
+    inner: Box<dyn Transport>,
+    channel: ChannelId,
+    faults: HashMap<u64, FaultKind>,
+    sends: AtomicU64,
+    log: InjectionLog,
+}
+
+impl FaultyTransport {
+    fn record(&self, message_index: u64, kind: FaultKind) {
+        self.log
+            .lock()
+            .expect("injection log")
+            .push(InjectionRecord {
+                channel: self.channel,
+                message_index,
+                kind,
+            });
+    }
+}
+
+impl Transport for FaultyTransport {
+    fn capacity_bytes(&self) -> usize {
+        self.inner.capacity_bytes()
+    }
+
+    fn max_message_bytes(&self) -> usize {
+        self.inner.max_message_bytes()
+    }
+
+    fn len_bytes(&self) -> usize {
+        self.inner.len_bytes()
+    }
+
+    fn occupancy(&self) -> usize {
+        self.inner.occupancy()
+    }
+
+    fn snapshot(&self) -> (usize, usize) {
+        self.inner.snapshot()
+    }
+
+    fn try_send(&self, data: &[u8]) -> Result<(), TransportError> {
+        self.inner.try_send(data)
+    }
+
+    fn try_recv(&self) -> Result<Vec<u8>, TransportError> {
+        self.inner.try_recv()
+    }
+
+    fn send(&self, data: &[u8], timeout: Duration) -> Result<(), TransportError> {
+        let idx = self.sends.fetch_add(1, Ordering::Relaxed);
+        let Some(&kind) = self.faults.get(&idx) else {
+            return self.inner.send(data, timeout);
+        };
+        self.record(idx, kind);
+        match kind {
+            FaultKind::Delay { micros } => {
+                thread::sleep(Duration::from_micros(micros));
+                self.inner.send(data, timeout)
+            }
+            FaultKind::Stall { millis } => {
+                thread::sleep(Duration::from_millis(millis));
+                self.inner.send(data, timeout)
+            }
+            FaultKind::Drop => Err(TransportError::Injected {
+                fault: InjectedFault::Dropped,
+            }),
+            FaultKind::Duplicate => {
+                self.inner.send(data, timeout)?;
+                // The duplicate is delivered opportunistically: when
+                // the channel is full it vanishes, so duplication can
+                // never exceed the channel's static bound.
+                let _ = self.inner.try_send(data);
+                Ok(())
+            }
+            FaultKind::Corrupt => {
+                let mut bad = data.to_vec();
+                if let Some(last) = bad.last_mut() {
+                    *last ^= 0x5A;
+                }
+                // Deliver the corrupted copy (best effort: a full
+                // channel degrades the fault into a drop) and tell the
+                // sender, which retransmits under supervision.
+                let _ = self.inner.try_send(&bad);
+                Err(TransportError::Injected {
+                    fault: InjectedFault::Corrupted,
+                })
+            }
+        }
+    }
+
+    fn send_with(
+        &self,
+        len: usize,
+        fill: &mut dyn FnMut(&mut [u8]),
+        timeout: Duration,
+    ) -> Result<(), TransportError> {
+        // Materialize the payload so the fault logic in `send` sees the
+        // bytes; a fault injector is not a zero-copy fast path.
+        let mut buf = vec![0u8; len];
+        fill(&mut buf);
+        self.send(&buf, timeout)
+    }
+
+    fn recv_with(
+        &self,
+        consume: &mut dyn FnMut(&[u8]),
+        timeout: Duration,
+    ) -> Result<(), TransportError> {
+        self.inner.recv_with(consume, timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spi_platform::TransportKind;
+
+    fn transport() -> Box<dyn Transport> {
+        TransportKind::Locked.instantiate(&spi_platform::ChannelSpec {
+            capacity_bytes: 64,
+            max_message_bytes: 8,
+            ..Default::default()
+        })
+    }
+
+    fn wrap(plan: FaultPlan) -> (Box<dyn Transport>, InjectionLog) {
+        let (decorator, log) = plan.into_decorator().unwrap();
+        (decorator(ChannelId(0), transport()), log)
+    }
+
+    const T: Duration = Duration::from_millis(100);
+
+    #[test]
+    fn empty_plan_leaves_channels_undecorated() {
+        let (decorator, log) = FaultPlan::new().into_decorator().unwrap();
+        let t = decorator(ChannelId(0), transport());
+        t.send(b"hello", T).unwrap();
+        assert_eq!(t.recv(T).unwrap(), b"hello");
+        assert!(log.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn drop_faults_the_planned_send_only() {
+        let (t, log) = wrap(FaultPlan::new().inject(ChannelId(0), 1, FaultKind::Drop));
+        t.send(b"msg0", T).unwrap();
+        let err = t.send(b"msg1", T).unwrap_err();
+        assert!(matches!(
+            err,
+            TransportError::Injected {
+                fault: InjectedFault::Dropped
+            }
+        ));
+        t.send(b"msg1-retry", T).unwrap();
+        assert_eq!(t.recv(T).unwrap(), b"msg0");
+        assert_eq!(t.recv(T).unwrap(), b"msg1-retry");
+        let records = log.lock().unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].message_index, 1);
+        assert_eq!(records[0].kind, FaultKind::Drop);
+    }
+
+    #[test]
+    fn duplicate_delivers_twice_within_capacity() {
+        let (t, _log) = wrap(FaultPlan::new().inject(ChannelId(0), 0, FaultKind::Duplicate));
+        t.send(b"twice", T).unwrap();
+        assert_eq!(t.recv(T).unwrap(), b"twice");
+        assert_eq!(t.recv(T).unwrap(), b"twice");
+        assert!(t.try_recv().is_err());
+    }
+
+    #[test]
+    fn corrupt_delivers_flipped_copy_and_reports() {
+        let (t, _log) = wrap(FaultPlan::new().inject(ChannelId(0), 0, FaultKind::Corrupt));
+        let err = t.send(b"data", T).unwrap_err();
+        assert!(matches!(
+            err,
+            TransportError::Injected {
+                fault: InjectedFault::Corrupted
+            }
+        ));
+        let got = t.recv(T).unwrap();
+        assert_eq!(got.len(), 4);
+        assert_ne!(got, b"data");
+        assert_eq!(got[3], b'a' ^ 0x5A);
+    }
+
+    #[test]
+    fn delay_and_stall_deliver_late_but_intact() {
+        let (t, log) = wrap(
+            FaultPlan::new()
+                .inject(ChannelId(0), 0, FaultKind::Delay { micros: 100 })
+                .inject(ChannelId(0), 1, FaultKind::Stall { millis: 1 }),
+        );
+        t.send(b"a", T).unwrap();
+        t.send(b"b", T).unwrap();
+        assert_eq!(t.recv(T).unwrap(), b"a");
+        assert_eq!(t.recv(T).unwrap(), b"b");
+        assert_eq!(log.lock().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn send_with_path_is_also_faulted() {
+        let (t, _log) = wrap(FaultPlan::new().inject(ChannelId(0), 0, FaultKind::Drop));
+        let err = t
+            .send_with(3, &mut |buf| buf.copy_from_slice(b"abc"), T)
+            .unwrap_err();
+        assert!(matches!(err, TransportError::Injected { .. }));
+    }
+
+    #[test]
+    fn validate_rejects_ambiguous_plans() {
+        let plan = FaultPlan::new()
+            .inject(ChannelId(2), 7, FaultKind::Drop)
+            .inject(ChannelId(2), 7, FaultKind::Corrupt);
+        assert_eq!(
+            plan.validate(),
+            Err(FaultPlanError::DuplicateTarget {
+                channel: ChannelId(2),
+                message_index: 7
+            })
+        );
+        assert!(plan.into_decorator().is_err());
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_and_valid() {
+        let a = FaultPlan::random(42, 3, 100, 10);
+        let b = FaultPlan::random(42, 3, 100, 10);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+        a.validate().unwrap();
+        let c = FaultPlan::random(43, 3, 100, 10);
+        assert_ne!(a, c, "different seeds give different plans");
+        // Degenerate shapes saturate instead of looping forever.
+        assert_eq!(FaultPlan::random(1, 0, 100, 10).len(), 0);
+        assert_eq!(FaultPlan::random(1, 2, 2, 100).len(), 4);
+    }
+}

@@ -1,0 +1,271 @@
+//! Chaos property test: randomized seeded fault plans driven through
+//! the DES / Locked / Ring equivalence harness under supervision.
+//!
+//! The contract under test is the tentpole robustness claim: for ANY
+//! fault plan, a supervised run either **converges to the fault-free
+//! output byte-for-byte** or **terminates with a typed error naming a
+//! faulted edge** — it never hangs (every channel op is bounded by the
+//! retry budget) and never silently corrupts (the strict `Fail`
+//! degradation policy forbids substitution, so success means exact
+//! bytes).
+//!
+//! Case count defaults to 200 and can be tuned with `CHAOS_CASES` (the
+//! TSan stress harness runs fewer, slower cases).
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use spi_fault::{FaultKind, FaultPlan};
+use spi_platform::{
+    ChannelId, ChannelSpec, Machine, Op, PeLocal, PlatformError, Program, SupervisionPolicy,
+    ThreadedRunner, TransportKind,
+};
+
+/// Parameters of one randomized linear pipeline (mirrors the
+/// engine-equivalence harness).
+#[derive(Debug, Clone, Copy)]
+struct PipelineParams {
+    n_pes: u64,
+    payload: u64,
+    cap_msgs: u64,
+    iterations: u64,
+    seed: u64,
+}
+
+/// Builds a random linear pipeline: PE 0 produces `payload`-byte
+/// messages derived from (iteration, seed); every later PE folds the
+/// first byte of each arrival into its "acc" store key and, except the
+/// last, forwards a deterministically transformed message. The
+/// per-message bound always equals the payload size, so both transports
+/// enforce identical slot-granular admission.
+fn random_pipeline(p: PipelineParams) -> (Vec<ChannelSpec>, Vec<Program>) {
+    let n = p.n_pes as usize;
+    let payload = p.payload as usize;
+    let specs: Vec<ChannelSpec> = (0..n - 1)
+        .map(|_| ChannelSpec {
+            capacity_bytes: (p.cap_msgs as usize) * payload,
+            max_message_bytes: payload,
+            ..ChannelSpec::default()
+        })
+        .collect();
+    let mut programs = Vec::with_capacity(n);
+    let seed = p.seed;
+    programs.push(Program::new(
+        vec![Op::Send {
+            channel: ChannelId(0),
+            payload: Box::new(move |l: &mut PeLocal| {
+                (0..payload)
+                    .map(|b| (l.iter.wrapping_mul(31).wrapping_add(seed + b as u64) % 251) as u8)
+                    .collect()
+            }),
+        }],
+        p.iterations,
+    ));
+    for pe in 1..n {
+        let input = ChannelId(pe - 1);
+        let mul = (2 * pe + 1) as u8;
+        let add = (seed % 256) as u8;
+        let mut ops = vec![
+            Op::Recv { channel: input },
+            Op::Compute {
+                label: format!("stage{pe}"),
+                work: Box::new(move |l: &mut PeLocal| {
+                    let v = l.take_from(input).expect("message");
+                    let out: Vec<u8> = v
+                        .iter()
+                        .map(|&b| b.wrapping_mul(mul).wrapping_add(add))
+                        .collect();
+                    let mut acc = l.store.remove("acc").unwrap_or_default();
+                    acc.push(out[0]);
+                    l.store.insert("acc".into(), acc);
+                    l.store.insert("fwd".into(), out);
+                    1
+                }),
+            },
+        ];
+        if pe != n - 1 {
+            ops.push(Op::Send {
+                channel: ChannelId(pe),
+                payload: Box::new(|l: &mut PeLocal| l.store.get("fwd").cloned().expect("staged")),
+            });
+        }
+        programs.push(Program::new(ops, p.iterations));
+    }
+    (specs, programs)
+}
+
+/// Fault-free DES reference run.
+fn des_reference(p: PipelineParams) -> Vec<(std::collections::HashMap<String, Vec<u8>>, usize)> {
+    let (specs, programs) = random_pipeline(p);
+    let mut machine = Machine::new();
+    for s in &specs {
+        machine.add_channel(*s);
+    }
+    for prog in programs {
+        machine.add_pe(prog);
+    }
+    let des = machine.run().expect("fault-free DES reference");
+    des.locals
+        .iter()
+        .map(|l| (l.store.clone(), l.leftover_inbox))
+        .collect()
+}
+
+/// Per-attempt deadline of the chaos policy.
+const DEADLINE: Duration = Duration::from_millis(100);
+/// Retries beyond the first attempt.
+const RETRIES: u32 = 2;
+/// A stall guaranteed to bust the whole retry budget:
+/// `deadline × (retries + 1)` is 300 ms, so 1 s clears it more than 3×.
+const BIG_STALL_MS: u64 = 1_000;
+
+fn chaos_policy() -> SupervisionPolicy {
+    SupervisionPolicy::retry(RETRIES).with_deadline(DEADLINE)
+}
+
+/// Adds a budget-busting stall on a free `(channel, index)` slot, or
+/// returns the plan unchanged when the random plan saturated them all.
+fn add_big_stall(plan: FaultPlan, n_channels: u64, iterations: u64, seed: u64) -> FaultPlan {
+    for probe in 0..n_channels * iterations {
+        let slot = (seed + probe) % (n_channels * iterations);
+        let (ch, idx) = ((slot / iterations) as usize, slot % iterations);
+        let candidate = plan.clone().inject(
+            ChannelId(ch),
+            idx,
+            FaultKind::Stall {
+                millis: BIG_STALL_MS,
+            },
+        );
+        if candidate.validate().is_ok() {
+            return candidate;
+        }
+    }
+    plan
+}
+
+/// `CHAOS_CASES` override for slow harnesses (TSan) — defaults to 200.
+fn chaos_cases() -> u32 {
+    std::env::var("CHAOS_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(chaos_cases()))]
+
+    /// 200+ randomized seeded fault plans over randomized pipelines,
+    /// each driven through both threaded transports under strict
+    /// supervision: converge byte-identically or fail naming an edge.
+    #[test]
+    fn randomized_fault_plans_never_hang_or_corrupt(
+        n_pes in 2u64..5,
+        payload in 1u64..9,
+        cap_msgs in 1u64..5,
+        iterations in 4u64..14,
+        seed in 0u64..0x1_0000_0000,
+        n_faults in 0usize..7,
+        stall_roll in 0u32..20,
+    ) {
+        let p = PipelineParams { n_pes, payload, cap_msgs, iterations, seed };
+        let n_channels = n_pes - 1;
+        let reference = des_reference(p);
+
+        let mut plan = FaultPlan::random(seed, n_channels as usize, iterations, n_faults);
+        // ~5% of cases add a stall long enough to exhaust the retry
+        // budget, pinning the error path (the benign faults alone
+        // usually heal).
+        if stall_roll == 0 {
+            plan = add_big_stall(plan, n_channels, iterations, seed);
+        }
+        plan.validate().expect("generated plans are unambiguous");
+
+        for kind in [TransportKind::Locked, TransportKind::Ring] {
+            let (specs, programs) = random_pipeline(p);
+            let (decorator, _log) = plan.clone().into_decorator().expect("valid plan");
+            let outcome = ThreadedRunner::new()
+                .transport(kind)
+                .supervise(chaos_policy())
+                .decorate_transports(decorator)
+                .run(&specs, programs);
+            match outcome {
+                Ok(results) => {
+                    // Convergence must be exact: the strict Fail policy
+                    // never substitutes, so success means the faults
+                    // were absorbed without a byte of deviation.
+                    for (i, r) in results.iter().enumerate() {
+                        prop_assert_eq!(
+                            &reference[i].0, &r.store,
+                            "silent corruption on PE {} under {:?} with {:?} plan {:?}",
+                            i, kind, p, plan
+                        );
+                        prop_assert_eq!(reference[i].1, r.leftover_inbox);
+                    }
+                }
+                Err(e) => {
+                    // Termination must be a typed supervision error
+                    // naming an edge of the system.
+                    let channel = match &e {
+                        PlatformError::RetryBudgetExhausted { channel, .. } => *channel,
+                        PlatformError::TokensLost { channel, .. } => *channel,
+                        PlatformError::ChannelFault { channel, .. } => *channel,
+                        other => panic!(
+                            "non-supervision failure under {kind:?} with {p:?} plan {plan:?}: {other}"
+                        ),
+                    };
+                    prop_assert!(
+                        (channel.0 as u64) < n_channels,
+                        "error names a real edge, got {} under {:?}", channel, kind
+                    );
+                    prop_assert!(
+                        e.to_string().contains(&format!("ch{}", channel.0)),
+                        "diagnostic names the edge: {}", e
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The deterministic error path: on a 2-PE system the only edge is
+/// ch0, so a budget-busting stall must surface as a supervision error
+/// naming exactly that edge.
+#[test]
+fn budget_busting_stall_names_the_only_edge() {
+    let p = PipelineParams {
+        n_pes: 2,
+        payload: 4,
+        cap_msgs: 2,
+        iterations: 6,
+        seed: 7,
+    };
+    for kind in [TransportKind::Locked, TransportKind::Ring] {
+        let (specs, programs) = random_pipeline(p);
+        let plan = FaultPlan::new().inject(
+            ChannelId(0),
+            2,
+            FaultKind::Stall {
+                millis: BIG_STALL_MS,
+            },
+        );
+        let (decorator, log) = plan.into_decorator().expect("valid plan");
+        let err = ThreadedRunner::new()
+            .transport(kind)
+            .supervise(chaos_policy())
+            .decorate_transports(decorator)
+            .run(&specs, programs)
+            .unwrap_err();
+        match &err {
+            PlatformError::RetryBudgetExhausted { channel, .. }
+            | PlatformError::TokensLost { channel, .. } => {
+                assert_eq!(*channel, ChannelId(0), "{kind:?}: {err}");
+            }
+            other => panic!("expected supervision error under {kind:?}, got {other}"),
+        }
+        assert!(err.to_string().contains("ch0"), "{err}");
+        let fired = log.lock().unwrap();
+        assert_eq!(fired.len(), 1, "exactly the planned stall fired");
+        assert_eq!(fired[0].channel, ChannelId(0));
+    }
+}

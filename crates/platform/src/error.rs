@@ -1,6 +1,7 @@
 //! Error types for the platform simulator.
 
 use std::fmt;
+use std::time::Duration;
 
 use crate::sim::{ChannelId, PeId};
 
@@ -51,6 +52,51 @@ pub enum PlatformError {
         /// limit into the rendezvous protocol.
         payload_bound: usize,
     },
+    /// A supervised channel operation exhausted its retry budget
+    /// without completing; the fault on the named edge is not
+    /// transient at the configured deadline and retry count.
+    RetryBudgetExhausted {
+        /// The supervised PE.
+        pe: PeId,
+        /// The faulted channel.
+        channel: ChannelId,
+        /// Attempts made (first try plus retries).
+        attempts: u32,
+        /// Send- or receive-side operation.
+        kind: BlockKind,
+        /// Time since the channel last completed an operation for this
+        /// PE when the budget ran out — recent activity points at a
+        /// stalled-but-alive link, a full-budget idle at a dead one.
+        idle: Duration,
+    },
+    /// Sequence-checked frames revealed tokens that were lost on the
+    /// named edge and the degradation policy forbids substituting them.
+    TokensLost {
+        /// The receiving PE.
+        pe: PeId,
+        /// The faulted channel.
+        channel: ChannelId,
+        /// Tokens missing from the sequence.
+        missing: u32,
+    },
+    /// A supervised PE panicked more times than its restart budget
+    /// allows.
+    RestartBudgetExhausted {
+        /// The failing PE.
+        pe: PeId,
+        /// Restarts already performed when the fatal panic hit.
+        restarts: u32,
+        /// Iteration the PE was executing.
+        iter: u64,
+    },
+    /// An injected transport fault surfaced on an unsupervised run —
+    /// nothing retried it, so the run cannot be trusted.
+    ChannelFault {
+        /// The faulted channel.
+        channel: ChannelId,
+        /// Description of the injected fault.
+        detail: String,
+    },
 }
 
 /// Which direction a PE was blocked in when a deadlock was declared.
@@ -78,6 +124,11 @@ pub struct BlockedOp {
     pub occupied_messages: usize,
     /// The channel's total capacity in bytes.
     pub capacity_bytes: usize,
+    /// How long the peer side of the channel had shown no progress
+    /// when the block was declared (from the transport's deadline
+    /// error). `None` when the engine has no such observation (the
+    /// DES declares deadlocks analytically, without waiting).
+    pub idle: Option<Duration>,
 }
 
 impl fmt::Display for BlockedOp {
@@ -95,7 +146,11 @@ impl fmt::Display for BlockedOp {
             self.occupied_bytes,
             self.capacity_bytes,
             self.occupied_messages
-        )
+        )?;
+        if let Some(idle) = self.idle {
+            write!(f, " [peer idle {idle:?}]")?;
+        }
+        Ok(())
     }
 }
 
@@ -140,6 +195,40 @@ impl fmt::Display for PlatformError {
                 "rendezvous transfer of up to {payload_bound} bytes on channel {data} \
                  requires a control channel, but the endpoint has none"
             ),
+            PlatformError::RetryBudgetExhausted {
+                pe,
+                channel,
+                attempts,
+                kind,
+                idle,
+            } => {
+                let verb = match kind {
+                    BlockKind::Send => "send on",
+                    BlockKind::Recv => "recv from",
+                };
+                write!(
+                    f,
+                    "supervised {pe} exhausted its retry budget ({attempts} attempts) \
+                     trying to {verb} {channel} (channel idle {idle:?})"
+                )
+            }
+            PlatformError::TokensLost {
+                pe,
+                channel,
+                missing,
+            } => write!(
+                f,
+                "{missing} token(s) lost on {channel} before {pe}; \
+                 the degradation policy forbids substitution"
+            ),
+            PlatformError::RestartBudgetExhausted { pe, restarts, iter } => write!(
+                f,
+                "supervised {pe} failed at iteration {iter} after {restarts} restart(s); \
+                 restart budget exhausted"
+            ),
+            PlatformError::ChannelFault { channel, detail } => {
+                write!(f, "unrecovered fault on {channel}: {detail}")
+            }
         }
     }
 }
@@ -176,6 +265,7 @@ mod tests {
                     occupied_bytes: 16,
                     occupied_messages: 2,
                     capacity_bytes: 16,
+                    idle: Some(Duration::from_millis(250)),
                 },
                 BlockedOp {
                     pe: PeId(1),
@@ -184,6 +274,7 @@ mod tests {
                     occupied_bytes: 0,
                     occupied_messages: 0,
                     capacity_bytes: 64,
+                    idle: None,
                 },
             ],
         };
@@ -191,5 +282,42 @@ mod tests {
         assert!(s.contains("ch3") && s.contains("ch0"), "{s}");
         assert!(s.contains("16/16 B") && s.contains("0/64 B"), "{s}");
         assert!(s.contains("send on") && s.contains("recv from"), "{s}");
+        assert!(s.contains("peer idle 250ms"), "{s}");
+    }
+
+    #[test]
+    fn supervision_errors_name_the_faulted_edge() {
+        let e = PlatformError::RetryBudgetExhausted {
+            pe: PeId(2),
+            channel: ChannelId(1),
+            attempts: 4,
+            kind: BlockKind::Recv,
+            idle: Duration::from_millis(200),
+        };
+        let s = e.to_string();
+        assert!(s.contains("ch1") && s.contains("4 attempts"), "{s}");
+        assert!(s.contains("recv from"), "{s}");
+
+        let e = PlatformError::TokensLost {
+            pe: PeId(1),
+            channel: ChannelId(3),
+            missing: 2,
+        };
+        let s = e.to_string();
+        assert!(s.contains("ch3") && s.contains("2 token(s)"), "{s}");
+
+        let e = PlatformError::RestartBudgetExhausted {
+            pe: PeId(0),
+            restarts: 1,
+            iter: 7,
+        };
+        let s = e.to_string();
+        assert!(s.contains("iteration 7") && s.contains("1 restart"), "{s}");
+
+        let e = PlatformError::ChannelFault {
+            channel: ChannelId(5),
+            detail: "message dropped".into(),
+        };
+        assert!(e.to_string().contains("ch5"), "{e}");
     }
 }

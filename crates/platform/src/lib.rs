@@ -24,7 +24,13 @@
 //!   through (firing begin/end, send/receive with payload digests and
 //!   occupancy, block/unblock); the `spi-trace` crate supplies the
 //!   lock-free capture buffer, exporters, and the conformance checker
-//!   that validates the paper's eq. (2) bounds against observed runs.
+//!   that validates the paper's eq. (2) bounds against observed runs;
+//! * [`SupervisionPolicy`] / [`DegradePolicy`] — supervised execution
+//!   for the threaded runner: CRC-checked sequence-numbered frames,
+//!   bounded retry with backoff, UBS-style substitute/skip degradation
+//!   and iteration-boundary checkpoint/restart, with every recovery
+//!   decision emitted as a `Fault*` probe event. [`TransportDecorator`]
+//!   is the seam deterministic fault injectors (`spi-fault`) plug into.
 //!
 //! # Examples
 //!
@@ -45,8 +51,9 @@
 //! ```
 
 #![warn(missing_docs)]
-// `deny` rather than `forbid`: the lock-free ring in `transport` needs a
-// scoped `#[allow(unsafe_code)]`; everything else stays safe Rust.
+// `deny` rather than `forbid`: the lock-free ring in `transport` and
+// the SSE4.2 hardware CRC in `supervise` need scoped
+// `#[allow(unsafe_code)]`; everything else stays safe Rust.
 #![deny(unsafe_code)]
 
 mod error;
@@ -54,6 +61,7 @@ mod mpi;
 mod resource;
 mod runner;
 mod sim;
+mod supervise;
 mod trace;
 mod transport;
 
@@ -63,11 +71,16 @@ pub use mpi::{
     MATCH_CYCLES,
 };
 pub use resource::{components, Device, ResourceEstimate, ResourcePercent};
-pub use runner::{run_threaded, ThreadedPeResult, ThreadedRunner, DEFAULT_DEADLOCK_TIMEOUT};
+pub use runner::{
+    run_threaded, ThreadedPeResult, ThreadedRunner, TransportDecorator, DEFAULT_DEADLOCK_TIMEOUT,
+};
 pub use sim::{
     BusSpec, ChannelId, ChannelSpec, ChannelStats, ComputeFn, Machine, Op, OrderedBusSpec,
     PayloadFn, PeId, PeLocal, PeLocalSnapshot, PeStats, Program, SimReport, TraceEvent, TraceKind,
     WaitFn,
 };
+pub use supervise::{crc32, DegradePolicy, SupervisionPolicy, FRAME_HEADER_BYTES};
 pub use trace::{payload_digest, NopTracer, ProbeEvent, ProbeKind, Tracer};
-pub use transport::{LockedTransport, RingTransport, Transport, TransportError, TransportKind};
+pub use transport::{
+    InjectedFault, LockedTransport, RingTransport, Transport, TransportError, TransportKind,
+};

@@ -22,14 +22,27 @@ use std::time::Duration;
 
 use crate::error::{BlockKind, BlockedOp, PlatformError, Result};
 use crate::sim::{ChannelId, ChannelSpec, Op, PeId, PeLocal, Program};
+use crate::supervise::{framed_spec, run_supervised, SupervisionPolicy};
 use crate::trace::{payload_digest, ProbeKind, Tracer};
 use crate::transport::{Transport, TransportError, TransportKind};
+
+/// A hook wrapping each channel's [`Transport`] after instantiation —
+/// the seam fault injectors (`spi-fault`) and other instrumenting
+/// decorators plug into. Called once per channel with the channel id
+/// and the transport the runner built (the framed transport when
+/// supervision is on, so injected corruption hits real frame bytes).
+pub type TransportDecorator =
+    dyn Fn(ChannelId, Box<dyn Transport>) -> Box<dyn Transport> + Send + Sync;
 
 /// Default bound on every blocking channel operation before the runner
 /// declares a deadlock. Generous: real systems block for microseconds,
 /// so half a minute of no progress is unambiguous even on a loaded CI
 /// machine.
 pub const DEFAULT_DEADLOCK_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Shared log of blocking channel ops that hit their deadline:
+/// `(pe, channel, direction, idle time since last progress)`.
+type TimedOutLog = Mutex<Vec<(PeId, ChannelId, BlockKind, Option<Duration>)>>;
 
 /// Functional result of one PE's threaded execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,6 +79,8 @@ pub struct ThreadedRunner {
     kind: TransportKind,
     timeout: Duration,
     tracer: Option<Arc<dyn Tracer>>,
+    supervision: Option<SupervisionPolicy>,
+    decorator: Option<Arc<TransportDecorator>>,
 }
 
 impl fmt::Debug for ThreadedRunner {
@@ -74,6 +89,8 @@ impl fmt::Debug for ThreadedRunner {
             .field("kind", &self.kind)
             .field("timeout", &self.timeout)
             .field("tracer", &self.tracer.is_some())
+            .field("supervision", &self.supervision)
+            .field("decorator", &self.decorator.is_some())
             .finish()
     }
 }
@@ -84,6 +101,8 @@ impl Default for ThreadedRunner {
             kind: TransportKind::default(),
             timeout: DEFAULT_DEADLOCK_TIMEOUT,
             tracer: None,
+            supervision: None,
+            decorator: None,
         }
     }
 }
@@ -122,6 +141,35 @@ impl ThreadedRunner {
         self
     }
 
+    /// Enables supervised execution: every message travels in a
+    /// CRC-checked, sequence-numbered frame; transient channel failures
+    /// (injected faults, per-op deadline misses) are retried with
+    /// exponential backoff inside the policy's budgets; unrecoverable
+    /// tokens are degraded per [`crate::DegradePolicy`]; and a compute
+    /// closure that panics rolls its PE back to the iteration-boundary
+    /// checkpoint and replays (receives from a local log, transmitted
+    /// sends not re-sent), up to the restart budget. All fault handling
+    /// is emitted through the attached [`Tracer`] as `Fault*` events.
+    ///
+    /// Under supervision, the policy's `op_deadline` replaces the
+    /// runner [`ThreadedRunner::timeout`] for channel operations, and
+    /// block/unblock probe events are not emitted (retry events take
+    /// their place).
+    #[must_use]
+    pub fn supervise(mut self, policy: SupervisionPolicy) -> Self {
+        self.supervision = Some(policy);
+        self
+    }
+
+    /// Installs a [`TransportDecorator`] wrapping each channel's
+    /// transport after instantiation — the hook `spi-fault` uses to
+    /// inject deterministic faults on selected edges.
+    #[must_use]
+    pub fn decorate_transports(mut self, decorator: Arc<TransportDecorator>) -> Self {
+        self.decorator = Some(decorator);
+        self
+    }
+
     /// The configured transport kind.
     pub fn transport_kind(&self) -> TransportKind {
         self.kind
@@ -152,14 +200,33 @@ impl ThreadedRunner {
                 });
             }
         }
-        let endpoints: Vec<Box<dyn Transport>> =
-            channels.iter().map(|c| self.kind.instantiate(c)).collect();
+        let endpoints: Vec<Box<dyn Transport>> = channels
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                // Supervision inflates the physical spec by one frame
+                // header per slot; the decorator wraps the result so
+                // injected corruption hits real frame bytes.
+                let transport = match self.supervision {
+                    Some(_) => self.kind.instantiate(&framed_spec(c)),
+                    None => self.kind.instantiate(c),
+                };
+                match &self.decorator {
+                    Some(d) => d(ChannelId(i), transport),
+                    None => transport,
+                }
+            })
+            .collect();
         let timeout = self.timeout;
         // Resolve the tracer once: a disabled tracer takes the untraced
         // code path everywhere (emitters check a plain Option).
         let probe: Option<&dyn Tracer> = self.tracer.as_deref().filter(|t| t.enabled());
 
-        let timed_out: Mutex<Vec<(PeId, ChannelId, BlockKind)>> = Mutex::new(Vec::new());
+        if let Some(policy) = self.supervision {
+            return run_supervised(policy, channels, &endpoints, programs, probe);
+        }
+
+        let timed_out: TimedOutLog = Mutex::new(Vec::new());
         let fault: Mutex<Option<PlatformError>> = Mutex::new(None);
         let results: Mutex<Vec<Option<ThreadedPeResult>>> =
             Mutex::new((0..programs.len()).map(|_| None).collect());
@@ -214,16 +281,17 @@ impl ThreadedRunner {
         }
         let timed = timed_out.into_inner().expect("timed_out lock");
         if !timed.is_empty() {
-            let blocked: Vec<PeId> = timed.iter().map(|&(pe, _, _)| pe).collect();
+            let blocked: Vec<PeId> = timed.iter().map(|&(pe, _, _, _)| pe).collect();
             let detail = timed
                 .into_iter()
-                .map(|(pe, channel, kind)| BlockedOp {
+                .map(|(pe, channel, kind, idle)| BlockedOp {
                     pe,
                     channel,
                     kind,
                     occupied_bytes: endpoints[channel.0].len_bytes(),
                     occupied_messages: endpoints[channel.0].occupancy(),
                     capacity_bytes: endpoints[channel.0].capacity_bytes(),
+                    idle,
                 })
                 .collect();
             return Err(PlatformError::Deadlock { blocked, detail });
@@ -239,12 +307,12 @@ impl ThreadedRunner {
 
 /// Interned firing-label ids for a program's prologue and loop ops,
 /// parallel to the op lists (non-compute ops hold id 0).
-struct ProgramLabels {
-    prologue: Vec<u32>,
-    ops: Vec<u32>,
+pub(crate) struct ProgramLabels {
+    pub(crate) prologue: Vec<u32>,
+    pub(crate) ops: Vec<u32>,
 }
 
-fn intern_labels(probe: Option<&dyn Tracer>, program: &Program) -> ProgramLabels {
+pub(crate) fn intern_labels(probe: Option<&dyn Tracer>, program: &Program) -> ProgramLabels {
     let intern_list = |ops: &[Op]| -> Vec<u32> {
         match probe {
             Some(t) => ops
@@ -290,7 +358,7 @@ fn step(
     timeout: Duration,
     idx: usize,
     probe: Option<&dyn Tracer>,
-    timed_out: &Mutex<Vec<(PeId, ChannelId, BlockKind)>>,
+    timed_out: &TimedOutLog,
     fault: &Mutex<Option<PlatformError>>,
 ) -> bool {
     let pe = PeId(idx);
@@ -350,11 +418,13 @@ fn step(
                     }
                     true
                 }
-                Err(TransportError::Timeout { .. }) => {
-                    timed_out
-                        .lock()
-                        .expect("timed_out lock")
-                        .push((pe, ch, BlockKind::Send));
+                Err(TransportError::Timeout { idle, .. }) => {
+                    timed_out.lock().expect("timed_out lock").push((
+                        pe,
+                        ch,
+                        BlockKind::Send,
+                        Some(idle),
+                    ));
                     false
                 }
                 Err(e) => {
@@ -406,11 +476,17 @@ fn step(
                     local.inbox.push_back((ch, data));
                     true
                 }
-                Err(_) => {
-                    timed_out
-                        .lock()
-                        .expect("timed_out lock")
-                        .push((pe, ch, BlockKind::Recv));
+                Err(TransportError::Timeout { idle, .. }) => {
+                    timed_out.lock().expect("timed_out lock").push((
+                        pe,
+                        ch,
+                        BlockKind::Recv,
+                        Some(idle),
+                    ));
+                    false
+                }
+                Err(e) => {
+                    record_fault(fault, ch, &[], &e, endpoints);
                     false
                 }
             }
@@ -428,16 +504,25 @@ fn record_fault(
     err: &TransportError,
     endpoints: &[Box<dyn Transport>],
 ) {
-    // Blocking sends only fail with Timeout (handled by the caller) or
-    // TooLarge; map everything else conservatively to the same shape.
-    let bytes = match err {
-        TransportError::TooLarge { bytes, .. } => *bytes,
-        _ => data.len(),
-    };
-    let mapped = PlatformError::MessageExceedsCapacity {
-        channel,
-        bytes,
-        capacity: endpoints[channel.0].capacity_bytes(),
+    // Blocking ops fail with Timeout (handled by the caller), TooLarge,
+    // or — under a fault-injecting decorator — a declared injection.
+    // Without supervision nothing retries an injected fault, so it
+    // surfaces as an unrecovered channel fault naming the edge.
+    let mapped = match err {
+        TransportError::Injected { fault } => PlatformError::ChannelFault {
+            channel,
+            detail: fault.to_string(),
+        },
+        TransportError::TooLarge { bytes, .. } => PlatformError::MessageExceedsCapacity {
+            channel,
+            bytes: *bytes,
+            capacity: endpoints[channel.0].capacity_bytes(),
+        },
+        _ => PlatformError::MessageExceedsCapacity {
+            channel,
+            bytes: data.len(),
+            capacity: endpoints[channel.0].capacity_bytes(),
+        },
     };
     let mut slot = fault.lock().expect("fault lock");
     if slot.is_none() {

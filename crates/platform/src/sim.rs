@@ -666,6 +666,9 @@ impl Engine {
                         occupied_bytes: cs.used_bytes,
                         occupied_messages: cs.in_flight.len() + cs.available.len(),
                         capacity_bytes: cs.spec.capacity_bytes,
+                        // The DES declares deadlock analytically (event
+                        // queue drained), not by waiting out a timeout.
+                        idle: None,
                     })
                 })
                 .collect();

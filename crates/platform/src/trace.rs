@@ -91,6 +91,36 @@ pub enum ProbeKind {
         /// The channel it was blocked on.
         channel: ChannelId,
     },
+    /// A supervised channel operation failed transiently (injected
+    /// fault, deadline miss) and is being retried.
+    FaultRetry {
+        /// The faulted channel.
+        channel: ChannelId,
+        /// 1-based retry attempt number.
+        attempt: u32,
+    },
+    /// A CRC-checked frame failed verification and was discarded; the
+    /// supervisor expects a retransmission.
+    FaultCorrupt {
+        /// The channel the corrupt frame arrived on.
+        channel: ChannelId,
+    },
+    /// A token the supervisor gave up waiting for was degraded per the
+    /// configured policy — substituted with a neutral token (UBS
+    /// substitute semantics) or skipped outright.
+    FaultDegraded {
+        /// The channel missing the token.
+        channel: ChannelId,
+        /// `true` when a neutral token was substituted, `false` when
+        /// the token was skipped.
+        substituted: bool,
+    },
+    /// A supervised PE restored its iteration-boundary checkpoint and
+    /// restarted the iteration after a panic.
+    FaultRestart {
+        /// The iteration that was rolled back and replayed.
+        iter: u64,
+    },
 }
 
 /// One captured probe record.

@@ -38,13 +38,40 @@ use std::time::{Duration, Instant};
 
 use crate::sim::ChannelSpec;
 
+/// A declared, injected fault surfaced by a fault-injecting transport
+/// decorator (see the `spi-fault` crate).
+///
+/// The variants describe what happened to the message so a supervising
+/// runner can pick the right recovery: a dropped message was never
+/// delivered (retransmit it), a corrupted one *was* delivered in
+/// mangled form (retransmit; the receiver discards the bad frame by
+/// CRC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum InjectedFault {
+    /// The message was silently discarded instead of delivered.
+    Dropped,
+    /// A corrupted copy of the message was delivered.
+    Corrupted,
+}
+
+impl fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InjectedFault::Dropped => write!(f, "message dropped"),
+            InjectedFault::Corrupted => write!(f, "message corrupted"),
+        }
+    }
+}
+
 /// Errors surfaced by [`Transport`] operations.
 ///
 /// Blocking operations fail with [`TransportError::Timeout`] (the
 /// runner's deadlock detector), non-blocking ones with
 /// [`TransportError::Full`] / [`TransportError::Empty`], and both send
 /// paths reject messages that could never fit with
-/// [`TransportError::TooLarge`].
+/// [`TransportError::TooLarge`]. Fault-injecting decorators report
+/// declared faults with [`TransportError::Injected`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum TransportError {
@@ -53,6 +80,12 @@ pub enum TransportError {
     Timeout {
         /// The timeout that elapsed.
         after: Duration,
+        /// How long the peer side had shown no progress when the
+        /// deadline fired. Equal to `after` when the channel was dead
+        /// for the whole wait; smaller when the peer kept moving (e.g.
+        /// draining a byte-bounded queue) without freeing enough space
+        /// — the difference between a stalled link and a deadlock.
+        idle: Duration,
     },
     /// A non-blocking send found the channel full.
     Full,
@@ -66,13 +99,23 @@ pub enum TransportError {
         /// Largest acceptable message in bytes.
         max: usize,
     },
+    /// A fault-injecting decorator applied a declared fault to this
+    /// operation. Supervised runners treat these as transient and
+    /// retry; unsupervised runners surface them as channel faults.
+    Injected {
+        /// What the injector did to the message.
+        fault: InjectedFault,
+    },
 }
 
 impl fmt::Display for TransportError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TransportError::Timeout { after } => {
-                write!(f, "transport operation timed out after {after:?}")
+            TransportError::Timeout { after, idle } => {
+                write!(
+                    f,
+                    "transport operation timed out after {after:?} (peer idle {idle:?})"
+                )
             }
             TransportError::Full => write!(f, "channel full"),
             TransportError::Empty => write!(f, "channel empty"),
@@ -81,6 +124,9 @@ impl fmt::Display for TransportError {
                     f,
                     "message of {bytes} bytes exceeds transport maximum of {max} bytes"
                 )
+            }
+            TransportError::Injected { fault } => {
+                write!(f, "injected fault: {fault}")
             }
         }
     }
@@ -235,6 +281,13 @@ impl TransportKind {
 struct LockedInner {
     queue: VecDeque<Vec<u8>>,
     used_bytes: usize,
+    /// Monotonic count of completed enqueues — a blocked receiver
+    /// watches this to tell "peer is alive but slow" from "peer is
+    /// gone" when its deadline fires.
+    pushes: u64,
+    /// Monotonic count of completed dequeues (watched by blocked
+    /// senders).
+    pops: u64,
 }
 
 /// The reference transport: a byte-accounted bounded FIFO behind a
@@ -258,6 +311,8 @@ impl LockedTransport {
             inner: Mutex::new(LockedInner {
                 queue: VecDeque::new(),
                 used_bytes: 0,
+                pushes: 0,
+                pops: 0,
             }),
             not_full: Condvar::new(),
             not_empty: Condvar::new(),
@@ -301,6 +356,7 @@ impl Transport for LockedTransport {
             return Err(TransportError::Full);
         }
         inner.used_bytes += data.len();
+        inner.pushes += 1;
         inner.queue.push_back(data.to_vec());
         self.not_empty.notify_one();
         Ok(())
@@ -311,6 +367,7 @@ impl Transport for LockedTransport {
         match inner.queue.pop_front() {
             Some(data) => {
                 inner.used_bytes -= data.len();
+                inner.pops += 1;
                 self.not_full.notify_one();
                 Ok(data)
             }
@@ -332,14 +389,24 @@ impl Transport for LockedTransport {
         }
         let mut data = vec![0u8; len];
         fill(&mut data);
-        let deadline = Instant::now() + timeout;
+        let start = Instant::now();
+        let deadline = start + timeout;
         let mut inner = self.inner.lock().expect("transport lock");
         // An empty queue always admits one message: `max_message_bytes`
         // is clamped to the capacity, so progress is never wedged.
+        let mut seen_pops = inner.pops;
+        let mut progress_at = start;
         while inner.used_bytes + len > self.capacity_bytes && !inner.queue.is_empty() {
             let now = Instant::now();
+            if inner.pops != seen_pops {
+                seen_pops = inner.pops;
+                progress_at = now;
+            }
             if now >= deadline {
-                return Err(TransportError::Timeout { after: timeout });
+                return Err(TransportError::Timeout {
+                    after: timeout,
+                    idle: now.duration_since(progress_at),
+                });
             }
             let (guard, _) = self
                 .not_full
@@ -348,6 +415,7 @@ impl Transport for LockedTransport {
             inner = guard;
         }
         inner.used_bytes += len;
+        inner.pushes += 1;
         inner.queue.push_back(data);
         self.not_empty.notify_one();
         Ok(())
@@ -358,19 +426,30 @@ impl Transport for LockedTransport {
         consume: &mut dyn FnMut(&[u8]),
         timeout: Duration,
     ) -> Result<(), TransportError> {
-        let deadline = Instant::now() + timeout;
+        let start = Instant::now();
+        let deadline = start + timeout;
         let mut inner = self.inner.lock().expect("transport lock");
+        let mut seen_pushes = inner.pushes;
+        let mut progress_at = start;
         loop {
             if let Some(data) = inner.queue.pop_front() {
                 inner.used_bytes -= data.len();
+                inner.pops += 1;
                 drop(inner);
                 self.not_full.notify_one();
                 consume(&data);
                 return Ok(());
             }
             let now = Instant::now();
+            if inner.pushes != seen_pushes {
+                seen_pushes = inner.pushes;
+                progress_at = now;
+            }
             if now >= deadline {
-                return Err(TransportError::Timeout { after: timeout });
+                return Err(TransportError::Timeout {
+                    after: timeout,
+                    idle: now.duration_since(progress_at),
+                });
             }
             let (guard, _) = self
                 .not_empty
@@ -745,20 +824,35 @@ impl Transport for RingTransport {
                 return Ok(());
             }
         }
-        let deadline = Instant::now() + timeout;
+        let start = Instant::now();
+        let deadline = start + timeout;
+        // A blocked sender watches the consumer's claim counter: any
+        // movement is peer progress, and its absence over the whole
+        // wait marks the timeout as a dead link rather than a slow one.
+        let mut seen_head = self.head.load(Ordering::Relaxed);
+        let mut progress_at = start;
         loop {
             if let Some(pos) = self.claim_send() {
                 self.publish(pos, len, fill);
                 return Ok(());
             }
-            if !self.send_waiters.park_until(deadline, &|| self.can_send()) {
+            let parked = self.send_waiters.park_until(deadline, &|| self.can_send());
+            let head = self.head.load(Ordering::Relaxed);
+            if head != seen_head {
+                seen_head = head;
+                progress_at = Instant::now();
+            }
+            if !parked {
                 // One last claim attempt closes the race where space
                 // freed up exactly at the deadline.
                 if let Some(pos) = self.claim_send() {
                     self.publish(pos, len, fill);
                     return Ok(());
                 }
-                return Err(TransportError::Timeout { after: timeout });
+                return Err(TransportError::Timeout {
+                    after: timeout,
+                    idle: Instant::now().duration_since(progress_at),
+                });
             }
         }
     }
@@ -779,18 +873,32 @@ impl Transport for RingTransport {
                 return Ok(());
             }
         }
-        let deadline = Instant::now() + timeout;
+        let start = Instant::now();
+        let deadline = start + timeout;
+        // Symmetric to `send_with`: a blocked receiver watches the
+        // producer's claim counter for signs of life.
+        let mut seen_tail = self.tail.load(Ordering::Relaxed);
+        let mut progress_at = start;
         loop {
             if let Some(pos) = self.claim_recv() {
                 self.consume_slot(pos, consume);
                 return Ok(());
             }
-            if !self.recv_waiters.park_until(deadline, &|| self.can_recv()) {
+            let parked = self.recv_waiters.park_until(deadline, &|| self.can_recv());
+            let tail = self.tail.load(Ordering::Relaxed);
+            if tail != seen_tail {
+                seen_tail = tail;
+                progress_at = Instant::now();
+            }
+            if !parked {
                 if let Some(pos) = self.claim_recv() {
                     self.consume_slot(pos, consume);
                     return Ok(());
                 }
-                return Err(TransportError::Timeout { after: timeout });
+                return Err(TransportError::Timeout {
+                    after: timeout,
+                    idle: Instant::now().duration_since(progress_at),
+                });
             }
         }
     }

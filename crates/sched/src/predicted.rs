@@ -21,6 +21,8 @@
 //! the SPI system builder does — add them as slack via
 //! [`PredictedMetrics::makespan_with_slack`].
 
+use std::time::Duration;
+
 use crate::latency::self_timed_times;
 use crate::sync_graph::SyncGraph;
 
@@ -55,6 +57,34 @@ impl PredictedMetrics {
         self.makespan_cycles
             .saturating_add(per_iteration_cycles.saturating_mul(self.horizon))
             .saturating_add(fixed_cycles)
+    }
+
+    /// A wall-clock **per-operation deadline** for a supervised run,
+    /// derived from the analytic per-iteration cost: a healthy peer
+    /// produces or consumes at least one token per iteration, so no
+    /// single channel op should block longer than `safety_factor`
+    /// iterations' worth of predicted cycles. Uses the worst of the
+    /// pipeline-fill latency and the amortized steady-state iteration
+    /// cost (fill dominates on deep pipelines, steady state on cyclic
+    /// graphs throttled by feedback).
+    ///
+    /// Returns `None` when there is no basis for a deadline — zero
+    /// clock, an empty horizon, or a zero-cost prediction — so callers
+    /// fall back to their configured default rather than a 0 ns
+    /// deadline that would fail every op.
+    pub fn op_deadline(&self, clock_hz: u64, safety_factor: f64) -> Option<Duration> {
+        // `is_finite` + `<= 0.0` also rejects NaN and infinities.
+        if clock_hz == 0 || self.horizon == 0 || !safety_factor.is_finite() || safety_factor <= 0.0
+        {
+            return None;
+        }
+        let amortized = self.makespan_cycles.div_ceil(self.horizon);
+        let per_iter_cycles = self.first_iteration_makespan.max(amortized);
+        if per_iter_cycles == 0 {
+            return None;
+        }
+        let nanos = (per_iter_cycles as f64) * safety_factor * 1e9 / (clock_hz as f64);
+        Some(Duration::from_nanos(nanos.ceil() as u64))
     }
 }
 
@@ -188,5 +218,38 @@ mod tests {
         let m = predicted_metrics(&sg, 0);
         assert_eq!(m.makespan_cycles, 0);
         assert_eq!(m.first_iteration_makespan, 0);
+    }
+
+    #[test]
+    fn op_deadline_scales_with_clock_and_safety_factor() {
+        let sg = two_proc_pipeline(&[10, 20, 30]);
+        let m = predicted_metrics(&sg, 1);
+        // 60 cycles at 1 MHz = 60 µs per iteration; ×10 safety = 600 µs.
+        let d = m.op_deadline(1_000_000, 10.0).unwrap();
+        assert_eq!(d, Duration::from_micros(600));
+        // Faster clock, tighter deadline.
+        let d = m.op_deadline(1_000_000_000, 10.0).unwrap();
+        assert_eq!(d, Duration::from_nanos(600));
+    }
+
+    #[test]
+    fn op_deadline_uses_worst_of_fill_and_amortized_cost() {
+        let sg = two_proc_pipeline(&[10, 40, 10]);
+        let m = predicted_metrics(&sg, 64);
+        let amortized = m.makespan_cycles.div_ceil(m.horizon);
+        let worst = m.first_iteration_makespan.max(amortized);
+        let d = m.op_deadline(1_000_000, 1.0).unwrap();
+        assert_eq!(d, Duration::from_nanos(worst * 1_000));
+    }
+
+    #[test]
+    fn op_deadline_degenerate_inputs_yield_none() {
+        let sg = two_proc_pipeline(&[10, 10]);
+        let m = predicted_metrics(&sg, 4);
+        assert_eq!(m.op_deadline(0, 10.0), None);
+        assert_eq!(m.op_deadline(1_000_000, 0.0), None);
+        assert_eq!(m.op_deadline(1_000_000, -1.0), None);
+        let empty = predicted_metrics(&sg, 0);
+        assert_eq!(empty.op_deadline(1_000_000, 10.0), None);
     }
 }

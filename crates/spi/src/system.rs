@@ -652,7 +652,7 @@ impl SpiSystemBuilder {
         // paper's baseline configuration is predictable this way: a
         // shared/ordered bus serializes transfers and heterogeneous
         // processor speeds rescale compute outside the sync model.
-        let predicted_makespan_cycles = if matches!(self.mode, SchedulingMode::SelfTimed)
+        let predicted = if matches!(self.mode, SchedulingMode::SelfTimed)
             && self.bus.is_none()
             && self.ordered_transactions.is_none()
             && self.proc_speeds.is_empty()
@@ -701,7 +701,15 @@ impl SpiSystemBuilder {
                 // drift of the cumulative-message counts.
                 fixed = fixed.saturating_add(4);
             }
-            Some(base.makespan_with_slack(per_iter, fixed))
+            // Keep the whole metrics struct (with the communication
+            // slack folded into the makespan) so downstream consumers —
+            // the trace checker's bound, the supervision deadline — all
+            // derive from one number.
+            let makespan_cycles = base.makespan_with_slack(per_iter, fixed);
+            Some(spi_sched::PredictedMetrics {
+                makespan_cycles,
+                ..base
+            })
         } else {
             None
         };
@@ -719,7 +727,7 @@ impl SpiSystemBuilder {
             sync_dot_after,
             analysis,
             transports: transport_decls,
-            predicted_makespan_cycles,
+            predicted,
             tracer: self.tracer,
         })
     }
@@ -782,7 +790,7 @@ pub struct SpiSystem {
     sync_dot_after: String,
     analysis: spi_analyze::AnalysisReport,
     transports: HashMap<EdgeId, spi_analyze::TransportDecl>,
-    predicted_makespan_cycles: Option<u64>,
+    predicted: Option<spi_sched::PredictedMetrics>,
     tracer: Option<Arc<dyn Tracer>>,
 }
 
@@ -838,7 +846,53 @@ impl SpiSystem {
     /// configuration falls outside the analytic model (fully-static
     /// mode, shared or ordered bus, heterogeneous processor speeds).
     pub fn predicted_makespan_cycles(&self) -> Option<u64> {
-        self.predicted_makespan_cycles
+        self.predicted.as_ref().map(|m| m.makespan_cycles)
+    }
+
+    /// A wall-clock per-operation deadline for a **supervised** threaded
+    /// run, derived from the predicted per-iteration cost at this
+    /// system's configured clock: no single channel op of a healthy peer
+    /// should block longer than `safety_factor` iterations' worth of
+    /// predicted cycles (see
+    /// [`spi_sched::PredictedMetrics::op_deadline`]). Clamped below at
+    /// 1 ms — OS scheduling jitter on a loaded host dwarfs sub-millisecond
+    /// analytic deadlines and would turn them into false fault reports.
+    ///
+    /// `None` when the configuration falls outside the analytic model
+    /// (same conditions as [`SpiSystem::predicted_makespan_cycles`]);
+    /// callers then keep the policy's configured default.
+    pub fn supervision_deadline(&self, safety_factor: f64) -> Option<std::time::Duration> {
+        let clock_hz = (self.clock_mhz * 1e6) as u64;
+        let d = self
+            .predicted
+            .as_ref()?
+            .op_deadline(clock_hz, safety_factor)?;
+        Some(d.max(std::time::Duration::from_millis(1)))
+    }
+
+    /// As [`SpiSystem::trace_meta`], additionally stamping the
+    /// supervision budgets of `policy` into the metadata so the trace
+    /// checker can hold the observed fault events against them
+    /// (diagnostics SPI090–SPI092). The degraded-token budget is derived
+    /// from the degradation policy: strict `Fail` declares **zero**
+    /// tolerated deviations, while `Skip`/`Substitute` declare the
+    /// deviation unbounded (the advisory SPI095 still reports every
+    /// degraded token).
+    pub fn trace_meta_supervised(
+        &self,
+        clock: spi_trace::ClockKind,
+        policy: &spi_platform::SupervisionPolicy,
+    ) -> spi_trace::TraceMeta {
+        let mut meta = self.trace_meta(clock);
+        meta.supervision = Some(spi_trace::SupervisionBounds {
+            max_retries: u64::from(policy.max_retries),
+            max_degraded: match policy.degrade {
+                spi_platform::DegradePolicy::Fail => 0,
+                _ => u64::MAX,
+            },
+            max_restarts: u64::from(policy.max_restarts),
+        });
+        meta
     }
 
     /// Trace metadata for a capture of this system: the per-edge
@@ -854,7 +908,7 @@ impl SpiSystem {
         let mut meta = spi_trace::TraceMeta::new(clock);
         meta.iterations = self.iterations;
         if clock == spi_trace::ClockKind::Cycles {
-            meta.predicted_makespan_cycles = self.predicted_makespan_cycles;
+            meta.predicted_makespan_cycles = self.predicted_makespan_cycles();
         }
         let mut edges: Vec<spi_trace::EdgeBound> = self
             .plans

@@ -8,7 +8,7 @@
 //! analysis predicts a makespan. This module closes the loop: given a
 //! captured [`Trace`], it verifies the run actually stayed inside every
 //! one of those envelopes, and emits analyzer-style diagnostics
-//! (`SPI080`–`SPI085`, same [`spi_analyze::Diagnostic`] machinery as
+//! (`SPI080`–`SPI095`, same [`spi_analyze::Diagnostic`] machinery as
 //! the static passes) when it did not.
 //!
 //! | code   | severity | meaning |
@@ -19,6 +19,18 @@
 //! | SPI083 | error    | observed makespan exceeded the predicted bound |
 //! | SPI084 | warning  | capture dropped events; checks ran on a partial stream |
 //! | SPI085 | error    | conservation violated: more receives than sends |
+//! | SPI090 | error    | a retry attempt exceeded the supervision retry budget |
+//! | SPI091 | error    | more tokens degraded than the declared budget |
+//! | SPI092 | error    | a PE restarted more times than the restart budget |
+//! | SPI093 | error    | unresolved corruption: a corrupt frame was never followed by a delivery or degradation |
+//! | SPI094 | warning  | corrupt frames observed (recovered by retransmission) |
+//! | SPI095 | warning  | degraded tokens present; output may deviate from fault-free |
+//!
+//! The supervision-budget checks (`SPI090`–`SPI092`) run only when the
+//! trace metadata carries [`SupervisionBounds`](crate::SupervisionBounds)
+//! — an unsupervised trace
+//! has no budgets to conform to. `SPI093`–`SPI095` fire on the fault
+//! events alone.
 //!
 //! A clean report on a cycle-clocked DES trace is strong evidence the
 //! builder's provisioning math and the engines' flow control agree with
@@ -131,6 +143,14 @@ pub fn check(trace: &Trace) -> ConformanceReport {
     let mut worst_occ: HashMap<usize, (u64, u64, u64)> = HashMap::new(); // ch -> (occ_bytes, occ_msgs, ts)
     let mut worst_msg: HashMap<usize, (u64, u64)> = HashMap::new(); // ch -> (bytes, ts)
 
+    // Supervision replay: fault events accumulated for SPI090–SPI095.
+    let mut worst_retry: HashMap<usize, (u32, u64)> = HashMap::new(); // ch -> (attempt, ts)
+    let mut corrupt_frames: HashMap<usize, u64> = HashMap::new(); // ch -> count
+    let mut unresolved_corrupt: HashMap<usize, u64> = HashMap::new(); // ch -> ts of last corrupt
+    let mut restarts: HashMap<usize, (u64, u64)> = HashMap::new(); // pe -> (count, last iter)
+    let mut substituted_tokens = 0u64;
+    let mut skipped_tokens = 0u64;
+
     for ev in &trace.events {
         match ev.kind {
             ProbeKind::Send {
@@ -170,6 +190,38 @@ pub fn check(trace: &Trace) -> ConformanceReport {
                     .or_default()
                     .recvd
                     .push((digest, bytes, ev.ts));
+                // A successful delivery resolves any earlier corrupt
+                // frame on this channel: the retransmission landed.
+                unresolved_corrupt.remove(&channel.0);
+            }
+            ProbeKind::FaultRetry { channel, attempt } => {
+                let w = worst_retry.entry(channel.0).or_insert((0, ev.ts));
+                if attempt > w.0 {
+                    *w = (attempt, ev.ts);
+                }
+            }
+            ProbeKind::FaultCorrupt { channel } => {
+                *corrupt_frames.entry(channel.0).or_insert(0) += 1;
+                unresolved_corrupt.insert(channel.0, ev.ts);
+            }
+            ProbeKind::FaultDegraded {
+                channel,
+                substituted,
+            } => {
+                if substituted {
+                    substituted_tokens += 1;
+                } else {
+                    skipped_tokens += 1;
+                }
+                // Degradation also resolves a pending corruption: the
+                // supervisor gave up on the frame and declared it, per
+                // the UBS substitute/skip semantics.
+                unresolved_corrupt.remove(&channel.0);
+            }
+            ProbeKind::FaultRestart { iter } => {
+                let r = restarts.entry(ev.pe.0).or_insert((0, iter));
+                r.0 += 1;
+                r.1 = iter;
             }
             _ => {}
         }
@@ -339,6 +391,134 @@ pub fn check(trace: &Trace) -> ConformanceReport {
         );
     }
 
+    // --- Supervision conformance (SPI090–SPI095) ---------------------
+    // Budget checks only make sense against declared budgets; the
+    // observational checks (SPI093–SPI095) fire on the events alone.
+    if let Some(sup) = meta.supervision {
+        for (&ch, &(attempt, ts)) in &worst_retry {
+            if u64::from(attempt) > sup.max_retries {
+                diagnostics.push(
+                    Diagnostic::new(
+                        "SPI090",
+                        Severity::Error,
+                        locus_for(&bounds, ChannelId(ch)),
+                        format!(
+                            "retry attempt {} on {} at t={} exceeds the supervision \
+                             budget of {} retries",
+                            attempt,
+                            ChannelId(ch),
+                            ts,
+                            sup.max_retries
+                        ),
+                    )
+                    .with_suggestion(
+                        "the supervisor retried past its declared budget; the policy \
+                         enforcement and the trace disagree",
+                    ),
+                );
+            }
+        }
+        let degraded_total = substituted_tokens + skipped_tokens;
+        if degraded_total > sup.max_degraded {
+            diagnostics.push(
+                Diagnostic::new(
+                    "SPI091",
+                    Severity::Error,
+                    Locus::System,
+                    format!(
+                        "{} token(s) degraded ({} substituted, {} skipped) exceeds the \
+                         declared budget of {}",
+                        degraded_total, substituted_tokens, skipped_tokens, sup.max_degraded
+                    ),
+                )
+                .with_suggestion(
+                    "more tokens deviated from fault-free output than the degradation \
+                     budget allows; the run should have failed instead of degrading",
+                ),
+            );
+        }
+        for (&pe, &(count, last_iter)) in &restarts {
+            if count > sup.max_restarts {
+                diagnostics.push(
+                    Diagnostic::new(
+                        "SPI092",
+                        Severity::Error,
+                        Locus::System,
+                        format!(
+                            "PE{} restarted {} time(s) (last at iteration {}), exceeding \
+                             the restart budget of {}",
+                            pe, count, last_iter, sup.max_restarts
+                        ),
+                    )
+                    .with_suggestion(
+                        "a PE rolled back more checkpoints than the supervision policy \
+                         permits; the run should have aborted with RestartBudgetExhausted",
+                    ),
+                );
+            }
+        }
+    }
+
+    for (&ch, &ts) in &unresolved_corrupt {
+        diagnostics.push(
+            Diagnostic::new(
+                "SPI093",
+                Severity::Error,
+                locus_for(&bounds, ChannelId(ch)),
+                format!(
+                    "unresolved corruption on {}: corrupt frame at t={} was never \
+                     followed by a delivery or a declared degradation on that channel",
+                    ChannelId(ch),
+                    ts
+                ),
+            )
+            .with_suggestion(
+                "every CRC rejection must end in a retransmitted delivery or an \
+                 explicit degrade event; a dangling corruption means the supervisor \
+                 lost track of a token",
+            ),
+        );
+    }
+
+    let corrupt_total: u64 = corrupt_frames.values().sum();
+    if corrupt_total > 0 {
+        diagnostics.push(
+            Diagnostic::new(
+                "SPI094",
+                Severity::Warning,
+                Locus::System,
+                format!(
+                    "{} corrupt frame(s) rejected by CRC across {} channel(s)",
+                    corrupt_total,
+                    corrupt_frames.len()
+                ),
+            )
+            .with_suggestion(
+                "corruption was detected and handled; persistent corruption on one \
+                 edge suggests a faulty transport or an injection plan left enabled",
+            ),
+        );
+    }
+
+    if substituted_tokens + skipped_tokens > 0 {
+        diagnostics.push(
+            Diagnostic::new(
+                "SPI095",
+                Severity::Warning,
+                Locus::System,
+                format!(
+                    "{} substituted and {} skipped token(s): output may deviate from \
+                     the fault-free run",
+                    substituted_tokens, skipped_tokens
+                ),
+            )
+            .with_suggestion(
+                "degradation is declared-and-bounded (UBS semantics), but downstream \
+                 consumers of this run's output should know it is not byte-exact",
+            ),
+        );
+    }
+
     diagnostics.sort_by(|a, b| {
         b.severity
             .cmp(&a.severity)
@@ -439,6 +619,24 @@ mod tests {
 
     fn codes(r: &ConformanceReport) -> Vec<&'static str> {
         r.diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    fn supervised_meta() -> TraceMeta {
+        let mut meta = bounded_meta();
+        meta.supervision = Some(crate::model::SupervisionBounds {
+            max_retries: 2,
+            max_degraded: 1,
+            max_restarts: 1,
+        });
+        meta
+    }
+
+    fn fault(ts: u64, pe: usize, kind: ProbeKind) -> ProbeEvent {
+        ProbeEvent {
+            ts,
+            pe: PeId(pe),
+            kind,
+        }
     }
 
     #[test]
@@ -581,6 +779,172 @@ mod tests {
         let r = check(&trace);
         assert_eq!(codes(&r), vec!["SPI082"]);
         assert_eq!(r.diagnostics[0].locus, Locus::System);
+    }
+
+    #[test]
+    fn retry_over_budget_fires_spi090_only_under_supervision_meta() {
+        let events = vec![
+            fault(
+                1,
+                1,
+                ProbeKind::FaultRetry {
+                    channel: ChannelId(0),
+                    attempt: 2, // within budget
+                },
+            ),
+            fault(
+                2,
+                1,
+                ProbeKind::FaultRetry {
+                    channel: ChannelId(0),
+                    attempt: 3, // over budget (max_retries = 2)
+                },
+            ),
+        ];
+        let r = check(&Trace {
+            meta: supervised_meta(),
+            events: events.clone(),
+        });
+        assert_eq!(codes(&r), vec!["SPI090"]);
+        assert!(r.diagnostics[0].message.contains("attempt 3"));
+        assert!(r.diagnostics[0].message.contains("budget of 2"));
+        assert_eq!(r.diagnostics[0].locus, Locus::Edge(EdgeId(0)));
+
+        // Same events with no declared budgets: nothing to conform to.
+        let r = check(&Trace {
+            meta: bounded_meta(),
+            events,
+        });
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn degradation_over_budget_fires_spi091_and_always_warns_spi095() {
+        let events = vec![
+            fault(
+                1,
+                1,
+                ProbeKind::FaultDegraded {
+                    channel: ChannelId(0),
+                    substituted: true,
+                },
+            ),
+            fault(
+                2,
+                1,
+                ProbeKind::FaultDegraded {
+                    channel: ChannelId(0),
+                    substituted: false,
+                },
+            ),
+        ];
+        // 2 degraded > max_degraded = 1: error + advisory warning.
+        let r = check(&Trace {
+            meta: supervised_meta(),
+            events: events.clone(),
+        });
+        assert_eq!(codes(&r), vec!["SPI091", "SPI095"]);
+        assert!(r.diagnostics[0]
+            .message
+            .contains("1 substituted, 1 skipped"));
+
+        // Unsupervised: the deviation is still worth a warning.
+        let r = check(&Trace {
+            meta: bounded_meta(),
+            events,
+        });
+        assert_eq!(codes(&r), vec!["SPI095"]);
+        assert!(!r.has_errors());
+    }
+
+    #[test]
+    fn restarts_over_budget_fire_spi092_per_pe() {
+        let events = vec![
+            fault(1, 2, ProbeKind::FaultRestart { iter: 3 }),
+            fault(2, 2, ProbeKind::FaultRestart { iter: 5 }),
+            fault(3, 1, ProbeKind::FaultRestart { iter: 4 }), // within budget
+        ];
+        let r = check(&Trace {
+            meta: supervised_meta(),
+            events,
+        });
+        assert_eq!(codes(&r), vec!["SPI092"]);
+        assert!(r.diagnostics[0].message.contains("PE2"));
+        assert!(r.diagnostics[0].message.contains("iteration 5"));
+    }
+
+    #[test]
+    fn recovered_corruption_warns_spi094_unresolved_escalates_spi093() {
+        // Corrupt frame followed by a delivery on the same channel:
+        // retransmission landed, only the advisory warning remains.
+        let recovered = vec![
+            send(1, 0, 16, 0xaa, 16, 1),
+            fault(
+                2,
+                1,
+                ProbeKind::FaultCorrupt {
+                    channel: ChannelId(0),
+                },
+            ),
+            send(3, 0, 16, 0xaa, 16, 1),
+            recv(4, 0, 16, 0xaa, 0, 0),
+        ];
+        let r = check(&Trace {
+            meta: supervised_meta(),
+            events: recovered,
+        });
+        // Two sends for one receive is fine — the retransmission *is*
+        // the second send; conservation only fires on excess receives.
+        assert_eq!(codes(&r), vec!["SPI094"]);
+
+        // Corrupt frame with no later delivery or degradation: the
+        // supervisor lost a token.
+        let dangling = vec![
+            recv(1, 0, 16, 0xaa, 0, 0),
+            fault(
+                2,
+                1,
+                ProbeKind::FaultCorrupt {
+                    channel: ChannelId(0),
+                },
+            ),
+        ];
+        let r = check(&Trace {
+            meta: bounded_meta(),
+            events: dangling,
+        });
+        assert!(codes(&r).contains(&"SPI093"));
+        assert!(codes(&r).contains(&"SPI094"));
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn degradation_resolves_pending_corruption() {
+        // Corrupt then degrade on the same channel: the loss was
+        // declared, so no SPI093 — just the two advisories.
+        let events = vec![
+            fault(
+                1,
+                1,
+                ProbeKind::FaultCorrupt {
+                    channel: ChannelId(0),
+                },
+            ),
+            fault(
+                2,
+                1,
+                ProbeKind::FaultDegraded {
+                    channel: ChannelId(0),
+                    substituted: true,
+                },
+            ),
+        ];
+        let r = check(&Trace {
+            meta: supervised_meta(),
+            events,
+        });
+        assert_eq!(codes(&r), vec!["SPI094", "SPI095"]);
+        assert!(!r.has_errors());
     }
 
     #[test]

@@ -19,8 +19,9 @@
 //!   Gantt chart.
 //! * [`check`] — the conformance checker: replays a trace against the
 //!   eq. (1)/(2) bounds, per-channel FIFO, token conservation, and the
-//!   predicted makespan, emitting analyzer-style `SPI080`–`SPI085`
-//!   diagnostics.
+//!   predicted makespan, emitting analyzer-style `SPI080`–`SPI095`
+//!   diagnostics — including the supervision-budget checks over the
+//!   fault/retry/degrade/restart events a supervised run emits.
 //!
 //! ## Typical flow
 //!
@@ -49,7 +50,9 @@ pub use capture::{RingTracer, DEFAULT_EVENTS_PER_PE};
 pub use check::{check, ConformanceReport};
 pub use export::{render_gantt, to_chrome_json};
 pub use metrics::{aggregate, ActorMetrics, ChannelMetrics, PeMetrics, TraceMetrics};
-pub use model::{ClockKind, EdgeBound, Trace, TraceMeta, TraceParseError, NATIVE_VERSION};
+pub use model::{
+    ClockKind, EdgeBound, SupervisionBounds, Trace, TraceMeta, TraceParseError, NATIVE_VERSION,
+};
 
 // Re-export the probe-side vocabulary so trace consumers need only this
 // crate.

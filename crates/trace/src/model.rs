@@ -61,6 +61,22 @@ pub struct EdgeBound {
     pub bound_tokens: Option<u64>,
 }
 
+/// Declared supervision budgets of a supervised run — the bounds the
+/// conformance checker holds the observed `Fault*` events against
+/// (diagnostics SPI090–SPI092).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisionBounds {
+    /// Retries allowed per channel operation beyond the first attempt
+    /// (`SupervisionPolicy::max_retries`).
+    pub max_retries: u64,
+    /// Total tokens the run may degrade (substitute or skip) before it
+    /// is considered out of spec.
+    pub max_degraded: u64,
+    /// Checkpoint restarts allowed per PE
+    /// (`SupervisionPolicy::max_restarts`).
+    pub max_restarts: u64,
+}
+
 /// Everything about a capture run except the events themselves.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceMeta {
@@ -82,6 +98,9 @@ pub struct TraceMeta {
     /// Probe events the capture buffer had to drop (ring overflow).
     /// Non-zero means every check ran on a partial stream.
     pub dropped: u64,
+    /// Supervision budgets when the run was supervised; `None` for
+    /// plain runs (the fault-budget checks SPI090–SPI092 are skipped).
+    pub supervision: Option<SupervisionBounds>,
 }
 
 impl TraceMeta {
@@ -94,6 +113,7 @@ impl TraceMeta {
             predicted_makespan_cycles: None,
             iterations: 0,
             dropped: 0,
+            supervision: None,
         }
     }
 
@@ -138,6 +158,12 @@ impl Trace {
         if let Some(p) = m.predicted_makespan_cycles {
             out.push_str(&format!("# predicted_makespan {p}\n"));
         }
+        if let Some(s) = m.supervision {
+            out.push_str(&format!(
+                "# supervision retries {} degraded {} restarts {}\n",
+                s.max_retries, s.max_degraded, s.max_restarts
+            ));
+        }
         for (i, l) in m.labels.iter().enumerate() {
             out.push_str(&format!("# label {i} {l}\n"));
         }
@@ -179,6 +205,15 @@ impl Trace {
                 ProbeKind::BlockRecv { channel } => out.push_str(&format!("br {}", channel.0)),
                 ProbeKind::UnblockSend { channel } => out.push_str(&format!("us {}", channel.0)),
                 ProbeKind::UnblockRecv { channel } => out.push_str(&format!("ur {}", channel.0)),
+                ProbeKind::FaultRetry { channel, attempt } => {
+                    out.push_str(&format!("fr {} {attempt}", channel.0));
+                }
+                ProbeKind::FaultCorrupt { channel } => out.push_str(&format!("fc {}", channel.0)),
+                ProbeKind::FaultDegraded {
+                    channel,
+                    substituted,
+                } => out.push_str(&format!("fd {} {}", channel.0, u8::from(substituted))),
+                ProbeKind::FaultRestart { iter } => out.push_str(&format!("fx {iter}")),
                 _ => out.push('?'),
             }
             out.push('\n');
@@ -246,6 +281,21 @@ fn parse_meta_line(rest: &str, n: usize, meta: &mut TraceMeta) -> Result<(), Tra
         "dropped" => meta.dropped = parse_u64(val, n, "dropped")?,
         "predicted_makespan" => {
             meta.predicted_makespan_cycles = Some(parse_u64(val, n, "predicted_makespan")?);
+        }
+        "supervision" => {
+            let f: Vec<&str> = val.split_whitespace().collect();
+            // "retries <r> degraded <d> restarts <s>"
+            if f.len() != 6 || f[0] != "retries" || f[2] != "degraded" || f[4] != "restarts" {
+                return Err(TraceParseError::at(
+                    n,
+                    format!("malformed supervision line {val:?}"),
+                ));
+            }
+            meta.supervision = Some(SupervisionBounds {
+                max_retries: parse_u64(f[1], n, "retries")?,
+                max_degraded: parse_u64(f[3], n, "degraded")?,
+                max_restarts: parse_u64(f[5], n, "restarts")?,
+            });
         }
         "label" => {
             let mut parts = val.splitn(2, ' ');
@@ -350,6 +400,18 @@ fn parse_event_line(rest: &str, n: usize) -> Result<ProbeEvent, TraceParseError>
         "ur" => ProbeKind::UnblockRecv {
             channel: ChannelId(arg(3)? as usize),
         },
+        "fr" => ProbeKind::FaultRetry {
+            channel: ChannelId(arg(3)? as usize),
+            attempt: arg(4)? as u32,
+        },
+        "fc" => ProbeKind::FaultCorrupt {
+            channel: ChannelId(arg(3)? as usize),
+        },
+        "fd" => ProbeKind::FaultDegraded {
+            channel: ChannelId(arg(3)? as usize),
+            substituted: arg(4)? != 0,
+        },
+        "fx" => ProbeKind::FaultRestart { iter: arg(3)? },
         other => {
             return Err(TraceParseError::at(
                 n,
@@ -471,6 +533,70 @@ mod tests {
         let text = t.to_native();
         let back = Trace::from_native(&text).unwrap();
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn supervision_meta_and_fault_events_roundtrip() {
+        let mut t = sample_trace();
+        t.meta.supervision = Some(SupervisionBounds {
+            max_retries: 3,
+            max_degraded: 5,
+            max_restarts: 1,
+        });
+        t.events.extend([
+            ProbeEvent {
+                ts: 20,
+                pe: PeId(0),
+                kind: ProbeKind::FaultRetry {
+                    channel: ChannelId(1),
+                    attempt: 2,
+                },
+            },
+            ProbeEvent {
+                ts: 21,
+                pe: PeId(1),
+                kind: ProbeKind::FaultCorrupt {
+                    channel: ChannelId(1),
+                },
+            },
+            ProbeEvent {
+                ts: 22,
+                pe: PeId(1),
+                kind: ProbeKind::FaultDegraded {
+                    channel: ChannelId(1),
+                    substituted: true,
+                },
+            },
+            ProbeEvent {
+                ts: 23,
+                pe: PeId(1),
+                kind: ProbeKind::FaultDegraded {
+                    channel: ChannelId(2),
+                    substituted: false,
+                },
+            },
+            ProbeEvent {
+                ts: 24,
+                pe: PeId(1),
+                kind: ProbeKind::FaultRestart { iter: 7 },
+            },
+        ]);
+        let text = t.to_native();
+        assert!(text.contains("# supervision retries 3 degraded 5 restarts 1"));
+        assert!(text.contains("fr 1 2"));
+        assert!(text.contains("fc 1"));
+        assert!(text.contains("fd 1 1"));
+        assert!(text.contains("fd 2 0"));
+        assert!(text.contains("fx 7"));
+        let back = Trace::from_native(&text).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn malformed_supervision_line_is_rejected() {
+        let err =
+            Trace::from_native("# spi-trace v1\n# supervision retries 3 degraded 5\n").unwrap_err();
+        assert!(err.to_string().contains("malformed supervision"));
     }
 
     #[test]

@@ -1,0 +1,136 @@
+#!/usr/bin/env bash
+# Bench-regression gate: runs `bench_transport` fresh and compares its
+# throughput numbers against the committed baselines
+# (`BENCH_transport.json`, `BENCH_trace.json`), failing when any
+# scenario regressed by more than the tolerance (default 15%).
+#
+# Usage:
+#   scripts/bench_gate.sh [--tolerance PCT]
+#   scripts/bench_gate.sh --synthetic-regression
+#
+# `--synthetic-regression` self-tests the gate: it scales the fresh
+# numbers down 20% and verifies the comparison trips. CI runs it right
+# after the real gate so a silently broken comparison cannot go green.
+#
+# Set BENCH_DIR to a directory that already holds fresh JSONs to skip
+# the (minutes-long) benchmark run — CI reuses one run for both modes.
+# The fresh files stay in BENCH_DIR for artifact upload.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+REPO="$PWD"
+
+TOL=15
+MODE=gate
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --tolerance) TOL="$2"; shift 2 ;;
+    --synthetic-regression) MODE=synthetic; shift ;;
+    -h|--help)
+      echo "usage: $0 [--tolerance PCT] [--synthetic-regression]"; exit 2 ;;
+    *) echo "bench_gate: unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+# ---- Fresh numbers ---------------------------------------------------
+BENCH_DIR="${BENCH_DIR:-$(mktemp -d)}"
+if [ ! -f "$BENCH_DIR/BENCH_transport.json" ] || [ ! -f "$BENCH_DIR/BENCH_trace.json" ]; then
+  mkdir -p "$BENCH_DIR"
+  echo "== bench_gate: running bench_transport (fresh numbers in $BENCH_DIR)"
+  # The bench writes into its working directory; run it in BENCH_DIR so
+  # the committed baselines in the repo root stay untouched.
+  (cd "$BENCH_DIR" && cargo run --quiet --release \
+     --manifest-path "$REPO/Cargo.toml" -p spi-bench --bin bench_transport)
+fi
+echo "== bench_gate: fresh numbers from $BENCH_DIR (tolerance ${TOL}%)"
+
+# Prints the numeric value of `key` on the first line of `file`
+# containing `needle` (the hand-rolled JSON is one object per line).
+metric() { # file needle key
+  awk -v needle="$2" -v key="$3" '
+    index($0, needle) {
+      if (match($0, "\"" key "\": [0-9.]+")) {
+        v = substr($0, RSTART, RLENGTH)
+        sub(/.*: /, "", v)
+        print v
+        exit
+      }
+    }
+  ' "$1"
+}
+
+FAILURES=0
+# Compares one metric: candidate must be >= baseline * (1 - TOL/100).
+gate_one() { # file needle key candidate_dir baseline_dir
+  local file="$1" needle="$2" key="$3" cand_dir="$4" base_dir="$5"
+  local cand base
+  cand="$(metric "$cand_dir/$file" "$needle" "$key")"
+  base="$(metric "$base_dir/$file" "$needle" "$key")"
+  if [ -z "$cand" ] || [ -z "$base" ]; then
+    echo "FAIL  $file $needle $key: metric missing (candidate='$cand' baseline='$base')"
+    FAILURES=$((FAILURES + 1))
+    return
+  fi
+  local verdict
+  verdict="$(awk -v c="$cand" -v b="$base" -v tol="$TOL" 'BEGIN {
+    floor = b * (1 - tol / 100)
+    printf "%s %.1f", (c >= floor) ? "ok" : "FAIL", (c / b - 1) * 100
+  }')"
+  local status="${verdict%% *}" delta="${verdict##* }"
+  printf '%-4s  %-24s %-24s %14s vs %-14s (%+s%%)\n' \
+    "$status" "$needle" "$key" "$cand" "$base" "$delta"
+  [ "$status" = "FAIL" ] && FAILURES=$((FAILURES + 1))
+  return 0
+}
+
+run_gate() { # candidate_dir baseline_dir
+  local cand="$1" base="$2"
+  gate_one BENCH_transport.json '"name": "raw_spsc_8B"' locked_msgs_per_sec "$cand" "$base"
+  gate_one BENCH_transport.json '"name": "raw_spsc_8B"' ring_msgs_per_sec "$cand" "$base"
+  gate_one BENCH_transport.json '"name": "pipeline_3pe"' locked_msgs_per_sec "$cand" "$base"
+  gate_one BENCH_transport.json '"name": "pipeline_3pe"' ring_msgs_per_sec "$cand" "$base"
+  gate_one BENCH_transport.json '"name": "filterbank_app"' locked_msgs_per_sec "$cand" "$base"
+  gate_one BENCH_transport.json '"name": "filterbank_app"' ring_msgs_per_sec "$cand" "$base"
+  gate_one BENCH_transport.json '"supervision"' bare_msgs_per_sec "$cand" "$base"
+  gate_one BENCH_transport.json '"supervision"' supervised_msgs_per_sec "$cand" "$base"
+  gate_one BENCH_trace.json '"name": "pipeline_3pe_fir"' nop_msgs_per_sec "$cand" "$base"
+  gate_one BENCH_trace.json '"name": "pipeline_3pe_fir"' traced_msgs_per_sec "$cand" "$base"
+  gate_one BENCH_trace.json '"name": "pipeline_3pe_forward"' nop_msgs_per_sec "$cand" "$base"
+  gate_one BENCH_trace.json '"name": "pipeline_3pe_forward"' traced_msgs_per_sec "$cand" "$base"
+}
+
+if [ "$MODE" = "synthetic" ]; then
+  # Self-test: scale every throughput metric of the fresh run down 20%
+  # and gate the scaled copy against the fresh run itself. Using the
+  # fresh numbers as their own baseline makes the self-test
+  # deterministic on any machine.
+  SYN_DIR="$(mktemp -d)"
+  for f in BENCH_transport.json BENCH_trace.json; do
+    awk '{
+      out = ""; rest = $0
+      while (match(rest, /_msgs_per_sec": [0-9.]+/)) {
+        pre = substr(rest, 1, RSTART - 1)
+        m = substr(rest, RSTART, RLENGTH)
+        rest = substr(rest, RSTART + RLENGTH)
+        val = m; sub(/.*: /, "", val)
+        sub(/: [0-9.]+$/, "", m)
+        out = out pre m ": " sprintf("%.0f", val * 0.8)
+      }
+      print out rest
+    }' "$BENCH_DIR/$f" > "$SYN_DIR/$f"
+  done
+  echo "== bench_gate self-test: 20% synthetic regression must trip the ${TOL}% gate"
+  run_gate "$SYN_DIR" "$BENCH_DIR"
+  if [ "$FAILURES" -gt 0 ]; then
+    echo "== bench_gate self-test passed: synthetic regression rejected ($FAILURES metric(s) tripped)"
+    exit 0
+  fi
+  echo "== bench_gate self-test FAILED: a 20% regression sailed through the gate" >&2
+  exit 1
+fi
+
+run_gate "$BENCH_DIR" "$REPO"
+if [ "$FAILURES" -gt 0 ]; then
+  echo "== bench_gate: $FAILURES metric(s) regressed beyond ${TOL}% vs the committed baseline" >&2
+  exit 1
+fi
+echo "== bench_gate: all metrics within ${TOL}% of the committed baseline"

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Runs the transport-layer concurrency tests under ThreadSanitizer when a
-# nightly toolchain is available, and falls back to a high-volume stress
-# loop otherwise (e.g. offline containers with only stable installed).
+# Runs the transport-layer and fault-injection concurrency tests under
+# ThreadSanitizer when a nightly toolchain is available, and falls back
+# to a high-volume stress loop otherwise (e.g. offline containers with
+# only stable installed).
 #
 # TSan needs `-Z sanitizer=thread`, which implies nightly plus a
 # rebuilt-std (`-Z build-std`) so the standard library is instrumented
@@ -26,6 +27,14 @@ if rustup toolchain list 2>/dev/null | grep -q nightly && \
   TSAN_OPTIONS="halt_on_error=1" \
     cargo +nightly test -Z build-std --target "${TARGET}" \
       --test engine_equivalence "$@"
+  # FaultyTransport + supervised recovery under TSan: the decorator and
+  # the retry/backoff machinery race against PE threads by design. A
+  # reduced chaos case count keeps the instrumented run tractable.
+  RUSTFLAGS="-Z sanitizer=thread" \
+  TSAN_OPTIONS="halt_on_error=1" \
+  CHAOS_CASES="${CHAOS_CASES:-10}" \
+    cargo +nightly test -Z build-std --target "${TARGET}" \
+      -p spi-fault --tests "$@" -- --test-threads=1
 else
   echo "== nightly + rust-src unavailable: falling back to stress loop =="
   echo "   (raising SPI_STRESS_ITERS and repeating to widen interleavings)"
@@ -35,5 +44,7 @@ else
     cargo test --release -p spi-platform --test transport_stress "$@"
   done
   cargo test --release --test engine_equivalence "$@"
+  echo "-- chaos stress (randomized fault plans, CHAOS_CASES=${CHAOS_CASES:-40})"
+  CHAOS_CASES="${CHAOS_CASES:-40}" cargo test --release -p spi-fault "$@"
 fi
 echo "== transport concurrency checks passed =="

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Wall-clock guard for CI steps: runs a command under coreutils
+# `timeout` so a hung test (the exact failure mode the chaos suite
+# guards against regressing) kills the job with a diagnosis instead of
+# idling until the runner's global limit.
+#
+# Usage: scripts/with_timeout.sh SECONDS command [args...]
+#
+# Exit status: the command's own, or 124 on timeout (plus a SIGKILL
+# escalation 30 s later if the process ignores SIGTERM).
+set -euo pipefail
+
+if [ "$#" -lt 2 ]; then
+  echo "usage: $0 SECONDS command [args...]" >&2
+  exit 2
+fi
+
+limit="$1"
+shift
+
+if ! command -v timeout >/dev/null 2>&1; then
+  echo "with_timeout: coreutils 'timeout' unavailable; running unguarded" >&2
+  exec "$@"
+fi
+
+rc=0
+timeout --kill-after=30 "$limit" "$@" || rc=$?
+if [ "$rc" -eq 124 ]; then
+  echo "with_timeout: command exceeded ${limit}s wall clock: $*" >&2
+fi
+exit "$rc"

@@ -15,6 +15,8 @@
 //! * [`spi`] — the Signal Passing Interface itself;
 //! * [`trace`] — runtime observability: lock-free capture, Chrome
 //!   trace export and the bound-conformance checker ([`spi_trace`]);
+//! * [`fault`] — deterministic fault injection: seeded fault plans and
+//!   the faulty-transport decorator for chaos testing ([`spi_fault`]);
 //! * [`apps`] — the paper's two evaluation applications
 //!   ([`spi_apps`]).
 //!
@@ -29,6 +31,7 @@ pub use spi;
 pub use spi_apps as apps;
 pub use spi_dataflow as dataflow;
 pub use spi_dsp as dsp;
+pub use spi_fault as fault;
 pub use spi_platform as platform;
 pub use spi_sched as sched;
 pub use spi_trace as trace;

@@ -1,0 +1,193 @@
+//! Fault-recovery integration: every fault kind injected into the
+//! filter-bank application, with fixed seeds, must be absorbed by the
+//! supervised runner **byte-identically** under the strict retry
+//! policy.
+//!
+//! This is the application-level face of the tentpole robustness claim:
+//! the chaos proptest (`crates/fault/tests/chaos.rs`) sweeps randomized
+//! plans over synthetic pipelines; here each [`FaultKind`] is pinned,
+//! one at a time, against the paper's evaluation application, and the
+//! decimated band outputs are compared against a fault-free reference
+//! run. The degrade policy is `Fail`, so success *means* exactness —
+//! there is no substitution path that could mask corruption.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use spi_repro::apps::{FilterBankApp, FilterBankConfig};
+use spi_repro::fault::{FaultKind, FaultPlan};
+use spi_repro::platform::{ChannelId, SupervisionPolicy, ThreadedRunner, TransportKind};
+use spi_repro::spi::SpiSystem;
+use spi_repro::trace::ClockKind;
+
+const ITERATIONS: u64 = 6;
+
+/// Fresh app + system (programs hold closures and cannot be reused
+/// across runs; the fixed seed makes every build identical).
+fn build() -> (Arc<std::sync::Mutex<Vec<Vec<f64>>>>, SpiSystem) {
+    let app = FilterBankApp::new(FilterBankConfig::default()).expect("filter bank builds");
+    let output = app.output.clone();
+    let system = app.system(ITERATIONS).expect("system builds");
+    (output, system)
+}
+
+/// Fault-free reference: the discrete-event engine's band outputs.
+fn reference() -> Vec<Vec<f64>> {
+    let (output, system) = build();
+    system.run().expect("fault-free DES run");
+    let out = output.lock().unwrap().clone();
+    assert!(!out.is_empty(), "combiner produced output");
+    out
+}
+
+/// The strict policy every recovery test runs under: generous per-op
+/// deadline (faults are injected, not timing-related), bounded retries,
+/// no degradation allowed.
+fn strict() -> SupervisionPolicy {
+    SupervisionPolicy::retry(3).with_deadline(Duration::from_secs(2))
+}
+
+/// Runs the filter bank supervised with `kind` injected at a fixed
+/// `(channel, message_index)` slot on the source→low data channel, and
+/// asserts byte-identical convergence plus a non-vacuous injection.
+fn recovers_byte_identically(kind: FaultKind, transport: TransportKind) {
+    let want = reference();
+    let (output, system) = build();
+    // Edge 0 is source→low; its data channel carries one frame per
+    // iteration, so message index 1 is the second frame.
+    let data_ch = system.edge_plans()[&system.edge_plans().keys().min().copied().unwrap()].data_ch;
+    let plan = FaultPlan::new().inject(data_ch, 1, kind);
+    let (decorator, log) = plan.into_decorator().expect("valid plan");
+    let results = system
+        .run_threaded_with(
+            &ThreadedRunner::new()
+                .transport(transport)
+                .supervise(strict())
+                .decorate_transports(decorator),
+        )
+        .unwrap_or_else(|e| panic!("{kind} under {transport:?} must recover: {e}"));
+    assert!(!results.is_empty());
+    let fired = log.lock().unwrap();
+    assert_eq!(fired.len(), 1, "the planned {kind} fired exactly once");
+    assert_eq!(fired[0].channel, data_ch);
+    let got = output.lock().unwrap().clone();
+    assert_eq!(
+        want, got,
+        "band outputs must match the fault-free reference bit-for-bit \
+         after a recovered {kind} ({transport:?})"
+    );
+}
+
+#[test]
+fn fault_free_supervised_run_matches_reference() {
+    let want = reference();
+    for transport in [TransportKind::Locked, TransportKind::Ring] {
+        let (output, system) = build();
+        let results = system
+            .run_threaded_with(
+                &ThreadedRunner::new()
+                    .transport(transport)
+                    .supervise(strict()),
+            )
+            .expect("fault-free supervised run");
+        assert!(!results.is_empty());
+        assert_eq!(want, output.lock().unwrap().clone(), "{transport:?}");
+    }
+}
+
+#[test]
+fn delay_fault_recovers_byte_identically() {
+    recovers_byte_identically(FaultKind::Delay { micros: 500 }, TransportKind::Locked);
+    recovers_byte_identically(FaultKind::Delay { micros: 500 }, TransportKind::Ring);
+}
+
+#[test]
+fn stall_fault_recovers_byte_identically() {
+    // 30 ms is a real scheduling perturbation but far under the 2 s
+    // per-attempt deadline.
+    recovers_byte_identically(FaultKind::Stall { millis: 30 }, TransportKind::Locked);
+    recovers_byte_identically(FaultKind::Stall { millis: 30 }, TransportKind::Ring);
+}
+
+#[test]
+fn drop_fault_recovers_byte_identically() {
+    recovers_byte_identically(FaultKind::Drop, TransportKind::Locked);
+    recovers_byte_identically(FaultKind::Drop, TransportKind::Ring);
+}
+
+#[test]
+fn duplicate_fault_recovers_byte_identically() {
+    recovers_byte_identically(FaultKind::Duplicate, TransportKind::Locked);
+    recovers_byte_identically(FaultKind::Duplicate, TransportKind::Ring);
+}
+
+#[test]
+fn corrupt_fault_recovers_byte_identically() {
+    recovers_byte_identically(FaultKind::Corrupt, TransportKind::Locked);
+    recovers_byte_identically(FaultKind::Corrupt, TransportKind::Ring);
+}
+
+#[test]
+fn faults_on_every_data_channel_recover_together() {
+    // One benign fault per inter-processor data edge, all in one run.
+    let want = reference();
+    let (output, system) = build();
+    let mut channels: Vec<ChannelId> = system.edge_plans().values().map(|p| p.data_ch).collect();
+    channels.sort();
+    let kinds = [
+        FaultKind::Drop,
+        FaultKind::Corrupt,
+        FaultKind::Duplicate,
+        FaultKind::Delay { micros: 200 },
+    ];
+    let mut plan = FaultPlan::new();
+    for (i, &ch) in channels.iter().enumerate() {
+        plan = plan.inject(ch, (i as u64) % ITERATIONS, kinds[i % kinds.len()]);
+    }
+    let (decorator, log) = plan.into_decorator().expect("valid plan");
+    system
+        .run_threaded_with(
+            &ThreadedRunner::new()
+                .supervise(strict())
+                .decorate_transports(decorator),
+        )
+        .expect("multi-edge fault run recovers");
+    assert_eq!(log.lock().unwrap().len(), channels.len());
+    assert_eq!(want, output.lock().unwrap().clone());
+}
+
+#[test]
+fn predicted_makespan_derives_a_sane_supervision_deadline() {
+    let (_, system) = build();
+    // 100 MHz default clock; the analytic deadline must exist for the
+    // baseline configuration and respect the 1 ms OS-jitter floor.
+    let d = system
+        .supervision_deadline(10.0)
+        .expect("baseline config is analyzable");
+    assert!(d >= Duration::from_millis(1), "{d:?}");
+    assert!(d <= Duration::from_secs(60), "deadline stays sane: {d:?}");
+    // More safety factor, no tighter deadline.
+    let d2 = system.supervision_deadline(20.0).expect("same config");
+    assert!(d2 >= d);
+}
+
+#[test]
+fn trace_meta_supervised_declares_policy_budgets() {
+    let (_, system) = build();
+    let policy = strict();
+    let meta = system.trace_meta_supervised(ClockKind::Nanos, &policy);
+    let bounds = meta.supervision.expect("supervised meta declares bounds");
+    assert_eq!(bounds.max_retries, 3);
+    assert_eq!(bounds.max_degraded, 0, "Fail policy tolerates no deviation");
+    assert_eq!(bounds.max_restarts, u64::from(policy.max_restarts));
+    // The bounds survive the native-format roundtrip the CI gate uses.
+    let parsed = spi_repro::trace::Trace::from_native(
+        &spi_repro::trace::Trace {
+            meta: meta.clone(),
+            events: vec![],
+        }
+        .to_native(),
+    )
+    .expect("native roundtrip");
+    assert_eq!(parsed.meta.supervision, Some(bounds));
+}
