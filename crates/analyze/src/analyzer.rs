@@ -39,6 +39,7 @@ impl Analyzer {
             .with_pass(passes::ProtocolLints)
             .with_pass(passes::SyncCoverage)
             .with_pass(passes::ResyncFixpoint)
+            .with_pass(passes::ResyncCertification)
             .with_pass(passes::ResourceOvercommit)
     }
 

@@ -9,7 +9,7 @@ use std::collections::HashMap;
 
 use spi_dataflow::{EdgeId, LengthSignal, SdfGraph, VtsConversion};
 use spi_platform::{Device, ResourceEstimate};
-use spi_sched::{IpcGraph, Protocol, SyncGraph};
+use spi_sched::{IpcGraph, Protocol, ResyncCertificate, SyncGraph};
 
 /// Runtime transport declared for one edge's data channel: what the
 /// execution layer actually allocated, checked by SPI043 against the
@@ -39,6 +39,9 @@ pub struct AnalysisInput<'a> {
     /// The synchronization graph after protocol selection (and after
     /// resynchronization, if it ran).
     pub sync: Option<&'a SyncGraph>,
+    /// Proof artifact of a certified resynchronization run; checked by
+    /// the `ResyncCertification` pass (SPI061/SPI062) against `sync`.
+    pub resync_cert: Option<&'a ResyncCertificate>,
     /// Protocol chosen per dataflow edge with at least one IPC instance.
     pub protocols: Option<&'a HashMap<EdgeId, Protocol>>,
     /// Transport capacities declared per edge by the execution layer.
@@ -60,6 +63,7 @@ impl<'a> AnalysisInput<'a> {
             fifo_depths: None,
             ipc: None,
             sync: None,
+            resync_cert: None,
             protocols: None,
             transports: None,
             resources: None,
@@ -94,6 +98,13 @@ impl<'a> AnalysisInput<'a> {
     /// Attaches the synchronization graph.
     pub fn with_sync(mut self, sync: &'a SyncGraph) -> Self {
         self.sync = Some(sync);
+        self
+    }
+
+    /// Attaches the proof artifact of a certified resynchronization
+    /// run, enabling the SPI061/SPI062 certification checks.
+    pub fn with_resync_cert(mut self, cert: &'a ResyncCertificate) -> Self {
+        self.resync_cert = Some(cert);
         self
     }
 

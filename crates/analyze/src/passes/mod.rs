@@ -17,6 +17,8 @@
 //! | SPI043 | warning  | protocol-lints | declared transport capacity below the eq. (2) byte requirement |
 //! | SPI050 | error    | sync-coverage | IPC edge not enforced by any synchronization path (data race) |
 //! | SPI060 | warning  | resync-fixpoint | redundant synchronization edges remain after optimization |
+//! | SPI061 | error    | resync-certification | removed sync edge whose redundancy proof is missing or does not re-verify |
+//! | SPI062 | error    | resync-certification | resync addition that does not pay for itself, or inconsistent certificate totals |
 //! | SPI070 | warning/error | resource-overcommit | device utilization above 80 % (error above 100 %) |
 //!
 //! The `SPI08x` range is reserved for the *runtime* conformance checker
@@ -32,12 +34,27 @@
 //! | SPI083 | error    | trace-check | observed makespan exceeded the predicted bound |
 //! | SPI084 | warning  | trace-check | capture dropped events; checks ran on a partial stream |
 //! | SPI085 | error    | trace-check | conservation violated: more receives than sends |
+//!
+//! The `SPI10x` range is reserved for the vector-clock happens-before
+//! checker in `spi-verify` (`spi-lint race-check`), which replays a
+//! captured trace and reports concurrency hazards:
+//!
+//! | Code   | Severity | Pass | Finding |
+//! |--------|----------|------|---------|
+//! | SPI100 | error    | race-check | receive observed before its matching send |
+//! | SPI101 | error    | race-check | unordered sends from different PEs on one channel |
+//! | SPI102 | error    | race-check | unordered receives from different PEs on one channel |
+//! | SPI103 | error    | race-check | buffer-slot reuse not separated from the consuming receive |
+//! | SPI104 | warning  | race-check | unpaired blocking-window marker (Block without Unblock) |
+//! | SPI105 | warning  | race-check | endpoint shared by several PEs (ordered, but fragile) |
+//! | SPI106 | warning  | race-check | capture dropped events; race analysis ran on a partial stream |
 
 mod deadlock;
 mod protocol;
 mod rate_consistency;
 mod resources;
 mod resync;
+mod resync_cert;
 mod sync_coverage;
 mod vts_soundness;
 mod well_formed;
@@ -47,6 +64,7 @@ pub use protocol::ProtocolLints;
 pub use rate_consistency::RateConsistency;
 pub use resources::ResourceOvercommit;
 pub use resync::ResyncFixpoint;
+pub use resync_cert::ResyncCertification;
 pub use sync_coverage::SyncCoverage;
 pub use vts_soundness::VtsSoundness;
 pub use well_formed::WellFormedness;

@@ -13,10 +13,16 @@
 //! per-channel FIFO, token conservation and the predicted makespan —
 //! emitting the `SPI080`–`SPI085` runtime diagnostics.
 //!
+//! The `race-check` subcommand replays the same trace files through the
+//! vector-clock happens-before checker in `spi-verify`, emitting the
+//! `SPI100`–`SPI106` concurrency diagnostics (unordered accesses,
+//! premature receives, unsynchronized buffer-slot reuse).
+//!
 //! Usage:
 //!   spi-lint [--format human|json] [--procs N] [--force-ubs]
 //!            [--no-resync] [--delimiter] FILE...
 //!   spi-lint trace-check [--format human|json] TRACE...
+//!   spi-lint race-check [--format human|json] TRACE...
 //!
 //! Exit status: 0 clean (warnings allowed), 1 when any error-severity
 //! diagnostic fires, 2 on usage or parse problems.
@@ -96,6 +102,7 @@ struct ScheduleArtifacts {
     vts: VtsConversion,
     ipc: IpcGraph,
     sync: SyncGraph,
+    resync_cert: Option<spi_sched::ResyncCertificate>,
     protocols: HashMap<EdgeId, Protocol>,
 }
 
@@ -165,13 +172,18 @@ fn derive_schedule(
         }
     })
     .map_err(|e| e.to_string())?;
-    if resync {
-        sync.resynchronize(true);
-    }
+    let resync_cert = if resync {
+        // Certified variant: the SPI061/SPI062 pass re-verifies every
+        // removal proof against the final graph during the lint run.
+        Some(sync.resynchronize_certified(true, None).1)
+    } else {
+        None
+    };
     Ok(ScheduleArtifacts {
         vts,
         ipc,
         sync,
+        resync_cert,
         protocols,
     })
 }
@@ -197,14 +209,16 @@ fn lint_file(path: &str, opts: &Options) -> Result<spi_analyze::AnalysisReport, 
             } else {
                 let art = derive_schedule(&graph, procs, opts.force_ubs, opts.resync)
                     .map_err(|e| format!("{path}: scheduling failed: {e}"))?;
-                analyzer.run(
-                    &AnalysisInput::new(&graph)
-                        .with_vts(&art.vts)
-                        .with_signal(signal)
-                        .with_ipc(&art.ipc)
-                        .with_sync(&art.sync)
-                        .with_protocols(&art.protocols),
-                )
+                let mut input = AnalysisInput::new(&graph)
+                    .with_vts(&art.vts)
+                    .with_signal(signal)
+                    .with_ipc(&art.ipc)
+                    .with_sync(&art.sync)
+                    .with_protocols(&art.protocols);
+                if let Some(cert) = &art.resync_cert {
+                    input = input.with_resync_cert(cert);
+                }
+                analyzer.run(&input)
             }
         }
     };
@@ -300,10 +314,95 @@ fn trace_check(args: &[String]) -> ExitCode {
     }
 }
 
+/// `race-check TRACE...`: replay each captured trace through the
+/// vector-clock happens-before checker and render the SPI100–SPI106
+/// concurrency report.
+fn race_check(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut files: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => json = true,
+                Some("human") => json = false,
+                _ => {
+                    eprintln!("--format expects human|json");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: spi-lint race-check [--format human|json] TRACE...");
+                return ExitCode::from(2);
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag {flag}");
+                return ExitCode::from(2);
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("usage: spi-lint race-check [--format human|json] TRACE...");
+        return ExitCode::from(2);
+    }
+
+    let mut any_error = false;
+    let mut json_files: Vec<String> = Vec::new();
+    for path in &files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let trace = match spi_trace::Trace::from_native(&text) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let report = spi_verify::race_check(&trace);
+        any_error |= report.has_errors();
+        if json {
+            let diags: Vec<String> = report
+                .diagnostics
+                .iter()
+                .map(spi_analyze::Diagnostic::render_json)
+                .collect();
+            json_files.push(format!(
+                "{{\"file\":{},\"events\":{},\"channels\":{},\"hb_edges\":{},\
+                 \"diagnostics\":[{}]}}",
+                json_escape(path),
+                report.events,
+                report.channels,
+                report.hb_edges,
+                diags.join(",")
+            ));
+        } else {
+            println!("{path}:");
+            print!("{}", report.render_human());
+        }
+    }
+    if json {
+        println!("[{}]", json_files.join(","));
+    }
+    if any_error {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("trace-check") {
         return trace_check(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("race-check") {
+        return race_check(&args[1..]);
     }
     let opts = match parse_args(&args) {
         Ok(o) => o,

@@ -60,10 +60,13 @@ mod error;
 mod mpi;
 mod resource;
 mod runner;
+pub mod shim;
 mod sim;
 mod supervise;
 mod trace;
 mod transport;
+#[cfg(feature = "verify-shim")]
+pub mod verify;
 
 pub use error::{BlockKind, BlockedOp, PlatformError, Result};
 pub use mpi::{
@@ -79,7 +82,10 @@ pub use sim::{
     PayloadFn, PeId, PeLocal, PeLocalSnapshot, PeStats, Program, SimReport, TraceEvent, TraceKind,
     WaitFn,
 };
-pub use supervise::{crc32, DegradePolicy, SupervisionPolicy, FRAME_HEADER_BYTES};
+pub use supervise::{
+    crc32, decode_frame, encode_frame_into, DegradePolicy, FrameError, SupervisionPolicy,
+    FRAME_HEADER_BYTES,
+};
 pub use trace::{payload_digest, NopTracer, ProbeEvent, ProbeKind, Tracer};
 pub use transport::{
     InjectedFault, LockedTransport, RingTransport, Transport, TransportError, TransportKind,

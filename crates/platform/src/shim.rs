@@ -1,0 +1,270 @@
+//! Instrumentable concurrency primitives for the transport layer.
+//!
+//! Every atomic, lock, park/unpark and clock read on the
+//! [`RingTransport`](crate::RingTransport) hot path goes through this
+//! module instead of using `std` directly. In a normal build the
+//! wrappers compile down to the exact `std` operation (the types are
+//! `repr`-identical newtypes and every method is `#[inline]`), so the
+//! production semantics and codegen are unchanged.
+//!
+//! With the `verify-shim` cargo feature enabled, each operation first
+//! consults the bounded model checker in [`crate::verify`]: when the
+//! calling thread belongs to an active exploration session the
+//! operation becomes a *schedule point* — the thread pauses, declares
+//! the operation it is about to perform, and waits for the explorer to
+//! grant it. This is how the DFS/sleep-set explorer enumerates
+//! interleavings of the ring + waitlist protocol. When no session is
+//! active (the common case even with the feature on, e.g. in release
+//! benches that merely link `spi-verify`), the cost is one relaxed
+//! load of a global counter per operation.
+//!
+//! The module also centralizes the *time source* ([`now`]): real runs
+//! read the monotonic clock once per blocking slice and reuse it for
+//! both the supervision deadline and progress accounting, while model
+//! runs observe a frozen clock so park timeouts can never fire inside
+//! an exploration (a lost wakeup therefore surfaces as a deadlock, not
+//! as a silently-absorbed timeout).
+
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+#[cfg(feature = "verify-shim")]
+use crate::verify;
+
+/// A `usize` atomic that doubles as a model-checker schedule point.
+///
+/// Mirrors the subset of [`std::sync::atomic::AtomicUsize`] the
+/// transport uses: `load`, `store` and `compare_exchange_weak`.
+#[derive(Debug)]
+pub struct AtomicUsize {
+    inner: std::sync::atomic::AtomicUsize,
+    #[cfg(feature = "verify-shim")]
+    id: usize,
+}
+
+impl AtomicUsize {
+    /// Creates an atomic with an identifying label (shown in model
+    /// traces; ignored in normal builds).
+    #[inline]
+    pub fn labeled(v: usize, label: &'static str) -> Self {
+        #[cfg(not(feature = "verify-shim"))]
+        let _ = label;
+        Self {
+            inner: std::sync::atomic::AtomicUsize::new(v),
+            #[cfg(feature = "verify-shim")]
+            id: verify::next_object_id(label),
+        }
+    }
+
+    /// Creates an unlabeled atomic.
+    #[inline]
+    pub fn new(v: usize) -> Self {
+        Self::labeled(v, "atomic")
+    }
+
+    /// Atomic load; a schedule point under an active model session.
+    #[inline]
+    pub fn load(&self, order: Ordering) -> usize {
+        #[cfg(feature = "verify-shim")]
+        verify::op_load(self.id);
+        self.inner.load(order)
+    }
+
+    /// Atomic store; a schedule point under an active model session.
+    #[inline]
+    pub fn store(&self, v: usize, order: Ordering) {
+        #[cfg(feature = "verify-shim")]
+        verify::op_store(self.id);
+        self.inner.store(v, order);
+    }
+
+    /// Weak compare-exchange; a schedule point under an active model
+    /// session (declared as a read-modify-write).
+    #[inline]
+    pub fn compare_exchange_weak(
+        &self,
+        current: usize,
+        new: usize,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<usize, usize> {
+        #[cfg(feature = "verify-shim")]
+        verify::op_rmw(self.id);
+        self.inner
+            .compare_exchange_weak(current, new, success, failure)
+    }
+}
+
+/// Memory fence. Under the model this is a no-op: the explorer only
+/// enumerates sequentially-consistent interleavings (one thread runs
+/// at a time, every effect is globally visible before the next grant),
+/// so fences add no behavior — see DESIGN.md §12 for what that model
+/// can and cannot find.
+#[inline]
+pub fn fence(order: Ordering) {
+    std::sync::atomic::fence(order);
+}
+
+/// A mutex whose acquire/release are model schedule points.
+#[derive(Debug)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+    #[cfg(feature = "verify-shim")]
+    id: usize,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex with an identifying label for model traces.
+    #[inline]
+    pub fn labeled(value: T, label: &'static str) -> Self {
+        #[cfg(not(feature = "verify-shim"))]
+        let _ = label;
+        Self {
+            inner: std::sync::Mutex::new(value),
+            #[cfg(feature = "verify-shim")]
+            id: verify::next_object_id(label),
+        }
+    }
+
+    /// Acquires the lock, panicking on poisoning (the transport never
+    /// unwinds while holding its waitlist lock in a healthy run).
+    #[inline]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        #[cfg(feature = "verify-shim")]
+        verify::op_lock(self.id);
+        MutexGuard {
+            inner: Some(self.inner.lock().expect("shim mutex poisoned")),
+            #[cfg(feature = "verify-shim")]
+            id: self.id,
+        }
+    }
+}
+
+/// Guard returned by [`Mutex::lock`]; release is a schedule point.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    #[cfg(feature = "verify-shim")]
+    id: usize,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard taken")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard taken")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    #[inline]
+    fn drop(&mut self) {
+        // Declare the release *before* dropping the inner guard: the
+        // explorer clears the model-side owner at the grant, and no
+        // other model thread can be granted the lock until this thread
+        // reaches its next schedule point — by which time the real
+        // guard below is gone.
+        #[cfg(feature = "verify-shim")]
+        verify::op_unlock(self.id);
+        self.inner.take();
+    }
+}
+
+/// Identity of a thread as seen by the wait list (OS thread id in real
+/// runs, model thread index under an exploration session).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadIdent {
+    os: std::thread::ThreadId,
+    #[cfg(feature = "verify-shim")]
+    model: Option<usize>,
+}
+
+/// A parkable thread handle (the shim analogue of
+/// [`std::thread::Thread`]) stored in transport wait lists.
+#[derive(Debug, Clone)]
+pub struct ThreadHandle {
+    os: std::thread::Thread,
+    #[cfg(feature = "verify-shim")]
+    model: Option<usize>,
+}
+
+impl ThreadHandle {
+    /// Stable identity for deregistration (`retain` by id).
+    #[inline]
+    pub fn id(&self) -> ThreadIdent {
+        ThreadIdent {
+            os: self.os.id(),
+            #[cfg(feature = "verify-shim")]
+            model: self.model,
+        }
+    }
+
+    /// Makes a park token available to the thread. Under the model the
+    /// token is session state and the grant is a schedule point; in
+    /// real runs this is exactly [`std::thread::Thread::unpark`].
+    #[inline]
+    pub fn unpark(&self) {
+        #[cfg(feature = "verify-shim")]
+        if let Some(tid) = self.model {
+            if verify::op_unpark(tid) {
+                return;
+            }
+        }
+        self.os.unpark();
+    }
+}
+
+/// Handle for the calling thread (model-aware [`std::thread::current`]).
+#[inline]
+pub fn current() -> ThreadHandle {
+    ThreadHandle {
+        os: std::thread::current(),
+        #[cfg(feature = "verify-shim")]
+        model: verify::worker_tid(),
+    }
+}
+
+/// Blocks the calling thread until a park token is available or the
+/// timeout elapses. Under the model the timeout *never* fires (the
+/// session clock is frozen), so a wakeup that production code would
+/// paper over with its bounded park slice becomes an observable
+/// deadlock in the explorer.
+#[inline]
+pub fn park_timeout(dur: Duration) {
+    #[cfg(feature = "verify-shim")]
+    if verify::op_park() {
+        return;
+    }
+    std::thread::park_timeout(dur);
+}
+
+/// Reads the transport time source. Real runs read the monotonic
+/// clock; under a model session every call returns the session epoch,
+/// freezing deadlines for the duration of the exploration.
+#[inline]
+pub fn now() -> Instant {
+    #[cfg(feature = "verify-shim")]
+    if let Some(t) = verify::frozen_now() {
+        return t;
+    }
+    Instant::now()
+}
+
+/// Scales a spin budget: model sessions spin zero times (a spin
+/// retry is indistinguishable from a scheduling choice the explorer
+/// already enumerates), real runs keep the configured budget.
+#[inline]
+pub fn spin_budget(real: u32) -> u32 {
+    #[cfg(feature = "verify-shim")]
+    if verify::in_session() {
+        return 0;
+    }
+    real
+}

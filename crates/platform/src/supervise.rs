@@ -257,7 +257,7 @@ fn crc32_sw(bytes: &[u8]) -> u32 {
 
 /// Why a received frame was rejected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum FrameError {
+pub enum FrameError {
     /// Shorter than the 8-byte header.
     Truncated,
     /// Payload CRC did not match the header.
@@ -275,7 +275,7 @@ pub(crate) fn encode_frame(seq: u32, payload: &[u8]) -> Vec<u8> {
 /// [`encode_frame`] into a reused buffer: the hot send path frames one
 /// message per iteration per channel, so after the first message the
 /// per-channel scratch buffer makes framing allocation-free.
-pub(crate) fn encode_frame_into(frame: &mut Vec<u8>, seq: u32, payload: &[u8]) {
+pub fn encode_frame_into(frame: &mut Vec<u8>, seq: u32, payload: &[u8]) {
     frame.clear();
     frame.reserve(FRAME_HEADER_BYTES + payload.len());
     frame.extend_from_slice(&seq.to_le_bytes());
@@ -284,7 +284,7 @@ pub(crate) fn encode_frame_into(frame: &mut Vec<u8>, seq: u32, payload: &[u8]) {
 }
 
 /// Splits and verifies a supervision frame, returning `(seq, payload)`.
-pub(crate) fn decode_frame(frame: &[u8]) -> std::result::Result<(u32, &[u8]), FrameError> {
+pub fn decode_frame(frame: &[u8]) -> std::result::Result<(u32, &[u8]), FrameError> {
     if frame.len() < FRAME_HEADER_BYTES {
         return Err(FrameError::Truncated);
     }

@@ -31,11 +31,11 @@
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{self, AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::{Condvar, Mutex};
-use std::thread::{self, Thread};
 use std::time::{Duration, Instant};
 
+use crate::shim;
 use crate::sim::ChannelSpec;
 
 /// A declared, injected fault surfaced by a fault-injecting transport
@@ -468,13 +468,25 @@ impl Transport for LockedTransport {
 /// ring. The fast path is a single relaxed load of `waiting`; the mutex
 /// is only touched when a thread actually has to park — i.e. when the
 /// ring is full or empty and blocking was inevitable anyway.
-#[derive(Default)]
 struct WaitList {
-    waiting: AtomicUsize,
-    threads: Mutex<Vec<Thread>>,
+    waiting: shim::AtomicUsize,
+    threads: shim::Mutex<Vec<shim::ThreadHandle>>,
+    /// Pre-PR 3 wake behavior: dequeue entries while waking. Only the
+    /// `verify-shim` regression oracle can set this (see
+    /// [`RingTransport::new_with_reverted_wakeup`]); production
+    /// constructors always leave it `false`. Kept as a plain field so
+    /// the production wake path stays byte-identical either way.
+    wake_dequeues: bool,
 }
 
 impl WaitList {
+    fn new(waiting_label: &'static str, list_label: &'static str) -> Self {
+        WaitList {
+            waiting: shim::AtomicUsize::labeled(0, waiting_label),
+            threads: shim::Mutex::labeled(Vec::new(), list_label),
+            wake_dequeues: false,
+        }
+    }
     /// Wakes every registered thread. Entries are *not* removed — only
     /// the owning thread deregisters itself in [`WaitList::park_until`],
     /// so a waiter whose wake token gets absorbed early (consumed by an
@@ -491,12 +503,24 @@ impl WaitList {
     /// the parker re-checks "still blocked" *and* this load reads
     /// "nobody waiting", losing the wakeup for good.
     fn wake_one(&self) {
-        atomic::fence(Ordering::SeqCst);
+        shim::fence(Ordering::SeqCst);
         if self.waiting.load(Ordering::Acquire) == 0 {
             return;
         }
-        for t in self.threads.lock().expect("waitlist lock").iter() {
-            t.unpark();
+        let mut threads = self.threads.lock();
+        if self.wake_dequeues {
+            // The mechanically reverted PR 3 bug, reachable only from
+            // the model-checker oracle: draining on wake orphans a
+            // waiter that re-parks after its token was absorbed
+            // elsewhere — the next wake finds an empty list.
+            for t in threads.drain(..) {
+                t.unpark();
+            }
+            self.waiting.store(0, Ordering::Release);
+        } else {
+            for t in threads.iter() {
+                t.unpark();
+            }
         }
     }
 
@@ -518,26 +542,31 @@ impl WaitList {
     /// hardware with store buffers (see [`WaitList::wake_one`]).
     fn park_until(&self, deadline: Instant, ready: &dyn Fn() -> bool) -> bool {
         {
-            let mut threads = self.threads.lock().expect("waitlist lock");
-            threads.push(thread::current());
+            let mut threads = self.threads.lock();
+            threads.push(shim::current());
             self.waiting.store(threads.len(), Ordering::Release);
         }
-        atomic::fence(Ordering::SeqCst);
+        shim::fence(Ordering::SeqCst);
         let mut timed_out = false;
         loop {
             if ready() {
                 break;
             }
-            let now = Instant::now();
+            // One `shim::now()` read per slice, shared between the
+            // deadline test and the park duration — the same clock the
+            // supervision deadline derives from, and a frozen constant
+            // under a model session (so the timeout below can never
+            // fire inside an exploration).
+            let now = shim::now();
             if now >= deadline {
                 timed_out = true;
                 break;
             }
-            thread::park_timeout((deadline - now).min(Self::MAX_PARK_SLICE));
+            shim::park_timeout((deadline - now).min(Self::MAX_PARK_SLICE));
         }
         {
-            let mut threads = self.threads.lock().expect("waitlist lock");
-            let me = thread::current().id();
+            let mut threads = self.threads.lock();
+            let me = shim::current().id();
             threads.retain(|t| t.id() != me);
             self.waiting.store(threads.len(), Ordering::Release);
         }
@@ -567,7 +596,7 @@ pub struct RingTransport {
     /// ⇒ free for the enqueuer at position `pos`; `seq == 2·pos + 1` ⇒
     /// holds the message published at `pos`, free for the dequeuer,
     /// which recycles it to `2·(pos + slots)`.
-    seq: Box<[AtomicUsize]>,
+    seq: Box<[shim::AtomicUsize]>,
     /// Payload length per slot; written by the owning producer before
     /// the publishing seq store, read by the consumer after its
     /// acquiring seq load.
@@ -575,9 +604,9 @@ pub struct RingTransport {
     /// Slot payload storage, `slots × slot_bytes` contiguous bytes.
     buf: Box<[UnsafeCell<u8>]>,
     /// Next dequeue position.
-    head: AtomicUsize,
+    head: shim::AtomicUsize,
     /// Next enqueue position.
-    tail: AtomicUsize,
+    tail: shim::AtomicUsize,
     /// Consumers parked on an empty ring.
     recv_waiters: WaitList,
     /// Producers parked on a full ring.
@@ -609,7 +638,9 @@ impl RingTransport {
     pub fn new(capacity_bytes: usize, slot_bytes: usize) -> Self {
         let slot_bytes = slot_bytes.max(1);
         let slots = (capacity_bytes / slot_bytes).max(1);
-        let seq: Box<[AtomicUsize]> = (0..slots).map(|i| AtomicUsize::new(2 * i)).collect();
+        let seq: Box<[shim::AtomicUsize]> = (0..slots)
+            .map(|i| shim::AtomicUsize::labeled(2 * i, "seq"))
+            .collect();
         let lens: Box<[UnsafeCell<usize>]> = (0..slots).map(|_| UnsafeCell::new(0)).collect();
         let buf: Box<[UnsafeCell<u8>]> = (0..slots * slot_bytes)
             .map(|_| UnsafeCell::new(0))
@@ -620,11 +651,24 @@ impl RingTransport {
             seq,
             lens,
             buf,
-            head: AtomicUsize::new(0),
-            tail: AtomicUsize::new(0),
-            recv_waiters: WaitList::default(),
-            send_waiters: WaitList::default(),
+            head: shim::AtomicUsize::labeled(0, "head"),
+            tail: shim::AtomicUsize::labeled(0, "tail"),
+            recv_waiters: WaitList::new("recv_waiting", "recv_waitlist"),
+            send_waiters: WaitList::new("send_waiting", "send_waitlist"),
         }
+    }
+
+    /// Like [`RingTransport::new`], but with the PR 3 lost-wakeup fix
+    /// mechanically reverted (wake-all *with* dequeue). This is the
+    /// model checker's regression oracle — `spi-verify` asserts the
+    /// explorer finds a deadlocking schedule for this variant and none
+    /// for the fixed one. Never reachable from production builds.
+    #[cfg(feature = "verify-shim")]
+    pub fn new_with_reverted_wakeup(capacity_bytes: usize, slot_bytes: usize) -> Self {
+        let mut t = Self::new(capacity_bytes, slot_bytes);
+        t.recv_waiters.wake_dequeues = true;
+        t.send_waiters.wake_dequeues = true;
+        t
     }
 
     /// Number of message slots.
@@ -817,14 +861,14 @@ impl Transport for RingTransport {
         // Brief spin before parking: a pipelined peer typically frees a
         // slot within a few hundred nanoseconds, far cheaper to catch
         // here than via a park/unpark round trip through the kernel.
-        for _ in 0..Self::spin_claims() {
+        for _ in 0..shim::spin_budget(Self::spin_claims()) {
             std::hint::spin_loop();
             if let Some(pos) = self.claim_send() {
                 self.publish(pos, len, fill);
                 return Ok(());
             }
         }
-        let start = Instant::now();
+        let start = shim::now();
         let deadline = start + timeout;
         // A blocked sender watches the consumer's claim counter: any
         // movement is peer progress, and its absence over the whole
@@ -837,10 +881,14 @@ impl Transport for RingTransport {
                 return Ok(());
             }
             let parked = self.send_waiters.park_until(deadline, &|| self.can_send());
+            // One clock read per wake, shared by the progress stamp and
+            // the idle computation below (previously two raw
+            // `Instant::now()` reads off the shared time source).
+            let now = shim::now();
             let head = self.head.load(Ordering::Relaxed);
             if head != seen_head {
                 seen_head = head;
-                progress_at = Instant::now();
+                progress_at = now;
             }
             if !parked {
                 // One last claim attempt closes the race where space
@@ -851,7 +899,7 @@ impl Transport for RingTransport {
                 }
                 return Err(TransportError::Timeout {
                     after: timeout,
-                    idle: Instant::now().duration_since(progress_at),
+                    idle: now.duration_since(progress_at),
                 });
             }
         }
@@ -866,14 +914,14 @@ impl Transport for RingTransport {
             self.consume_slot(pos, consume);
             return Ok(());
         }
-        for _ in 0..Self::spin_claims() {
+        for _ in 0..shim::spin_budget(Self::spin_claims()) {
             std::hint::spin_loop();
             if let Some(pos) = self.claim_recv() {
                 self.consume_slot(pos, consume);
                 return Ok(());
             }
         }
-        let start = Instant::now();
+        let start = shim::now();
         let deadline = start + timeout;
         // Symmetric to `send_with`: a blocked receiver watches the
         // producer's claim counter for signs of life.
@@ -885,10 +933,11 @@ impl Transport for RingTransport {
                 return Ok(());
             }
             let parked = self.recv_waiters.park_until(deadline, &|| self.can_recv());
+            let now = shim::now();
             let tail = self.tail.load(Ordering::Relaxed);
             if tail != seen_tail {
                 seen_tail = tail;
-                progress_at = Instant::now();
+                progress_at = now;
             }
             if !parked {
                 if let Some(pos) = self.claim_recv() {
@@ -897,7 +946,7 @@ impl Transport for RingTransport {
                 }
                 return Err(TransportError::Timeout {
                     after: timeout,
-                    idle: Instant::now().duration_since(progress_at),
+                    idle: now.duration_since(progress_at),
                 });
             }
         }
@@ -908,6 +957,7 @@ impl Transport for RingTransport {
 mod tests {
     use super::*;
     use std::sync::Arc;
+    use std::thread;
 
     fn both(capacity: usize, slot: usize) -> Vec<Box<dyn Transport>> {
         vec![

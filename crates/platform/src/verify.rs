@@ -1,0 +1,1081 @@
+//! Bounded model checking runtime for the transport layer.
+//!
+//! This module is the execution engine behind the `spi-verify` crate:
+//! a loom-style *stateless* model checker that runs a small scenario
+//! (a handful of threads hammering one [`RingTransport`]
+//! (crate::RingTransport)) over and over, forcing a different thread
+//! interleaving each run, until every schedule that is distinguishable
+//! under the happens-before dependency relation has been visited.
+//!
+//! ## How an exploration works
+//!
+//! * The scenario's threads are real OS threads, but they only execute
+//!   one at a time: every visible operation (shim atomic access, lock
+//!   acquire/release, park, unpark — see [`crate::shim`]) first parks
+//!   the thread at a *schedule point* where it declares the operation
+//!   it is about to perform and waits for the controller to grant it.
+//! * The controller (the thread that called [`explore`]) therefore
+//!   always knows the complete frontier: which threads are runnable
+//!   and exactly what each would do next. Whenever two or more threads
+//!   are runnable it records a *decision point*; depth-first search
+//!   over decision points enumerates schedules, replaying the common
+//!   prefix from the recorded decision stack on each run.
+//! * *Sleep sets* (Godefroid) prune interleavings that only reorder
+//!   independent operations: after a subtree rooted at choice `t` is
+//!   exhausted, `t` is put to sleep for the sibling choices and only
+//!   woken by an operation dependent with the one `t` was about to
+//!   perform. Sleep-set pruning is sound for safety properties and
+//!   deadlock detection — every Mazurkiewicz trace keeps at least one
+//!   representative — so the search remains exhaustive at the bound.
+//!
+//! ## What counts as a failure
+//!
+//! * **Deadlock** — no thread is runnable but some have not finished.
+//!   The session clock is frozen (see [`crate::shim::now`]) so park
+//!   timeouts never fire inside the model: a lost wakeup that the real
+//!   runtime would mask within one 50 ms park slice is a hard deadlock
+//!   here. This is exactly how the PR 3 wake-all/dequeue regression is
+//!   rediscovered.
+//! * **Panic** — any scenario thread panicking (e.g. an in-thread
+//!   oracle assertion, or an index/overflow bug surfaced by an odd
+//!   interleaving).
+//! * **Step limit** — a run exceeding the per-run step budget, which
+//!   in a frozen-clock model indicates a livelock.
+//!
+//! On failure the explorer greedily *minimizes* the schedule by
+//! replaying variants that defer context switches, and reports the
+//! shortest reproducing interleaving it found as a [`Failure`].
+//!
+//! The memory model explored is sequential consistency — one thread
+//! runs at a time and every effect is globally visible before the next
+//! grant. Weak-memory bugs (store buffering that a missing SeqCst
+//! fence would expose on real hardware) are out of scope; DESIGN.md
+//! §12 discusses the consequences.
+
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once};
+use std::time::Instant;
+
+/// Number of live exploration sessions, process-wide. The shim fast
+/// path loads this with relaxed ordering and skips all model logic
+/// when it is zero.
+static ACTIVE_SESSIONS: StdAtomicUsize = StdAtomicUsize::new(0);
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<Ctx>> = const { std::cell::RefCell::new(None) };
+}
+
+#[derive(Clone)]
+struct Ctx {
+    sess: Arc<Session>,
+    role: Role,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Role {
+    /// The exploring thread itself: allocates object ids during
+    /// scenario construction but never hits schedule points.
+    Controller,
+    /// A scenario thread with its model thread index.
+    Worker(usize),
+}
+
+/// Sentinel panic payload used to unwind scenario threads when a run
+/// is abandoned (prune or failure). Swallowed by the panic hook.
+struct ModelAbort;
+
+fn install_abort_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<ModelAbort>() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Operations and the dependency relation
+// ---------------------------------------------------------------------------
+
+/// A visible operation a model thread is about to perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Op {
+    /// Thread startup marker (independent of everything).
+    Start,
+    /// Atomic load of object `.0`.
+    Load(usize),
+    /// Atomic store to object `.0`.
+    Store(usize),
+    /// Atomic read-modify-write (CAS) on object `.0`.
+    Rmw(usize),
+    /// Mutex acquire of object `.0`.
+    Lock(usize),
+    /// Mutex release of object `.0`.
+    Unlock(usize),
+    /// Consume a park token (blocks until one is available).
+    Park,
+    /// Make a park token available to model thread `.0`.
+    Unpark(usize),
+}
+
+impl Op {
+    fn obj(self) -> Option<usize> {
+        match self {
+            Op::Load(o) | Op::Store(o) | Op::Rmw(o) | Op::Lock(o) | Op::Unlock(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    fn is_write(self) -> bool {
+        matches!(
+            self,
+            Op::Store(_) | Op::Rmw(_) | Op::Lock(_) | Op::Unlock(_)
+        )
+    }
+}
+
+/// Conservative dependency relation between two operations performed
+/// by two *different* threads. Sleep-set wakeups and the soundness of
+/// pruning rest on this being a superset of true dependence.
+fn dependent(a_tid: usize, a: Op, _b_tid: usize, b: Op) -> bool {
+    match (a, b) {
+        (Op::Start, _) | (_, Op::Start) => false,
+        (Op::Park, Op::Unpark(t)) => t == a_tid,
+        (Op::Unpark(t), Op::Park) => t == _b_tid,
+        (Op::Unpark(x), Op::Unpark(y)) => x == y,
+        (Op::Park, _) | (_, Op::Park) => false,
+        (Op::Unpark(_), _) | (_, Op::Unpark(_)) => false,
+        _ => match (a.obj(), b.obj()) {
+            (Some(x), Some(y)) => x == y && (a.is_write() || b.is_write()),
+            _ => false,
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session (one run)
+// ---------------------------------------------------------------------------
+
+struct St {
+    /// Declared-but-not-yet-granted operation per thread.
+    pending: Vec<Option<Op>>,
+    /// Park token per thread (std semantics: at most one).
+    token: Vec<bool>,
+    finished: Vec<bool>,
+    panicked: Option<(usize, String)>,
+    /// Thread currently granted (running between schedule points).
+    current: Option<usize>,
+    /// Mutex object id -> owning model thread.
+    lock_owner: HashMap<usize, usize>,
+    abort: bool,
+    labels: HashMap<usize, &'static str>,
+}
+
+struct Session {
+    st: Mutex<St>,
+    /// One condvar per worker plus one for the controller, all paired
+    /// with `st`. Wakeups are *targeted*: each handshake wakes exactly
+    /// the one thread that can make progress. This matters doubly on
+    /// small machines (CI runners are often single-core): a broadcast
+    /// condvar stampedes every parked worker through the scheduler on
+    /// each of the ~10⁵–10⁶ steps of an exploration, and busy-wait
+    /// spinning is even worse — with one core the spinner burns the
+    /// very timeslice the granted thread needs.
+    worker_cv: Vec<Condvar>,
+    ctrl_cv: Condvar,
+    epoch: Instant,
+    next_obj: StdAtomicUsize,
+}
+
+impl Session {
+    fn new(n_threads: usize) -> Arc<Self> {
+        Arc::new(Session {
+            st: Mutex::new(St {
+                pending: vec![None; n_threads],
+                token: vec![false; n_threads],
+                finished: vec![false; n_threads],
+                panicked: None,
+                current: None,
+                lock_owner: HashMap::new(),
+                abort: false,
+                labels: HashMap::new(),
+            }),
+            worker_cv: (0..n_threads).map(|_| Condvar::new()).collect(),
+            ctrl_cv: Condvar::new(),
+            epoch: Instant::now(),
+            next_obj: StdAtomicUsize::new(1),
+        })
+    }
+
+    /// Blocks the calling worker until the controller grants `op`.
+    /// When the run is being abandoned the call unwinds via
+    /// `ModelAbort` (unless the thread is already panicking, in which
+    /// case it simply returns so the original panic propagates).
+    fn schedule_point(&self, tid: usize, op: Op) {
+        let mut st = self.st.lock().expect("session state");
+        if st.abort {
+            drop(st);
+            abort_unwind();
+            return;
+        }
+        st.pending[tid] = Some(op);
+        st.current = None;
+        self.ctrl_cv.notify_one();
+        loop {
+            if st.abort {
+                drop(st);
+                abort_unwind();
+                return;
+            }
+            if st.current == Some(tid) {
+                return;
+            }
+            st = self.worker_cv[tid].wait(st).expect("session state");
+        }
+    }
+
+    fn thread_done(&self, tid: usize, result: Result<(), Box<dyn std::any::Any + Send>>) {
+        let mut st = self.st.lock().expect("session state");
+        st.finished[tid] = true;
+        if let Err(payload) = result {
+            if !payload.is::<ModelAbort>() && st.panicked.is_none() {
+                st.panicked = Some((tid, panic_message(payload.as_ref())));
+            }
+        }
+        if st.current == Some(tid) {
+            st.current = None;
+        }
+        self.ctrl_cv.notify_one();
+    }
+}
+
+/// One long-lived OS thread per scenario thread, reused across every
+/// run of an exploration. Spawning and joining real threads costs
+/// ~1 ms per run — two orders of magnitude more than the run's actual
+/// schedule — so the pool is what makes exhaustive exploration (tens
+/// of thousands of runs) tractable.
+struct WorkerPool {
+    slots: Vec<Arc<Slot>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+struct Slot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+enum SlotState {
+    /// No job; the worker sleeps on the slot condvar.
+    Idle,
+    /// A job posted by `run_once`, not yet picked up.
+    Run(Box<dyn FnOnce() + Send>),
+    /// The worker is executing the job.
+    Busy,
+    /// Pool teardown.
+    Exit,
+}
+
+impl WorkerPool {
+    fn new(n: usize) -> Self {
+        let slots: Vec<Arc<Slot>> = (0..n)
+            .map(|_| {
+                Arc::new(Slot {
+                    state: Mutex::new(SlotState::Idle),
+                    cv: Condvar::new(),
+                })
+            })
+            .collect();
+        let handles = slots
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                let slot = Arc::clone(slot);
+                std::thread::Builder::new()
+                    .name(format!("spi-verify-worker-{i}"))
+                    .spawn(move || loop {
+                        let job = {
+                            let mut s = slot.state.lock().expect("pool slot");
+                            loop {
+                                match std::mem::replace(&mut *s, SlotState::Busy) {
+                                    SlotState::Run(f) => break Some(f),
+                                    SlotState::Exit => break None,
+                                    keep => {
+                                        *s = keep;
+                                        s = slot.cv.wait(s).expect("pool slot");
+                                    }
+                                }
+                            }
+                        };
+                        let Some(f) = job else { break };
+                        f();
+                        *slot.state.lock().expect("pool slot") = SlotState::Idle;
+                        slot.cv.notify_all();
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool { slots, handles }
+    }
+
+    /// Blocks until worker `i` finished its previous job, then hands
+    /// it the next one.
+    fn post(&self, i: usize, job: Box<dyn FnOnce() + Send>) {
+        let slot = &self.slots[i];
+        let mut s = self.wait_idle_locked(i);
+        *s = SlotState::Run(job);
+        drop(s);
+        slot.cv.notify_all();
+    }
+
+    fn wait_idle(&self, i: usize) {
+        drop(self.wait_idle_locked(i));
+    }
+
+    fn wait_idle_locked(&self, i: usize) -> MutexGuard<'_, SlotState> {
+        let slot = &self.slots[i];
+        let mut s = slot.state.lock().expect("pool slot");
+        while !matches!(*s, SlotState::Idle) {
+            s = slot.cv.wait(s).expect("pool slot");
+        }
+        s
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        for (i, slot) in self.slots.iter().enumerate() {
+            let mut s = self.wait_idle_locked(i);
+            *s = SlotState::Exit;
+            drop(s);
+            slot.cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn abort_unwind() {
+    if !std::thread::panicking() {
+        panic::panic_any(ModelAbort);
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shim entry points (called from crate::shim)
+// ---------------------------------------------------------------------------
+
+fn with_ctx<R>(f: impl FnOnce(&Ctx) -> R) -> Option<R> {
+    if ACTIVE_SESSIONS.load(Ordering::Relaxed) == 0 {
+        return None;
+    }
+    CTX.with(|c| c.borrow().as_ref().map(f))
+}
+
+/// Allocates a deterministic per-run object id (creation order is
+/// fixed by the scenario), or 0 outside any session.
+pub(crate) fn next_object_id(label: &'static str) -> usize {
+    with_ctx(|ctx| {
+        let id = ctx.sess.next_obj.fetch_add(1, Ordering::Relaxed);
+        ctx.sess
+            .st
+            .lock()
+            .expect("session state")
+            .labels
+            .insert(id, label);
+        id
+    })
+    .unwrap_or(0)
+}
+
+fn worker_point(op: Op) {
+    if ACTIVE_SESSIONS.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    let ctx = CTX.with(|c| c.borrow().clone());
+    if let Some(Ctx {
+        sess,
+        role: Role::Worker(tid),
+    }) = ctx
+    {
+        sess.schedule_point(tid, op);
+    }
+}
+
+pub(crate) fn op_load(obj: usize) {
+    worker_point(Op::Load(obj));
+}
+
+pub(crate) fn op_store(obj: usize) {
+    worker_point(Op::Store(obj));
+}
+
+pub(crate) fn op_rmw(obj: usize) {
+    worker_point(Op::Rmw(obj));
+}
+
+pub(crate) fn op_lock(obj: usize) {
+    worker_point(Op::Lock(obj));
+}
+
+pub(crate) fn op_unlock(obj: usize) {
+    worker_point(Op::Unlock(obj));
+}
+
+/// Returns `true` when the park was handled by the model (the caller
+/// must then skip the real park).
+pub(crate) fn op_park() -> bool {
+    if ACTIVE_SESSIONS.load(Ordering::Relaxed) == 0 {
+        return false;
+    }
+    let ctx = CTX.with(|c| c.borrow().clone());
+    if let Some(Ctx {
+        sess,
+        role: Role::Worker(tid),
+    }) = ctx
+    {
+        // The controller only grants a Park when a token is available
+        // and consumes it at the grant, so returning here *is* the
+        // token hand-off.
+        sess.schedule_point(tid, Op::Park);
+        true
+    } else {
+        false
+    }
+}
+
+/// Returns `true` when the unpark was handled by the model.
+pub(crate) fn op_unpark(target_tid: usize) -> bool {
+    if ACTIVE_SESSIONS.load(Ordering::Relaxed) == 0 {
+        return false;
+    }
+    let ctx = CTX.with(|c| c.borrow().clone());
+    if let Some(Ctx {
+        sess,
+        role: Role::Worker(tid),
+    }) = ctx
+    {
+        sess.schedule_point(tid, Op::Unpark(target_tid));
+        true
+    } else {
+        false
+    }
+}
+
+/// Model thread index of the calling thread, if it is a scenario
+/// worker of an active session.
+pub(crate) fn worker_tid() -> Option<usize> {
+    with_ctx(|ctx| match ctx.role {
+        Role::Worker(t) => Some(t),
+        Role::Controller => None,
+    })
+    .flatten()
+}
+
+/// The frozen session clock, if the calling thread is in a session.
+pub(crate) fn frozen_now() -> Option<Instant> {
+    with_ctx(|ctx| ctx.sess.epoch)
+}
+
+/// Whether the calling thread belongs to an active session.
+pub(crate) fn in_session() -> bool {
+    with_ctx(|_| ()).is_some()
+}
+
+// ---------------------------------------------------------------------------
+// Public exploration API
+// ---------------------------------------------------------------------------
+
+/// Tunables for a bounded exploration.
+#[derive(Debug, Clone)]
+pub struct ModelOptions {
+    /// Stop (reporting `capped = true`) after this many runs.
+    pub max_schedules: u64,
+    /// Per-run step budget; exceeding it is reported as a livelock.
+    pub max_steps_per_run: usize,
+    /// Greedily minimize the failing schedule before reporting it.
+    pub minimize: bool,
+}
+
+impl Default for ModelOptions {
+    fn default() -> Self {
+        ModelOptions {
+            max_schedules: 1_000_000,
+            max_steps_per_run: 20_000,
+            minimize: true,
+        }
+    }
+}
+
+/// Collects the threads of one scenario run.
+#[derive(Default)]
+pub struct Scenario {
+    threads: Vec<(String, Box<dyn FnOnce() + Send>)>,
+}
+
+impl Scenario {
+    /// Registers a named scenario thread. Thread registration order
+    /// fixes model thread indices (and so must be deterministic, which
+    /// it is for any straight-line builder closure).
+    pub fn thread(&mut self, name: &str, f: impl FnOnce() + Send + 'static) {
+        self.threads.push((name.to_string(), Box::new(f)));
+    }
+}
+
+/// One step of a (minimized) failing interleaving.
+#[derive(Debug, Clone)]
+pub struct Step {
+    /// Scenario thread name.
+    pub thread: String,
+    /// Human-readable operation (`"store seq#4"`, `"park"`, ...).
+    pub op: String,
+}
+
+/// Why a schedule failed.
+#[derive(Debug, Clone)]
+pub enum FailureKind {
+    /// No thread runnable, not all finished: a lost wakeup or circular
+    /// wait. `blocked` describes each stuck thread.
+    Deadlock {
+        /// One description per unfinished thread.
+        blocked: Vec<String>,
+    },
+    /// A scenario thread panicked.
+    Panic {
+        /// Scenario thread name.
+        thread: String,
+        /// Panic payload rendered as text.
+        message: String,
+    },
+    /// The per-run step budget was exceeded (livelock under a frozen
+    /// clock).
+    StepLimit,
+}
+
+/// A failing schedule, minimized when [`ModelOptions::minimize`] is
+/// set.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// What went wrong.
+    pub kind: FailureKind,
+    /// The reported (post-minimization) interleaving.
+    pub trace: Vec<Step>,
+    /// Steps in the originally discovered failing schedule.
+    pub raw_steps: usize,
+    /// Context switches in the reported interleaving.
+    pub context_switches: usize,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            FailureKind::Deadlock { blocked } => {
+                writeln!(f, "deadlock: no runnable thread")?;
+                for b in blocked {
+                    writeln!(f, "  blocked: {b}")?;
+                }
+            }
+            FailureKind::Panic { thread, message } => {
+                writeln!(f, "panic in thread `{thread}`: {message}")?;
+            }
+            FailureKind::StepLimit => writeln!(f, "step budget exceeded (livelock?)")?,
+        }
+        writeln!(
+            f,
+            "interleaving ({} steps, {} context switches; discovered at {} steps):",
+            self.trace.len(),
+            self.context_switches,
+            self.raw_steps
+        )?;
+        let mut prev: Option<&str> = None;
+        for s in &self.trace {
+            let marker = if prev.is_some() && prev != Some(s.thread.as_str()) {
+                "->"
+            } else {
+                "  "
+            };
+            writeln!(f, "  {marker} [{}] {}", s.thread, s.op)?;
+            prev = Some(s.thread.as_str());
+        }
+        Ok(())
+    }
+}
+
+/// Result of a bounded exploration.
+#[derive(Debug, Clone)]
+pub struct Exploration {
+    /// Complete schedules executed (including the failing one).
+    pub schedules: u64,
+    /// Prefixes abandoned by sleep-set pruning.
+    pub pruned: u64,
+    /// Whether `max_schedules` stopped the search before exhaustion.
+    pub capped: bool,
+    /// First failure found, if any.
+    pub failure: Option<Failure>,
+}
+
+/// A decision point in the DFS stack.
+struct Node {
+    enabled: Vec<usize>,
+    sleep: Vec<(usize, Op)>,
+    chosen: usize,
+    chosen_op: Op,
+}
+
+enum RunOutcome {
+    Complete,
+    SleepBlocked,
+    Failed(FailureKind),
+    /// Forced replay diverged (schedule not reproducible).
+    NonRepro,
+}
+
+struct RunResult {
+    outcome: RunOutcome,
+    granted: Vec<(usize, Op)>,
+    labels: HashMap<usize, &'static str>,
+}
+
+enum Mode<'a> {
+    Dfs(&'a mut Vec<Node>),
+    Forced(&'a [usize]),
+}
+
+/// Exhaustively explores the interleavings of `scenario` (up to
+/// happens-before equivalence) at the configured bounds. The scenario
+/// closure is re-invoked for every run and must build a fresh world
+/// each time: shared state is created inside the closure, moved into
+/// [`Scenario::thread`] closures, and discarded when the run ends.
+pub fn explore(opts: &ModelOptions, scenario: impl Fn(&mut Scenario)) -> Exploration {
+    install_abort_hook();
+    let mut stack: Vec<Node> = Vec::new();
+    let mut schedules = 0u64;
+    let mut pruned = 0u64;
+    let mut capped = false;
+    let mut pool = None;
+
+    loop {
+        if schedules + pruned >= opts.max_schedules {
+            capped = true;
+            break;
+        }
+        let mut res = run_once(opts, &scenario, Mode::Dfs(&mut stack), &mut pool);
+        match std::mem::replace(&mut res.outcome, RunOutcome::Complete) {
+            RunOutcome::SleepBlocked => pruned += 1,
+            RunOutcome::Complete => schedules += 1,
+            RunOutcome::Failed(kind) => {
+                schedules += 1;
+                let failure = report_failure(opts, &scenario, kind, res, &mut pool);
+                return Exploration {
+                    schedules,
+                    pruned,
+                    capped,
+                    failure: Some(failure),
+                };
+            }
+            RunOutcome::NonRepro => unreachable!("DFS runs cannot diverge"),
+        }
+        // Backtrack: exhaust siblings right-to-left, extending each
+        // node's sleep set with the subtree just completed.
+        let mut advanced = false;
+        while let Some(mut node) = stack.pop() {
+            node.sleep.push((node.chosen, node.chosen_op));
+            if let Some(&next) = node
+                .enabled
+                .iter()
+                .find(|t| !node.sleep.iter().any(|(s, _)| s == *t))
+            {
+                node.chosen = next;
+                // `chosen_op` is refreshed during the replay that
+                // revisits this node (the pending op of `next` there).
+                stack.push(node);
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            break;
+        }
+    }
+
+    Exploration {
+        schedules,
+        pruned,
+        capped,
+        failure: None,
+    }
+}
+
+/// Executes one run, scheduling per `mode`. See module docs for the
+/// controller protocol.
+fn run_once(
+    opts: &ModelOptions,
+    scenario: &impl Fn(&mut Scenario),
+    mode: Mode<'_>,
+    pool: &mut Option<WorkerPool>,
+) -> RunResult {
+    let mut sc = Scenario::default();
+    // Build under a controller context so shim objects receive
+    // deterministic per-run ids.
+    let n;
+    let sess;
+    {
+        // Pre-count threads by building first with a provisional
+        // session: object creation happens inside `scenario`, which
+        // also registers the threads.
+        let provisional = Session::new(0);
+        ACTIVE_SESSIONS.fetch_add(1, Ordering::Relaxed);
+        CTX.with(|c| {
+            *c.borrow_mut() = Some(Ctx {
+                sess: Arc::clone(&provisional),
+                role: Role::Controller,
+            })
+        });
+        scenario(&mut sc);
+        CTX.with(|c| *c.borrow_mut() = None);
+        ACTIVE_SESSIONS.fetch_sub(1, Ordering::Relaxed);
+        n = sc.threads.len();
+        // Re-home the run on a session sized for `n`, preserving the
+        // object labels registered during construction.
+        sess = Session::new(n);
+        let labels = std::mem::take(&mut provisional.st.lock().expect("session state").labels);
+        sess.st.lock().expect("session state").labels = labels;
+        sess.next_obj.store(
+            provisional.next_obj.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+    }
+    assert!(n > 0, "scenario registered no threads");
+
+    ACTIVE_SESSIONS.fetch_add(1, Ordering::Relaxed);
+    let names: Vec<String> = sc.threads.iter().map(|(n, _)| n.clone()).collect();
+    let pool = pool.get_or_insert_with(|| WorkerPool::new(n));
+    assert_eq!(
+        pool.slots.len(),
+        n,
+        "non-deterministic scenario: thread count changed between runs"
+    );
+    for (tid, (_, f)) in sc.threads.into_iter().enumerate() {
+        let sess = Arc::clone(&sess);
+        pool.post(
+            tid,
+            Box::new(move || {
+                CTX.with(|c| {
+                    *c.borrow_mut() = Some(Ctx {
+                        sess: Arc::clone(&sess),
+                        role: Role::Worker(tid),
+                    })
+                });
+                let r = panic::catch_unwind(AssertUnwindSafe(|| {
+                    sess.schedule_point(tid, Op::Start);
+                    f();
+                }));
+                CTX.with(|c| *c.borrow_mut() = None);
+                sess.thread_done(tid, r);
+            }),
+        );
+    }
+
+    let result = drive(opts, &sess, &names, mode);
+
+    // The pool equivalent of joining: every worker back to idle (an
+    // abandoned run's parked threads unwind via `ModelAbort` first).
+    for tid in 0..n {
+        pool.wait_idle(tid);
+    }
+    ACTIVE_SESSIONS.fetch_sub(1, Ordering::Relaxed);
+    result
+}
+
+/// The controller loop for one run.
+fn drive(
+    opts: &ModelOptions,
+    sess: &Arc<Session>,
+    names: &[String],
+    mut mode: Mode<'_>,
+) -> RunResult {
+    let n = names.len();
+    let mut granted: Vec<(usize, Op)> = Vec::new();
+    let mut cur_sleep: Vec<(usize, Op)> = Vec::new();
+    let mut depth = 0usize; // decision points passed this run
+    let mut last: Option<usize> = None;
+
+    let mut st = sess.st.lock().expect("session state");
+    let outcome = loop {
+        // Quiescence: no thread running, every live thread declared.
+        while !(st.current.is_none() && (0..n).all(|t| st.finished[t] || st.pending[t].is_some())) {
+            st = sess.ctrl_cv.wait(st).expect("session state");
+        }
+        if let Some((tid, msg)) = st.panicked.clone() {
+            break RunOutcome::Failed(FailureKind::Panic {
+                thread: names[tid].clone(),
+                message: msg,
+            });
+        }
+        if (0..n).all(|t| st.finished[t]) {
+            break RunOutcome::Complete;
+        }
+        if granted.len() >= opts.max_steps_per_run {
+            break RunOutcome::Failed(FailureKind::StepLimit);
+        }
+        let enabled: Vec<usize> = (0..n)
+            .filter(|&t| {
+                !st.finished[t]
+                    && match st.pending[t] {
+                        Some(Op::Park) => st.token[t],
+                        Some(Op::Lock(m)) => !st.lock_owner.contains_key(&m),
+                        Some(_) => true,
+                        None => false,
+                    }
+            })
+            .collect();
+        if enabled.is_empty() {
+            let blocked = (0..n)
+                .filter(|&t| !st.finished[t])
+                .map(|t| {
+                    format!(
+                        "{}: {}",
+                        names[t],
+                        describe_blocked(st.pending[t], &st.labels)
+                    )
+                })
+                .collect();
+            break RunOutcome::Failed(FailureKind::Deadlock { blocked });
+        }
+
+        // Pick the next thread.
+        let choice = match &mut mode {
+            Mode::Forced(sched) => {
+                let i = granted.len();
+                if i < sched.len() {
+                    let t = sched[i];
+                    if !enabled.contains(&t) {
+                        break RunOutcome::NonRepro;
+                    }
+                    t
+                } else {
+                    prefer(last, &enabled, &[])
+                }
+            }
+            Mode::Dfs(stack) => {
+                if enabled.len() >= 2 {
+                    let c = if depth < stack.len() {
+                        let node = &mut stack[depth];
+                        assert_eq!(
+                            node.enabled, enabled,
+                            "non-deterministic scenario: replay diverged"
+                        );
+                        cur_sleep = node.sleep.clone();
+                        node.chosen_op =
+                            st.pending[node.chosen].expect("chosen thread has pending op");
+                        node.chosen
+                    } else {
+                        let c = prefer(last, &enabled, &cur_sleep);
+                        if cur_sleep.iter().any(|(s, _)| *s == c) {
+                            // Every enabled thread is asleep: this
+                            // prefix only reorders independent ops of
+                            // an already-explored trace.
+                            break RunOutcome::SleepBlocked;
+                        }
+                        stack.push(Node {
+                            enabled: enabled.clone(),
+                            sleep: cur_sleep.clone(),
+                            chosen: c,
+                            chosen_op: st.pending[c].expect("chosen thread has pending op"),
+                        });
+                        c
+                    };
+                    depth += 1;
+                    c
+                } else {
+                    let c = enabled[0];
+                    if cur_sleep.iter().any(|(s, _)| *s == c) {
+                        break RunOutcome::SleepBlocked;
+                    }
+                    c
+                }
+            }
+        };
+
+        let op = st.pending[choice].take().expect("granted thread pending");
+        // Wake sleepers whose next op depends on the one about to run.
+        cur_sleep.retain(|&(s, s_op)| s != choice && !dependent(s, s_op, choice, op));
+        match op {
+            Op::Park => st.token[choice] = false,
+            Op::Unpark(t) if t < n => st.token[t] = true,
+            Op::Lock(m) => {
+                st.lock_owner.insert(m, choice);
+            }
+            Op::Unlock(m) => {
+                st.lock_owner.remove(&m);
+            }
+            _ => {}
+        }
+        granted.push((choice, op));
+        last = Some(choice);
+        st.current = Some(choice);
+        sess.worker_cv[choice].notify_one();
+    };
+
+    // Abandon the run: parked workers observe `abort`, unwind via
+    // `ModelAbort`, and drain back to the pool before the next run
+    // posts jobs.
+    st.abort = true;
+    st.current = None;
+    let labels = st.labels.clone();
+    drop(st);
+    for cv in &sess.worker_cv {
+        cv.notify_one();
+    }
+
+    RunResult {
+        outcome,
+        granted,
+        labels,
+    }
+}
+
+/// Default scheduling policy: stay on the previously-running thread
+/// when possible (keeps discovered schedules low-preemption), else
+/// lowest awake thread id.
+fn prefer(last: Option<usize>, enabled: &[usize], sleep: &[(usize, Op)]) -> usize {
+    let asleep = |t: usize| sleep.iter().any(|(s, _)| *s == t);
+    if let Some(l) = last {
+        if enabled.contains(&l) && !asleep(l) {
+            return l;
+        }
+    }
+    *enabled.iter().find(|&&t| !asleep(t)).unwrap_or(&enabled[0])
+}
+
+fn describe_blocked(op: Option<Op>, labels: &HashMap<usize, &'static str>) -> String {
+    match op {
+        Some(Op::Park) => "parked with no pending unpark (lost wakeup)".to_string(),
+        Some(Op::Lock(m)) => format!("waiting for lock {}", obj_name(m, labels)),
+        Some(other) => format!("blocked before {}", op_name(other, labels)),
+        None => "not yet started".to_string(),
+    }
+}
+
+fn obj_name(id: usize, labels: &HashMap<usize, &'static str>) -> String {
+    match labels.get(&id) {
+        Some(l) => format!("{l}#{id}"),
+        None => format!("obj#{id}"),
+    }
+}
+
+fn op_name(op: Op, labels: &HashMap<usize, &'static str>) -> String {
+    match op {
+        Op::Start => "start".to_string(),
+        Op::Load(o) => format!("load {}", obj_name(o, labels)),
+        Op::Store(o) => format!("store {}", obj_name(o, labels)),
+        Op::Rmw(o) => format!("cas {}", obj_name(o, labels)),
+        Op::Lock(o) => format!("lock {}", obj_name(o, labels)),
+        Op::Unlock(o) => format!("unlock {}", obj_name(o, labels)),
+        Op::Park => "park".to_string(),
+        Op::Unpark(t) => format!("unpark thread {t}"),
+    }
+}
+
+fn count_switches(granted: &[(usize, Op)]) -> usize {
+    granted.windows(2).filter(|w| w[0].0 != w[1].0).count()
+}
+
+/// Greedy schedule minimization: repeatedly try to defer each context
+/// switch by one step (forcing the previous thread to continue, then
+/// completing with the stay-on-thread default policy) and keep any
+/// variant that still reproduces the same failure kind with fewer
+/// switches.
+fn report_failure(
+    opts: &ModelOptions,
+    scenario: &impl Fn(&mut Scenario),
+    kind: FailureKind,
+    res: RunResult,
+    pool: &mut Option<WorkerPool>,
+) -> Failure {
+    let raw_steps = res.granted.len();
+    let mut best: Vec<usize> = res.granted.iter().map(|&(t, _)| t).collect();
+    let mut best_granted = res.granted;
+    let mut best_kind = kind;
+    let labels = res.labels;
+
+    if opts.minimize {
+        let mut budget = 200usize;
+        let mut improved = true;
+        while improved && budget > 0 {
+            improved = false;
+            let mut i = 1;
+            while i < best.len() && budget > 0 {
+                if best[i] != best[i - 1] {
+                    budget -= 1;
+                    let mut forced: Vec<usize> = best[..i].to_vec();
+                    forced.push(best[i - 1]);
+                    let r = run_once(opts, scenario, Mode::Forced(&forced), pool);
+                    if let RunOutcome::Failed(k) = r.outcome {
+                        if same_kind(&k, &best_kind) {
+                            let cand: Vec<usize> = r.granted.iter().map(|&(t, _)| t).collect();
+                            if count_switches(&r.granted) < count_switches(&best_granted) {
+                                best = cand;
+                                best_granted = r.granted;
+                                best_kind = k;
+                                improved = true;
+                                continue;
+                            }
+                        }
+                    }
+                }
+                i += 1;
+            }
+        }
+    }
+
+    // Recover thread names for the trace via one more forced replay's
+    // metadata-free view: we already have (tid, op) pairs.
+    let names = scenario_names(scenario);
+    let trace = best_granted
+        .iter()
+        .filter(|(_, op)| !matches!(op, Op::Start))
+        .map(|&(t, op)| Step {
+            thread: names.get(t).cloned().unwrap_or_else(|| format!("t{t}")),
+            op: op_name(op, &labels),
+        })
+        .collect::<Vec<_>>();
+    let context_switches = count_switches(&best_granted);
+    Failure {
+        kind: best_kind,
+        trace,
+        raw_steps,
+        context_switches,
+    }
+}
+
+fn scenario_names(scenario: &impl Fn(&mut Scenario)) -> Vec<String> {
+    let mut sc = Scenario::default();
+    scenario(&mut sc);
+    sc.threads.into_iter().map(|(n, _)| n).collect()
+}
+
+fn same_kind(a: &FailureKind, b: &FailureKind) -> bool {
+    matches!(
+        (a, b),
+        (FailureKind::Deadlock { .. }, FailureKind::Deadlock { .. })
+            | (FailureKind::Panic { .. }, FailureKind::Panic { .. })
+            | (FailureKind::StepLimit, FailureKind::StepLimit)
+    )
+}

@@ -60,4 +60,7 @@ pub use latency::{
 };
 pub use predicted::{predicted_metrics, PredictedMetrics};
 pub use selftimed::SelfTimedSchedule;
-pub use sync_graph::{Protocol, ResyncReport, SyncEdge, SyncGraph, SyncKind};
+pub use sync_graph::{
+    Protocol, RedundancyProof, ResyncAddition, ResyncCertificate, ResyncReport, SyncEdge,
+    SyncGraph, SyncKind,
+};

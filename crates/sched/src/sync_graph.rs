@@ -200,14 +200,26 @@ impl SyncGraph {
     /// All-pairs minimum path delays (min-plus Floyd–Warshall).
     /// `dist[u][v] == u64::MAX` means unreachable.
     fn all_pairs_min_delay(&self) -> Vec<Vec<u64>> {
+        self.all_pairs_min_delay_with_next().0
+    }
+
+    /// Floyd–Warshall with path reconstruction: `next[u][v]` is the
+    /// first hop of a minimum-delay `u → v` path (`usize::MAX` when
+    /// unreachable). Used to materialize redundancy-proof witnesses.
+    fn all_pairs_min_delay_with_next(&self) -> (Vec<Vec<u64>>, Vec<Vec<usize>>) {
         let n = self.tasks.len();
         let mut dist = vec![vec![u64::MAX; n]; n];
+        let mut next = vec![vec![usize::MAX; n]; n];
         for (i, row) in dist.iter_mut().enumerate() {
             row[i] = 0;
+            next[i][i] = i;
         }
         for e in &self.edges {
             let d = &mut dist[e.from.0][e.to.0];
-            *d = (*d).min(e.delay);
+            if e.delay < *d {
+                *d = e.delay;
+                next[e.from.0][e.to.0] = e.to.0;
+            }
         }
         for k in 0..n {
             for i in 0..n {
@@ -221,11 +233,30 @@ impl SyncGraph {
                     let via = dist[i][k] + dist[k][j];
                     if via < dist[i][j] {
                         dist[i][j] = via;
+                        next[i][j] = next[i][k];
                     }
                 }
             }
         }
-        dist
+        (dist, next)
+    }
+
+    /// The tasks along a minimum-delay path `u → v` (inclusive), from a
+    /// `next` table of [`SyncGraph::all_pairs_min_delay_with_next`].
+    fn walk_path(next: &[Vec<usize>], u: usize, v: usize) -> Option<Vec<TaskId>> {
+        if next[u][v] == usize::MAX {
+            return None;
+        }
+        let mut path = vec![TaskId(u)];
+        let mut cur = u;
+        while cur != v {
+            cur = next[cur][v];
+            path.push(TaskId(cur));
+            if path.len() > next.len() + 1 {
+                return None; // defensive: corrupt table
+            }
+        }
+        Some(path)
     }
 
     /// Indices (into [`SyncGraph::edges`]) of removable edges that are
@@ -267,10 +298,16 @@ impl SyncGraph {
     /// how many were dropped. Removal is one edge per pass (lowest index
     /// first) so mutually-redundant ties cannot erase each other.
     pub fn remove_redundant(&mut self) -> usize {
-        let mut removed = 0;
+        self.remove_redundant_tracked().len()
+    }
+
+    /// Like [`SyncGraph::remove_redundant`] but returns the removed
+    /// edges themselves, in removal order, so a caller can certify each
+    /// removal afterwards.
+    pub fn remove_redundant_tracked(&mut self) -> Vec<SyncEdge> {
+        let mut removed = Vec::new();
         while let Some(&i) = self.redundant_edges().first() {
-            self.edges.remove(i);
-            removed += 1;
+            removed.push(self.edges.remove(i));
         }
         removed
     }
@@ -298,10 +335,32 @@ impl SyncGraph {
         preserve_throughput: bool,
         max_latency: Option<u64>,
     ) -> ResyncReport {
+        self.resynchronize_certified(preserve_throughput, max_latency)
+            .0
+    }
+
+    /// Certified resynchronization: identical optimization to
+    /// [`SyncGraph::resynchronize_constrained`], but every edge removal
+    /// is justified by a [`RedundancyProof`] — a concrete witness path
+    /// in the *final* graph whose total delay does not exceed the
+    /// removed edge's — and every addition records how many removals it
+    /// enabled. Post-hoc certification on the final graph is sound
+    /// because redundancy removal is transitive: each intermediate
+    /// witness that was itself later removed was in turn path-implied,
+    /// so the composed final-graph path still enforces the constraint.
+    ///
+    /// A removal the final graph cannot justify lands in
+    /// [`ResyncCertificate::unproven`] — that is a bug in the optimizer
+    /// (surfaced by the analyzer as SPI061), never an expected outcome.
+    pub fn resynchronize_certified(
+        &mut self,
+        preserve_throughput: bool,
+        max_latency: Option<u64>,
+    ) -> (ResyncReport, ResyncCertificate) {
         let baseline_cost = self.sync_cost();
         // Always start from the irredundant form.
-        let mut removed = self.remove_redundant();
-        let mut added = 0;
+        let mut removed_edges = self.remove_redundant_tracked();
+        let mut additions = Vec::new();
         let base_mcm = max_cycle_mean(&self.tasks, &self.edges);
 
         loop {
@@ -338,8 +397,8 @@ impl SyncGraph {
             };
             let mut trial = self.clone();
             trial.edges.push(candidate);
-            let killed = trial.remove_redundant();
-            if killed < 2 {
+            let killed = trial.remove_redundant_tracked();
+            if killed.len() < 2 {
                 break; // stale estimate; no profitable candidate remains
             }
             if preserve_throughput {
@@ -360,16 +419,44 @@ impl SyncGraph {
                 }
             }
             *self = trial;
-            added += 1;
-            removed += killed;
+            additions.push(ResyncAddition {
+                edge: candidate,
+                killed: killed.len(),
+            });
+            removed_edges.extend(killed);
         }
 
-        ResyncReport {
+        // Certify every removal against the final graph.
+        let (dist, next) = self.all_pairs_min_delay_with_next();
+        let mut removals = Vec::new();
+        let mut unproven = Vec::new();
+        for e in removed_edges {
+            let proved = (dist[e.from.0][e.to.0] != u64::MAX && dist[e.from.0][e.to.0] <= e.delay)
+                .then(|| Self::walk_path(&next, e.from.0, e.to.0))
+                .flatten();
+            match proved {
+                Some(witness) => removals.push(RedundancyProof {
+                    edge: e,
+                    witness_delay: dist[e.from.0][e.to.0],
+                    witness,
+                }),
+                None => unproven.push(e),
+            }
+        }
+
+        let report = ResyncReport {
             sync_cost_before: baseline_cost,
             sync_cost_after: self.sync_cost(),
-            edges_added: added,
-            edges_removed: removed,
-        }
+            edges_added: additions.len(),
+            edges_removed: removals.len() + unproven.len(),
+        };
+        let cert = ResyncCertificate {
+            removals,
+            unproven,
+            additions,
+            report,
+        };
+        (report, cert)
     }
 
     /// How many removable edges would become redundant if a zero-delay
@@ -503,6 +590,94 @@ impl ResyncReport {
     }
 }
 
+/// Machine-checkable witness that a removed synchronization edge's
+/// constraint is still enforced: a path in the final graph from the
+/// edge's source to its destination with total delay ≤ the edge's.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RedundancyProof {
+    /// The edge that was removed.
+    pub edge: SyncEdge,
+    /// Tasks along the witness path, endpoints inclusive
+    /// (`witness[0] == edge.from`, `witness.last() == edge.to`).
+    pub witness: Vec<TaskId>,
+    /// Total delay along the witness path (≤ `edge.delay`).
+    pub witness_delay: u64,
+}
+
+/// One resynchronization edge the optimizer added, with its
+/// justification: how many removable edges it made redundant. The
+/// greedy step only accepts a candidate whose net cost drops, so
+/// `killed ≥ 2` always holds for a sound run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResyncAddition {
+    /// The added zero-delay [`SyncKind::Resync`] edge.
+    pub edge: SyncEdge,
+    /// Removable edges this addition made redundant.
+    pub killed: usize,
+}
+
+/// Proof artifact of one certified resynchronization run
+/// ([`SyncGraph::resynchronize_certified`]): one [`RedundancyProof`]
+/// per removed edge, one [`ResyncAddition`] per added edge, and the
+/// summary [`ResyncReport`]. The `spi-analyze` pass
+/// `ResyncCertification` re-derives every claim against the final
+/// graph and reports SPI061/SPI062 when anything fails to check.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResyncCertificate {
+    /// Proven removals.
+    pub removals: Vec<RedundancyProof>,
+    /// Removals the final graph could not justify (optimizer bug).
+    pub unproven: Vec<SyncEdge>,
+    /// Added resynchronization edges with their kill counts.
+    pub additions: Vec<ResyncAddition>,
+    /// The matching summary report.
+    pub report: ResyncReport,
+}
+
+impl ResyncCertificate {
+    /// `true` when every removal carries a valid proof.
+    pub fn fully_proven(&self) -> bool {
+        self.unproven.is_empty()
+    }
+
+    /// Human-readable rendering, one line per proof/addition.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "resync certificate: {} removals proven, {} unproven, {} additions \
+             (cost {} -> {})\n",
+            self.removals.len(),
+            self.unproven.len(),
+            self.additions.len(),
+            self.report.sync_cost_before,
+            self.report.sync_cost_after
+        );
+        for p in &self.removals {
+            let path: Vec<String> = p.witness.iter().map(|t| format!("t{}", t.0)).collect();
+            out.push_str(&format!(
+                "  remove t{} -> t{} (delay {}): witness {} (delay {})\n",
+                p.edge.from.0,
+                p.edge.to.0,
+                p.edge.delay,
+                path.join(" -> "),
+                p.witness_delay
+            ));
+        }
+        for e in &self.unproven {
+            out.push_str(&format!(
+                "  UNPROVEN remove t{} -> t{} (delay {})\n",
+                e.from.0, e.to.0, e.delay
+            ));
+        }
+        for a in &self.additions {
+            out.push_str(&format!(
+                "  add t{} -> t{} (delay 0): kills {}\n",
+                a.edge.from.0, a.edge.to.0, a.killed
+            ));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -619,6 +794,50 @@ mod tests {
     fn zero_delay_cycle_detection() {
         let sg = two_proc_pipeline();
         assert!(!sg.has_zero_delay_cycle());
+    }
+
+    #[test]
+    fn certified_resync_proves_every_removal() {
+        let mut sg = two_proc_pipeline();
+        let (report, cert) = sg.resynchronize_certified(true, None);
+        // The pipeline drops both UBS acks; each must carry a witness.
+        assert_eq!(report.edges_removed, 2);
+        assert!(cert.fully_proven(), "unproven: {:?}", cert.unproven);
+        assert_eq!(cert.removals.len(), 2);
+        for p in &cert.removals {
+            assert_eq!(p.witness.first(), Some(&p.edge.from));
+            assert_eq!(p.witness.last(), Some(&p.edge.to));
+            assert!(p.witness_delay <= p.edge.delay);
+            // Re-walk the witness against the final graph: every hop
+            // must exist with delays summing to at most the claim.
+            let mut total = 0u64;
+            for w in p.witness.windows(2) {
+                let hop = sg
+                    .edges()
+                    .iter()
+                    .filter(|e| e.from == w[0] && e.to == w[1])
+                    .map(|e| e.delay)
+                    .min()
+                    .expect("witness hop must be a real edge");
+                total += hop;
+            }
+            assert_eq!(total, p.witness_delay);
+        }
+        for a in &cert.additions {
+            assert!(a.killed >= 2, "additions must pay for themselves");
+        }
+        assert_eq!(cert.report, report);
+        assert!(cert.render().contains("removals proven"));
+    }
+
+    #[test]
+    fn certified_and_plain_resync_agree() {
+        let mut a = two_proc_pipeline();
+        let mut b = two_proc_pipeline();
+        let plain = a.resynchronize(true);
+        let (certified, _) = b.resynchronize_certified(true, None);
+        assert_eq!(plain, certified);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -28,7 +28,8 @@ use spi_platform::{
     ChannelId, ChannelSpec, Machine, Op, PeLocal, Program, ResourceEstimate, SimReport, Tracer,
 };
 use spi_sched::{
-    Assignment, IpcGraph, ProcId, Protocol, ResyncReport, SelfTimedSchedule, SyncGraph, SyncKind,
+    Assignment, IpcGraph, ProcId, Protocol, ResyncCertificate, ResyncReport, SelfTimedSchedule,
+    SyncGraph, SyncKind,
 };
 
 use crate::actors::{Firing, SharedActor};
@@ -457,11 +458,16 @@ impl SpiSystemBuilder {
             }
         })?;
         let sync_dot_before = sync.to_dot("before resynchronization");
-        let resync_report = if self.resync {
-            Some(sync.resynchronize(true))
+        let (resync_report, resync_cert) = if self.resync {
+            // The certified variant records a redundancy proof (witness
+            // path in the final graph) for every removed edge; the
+            // SPI061/SPI062 analyzer pass re-verifies the certificate
+            // below as part of the full-picture gate.
+            let (report, cert) = sync.resynchronize_certified(true, None);
+            (Some(report), Some(cert))
         } else {
             // Even without resync, drop nothing: report baseline only.
-            None
+            (None, None)
         };
         let sync_dot_after = sync.to_dot("after resynchronization");
         // An edge keeps its acknowledgements if any Ack sync edge for it
@@ -626,16 +632,18 @@ impl SpiSystemBuilder {
         // SPI040 under `force_ubs`) ride along on the built system.
         let protocols: HashMap<EdgeId, Protocol> =
             plans.iter().map(|(&e, p)| (e, p.protocol)).collect();
-        let analysis = spi_analyze::Analyzer::default_pipeline().run(
-            &spi_analyze::AnalysisInput::new(&self.graph)
-                .with_vts(&vts)
-                .with_signal(self.signal)
-                .with_ipc(&ipc)
-                .with_sync(&sync)
-                .with_protocols(&protocols)
-                .with_transports(&transport_decls)
-                .with_resources(library.full_system(), None),
-        );
+        let mut full_input = spi_analyze::AnalysisInput::new(&self.graph)
+            .with_vts(&vts)
+            .with_signal(self.signal)
+            .with_ipc(&ipc)
+            .with_sync(&sync)
+            .with_protocols(&protocols)
+            .with_transports(&transport_decls)
+            .with_resources(library.full_system(), None);
+        if let Some(cert) = &resync_cert {
+            full_input = full_input.with_resync_cert(cert);
+        }
+        let analysis = spi_analyze::Analyzer::default_pipeline().run(&full_input);
         if analysis.has_errors() {
             return Err(SpiError::Analysis {
                 diagnostics: analysis.errors().cloned().collect(),
@@ -719,6 +727,7 @@ impl SpiSystemBuilder {
             plans,
             sync_cost_after: sync.sync_cost(),
             resync_report,
+            resync_cert,
             iteration_period_estimate: sync.iteration_period(),
             clock_mhz: self.clock_mhz,
             library,
@@ -782,6 +791,7 @@ pub struct SpiSystem {
     plans: HashMap<EdgeId, EdgePlan>,
     sync_cost_after: usize,
     resync_report: Option<ResyncReport>,
+    resync_cert: Option<ResyncCertificate>,
     iteration_period_estimate: Option<f64>,
     clock_mhz: f64,
     library: SpiLibraryReport,
@@ -816,6 +826,14 @@ impl SpiSystem {
     /// Resynchronization outcome (if the pass was enabled).
     pub fn resync_report(&self) -> Option<ResyncReport> {
         self.resync_report
+    }
+
+    /// Proof artifact of the certified resynchronization run: one
+    /// redundancy witness per removed sync edge, plus the net-cost
+    /// justification of every added resync edge. Already re-verified by
+    /// the SPI061/SPI062 analyzer pass during the build.
+    pub fn resync_certificate(&self) -> Option<&ResyncCertificate> {
+        self.resync_cert.as_ref()
     }
 
     /// Removable synchronization edges remaining after optimization.

@@ -1,0 +1,47 @@
+//! # spi-verify — static & exhaustive-dynamic verification for SPI
+//!
+//! Three connected engines that check the places where the SPI
+//! reproduction is most exposed to ordering bugs:
+//!
+//! 1. **Bounded model checking** ([`ring`], engine in
+//!    [`spi_platform::verify`]) — a loom-style stateless explorer that
+//!    enumerates every thread interleaving (up to happens-before
+//!    equivalence, via DFS with sleep-set pruning) of the
+//!    [`RingTransport`](spi_platform::RingTransport) ring + waitlist
+//!    protocol at small bounds. The regression oracle
+//!    [`ring::explore_ring_shared_consumers`] mechanically reverts the
+//!    PR 3 lost-wakeup fix and asserts the explorer rediscovers the
+//!    bug as a deadlocking schedule with a minimized interleaving.
+//! 2. **Happens-before race checking** ([`race`]) — replays a
+//!    `spi-trace` capture, reconstructs cross-PE ordering from matched
+//!    send/receive pairs (data *and* ack/control channels — the
+//!    materialized synchronization edges of the paper's `G_s`) with
+//!    vector clocks, and reports races and ordering violations as the
+//!    stable diagnostics SPI100–SPI106 (surfaced by
+//!    `spi-lint race-check`).
+//! 3. **Framing-protocol exploration** ([`framing`]) — exhaustive DFS
+//!    over adversarial channel behavior (drop / corrupt / duplicate
+//!    within a fault budget) against the real supervision seq/crc
+//!    framing codecs, checking the delivered stream respects the
+//!    configured [`DegradePolicy`](spi_platform::DegradePolicy)
+//!    semantics at the bound.
+//!
+//! The companion `spi-analyze` pass `ResyncCertification` (SPI061 /
+//! SPI062) closes the loop on the static side: every synchronization
+//! edge the resynchronization optimizer removes must carry a
+//! machine-checkable redundancy proof (see
+//! [`spi_sched::ResyncCertificate`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod framing;
+pub mod race;
+pub mod ring;
+
+pub use framing::{explore_framing, FramingExploration, FramingOptions, FramingViolation};
+pub use race::{race_check, RaceReport};
+pub use ring::{explore_ring_shared_consumers, explore_ring_spsc};
+pub use spi_platform::verify::{
+    explore, Exploration, Failure, FailureKind, ModelOptions, Scenario, Step,
+};

@@ -1,0 +1,90 @@
+//! Canonical `RingTransport` exploration scenarios.
+//!
+//! Two scenarios cover the ring + waitlist protocol:
+//!
+//! * [`explore_ring_spsc`] — the production topology: one producer,
+//!   one consumer, small ring, `n` messages each way. Exhaustive at
+//!   the bound; any lost wakeup shows up as a deadlock because the
+//!   model clock is frozen and park timeouts can never fire.
+//! * [`explore_ring_shared_consumers`] — the regression oracle for the
+//!   PR 3 lost-wakeup fix. Two consumers share the receive endpoint
+//!   (the documented memory-safe-but-slower mode). With the fix
+//!   mechanically reverted (wake-all *with* dequeue), one consumer's
+//!   wake token can be absorbed by the other, it re-parks after its
+//!   wait-list entry was drained, and the next publish finds nobody
+//!   registered: a deadlock the explorer finds without needing any
+//!   preemption. With the fix in place the same scenario is
+//!   deadlock-free. Notably the strict 2-thread SPSC topology cannot
+//!   expose the dequeue revert under sequential consistency — the
+//!   `ready()` recheck after every park always rescues the single
+//!   consumer — which is exactly why the oracle uses the shared
+//!   endpoint mode (see DESIGN.md §12).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use spi_platform::verify::{explore, Exploration, ModelOptions};
+use spi_platform::{RingTransport, Transport};
+
+/// Far beyond any exploration: the model clock is frozen, so this
+/// deadline is simply "never" inside a session.
+const NEVER: Duration = Duration::from_secs(3600);
+
+/// Exhaustively explores the 2-thread SPSC protocol: one producer
+/// sending `messages` 4-byte payloads through a ring of `slots` slots,
+/// one consumer receiving and checking FIFO order. Returns the full
+/// exploration statistics; `failure` is `Some` if any interleaving
+/// deadlocked, panicked or livelocked.
+pub fn explore_ring_spsc(messages: usize, slots: usize, opts: &ModelOptions) -> Exploration {
+    let slots = slots.max(1);
+    explore(opts, move |sc| {
+        let ring = Arc::new(RingTransport::new(slots * 4, 4));
+        let p = Arc::clone(&ring);
+        sc.thread("producer", move || {
+            for i in 0..messages as u32 {
+                p.send_with(4, &mut |buf| buf.copy_from_slice(&i.to_le_bytes()), NEVER)
+                    .expect("model send");
+            }
+        });
+        let c = Arc::clone(&ring);
+        sc.thread("consumer", move || {
+            for i in 0..messages as u32 {
+                let mut got = None;
+                c.recv_with(
+                    &mut |b| got = Some(u32::from_le_bytes(b.try_into().expect("4 bytes"))),
+                    NEVER,
+                )
+                .expect("model recv");
+                assert_eq!(got, Some(i), "FIFO order violated");
+            }
+        });
+    })
+}
+
+/// The PR 3 regression oracle: one producer sends two messages through
+/// a single-slot ring while two consumers share the receive endpoint,
+/// each taking one message. With `reverted_wakeup` the wait list uses
+/// the pre-PR 3 wake-all-with-dequeue behavior and the exploration
+/// must report a deadlock; with the shipped fix it must not.
+pub fn explore_ring_shared_consumers(reverted_wakeup: bool, opts: &ModelOptions) -> Exploration {
+    explore(opts, move |sc| {
+        let ring = Arc::new(if reverted_wakeup {
+            RingTransport::new_with_reverted_wakeup(4, 4)
+        } else {
+            RingTransport::new(4, 4)
+        });
+        let p = Arc::clone(&ring);
+        sc.thread("producer", move || {
+            for i in 0..2u32 {
+                p.send_with(4, &mut |buf| buf.copy_from_slice(&i.to_le_bytes()), NEVER)
+                    .expect("model send");
+            }
+        });
+        for name in ["consumer-1", "consumer-2"] {
+            let c = Arc::clone(&ring);
+            sc.thread(name, move || {
+                c.recv_with(&mut |_| {}, NEVER).expect("model recv");
+            });
+        }
+    })
+}

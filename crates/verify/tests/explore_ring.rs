@@ -1,0 +1,117 @@
+//! Bounded model checking of the `RingTransport` protocol.
+//!
+//! Three claims, per the verification plan (DESIGN.md §12):
+//!
+//! 1. the 2-thread SPSC protocol is deadlock/panic-free and the
+//!    exploration is *exhaustive* at the tier-1 bound (2 messages
+//!    through a 1-slot ring — every send and receive blocks at least
+//!    once, plus all their spins and parks), and not vacuous: it must
+//!    visit at least [`MIN_SCHEDULES`] distinct interleavings
+//!    (anti-vacuity floor, committed as a baseline). A deeper bound
+//!    (3 messages, 2 slots) runs `#[ignore]`d for the CI `verify` job;
+//! 2. the shared-consumer scenario is clean with the shipped wait-list
+//!    within a fixed schedule budget (its full space is too large to
+//!    exhaust in tier-1; the budget is ~3x the depth at which the
+//!    reverted-wakeup bug is found, so the budget is known to reach
+//!    bug-revealing depths);
+//! 3. with the PR 3 lost-wakeup fix mechanically reverted
+//!    (`new_with_reverted_wakeup`: wake-all *with* dequeue), the same
+//!    scenario deadlocks, and the explorer reports it with a minimized
+//!    interleaving trace — the regression oracle.
+
+use spi_verify::{explore_ring_shared_consumers, explore_ring_spsc, FailureKind, ModelOptions};
+
+/// Anti-vacuity floor for the tier-1 SPSC exploration. The committed
+/// baseline at (messages = 2, slots = 1) is 2461 distinct schedules
+/// (8912 sleep-set pruned); if a refactor of the shim or explorer
+/// silently stops generating schedule points, the count collapses and
+/// this test fails even though nothing visibly "breaks". Override via
+/// `SPI_VERIFY_MIN_SCHEDULES` after re-measuring the baseline — upward
+/// freely, downward only with a DESIGN.md §12 note.
+const MIN_SCHEDULES: u64 = 2_000;
+
+fn min_schedules() -> u64 {
+    std::env::var("SPI_VERIFY_MIN_SCHEDULES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(MIN_SCHEDULES)
+}
+
+#[test]
+fn spsc_exhaustive_at_tier1_bound() {
+    let opts = ModelOptions::default();
+    let ex = explore_ring_spsc(2, 1, &opts);
+    assert!(
+        !ex.capped,
+        "exploration hit the schedule cap — bound too large to be exhaustive"
+    );
+    if let Some(f) = &ex.failure {
+        panic!("SPSC protocol failed at the tier-1 bound:\n{f}");
+    }
+    assert!(
+        ex.schedules >= min_schedules(),
+        "vacuous exploration: {} schedules < floor {} (sleep-set pruned {})",
+        ex.schedules,
+        min_schedules(),
+        ex.pruned
+    );
+}
+
+/// Deeper SPSC bound for the CI `verify` job (`--ignored`): 3 messages
+/// through a 2-slot ring, exhaustive. Measured baseline: 33869
+/// schedules (130451 pruned), ~100 s in release — too slow for tier-1,
+/// which is why it is ignored by default.
+#[test]
+#[ignore = "exhaustive deep bound (~100s release); run by the CI verify job"]
+fn spsc_exhaustive_at_deep_bound() {
+    let opts = ModelOptions::default();
+    let ex = explore_ring_spsc(3, 2, &opts);
+    assert!(!ex.capped, "deep bound no longer exhaustive within the cap");
+    if let Some(f) = &ex.failure {
+        panic!("SPSC protocol failed at the deep bound:\n{f}");
+    }
+    assert!(
+        ex.schedules >= 30_000,
+        "vacuous deep exploration: {} schedules (committed baseline 33869)",
+        ex.schedules
+    );
+}
+
+#[test]
+fn shared_consumers_clean_with_shipped_waitlist() {
+    // The full clean space exceeds 500k runs; explore a fixed budget.
+    // The reverted-wakeup oracle below finds its deadlock after ~3k
+    // schedules, so a 10k-run budget is deep enough to be meaningful.
+    let opts = ModelOptions {
+        max_schedules: 10_000,
+        ..ModelOptions::default()
+    };
+    let ex = explore_ring_shared_consumers(false, &opts);
+    if let Some(f) = &ex.failure {
+        panic!("shipped wait-list failed:\n{f}");
+    }
+}
+
+#[test]
+fn reverted_wakeup_rediscovers_pr3_lost_wakeup() {
+    let ex = explore_ring_shared_consumers(true, &ModelOptions::default());
+    let failure = ex
+        .failure
+        .expect("explorer must rediscover the PR 3 lost-wakeup deadlock");
+    match &failure.kind {
+        FailureKind::Deadlock { blocked } => {
+            assert!(
+                blocked.iter().any(|b| b.contains("consumer")),
+                "deadlock should strand a consumer, got {blocked:?}"
+            );
+        }
+        other => panic!("expected a deadlock, found {other:?}\n{failure}"),
+    }
+    assert!(
+        !failure.trace.is_empty(),
+        "failure must carry an interleaving trace"
+    );
+    // The minimized witness is part of the oracle's value: print it so
+    // `cargo test -- --nocapture` shows the exact schedule.
+    println!("minimized lost-wakeup witness:\n{failure}");
+}

@@ -1,0 +1,102 @@
+//! Bounded model checking walkthrough: exhaustively explore the
+//! `RingTransport` protocol, rediscover a real historical bug, and
+//! stress the supervision framing codecs against an adversarial
+//! channel.
+//!
+//! Three acts:
+//!
+//! 1. **Exhaustive SPSC exploration.** Two real OS threads push two
+//!    messages through a one-slot ring while the model-checking shim
+//!    serializes them and enumerates every interleaving (up to
+//!    happens-before equivalence, via sleep-set pruning). No cap is
+//!    hit, so the "no deadlock / no FIFO violation / no panic" verdict
+//!    holds for *every* schedule at this bound.
+//! 2. **The regression oracle.** The PR 3 lost-wakeup fix is
+//!    mechanically reverted (wake-all *with* dequeue) and the explorer
+//!    is pointed at the shared-consumer scenario that motivated it.
+//!    It must rediscover the bug — a deadlock where a consumer parks
+//!    forever — and print a minimized interleaving witness.
+//! 3. **Framing under fire.** The supervision seq/crc framing runs
+//!    against an exhaustive adversary (drop / corrupt / duplicate
+//!    within a fault budget) for each degrade policy.
+//!
+//! Run with: `cargo run --release --example verify_ring`
+//! (debug works too; release explores ~3x faster).
+
+use spi_repro::verify::{
+    explore_framing, explore_ring_shared_consumers, explore_ring_spsc, FailureKind, FramingOptions,
+    ModelOptions,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- Act 1: exhaustive SPSC exploration -------------------------
+    println!("[1/3] exhaustive SPSC exploration (2 messages, 1-slot ring)...");
+    let opts = ModelOptions::default();
+    let ex = explore_ring_spsc(2, 1, &opts);
+    println!(
+        "      {} distinct schedules, {} sleep-set pruned, capped: {}",
+        ex.schedules, ex.pruned, ex.capped
+    );
+    match (&ex.failure, ex.capped) {
+        (Some(f), _) => return Err(format!("SPSC protocol failed:\n{f}").into()),
+        (None, true) => return Err("exploration capped — verdict is not exhaustive".into()),
+        (None, false) => println!("      verdict: deadlock-free and FIFO at this bound.\n"),
+    }
+
+    // ---- Act 2: rediscover the PR 3 lost wakeup ---------------------
+    println!("[2/3] reverting the PR 3 lost-wakeup fix and re-exploring...");
+    let ex = explore_ring_shared_consumers(true, &opts);
+    let failure = ex
+        .failure
+        .ok_or("explorer failed to rediscover the reverted lost-wakeup bug")?;
+    println!(
+        "      rediscovered after {} schedules ({} pruned):",
+        ex.schedules, ex.pruned
+    );
+    match &failure.kind {
+        FailureKind::Deadlock { blocked } => {
+            println!("      deadlock, blocked threads: {}", blocked.join(", "))
+        }
+        other => return Err(format!("expected a deadlock, found {other:?}").into()),
+    }
+    println!("      minimized witness:\n{failure}");
+
+    // Sanity: the shipped wait-list survives the same scenario within
+    // the same schedule budget the bug was found under.
+    let budget = ModelOptions {
+        max_schedules: 10_000,
+        ..ModelOptions::default()
+    };
+    let clean = explore_ring_shared_consumers(false, &budget);
+    if let Some(f) = &clean.failure {
+        return Err(format!("shipped wait-list failed:\n{f}").into());
+    }
+    println!(
+        "      shipped wait-list: clean across {} schedules at the same depth.\n",
+        clean.schedules
+    );
+
+    // ---- Act 3: framing vs. adversarial channel ---------------------
+    println!("[3/3] supervision framing vs. adversarial channel...");
+    for policy in [
+        spi_repro::platform::DegradePolicy::Fail,
+        spi_repro::platform::DegradePolicy::Skip,
+        spi_repro::platform::DegradePolicy::Substitute,
+    ] {
+        let opts = FramingOptions {
+            policy,
+            ..FramingOptions::default()
+        };
+        let ex = explore_framing(&opts);
+        println!(
+            "      {policy:?}: {} adversary scripts, {} violations",
+            ex.states_explored,
+            ex.violations.len()
+        );
+        if let Some(v) = ex.violations.first() {
+            return Err(format!("framing violated {}: {}", v.kind, v.detail).into());
+        }
+    }
+    println!("\nall three engines agree: the protocols hold at their bounds.");
+    Ok(())
+}

@@ -35,6 +35,13 @@ if rustup toolchain list 2>/dev/null | grep -q nightly && \
   CHAOS_CASES="${CHAOS_CASES:-10}" \
     cargo +nightly test -Z build-std --target "${TARGET}" \
       -p spi-fault --tests "$@" -- --test-threads=1
+  # The model-checking session machinery itself (worker pool, targeted
+  # condvar handshakes, abort broadcast) is concurrent code; run the
+  # explorations under TSan too so the verifier is verified.
+  RUSTFLAGS="-Z sanitizer=thread" \
+  TSAN_OPTIONS="halt_on_error=1" \
+    cargo +nightly test -Z build-std --target "${TARGET}" \
+      -p spi-verify --tests "$@" -- --test-threads=1
 else
   echo "== nightly + rust-src unavailable: falling back to stress loop =="
   echo "   (raising SPI_STRESS_ITERS and repeating to widen interleavings)"
@@ -46,5 +53,7 @@ else
   cargo test --release --test engine_equivalence "$@"
   echo "-- chaos stress (randomized fault plans, CHAOS_CASES=${CHAOS_CASES:-40})"
   CHAOS_CASES="${CHAOS_CASES:-40}" cargo test --release -p spi-fault "$@"
+  echo "-- bounded model checking (exhaustive tier-1 + regression oracle)"
+  cargo test --release -p spi-verify "$@"
 fi
 echo "== transport concurrency checks passed =="

@@ -17,6 +17,9 @@
 //!   trace export and the bound-conformance checker ([`spi_trace`]);
 //! * [`fault`] — deterministic fault injection: seeded fault plans and
 //!   the faulty-transport decorator for chaos testing ([`spi_fault`]);
+//! * [`verify`] — bounded model checking of the transport protocols,
+//!   the vector-clock race checker behind `spi-lint race-check`, and
+//!   the supervision-framing fault explorer ([`spi_verify`]);
 //! * [`apps`] — the paper's two evaluation applications
 //!   ([`spi_apps`]).
 //!
@@ -35,3 +38,4 @@ pub use spi_fault as fault;
 pub use spi_platform as platform;
 pub use spi_sched as sched;
 pub use spi_trace as trace;
+pub use spi_verify as verify;
