@@ -20,6 +20,10 @@ pub struct TransportDecl {
     pub capacity_bytes: u64,
     /// Framed size of the largest message (packed token + header).
     pub message_bytes_max: u64,
+    /// Slot count of the buffer pool backing a pointer-exchange
+    /// transport, when one is used. `None` for copying transports.
+    /// Checked by SPI044 against the channel's message capacity.
+    pub pool_slots: Option<u64>,
 }
 
 /// Everything a pass may inspect. Only `graph` is mandatory.

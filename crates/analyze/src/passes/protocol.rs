@@ -1,4 +1,4 @@
-//! SPI040/041/042/043 — synchronization-protocol lints (§4.2, §5.1).
+//! SPI040/041/042/043/044 — synchronization-protocol lints (§4.2, §5.1).
 //!
 //! BBS (bounded-buffer synchronization) needs a provable buffer bound —
 //! eq. (2): `B(e) = (Gamma + delay(e)) · c(e)` tokens, where `Gamma` is
@@ -7,7 +7,10 @@
 //! measurements show it beats UBS; when it does not, only UBS is sound.
 //! SPI043 closes the loop at the runtime layer: a declared transport
 //! allocation smaller than the eq. (2) bytes can deadlock a legal
-//! self-timed execution.
+//! self-timed execution. SPI044 extends the same check to
+//! pointer-exchange transports: the backing pool must provide at least
+//! as many slots as the channel holds eq. (1)-sized messages, or slot
+//! exhaustion throttles the sender below the proven bound.
 
 use spi_sched::Protocol;
 
@@ -124,6 +127,40 @@ impl Pass for ProtocolLints {
                                 "allocate at least {required} bytes for edge {edge}"
                             )),
                         );
+                    }
+
+                    // SPI044: a pointer-exchange transport moves slot
+                    // indices, not bytes, so the channel's message
+                    // capacity (eq. (2) bytes over eq. (1)-sized
+                    // messages) is only reachable if the pool has a
+                    // slot for every in-flight message.
+                    if let Some(slots) = decl.pool_slots {
+                        let messages = decl
+                            .capacity_bytes
+                            .checked_div(decl.message_bytes_max)
+                            .unwrap_or(0);
+                        if slots < messages {
+                            out.push(
+                                Diagnostic::new(
+                                    "SPI044",
+                                    Severity::Warning,
+                                    Locus::Edge(edge),
+                                    format!(
+                                        "edge {edge} ({pair}) backs a pointer-exchange \
+                                         transport with {slots} pool slot(s), but its \
+                                         declared capacity holds {messages} eq. (1)-sized \
+                                         message(s) ({} bytes / {} bytes each); slot \
+                                         exhaustion stalls the sender before the eq. (2) \
+                                         bound is reached",
+                                        decl.capacity_bytes, decl.message_bytes_max,
+                                    ),
+                                )
+                                .with_suggestion(format!(
+                                    "size the pool to at least {messages} slot(s) for \
+                                     edge {edge}"
+                                )),
+                            );
+                        }
                     }
                 }
             }

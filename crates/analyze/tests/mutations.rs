@@ -389,6 +389,7 @@ fn mutation_undersized_transport_fires_spi043() {
                 TransportDecl {
                     capacity_bytes: 1,
                     message_bytes_max: 6,
+                    pool_slots: None,
                 },
             )
         })
@@ -425,6 +426,7 @@ fn adequately_sized_transport_stays_clean_of_spi043() {
                 TransportDecl {
                     capacity_bytes: 1 << 20,
                     message_bytes_max: 6,
+                    pool_slots: None,
                 },
             )
         })
@@ -439,6 +441,91 @@ fn adequately_sized_transport_stays_clean_of_spi043() {
     );
     assert!(
         !codes(&report).contains(&"SPI043"),
+        "got: {}",
+        report.render_human()
+    );
+}
+
+#[test]
+fn mutation_starved_pointer_pool_fires_spi044() {
+    use spi_analyze::TransportDecl;
+    let g = bounded_graph();
+    let d = derive(&g, 2, default_protocol);
+    // The byte capacity is generous (SPI043 stays quiet), but the
+    // pointer-exchange pool declares a single slot — far below the
+    // `capacity / message` count the channel is supposed to hold.
+    let starved_pool: HashMap<EdgeId, TransportDecl> = d
+        .protocols
+        .keys()
+        .map(|&id| {
+            (
+                id,
+                TransportDecl {
+                    capacity_bytes: 1 << 20,
+                    message_bytes_max: 6,
+                    pool_slots: Some(1),
+                },
+            )
+        })
+        .collect();
+    let report = Analyzer::default_pipeline().run(
+        &AnalysisInput::new(&g)
+            .with_vts(&d.vts)
+            .with_ipc(&d.ipc)
+            .with_sync(&d.sync)
+            .with_protocols(&d.protocols)
+            .with_transports(&starved_pool),
+    );
+    let spi044: Vec<_> = report.with_code("SPI044").collect();
+    assert!(!spi044.is_empty(), "got: {}", report.render_human());
+    assert!(spi044.iter().all(|d| d.severity == Severity::Warning));
+    assert!(
+        spi044[0].message.contains("eq. (1)"),
+        "names the packed-token capacity it checks against"
+    );
+    assert!(
+        !codes(&report).contains(&"SPI043"),
+        "the byte capacity itself is sound; only the pool is starved"
+    );
+}
+
+#[test]
+fn matching_pointer_pool_stays_clean_of_spi044() {
+    use spi_analyze::TransportDecl;
+    let g = bounded_graph();
+    let d = derive(&g, 2, default_protocol);
+    // PointerTransport::new's sizing rule: one slot per message the
+    // declared capacity holds. Also covers copying transports, which
+    // declare no pool at all.
+    let sized: HashMap<EdgeId, TransportDecl> = d
+        .protocols
+        .keys()
+        .enumerate()
+        .map(|(i, &id)| {
+            (
+                id,
+                TransportDecl {
+                    capacity_bytes: 1 << 20,
+                    message_bytes_max: 6,
+                    pool_slots: if i % 2 == 0 {
+                        Some((1 << 20) / 6)
+                    } else {
+                        None
+                    },
+                },
+            )
+        })
+        .collect();
+    let report = Analyzer::default_pipeline().run(
+        &AnalysisInput::new(&g)
+            .with_vts(&d.vts)
+            .with_ipc(&d.ipc)
+            .with_sync(&d.sync)
+            .with_protocols(&d.protocols)
+            .with_transports(&sized),
+    );
+    assert!(
+        !codes(&report).contains(&"SPI044"),
         "got: {}",
         report.render_human()
     );

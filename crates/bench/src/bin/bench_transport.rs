@@ -1,5 +1,5 @@
-//! Message-throughput comparison of the two [`Transport`]
-//! implementations, written to `BENCH_transport.json`.
+//! Message-throughput comparison of the [`Transport`] implementations,
+//! written to `BENCH_transport.json`.
 //!
 //! Three scenarios, each run under `LockedTransport` (the Mutex+Condvar
 //! reference) and `RingTransport` (the lock-free SPSC ring sized by the
@@ -13,6 +13,16 @@
 //! * `filterbank_app` — the full CSDF filter bank lowered through SPI;
 //!   FIR work dominates, so this bounds the end-to-end win on a real
 //!   compute-heavy workload.
+//!
+//! A pointer-exchange scenario (`fir_3pe_frames_2KiB`) compares all
+//! *three* transports on a 3-PE in-place-FIR pipeline at frame-sized
+//! payloads driven through the token API (`send_in_place` /
+//! `recv_token` / `send_token`): `PointerTransport` runs both edges
+//! over one shared slab and moves only slot descriptors (§5.2 pointer
+//! exchange with forwarding), the copying transports pay a copy-out
+//! plus a heap buffer per receive and a copy-in per send. The
+//! acceptance bar is pointer ≥ 1.5× ring; the row lands in the
+//! `pointer_exchange` section of `BENCH_transport.json`.
 //!
 //! Each measurement is the best of several repeats (min wall time), so
 //! scheduler noise inflates neither side.
@@ -42,8 +52,8 @@ use std::time::{Duration, Instant};
 
 use spi_apps::{FilterBankApp, FilterBankConfig};
 use spi_platform::{
-    ChannelId, ChannelSpec, LockedTransport, NopTracer, Op, Program, RingTransport,
-    SupervisionPolicy, ThreadedRunner, Tracer, Transport, TransportKind,
+    ChannelId, ChannelSpec, LockedTransport, NopTracer, Op, PointerTransport, Program,
+    RingTransport, SupervisionPolicy, ThreadedRunner, Tracer, Transport, TransportKind,
 };
 use spi_trace::{ClockKind, RingTracer, TraceMeta};
 
@@ -302,6 +312,93 @@ fn trace_scenario(
     }
 }
 
+/// The pointer-exchange scenario (§5.2): a 3-PE FIR pipeline at
+/// frame-sized payloads driven through the token API. The producer
+/// frames samples directly into a channel slot (`send_in_place`), the
+/// filter PE receives a token, runs a first-order FIR **in place over
+/// the lease**, and forwards it; the sink receives and folds the
+/// borrowed view. Under `PointerTransport` the two edges share one
+/// slab (`with_pool`, the slab sized to the chain's summed eq. (2)
+/// bounds), so a frame is written once and never copied again — only
+/// descriptors move. Under the copying transports the same token API
+/// degrades to a copy-out plus a fresh heap buffer on every receive
+/// and a copy-in on every send — exactly the traffic the paper's
+/// pointer exchange removes. The FIR runs on 8-byte lanes so the
+/// filter stage stays at "frame handling" cost; the compute-dominated
+/// bound is `filterbank_app`.
+const PTR_FRAME_BYTES: usize = 2048;
+
+fn token_fir_frames(
+    messages: u64,
+    frame: usize,
+    t1: &dyn Transport,
+    t2: &dyn Transport,
+    template: &[u8],
+) -> Duration {
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            for i in 0..messages {
+                t1.send_in_place(
+                    frame,
+                    &mut |buf| {
+                        buf[..frame].copy_from_slice(template);
+                        buf[0] = i as u8; // per-message marker
+                        frame
+                    },
+                    TIMEOUT,
+                )
+                .expect("send frame");
+            }
+        });
+        s.spawn(|| {
+            for _ in 0..messages {
+                let mut token = t1.recv_token(TIMEOUT).expect("recv frame");
+                // First-order FIR y[n] = (x[n] + x[n-1]) / 2 in place
+                // over the lease, on i64 lanes.
+                let mut prev = 0i64;
+                for chunk in token.chunks_exact_mut(8) {
+                    let x = i64::from_le_bytes(chunk.try_into().expect("8-byte lane"));
+                    chunk.copy_from_slice(&((x + prev) / 2).to_le_bytes());
+                    prev = x;
+                }
+                t2.send_token(token, TIMEOUT).expect("send filtered");
+            }
+        });
+        s.spawn(|| {
+            let mut acc = 0u64;
+            for _ in 0..messages {
+                let token = t2.recv_token(TIMEOUT).expect("recv filtered");
+                // Touch the payload so the read is not optimized away.
+                acc = acc
+                    .wrapping_add(u64::from(token[0]))
+                    .wrapping_add(u64::from(token[frame - 1]));
+            }
+            std::hint::black_box(acc);
+        });
+    });
+    start.elapsed()
+}
+
+fn token_fir_run(kind: TransportKind, messages: u64, frame: usize) -> Duration {
+    let spec = ChannelSpec {
+        capacity_bytes: 64 * frame,
+        max_message_bytes: frame,
+        ..ChannelSpec::default()
+    };
+    let (t1, t2): (Box<dyn Transport>, Box<dyn Transport>) = match kind {
+        // The chain's two edges share one slab — §5.2 forwarding.
+        TransportKind::Pointer => {
+            let t1 = PointerTransport::new(spec.capacity_bytes, frame);
+            let t2 = PointerTransport::with_pool(t1.buffer_pool().clone());
+            (Box::new(t1), Box::new(t2))
+        }
+        kind => (kind.instantiate(&spec), kind.instantiate(&spec)),
+    };
+    let template: Vec<u8> = (0..frame).map(|i| (i % 251) as u8).collect();
+    token_fir_frames(messages, frame, t1.as_ref(), t2.as_ref(), &template)
+}
+
 /// The same FIR pipeline on the ring transport, bare vs supervised
 /// (CRC-checked framing, sequence tracking, checkpoint bookkeeping,
 /// deadline-armed channel ops). No faults are injected — this measures
@@ -406,6 +503,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if met { "MET" } else { "NOT MET" }
     );
 
+    // Pointer exchange vs copying transports: the 3-PE FIR frame
+    // pipeline at frame-sized payloads over the token API.
+    let ptr_msgs = 50_000u64;
+    let ptr_locked = best_of(|| token_fir_run(TransportKind::Locked, ptr_msgs, PTR_FRAME_BYTES));
+    let ptr_ring = best_of(|| token_fir_run(TransportKind::Ring, ptr_msgs, PTR_FRAME_BYTES));
+    let ptr_ptr = best_of(|| token_fir_run(TransportKind::Pointer, ptr_msgs, PTR_FRAME_BYTES));
+    let ptr_locked_rate = ptr_msgs as f64 / ptr_locked.as_secs_f64();
+    let ptr_ring_rate = ptr_msgs as f64 / ptr_ring.as_secs_f64();
+    let ptr_ptr_rate = ptr_msgs as f64 / ptr_ptr.as_secs_f64();
+    let ptr_vs_ring = ptr_ptr_rate / ptr_ring_rate;
+    let ptr_met = ptr_vs_ring >= 1.5;
+    println!(
+        "fir_3pe_frames_2KiB {:>8} msgs   locked {:>10.0} msg/s   ring {:>10.0} msg/s   pointer {:>10.0} msg/s   pointer/ring {:.2}x",
+        ptr_msgs, ptr_locked_rate, ptr_ring_rate, ptr_ptr_rate, ptr_vs_ring
+    );
+    println!(
+        "acceptance: fir_3pe_frames_2KiB pointer/ring = {:.2}x (>= 1.5x required) — {}",
+        ptr_vs_ring,
+        if ptr_met { "MET" } else { "NOT MET" }
+    );
+
     // Fault-free supervision overhead on the 3-PE FIR pipeline; repeats
     // alternate bare/supervised so host drift lands on both sides.
     let sup_iters = 30_000u64;
@@ -448,7 +566,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ));
     }
     json.push_str(&format!(
-        "  ],\n  \"supervision\": {{\"scenario\": \"pipeline_3pe_fir\", \"messages\": {sup_msgs}, \
+        "  ],\n  \"pointer_exchange\": {{\"scenario\": \"fir_3pe_frames_2KiB\", \
+         \"frame_bytes\": {PTR_FRAME_BYTES}, \"messages\": {ptr_msgs}, \
+         \"locked_msgs_per_sec\": {ptr_locked_rate:.0}, \"ring_msgs_per_sec\": {ptr_ring_rate:.0}, \
+         \"pointer_msgs_per_sec\": {ptr_ptr_rate:.0}, \"pointer_vs_ring\": {ptr_vs_ring:.3}, \
+         \"criterion\": \"pointer >= 1.5x ring on the 3-PE FIR frame pipeline\", \"met\": {ptr_met}}},\n",
+    ));
+    json.push_str(&format!(
+        "  \"supervision\": {{\"scenario\": \"pipeline_3pe_fir\", \"messages\": {sup_msgs}, \
          \"bare_msgs_per_sec\": {bare_rate:.0}, \"supervised_msgs_per_sec\": {sup_rate:.0}, \
          \"overhead_pct\": {sup_overhead:.3}, \
          \"criterion\": \"fault-free supervision overhead <= 5%\", \"met\": {sup_met}}},\n",
@@ -515,6 +640,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     if !met {
         return Err("pipeline_3pe speedup below the 2x acceptance bar".into());
+    }
+    if !ptr_met {
+        return Err("pointer exchange below the 1.5x acceptance bar vs the ring".into());
     }
     if !trace_met {
         return Err("RingTracer overhead above the 5% acceptance bar".into());

@@ -59,7 +59,9 @@ use std::thread;
 use std::time::Duration;
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
-use spi_platform::{ChannelId, InjectedFault, Transport, TransportDecorator, TransportError};
+use spi_platform::{
+    BufferPool, ChannelId, InjectedFault, Token, Transport, TransportDecorator, TransportError,
+};
 
 /// One kind of injected transport fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -398,6 +400,92 @@ impl Transport for FaultyTransport {
         timeout: Duration,
     ) -> Result<(), TransportError> {
         self.inner.recv_with(consume, timeout)
+    }
+
+    fn send_in_place(
+        &self,
+        max_len: usize,
+        frame: &mut dyn FnMut(&mut [u8]) -> usize,
+        timeout: Duration,
+    ) -> Result<(), TransportError> {
+        // Materialize the frame so the fault logic in `send` sees the
+        // bytes; a fault injector is not a zero-copy fast path.
+        let mut buf = vec![0u8; max_len];
+        let n = frame(&mut buf).min(max_len);
+        buf.truncate(n);
+        self.send(&buf, timeout)
+    }
+
+    fn send_token(&self, mut token: Token, timeout: Duration) -> Result<(), TransportError> {
+        let idx = self.sends.fetch_add(1, Ordering::Relaxed);
+        let Some(&kind) = self.faults.get(&idx) else {
+            return self.inner.send_token(token, timeout);
+        };
+        self.record(idx, kind);
+        match kind {
+            FaultKind::Delay { micros } => {
+                thread::sleep(Duration::from_micros(micros));
+                self.inner.send_token(token, timeout)
+            }
+            FaultKind::Stall { millis } => {
+                thread::sleep(Duration::from_millis(millis));
+                self.inner.send_token(token, timeout)
+            }
+            // Dropping the token releases its pool slot, if any — a
+            // dropped lease can never leak (the fault leak test pins
+            // this down).
+            FaultKind::Drop => Err(TransportError::Injected {
+                fault: InjectedFault::Dropped,
+            }),
+            FaultKind::Duplicate => {
+                // Stage the duplicate in one of the inner transport's
+                // own pool slots when one is free — no heap allocation
+                // — falling back to an owned copy otherwise.
+                let dup = match self.inner.pool().and_then(|p| p.try_acquire()) {
+                    Some(mut lease) if lease.capacity() >= token.len() => {
+                        lease[..token.len()].copy_from_slice(&token);
+                        lease.truncate(token.len());
+                        Token::Pooled(lease)
+                    }
+                    _ => Token::Owned(token.to_vec()),
+                };
+                self.inner.send_token(token, timeout)?;
+                // The duplicate is delivered opportunistically: when
+                // the channel is full it vanishes, so duplication can
+                // never exceed the channel's static bound.
+                let _ = self.inner.try_send_token(dup);
+                Ok(())
+            }
+            FaultKind::Corrupt => {
+                // Flip the last byte in place — directly over the pool
+                // slot for a pooled lease, no re-allocation — deliver
+                // the bad copy best-effort, and tell the sender, which
+                // retransmits under supervision.
+                if let Some(last) = token.last_mut() {
+                    *last ^= 0x5A;
+                }
+                let _ = self.inner.try_send_token(token);
+                Err(TransportError::Injected {
+                    fault: InjectedFault::Corrupted,
+                })
+            }
+        }
+    }
+
+    fn try_send_token(&self, token: Token) -> Result<(), TransportError> {
+        self.inner.try_send_token(token)
+    }
+
+    fn recv_token(&self, timeout: Duration) -> Result<Token, TransportError> {
+        self.inner.recv_token(timeout)
+    }
+
+    fn try_recv_token(&self) -> Result<Token, TransportError> {
+        self.inner.try_recv_token()
+    }
+
+    fn pool(&self) -> Option<&BufferPool> {
+        self.inner.pool()
     }
 }
 

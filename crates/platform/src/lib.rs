@@ -58,6 +58,7 @@
 
 mod error;
 mod mpi;
+mod pool;
 mod resource;
 mod runner;
 pub mod shim;
@@ -73,6 +74,7 @@ pub use mpi::{
     MpiConfig, MpiEndpoint, CONTROL_BYTES, EAGER_LIMIT_BYTES, ENVELOPE_BYTES, MARSHAL_CYCLES,
     MATCH_CYCLES,
 };
+pub use pool::{BufferPool, Token, TokenBuf};
 pub use resource::{components, Device, ResourceEstimate, ResourcePercent};
 pub use runner::{
     run_threaded, ThreadedPeResult, ThreadedRunner, TransportDecorator, DEFAULT_DEADLOCK_TIMEOUT,
@@ -88,5 +90,6 @@ pub use supervise::{
 };
 pub use trace::{payload_digest, NopTracer, ProbeEvent, ProbeKind, Tracer};
 pub use transport::{
-    InjectedFault, LockedTransport, RingTransport, Transport, TransportError, TransportKind,
+    InjectedFault, LockedTransport, PointerTransport, RingTransport, Transport, TransportError,
+    TransportKind,
 };

@@ -437,11 +437,11 @@ fn step(
             let ch = *channel;
             let ep = &endpoints[ch.0];
             let got = match probe {
-                Some(t) => match ep.try_recv() {
+                Some(t) => match ep.try_recv_token() {
                     Ok(d) => Ok(d),
                     Err(TransportError::Empty) => {
                         let blocked_at = t.now();
-                        let res = ep.recv(timeout);
+                        let res = ep.recv_token(timeout);
                         if res.is_ok() {
                             let resumed_at = t.now();
                             if resumed_at.saturating_sub(blocked_at) >= STALL_RECORD_NS {
@@ -455,7 +455,7 @@ fn step(
                     }
                     Err(e) => Err(e),
                 },
-                None => ep.recv(timeout),
+                None => ep.recv_token(timeout),
             };
             match got {
                 Ok(data) => {
@@ -556,10 +556,14 @@ mod tests {
     use super::*;
     use crate::sim::{ChannelId, ChannelSpec};
 
-    /// Every runner test runs under both transports — the executor must
-    /// be implementation-agnostic.
-    fn kinds() -> [TransportKind; 2] {
-        [TransportKind::Locked, TransportKind::Ring]
+    /// Every runner test runs under all three transports — the executor
+    /// must be implementation-agnostic.
+    fn kinds() -> [TransportKind; 3] {
+        [
+            TransportKind::Locked,
+            TransportKind::Ring,
+            TransportKind::Pointer,
+        ]
     }
 
     #[test]

@@ -20,6 +20,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use crate::error::{BlockKind, BlockedOp, PlatformError, Result};
+use crate::pool::Token;
 use crate::trace::{payload_digest, ProbeKind, Tracer};
 
 /// Identifier of a processing element.
@@ -98,17 +99,28 @@ pub struct PeLocal {
     /// Current iteration index (0-based).
     pub iter: u64,
     /// Payloads received and not yet consumed by compute closures.
-    pub inbox: VecDeque<(ChannelId, Vec<u8>)>,
+    /// Pointer transports deliver pooled [`Token`] leases here — the
+    /// received bytes are still the sender's slot, not a copy.
+    pub inbox: VecDeque<(ChannelId, Token)>,
     /// Keyed local memory.
     pub store: HashMap<String, Vec<u8>>,
 }
 
 impl PeLocal {
-    /// Pops the oldest pending payload from `channel`.
+    /// Pops the oldest pending payload from `channel` as an owned
+    /// buffer (copying if it was a pooled lease; the lease's slot is
+    /// released on return).
     ///
     /// Compute closures use this to consume data received by earlier
     /// `Recv` ops of the same program.
     pub fn take_from(&mut self, channel: ChannelId) -> Option<Vec<u8>> {
+        self.take_token_from(channel).map(Token::into_vec)
+    }
+
+    /// Pops the oldest pending payload from `channel` as a [`Token`],
+    /// preserving a pooled lease for zero-copy consumption (read via
+    /// `&token[..]`, slot released when the token drops).
+    pub fn take_token_from(&mut self, channel: ChannelId) -> Option<Token> {
         let idx = self.inbox.iter().position(|(c, _)| *c == channel)?;
         self.inbox.remove(idx).map(|(_, d)| d)
     }
@@ -936,7 +948,7 @@ impl Engine {
                             );
                         }
                         let pe = &mut self.pes[id.0];
-                        pe.local.inbox.push_back((ch, data));
+                        pe.local.inbox.push_back((ch, Token::Owned(data)));
                         pe.state = PeState::Ready;
                         self.advance_pc(id.0);
                         // Freed space: wake blocked senders on this channel.

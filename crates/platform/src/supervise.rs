@@ -45,6 +45,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use crate::error::{BlockKind, PlatformError, Result};
+use crate::pool::Token;
 use crate::runner::{intern_labels, ThreadedPeResult};
 use crate::sim::{ChannelId, ChannelSpec, Op, PeId, PeLocal, Program};
 use crate::trace::{payload_digest, ProbeKind, Tracer};
@@ -468,22 +469,25 @@ impl PeCtx<'_> {
     }
 
     /// Receives one logical token, or `None` when the PE must abort.
-    fn sup_recv(&mut self, ch: ChannelId) -> Option<Vec<u8>> {
+    /// Pooled leases flow through unchanged: the CRC check reads the
+    /// frame in place over the pool slot, and the verified header is
+    /// stripped by a pointer bump, not a copy.
+    fn sup_recv(&mut self, ch: ChannelId) -> Option<Token> {
         // An out-of-order frame buffered by an earlier gap is consumed
         // before the transport is touched again.
         if let Some((seq, payload)) = self.chans[ch.0].pending.take() {
             let expected = self.chans[ch.0].recv_seq;
             if seq == expected {
-                return Some(self.deliver(ch, payload));
+                return Some(self.deliver(ch, Token::Owned(payload)));
             }
             if seq > expected {
-                return self.handle_gap(ch, seq, payload);
+                return self.handle_gap(ch, seq, Token::Owned(payload));
             }
             // Stale duplicate: drop it and read the transport.
         }
         let mut attempt: u32 = 0;
         loop {
-            let got = self.endpoints[ch.0].recv(self.policy.op_deadline);
+            let got = self.endpoints[ch.0].recv_token(self.policy.op_deadline);
             match got {
                 Ok(mut frame) => match decode_frame(&frame).map(|(seq, _)| seq) {
                     Ok(seq) => {
@@ -495,9 +499,10 @@ impl PeCtx<'_> {
                             // consumed.
                             continue;
                         }
-                        // Strip the verified header in place — no
-                        // second payload allocation on the hot path.
-                        frame.drain(..FRAME_HEADER_BYTES);
+                        // Strip the verified header in place — a
+                        // pointer bump on pooled leases, a front drain
+                        // on owned frames; never a second allocation.
+                        frame.trim_front(FRAME_HEADER_BYTES);
                         if seq == expected {
                             return Some(self.deliver(ch, frame));
                         }
@@ -532,7 +537,7 @@ impl PeCtx<'_> {
         }
     }
 
-    fn deliver(&mut self, ch: ChannelId, payload: Vec<u8>) -> Vec<u8> {
+    fn deliver(&mut self, ch: ChannelId, payload: Token) -> Token {
         let c = &mut self.chans[ch.0];
         c.recv_seq = c.recv_seq.wrapping_add(1);
         c.last_len = payload.len();
@@ -554,7 +559,7 @@ impl PeCtx<'_> {
     /// lost (dropped upstream past its retry budget). Degrade per
     /// policy; the arrived frame is either delivered now (skip) or
     /// parked for the next receive (substitute).
-    fn handle_gap(&mut self, ch: ChannelId, seq: u32, payload: Vec<u8>) -> Option<Vec<u8>> {
+    fn handle_gap(&mut self, ch: ChannelId, seq: u32, payload: Token) -> Option<Token> {
         let expected = self.chans[ch.0].recv_seq;
         let missing = seq.wrapping_sub(expected);
         match self.policy.degrade {
@@ -584,16 +589,19 @@ impl PeCtx<'_> {
                     channel: ch,
                     substituted: true,
                 });
+                // Parking the frame releases its pool slot (cold path:
+                // tokens were already lost on this channel).
+                let payload = payload.into_vec();
                 let c = &mut self.chans[ch.0];
                 c.recv_seq = c.recv_seq.wrapping_add(1);
                 c.pending = Some((seq, payload));
-                Some(vec![0u8; c.last_len])
+                Some(Token::Owned(vec![0u8; c.last_len]))
             }
         }
     }
 
     /// The retry budget ran dry with nothing delivered.
-    fn degrade_missing(&mut self, ch: ChannelId, attempts: u32) -> Option<Vec<u8>> {
+    fn degrade_missing(&mut self, ch: ChannelId, attempts: u32) -> Option<Token> {
         match self.policy.degrade {
             DegradePolicy::Fail => {
                 self.record(PlatformError::RetryBudgetExhausted {
@@ -611,7 +619,7 @@ impl PeCtx<'_> {
                     substituted: false,
                 });
                 self.chans[ch.0].recv_seq = self.chans[ch.0].recv_seq.wrapping_add(1);
-                Some(Vec::new())
+                Some(Token::Owned(Vec::new()))
             }
             DegradePolicy::Substitute => {
                 self.emit(ProbeKind::FaultDegraded {
@@ -620,7 +628,7 @@ impl PeCtx<'_> {
                 });
                 let c = &mut self.chans[ch.0];
                 c.recv_seq = c.recv_seq.wrapping_add(1);
-                Some(vec![0u8; c.last_len])
+                Some(Token::Owned(vec![0u8; c.last_len]))
             }
         }
     }
@@ -712,7 +720,10 @@ pub(crate) fn run_supervised(
                     // their allocations on the fault-free hot path.
                     let mut ckpt_store = local.store.clone();
                     let mut ckpt_inbox = local.inbox.clone();
-                    let mut replay: Vec<(ChannelId, Vec<u8>)> = Vec::new();
+                    // Replay entries are deep copies (`Token::clone`),
+                    // so a pooled lease delivered to the inbox never
+                    // has its slot pinned by the log.
+                    let mut replay: Vec<(ChannelId, Token)> = Vec::new();
                     'iters: for iter in 0..program.iterations {
                         local.iter = iter;
                         // Iteration-boundary checkpoint: the functional

@@ -20,11 +20,18 @@
 //!   ([`Transport::send_with`] / [`Transport::recv_with`] never touch
 //!   the heap), and a full/empty ring backpressures via
 //!   `thread::park_timeout` / `unpark` instead of a condition variable.
+//! * [`PointerTransport`] — the paper's §5.2 pointer exchange: payloads
+//!   live in a [`BufferPool`] slab sized to eq. (2), and only 12-byte
+//!   slot *descriptors* travel through a Vyukov ring. Send acquires a
+//!   pool slot (that acquisition is the eq. (2) backpressure), receive
+//!   hands out a [`crate::TokenBuf`] lease over the slot bytes — zero
+//!   payload copies and zero heap allocation in the steady state; the
+//!   lease's drop is the UBS-style slot-release acknowledgement.
 //!
-//! SPI edges are point-to-point, so the ring is used single-producer /
-//! single-consumer in practice; the per-slot sequence protocol keeps it
-//! memory-safe (merely slower) if a hand-written program ever shares an
-//! endpoint between threads.
+//! SPI edges are point-to-point, so the rings are used single-producer /
+//! single-consumer in practice; the per-slot sequence protocol keeps
+//! them memory-safe (merely slower) if a hand-written program ever
+//! shares an endpoint between threads.
 
 #![allow(unsafe_code)]
 
@@ -35,6 +42,7 @@ use std::sync::atomic::Ordering;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use crate::pool::{BufferPool, Token, TokenBuf};
 use crate::shim;
 use crate::sim::ChannelSpec;
 
@@ -235,6 +243,88 @@ pub trait Transport: Send + Sync {
         consume: &mut dyn FnMut(&[u8]),
         timeout: Duration,
     ) -> Result<(), TransportError>;
+
+    /// Blocking in-place framing send: reserves up to `max_len` bytes of
+    /// writable channel storage, invokes `frame` to build the message in
+    /// place, and sends the prefix of `frame`'s returned length.
+    /// [`RingTransport`] frames directly into the claimed ring slot and
+    /// [`PointerTransport`] into the acquired pool slot — no heap
+    /// allocation on either; the default copies through a scratch
+    /// buffer, preserving semantics for owned-payload transports.
+    ///
+    /// # Errors
+    ///
+    /// As [`Transport::send`]; `max_len` itself must satisfy the
+    /// per-message bound.
+    fn send_in_place(
+        &self,
+        max_len: usize,
+        frame: &mut dyn FnMut(&mut [u8]) -> usize,
+        timeout: Duration,
+    ) -> Result<(), TransportError> {
+        if max_len > self.max_message_bytes() {
+            return Err(TransportError::TooLarge {
+                bytes: max_len,
+                max: self.max_message_bytes(),
+            });
+        }
+        let mut buf = vec![0u8; max_len];
+        let n = frame(&mut buf).min(max_len);
+        self.send(&buf[..n], timeout)
+    }
+
+    /// Ownership-passing send of a [`Token`].
+    ///
+    /// On [`PointerTransport`], a pooled lease from the transport's own
+    /// pool moves slot *ownership* to the consumer — the paper's §5.2
+    /// pointer exchange, no payload bytes touched. Every other
+    /// transport (and foreign-pool leases) copies the bytes like
+    /// [`Transport::send`]; the token's lease, if any, releases its
+    /// slot on return.
+    ///
+    /// # Errors
+    ///
+    /// As [`Transport::send`].
+    fn send_token(&self, token: Token, timeout: Duration) -> Result<(), TransportError> {
+        self.send(&token, timeout)
+    }
+
+    /// Blocking receive returning a [`Token`]: a zero-copy pooled lease
+    /// on [`PointerTransport`] (dropping it is the slot-release
+    /// acknowledgement), an owned heap buffer elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// As [`Transport::recv`].
+    fn recv_token(&self, timeout: Duration) -> Result<Token, TransportError> {
+        self.recv(timeout).map(Token::Owned)
+    }
+
+    /// Non-blocking variant of [`Transport::send_token`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Transport::try_send`].
+    fn try_send_token(&self, token: Token) -> Result<(), TransportError> {
+        self.try_send(&token)
+    }
+
+    /// Non-blocking variant of [`Transport::recv_token`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Transport::try_recv`].
+    fn try_recv_token(&self) -> Result<Token, TransportError> {
+        self.try_recv().map(Token::Owned)
+    }
+
+    /// The buffer pool backing this transport's payloads, when it has
+    /// one ([`PointerTransport`]; decorators forward their inner
+    /// transport's pool). Fault injectors use it to stage duplicated
+    /// payloads in pool slots instead of fresh heap buffers.
+    fn pool(&self) -> Option<&BufferPool> {
+        None
+    }
 }
 
 /// Which [`Transport`] implementation a runner should instantiate per
@@ -247,6 +337,9 @@ pub enum TransportKind {
     Locked,
     /// Lock-free SPSC ring of fixed slots ([`RingTransport`]).
     Ring,
+    /// Pointer exchange through a pooled slab ([`PointerTransport`]):
+    /// payloads stay in place, only slot descriptors move.
+    Pointer,
 }
 
 impl TransportKind {
@@ -270,6 +363,7 @@ impl TransportKind {
                 spec.capacity_bytes.max(max_msg),
             )),
             TransportKind::Ring => Box::new(RingTransport::new(spec.capacity_bytes, max_msg)),
+            TransportKind::Pointer => Box::new(PointerTransport::new(spec.capacity_bytes, max_msg)),
         }
     }
 }
@@ -765,6 +859,133 @@ impl RingTransport {
         self.send_waiters.wake_one();
     }
 
+    /// Blocking slot claim shared by every send path: immediate
+    /// attempt, brief spin, then park with peer-progress tracking for
+    /// the timeout's idle report. On success the caller owns the slot
+    /// and **must** publish it.
+    fn claim_send_blocking(&self, timeout: Duration) -> Result<usize, TransportError> {
+        if let Some(pos) = self.claim_send() {
+            return Ok(pos);
+        }
+        // Brief spin before parking: a pipelined peer typically frees a
+        // slot within a few hundred nanoseconds, far cheaper to catch
+        // here than via a park/unpark round trip through the kernel.
+        for _ in 0..shim::spin_budget(Self::spin_claims()) {
+            std::hint::spin_loop();
+            if let Some(pos) = self.claim_send() {
+                return Ok(pos);
+            }
+        }
+        let start = shim::now();
+        let deadline = start + timeout;
+        // A blocked sender watches the consumer's claim counter: any
+        // movement is peer progress, and its absence over the whole
+        // wait marks the timeout as a dead link rather than a slow one.
+        let mut seen_head = self.head.load(Ordering::Relaxed);
+        let mut progress_at = start;
+        loop {
+            if let Some(pos) = self.claim_send() {
+                return Ok(pos);
+            }
+            let parked = self.send_waiters.park_until(deadline, &|| self.can_send());
+            // One clock read per wake, shared by the progress stamp and
+            // the idle computation below.
+            let now = shim::now();
+            let head = self.head.load(Ordering::Relaxed);
+            if head != seen_head {
+                seen_head = head;
+                progress_at = now;
+            }
+            if !parked {
+                // One last claim attempt closes the race where space
+                // freed up exactly at the deadline.
+                if let Some(pos) = self.claim_send() {
+                    return Ok(pos);
+                }
+                return Err(TransportError::Timeout {
+                    after: timeout,
+                    idle: now.duration_since(progress_at),
+                });
+            }
+        }
+    }
+
+    /// Blocking dequeue claim, symmetric to
+    /// [`RingTransport::claim_send_blocking`]: a blocked receiver
+    /// watches the producer's claim counter for signs of life. On
+    /// success the caller **must** consume the slot.
+    fn claim_recv_blocking(&self, timeout: Duration) -> Result<usize, TransportError> {
+        if let Some(pos) = self.claim_recv() {
+            return Ok(pos);
+        }
+        for _ in 0..shim::spin_budget(Self::spin_claims()) {
+            std::hint::spin_loop();
+            if let Some(pos) = self.claim_recv() {
+                return Ok(pos);
+            }
+        }
+        let start = shim::now();
+        let deadline = start + timeout;
+        let mut seen_tail = self.tail.load(Ordering::Relaxed);
+        let mut progress_at = start;
+        loop {
+            if let Some(pos) = self.claim_recv() {
+                return Ok(pos);
+            }
+            let parked = self.recv_waiters.park_until(deadline, &|| self.can_recv());
+            let now = shim::now();
+            let tail = self.tail.load(Ordering::Relaxed);
+            if tail != seen_tail {
+                seen_tail = tail;
+                progress_at = now;
+            }
+            if !parked {
+                if let Some(pos) = self.claim_recv() {
+                    return Ok(pos);
+                }
+                return Err(TransportError::Timeout {
+                    after: timeout,
+                    idle: now.duration_since(progress_at),
+                });
+            }
+        }
+    }
+
+    /// Non-blocking in-place receive (crate-internal: the pool's free
+    /// list reads fixed-size index messages without allocating).
+    pub(crate) fn try_recv_with(
+        &self,
+        consume: &mut dyn FnMut(&[u8]),
+    ) -> Result<(), TransportError> {
+        match self.claim_recv() {
+            Some(pos) => {
+                self.consume_slot(pos, consume);
+                Ok(())
+            }
+            None => Err(TransportError::Empty),
+        }
+    }
+
+    /// Blocking receive of one 4-byte little-endian index message into
+    /// `out` — no heap allocation (the pool free-list hot path).
+    pub(crate) fn recv_index(
+        &self,
+        out: &mut u32,
+        timeout: Duration,
+    ) -> Result<(), TransportError> {
+        self.recv_with(
+            &mut |b| *out = u32::from_le_bytes(b.try_into().expect("4-byte index message")),
+            timeout,
+        )
+    }
+
+    /// Non-blocking variant of [`RingTransport::recv_index`].
+    pub(crate) fn try_recv_index(&self, out: &mut u32) -> Result<(), TransportError> {
+        self.try_recv_with(&mut |b| {
+            *out = u32::from_le_bytes(b.try_into().expect("4-byte index message"));
+        })
+    }
+
     /// Whether an enqueue can currently claim a slot (used as the park
     /// re-check; exact in the SPSC case).
     fn can_send(&self) -> bool {
@@ -854,55 +1075,9 @@ impl Transport for RingTransport {
                 max: self.slot_bytes,
             });
         }
-        if let Some(pos) = self.claim_send() {
-            self.publish(pos, len, fill);
-            return Ok(());
-        }
-        // Brief spin before parking: a pipelined peer typically frees a
-        // slot within a few hundred nanoseconds, far cheaper to catch
-        // here than via a park/unpark round trip through the kernel.
-        for _ in 0..shim::spin_budget(Self::spin_claims()) {
-            std::hint::spin_loop();
-            if let Some(pos) = self.claim_send() {
-                self.publish(pos, len, fill);
-                return Ok(());
-            }
-        }
-        let start = shim::now();
-        let deadline = start + timeout;
-        // A blocked sender watches the consumer's claim counter: any
-        // movement is peer progress, and its absence over the whole
-        // wait marks the timeout as a dead link rather than a slow one.
-        let mut seen_head = self.head.load(Ordering::Relaxed);
-        let mut progress_at = start;
-        loop {
-            if let Some(pos) = self.claim_send() {
-                self.publish(pos, len, fill);
-                return Ok(());
-            }
-            let parked = self.send_waiters.park_until(deadline, &|| self.can_send());
-            // One clock read per wake, shared by the progress stamp and
-            // the idle computation below (previously two raw
-            // `Instant::now()` reads off the shared time source).
-            let now = shim::now();
-            let head = self.head.load(Ordering::Relaxed);
-            if head != seen_head {
-                seen_head = head;
-                progress_at = now;
-            }
-            if !parked {
-                // One last claim attempt closes the race where space
-                // freed up exactly at the deadline.
-                if let Some(pos) = self.claim_send() {
-                    self.publish(pos, len, fill);
-                    return Ok(());
-                }
-                return Err(TransportError::Timeout {
-                    after: timeout,
-                    idle: now.duration_since(progress_at),
-                });
-            }
-        }
+        let pos = self.claim_send_blocking(timeout)?;
+        self.publish(pos, len, fill);
+        Ok(())
     }
 
     fn recv_with(
@@ -910,46 +1085,279 @@ impl Transport for RingTransport {
         consume: &mut dyn FnMut(&[u8]),
         timeout: Duration,
     ) -> Result<(), TransportError> {
-        if let Some(pos) = self.claim_recv() {
-            self.consume_slot(pos, consume);
-            return Ok(());
+        let pos = self.claim_recv_blocking(timeout)?;
+        self.consume_slot(pos, consume);
+        Ok(())
+    }
+
+    fn send_in_place(
+        &self,
+        max_len: usize,
+        frame: &mut dyn FnMut(&mut [u8]) -> usize,
+        timeout: Duration,
+    ) -> Result<(), TransportError> {
+        if max_len > self.slot_bytes {
+            return Err(TransportError::TooLarge {
+                bytes: max_len,
+                max: self.slot_bytes,
+            });
         }
-        for _ in 0..shim::spin_budget(Self::spin_claims()) {
-            std::hint::spin_loop();
-            if let Some(pos) = self.claim_recv() {
-                self.consume_slot(pos, consume);
-                return Ok(());
+        let pos = self.claim_send_blocking(timeout)?;
+        let idx = pos % self.slots;
+        // SAFETY: as `publish` — the claim protocol gives this thread
+        // exclusive access to slot `idx` until the seq store below.
+        unsafe {
+            let dst =
+                std::slice::from_raw_parts_mut(self.buf[idx * self.slot_bytes].get(), max_len);
+            let n = frame(dst).min(max_len);
+            *self.lens[idx].get() = n;
+        }
+        self.seq[idx].store(pos.wrapping_mul(2).wrapping_add(1), Ordering::Release);
+        self.recv_waiters.wake_one();
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// PointerTransport
+// ---------------------------------------------------------------------
+
+/// Bytes of one slot descriptor on the wire: `[slot][off][len]`, each a
+/// little-endian `u32`. Carrying the offset lets a trimmed lease (e.g.
+/// a frame header stripped in place) be forwarded without compaction.
+const DESC_BYTES: usize = 12;
+
+fn encode_desc(slot: u32, off: u32, len: u32) -> [u8; DESC_BYTES] {
+    let mut d = [0u8; DESC_BYTES];
+    d[0..4].copy_from_slice(&slot.to_le_bytes());
+    d[4..8].copy_from_slice(&off.to_le_bytes());
+    d[8..12].copy_from_slice(&len.to_le_bytes());
+    d
+}
+
+fn decode_desc(d: &[u8]) -> (u32, u32, u32) {
+    (
+        u32::from_le_bytes(d[0..4].try_into().expect("slot word")),
+        u32::from_le_bytes(d[4..8].try_into().expect("offset word")),
+        u32::from_le_bytes(d[8..12].try_into().expect("length word")),
+    )
+}
+
+/// The paper's §5.2 pointer exchange: payloads live in a [`BufferPool`]
+/// slab sized to the eq. (2) bound, and only 12-byte slot descriptors
+/// travel through a Vyukov ring.
+///
+/// * **Send** acquires a free pool slot (blocking there *is* the
+///   eq. (2) backpressure), writes the payload in place — or, for
+///   [`Transport::send_token`] with a same-pool lease, writes nothing
+///   at all — and publishes the slot's descriptor.
+/// * **Receive** dequeues a descriptor and hands out a [`TokenBuf`]
+///   lease over the slot bytes; dropping the lease releases the slot
+///   back to the pool — the UBS-style acknowledgement closing the
+///   flow-control loop.
+///
+/// Steady state touches the payload bytes exactly as many times as the
+/// application requires and performs **zero heap allocations** per
+/// message (asserted by a counting-allocator test in `spi`).
+pub struct PointerTransport {
+    pool: BufferPool,
+    /// FIFO of `(slot, off, len)` descriptors, with exactly as many
+    /// descriptor slots as the pool has payload slots. Descriptors are
+    /// conserved the same way free indices are: every in-flight message
+    /// holds a distinct pool slot, so at most `slots` descriptors exist
+    /// and publishing one can never find this ring full.
+    ring: RingTransport,
+}
+
+impl PointerTransport {
+    /// Creates a pointer transport with `capacity_bytes / slot_bytes`
+    /// pool slots (at least one) of `slot_bytes` each — the same sizing
+    /// rule as [`RingTransport::new`], so the eq. (2) bound is the
+    /// slab allocation.
+    pub fn new(capacity_bytes: usize, slot_bytes: usize) -> Self {
+        let slot_bytes = slot_bytes.max(1);
+        let slots = (capacity_bytes / slot_bytes).max(1);
+        PointerTransport {
+            pool: BufferPool::new(slots, slot_bytes),
+            ring: RingTransport::new(slots * DESC_BYTES, DESC_BYTES),
+        }
+    }
+
+    /// A pointer transport publishing into an existing `pool` — the
+    /// §5.2 forwarding case, where several edges of a processing chain
+    /// share one statically bounded slab (sized to the *sum* of the
+    /// edges' eq. (2) bounds). A same-pool lease received from one
+    /// transport passes through the next as a bare descriptor: a relay
+    /// or in-place-filter PE moves frames down the chain without the
+    /// payload bytes ever being copied.
+    ///
+    /// The descriptor ring is sized to the pool's full slot count, so
+    /// the conservation argument on [`PointerTransport::ring`] holds
+    /// regardless of how the shared slots distribute across edges.
+    pub fn with_pool(pool: BufferPool) -> Self {
+        let slots = pool.slots();
+        PointerTransport {
+            pool,
+            ring: RingTransport::new(slots * DESC_BYTES, DESC_BYTES),
+        }
+    }
+
+    /// The backing pool — e.g. to pre-acquire leases and frame payloads
+    /// in place before [`Transport::send_token`].
+    pub fn buffer_pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Number of pool slots (= maximum in-flight messages).
+    pub fn slots(&self) -> usize {
+        self.pool.slots()
+    }
+
+    /// Moves a same-pool lease's slot ownership into the descriptor
+    /// ring. Infallible by the conservation argument on
+    /// [`PointerTransport::ring`]; if that invariant is ever broken the
+    /// slot is returned to the pool rather than leaked.
+    fn publish_lease(&self, lease: TokenBuf) -> Result<(), TransportError> {
+        let (slot, off, len) = BufferPool::detach(lease);
+        match self.ring.try_send(&encode_desc(slot, off, len)) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                drop(self.pool.lease(slot, 0, 0));
+                Err(e)
             }
         }
-        let start = shim::now();
-        let deadline = start + timeout;
-        // Symmetric to `send_with`: a blocked receiver watches the
-        // producer's claim counter for signs of life.
-        let mut seen_tail = self.tail.load(Ordering::Relaxed);
-        let mut progress_at = start;
-        loop {
-            if let Some(pos) = self.claim_recv() {
-                self.consume_slot(pos, consume);
-                return Ok(());
-            }
-            let parked = self.recv_waiters.park_until(deadline, &|| self.can_recv());
-            let now = shim::now();
-            let tail = self.tail.load(Ordering::Relaxed);
-            if tail != seen_tail {
-                seen_tail = tail;
-                progress_at = now;
-            }
-            if !parked {
-                if let Some(pos) = self.claim_recv() {
-                    self.consume_slot(pos, consume);
-                    return Ok(());
-                }
-                return Err(TransportError::Timeout {
-                    after: timeout,
-                    idle: now.duration_since(progress_at),
-                });
-            }
+    }
+}
+
+impl Transport for PointerTransport {
+    fn capacity_bytes(&self) -> usize {
+        self.pool.slots() * self.pool.slot_bytes()
+    }
+
+    fn max_message_bytes(&self) -> usize {
+        self.pool.slot_bytes()
+    }
+
+    fn len_bytes(&self) -> usize {
+        // Slot-granular, like the ring: eq. (2) accounts a full
+        // packed-token slot per in-flight message.
+        self.ring.occupancy() * self.pool.slot_bytes()
+    }
+
+    fn occupancy(&self) -> usize {
+        self.ring.occupancy()
+    }
+
+    fn snapshot(&self) -> (usize, usize) {
+        let occ = self.ring.occupancy();
+        (occ * self.pool.slot_bytes(), occ)
+    }
+
+    fn try_send(&self, data: &[u8]) -> Result<(), TransportError> {
+        if data.len() > self.pool.slot_bytes() {
+            return Err(TransportError::TooLarge {
+                bytes: data.len(),
+                max: self.pool.slot_bytes(),
+            });
         }
+        let Some(mut lease) = self.pool.try_acquire() else {
+            return Err(TransportError::Full);
+        };
+        lease[..data.len()].copy_from_slice(data);
+        lease.truncate(data.len());
+        self.publish_lease(lease)
+    }
+
+    fn try_recv(&self) -> Result<Vec<u8>, TransportError> {
+        let mut desc = (0u32, 0u32, 0u32);
+        self.ring.try_recv_with(&mut |d| desc = decode_desc(d))?;
+        Ok(self.pool.lease(desc.0, desc.1, desc.2).to_vec())
+    }
+
+    fn send_with(
+        &self,
+        len: usize,
+        fill: &mut dyn FnMut(&mut [u8]),
+        timeout: Duration,
+    ) -> Result<(), TransportError> {
+        if len > self.pool.slot_bytes() {
+            return Err(TransportError::TooLarge {
+                bytes: len,
+                max: self.pool.slot_bytes(),
+            });
+        }
+        let mut lease = self.pool.acquire(timeout)?;
+        fill(&mut lease[..len]);
+        lease.truncate(len);
+        self.publish_lease(lease)
+    }
+
+    fn recv_with(
+        &self,
+        consume: &mut dyn FnMut(&[u8]),
+        timeout: Duration,
+    ) -> Result<(), TransportError> {
+        let mut desc = (0u32, 0u32, 0u32);
+        self.ring
+            .recv_with(&mut |d| desc = decode_desc(d), timeout)?;
+        // The lease releases the slot when it drops — including if
+        // `consume` panics mid-read.
+        let lease = self.pool.lease(desc.0, desc.1, desc.2);
+        consume(&lease);
+        Ok(())
+    }
+
+    fn send_in_place(
+        &self,
+        max_len: usize,
+        frame: &mut dyn FnMut(&mut [u8]) -> usize,
+        timeout: Duration,
+    ) -> Result<(), TransportError> {
+        if max_len > self.pool.slot_bytes() {
+            return Err(TransportError::TooLarge {
+                bytes: max_len,
+                max: self.pool.slot_bytes(),
+            });
+        }
+        let mut lease = self.pool.acquire(timeout)?;
+        let n = frame(&mut lease[..max_len]).min(max_len);
+        lease.truncate(n);
+        self.publish_lease(lease)
+    }
+
+    fn send_token(&self, token: Token, timeout: Duration) -> Result<(), TransportError> {
+        match token {
+            // The zero-copy path: the lease's slot changes hands, the
+            // payload bytes never move.
+            Token::Pooled(lease) if self.pool.owns(&lease) => self.publish_lease(lease),
+            // Owned buffers and foreign-pool leases copy into a local
+            // slot (the foreign lease releases on drop, after the copy).
+            token => self.send(&token, timeout),
+        }
+    }
+
+    fn recv_token(&self, timeout: Duration) -> Result<Token, TransportError> {
+        let mut desc = (0u32, 0u32, 0u32);
+        self.ring
+            .recv_with(&mut |d| desc = decode_desc(d), timeout)?;
+        Ok(Token::Pooled(self.pool.lease(desc.0, desc.1, desc.2)))
+    }
+
+    fn try_send_token(&self, token: Token) -> Result<(), TransportError> {
+        match token {
+            Token::Pooled(lease) if self.pool.owns(&lease) => self.publish_lease(lease),
+            token => self.try_send(&token),
+        }
+    }
+
+    fn try_recv_token(&self) -> Result<Token, TransportError> {
+        let mut desc = (0u32, 0u32, 0u32);
+        self.ring.try_recv_with(&mut |d| desc = decode_desc(d))?;
+        Ok(Token::Pooled(self.pool.lease(desc.0, desc.1, desc.2)))
+    }
+
+    fn pool(&self) -> Option<&BufferPool> {
+        Some(&self.pool)
     }
 }
 
@@ -959,10 +1367,11 @@ mod tests {
     use std::sync::Arc;
     use std::thread;
 
-    fn both(capacity: usize, slot: usize) -> Vec<Box<dyn Transport>> {
+    fn all(capacity: usize, slot: usize) -> Vec<Box<dyn Transport>> {
         vec![
             Box::new(LockedTransport::new(capacity, slot)),
             Box::new(RingTransport::new(capacity, slot)),
+            Box::new(PointerTransport::new(capacity, slot)),
         ]
     }
 
@@ -970,7 +1379,7 @@ mod tests {
 
     #[test]
     fn fifo_order_preserved() {
-        for t in both(64, 8) {
+        for t in all(64, 8) {
             for i in 0..5u8 {
                 t.send(&[i; 3], T).unwrap();
             }
@@ -996,7 +1405,7 @@ mod tests {
 
     #[test]
     fn full_channel_rejects_try_send_then_times_out() {
-        for t in both(8, 8) {
+        for t in all(8, 8) {
             t.send(&[1; 8], T).unwrap();
             assert_eq!(t.try_send(&[2; 8]), Err(TransportError::Full));
             assert!(matches!(
@@ -1010,7 +1419,7 @@ mod tests {
 
     #[test]
     fn oversized_message_rejected() {
-        for t in both(64, 8) {
+        for t in all(64, 8) {
             assert_eq!(
                 t.send(&[0; 9], T),
                 Err(TransportError::TooLarge { bytes: 9, max: 8 })
@@ -1024,7 +1433,7 @@ mod tests {
 
     #[test]
     fn empty_recv_times_out() {
-        for t in both(64, 8) {
+        for t in all(64, 8) {
             assert!(matches!(
                 t.recv(Duration::from_millis(30)),
                 Err(TransportError::Timeout { .. })
@@ -1034,7 +1443,7 @@ mod tests {
 
     #[test]
     fn zero_length_messages_flow() {
-        for t in both(16, 4) {
+        for t in all(16, 4) {
             t.send(&[], T).unwrap();
             t.send(&[7], T).unwrap();
             assert_eq!(t.recv(T).unwrap(), Vec::<u8>::new());
@@ -1044,7 +1453,7 @@ mod tests {
 
     #[test]
     fn in_place_send_and_recv_roundtrip() {
-        for t in both(32, 8) {
+        for t in all(32, 8) {
             t.send_with(6, &mut |buf| buf.copy_from_slice(b"packed"), T)
                 .unwrap();
             let mut got = Vec::new();
@@ -1065,6 +1474,10 @@ mod tests {
                 "ring",
                 Arc::new(RingTransport::new(4, 4)) as Arc<dyn Transport>,
             ),
+            (
+                "pointer",
+                Arc::new(PointerTransport::new(4, 4)) as Arc<dyn Transport>,
+            ),
         ] {
             t.send(&[1; 4], T).unwrap();
             let t2 = Arc::clone(&t);
@@ -1081,6 +1494,7 @@ mod tests {
         for t in [
             Arc::new(LockedTransport::new(16, 4)) as Arc<dyn Transport>,
             Arc::new(RingTransport::new(16, 4)) as Arc<dyn Transport>,
+            Arc::new(PointerTransport::new(16, 4)) as Arc<dyn Transport>,
         ] {
             let t2 = Arc::clone(&t);
             let receiver = thread::spawn(move || t2.recv(Duration::from_secs(5)));
@@ -1133,6 +1547,9 @@ mod tests {
         assert_eq!(ring.max_message_bytes(), 6);
         let locked = TransportKind::Locked.instantiate(&spec);
         assert_eq!(locked.capacity_bytes(), 48);
+        let pointer = TransportKind::Pointer.instantiate(&spec);
+        assert_eq!(pointer.capacity_bytes(), 48);
+        assert_eq!(pointer.max_message_bytes(), 6);
         // Undeclared bound falls back to word granularity for the ring.
         let raw = ChannelSpec {
             capacity_bytes: 16,
@@ -1165,13 +1582,138 @@ mod tests {
 
     #[test]
     fn occupancy_saturates_at_capacity() {
-        for t in both(16, 4) {
+        for t in all(16, 4) {
             for _ in 0..4 {
                 t.send(&[0; 4], T).unwrap();
             }
             assert_eq!(t.occupancy(), 4);
             assert_eq!(t.len_bytes(), 16);
         }
+    }
+
+    #[test]
+    fn send_in_place_frames_into_channel_storage() {
+        for t in all(32, 8) {
+            t.send_in_place(
+                8,
+                &mut |buf| {
+                    buf[..6].copy_from_slice(b"framed");
+                    6
+                },
+                T,
+            )
+            .unwrap();
+            assert_eq!(t.recv(T).unwrap(), b"framed");
+            assert_eq!(
+                t.send_in_place(9, &mut |_| 0, T),
+                Err(TransportError::TooLarge { bytes: 9, max: 8 })
+            );
+        }
+    }
+
+    #[test]
+    fn recv_token_is_owned_on_copying_transports() {
+        for t in [
+            Box::new(LockedTransport::new(16, 8)) as Box<dyn Transport>,
+            Box::new(RingTransport::new(16, 8)),
+        ] {
+            t.send(b"abc", T).unwrap();
+            let tok = t.recv_token(T).unwrap();
+            assert!(!tok.is_pooled());
+            assert_eq!(&*tok, b"abc");
+        }
+    }
+
+    #[test]
+    fn pointer_send_token_moves_the_slot_without_copying() {
+        let t = PointerTransport::new(4 * 16, 16);
+        let mut lease = t.buffer_pool().acquire(T).unwrap();
+        lease[..5].copy_from_slice(b"zcopy");
+        lease.truncate(5);
+        let addr = lease.as_ptr();
+        t.send_token(Token::Pooled(lease), T).unwrap();
+        let got = t.recv_token(T).unwrap();
+        assert!(got.is_pooled());
+        assert_eq!(&*got, b"zcopy");
+        assert_eq!(
+            got.as_ptr(),
+            addr,
+            "same slot bytes on both sides — pointer exchange, not a copy"
+        );
+        drop(got);
+        assert_eq!(t.buffer_pool().available(), 4, "drop released the slot");
+    }
+
+    #[test]
+    fn shared_pool_chain_relays_without_copying() {
+        // Two edges of a chain share one slab (§5.2 forwarding): a
+        // token received from the first hop passes through the second
+        // as a bare descriptor, payload bytes staying put.
+        let t1 = PointerTransport::new(4 * 16, 16);
+        let t2 = PointerTransport::with_pool(t1.buffer_pool().clone());
+        t1.send(b"chained", T).unwrap();
+        let mut token = t1.recv_token(T).unwrap();
+        let addr = token.as_ptr();
+        // An in-place transform over the lease, as a filter PE would.
+        token[0] = b'C';
+        t2.send_token(token, T).unwrap();
+        let got = t2.recv_token(T).unwrap();
+        assert_eq!(&*got, b"Chained");
+        assert_eq!(got.as_ptr(), addr, "both hops served from one slot");
+        drop(got);
+        assert_eq!(t1.buffer_pool().available(), 4);
+        assert_eq!(t2.buffer_pool().available(), 4, "same pool");
+    }
+
+    #[test]
+    fn pointer_forwards_trimmed_leases_by_offset() {
+        let t = PointerTransport::new(2 * 16, 16);
+        let mut lease = t.buffer_pool().acquire(T).unwrap();
+        lease[..8].copy_from_slice(b"hdr!body");
+        lease.truncate(8);
+        lease.trim_front(4);
+        t.send_token(Token::Pooled(lease), T).unwrap();
+        assert_eq!(t.recv(T).unwrap(), b"body");
+    }
+
+    #[test]
+    fn pointer_foreign_tokens_fall_back_to_copy() {
+        let t = PointerTransport::new(2 * 8, 8);
+        t.send_token(Token::Owned(b"owned".to_vec()), T).unwrap();
+        let other = BufferPool::new(1, 8);
+        let mut lease = other.acquire(T).unwrap();
+        lease[..3].copy_from_slice(b"for");
+        lease.truncate(3);
+        t.send_token(Token::Pooled(lease), T).unwrap();
+        assert_eq!(other.available(), 1, "foreign lease released after copy");
+        assert_eq!(t.recv(T).unwrap(), b"owned");
+        assert_eq!(t.recv(T).unwrap(), b"for");
+    }
+
+    #[test]
+    fn pointer_streams_many_tokens_across_threads() {
+        let t = Arc::new(PointerTransport::new(8 * 16, 16));
+        let tx = Arc::clone(&t);
+        let n: u32 = 20_000;
+        let producer = thread::spawn(move || {
+            for i in 0..n {
+                tx.send_in_place(
+                    4,
+                    &mut |buf| {
+                        buf.copy_from_slice(&i.to_le_bytes());
+                        4
+                    },
+                    Duration::from_secs(10),
+                )
+                .unwrap();
+            }
+        });
+        for i in 0..n {
+            let tok = t.recv_token(Duration::from_secs(10)).unwrap();
+            assert_eq!(u32::from_le_bytes(tok[..4].try_into().unwrap()), i);
+        }
+        producer.join().unwrap();
+        assert_eq!(t.buffer_pool().available(), 8, "all slots back in the pool");
     }
 
     #[test]

@@ -136,11 +136,15 @@ fn locked_transport_survives_constant_backpressure() {
 }
 
 /// Full executor stack: a 4-stage pipeline on tight channels, run under
-/// both transports, with the stage stores checked for the exact fold.
+/// every transport, with the stage stores checked for the exact fold.
 #[test]
-fn runner_pipeline_stress_under_both_transports() {
+fn runner_pipeline_stress_under_all_transports() {
     let n = (iters() / 10).max(100);
-    for kind in [TransportKind::Locked, TransportKind::Ring] {
+    for kind in [
+        TransportKind::Locked,
+        TransportKind::Ring,
+        TransportKind::Pointer,
+    ] {
         let channels: Vec<ChannelSpec> = (0..3)
             .map(|_| ChannelSpec {
                 capacity_bytes: 8,

@@ -39,9 +39,9 @@ pub use actors::{share, ActorFire, Firing, SharedActor};
 pub use error::{Result, SpiError};
 pub use library::SpiLibraryReport;
 pub use message::{
-    decode_dynamic, decode_static, dynamic_frame_bytes, encode_dynamic, encode_dynamic_into,
-    encode_static, encode_static_into, header_bytes, static_frame_bytes, SpiPhase,
-    DYNAMIC_HEADER_BYTES, STATIC_HEADER_BYTES,
+    decode_dynamic, decode_dynamic_borrowed, decode_static, decode_static_borrowed,
+    dynamic_frame_bytes, encode_dynamic, encode_dynamic_into, encode_static, encode_static_into,
+    header_bytes, static_frame_bytes, SpiPhase, DYNAMIC_HEADER_BYTES, STATIC_HEADER_BYTES,
 };
 pub use system::{
     BufferRow, EdgePlan, SchedulingMode, SpiRunReport, SpiSystem, SpiSystemBuilder, ACK_BYTES,

@@ -96,6 +96,18 @@ fn header_edge_id(edge: EdgeId) -> Result<u16> {
 /// [`SpiError::Message`] on truncation, edge-id mismatch, or length
 /// mismatch.
 pub fn decode_static(msg: &[u8], expect_edge: EdgeId, expect_len: usize) -> Result<Vec<u8>> {
+    decode_static_borrowed(msg, expect_edge, expect_len).map(<[u8]>::to_vec)
+}
+
+/// Borrowed variant of [`decode_static`]: the same validation, but the
+/// returned payload is a view into `msg` — no allocation, no copy. With
+/// a pooled transport the slice points straight into the shared slot
+/// the sender wrote (the paper's pointer-exchange read path).
+///
+/// # Errors
+///
+/// As [`decode_static`].
+pub fn decode_static_borrowed(msg: &[u8], expect_edge: EdgeId, expect_len: usize) -> Result<&[u8]> {
     if msg.len() < STATIC_HEADER_BYTES {
         return Err(SpiError::Message {
             reason: format!("static header truncated: {} bytes", msg.len()),
@@ -116,7 +128,7 @@ pub fn decode_static(msg: &[u8], expect_edge: EdgeId, expect_len: usize) -> Resu
             ),
         });
     }
-    Ok(payload.to_vec())
+    Ok(payload)
 }
 
 /// Frames `payload` as an SPI_dynamic message for `edge`.
@@ -187,6 +199,17 @@ pub fn encode_dynamic_into(edge: EdgeId, payload: &[u8], buf: &mut [u8]) -> Resu
 /// [`SpiError::Message`] on truncation or id mismatch;
 /// [`SpiError::VtsBoundExceeded`] if the size field exceeds `bound`.
 pub fn decode_dynamic(msg: &[u8], expect_edge: EdgeId, bound: usize) -> Result<Vec<u8>> {
+    decode_dynamic_borrowed(msg, expect_edge, bound).map(<[u8]>::to_vec)
+}
+
+/// Borrowed variant of [`decode_dynamic`]: the same validation
+/// (including the VTS bound), returning a view into `msg` instead of a
+/// copy.
+///
+/// # Errors
+///
+/// As [`decode_dynamic`].
+pub fn decode_dynamic_borrowed(msg: &[u8], expect_edge: EdgeId, bound: usize) -> Result<&[u8]> {
     if msg.len() < DYNAMIC_HEADER_BYTES {
         return Err(SpiError::Message {
             reason: format!("dynamic header truncated: {} bytes", msg.len()),
@@ -214,7 +237,7 @@ pub fn decode_dynamic(msg: &[u8], expect_edge: EdgeId, bound: usize) -> Result<V
             ),
         });
     }
-    Ok(msg[DYNAMIC_HEADER_BYTES..DYNAMIC_HEADER_BYTES + len].to_vec())
+    Ok(&msg[DYNAMIC_HEADER_BYTES..DYNAMIC_HEADER_BYTES + len])
 }
 
 /// Header size for a phase.
@@ -317,6 +340,36 @@ mod tests {
         // Exactly-sized buffers work.
         let mut exact = [0u8; 6];
         assert!(encode_static_into(EdgeId(1), &[0; 4], &mut exact).is_ok());
+    }
+
+    #[test]
+    fn borrowed_decoders_return_views_into_the_frame() {
+        let payload = vec![1u8, 2, 3, 4];
+        let msg = encode_static(EdgeId(5), &payload).unwrap();
+        let view = decode_static_borrowed(&msg, EdgeId(5), 4).unwrap();
+        assert_eq!(view, &payload[..]);
+        // The view aliases the frame buffer — no copy happened.
+        assert_eq!(view.as_ptr(), msg[STATIC_HEADER_BYTES..].as_ptr());
+
+        let msg = encode_dynamic(EdgeId(5), &payload).unwrap();
+        let view = decode_dynamic_borrowed(&msg, EdgeId(5), 16).unwrap();
+        assert_eq!(view, &payload[..]);
+        assert_eq!(view.as_ptr(), msg[DYNAMIC_HEADER_BYTES..].as_ptr());
+    }
+
+    #[test]
+    fn borrowed_decoders_validate_like_owning_decoders() {
+        let msg = encode_static(EdgeId(2), &[0; 4]).unwrap();
+        assert!(decode_static_borrowed(&msg, EdgeId(3), 4).is_err());
+        assert!(decode_static_borrowed(&msg, EdgeId(2), 5).is_err());
+        assert!(decode_static_borrowed(&msg[..1], EdgeId(2), 4).is_err());
+
+        let msg = encode_dynamic(EdgeId(2), &[0; 100]).unwrap();
+        assert!(matches!(
+            decode_dynamic_borrowed(&msg, EdgeId(2), 50),
+            Err(SpiError::VtsBoundExceeded { .. })
+        ));
+        assert!(decode_dynamic_borrowed(&msg[..8], EdgeId(2), 100).is_err());
     }
 
     #[test]

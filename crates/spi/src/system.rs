@@ -533,6 +533,11 @@ impl SpiSystemBuilder {
                 spi_analyze::TransportDecl {
                     capacity_bytes: capacity.max(msg_max) as u64,
                     message_bytes_max: msg_max as u64,
+                    // The slot count a pointer-exchange transport derives
+                    // from this spec (PointerTransport::new's rule), so
+                    // SPI044 can hold the pool against the channel's
+                    // message capacity.
+                    pool_slots: Some(((capacity.max(msg_max) / msg_max).max(1)) as u64),
                 },
             );
             if plan.ack_kept {
@@ -1528,14 +1533,20 @@ impl ProgramGen<'_> {
                 // Decode incoming messages into edge queues.
                 for d in &decode_info {
                     for _ in 0..d.count {
-                        let Some(msg) = l.take_from(d.channel) else {
+                        // Take the token by ownership (a pooled lease
+                        // stays in its slot) and decode borrowed: the
+                        // payload view aliases the slot until it is
+                        // pushed into the edge queue.
+                        let Some(msg) = l.take_token_from(d.channel) else {
                             fail(l, format!("missing message on {}", d.edge));
                             return 0;
                         };
                         let decoded = match d.phase {
-                            SpiPhase::Static => message::decode_static(&msg, d.edge, d.payload_max),
+                            SpiPhase::Static => {
+                                message::decode_static_borrowed(&msg, d.edge, d.payload_max)
+                            }
                             SpiPhase::Dynamic => {
-                                message::decode_dynamic(&msg, d.edge, d.payload_max)
+                                message::decode_dynamic_borrowed(&msg, d.edge, d.payload_max)
                             }
                         };
                         let payload = match decoded {
@@ -1555,8 +1566,8 @@ impl ProgramGen<'_> {
                             }
                         };
                         match d.phase {
-                            SpiPhase::Static => queue_push(l, d.edge, &payload),
-                            SpiPhase::Dynamic => frame_push(l, d.edge, &payload),
+                            SpiPhase::Static => queue_push(l, d.edge, payload),
+                            SpiPhase::Dynamic => frame_push(l, d.edge, payload),
                         }
                     }
                 }

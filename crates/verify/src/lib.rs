@@ -41,7 +41,7 @@ pub mod ring;
 
 pub use framing::{explore_framing, FramingExploration, FramingOptions, FramingViolation};
 pub use race::{race_check, RaceReport};
-pub use ring::{explore_ring_shared_consumers, explore_ring_spsc};
+pub use ring::{explore_pointer_spsc, explore_ring_shared_consumers, explore_ring_spsc};
 pub use spi_platform::verify::{
     explore, Exploration, Failure, FailureKind, ModelOptions, Scenario, Step,
 };

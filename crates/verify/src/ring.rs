@@ -1,11 +1,15 @@
-//! Canonical `RingTransport` exploration scenarios.
+//! Canonical `RingTransport` / `PointerTransport` exploration scenarios.
 //!
-//! Two scenarios cover the ring + waitlist protocol:
+//! Three scenarios cover the ring + waitlist + pool protocols:
 //!
 //! * [`explore_ring_spsc`] — the production topology: one producer,
 //!   one consumer, small ring, `n` messages each way. Exhaustive at
 //!   the bound; any lost wakeup shows up as a deadlock because the
 //!   model clock is frozen and park timeouts can never fire.
+//! * [`explore_pointer_spsc`] — the pointer-exchange handoff: pool
+//!   acquire, in-place framing, descriptor publish, lease drop as the
+//!   slot-release ack. Covers the descriptor ring, the free ring and
+//!   the slab recycling between them.
 //! * [`explore_ring_shared_consumers`] — the regression oracle for the
 //!   PR 3 lost-wakeup fix. Two consumers share the receive endpoint
 //!   (the documented memory-safe-but-slower mode). With the fix
@@ -24,7 +28,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use spi_platform::verify::{explore, Exploration, ModelOptions};
-use spi_platform::{RingTransport, Transport};
+use spi_platform::{PointerTransport, RingTransport, Transport};
 
 /// Far beyond any exploration: the model clock is frozen, so this
 /// deadline is simply "never" inside a session.
@@ -56,6 +60,48 @@ pub fn explore_ring_spsc(messages: usize, slots: usize, opts: &ModelOptions) -> 
                 )
                 .expect("model recv");
                 assert_eq!(got, Some(i), "FIFO order violated");
+            }
+        });
+    })
+}
+
+/// Exhaustively explores the pointer-exchange SPSC handoff: one
+/// producer framing `messages` 4-byte payloads in place (pool acquire →
+/// write slot → publish descriptor), one consumer receiving leases and
+/// dropping them (the UBS-style slot-release acknowledgement through
+/// the free ring). Two Vyukov rings plus the slab are in play, so the
+/// schedule space is larger than the plain SPSC scenario at the same
+/// bound; the invariant under test is that slot recycling can neither
+/// deadlock (lost release ⇒ acquire parks forever under the frozen
+/// model clock) nor corrupt FIFO order (descriptor pointing at a
+/// reused slot before the consumer finished reading it would break the
+/// payload check).
+pub fn explore_pointer_spsc(messages: usize, slots: usize, opts: &ModelOptions) -> Exploration {
+    let slots = slots.max(1);
+    explore(opts, move |sc| {
+        let t = Arc::new(PointerTransport::new(slots * 4, 4));
+        let p = Arc::clone(&t);
+        sc.thread("producer", move || {
+            for i in 0..messages as u32 {
+                p.send_in_place(
+                    4,
+                    &mut |buf| {
+                        buf[..4].copy_from_slice(&i.to_le_bytes());
+                        4
+                    },
+                    NEVER,
+                )
+                .expect("model send");
+            }
+        });
+        let c = Arc::clone(&t);
+        sc.thread("consumer", move || {
+            for i in 0..messages as u32 {
+                let token = c.recv_token(NEVER).expect("model recv");
+                assert!(token.is_pooled(), "pointer path must not copy");
+                assert_eq!(&token[..], &i.to_le_bytes(), "FIFO order violated");
+                // Dropping the lease is the slot-release ack.
+                drop(token);
             }
         });
     })

@@ -19,7 +19,10 @@
 //!    scenario deadlocks, and the explorer reports it with a minimized
 //!    interleaving trace — the regression oracle.
 
-use spi_verify::{explore_ring_shared_consumers, explore_ring_spsc, FailureKind, ModelOptions};
+use spi_verify::{
+    explore_pointer_spsc, explore_ring_shared_consumers, explore_ring_spsc, FailureKind,
+    ModelOptions,
+};
 
 /// Anti-vacuity floor for the tier-1 SPSC exploration. The committed
 /// baseline at (messages = 2, slots = 1) is 2461 distinct schedules
@@ -29,6 +32,13 @@ use spi_verify::{explore_ring_shared_consumers, explore_ring_spsc, FailureKind, 
 /// `SPI_VERIFY_MIN_SCHEDULES` after re-measuring the baseline — upward
 /// freely, downward only with a DESIGN.md §12 note.
 const MIN_SCHEDULES: u64 = 2_000;
+
+/// Anti-vacuity floor for the minimal pointer-exchange exploration.
+/// Measured baseline at (messages = 1, slots = 1): 13 distinct
+/// schedules (72 sleep-set pruned) — small because the free ring
+/// starts full, so the only contention is the descriptor publish
+/// against the consumer's dequeue-and-release.
+const PTR_MIN_SCHEDULES: u64 = 10;
 
 fn min_schedules() -> u64 {
     std::env::var("SPI_VERIFY_MIN_SCHEDULES")
@@ -73,6 +83,60 @@ fn spsc_exhaustive_at_deep_bound() {
     assert!(
         ex.schedules >= 30_000,
         "vacuous deep exploration: {} schedules (committed baseline 33869)",
+        ex.schedules
+    );
+}
+
+/// The pointer-exchange handoff at its minimal bound: one message
+/// through a one-slot pool. Even this smallest case exercises the full
+/// slot cycle — free-ring dequeue, in-place frame, descriptor publish,
+/// lease drop re-enqueueing the slot — across two Vyukov rings.
+/// Exhaustive; the anti-vacuity floor is the committed baseline
+/// (re-measure before lowering, per DESIGN.md §12).
+#[test]
+fn pointer_spsc_exhaustive_at_minimal_bound() {
+    let opts = ModelOptions::default();
+    let ex = explore_pointer_spsc(1, 1, &opts);
+    assert!(
+        !ex.capped,
+        "pointer exploration hit the schedule cap — bound too large to be exhaustive"
+    );
+    if let Some(f) = &ex.failure {
+        panic!("pointer handoff failed at the minimal bound:\n{f}");
+    }
+    println!(
+        "pointer(1,1): {} schedules ({} pruned)",
+        ex.schedules, ex.pruned
+    );
+    assert!(
+        ex.schedules >= PTR_MIN_SCHEDULES,
+        "vacuous pointer exploration: {} schedules < floor {} (pruned {})",
+        ex.schedules,
+        PTR_MIN_SCHEDULES,
+        ex.pruned
+    );
+}
+
+/// Deeper pointer bound (2 messages, 1 slot — the producer must block
+/// until the consumer's lease drop recycles the slot, covering the
+/// full release-then-reacquire cycle). Exhaustive: measured baseline
+/// 2461 schedules (13292 pruned), ~7 s in release — run `#[ignore]`d
+/// by the CI verify job like the deep plain-ring bound.
+#[test]
+#[ignore = "exhaustive slot-reuse bound (~7s release); run by the CI verify job"]
+fn pointer_spsc_exhaustive_at_reuse_bound() {
+    let opts = ModelOptions::default();
+    let ex = explore_pointer_spsc(2, 1, &opts);
+    assert!(
+        !ex.capped,
+        "reuse bound no longer exhaustive within the cap"
+    );
+    if let Some(f) = &ex.failure {
+        panic!("pointer slot reuse failed:\n{f}");
+    }
+    assert!(
+        ex.schedules >= 2_000,
+        "vacuous reuse exploration: {} schedules (committed baseline 2461)",
         ex.schedules
     );
 }

@@ -90,6 +90,9 @@ run_gate() { # candidate_dir baseline_dir
   gate_one BENCH_transport.json '"name": "pipeline_3pe"' ring_msgs_per_sec "$cand" "$base"
   gate_one BENCH_transport.json '"name": "filterbank_app"' locked_msgs_per_sec "$cand" "$base"
   gate_one BENCH_transport.json '"name": "filterbank_app"' ring_msgs_per_sec "$cand" "$base"
+  gate_one BENCH_transport.json '"pointer_exchange"' locked_msgs_per_sec "$cand" "$base"
+  gate_one BENCH_transport.json '"pointer_exchange"' ring_msgs_per_sec "$cand" "$base"
+  gate_one BENCH_transport.json '"pointer_exchange"' pointer_msgs_per_sec "$cand" "$base"
   gate_one BENCH_transport.json '"supervision"' bare_msgs_per_sec "$cand" "$base"
   gate_one BENCH_transport.json '"supervision"' supervised_msgs_per_sec "$cand" "$base"
   gate_one BENCH_trace.json '"name": "pipeline_3pe_fir"' nop_msgs_per_sec "$cand" "$base"

@@ -7,7 +7,10 @@
 # Miri catches what neither the SC-only model checker nor TSan can:
 # undefined behavior, invalid aliasing, and (with its own weak-memory
 # emulation) some relaxed-ordering misuse — at ~1000x interpretation
-# overhead, which is why the scope is unit tests only.
+# overhead, which is why the scope is unit tests only. The pool module
+# matters here specifically: TokenBuf hands out `&mut [u8]` views into
+# a shared slab through raw pointers, exactly the kind of aliasing
+# claim only Miri checks.
 #
 # Degrades gracefully: offline containers without a nightly toolchain
 # or the miri component skip with a notice instead of failing, mirroring
@@ -28,7 +31,7 @@ if ! rustup component list --toolchain nightly 2>/dev/null | grep -q 'miri (inst
   fi
 fi
 
-echo "== miri: transport + supervision unit tests (verify-shim enabled) =="
+echo "== miri: transport + pool + supervision unit tests (verify-shim enabled) =="
 # -Zmiri-disable-isolation: the transport park path and the supervision
 # retry/backoff machinery read the monotonic clock and env vars.
 # SPI_STRESS_ITERS is floored low: interpreted execution is ~1000x
@@ -36,5 +39,5 @@ echo "== miri: transport + supervision unit tests (verify-shim enabled) =="
 MIRIFLAGS="${MIRIFLAGS:--Zmiri-disable-isolation}" \
 SPI_STRESS_ITERS="${SPI_STRESS_ITERS:-50}" \
   cargo +nightly miri test -p spi-platform --lib --features verify-shim "$@" \
-    -- transport:: supervise::
+    -- transport:: pool:: supervise::
 echo "== miri checks passed =="

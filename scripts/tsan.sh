@@ -4,6 +4,12 @@
 # to a high-volume stress loop otherwise (e.g. offline containers with
 # only stable installed).
 #
+# Coverage spans all three transports: the `-p spi-platform --tests`
+# pass includes the pointer-exchange pool tests (slot handoff, lease
+# drop as release ack, cross-thread token streaming), and the
+# equivalence + fault passes drive TransportKind::Pointer through the
+# runner and the FaultyTransport decorator (incl. the pool_leak suite).
+#
 # TSan needs `-Z sanitizer=thread`, which implies nightly plus a
 # rebuilt-std (`-Z build-std`) so the standard library is instrumented
 # too — without it, races through std primitives go unreported.

@@ -289,7 +289,11 @@ proptest! {
         // sees one send per iteration.
         prop_assert_eq!(des_sends[&0].len() as u64, iterations);
 
-        for kind in [TransportKind::Locked, TransportKind::Ring] {
+        for kind in [
+            TransportKind::Locked,
+            TransportKind::Ring,
+            TransportKind::Pointer,
+        ] {
             let (specs, programs) = random_pipeline(p);
             let ring = Arc::new(RingTracer::new(n_pes as usize, 4096));
             let threaded = ThreadedRunner::new()
