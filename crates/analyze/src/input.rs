@@ -50,6 +50,11 @@ pub struct AnalysisInput<'a> {
     pub protocols: Option<&'a HashMap<EdgeId, Protocol>>,
     /// Transport capacities declared per edge by the execution layer.
     pub transports: Option<&'a HashMap<EdgeId, TransportDecl>>,
+    /// Socket transports declared for **cross-partition** edges of a
+    /// distributed deployment: the sender-side credit window each edge
+    /// was granted. Only edges that cross a node boundary appear here.
+    /// Checked by SPI045 against the eq. (2) byte requirement.
+    pub net_transports: Option<&'a HashMap<EdgeId, TransportDecl>>,
     /// Aggregated hardware cost of the system.
     pub resources: Option<ResourceEstimate>,
     /// Target device; defaults to the paper's Virtex-4 SX35 when
@@ -70,6 +75,7 @@ impl<'a> AnalysisInput<'a> {
             resync_cert: None,
             protocols: None,
             transports: None,
+            net_transports: None,
             resources: None,
             device: None,
         }
@@ -122,6 +128,17 @@ impl<'a> AnalysisInput<'a> {
     /// largest framed message), enabling the SPI043 capacity check.
     pub fn with_transports(mut self, transports: &'a HashMap<EdgeId, TransportDecl>) -> Self {
         self.transports = Some(transports);
+        self
+    }
+
+    /// Declares the socket transports of a partitioned deployment: one
+    /// entry per cross-partition edge with the sender-side credit
+    /// window it was granted, enabling the SPI045 under-run check.
+    pub fn with_net_transports(
+        mut self,
+        net_transports: &'a HashMap<EdgeId, TransportDecl>,
+    ) -> Self {
+        self.net_transports = Some(net_transports);
         self
     }
 

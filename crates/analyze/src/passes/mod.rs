@@ -16,6 +16,7 @@
 //! | SPI042 | error    | protocol-lints | BBS capacity below the eq. (2) bound |
 //! | SPI043 | warning  | protocol-lints | declared transport capacity below the eq. (2) byte requirement |
 //! | SPI044 | warning  | protocol-lints | pointer-exchange pool with fewer slots than the channel's eq. (1) message capacity |
+//! | SPI045 | warning  | protocol-lints | cross-partition socket credit window below the eq. (2) byte requirement |
 //! | SPI050 | error    | sync-coverage | IPC edge not enforced by any synchronization path (data race) |
 //! | SPI060 | warning  | resync-fixpoint | redundant synchronization edges remain after optimization |
 //! | SPI061 | error    | resync-certification | removed sync edge whose redundancy proof is missing or does not re-verify |

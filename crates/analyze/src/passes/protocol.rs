@@ -10,7 +10,12 @@
 //! self-timed execution. SPI044 extends the same check to
 //! pointer-exchange transports: the backing pool must provide at least
 //! as many slots as the channel holds eq. (1)-sized messages, or slot
-//! exhaustion throttles the sender below the proven bound.
+//! exhaustion throttles the sender below the proven bound. SPI045
+//! applies the SPI043 capacity argument to *cross-partition* edges of a
+//! distributed deployment (`spi-net`): a socket channel enforces
+//! eq. (2) through a sender-side credit window, so a window declared
+//! below the required bytes throttles — or deadlocks — a legal
+//! self-timed run even though every in-memory buffer is sized right.
 
 use spi_sched::Protocol;
 
@@ -161,6 +166,45 @@ impl Pass for ProtocolLints {
                                 )),
                             );
                         }
+                    }
+                }
+            }
+
+            // SPI045: a cross-partition edge's socket credit window
+            // must cover the same eq. (2) bytes. Unlike an undersized
+            // in-memory buffer (SPI043), an undersized credit window is
+            // invisible locally — each node's buffers look fine — so
+            // the distributed deployment is called out explicitly.
+            if let (Some(decls), Some(b)) = (input.net_transports, bound) {
+                if let Some(decl) = decls.get(&edge) {
+                    let q_src = ipc
+                        .tasks()
+                        .iter()
+                        .filter(|t| t.firing.actor == e.src)
+                        .count() as u64;
+                    let required = b * q_src.max(1) * decl.message_bytes_max;
+                    if decl.capacity_bytes < required {
+                        out.push(
+                            Diagnostic::new(
+                                "SPI045",
+                                Severity::Warning,
+                                Locus::Edge(edge),
+                                format!(
+                                    "cross-partition edge {edge} ({pair}) grants a socket \
+                                     credit window of {} byte(s), below the eq. (2) \
+                                     requirement of {required} bytes ({b} token(s) × {} \
+                                     firing(s) × {} bytes/message); the sender can stall \
+                                     on exhausted credits inside a legal self-timed run",
+                                    decl.capacity_bytes,
+                                    q_src.max(1),
+                                    decl.message_bytes_max,
+                                ),
+                            )
+                            .with_suggestion(format!(
+                                "widen the credit window to at least {required} bytes \
+                                 for edge {edge}"
+                            )),
+                        );
                     }
                 }
             }

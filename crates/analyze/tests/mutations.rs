@@ -531,6 +531,97 @@ fn matching_pointer_pool_stays_clean_of_spi044() {
     );
 }
 
+#[test]
+fn mutation_starved_credit_window_fires_spi045() {
+    use spi_analyze::TransportDecl;
+    let g = bounded_graph();
+    let d = derive(&g, 2, default_protocol);
+    // The in-memory transports are generous (SPI043 quiet), but the
+    // cross-partition socket edges grant a one-byte credit window.
+    let roomy: HashMap<EdgeId, TransportDecl> = d
+        .protocols
+        .keys()
+        .map(|&id| {
+            (
+                id,
+                TransportDecl {
+                    capacity_bytes: 1 << 20,
+                    message_bytes_max: 6,
+                    pool_slots: None,
+                },
+            )
+        })
+        .collect();
+    let starved_net: HashMap<EdgeId, TransportDecl> = d
+        .protocols
+        .keys()
+        .map(|&id| {
+            (
+                id,
+                TransportDecl {
+                    capacity_bytes: 1,
+                    message_bytes_max: 6,
+                    pool_slots: None,
+                },
+            )
+        })
+        .collect();
+    let report = Analyzer::default_pipeline().run(
+        &AnalysisInput::new(&g)
+            .with_vts(&d.vts)
+            .with_ipc(&d.ipc)
+            .with_sync(&d.sync)
+            .with_protocols(&d.protocols)
+            .with_transports(&roomy)
+            .with_net_transports(&starved_net),
+    );
+    let spi045: Vec<_> = report.with_code("SPI045").collect();
+    assert!(!spi045.is_empty(), "got: {}", report.render_human());
+    assert!(spi045.iter().all(|d| d.severity == Severity::Warning));
+    assert!(
+        spi045[0].message.contains("credit window"),
+        "names the mechanism that under-runs the bound"
+    );
+    assert!(
+        !codes(&report).contains(&"SPI043"),
+        "only the socket window is starved, not the in-memory buffers"
+    );
+}
+
+#[test]
+fn adequate_credit_window_stays_clean_of_spi045() {
+    use spi_analyze::TransportDecl;
+    let g = bounded_graph();
+    let d = derive(&g, 2, default_protocol);
+    let roomy: HashMap<EdgeId, TransportDecl> = d
+        .protocols
+        .keys()
+        .map(|&id| {
+            (
+                id,
+                TransportDecl {
+                    capacity_bytes: 1 << 20,
+                    message_bytes_max: 6,
+                    pool_slots: None,
+                },
+            )
+        })
+        .collect();
+    let report = Analyzer::default_pipeline().run(
+        &AnalysisInput::new(&g)
+            .with_vts(&d.vts)
+            .with_ipc(&d.ipc)
+            .with_sync(&d.sync)
+            .with_protocols(&d.protocols)
+            .with_net_transports(&roomy),
+    );
+    assert!(
+        !codes(&report).contains(&"SPI045"),
+        "got: {}",
+        report.render_human()
+    );
+}
+
 // ---- sync coverage ------------------------------------------------------
 
 #[test]

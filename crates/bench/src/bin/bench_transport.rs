@@ -34,6 +34,15 @@
 //! is 5% throughput overhead; the number lands in the `supervision`
 //! section of `BENCH_transport.json`.
 //!
+//! A distributed-loopback scenario (`fir_3pe_net_loopback`) runs the
+//! same 3-PE FIR frame pipeline with both edges carried by the `spi-net`
+//! socket transport (credit-windowed, length-framed Unix-domain
+//! socketpairs): the per-message price of crossing a process boundary
+//! relative to the in-process ring at the same 2 KiB frame size. The
+//! row lands in the `net_loopback` section of `BENCH_transport.json` —
+//! informational, no acceptance bar, since kernel socket copies are
+//! expected to dominate.
+//!
 //! Two further scenarios measure observability cost and are written to
 //! `BENCH_trace.json`: a 3-PE pipeline on the ring transport, once
 //! under the disabled `NopTracer` (untraced fast path) and once under a
@@ -51,6 +60,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use spi_apps::{FilterBankApp, FilterBankConfig};
+use spi_net::loopback;
 use spi_platform::{
     ChannelId, ChannelSpec, LockedTransport, NopTracer, Op, PointerTransport, Program,
     RingTransport, SupervisionPolicy, ThreadedRunner, Tracer, Transport, TransportKind,
@@ -399,6 +409,55 @@ fn token_fir_run(kind: TransportKind, messages: u64, frame: usize) -> Duration {
     token_fir_frames(messages, frame, t1.as_ref(), t2.as_ref(), &template)
 }
 
+/// The socket-transport scenario: the 3-PE FIR frame pipeline with both
+/// edges over `spi_net::loopback` socketpairs. The filter stage runs the
+/// same first-order FIR as `token_fir_frames`, but on the owned receive
+/// buffer — the socket path is copying by construction, so the token API
+/// would only re-measure the same copies.
+fn net_fir_run(messages: u64, frame: usize) -> Duration {
+    let spec = ChannelSpec {
+        capacity_bytes: 64 * frame,
+        max_message_bytes: frame,
+        ..ChannelSpec::default()
+    };
+    let (tx1, rx1) = loopback(&spec).expect("loopback c1");
+    let (tx2, rx2) = loopback(&spec).expect("loopback c2");
+    let template: Vec<u8> = (0..frame).map(|i| (i % 251) as u8).collect();
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let mut buf = template.clone();
+            for i in 0..messages {
+                buf[0] = i as u8; // per-message marker
+                tx1.send(&buf, TIMEOUT).expect("send frame");
+            }
+        });
+        s.spawn(|| {
+            for _ in 0..messages {
+                let mut buf = rx1.recv(TIMEOUT).expect("recv frame");
+                let mut prev = 0i64;
+                for chunk in buf.chunks_exact_mut(8) {
+                    let x = i64::from_le_bytes(chunk.try_into().expect("8-byte lane"));
+                    chunk.copy_from_slice(&((x + prev) / 2).to_le_bytes());
+                    prev = x;
+                }
+                tx2.send(&buf, TIMEOUT).expect("send filtered");
+            }
+        });
+        s.spawn(|| {
+            let mut acc = 0u64;
+            for _ in 0..messages {
+                let token = rx2.recv(TIMEOUT).expect("recv filtered");
+                acc = acc
+                    .wrapping_add(u64::from(token[0]))
+                    .wrapping_add(u64::from(token[frame - 1]));
+            }
+            std::hint::black_box(acc);
+        });
+    });
+    start.elapsed()
+}
+
 /// The same FIR pipeline on the ring transport, bare vs supervised
 /// (CRC-checked framing, sequence tracking, checkpoint bookkeeping,
 /// deadline-armed channel ops). No faults are injected — this measures
@@ -524,6 +583,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if ptr_met { "MET" } else { "NOT MET" }
     );
 
+    // Socket-transport cost: the same FIR frame pipeline with both
+    // edges over spi-net loopback socketpairs. Informational — the gap
+    // to the ring is the price of the process boundary.
+    let net_msgs = 20_000u64;
+    let net_t = best_of(|| net_fir_run(net_msgs, PTR_FRAME_BYTES));
+    let net_rate = net_msgs as f64 / net_t.as_secs_f64();
+    let net_vs_ring = net_rate / ptr_ring_rate;
+    println!(
+        "fir_3pe_net_loopback {:>8} msgs   net {:>10.0} msg/s   ring {:>10.0} msg/s   net/ring {:.2}x",
+        net_msgs, net_rate, ptr_ring_rate, net_vs_ring
+    );
+
     // Fault-free supervision overhead on the 3-PE FIR pipeline; repeats
     // alternate bare/supervised so host drift lands on both sides.
     let sup_iters = 30_000u64;
@@ -571,6 +642,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          \"locked_msgs_per_sec\": {ptr_locked_rate:.0}, \"ring_msgs_per_sec\": {ptr_ring_rate:.0}, \
          \"pointer_msgs_per_sec\": {ptr_ptr_rate:.0}, \"pointer_vs_ring\": {ptr_vs_ring:.3}, \
          \"criterion\": \"pointer >= 1.5x ring on the 3-PE FIR frame pipeline\", \"met\": {ptr_met}}},\n",
+    ));
+    json.push_str(&format!(
+        "  \"net_loopback\": {{\"scenario\": \"fir_3pe_net_loopback\", \
+         \"frame_bytes\": {PTR_FRAME_BYTES}, \"messages\": {net_msgs}, \
+         \"net_msgs_per_sec\": {net_rate:.0}, \"ring_msgs_per_sec\": {ptr_ring_rate:.0}, \
+         \"net_vs_ring\": {net_vs_ring:.3}, \
+         \"criterion\": \"informational — socket path vs in-process ring at 2 KiB frames\"}},\n",
     ));
     json.push_str(&format!(
         "  \"supervision\": {{\"scenario\": \"pipeline_3pe_fir\", \"messages\": {sup_msgs}, \

@@ -1,0 +1,261 @@
+//! Lowering a partitioned [`SpiSystem`] onto one node process.
+//!
+//! A distributed run builds the **same** system in every process (the
+//! SPI flow is deterministic, and the launcher's manifest cross-checks
+//! that determinism byte-for-byte), then each node keeps only its share:
+//!
+//! * the programs of the processors its partition block assigns to it;
+//! * per channel, an endpoint matching where the channel's two ends
+//!   live — an in-memory transport when both are local, a socket
+//!   endpoint ([`NetSender`] / [`NetReceiver`]) when the edge crosses
+//!   the partition, and a poisoned placeholder when the channel does
+//!   not touch this node at all (any use is a routing bug and fails
+//!   loudly rather than silently exchanging data with nobody).
+//!
+//! Socket establishment is deadlock-free by construction: every node
+//! binds **all** of its listeners before the launcher's barrier, and
+//! only connects after it, so no connect can race a missing listener.
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use spi::SpiSystem;
+use spi_platform::{framed_spec, ChannelSpec, Program, Transport, TransportError, TransportKind};
+use spi_sched::{Partition, ProcId};
+
+use crate::error::NetError;
+use crate::transport::{NetReceiver, NetSender};
+
+/// The two processors a channel connects (data channels run
+/// producer→consumer; UBS acknowledgement channels run the reverse).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelRole {
+    /// Processor whose program sends on this channel.
+    pub sender: ProcId,
+    /// Processor whose program receives on this channel.
+    pub receiver: ProcId,
+}
+
+/// A built system decomposed for multi-process deployment: the
+/// partition, every channel's spec and endpoint roles, and the
+/// per-processor programs (indexed by `ProcId`).
+pub struct Deployment {
+    /// Processor→node mapping (from [`spi::SpiSystemBuilder::partition`]).
+    pub partition: Partition,
+    /// Per-channel endpoint roles, indexed by `ChannelId`.
+    pub roles: Vec<ChannelRole>,
+    /// Per-channel logical specs (un-inflated; supervision framing is
+    /// applied at endpoint construction), indexed by `ChannelId`.
+    pub specs: Vec<ChannelSpec>,
+    /// One program per processor, indexed by `ProcId`.
+    programs: Vec<Program>,
+}
+
+/// Decomposes a partitioned system into its deployment parts.
+///
+/// Grab anything else you need from the system first (trace metadata,
+/// supervision deadline) — this consumes it.
+///
+/// # Errors
+///
+/// [`NetError::Unpartitioned`] when the system was built without a
+/// partition; [`NetError::UncoveredChannel`] if a platform channel
+/// belongs to no edge plan (a builder invariant violation).
+pub fn deploy(system: SpiSystem) -> Result<Deployment, NetError> {
+    let partition = system.partition().cloned().ok_or(NetError::Unpartitioned)?;
+    let mut role_of: Vec<Option<ChannelRole>> = Vec::new();
+    let mut set = |ch: usize, role: ChannelRole| {
+        if role_of.len() <= ch {
+            role_of.resize(ch + 1, None);
+        }
+        role_of[ch] = Some(role);
+    };
+    for plan in system.edge_plans().values() {
+        set(
+            plan.data_ch.0,
+            ChannelRole {
+                sender: plan.src_proc,
+                receiver: plan.dst_proc,
+            },
+        );
+        if let Some(ack) = plan.ack_ch {
+            set(
+                ack.0,
+                ChannelRole {
+                    sender: plan.dst_proc,
+                    receiver: plan.src_proc,
+                },
+            );
+        }
+    }
+    let (specs, programs) = system.into_parts();
+    if role_of.len() < specs.len() {
+        role_of.resize(specs.len(), None);
+    }
+    let roles = role_of
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.ok_or(NetError::UncoveredChannel(i)))
+        .collect::<Result<Vec<_>, _>>()?;
+    for role in &roles {
+        partition.node_of(role.sender)?;
+        partition.node_of(role.receiver)?;
+    }
+    Ok(Deployment {
+        partition,
+        roles,
+        specs,
+        programs,
+    })
+}
+
+impl Deployment {
+    /// Global processor ids hosted by `node`, ascending — also the
+    /// local-PE→global-processor map for that node's trace capture.
+    pub fn procs_on(&self, node: usize) -> Vec<usize> {
+        self.partition
+            .procs_on(node)
+            .into_iter()
+            .map(|p| p.0)
+            .collect()
+    }
+
+    /// Moves out the programs `node` should execute, in processor-id
+    /// order (local `PeId(i)` runs global processor `procs_on(node)[i]`).
+    pub fn take_local_programs(&mut self, node: usize) -> Vec<Program> {
+        let mine = self.procs_on(node);
+        std::mem::take(&mut self.programs)
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, prog)| mine.contains(&i).then_some(prog))
+            .collect()
+    }
+
+    /// Whether channel `ch` crosses the partition boundary.
+    pub fn is_cross(&self, ch: usize) -> bool {
+        self.partition
+            .is_cross(self.roles[ch].sender, self.roles[ch].receiver)
+    }
+}
+
+/// Filesystem path of the socket carrying channel `ch` (the receiver
+/// binds it; the sender connects to it).
+pub fn socket_path(dir: &Path, ch: usize) -> PathBuf {
+    dir.join(format!("c{ch}.sock"))
+}
+
+/// Builds this node's endpoint for every channel. Two-phase: all
+/// listeners are bound first, then `barrier` runs (the worker reports
+/// READY and waits for the launcher's PROCEED — i.e. for *every* node's
+/// binds), then senders connect. Under supervision each endpoint is
+/// sized with [`framed_spec`], matching what the supervised runner
+/// expects of pre-built endpoints.
+///
+/// The caller applies any fault-injection decorator to the result; this
+/// function hands back bare endpoints.
+///
+/// # Errors
+///
+/// Socket errors, partition lookups out of range, or the barrier's own
+/// failure.
+pub fn build_endpoints(
+    d: &Deployment,
+    node: usize,
+    dir: &Path,
+    local_kind: TransportKind,
+    supervised: bool,
+    barrier: impl FnOnce() -> Result<(), NetError>,
+) -> Result<Vec<Box<dyn Transport>>, NetError> {
+    let eff: Vec<ChannelSpec> = d
+        .specs
+        .iter()
+        .map(|s| if supervised { framed_spec(s) } else { *s })
+        .collect();
+    let mut slots: Vec<Option<Box<dyn Transport>>> = (0..d.specs.len()).map(|_| None).collect();
+    for (ch, role) in d.roles.iter().enumerate() {
+        let s_node = d.partition.node_of(role.sender)?;
+        let r_node = d.partition.node_of(role.receiver)?;
+        if r_node == node && s_node != node {
+            let recv = NetReceiver::bind(&socket_path(dir, ch), &eff[ch])?;
+            slots[ch] = Some(Box::new(recv));
+        }
+    }
+    barrier()?;
+    for (ch, role) in d.roles.iter().enumerate() {
+        let s_node = d.partition.node_of(role.sender)?;
+        let r_node = d.partition.node_of(role.receiver)?;
+        slots[ch] = match (s_node == node, r_node == node) {
+            (true, false) => Some(Box::new(NetSender::connect(
+                &socket_path(dir, ch),
+                &eff[ch],
+            )?)),
+            (true, true) => Some(local_kind.instantiate(&eff[ch])),
+            (false, true) => slots[ch].take(), // bound above
+            (false, false) => Some(Box::new(UnmappedChannel {
+                spec: eff[ch],
+                channel: ch,
+                node,
+            })),
+        };
+    }
+    Ok(slots
+        .into_iter()
+        .map(|s| s.expect("every channel slot filled"))
+        .collect())
+}
+
+/// Placeholder endpoint for a channel whose two ends both live on other
+/// nodes. The accessors answer honestly (deadlock reports may consult
+/// them); any data operation is a routing bug and panics with the
+/// channel id.
+struct UnmappedChannel {
+    spec: ChannelSpec,
+    channel: usize,
+    node: usize,
+}
+
+impl UnmappedChannel {
+    fn misroute(&self) -> ! {
+        panic!(
+            "channel {} is not mapped to node {}: both endpoints live elsewhere, \
+             yet a local program touched it (partition/program mismatch)",
+            self.channel, self.node
+        );
+    }
+}
+
+impl Transport for UnmappedChannel {
+    fn capacity_bytes(&self) -> usize {
+        self.spec.capacity_bytes
+    }
+    fn max_message_bytes(&self) -> usize {
+        self.spec.max_message_bytes
+    }
+    fn len_bytes(&self) -> usize {
+        0
+    }
+    fn occupancy(&self) -> usize {
+        0
+    }
+    fn try_send(&self, _data: &[u8]) -> Result<(), TransportError> {
+        self.misroute()
+    }
+    fn try_recv(&self) -> Result<Vec<u8>, TransportError> {
+        self.misroute()
+    }
+    fn send_with(
+        &self,
+        _len: usize,
+        _fill: &mut dyn FnMut(&mut [u8]),
+        _timeout: Duration,
+    ) -> Result<(), TransportError> {
+        self.misroute()
+    }
+    fn recv_with(
+        &self,
+        _consume: &mut dyn FnMut(&[u8]),
+        _timeout: Duration,
+    ) -> Result<(), TransportError> {
+        self.misroute()
+    }
+}

@@ -1,0 +1,560 @@
+//! [`Transport`] over Unix-domain sockets with an eq. (2) credit window.
+//!
+//! A cross-process SPI channel is one socket carrying length-prefixed
+//! data records sender→receiver and 4-byte credit acknowledgements
+//! receiver→sender. Capacity is enforced **sender-side**: the sender
+//! starts with a credit balance equal to the channel's
+//! [`ChannelSpec::capacity_bytes`] (the eq. (2) allocation, inflated by
+//! [`spi_platform::framed_spec`] under supervision), debits every send
+//! by its payload size, and blocks when the balance cannot cover the
+//! next message. The receiver returns credits only when the application
+//! actually **consumes** a message — not on socket arrival — so the
+//! bytes in flight across socket buffers and the receive queue together
+//! never exceed the eq. (2) bound, exactly like the in-memory ring.
+//!
+//! Supervision frames (`[seq][crc32]`, PR 4) ride opaquely inside the
+//! data records; corruption injected by a [`spi_fault`] decorator on
+//! the sender's side hits real frame bytes and is caught by the
+//! receiver's CRC check in the supervised runner, unchanged.
+//!
+//! Error semantics mirror [`spi_platform::RingTransport`]:
+//! [`TransportError::Timeout`] carries the configured deadline and the
+//! time since the channel last made progress; non-blocking ops return
+//! [`TransportError::Full`] / [`TransportError::Empty`]; oversized
+//! payloads return [`TransportError::TooLarge`] without consuming
+//! credits. A torn connection (peer exit, socket error) parks the
+//! channel in a closed state where blocking ops fail fast with a
+//! `Timeout` — the supervised runner's retry/degrade machinery treats
+//! that like any other unresponsive peer.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use spi_platform::{ChannelSpec, Transport, TransportError};
+
+use crate::wire::{read_record, write_record};
+
+/// How long [`NetSender::connect`] keeps retrying a missing socket path
+/// before giving up — covers the window between the launcher's PROCEED
+/// and a peer node finishing its binds under load.
+pub const CONNECT_RETRY_WINDOW: Duration = Duration::from_secs(10);
+
+const CONNECT_RETRY_STEP: Duration = Duration::from_millis(5);
+
+fn effective_capacity(spec: &ChannelSpec) -> usize {
+    // Like the in-memory transports, a channel always admits at least
+    // one maximum-size message so progress can never wedge on a spec
+    // whose capacity under-runs its own message bound.
+    spec.capacity_bytes.max(spec.max_message_bytes.max(1))
+}
+
+fn closed_err(timeout: Duration, since: Instant) -> TransportError {
+    // `idle` never exceeds the configured deadline (scheduling jitter
+    // can overshoot it); RingTransport reports the same shape.
+    TransportError::Timeout {
+        after: timeout,
+        idle: since.elapsed().min(timeout),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sender
+// ---------------------------------------------------------------------
+
+struct SenderState {
+    /// Unspent credit bytes; `capacity - credits` is the in-flight load.
+    credits: usize,
+    /// Messages sent but not yet consumed by the peer.
+    in_flight_msgs: usize,
+    /// Monotonic count of credit grants, for idle tracking.
+    grants: u64,
+}
+
+struct SenderShared {
+    capacity: usize,
+    max_msg: usize,
+    state: Mutex<SenderState>,
+    credit_back: Condvar,
+    closed: AtomicBool,
+    stream: Mutex<UnixStream>,
+}
+
+/// The sending endpoint of a cross-process channel.
+///
+/// Owns the socket's write half and a background thread draining credit
+/// acknowledgements from the read half.
+pub struct NetSender {
+    shared: Arc<SenderShared>,
+}
+
+impl NetSender {
+    /// Connects to the receiving endpoint at `path`, retrying for up to
+    /// [`CONNECT_RETRY_WINDOW`] while the peer is still binding.
+    ///
+    /// # Errors
+    ///
+    /// The final connect error if the window elapses.
+    pub fn connect(path: &Path, spec: &ChannelSpec) -> std::io::Result<NetSender> {
+        let deadline = Instant::now() + CONNECT_RETRY_WINDOW;
+        let stream = loop {
+            match UnixStream::connect(path) {
+                Ok(s) => break s,
+                Err(e) if Instant::now() < deadline => {
+                    let _ = e;
+                    std::thread::sleep(CONNECT_RETRY_STEP);
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        Ok(NetSender::from_stream(stream, spec))
+    }
+
+    /// Wraps an already-connected stream (socketpair loopback, tests).
+    pub fn from_stream(stream: UnixStream, spec: &ChannelSpec) -> NetSender {
+        let capacity = effective_capacity(spec);
+        let shared = Arc::new(SenderShared {
+            capacity,
+            max_msg: spec.max_message_bytes.max(1),
+            state: Mutex::new(SenderState {
+                credits: capacity,
+                in_flight_msgs: 0,
+                grants: 0,
+            }),
+            credit_back: Condvar::new(),
+            closed: AtomicBool::new(false),
+            stream: Mutex::new(stream.try_clone().expect("clone socket")),
+        });
+        let reader = Arc::clone(&shared);
+        // Detached on purpose: the thread holds only the Arc and exits
+        // as soon as the socket EOFs or errors (Drop shuts it down).
+        std::thread::spawn(move || {
+            let mut rx = stream;
+            loop {
+                match read_record(&mut rx) {
+                    Ok(Some(ack)) if ack.len() == 4 => {
+                        let freed = u32::from_le_bytes(ack.try_into().expect("4 bytes")) as usize;
+                        let mut st = reader.state.lock().expect("sender state");
+                        st.credits = (st.credits + freed).min(reader.capacity);
+                        st.in_flight_msgs = st.in_flight_msgs.saturating_sub(1);
+                        st.grants += 1;
+                        drop(st);
+                        reader.credit_back.notify_all();
+                    }
+                    // Malformed ack, clean EOF, or socket error: the
+                    // channel is unusable either way.
+                    _ => break,
+                }
+            }
+            reader.closed.store(true, Ordering::Release);
+            reader.credit_back.notify_all();
+        });
+        NetSender { shared }
+    }
+
+    fn closed(&self) -> bool {
+        self.shared.closed.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for NetSender {
+    fn drop(&mut self) {
+        self.shared.closed.store(true, Ordering::Release);
+        if let Ok(s) = self.shared.stream.lock() {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+        self.shared.credit_back.notify_all();
+    }
+}
+
+impl Transport for NetSender {
+    fn capacity_bytes(&self) -> usize {
+        self.shared.capacity
+    }
+
+    fn max_message_bytes(&self) -> usize {
+        self.shared.max_msg
+    }
+
+    fn len_bytes(&self) -> usize {
+        let st = self.shared.state.lock().expect("sender state");
+        self.shared.capacity - st.credits
+    }
+
+    fn occupancy(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("sender state")
+            .in_flight_msgs
+    }
+
+    fn snapshot(&self) -> (usize, usize) {
+        let st = self.shared.state.lock().expect("sender state");
+        (self.shared.capacity - st.credits, st.in_flight_msgs)
+    }
+
+    fn try_send(&self, data: &[u8]) -> Result<(), TransportError> {
+        self.send_with(
+            data.len(),
+            &mut |buf| buf.copy_from_slice(data),
+            Duration::ZERO,
+        )
+        .map_err(|e| match e {
+            TransportError::Timeout { .. } => TransportError::Full,
+            other => other,
+        })
+    }
+
+    fn try_recv(&self) -> Result<Vec<u8>, TransportError> {
+        unreachable!("receive on the sending endpoint of a network channel")
+    }
+
+    fn send_with(
+        &self,
+        len: usize,
+        fill: &mut dyn FnMut(&mut [u8]),
+        timeout: Duration,
+    ) -> Result<(), TransportError> {
+        if len > self.shared.max_msg {
+            return Err(TransportError::TooLarge {
+                bytes: len,
+                max: self.shared.max_msg,
+            });
+        }
+        let start = Instant::now();
+        let deadline = start + timeout;
+        {
+            let mut st = self.shared.state.lock().expect("sender state");
+            let mut seen_grants = st.grants;
+            let mut progress_at = start;
+            // An idle channel always admits one message (credits start
+            // at full capacity ≥ max_msg), so this loop cannot wedge on
+            // a degenerate spec.
+            while st.credits < len {
+                if self.closed() {
+                    return Err(closed_err(timeout, start));
+                }
+                let now = Instant::now();
+                if st.grants != seen_grants {
+                    seen_grants = st.grants;
+                    progress_at = now;
+                }
+                if now >= deadline {
+                    return Err(TransportError::Timeout {
+                        after: timeout,
+                        idle: now.duration_since(progress_at).min(timeout),
+                    });
+                }
+                let (guard, _) = self
+                    .shared
+                    .credit_back
+                    .wait_timeout(st, deadline - now)
+                    .expect("sender state");
+                st = guard;
+            }
+            st.credits -= len;
+            st.in_flight_msgs += 1;
+        }
+        let mut payload = vec![0u8; len];
+        fill(&mut payload);
+        let mut tx = self.shared.stream.lock().expect("sender stream");
+        if write_record(&mut *tx as &mut dyn Write, &payload).is_err() {
+            self.shared.closed.store(true, Ordering::Release);
+            return Err(closed_err(timeout, start));
+        }
+        Ok(())
+    }
+
+    fn recv_with(
+        &self,
+        _consume: &mut dyn FnMut(&[u8]),
+        _timeout: Duration,
+    ) -> Result<(), TransportError> {
+        unreachable!("receive on the sending endpoint of a network channel")
+    }
+}
+
+// ---------------------------------------------------------------------
+// Receiver
+// ---------------------------------------------------------------------
+
+struct ReceiverState {
+    queue: VecDeque<Vec<u8>>,
+    queued_bytes: usize,
+    /// Monotonic count of arrivals, for idle tracking.
+    arrivals: u64,
+}
+
+/// The credit-ack write half plus the drop flag, under one lock so the
+/// endpoint's `Drop` and the pump thread cannot race past each other:
+/// whichever runs second sees the other's effect and performs the
+/// socket shutdown exactly once.
+#[derive(Default)]
+struct AckSlot {
+    /// Populated by the pump once the connection exists (immediately
+    /// for socketpair construction, after accept when bound).
+    stream: Option<UnixStream>,
+    /// Set by the endpoint's `Drop`.
+    dropped: bool,
+}
+
+struct ReceiverShared {
+    capacity: usize,
+    max_msg: usize,
+    state: Mutex<ReceiverState>,
+    arrived: Condvar,
+    closed: AtomicBool,
+    ack_tx: Mutex<AckSlot>,
+}
+
+/// The receiving endpoint of a cross-process channel.
+///
+/// A background thread (accepting first, when bound to a listener)
+/// drains data records into a bounded-by-protocol queue; consuming a
+/// message returns its bytes to the sender as a credit acknowledgement.
+pub struct NetReceiver {
+    shared: Arc<ReceiverShared>,
+    /// Socket path to poke on Drop so a never-connected accept thread
+    /// unblocks and exits.
+    listener_path: Option<std::path::PathBuf>,
+}
+
+impl NetReceiver {
+    /// Binds a listener at `path` and accepts the sender's connection
+    /// in the background. The path must not exist yet.
+    ///
+    /// # Errors
+    ///
+    /// Any bind error.
+    pub fn bind(path: &Path, spec: &ChannelSpec) -> std::io::Result<NetReceiver> {
+        let listener = UnixListener::bind(path)?;
+        let shared = Self::shared_for(spec);
+        let reader = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            let Ok((stream, _)) = listener.accept() else {
+                reader.closed.store(true, Ordering::Release);
+                reader.arrived.notify_all();
+                return;
+            };
+            Self::pump(&reader, stream);
+        });
+        Ok(NetReceiver {
+            shared,
+            listener_path: Some(path.to_path_buf()),
+        })
+    }
+
+    /// Wraps an already-connected stream (socketpair loopback, tests).
+    pub fn from_stream(stream: UnixStream, spec: &ChannelSpec) -> NetReceiver {
+        let shared = Self::shared_for(spec);
+        let reader = Arc::clone(&shared);
+        std::thread::spawn(move || Self::pump(&reader, stream));
+        NetReceiver {
+            shared,
+            listener_path: None,
+        }
+    }
+
+    fn shared_for(spec: &ChannelSpec) -> Arc<ReceiverShared> {
+        Arc::new(ReceiverShared {
+            capacity: effective_capacity(spec),
+            max_msg: spec.max_message_bytes.max(1),
+            state: Mutex::new(ReceiverState {
+                queue: VecDeque::new(),
+                queued_bytes: 0,
+                arrivals: 0,
+            }),
+            arrived: Condvar::new(),
+            closed: AtomicBool::new(false),
+            ack_tx: Mutex::new(AckSlot::default()),
+        })
+    }
+
+    /// Reads data records off `stream` into the queue until EOF/error.
+    fn pump(shared: &Arc<ReceiverShared>, stream: UnixStream) {
+        {
+            let mut slot = shared.ack_tx.lock().expect("ack stream");
+            if slot.dropped {
+                // The endpoint was dropped before the connection came
+                // up; tear it down here — Drop could not, it never saw
+                // a stream.
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+                return;
+            }
+            slot.stream = stream.try_clone().ok();
+        }
+        let mut rx = stream;
+        while let Ok(Some(msg)) = read_record(&mut rx) {
+            let mut st = shared.state.lock().expect("receiver state");
+            st.queued_bytes += msg.len();
+            st.arrivals += 1;
+            st.queue.push_back(msg);
+            drop(st);
+            shared.arrived.notify_all();
+        }
+        shared.closed.store(true, Ordering::Release);
+        shared.arrived.notify_all();
+    }
+
+    fn closed(&self) -> bool {
+        self.shared.closed.load(Ordering::Acquire)
+    }
+
+    /// Returns `msg.len()` bytes of credit to the sender.
+    fn ack(&self, freed: usize) {
+        let mut slot = self.shared.ack_tx.lock().expect("ack stream");
+        if let Some(tx) = slot.stream.as_mut() {
+            let bytes = (freed as u32).to_le_bytes();
+            if write_record(tx as &mut dyn Write, &bytes).is_err() {
+                self.shared.closed.store(true, Ordering::Release);
+            }
+        }
+    }
+}
+
+impl Drop for NetReceiver {
+    fn drop(&mut self) {
+        self.shared.closed.store(true, Ordering::Release);
+        let connected = {
+            let mut slot = self.shared.ack_tx.lock().expect("ack stream");
+            slot.dropped = true;
+            if let Some(tx) = slot.stream.as_ref() {
+                let _ = tx.shutdown(std::net::Shutdown::Both);
+                true
+            } else {
+                false
+            }
+        };
+        // No connection yet: either the pump will see `dropped` and
+        // shut the socket itself, or the accept is still parked — poke
+        // it with a throwaway connection so the thread exits.
+        if !connected {
+            if let Some(path) = &self.listener_path {
+                let _ = UnixStream::connect(path);
+            }
+        }
+        if let Some(path) = &self.listener_path {
+            let _ = std::fs::remove_file(path);
+        }
+        self.shared.arrived.notify_all();
+    }
+}
+
+impl Transport for NetReceiver {
+    fn capacity_bytes(&self) -> usize {
+        self.shared.capacity
+    }
+
+    fn max_message_bytes(&self) -> usize {
+        self.shared.max_msg
+    }
+
+    fn len_bytes(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("receiver state")
+            .queued_bytes
+    }
+
+    fn occupancy(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("receiver state")
+            .queue
+            .len()
+    }
+
+    fn snapshot(&self) -> (usize, usize) {
+        let st = self.shared.state.lock().expect("receiver state");
+        (st.queued_bytes, st.queue.len())
+    }
+
+    fn try_send(&self, _data: &[u8]) -> Result<(), TransportError> {
+        unreachable!("send on the receiving endpoint of a network channel")
+    }
+
+    fn try_recv(&self) -> Result<Vec<u8>, TransportError> {
+        let msg = {
+            let mut st = self.shared.state.lock().expect("receiver state");
+            match st.queue.pop_front() {
+                Some(m) => {
+                    st.queued_bytes -= m.len();
+                    m
+                }
+                None => return Err(TransportError::Empty),
+            }
+        };
+        self.ack(msg.len());
+        Ok(msg)
+    }
+
+    fn send_with(
+        &self,
+        _len: usize,
+        _fill: &mut dyn FnMut(&mut [u8]),
+        _timeout: Duration,
+    ) -> Result<(), TransportError> {
+        unreachable!("send on the receiving endpoint of a network channel")
+    }
+
+    fn recv_with(
+        &self,
+        consume: &mut dyn FnMut(&[u8]),
+        timeout: Duration,
+    ) -> Result<(), TransportError> {
+        let start = Instant::now();
+        let deadline = start + timeout;
+        let msg = {
+            let mut st = self.shared.state.lock().expect("receiver state");
+            let mut seen_arrivals = st.arrivals;
+            let mut progress_at = start;
+            loop {
+                if let Some(m) = st.queue.pop_front() {
+                    st.queued_bytes -= m.len();
+                    break m;
+                }
+                if self.closed() {
+                    return Err(closed_err(timeout, start));
+                }
+                let now = Instant::now();
+                if st.arrivals != seen_arrivals {
+                    seen_arrivals = st.arrivals;
+                    progress_at = now;
+                }
+                if now >= deadline {
+                    return Err(TransportError::Timeout {
+                        after: timeout,
+                        idle: now.duration_since(progress_at).min(timeout),
+                    });
+                }
+                let (guard, _) = self
+                    .shared
+                    .arrived
+                    .wait_timeout(st, deadline - now)
+                    .expect("receiver state");
+                st = guard;
+            }
+        };
+        consume(&msg);
+        self.ack(msg.len());
+        Ok(())
+    }
+}
+
+/// A connected loopback channel over `socketpair(2)` — both endpoints
+/// in one process, the full wire protocol in between. The workhorse of
+/// the transport tests and the `fir_3pe_net_loopback` benchmark.
+pub fn loopback(spec: &ChannelSpec) -> std::io::Result<(NetSender, NetReceiver)> {
+    let (a, b) = UnixStream::pair()?;
+    Ok((
+        NetSender::from_stream(a, spec),
+        NetReceiver::from_stream(b, spec),
+    ))
+}

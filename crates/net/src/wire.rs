@@ -1,0 +1,374 @@
+//! Length-prefixed message framing over byte streams.
+//!
+//! Everything `spi-net` puts on a socket — data messages (which already
+//! carry the supervision layer's `[seq][crc32]` frame when the run is
+//! supervised), credit acknowledgements, and the control-plane handshake
+//! — travels as `[len: u32 LE][len bytes]` records. The codec is
+//! deliberately resilient to the two stream pathologies TCP/Unix sockets
+//! exhibit under load: **short reads** (a record arriving split across
+//! an arbitrary number of `read` returns, including mid-prefix) and
+//! **short writes** (the kernel accepting only part of a buffer per
+//! `write`). `read_record` reassembles across both; `write_record`
+//! relies on `write_all`, which loops over partial acceptance.
+//!
+//! A second concern the codec owns is **structured field encoding** for
+//! the control plane: the handshake exchanges manifests and result
+//! blobs as flat sequences of integers, byte strings and lists, encoded
+//! with the `put_*`/[`WireReader`] helpers here rather than trusting a
+//! general serializer with cross-process wire data.
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on a single wire record. Anything larger is treated as
+/// stream corruption rather than an allocation request: a legal SPI
+/// message is bounded by its channel's eq. (1) packed size, and control
+/// blobs (traces, artifacts) stay far below this.
+pub const MAX_RECORD_BYTES: usize = 256 << 20;
+
+/// Writes one `[len][bytes]` record and flushes.
+///
+/// # Errors
+///
+/// Any I/O error from the underlying stream; records larger than
+/// [`MAX_RECORD_BYTES`] are rejected with `InvalidInput`.
+pub fn write_record(w: &mut dyn Write, bytes: &[u8]) -> io::Result<()> {
+    if bytes.len() > MAX_RECORD_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("record of {} bytes exceeds wire bound", bytes.len()),
+        ));
+    }
+    let len = bytes.len() as u32;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Reads one `[len][bytes]` record, reassembling across arbitrarily
+/// split reads. Returns `None` on a clean end-of-stream **at a record
+/// boundary** (the peer closed between records).
+///
+/// # Errors
+///
+/// `UnexpectedEof` when the stream ends mid-prefix or mid-payload (a
+/// truncated record is a fault, not a clean shutdown); `InvalidData`
+/// for a length prefix beyond [`MAX_RECORD_BYTES`]; any other I/O error
+/// from the stream.
+pub fn read_record(r: &mut dyn Read) -> io::Result<Option<Vec<u8>>> {
+    let mut prefix = [0u8; 4];
+    let mut got = 0usize;
+    while got < prefix.len() {
+        match r.read(&mut prefix[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!("stream ended {got} byte(s) into a record length prefix"),
+                ));
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > MAX_RECORD_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("record length {len} exceeds wire bound"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    let mut filled = 0usize;
+    while filled < len {
+        match r.read(&mut payload[filled..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!("stream ended {filled}/{len} byte(s) into a record payload"),
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(payload))
+}
+
+// ---------------------------------------------------------------------
+// Structured field encoding for control-plane blobs
+// ---------------------------------------------------------------------
+
+/// Appends a `u32` (LE) to a control blob.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64` (LE) to a control blob.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `i64` (LE) to a control blob.
+pub fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a length-prefixed byte string to a control blob.
+pub fn put_bytes(out: &mut Vec<u8>, v: &[u8]) {
+    put_u64(out, v.len() as u64);
+    out.extend_from_slice(v);
+}
+
+/// Appends a length-prefixed UTF-8 string to a control blob.
+pub fn put_str(out: &mut Vec<u8>, v: &str) {
+    put_bytes(out, v.as_bytes());
+}
+
+/// Cursor over a control blob written with the `put_*` helpers. Every
+/// read is bounds-checked: a truncated or reordered blob surfaces as a
+/// decode error, never a panic or a misread.
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+/// A malformed control blob (truncated field, oversized length, invalid
+/// UTF-8).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireDecodeError {
+    /// Byte offset the decode failed at.
+    pub at: usize,
+    /// What was being decoded.
+    pub what: String,
+}
+
+impl std::fmt::Display for WireDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire decode failed at byte {}: {}", self.at, self.what)
+    }
+}
+
+impl std::error::Error for WireDecodeError {}
+
+impl<'a> WireReader<'a> {
+    /// A reader over `buf` starting at offset 0.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], WireDecodeError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let s = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(WireDecodeError {
+                at: self.pos,
+                what: format!("truncated {what} ({n} byte(s) wanted)"),
+            }),
+        }
+    }
+
+    /// Reads a `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireDecodeError`] on truncation.
+    pub fn u32(&mut self, what: &str) -> Result<u32, WireDecodeError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireDecodeError`] on truncation.
+    pub fn u64(&mut self, what: &str) -> Result<u64, WireDecodeError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Reads an `i64`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireDecodeError`] on truncation.
+    pub fn i64(&mut self, what: &str) -> Result<i64, WireDecodeError> {
+        let b = self.take(8, what)?;
+        Ok(i64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a length-prefixed byte string.
+    ///
+    /// # Errors
+    ///
+    /// [`WireDecodeError`] on truncation or an oversized length.
+    pub fn bytes(&mut self, what: &str) -> Result<&'a [u8], WireDecodeError> {
+        let len = self.u64(what)? as usize;
+        if len > MAX_RECORD_BYTES {
+            return Err(WireDecodeError {
+                at: self.pos,
+                what: format!("{what} length {len} exceeds wire bound"),
+            });
+        }
+        self.take(len, what)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// [`WireDecodeError`] on truncation or invalid UTF-8.
+    pub fn str(&mut self, what: &str) -> Result<&'a str, WireDecodeError> {
+        let at = self.pos;
+        let b = self.bytes(what)?;
+        std::str::from_utf8(b).map_err(|_| WireDecodeError {
+            at,
+            what: format!("{what} is not valid UTF-8"),
+        })
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reader that returns at most `chunk` bytes per `read` call —
+    /// the short-read pathology, deterministically.
+    struct Chunked<'a> {
+        data: &'a [u8],
+        pos: usize,
+        chunk: usize,
+    }
+
+    impl Read for Chunked<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let n = self.chunk.min(buf.len()).min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    /// A writer that accepts at most `chunk` bytes per `write` call —
+    /// the short-write pathology (`write_all` must loop over it).
+    struct ChunkedWriter {
+        out: Vec<u8>,
+        chunk: usize,
+    }
+
+    impl Write for ChunkedWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            let n = self.chunk.min(buf.len());
+            self.out.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn roundtrip_survives_single_byte_reads_and_writes() {
+        let payload: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let mut w = ChunkedWriter {
+            out: Vec::new(),
+            chunk: 1,
+        };
+        write_record(&mut w, &payload).unwrap();
+        assert_eq!(w.out.len(), 4 + payload.len());
+
+        for chunk in [1, 2, 3, 5, 7, 1000] {
+            let mut r = Chunked {
+                data: &w.out,
+                pos: 0,
+                chunk,
+            };
+            let got = read_record(&mut r).unwrap().unwrap();
+            assert_eq!(got, payload, "chunk size {chunk}");
+            assert_eq!(read_record(&mut r).unwrap(), None, "clean EOF after");
+        }
+    }
+
+    #[test]
+    fn eof_at_boundary_is_none_mid_record_is_error() {
+        // Clean EOF before any byte.
+        let mut empty: &[u8] = &[];
+        assert_eq!(read_record(&mut empty).unwrap(), None);
+
+        // Every truncated prefix of a full record must error, not hang
+        // or return a partial message.
+        let mut full = Vec::new();
+        write_record(&mut full, b"hello world").unwrap();
+        for cut in 1..full.len() {
+            let mut r: &[u8] = &full[..cut];
+            let err = read_record(&mut r).unwrap_err();
+            assert_eq!(
+                err.kind(),
+                io::ErrorKind::UnexpectedEof,
+                "cut at {cut} byte(s)"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_prefix_through_chunked_reader_errors() {
+        let mut full = Vec::new();
+        write_record(&mut full, &[7u8; 64]).unwrap();
+        // 2 bytes of the 4-byte prefix, dribbled one byte at a time.
+        let mut r = Chunked {
+            data: &full[..2],
+            pos: 0,
+            chunk: 1,
+        };
+        let err = read_record(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        assert!(err.to_string().contains("length prefix"));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut r: &[u8] = &bad;
+        let err = read_record(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn structured_fields_roundtrip() {
+        let mut blob = Vec::new();
+        put_u32(&mut blob, 42);
+        put_u64(&mut blob, u64::MAX - 1);
+        put_i64(&mut blob, -123_456_789);
+        put_str(&mut blob, "filterbank");
+        put_bytes(&mut blob, &[1, 2, 3]);
+
+        let mut r = WireReader::new(&blob);
+        assert_eq!(r.u32("a").unwrap(), 42);
+        assert_eq!(r.u64("b").unwrap(), u64::MAX - 1);
+        assert_eq!(r.i64("c").unwrap(), -123_456_789);
+        assert_eq!(r.str("d").unwrap(), "filterbank");
+        assert_eq!(r.bytes("e").unwrap(), &[1, 2, 3]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn structured_decode_reports_truncation() {
+        let mut blob = Vec::new();
+        put_str(&mut blob, "abc");
+        let mut r = WireReader::new(&blob[..blob.len() - 1]);
+        let err = r.str("name").unwrap_err();
+        assert!(err.to_string().contains("name"));
+    }
+}

@@ -1,0 +1,89 @@
+//! End-to-end: the filter bank partitioned across two OS processes must
+//! produce byte-identical output to the single-process path — clean and
+//! under socket-level fault injection — and the merged distributed
+//! trace must pass the same conformance and race checkers as a local
+//! capture.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use spi_trace::Trace;
+
+fn run_launch(extra: &[&str], trace_name: &str) -> Trace {
+    let trace_out = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(trace_name);
+    let out = Command::new(env!("CARGO_BIN_EXE_spi-noded"))
+        .args([
+            "launch",
+            "--app",
+            "filterbank",
+            "--nodes",
+            "2",
+            "--iters",
+            "8",
+            "--trace-out",
+        ])
+        .arg(&trace_out)
+        .args(extra)
+        .output()
+        .expect("spawn spi-noded");
+    assert!(
+        out.status.success(),
+        "launch failed\nstdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The launcher itself compares against a fresh single-process run.
+    assert!(
+        stdout.contains("byte-identical to single-process: true"),
+        "missing byte-identity line in:\n{stdout}"
+    );
+    let text = std::fs::read_to_string(&trace_out).expect("merged trace written");
+    Trace::from_native(&text).expect("merged trace parses")
+}
+
+#[test]
+fn two_process_run_is_byte_identical_and_trace_conformant() {
+    let trace = run_launch(&[], "e2e_clean.trace");
+    let report = spi_trace::check(&trace);
+    assert!(
+        !report.has_errors(),
+        "trace-check on merged trace:\n{}",
+        report.render_human()
+    );
+    let races = spi_verify::race_check(&trace);
+    assert!(
+        !races.has_errors(),
+        "race-check on merged trace:\n{}",
+        races.render_human()
+    );
+    assert!(
+        trace.events.iter().any(|e| e.pe.0 == 2),
+        "remote node's processor must appear in the merged trace"
+    );
+}
+
+#[test]
+fn two_process_chaos_run_recovers_to_identical_output() {
+    // --chaos injects one drop, one corruption, and one duplication on
+    // cross-partition sockets; supervision must recover all three and
+    // the launcher still demands byte-identical output.
+    let trace = run_launch(&["--chaos"], "e2e_chaos.trace");
+    let report = spi_trace::check(&trace);
+    assert!(
+        !report.has_errors(),
+        "trace-check on faulted merged trace:\n{}",
+        report.render_human()
+    );
+}
+
+#[test]
+fn supervised_two_process_run_stays_identical() {
+    let trace = run_launch(&["--supervised"], "e2e_supervised.trace");
+    let races = spi_verify::race_check(&trace);
+    assert!(
+        !races.has_errors(),
+        "race-check on supervised merged trace:\n{}",
+        races.render_human()
+    );
+}

@@ -1,0 +1,239 @@
+//! Socket transport semantics: the `NetSender`/`NetReceiver` pair must
+//! behave like the in-memory transports — eq. (2)-sized capacity
+//! enforced at the sender, `RingTransport`-shaped errors, nonblocking
+//! try-ops — and the framing codec must survive arbitrarily fragmented
+//! socket I/O.
+
+use std::io::{Read, Write};
+use std::time::Duration;
+
+use spi_net::wire::{read_record, write_record};
+use spi_net::{loopback, socket_path, NetReceiver, NetSender};
+use spi_platform::{
+    decode_frame, encode_frame_into, ChannelSpec, FrameError, Transport, TransportError,
+    FRAME_HEADER_BYTES,
+};
+
+fn spec(capacity: usize, max_msg: usize) -> ChannelSpec {
+    ChannelSpec {
+        capacity_bytes: capacity,
+        max_message_bytes: max_msg,
+        ..ChannelSpec::default()
+    }
+}
+
+#[test]
+fn payloads_cross_the_socket_byte_accurately() {
+    let (tx, rx) = loopback(&spec(4096, 512)).expect("loopback");
+    for i in 0..64u32 {
+        let msg: Vec<u8> = (0..((i % 37) + 1)).map(|b| (b ^ i) as u8).collect();
+        tx.send(&msg, Duration::from_secs(5)).expect("send");
+        let got = rx.recv(Duration::from_secs(5)).expect("recv");
+        assert_eq!(got, msg, "message {i} mangled in transit");
+    }
+}
+
+#[test]
+fn sender_side_credit_window_enforces_declared_capacity() {
+    // Two 8-byte messages fill the 16-byte window; the third must see
+    // Full without the receiver ever draining.
+    let (tx, _rx) = loopback(&spec(16, 8)).expect("loopback");
+    tx.try_send(&[1u8; 8]).expect("first fits");
+    tx.try_send(&[2u8; 8]).expect("second fits");
+    assert_eq!(tx.try_send(&[3u8; 8]), Err(TransportError::Full));
+    assert_eq!(tx.len_bytes(), 16);
+    assert_eq!(tx.occupancy(), 2);
+}
+
+#[test]
+fn credits_return_when_the_receiver_consumes() {
+    let (tx, rx) = loopback(&spec(16, 8)).expect("loopback");
+    tx.try_send(&[1u8; 8]).expect("first fits");
+    tx.try_send(&[2u8; 8]).expect("second fits");
+    assert_eq!(rx.recv(Duration::from_secs(5)).expect("recv"), [1u8; 8]);
+    // The credit ack travels back asynchronously; a blocking send must
+    // absorb that latency.
+    tx.send(&[3u8; 8], Duration::from_secs(5))
+        .expect("send after drain");
+    assert_eq!(rx.recv(Duration::from_secs(5)).expect("recv"), [2u8; 8]);
+    assert_eq!(rx.recv(Duration::from_secs(5)).expect("recv"), [3u8; 8]);
+}
+
+#[test]
+fn oversize_messages_are_rejected_without_consuming_credits() {
+    let (tx, _rx) = loopback(&spec(64, 8)).expect("loopback");
+    assert_eq!(
+        tx.try_send(&[0u8; 9]),
+        Err(TransportError::TooLarge { bytes: 9, max: 8 })
+    );
+    assert_eq!(tx.len_bytes(), 0);
+}
+
+#[test]
+fn blocked_send_times_out_with_ring_shaped_error() {
+    let (tx, _rx) = loopback(&spec(8, 8)).expect("loopback");
+    tx.try_send(&[1u8; 8]).expect("fills the window");
+    let timeout = Duration::from_millis(50);
+    match tx.send(&[2u8; 8], timeout) {
+        Err(TransportError::Timeout { after, idle }) => {
+            assert_eq!(after, timeout);
+            assert!(idle <= after, "idle {idle:?} cannot exceed after {after:?}");
+        }
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+}
+
+#[test]
+fn empty_receiver_reports_empty_then_times_out() {
+    let (_tx, rx) = loopback(&spec(64, 8)).expect("loopback");
+    assert_eq!(rx.try_recv().map(|_| ()), Err(TransportError::Empty));
+    let timeout = Duration::from_millis(50);
+    match rx.recv(timeout) {
+        Err(TransportError::Timeout { after, .. }) => assert_eq!(after, timeout),
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+}
+
+#[test]
+fn an_empty_window_always_admits_one_message() {
+    // Mirrors the in-memory transports: a message as large as the whole
+    // capacity must pass when the channel is idle.
+    let (tx, rx) = loopback(&spec(8, 8)).expect("loopback");
+    tx.send(&[7u8; 8], Duration::from_secs(5)).expect("send");
+    assert_eq!(rx.recv(Duration::from_secs(5)).expect("recv"), [7u8; 8]);
+}
+
+#[test]
+fn peer_disconnect_surfaces_as_timeout_not_hang() {
+    let (tx, rx) = loopback(&spec(8, 8)).expect("loopback");
+    tx.try_send(&[1u8; 8]).expect("fills the window");
+    drop(rx);
+    let start = std::time::Instant::now();
+    let res = tx.send(&[2u8; 8], Duration::from_secs(30));
+    assert!(
+        matches!(res, Err(TransportError::Timeout { .. })),
+        "expected fast-fail Timeout, got {res:?}"
+    );
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "closed peer must fail fast, waited {:?}",
+        start.elapsed()
+    );
+}
+
+#[test]
+fn bind_and_connect_establish_across_a_filesystem_socket() {
+    let dir = std::env::temp_dir().join(format!("spi-net-t-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = socket_path(&dir, 0);
+    let s = spec(1024, 128);
+    let rx = NetReceiver::bind(&path, &s).expect("bind");
+    let tx = NetSender::connect(&path, &s).expect("connect");
+    tx.send(b"over the wall", Duration::from_secs(5))
+        .expect("send");
+    assert_eq!(
+        rx.recv(Duration::from_secs(5)).expect("recv"),
+        b"over the wall"
+    );
+    drop(rx);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Framing resilience: the seq+crc32 supervision frames must survive
+// partial reads and short writes on the wire codec.
+// ---------------------------------------------------------------------
+
+/// Writer that accepts at most `chunk` bytes per call — models a socket
+/// under backpressure returning short writes.
+struct ShortWriter {
+    out: Vec<u8>,
+    chunk: usize,
+}
+
+impl Write for ShortWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = buf.len().min(self.chunk);
+        self.out.extend_from_slice(&buf[..n]);
+        Ok(n)
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Reader that yields at most `chunk` bytes per call — models a socket
+/// delivering a record in fragments.
+struct ShortReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    chunk: usize,
+}
+
+impl Read for ShortReader<'_> {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        let n = out.len().min(self.chunk).min(self.buf.len() - self.pos);
+        out[..n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+#[test]
+fn supervision_frames_survive_fragmented_wire_io() {
+    let payload: Vec<u8> = (0..1500u32).map(|i| (i * 7) as u8).collect();
+    let mut frame = Vec::new();
+    encode_frame_into(&mut frame, 42, &payload);
+
+    for chunk in [1, 2, 3, 7, 8, 9, 64, 4096] {
+        let mut w = ShortWriter {
+            out: Vec::new(),
+            chunk,
+        };
+        write_record(&mut w, &frame).expect("write through short writes");
+        let mut r = ShortReader {
+            buf: &w.out,
+            pos: 0,
+            chunk,
+        };
+        let got = read_record(&mut r)
+            .expect("read through partial reads")
+            .expect("one record");
+        let (seq, body) = decode_frame(&got).expect("frame intact");
+        assert_eq!(seq, 42, "chunk size {chunk}");
+        assert_eq!(body, &payload[..], "chunk size {chunk}");
+    }
+}
+
+#[test]
+fn truncated_frame_prefixes_never_decode() {
+    let payload = b"signal processing interface";
+    let mut frame = Vec::new();
+    encode_frame_into(&mut frame, 3, payload);
+    // Every proper prefix must fail loudly: header-short prefixes as
+    // Truncated, longer ones by CRC (the crc covers the whole payload).
+    for n in 0..frame.len() {
+        match decode_frame(&frame[..n]) {
+            Err(FrameError::Truncated) => assert!(n < FRAME_HEADER_BYTES),
+            Err(FrameError::BadCrc) => assert!(n >= FRAME_HEADER_BYTES),
+            Ok(_) => panic!("prefix of {n} bytes decoded as a valid frame"),
+        }
+    }
+    let (seq, body) = decode_frame(&frame).expect("full frame decodes");
+    assert_eq!((seq, body), (3, &payload[..]));
+}
+
+#[test]
+fn a_record_split_mid_length_prefix_is_an_unexpected_eof() {
+    let mut full = Vec::new();
+    write_record(&mut full, b"abcdef").expect("encode");
+    for cut in 1..4 {
+        let mut r = ShortReader {
+            buf: &full[..cut],
+            pos: 0,
+            chunk: 1,
+        };
+        let err = read_record(&mut r).expect_err("mid-prefix EOF must error");
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof, "cut {cut}");
+    }
+}

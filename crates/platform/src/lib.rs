@@ -85,8 +85,8 @@ pub use sim::{
     WaitFn,
 };
 pub use supervise::{
-    crc32, decode_frame, encode_frame_into, DegradePolicy, FrameError, SupervisionPolicy,
-    FRAME_HEADER_BYTES,
+    crc32, decode_frame, encode_frame_into, framed_spec, DegradePolicy, FrameError,
+    SupervisionPolicy, FRAME_HEADER_BYTES,
 };
 pub use trace::{payload_digest, NopTracer, ProbeEvent, ProbeKind, Tracer};
 pub use transport::{

@@ -217,6 +217,41 @@ impl ThreadedRunner {
                 }
             })
             .collect();
+        self.run_with_endpoints(channels, endpoints, programs)
+    }
+
+    /// As [`ThreadedRunner::run`], over **pre-built** channel endpoints
+    /// instead of transports instantiated from the configured
+    /// [`TransportKind`] — the seam a distributed deployment (`spi-net`)
+    /// uses to mix in-memory rings for intra-node channels with socket
+    /// endpoints for cross-node channels. `endpoints[i]` serves
+    /// `ChannelId(i)`; `channels` still describes the logical specs (for
+    /// supervision bookkeeping and the zero-capacity guard). Under
+    /// supervision the caller must size each endpoint with
+    /// [`crate::framed_spec`]; the configured transport decorator is
+    /// *not* applied here — callers wrap endpoints themselves.
+    ///
+    /// # Errors
+    ///
+    /// As [`ThreadedRunner::run`].
+    pub fn run_with_endpoints(
+        &self,
+        channels: &[ChannelSpec],
+        endpoints: Vec<Box<dyn Transport>>,
+        programs: Vec<Program>,
+    ) -> Result<Vec<ThreadedPeResult>> {
+        for (i, c) in channels.iter().enumerate() {
+            if c.capacity_bytes == 0 {
+                return Err(PlatformError::ZeroCapacity {
+                    channel: ChannelId(i),
+                });
+            }
+        }
+        assert_eq!(
+            channels.len(),
+            endpoints.len(),
+            "one endpoint per channel spec"
+        );
         let timeout = self.timeout;
         // Resolve the tracer once: a disabled tracer takes the untraced
         // code path everywhere (emitters check a plain Option).

@@ -303,7 +303,12 @@ pub fn decode_frame(frame: &[u8]) -> std::result::Result<(u32, &[u8]), FrameErro
 /// bound and the capacity, so the slot *count* — the eq. (2) token
 /// bound `Γ + delay(e)` — is unchanged and a supervised run can never
 /// hold more tokens in flight than the unsupervised bound allows.
-pub(crate) fn framed_spec(spec: &ChannelSpec) -> ChannelSpec {
+///
+/// Public because external endpoint builders — `spi-net` sizing a
+/// socket channel's credit window for a supervised distributed run —
+/// must apply the same inflation before handing endpoints to
+/// [`crate::ThreadedRunner::run_with_endpoints`].
+pub fn framed_spec(spec: &ChannelSpec) -> ChannelSpec {
     let mut s = *spec;
     if let Some(slots) = spec.capacity_bytes.checked_div(spec.max_message_bytes) {
         let slots = slots.max(1);

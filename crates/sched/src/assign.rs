@@ -313,6 +313,123 @@ impl Assignment {
     }
 }
 
+/// A processor→node partition for distributed deployment.
+///
+/// The paper's self-timed schedules assume message passing on every
+/// inter-processor edge; a partition splits the processor set across N
+/// OS *node* processes so that intra-node edges keep their in-memory
+/// transports while cross-node edges lower to sockets (`spi-net`). The
+/// partition is purely a grouping of [`ProcId`]s — the assignment,
+/// firing order and IPC graph are untouched, so eq. (1)/(2) bounds
+/// carry over per edge regardless of where its endpoints land.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    /// `node_of[p]` is the node hosting processor `p`.
+    node_of: Vec<usize>,
+    /// Number of nodes (some may host no processor).
+    nodes: usize,
+}
+
+impl Partition {
+    /// Splits `processors` into `nodes` contiguous blocks of (nearly)
+    /// equal size: with `P` processors and `N` nodes, the first
+    /// `P mod N` nodes take `⌈P/N⌉` processors each, the rest `⌊P/N⌋`.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::NoProcessors`] when either count is zero or there
+    /// are more nodes than processors (an empty node cannot take part
+    /// in the start barrier).
+    pub fn blocks(processors: usize, nodes: usize) -> Result<Self> {
+        if processors == 0 || nodes == 0 || nodes > processors {
+            return Err(SchedError::NoProcessors);
+        }
+        let base = processors / nodes;
+        let extra = processors % nodes;
+        let mut node_of = Vec::with_capacity(processors);
+        for node in 0..nodes {
+            let take = base + usize::from(node < extra);
+            node_of.extend(std::iter::repeat_n(node, take));
+        }
+        Ok(Partition { node_of, nodes })
+    }
+
+    /// Builds a partition from an explicit processor→node map.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::NoProcessors`] for an empty map, a node index ≥
+    /// `nodes`, or a node hosting no processor.
+    pub fn from_fn(
+        processors: usize,
+        nodes: usize,
+        mut node_of: impl FnMut(ProcId) -> usize,
+    ) -> Result<Self> {
+        if processors == 0 || nodes == 0 {
+            return Err(SchedError::NoProcessors);
+        }
+        let node_of: Vec<usize> = (0..processors).map(|p| node_of(ProcId(p))).collect();
+        let mut seen = vec![false; nodes];
+        for &n in &node_of {
+            if n >= nodes {
+                return Err(SchedError::ProcessorOutOfRange {
+                    proc: n,
+                    count: nodes,
+                });
+            }
+            seen[n] = true;
+        }
+        if !seen.iter().all(|&s| s) {
+            return Err(SchedError::NoProcessors);
+        }
+        Ok(Partition { node_of, nodes })
+    }
+
+    /// The node hosting processor `proc`.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::ProcessorOutOfRange`] for an unknown processor.
+    pub fn node_of(&self, proc: ProcId) -> Result<usize> {
+        self.node_of
+            .get(proc.0)
+            .copied()
+            .ok_or(SchedError::ProcessorOutOfRange {
+                proc: proc.0,
+                count: self.node_of.len(),
+            })
+    }
+
+    /// Number of node processes.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of processors partitioned.
+    pub fn processor_count(&self) -> usize {
+        self.node_of.len()
+    }
+
+    /// The processors hosted by `node`, in ascending order.
+    pub fn procs_on(&self, node: usize) -> Vec<ProcId> {
+        self.node_of
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n == node)
+            .map(|(p, _)| ProcId(p))
+            .collect()
+    }
+
+    /// Whether an edge between these processors crosses a node
+    /// boundary (and therefore lowers to a socket transport).
+    pub fn is_cross(&self, a: ProcId, b: ProcId) -> bool {
+        match (self.node_of.get(a.0), self.node_of.get(b.0)) {
+            (Some(na), Some(nb)) => na != nb,
+            _ => false,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -447,6 +564,38 @@ mod tests {
             Assignment::etf(&g, &pg, 0, |_| 0),
             Err(SchedError::NoProcessors)
         ));
+    }
+
+    #[test]
+    fn partition_blocks_are_contiguous_and_balanced() {
+        let p = Partition::blocks(5, 2).unwrap();
+        assert_eq!(p.node_count(), 2);
+        assert_eq!(p.processor_count(), 5);
+        assert_eq!(p.procs_on(0), vec![ProcId(0), ProcId(1), ProcId(2)]);
+        assert_eq!(p.procs_on(1), vec![ProcId(3), ProcId(4)]);
+        assert!(p.is_cross(ProcId(2), ProcId(3)));
+        assert!(!p.is_cross(ProcId(0), ProcId(2)));
+        assert_eq!(p.node_of(ProcId(4)).unwrap(), 1);
+    }
+
+    #[test]
+    fn partition_rejects_degenerate_shapes() {
+        assert!(Partition::blocks(0, 1).is_err());
+        assert!(Partition::blocks(3, 0).is_err());
+        assert!(Partition::blocks(2, 3).is_err(), "empty node rejected");
+        // Explicit map: node index out of range and empty node.
+        assert!(Partition::from_fn(3, 2, |_| 5).is_err());
+        assert!(Partition::from_fn(3, 2, |_| 0).is_err(), "node 1 empty");
+    }
+
+    #[test]
+    fn partition_from_fn_follows_the_map() {
+        let p = Partition::from_fn(3, 2, |proc| usize::from(proc.0 == 1)).unwrap();
+        assert_eq!(p.procs_on(0), vec![ProcId(0), ProcId(2)]);
+        assert_eq!(p.procs_on(1), vec![ProcId(1)]);
+        assert!(p.is_cross(ProcId(0), ProcId(1)));
+        assert!(!p.is_cross(ProcId(0), ProcId(2)));
+        assert!(p.node_of(ProcId(9)).is_err());
     }
 
     #[test]

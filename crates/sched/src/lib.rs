@@ -52,7 +52,7 @@ mod sync_graph;
 pub use analysis::{
     max_cycle_mean, maximum_cycle_ratio, speedup_bounds, SpeedupBounds, WeightedEdge,
 };
-pub use assign::{Assignment, ProcId};
+pub use assign::{Assignment, Partition, ProcId};
 pub use error::{Result, SchedError};
 pub use ipc_graph::{IpcEdge, IpcEdgeKind, IpcGraph, Task, TaskId};
 pub use latency::{

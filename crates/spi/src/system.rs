@@ -28,8 +28,8 @@ use spi_platform::{
     ChannelId, ChannelSpec, Machine, Op, PeLocal, Program, ResourceEstimate, SimReport, Tracer,
 };
 use spi_sched::{
-    Assignment, IpcGraph, ProcId, Protocol, ResyncCertificate, ResyncReport, SelfTimedSchedule,
-    SyncGraph, SyncKind,
+    Assignment, IpcGraph, Partition, ProcId, Protocol, ResyncCertificate, ResyncReport,
+    SelfTimedSchedule, SyncGraph, SyncKind,
 };
 
 use crate::actors::{Firing, SharedActor};
@@ -106,6 +106,7 @@ pub struct SpiSystemBuilder {
     proc_speeds: HashMap<ProcId, (u64, u64)>,
     ordered_transactions: Option<u64>,
     tracer: Option<Arc<dyn Tracer>>,
+    partition: Option<Partition>,
 }
 
 impl SpiSystemBuilder {
@@ -132,7 +133,22 @@ impl SpiSystemBuilder {
             proc_speeds: HashMap::new(),
             ordered_transactions: None,
             tracer: None,
+            partition: None,
         }
+    }
+
+    /// Splits the processors across node **processes** for a distributed
+    /// deployment (`spi-net`). Intra-partition edges keep their
+    /// in-memory transports; edges crossing a partition boundary lower
+    /// to socket channels whose sender-side credit window is sized from
+    /// the same eq. (2)-derived [`ChannelSpec`]. The build re-runs the
+    /// protocol lints over the cross-partition channels (SPI045 warns
+    /// when a credit window under-runs the eq. (2) byte requirement),
+    /// and [`SpiSystem::partition`] exposes the mapping to the node
+    /// launcher.
+    pub fn partition(&mut self, partition: Partition) -> &mut Self {
+        self.partition = Some(partition);
+        self
     }
 
     /// Enables the *ordered transactions* interconnect strategy
@@ -637,6 +653,23 @@ impl SpiSystemBuilder {
         // SPI040 under `force_ubs`) ride along on the built system.
         let protocols: HashMap<EdgeId, Protocol> =
             plans.iter().map(|(&e, p)| (e, p.protocol)).collect();
+        // Cross-partition edges additionally lower to socket channels;
+        // the sender-side credit window inherits the in-memory channel's
+        // eq. (2)-derived capacity, and SPI045 re-checks it in the
+        // distributed wording (a starved window stalls a legal
+        // self-timed run on exhausted credits, not on a full FIFO).
+        let mut net_decls: HashMap<EdgeId, spi_analyze::TransportDecl> = HashMap::new();
+        if let Some(partition) = &self.partition {
+            for (eid, plan) in &plans {
+                // Out-of-range processors surface as a scheduling error
+                // (partition narrower than the processor count).
+                partition.node_of(plan.src_proc)?;
+                partition.node_of(plan.dst_proc)?;
+                if partition.is_cross(plan.src_proc, plan.dst_proc) {
+                    net_decls.insert(*eid, transport_decls[eid]);
+                }
+            }
+        }
         let mut full_input = spi_analyze::AnalysisInput::new(&self.graph)
             .with_vts(&vts)
             .with_signal(self.signal)
@@ -645,6 +678,9 @@ impl SpiSystemBuilder {
             .with_protocols(&protocols)
             .with_transports(&transport_decls)
             .with_resources(library.full_system(), None);
+        if self.partition.is_some() {
+            full_input = full_input.with_net_transports(&net_decls);
+        }
         if let Some(cert) = &resync_cert {
             full_input = full_input.with_resync_cert(cert);
         }
@@ -743,6 +779,7 @@ impl SpiSystemBuilder {
             transports: transport_decls,
             predicted,
             tracer: self.tracer,
+            partition: self.partition,
         })
     }
 }
@@ -807,12 +844,20 @@ pub struct SpiSystem {
     transports: HashMap<EdgeId, spi_analyze::TransportDecl>,
     predicted: Option<spi_sched::PredictedMetrics>,
     tracer: Option<Arc<dyn Tracer>>,
+    partition: Option<Partition>,
 }
 
 impl SpiSystem {
     /// Per-edge lowering decisions.
     pub fn edge_plans(&self) -> &HashMap<EdgeId, EdgePlan> {
         &self.plans
+    }
+
+    /// The processor→node mapping of a distributed build (set with
+    /// [`SpiSystemBuilder::partition`]), for the node launcher. `None`
+    /// for a single-process system.
+    pub fn partition(&self) -> Option<&Partition> {
+        self.partition.as_ref()
     }
 
     /// The full static-analysis report of the build. Error-severity

@@ -12,9 +12,9 @@
 //! stayed inside them (diagnostics SPI090–SPI095) on top of the usual
 //! eq. (1)/(2), FIFO and conservation replay.
 //!
-//! Produces `faulted_filterbank.trace` in the working directory; the CI
+//! Produces `target/faulted_filterbank.trace`; the CI
 //! chaos job re-checks it with
-//! `spi-lint trace-check faulted_filterbank.trace`.
+//! `spi-lint trace-check target/faulted_filterbank.trace`.
 //!
 //! Run with: `cargo run --example chaos_filterbank`
 
@@ -106,9 +106,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = check(&trace);
     print!("{}", report.render_human());
 
-    std::fs::write("faulted_filterbank.trace", trace.to_native())?;
-    println!("\nwrote faulted_filterbank.trace");
-    println!("  check again with: spi-lint trace-check faulted_filterbank.trace");
+    std::fs::create_dir_all("target")?;
+    std::fs::write("target/faulted_filterbank.trace", trace.to_native())?;
+    println!("\nwrote target/faulted_filterbank.trace");
+    println!("  check again with: spi-lint trace-check target/faulted_filterbank.trace");
 
     if report.has_errors() {
         return Err("faulted trace violates supervision budgets or static bounds".into());

@@ -2,12 +2,12 @@
 //! check the captured trace against the paper's static bounds, and
 //! export it for visualization.
 //!
-//! Produces three artifacts in the working directory:
+//! Produces three artifacts under `target/`:
 //!
-//! * `filterbank.trace` — native `spi-trace` format; feed it to
-//!   `spi-lint trace-check filterbank.trace`;
-//! * `filterbank_trace.json` — Chrome `trace_event` JSON; open it in
-//!   `chrome://tracing` or <https://ui.perfetto.dev>;
+//! * `target/filterbank.trace` — native `spi-trace` format; feed it to
+//!   `spi-lint trace-check target/filterbank.trace`;
+//! * `target/filterbank_trace.json` — Chrome `trace_event` JSON; open
+//!   it in `chrome://tracing` or <https://ui.perfetto.dev>;
 //! * a terminal Gantt chart, metrics table, and conformance report.
 //!
 //! Run with: `cargo run --example trace_filterbank`
@@ -48,12 +48,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = check(&trace);
     print!("{}", report.render_human());
 
-    // Artifacts.
-    std::fs::write("filterbank.trace", trace.to_native())?;
-    std::fs::write("filterbank_trace.json", to_chrome_json(&trace))?;
-    println!("\nwrote filterbank.trace and filterbank_trace.json");
-    println!("  check again with: spi-lint trace-check filterbank.trace");
-    println!("  visualize: load filterbank_trace.json in chrome://tracing or ui.perfetto.dev");
+    // Artifacts — under target/ so they never pollute the source tree.
+    std::fs::create_dir_all("target")?;
+    std::fs::write("target/filterbank.trace", trace.to_native())?;
+    std::fs::write("target/filterbank_trace.json", to_chrome_json(&trace))?;
+    println!("\nwrote target/filterbank.trace and target/filterbank_trace.json");
+    println!("  check again with: spi-lint trace-check target/filterbank.trace");
+    println!(
+        "  visualize: load target/filterbank_trace.json in chrome://tracing or ui.perfetto.dev"
+    );
 
     if report.has_errors() {
         return Err("trace violates static bounds".into());

@@ -8,9 +8,17 @@
 #   scripts/bench_gate.sh [--tolerance PCT]
 #   scripts/bench_gate.sh --synthetic-regression
 #
-# `--synthetic-regression` self-tests the gate: it scales the fresh
-# numbers down 20% and verifies the comparison trips. CI runs it right
-# after the real gate so a silently broken comparison cannot go green.
+# `--synthetic-regression` self-tests the gate twice: it scales the
+# fresh numbers down 20% and verifies the comparison trips, then strips
+# a section from a baseline copy and verifies the gate warns without
+# failing. CI runs both right after the real gate so a silently broken
+# comparison cannot go green.
+#
+# A metric present in the fresh run but absent from the baseline — a
+# newly added scenario, e.g. `net_loopback` before its baseline lands —
+# is WARNED and recorded, not failed: a new measurement has no history
+# to regress against. The reverse (baseline has it, fresh run lost it)
+# still fails hard.
 #
 # Set BENCH_DIR to a directory that already holds fresh JSONs to skip
 # the (minutes-long) benchmark run — CI reuses one run for both modes.
@@ -59,12 +67,22 @@ metric() { # file needle key
 }
 
 FAILURES=0
+WARNINGS=0
 # Compares one metric: candidate must be >= baseline * (1 - TOL/100).
+# A metric the candidate reports but the baseline lacks is recorded as
+# a warning (new scenario, no history yet); a metric the baseline has
+# but the candidate lost is a hard failure.
 gate_one() { # file needle key candidate_dir baseline_dir
   local file="$1" needle="$2" key="$3" cand_dir="$4" base_dir="$5"
   local cand base
   cand="$(metric "$cand_dir/$file" "$needle" "$key")"
   base="$(metric "$base_dir/$file" "$needle" "$key")"
+  if [ -n "$cand" ] && [ -z "$base" ]; then
+    printf 'WARN  %-24s %-24s %14s — new metric, no baseline; record it on the next baseline refresh\n' \
+      "$needle" "$key" "$cand"
+    WARNINGS=$((WARNINGS + 1))
+    return
+  fi
   if [ -z "$cand" ] || [ -z "$base" ]; then
     echo "FAIL  $file $needle $key: metric missing (candidate='$cand' baseline='$base')"
     FAILURES=$((FAILURES + 1))
@@ -93,6 +111,7 @@ run_gate() { # candidate_dir baseline_dir
   gate_one BENCH_transport.json '"pointer_exchange"' locked_msgs_per_sec "$cand" "$base"
   gate_one BENCH_transport.json '"pointer_exchange"' ring_msgs_per_sec "$cand" "$base"
   gate_one BENCH_transport.json '"pointer_exchange"' pointer_msgs_per_sec "$cand" "$base"
+  gate_one BENCH_transport.json '"net_loopback"' net_msgs_per_sec "$cand" "$base"
   gate_one BENCH_transport.json '"supervision"' bare_msgs_per_sec "$cand" "$base"
   gate_one BENCH_transport.json '"supervision"' supervised_msgs_per_sec "$cand" "$base"
   gate_one BENCH_trace.json '"name": "pipeline_3pe_fir"' nop_msgs_per_sec "$cand" "$base"
@@ -123,17 +142,36 @@ if [ "$MODE" = "synthetic" ]; then
   done
   echo "== bench_gate self-test: 20% synthetic regression must trip the ${TOL}% gate"
   run_gate "$SYN_DIR" "$BENCH_DIR"
-  if [ "$FAILURES" -gt 0 ]; then
-    echo "== bench_gate self-test passed: synthetic regression rejected ($FAILURES metric(s) tripped)"
-    exit 0
+  if [ "$FAILURES" -eq 0 ]; then
+    echo "== bench_gate self-test FAILED: a 20% regression sailed through the gate" >&2
+    exit 1
   fi
-  echo "== bench_gate self-test FAILED: a 20% regression sailed through the gate" >&2
-  exit 1
+  echo "== bench_gate self-test passed: synthetic regression rejected ($FAILURES metric(s) tripped)"
+
+  # Second self-test: a baseline that predates a section must warn, not
+  # fail. Strip `net_loopback` from a baseline copy and gate the fresh
+  # run (identical numbers everywhere else) against it.
+  OLD_DIR="$(mktemp -d)"
+  grep -v '"net_loopback"' "$BENCH_DIR/BENCH_transport.json" > "$OLD_DIR/BENCH_transport.json"
+  cp "$BENCH_DIR/BENCH_trace.json" "$OLD_DIR/BENCH_trace.json"
+  FAILURES=0
+  WARNINGS=0
+  echo "== bench_gate self-test: a section missing from the baseline must warn, not fail"
+  run_gate "$BENCH_DIR" "$OLD_DIR"
+  if [ "$FAILURES" -gt 0 ] || [ "$WARNINGS" -eq 0 ]; then
+    echo "== bench_gate self-test FAILED: missing baseline section produced $FAILURES failure(s), $WARNINGS warning(s)" >&2
+    exit 1
+  fi
+  echo "== bench_gate self-test passed: new section warned ($WARNINGS) without failing"
+  exit 0
 fi
 
 run_gate "$BENCH_DIR" "$REPO"
 if [ "$FAILURES" -gt 0 ]; then
   echo "== bench_gate: $FAILURES metric(s) regressed beyond ${TOL}% vs the committed baseline" >&2
   exit 1
+fi
+if [ "$WARNINGS" -gt 0 ]; then
+  echo "== bench_gate: $WARNINGS new metric(s) have no committed baseline yet — refresh the baseline JSONs to start gating them"
 fi
 echo "== bench_gate: all metrics within ${TOL}% of the committed baseline"
