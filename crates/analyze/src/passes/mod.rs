@@ -17,6 +17,7 @@
 //! | SPI043 | warning  | protocol-lints | declared transport capacity below the eq. (2) byte requirement |
 //! | SPI044 | warning  | protocol-lints | pointer-exchange pool with fewer slots than the channel's eq. (1) message capacity |
 //! | SPI045 | warning  | protocol-lints | cross-partition socket credit window below the eq. (2) byte requirement |
+//! | SPI046 | warning  | protocol-lints | configured record batch exceeds the credit window in messages |
 //! | SPI050 | error    | sync-coverage | IPC edge not enforced by any synchronization path (data race) |
 //! | SPI060 | warning  | resync-fixpoint | redundant synchronization edges remain after optimization |
 //! | SPI061 | error    | resync-certification | removed sync edge whose redundancy proof is missing or does not re-verify |
@@ -36,6 +37,7 @@
 //! | SPI083 | error    | trace-check | observed makespan exceeded the predicted bound |
 //! | SPI084 | warning  | trace-check | capture dropped events; checks ran on a partial stream |
 //! | SPI085 | error    | trace-check | conservation violated: more receives than sends |
+//! | SPI086 | error    | trace-check | a batched flush exceeded the channel's declared batching budget |
 //!
 //! The `SPI10x` range is reserved for the vector-clock happens-before
 //! checker in `spi-verify` (`spi-lint race-check`), which replays a

@@ -16,6 +16,11 @@
 //! eq. (2) through a sender-side credit window, so a window declared
 //! below the required bytes throttles — or deadlocks — a legal
 //! self-timed run even though every in-memory buffer is sized right.
+//! SPI046 sanity-checks the batched fast path riding on that window: a
+//! record batch configured larger than the window holds messages can
+//! never actually fill (the window forces a flush first), so the
+//! declared amortization is unreachable and usually signals a
+//! mis-lowered batch parameter.
 
 use spi_sched::Protocol;
 
@@ -205,6 +210,42 @@ impl Pass for ProtocolLints {
                                  for edge {edge}"
                             )),
                         );
+                    }
+                }
+            }
+
+            // SPI046: the batched fast path may never coalesce more
+            // records than the credit window admits in flight — a batch
+            // beyond `window / c(e)` messages cannot fill before the
+            // window itself forces a flush, so the configuration's
+            // claimed amortization is unreachable.
+            if let Some(decls) = input.net_transports {
+                if let Some(decl) = decls.get(&edge) {
+                    if let Some(batch) = decl.batch_msgs {
+                        let window_msgs =
+                            (decl.capacity_bytes / decl.message_bytes_max.max(1)).max(1);
+                        if batch > window_msgs {
+                            out.push(
+                                Diagnostic::new(
+                                    "SPI046",
+                                    Severity::Warning,
+                                    Locus::Edge(edge),
+                                    format!(
+                                        "cross-partition edge {edge} ({pair}) configures a \
+                                         record batch of {batch} message(s), beyond the \
+                                         {window_msgs} message(s) its credit window admits \
+                                         ({} bytes / {} bytes per message); the window \
+                                         flushes every batch early and the configured \
+                                         amortization is never reached",
+                                        decl.capacity_bytes, decl.message_bytes_max,
+                                    ),
+                                )
+                                .with_suggestion(format!(
+                                    "cap the batch at {window_msgs} message(s) — half the \
+                                     window leaves credit for the next batch in flight"
+                                )),
+                            );
+                        }
                     }
                 }
             }

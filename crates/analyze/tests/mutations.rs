@@ -390,6 +390,7 @@ fn mutation_undersized_transport_fires_spi043() {
                     capacity_bytes: 1,
                     message_bytes_max: 6,
                     pool_slots: None,
+                    batch_msgs: None,
                 },
             )
         })
@@ -427,6 +428,7 @@ fn adequately_sized_transport_stays_clean_of_spi043() {
                     capacity_bytes: 1 << 20,
                     message_bytes_max: 6,
                     pool_slots: None,
+                    batch_msgs: None,
                 },
             )
         })
@@ -464,6 +466,7 @@ fn mutation_starved_pointer_pool_fires_spi044() {
                     capacity_bytes: 1 << 20,
                     message_bytes_max: 6,
                     pool_slots: Some(1),
+                    batch_msgs: None,
                 },
             )
         })
@@ -512,6 +515,7 @@ fn matching_pointer_pool_stays_clean_of_spi044() {
                     } else {
                         None
                     },
+                    batch_msgs: None,
                 },
             )
         })
@@ -548,6 +552,7 @@ fn mutation_starved_credit_window_fires_spi045() {
                     capacity_bytes: 1 << 20,
                     message_bytes_max: 6,
                     pool_slots: None,
+                    batch_msgs: None,
                 },
             )
         })
@@ -562,6 +567,7 @@ fn mutation_starved_credit_window_fires_spi045() {
                     capacity_bytes: 1,
                     message_bytes_max: 6,
                     pool_slots: None,
+                    batch_msgs: None,
                 },
             )
         })
@@ -603,6 +609,7 @@ fn adequate_credit_window_stays_clean_of_spi045() {
                     capacity_bytes: 1 << 20,
                     message_bytes_max: 6,
                     pool_slots: None,
+                    batch_msgs: None,
                 },
             )
         })
@@ -617,6 +624,92 @@ fn adequate_credit_window_stays_clean_of_spi045() {
     );
     assert!(
         !codes(&report).contains(&"SPI045"),
+        "got: {}",
+        report.render_human()
+    );
+}
+
+#[test]
+fn mutation_oversized_batch_fires_spi046() {
+    use spi_analyze::TransportDecl;
+    let g = bounded_graph();
+    let d = derive(&g, 2, default_protocol);
+    // A generous credit window (SPI045 quiet) of 1 MiB / 6-byte
+    // messages, but the batch claims more records than the window can
+    // ever hold in flight.
+    let over_batched: HashMap<EdgeId, TransportDecl> = d
+        .protocols
+        .keys()
+        .map(|&id| {
+            (
+                id,
+                TransportDecl {
+                    capacity_bytes: 1 << 20,
+                    message_bytes_max: 6,
+                    pool_slots: None,
+                    batch_msgs: Some(((1u64 << 20) / 6) + 1),
+                },
+            )
+        })
+        .collect();
+    let report = Analyzer::default_pipeline().run(
+        &AnalysisInput::new(&g)
+            .with_vts(&d.vts)
+            .with_ipc(&d.ipc)
+            .with_sync(&d.sync)
+            .with_protocols(&d.protocols)
+            .with_net_transports(&over_batched),
+    );
+    let spi046: Vec<_> = report.with_code("SPI046").collect();
+    assert!(!spi046.is_empty(), "got: {}", report.render_human());
+    assert!(spi046.iter().all(|d| d.severity == Severity::Warning));
+    assert!(
+        spi046[0].message.contains("credit window"),
+        "names the bound the batch outruns"
+    );
+    assert!(
+        !codes(&report).contains(&"SPI045"),
+        "the window itself is adequately sized"
+    );
+}
+
+#[test]
+fn window_bounded_batch_stays_clean_of_spi046() {
+    use spi_analyze::TransportDecl;
+    let g = bounded_graph();
+    let d = derive(&g, 2, default_protocol);
+    // Batches at (and below) the window's message capacity are sound;
+    // unbatched transports declare nothing at all.
+    let bounded: HashMap<EdgeId, TransportDecl> = d
+        .protocols
+        .keys()
+        .enumerate()
+        .map(|(i, &id)| {
+            (
+                id,
+                TransportDecl {
+                    capacity_bytes: 1 << 20,
+                    message_bytes_max: 6,
+                    pool_slots: None,
+                    batch_msgs: if i % 2 == 0 {
+                        Some((1u64 << 20) / 6 / 2)
+                    } else {
+                        None
+                    },
+                },
+            )
+        })
+        .collect();
+    let report = Analyzer::default_pipeline().run(
+        &AnalysisInput::new(&g)
+            .with_vts(&d.vts)
+            .with_ipc(&d.ipc)
+            .with_sync(&d.sync)
+            .with_protocols(&d.protocols)
+            .with_net_transports(&bounded),
+    );
+    assert!(
+        !codes(&report).contains(&"SPI046"),
         "got: {}",
         report.render_human()
     );

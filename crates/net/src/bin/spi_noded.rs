@@ -34,7 +34,7 @@ use spi_sched::Partition;
 use spi_trace::{ClockKind, RingTracer, TraceMeta};
 
 const USAGE: &str = "usage: spi-noded <launch|worker> --app filterbank --nodes N --iters K \
-[--supervised] [--chaos] [--local ring|pointer|locked] [--timeout-secs S] \
+[--supervised] [--chaos] [--force-ubs] [--local ring|pointer|locked] [--timeout-secs S] \
 [--trace-out PATH] [--restarts N] (worker adds: --node I --dir DIR)";
 
 /// Processors in the filter bank's canonical assignment.
@@ -50,6 +50,7 @@ struct Args {
     dir: PathBuf,
     supervised: bool,
     chaos: bool,
+    force_ubs: bool,
     local: TransportKind,
     timeout_secs: u64,
     trace_out: PathBuf,
@@ -71,6 +72,7 @@ fn parse_args() -> Result<Args, String> {
         dir: PathBuf::new(),
         supervised: false,
         chaos: false,
+        force_ubs: false,
         local: TransportKind::Ring,
         timeout_secs: 10,
         trace_out: PathBuf::from("target/net/filterbank_distributed.trace"),
@@ -94,6 +96,7 @@ fn parse_args() -> Result<Args, String> {
             "--dir" => a.dir = PathBuf::from(val("--dir")?),
             "--supervised" => a.supervised = true,
             "--chaos" => a.chaos = true,
+            "--force-ubs" => a.force_ubs = true,
             "--local" => {
                 a.local = match val("--local")?.as_str() {
                     "ring" => TransportKind::Ring,
@@ -159,6 +162,12 @@ fn build_system(a: &Args, app: &FilterBankApp) -> Result<spi::SpiSystem, NetErro
     let partition = Partition::blocks(FILTERBANK_PROCS, a.nodes)?;
     app.system_with(a.iters, |b| {
         b.partition(partition);
+        if a.force_ubs {
+            // UBS edges get deep windows (≥ 1 MiB), so the schedule
+            // lowers non-trivial batch plans; the default BBS windows
+            // on the filter bank are too shallow to amortize batching.
+            b.force_ubs(true);
+        }
     })
     .map_err(|e| NetError::Protocol(format!("app build failed: {e}")))
 }
@@ -287,17 +296,32 @@ fn worker_run(
     };
     verify_manifest(dep, &manifest, a.supervised)?;
 
+    // The tracer exists before the endpoints so batched cross-partition
+    // senders can stamp their flush probes into the same per-PE rings
+    // the runner uses.
+    let procs = dep.procs_on(a.node);
+    let tracer = Arc::new(RingTracer::with_default_capacity(procs.len()));
+    let probe_tracer: Arc<dyn Tracer> = tracer.clone();
+
     let endpoints = {
         let ctl = &mut *ctl;
-        build_endpoints(dep, a.node, &a.dir, a.local, a.supervised, move || {
-            send_ctl(ctl, &CtlMsg::Ready)?;
-            match recv_ctl(ctl)? {
-                CtlMsg::Proceed => Ok(()),
-                other => Err(NetError::Protocol(format!(
-                    "expected Proceed, got {other:?}"
-                ))),
-            }
-        })?
+        build_endpoints(
+            dep,
+            a.node,
+            &a.dir,
+            a.local,
+            a.supervised,
+            Some(&probe_tracer),
+            move || {
+                send_ctl(ctl, &CtlMsg::Ready)?;
+                match recv_ctl(ctl)? {
+                    CtlMsg::Proceed => Ok(()),
+                    other => Err(NetError::Protocol(format!(
+                        "expected Proceed, got {other:?}"
+                    ))),
+                }
+            },
+        )?
     };
     // Socket-level chaos: decorate after framing-sized endpoints exist,
     // exactly as the in-process runner decorates framed transports.
@@ -316,8 +340,6 @@ fn worker_run(
     };
 
     let programs = dep.take_local_programs(a.node);
-    let procs = dep.procs_on(a.node);
-    let tracer = Arc::new(RingTracer::with_default_capacity(programs.len()));
 
     loop {
         match recv_ctl(ctl)? {
@@ -403,6 +425,11 @@ fn launch_main(a: &Args) -> Result<(), NetError> {
     }
     if a.chaos {
         worker_args.push("--chaos".into());
+    }
+    if a.force_ubs {
+        // Workers must build the byte-identical system; the manifest
+        // cross-check fails the run otherwise.
+        worker_args.push("--force-ubs".into());
     }
     let spec = LaunchSpec {
         worker_exe: std::env::current_exe()?,

@@ -9,7 +9,13 @@
 //!   socket. Capacity is enforced sender-side with a credit window
 //!   sized from the channel's [`spi_platform::ChannelSpec`] — i.e. from
 //!   the paper's eq. (2) buffer bound — so a remote edge blocks its
-//!   producer exactly where an in-memory ring would.
+//!   producer exactly where an in-memory ring would. With
+//!   [`transport::BatchParams`] the sender coalesces up to `batch_max`
+//!   records into one vectored write (Nagle-style adaptive flush), and
+//!   the receiver returns credit in cumulative acks
+//!   ([`transport::AckPolicy`]) — the runtime analogue of the paper's
+//!   §4 resynchronization, trading per-message acknowledgement traffic
+//!   for one byte-accurate cumulative grant.
 //! * **[`node`]** lowers a partition-annotated
 //!   [`spi::SpiSystem`] onto one node process: intra-partition edges
 //!   keep their in-memory transports, only cross-partition edges lower
@@ -43,4 +49,4 @@ pub use launcher::{
 };
 pub use merge::{merge_node_traces, NodeTrace};
 pub use node::{build_endpoints, deploy, socket_path, ChannelRole, Deployment};
-pub use transport::{loopback, NetReceiver, NetSender};
+pub use transport::{loopback, loopback_with, AckPolicy, BatchParams, NetReceiver, NetSender};

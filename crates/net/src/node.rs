@@ -17,14 +17,18 @@
 //! only connects after it, so no connect can race a missing listener.
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Duration;
 
 use spi::SpiSystem;
-use spi_platform::{framed_spec, ChannelSpec, Program, Transport, TransportError, TransportKind};
+use spi_platform::{
+    framed_spec, ChannelId, ChannelSpec, PeId, Program, Tracer, Transport, TransportError,
+    TransportKind,
+};
 use spi_sched::{Partition, ProcId};
 
 use crate::error::NetError;
-use crate::transport::{NetReceiver, NetSender};
+use crate::transport::{AckPolicy, BatchParams, NetReceiver, NetSender};
 
 /// The two processors a channel connects (data channels run
 /// producer→consumer; UBS acknowledgement channels run the reverse).
@@ -47,6 +51,11 @@ pub struct Deployment {
     /// Per-channel logical specs (un-inflated; supervision framing is
     /// applied at endpoint construction), indexed by `ChannelId`.
     pub specs: Vec<ChannelSpec>,
+    /// Per-channel batching parameters lowered from the schedule
+    /// ([`spi::SpiSystem::batch_plans`]), indexed by `ChannelId`.
+    /// [`BatchParams::disabled`] for ack channels and edges whose
+    /// credit window is too small to amortize.
+    pub batches: Vec<BatchParams>,
     /// One program per processor, indexed by `ProcId`.
     programs: Vec<Program>,
 }
@@ -70,7 +79,8 @@ pub fn deploy(system: SpiSystem) -> Result<Deployment, NetError> {
         }
         role_of[ch] = Some(role);
     };
-    for plan in system.edge_plans().values() {
+    let mut batch_of: Vec<BatchParams> = Vec::new();
+    for (eid, plan) in system.edge_plans() {
         set(
             plan.data_ch.0,
             ChannelRole {
@@ -78,6 +88,18 @@ pub fn deploy(system: SpiSystem) -> Result<Deployment, NetError> {
                 receiver: plan.dst_proc,
             },
         );
+        if let Some(p) = system.batch_plans().get(eid) {
+            if p.is_batched() {
+                let ch = plan.data_ch.0;
+                if batch_of.len() <= ch {
+                    batch_of.resize(ch + 1, BatchParams::disabled());
+                }
+                batch_of[ch] = BatchParams {
+                    max_msgs: p.max_msgs as usize,
+                    flush_after: p.flush_after,
+                };
+            }
+        }
         if let Some(ack) = plan.ack_ch {
             set(
                 ack.0,
@@ -101,10 +123,13 @@ pub fn deploy(system: SpiSystem) -> Result<Deployment, NetError> {
         partition.node_of(role.sender)?;
         partition.node_of(role.receiver)?;
     }
+    let mut batches = batch_of;
+    batches.resize(specs.len(), BatchParams::disabled());
     Ok(Deployment {
         partition,
         roles,
         specs,
+        batches,
         programs,
     })
 }
@@ -151,6 +176,13 @@ pub fn socket_path(dir: &Path, ch: usize) -> PathBuf {
 /// sized with [`framed_spec`], matching what the supervised runner
 /// expects of pre-built endpoints.
 ///
+/// Cross-partition channels with a batched entry in
+/// [`Deployment::batches`] get the coalescing sender and the matching
+/// [`AckPolicy`]; when `tracer` is given, each batched sender records a
+/// [`spi_platform::ProbeKind::BatchFlush`] probe per flush, stamped with
+/// the local PE that runs the sending processor (so merged traces pass
+/// the SPI086 budget check).
+///
 /// The caller applies any fault-injection decorator to the result; this
 /// function hands back bare endpoints.
 ///
@@ -164,6 +196,7 @@ pub fn build_endpoints(
     dir: &Path,
     local_kind: TransportKind,
     supervised: bool,
+    tracer: Option<&Arc<dyn Tracer>>,
     barrier: impl FnOnce() -> Result<(), NetError>,
 ) -> Result<Vec<Box<dyn Transport>>, NetError> {
     let eff: Vec<ChannelSpec> = d
@@ -171,12 +204,14 @@ pub fn build_endpoints(
         .iter()
         .map(|s| if supervised { framed_spec(s) } else { *s })
         .collect();
+    let local_procs = d.procs_on(node);
     let mut slots: Vec<Option<Box<dyn Transport>>> = (0..d.specs.len()).map(|_| None).collect();
     for (ch, role) in d.roles.iter().enumerate() {
         let s_node = d.partition.node_of(role.sender)?;
         let r_node = d.partition.node_of(role.receiver)?;
         if r_node == node && s_node != node {
-            let recv = NetReceiver::bind(&socket_path(dir, ch), &eff[ch])?;
+            let policy = AckPolicy::for_batch(&eff[ch], d.batches[ch]);
+            let recv = NetReceiver::bind_with(&socket_path(dir, ch), &eff[ch], policy)?;
             slots[ch] = Some(Box::new(recv));
         }
     }
@@ -185,10 +220,21 @@ pub fn build_endpoints(
         let s_node = d.partition.node_of(role.sender)?;
         let r_node = d.partition.node_of(role.receiver)?;
         slots[ch] = match (s_node == node, r_node == node) {
-            (true, false) => Some(Box::new(NetSender::connect(
-                &socket_path(dir, ch),
-                &eff[ch],
-            )?)),
+            (true, false) => {
+                let sender =
+                    NetSender::connect_with(&socket_path(dir, ch), &eff[ch], d.batches[ch])?;
+                if let Some(tracer) = tracer {
+                    if d.batches[ch].is_batched() {
+                        // The probe's PE is the *local* index of the
+                        // sending processor, matching how the worker's
+                        // runner stamps every other event on this node.
+                        if let Some(pe) = local_procs.iter().position(|&p| p == role.sender.0) {
+                            sender.set_probe(Arc::clone(tracer), PeId(pe), ChannelId(ch));
+                        }
+                    }
+                }
+                Some(Box::new(sender))
+            }
             (true, true) => Some(local_kind.instantiate(&eff[ch])),
             (false, true) => slots[ch].take(), // bound above
             (false, false) => Some(Box::new(UnmappedChannel {

@@ -17,7 +17,7 @@
 //! with the `put_*`/[`WireReader`] helpers here rather than trusting a
 //! general serializer with cross-process wire data.
 
-use std::io::{self, Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 
 /// Upper bound on a single wire record. Anything larger is treated as
 /// stream corruption rather than an allocation request: a legal SPI
@@ -42,6 +42,91 @@ pub fn write_record(w: &mut dyn Write, bytes: &[u8]) -> io::Result<()> {
     w.write_all(&len.to_le_bytes())?;
     w.write_all(bytes)?;
     w.flush()
+}
+
+/// Writes a batch of pre-framed records (each buffer already carries
+/// its `[len: u32 LE]` prefix) with vectored I/O, then flushes once.
+///
+/// One `writev` per fully-accepted batch; on a **short write** the
+/// gather list is rebuilt past the accepted bytes and retried, so a
+/// batch torn across arbitrary kernel acceptance boundaries — including
+/// mid-prefix — still lands on the stream intact and in order.
+/// `Interrupted` (EINTR) and `WouldBlock` (EWOULDBLOCK, transiently
+/// possible on streams shared with timeout-taking code paths) are
+/// retried; empty buffers are skipped.
+///
+/// # Errors
+///
+/// Any other I/O error from the stream; a `write_vectored` that accepts
+/// zero bytes surfaces as `WriteZero` (a wedged peer, not progress).
+pub fn write_framed_vectored(w: &mut dyn Write, framed: &[Vec<u8>]) -> io::Result<()> {
+    let mut idx = 0usize; // first buffer with unwritten bytes
+    let mut off = 0usize; // bytes of `framed[idx]` already written
+    while idx < framed.len() {
+        if off >= framed[idx].len() {
+            idx += 1;
+            off = 0;
+            continue;
+        }
+        let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(framed.len() - idx);
+        slices.push(IoSlice::new(&framed[idx][off..]));
+        slices.extend(
+            framed[idx + 1..]
+                .iter()
+                .filter(|b| !b.is_empty())
+                .map(|b| IoSlice::new(b)),
+        );
+        match w.write_vectored(&slices) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "vectored write accepted zero bytes",
+                ));
+            }
+            Ok(mut n) => {
+                while n > 0 {
+                    let rem = framed[idx].len() - off;
+                    if n >= rem {
+                        n -= rem;
+                        idx += 1;
+                        off = 0;
+                        while idx < framed.len() && framed[idx].is_empty() {
+                            idx += 1;
+                        }
+                    } else {
+                        off += n;
+                        n = 0;
+                    }
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    w.flush()
+}
+
+/// Frames `len` payload bytes into a fresh `[len: u32 LE][payload]`
+/// buffer and hands the payload region to `fill` — the single
+/// allocation a batched sender makes per message.
+///
+/// # Panics
+///
+/// `len` beyond [`MAX_RECORD_BYTES`] is a caller bug (transport specs
+/// bound messages far below the wire limit).
+pub fn frame_with(len: usize, fill: &mut dyn FnMut(&mut [u8])) -> Vec<u8> {
+    assert!(
+        len <= MAX_RECORD_BYTES,
+        "record of {len} bytes exceeds wire bound"
+    );
+    let mut rec = vec![0u8; 4 + len];
+    rec[..4].copy_from_slice(&(len as u32).to_le_bytes());
+    fill(&mut rec[4..]);
+    rec
 }
 
 /// Reads one `[len][bytes]` record, reassembling across arbitrarily
@@ -276,6 +361,131 @@ mod tests {
         fn flush(&mut self) -> io::Result<()> {
             Ok(())
         }
+    }
+
+    /// A writer whose `write_vectored` accepts at most `chunk` bytes
+    /// per call — potentially mid-slice, potentially mid-prefix — and
+    /// injects `EINTR`/`EWOULDBLOCK` on a fixed cadence before making
+    /// progress. The worst stream a batched writer can face, made
+    /// deterministic.
+    struct TornWriter {
+        out: Vec<u8>,
+        chunk: usize,
+        calls: usize,
+        /// Every `interrupt_every`-th call fails with EINTR (odd
+        /// occurrences) or EWOULDBLOCK (even) instead of writing.
+        interrupt_every: usize,
+    }
+
+    impl Write for TornWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.write_vectored(&[IoSlice::new(buf)])
+        }
+        fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+            self.calls += 1;
+            if self.interrupt_every != 0 && self.calls.is_multiple_of(self.interrupt_every) {
+                let kind = if (self.calls / self.interrupt_every) % 2 == 1 {
+                    io::ErrorKind::Interrupted
+                } else {
+                    io::ErrorKind::WouldBlock
+                };
+                return Err(io::Error::new(kind, "injected"));
+            }
+            let mut budget = self.chunk;
+            let mut accepted = 0usize;
+            for b in bufs {
+                if budget == 0 {
+                    break;
+                }
+                let n = budget.min(b.len());
+                self.out.extend_from_slice(&b[..n]);
+                budget -= n;
+                accepted += n;
+            }
+            Ok(accepted)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn frame(payload: &[u8]) -> Vec<u8> {
+        frame_with(payload.len(), &mut |buf| buf.copy_from_slice(payload))
+    }
+
+    #[test]
+    fn vectored_batch_survives_torn_writes_and_injected_interrupts() {
+        let payloads: Vec<Vec<u8>> = (0..7)
+            .map(|i| (0..=255u8).cycle().take(37 * (i + 1)).collect())
+            .collect();
+        let batch: Vec<Vec<u8>> = payloads.iter().map(|p| frame(p)).collect();
+        // Sweep acceptance granularities (1 byte tears every prefix)
+        // and interrupt cadences (0 = never).
+        for chunk in [1, 2, 3, 5, 64, 1 << 20] {
+            for interrupt_every in [0, 2, 3] {
+                let mut w = TornWriter {
+                    out: Vec::new(),
+                    chunk,
+                    calls: 0,
+                    interrupt_every,
+                };
+                write_framed_vectored(&mut w, &batch).unwrap();
+                // The stream must parse back into the exact records, in
+                // order, ending at a clean boundary.
+                let mut r: &[u8] = &w.out;
+                for (i, p) in payloads.iter().enumerate() {
+                    let got = read_record(&mut r).unwrap().unwrap();
+                    assert_eq!(
+                        &got, p,
+                        "record {i}, chunk {chunk}, interrupt {interrupt_every}"
+                    );
+                }
+                assert_eq!(read_record(&mut r).unwrap(), None);
+            }
+        }
+    }
+
+    #[test]
+    fn vectored_batch_skips_empty_buffers_and_handles_empty_records() {
+        // A zero-length record is legal ([0u32] prefix, no payload) and
+        // must not wedge the cursor arithmetic.
+        let batch = vec![frame(b""), frame(b"x"), frame(b"")];
+        let mut w = TornWriter {
+            out: Vec::new(),
+            chunk: 1,
+            calls: 0,
+            interrupt_every: 3,
+        };
+        write_framed_vectored(&mut w, &batch).unwrap();
+        let mut r: &[u8] = &w.out;
+        assert_eq!(read_record(&mut r).unwrap().unwrap(), b"");
+        assert_eq!(read_record(&mut r).unwrap().unwrap(), b"x");
+        assert_eq!(read_record(&mut r).unwrap().unwrap(), b"");
+        assert_eq!(read_record(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn vectored_batch_reports_write_zero_on_a_wedged_stream() {
+        struct Wedged;
+        impl Write for Wedged {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Ok(0)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let err = write_framed_vectored(&mut Wedged, &[frame(b"data")]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+    }
+
+    #[test]
+    fn single_record_vectored_write_matches_write_record_bytes() {
+        let mut classic = Vec::new();
+        write_record(&mut classic, b"identical").unwrap();
+        let mut vectored = Vec::new();
+        write_framed_vectored(&mut vectored, &[frame(b"identical")]).unwrap();
+        assert_eq!(classic, vectored);
     }
 
     #[test]

@@ -78,6 +78,56 @@ fn two_process_chaos_run_recovers_to_identical_output() {
 }
 
 #[test]
+fn batched_two_process_run_passes_both_checkers() {
+    // --force-ubs deepens the cross-partition windows past the batching
+    // threshold, so the schedule lowers real batch plans: the merged
+    // trace must carry the declared budgets, observed flush events, and
+    // still satisfy trace-check (incl. the SPI086 budget diagnostic)
+    // and race-check.
+    let trace = run_launch(&["--force-ubs"], "e2e_batched.trace");
+    assert!(
+        !trace.meta.batch_bounds.is_empty(),
+        "merged meta must declare the lowered batching budgets"
+    );
+    let flushes: Vec<_> = trace
+        .events
+        .iter()
+        .filter_map(|e| match e.kind {
+            spi_trace::ProbeKind::BatchFlush { channel, msgs, .. } => Some((channel, msgs)),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        !flushes.is_empty(),
+        "batched senders must record BatchFlush probes in the merged trace"
+    );
+    for b in &trace.meta.batch_bounds {
+        for (ch, msgs) in &flushes {
+            if *ch == b.channel {
+                assert!(
+                    u64::from(*msgs) <= b.max_msgs,
+                    "flush of {msgs} records on channel {} exceeds budget {}",
+                    ch.0,
+                    b.max_msgs
+                );
+            }
+        }
+    }
+    let report = spi_trace::check(&trace);
+    assert!(
+        !report.has_errors(),
+        "trace-check on batched merged trace:\n{}",
+        report.render_human()
+    );
+    let races = spi_verify::race_check(&trace);
+    assert!(
+        !races.has_errors(),
+        "race-check on batched merged trace:\n{}",
+        races.render_human()
+    );
+}
+
+#[test]
 fn supervised_two_process_run_stays_identical() {
     let trace = run_launch(&["--supervised"], "e2e_supervised.trace");
     let races = spi_verify::race_check(&trace);

@@ -88,7 +88,7 @@ pub use supervise::{
     crc32, decode_frame, encode_frame_into, framed_spec, DegradePolicy, FrameError,
     SupervisionPolicy, FRAME_HEADER_BYTES,
 };
-pub use trace::{payload_digest, NopTracer, ProbeEvent, ProbeKind, Tracer};
+pub use trace::{payload_digest, FlushReason, NopTracer, ProbeEvent, ProbeKind, Tracer};
 pub use transport::{
     InjectedFault, LockedTransport, PointerTransport, RingTransport, Transport, TransportError,
     TransportKind,

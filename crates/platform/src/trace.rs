@@ -121,6 +121,66 @@ pub enum ProbeKind {
         /// The iteration that was rolled back and replayed.
         iter: u64,
     },
+    /// A batched network sender flushed its pending records in one
+    /// vectored write. `msgs`/`bytes` size the flush; `reason` records
+    /// which adaptive-flush trigger fired, so trace consumers can audit
+    /// the Nagle policy against the schedule's batching budget.
+    BatchFlush {
+        /// The channel the batch was written to.
+        channel: ChannelId,
+        /// Records coalesced into this flush.
+        msgs: u32,
+        /// Total payload bytes across the flushed records.
+        bytes: u32,
+        /// Which flush trigger fired.
+        reason: FlushReason,
+    },
+}
+
+/// Why a batched sender flushed its pending records. Carried by
+/// [`ProbeKind::BatchFlush`]; the numeric codes are the trace wire
+/// encoding and must stay stable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FlushReason {
+    /// The batch reached its configured `batch_max` records.
+    Full,
+    /// The credit window could not cover another message — unsent
+    /// records can never earn credits back, so the sender drains before
+    /// blocking.
+    Window,
+    /// The Nagle deadline elapsed with the batch still partial.
+    Deadline,
+    /// The peer reported itself blocked in `recv` (a HUNGRY ack), so
+    /// latency beats amortization.
+    Hungry,
+    /// Endpoint teardown drained the remaining records.
+    Final,
+}
+
+impl FlushReason {
+    /// Stable numeric code used by the native trace format.
+    pub fn code(self) -> u32 {
+        match self {
+            FlushReason::Full => 0,
+            FlushReason::Window => 1,
+            FlushReason::Deadline => 2,
+            FlushReason::Hungry => 3,
+            FlushReason::Final => 4,
+        }
+    }
+
+    /// Inverse of [`FlushReason::code`]; `None` for unknown codes.
+    pub fn from_code(code: u32) -> Option<FlushReason> {
+        Some(match code {
+            0 => FlushReason::Full,
+            1 => FlushReason::Window,
+            2 => FlushReason::Deadline,
+            3 => FlushReason::Hungry,
+            4 => FlushReason::Final,
+            _ => return None,
+        })
+    }
 }
 
 /// One captured probe record.

@@ -1,0 +1,147 @@
+//! Lowering record-batching parameters from the schedule.
+//!
+//! The paper's resynchronization pass (§4) prunes redundant UBS
+//! acknowledgements at *compile* time; batching data records and
+//! coalescing credit acknowledgements is the same optimization applied
+//! to the *transport*: fewer wire operations carrying the same token
+//! traffic, with buffer bounds unchanged. A batch is always bounded by
+//! the edge's credit window — B(e)/c(e) messages, eq. (1)/(2) — so a
+//! batched sender can never hold back more records than the receiver's
+//! declared allocation admits, and the static bounds certified by
+//! `spi-verify` stay valid verbatim.
+//!
+//! The flush deadline is derived from the analytic iteration period
+//! ([`crate::PredictedMetrics::op_deadline`] machinery): a Nagle-style
+//! timer only pays off when it is short relative to how fast the
+//! schedule actually produces tokens, so the deadline is a fraction of
+//! the predicted per-iteration wall time, clamped to a sane range.
+
+use std::time::Duration;
+
+/// Upper clamp on a lowered batch: past a few dozen records per
+/// `writev` the syscall amortization is already >95% and larger batches
+/// only add latency.
+pub const BATCH_MAX_MSGS_CAP: u64 = 32;
+
+/// Shortest useful flush deadline — below this the timer fires faster
+/// than a cross-core wakeup and degenerates to per-record flushing.
+pub const FLUSH_AFTER_MIN: Duration = Duration::from_micros(20);
+
+/// Longest tolerated flush deadline — bounds the latency a straggling
+/// record can sit in a sender's pending batch.
+pub const FLUSH_AFTER_MAX: Duration = Duration::from_millis(2);
+
+/// Flush deadline used when the schedule offers no period prediction
+/// (acyclic graph, zero clock).
+pub const FLUSH_AFTER_DEFAULT: Duration = Duration::from_micros(200);
+
+/// Per-edge batching parameters lowered from the schedule, consumed by
+/// the network transport (`spi-net`) when a cross-partition edge is
+/// instantiated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPlan {
+    /// Most records a sender may coalesce into one vectored write.
+    /// `1` disables batching (the legacy one-record-per-write path).
+    pub max_msgs: u64,
+    /// Nagle deadline: a pending batch older than this is flushed even
+    /// if it is not full. Irrelevant when `max_msgs == 1`.
+    pub flush_after: Duration,
+}
+
+impl BatchPlan {
+    /// The unbatched plan: every record is written immediately.
+    pub fn disabled() -> BatchPlan {
+        BatchPlan {
+            max_msgs: 1,
+            flush_after: Duration::ZERO,
+        }
+    }
+
+    /// Whether this plan coalesces records at all.
+    pub fn is_batched(&self) -> bool {
+        self.max_msgs > 1
+    }
+}
+
+impl Default for BatchPlan {
+    fn default() -> Self {
+        BatchPlan::disabled()
+    }
+}
+
+/// Derives the batch plan for one cross-partition edge.
+///
+/// `window_msgs` is the edge's credit window in messages —
+/// `B(e) / c(e)`, i.e. `capacity_bytes / max_message_bytes` of the
+/// lowered transport. The batch is capped at **half** the window so the
+/// receiver always holds enough returned credit for the next batch
+/// while the current one is in flight (double buffering), and at
+/// [`BATCH_MAX_MSGS_CAP`] because syscall amortization saturates.
+/// Windows of ≤ 3 messages lower to the unbatched plan — there is no
+/// room to coalesce without stalling the pipeline.
+///
+/// `op_deadline` is the schedule's predicted per-operation wall time
+/// ([`crate::PredictedMetrics::op_deadline`]); the flush deadline is an
+/// eighth of it, clamped to `[`[`FLUSH_AFTER_MIN`]`, `[`FLUSH_AFTER_MAX`]`]`,
+/// falling back to [`FLUSH_AFTER_DEFAULT`] when no prediction exists.
+pub fn batch_plan(window_msgs: u64, op_deadline: Option<Duration>) -> BatchPlan {
+    let max_msgs = (window_msgs / 2).min(BATCH_MAX_MSGS_CAP);
+    if max_msgs <= 1 {
+        return BatchPlan::disabled();
+    }
+    let flush_after = op_deadline
+        .map(|d| (d / 8).clamp(FLUSH_AFTER_MIN, FLUSH_AFTER_MAX))
+        .unwrap_or(FLUSH_AFTER_DEFAULT);
+    BatchPlan {
+        max_msgs,
+        flush_after,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_windows_lower_to_the_unbatched_plan() {
+        for w in 0..=3 {
+            let p = batch_plan(w, None);
+            assert_eq!(p, BatchPlan::disabled(), "window {w}");
+            assert!(!p.is_batched());
+        }
+    }
+
+    #[test]
+    fn batch_never_exceeds_half_the_credit_window() {
+        for w in 4..=128 {
+            let p = batch_plan(w, None);
+            assert!(
+                p.max_msgs <= w / 2,
+                "window {w}: batch {} > half-window",
+                p.max_msgs
+            );
+        }
+    }
+
+    #[test]
+    fn batch_is_capped_regardless_of_window() {
+        let p = batch_plan(10_000, None);
+        assert_eq!(p.max_msgs, BATCH_MAX_MSGS_CAP);
+    }
+
+    #[test]
+    fn flush_deadline_tracks_the_predicted_period_within_clamps() {
+        // 800 µs predicted op deadline → 100 µs flush (an eighth).
+        let p = batch_plan(64, Some(Duration::from_micros(800)));
+        assert_eq!(p.flush_after, Duration::from_micros(100));
+        // Very fast schedule: clamped up to the minimum useful timer.
+        let p = batch_plan(64, Some(Duration::from_micros(8)));
+        assert_eq!(p.flush_after, FLUSH_AFTER_MIN);
+        // Very slow schedule: clamped down so latency stays bounded.
+        let p = batch_plan(64, Some(Duration::from_secs(1)));
+        assert_eq!(p.flush_after, FLUSH_AFTER_MAX);
+        // No prediction at all: the configured default.
+        let p = batch_plan(64, None);
+        assert_eq!(p.flush_after, FLUSH_AFTER_DEFAULT);
+    }
+}

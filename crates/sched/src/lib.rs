@@ -42,6 +42,7 @@
 
 mod analysis;
 mod assign;
+mod batch;
 mod error;
 mod ipc_graph;
 pub mod latency;
@@ -53,6 +54,10 @@ pub use analysis::{
     max_cycle_mean, maximum_cycle_ratio, speedup_bounds, SpeedupBounds, WeightedEdge,
 };
 pub use assign::{Assignment, Partition, ProcId};
+pub use batch::{
+    batch_plan, BatchPlan, BATCH_MAX_MSGS_CAP, FLUSH_AFTER_DEFAULT, FLUSH_AFTER_MAX,
+    FLUSH_AFTER_MIN,
+};
 pub use error::{Result, SchedError};
 pub use ipc_graph::{IpcEdge, IpcEdgeKind, IpcGraph, Task, TaskId};
 pub use latency::{

@@ -554,6 +554,9 @@ impl SpiSystemBuilder {
                     // SPI044 can hold the pool against the channel's
                     // message capacity.
                     pool_slots: Some(((capacity.max(msg_max) / msg_max).max(1)) as u64),
+                    // In-memory channels don't batch; cross-partition
+                    // lowerings declare their batch in `net_decls`.
+                    batch_msgs: None,
                 },
             );
             if plan.ack_kept {
@@ -666,7 +669,23 @@ impl SpiSystemBuilder {
                 partition.node_of(plan.src_proc)?;
                 partition.node_of(plan.dst_proc)?;
                 if partition.is_cross(plan.src_proc, plan.dst_proc) {
-                    net_decls.insert(*eid, transport_decls[eid]);
+                    // Lower the record batch for this edge's socket:
+                    // bounded by the credit window in messages (eq. (2)
+                    // bytes over eq. (1) packed size), so SPI046 can
+                    // hold the declaration against the window. The
+                    // flush deadline is attached after the predicted
+                    // metrics exist; the batch size depends only on
+                    // the window.
+                    let decl = transport_decls[eid];
+                    let window_msgs = decl.capacity_bytes / decl.message_bytes_max.max(1);
+                    let max_msgs = spi_sched::batch_plan(window_msgs, None).max_msgs;
+                    net_decls.insert(
+                        *eid,
+                        spi_analyze::TransportDecl {
+                            batch_msgs: Some(max_msgs),
+                            ..decl
+                        },
+                    );
                 }
             }
         }
@@ -763,6 +782,25 @@ impl SpiSystemBuilder {
             None
         };
 
+        // ---- Batch plans for cross-partition edges ----------------------
+        // Re-derive the window-bounded batch sizes declared in
+        // `net_decls` above (same deterministic rule), now with the
+        // Nagle flush deadline derived from the predicted per-iteration
+        // wall time at this system's clock.
+        let batch_plans: HashMap<EdgeId, spi_sched::BatchPlan> = {
+            let clock_hz = (self.clock_mhz * 1e6) as u64;
+            let op_deadline = predicted
+                .as_ref()
+                .and_then(|m| m.op_deadline(clock_hz, 1.0));
+            net_decls
+                .iter()
+                .map(|(&eid, decl)| {
+                    let window_msgs = decl.capacity_bytes / decl.message_bytes_max.max(1);
+                    (eid, spi_sched::batch_plan(window_msgs, op_deadline))
+                })
+                .collect()
+        };
+
         Ok(SpiSystem {
             machine,
             plans,
@@ -780,6 +818,7 @@ impl SpiSystemBuilder {
             predicted,
             tracer: self.tracer,
             partition: self.partition,
+            batch_plans,
         })
     }
 }
@@ -845,6 +884,7 @@ pub struct SpiSystem {
     predicted: Option<spi_sched::PredictedMetrics>,
     tracer: Option<Arc<dyn Tracer>>,
     partition: Option<Partition>,
+    batch_plans: HashMap<EdgeId, spi_sched::BatchPlan>,
 }
 
 impl SpiSystem {
@@ -858,6 +898,16 @@ impl SpiSystem {
     /// for a single-process system.
     pub fn partition(&self) -> Option<&Partition> {
         self.partition.as_ref()
+    }
+
+    /// Record-batching parameters lowered per **cross-partition** edge
+    /// of a distributed build: the window-bounded batch size and the
+    /// schedule-derived Nagle flush deadline `spi-net` applies to the
+    /// edge's socket endpoints. Empty for single-process systems;
+    /// unbatchable edges (windows of ≤ 3 messages) carry the disabled
+    /// plan.
+    pub fn batch_plans(&self) -> &HashMap<EdgeId, spi_sched::BatchPlan> {
+        &self.batch_plans
     }
 
     /// The full static-analysis report of the build. Error-severity
@@ -994,6 +1044,19 @@ impl SpiSystem {
             .collect();
         edges.sort_by_key(|e| e.edge);
         meta.edges = edges;
+        // Batching budgets for cross-partition channels: the checker's
+        // SPI086 holds every observed flush against these.
+        let mut batches: Vec<spi_trace::BatchBound> = self
+            .batch_plans
+            .iter()
+            .filter(|(_, plan)| plan.is_batched())
+            .map(|(eid, plan)| spi_trace::BatchBound {
+                channel: self.plans[eid].data_ch,
+                max_msgs: plan.max_msgs,
+            })
+            .collect();
+        batches.sort_by_key(|b| b.channel.0);
+        meta.batch_bounds = batches;
         meta
     }
 

@@ -19,6 +19,7 @@
 //! | SPI083 | error    | observed makespan exceeded the predicted bound |
 //! | SPI084 | warning  | capture dropped events; checks ran on a partial stream |
 //! | SPI085 | error    | conservation violated: more receives than sends |
+//! | SPI086 | error    | a batched flush exceeded the channel's declared batching budget |
 //! | SPI090 | error    | a retry attempt exceeded the supervision retry budget |
 //! | SPI091 | error    | more tokens degraded than the declared budget |
 //! | SPI092 | error    | a PE restarted more times than the restart budget |
@@ -31,6 +32,12 @@
 //! — an unsupervised trace
 //! has no budgets to conform to. `SPI093`–`SPI095` fire on the fault
 //! events alone.
+//!
+//! The batching-budget check (`SPI086`) runs only for channels listed
+//! in the metadata's [`BatchBound`](crate::BatchBound)s — the bounds
+//! the schedule lowered into each sending endpoint. Batched channels
+//! with no declared bound (ad-hoc test or bench endpoints) are exempt,
+//! mirroring how ack channels are exempt from eq. (1)/(2).
 //!
 //! A clean report on a cycle-clocked DES trace is strong evidence the
 //! builder's provisioning math and the engines' flow control agree with
@@ -151,6 +158,14 @@ pub fn check(trace: &Trace) -> ConformanceReport {
     let mut substituted_tokens = 0u64;
     let mut skipped_tokens = 0u64;
 
+    // Batching replay: worst observed flush per declared channel.
+    let batch_bounds: HashMap<usize, u64> = meta
+        .batch_bounds
+        .iter()
+        .map(|b| (b.channel.0, b.max_msgs))
+        .collect();
+    let mut worst_flush: HashMap<usize, (u32, u32, u64)> = HashMap::new(); // ch -> (msgs, bytes, ts)
+
     for ev in &trace.events {
         match ev.kind {
             ProbeKind::Send {
@@ -222,6 +237,17 @@ pub fn check(trace: &Trace) -> ConformanceReport {
                 let r = restarts.entry(ev.pe.0).or_insert((0, iter));
                 r.0 += 1;
                 r.1 = iter;
+            }
+            ProbeKind::BatchFlush {
+                channel,
+                msgs,
+                bytes,
+                ..
+            } if batch_bounds.contains_key(&channel.0) => {
+                let w = worst_flush.entry(channel.0).or_insert((0, 0, ev.ts));
+                if msgs > w.0 {
+                    *w = (msgs, bytes, ev.ts);
+                }
             }
             _ => {}
         }
@@ -346,6 +372,35 @@ pub fn check(trace: &Trace) -> ConformanceReport {
                  time does not match what the actor actually sent",
             ),
         );
+    }
+
+    // SPI086: every flush of a declared batched channel must respect
+    // the batching budget the schedule lowered — one diagnostic per
+    // channel, at the worst flush, like the SPI080/081 bound checks.
+    for (&ch, &(msgs, bytes, ts)) in &worst_flush {
+        let budget = batch_bounds[&ch];
+        if u64::from(msgs) > budget {
+            diagnostics.push(
+                Diagnostic::new(
+                    "SPI086",
+                    Severity::Error,
+                    locus_for(&bounds, ChannelId(ch)),
+                    format!(
+                        "batched flush of {} record(s) ({} B) on {} at t={} exceeds \
+                         the declared batching budget of {} record(s)",
+                        msgs,
+                        bytes,
+                        ChannelId(ch),
+                        ts,
+                        budget
+                    ),
+                )
+                .with_suggestion(
+                    "the sender coalesced more records than the schedule's batch plan \
+                     allows; the lowered batch_max and the runtime endpoint disagree",
+                ),
+            );
+        }
     }
 
     let observed_makespan = trace.observed_end();
@@ -779,6 +834,65 @@ mod tests {
         let r = check(&trace);
         assert_eq!(codes(&r), vec!["SPI082"]);
         assert_eq!(r.diagnostics[0].locus, Locus::System);
+    }
+
+    #[test]
+    fn flush_over_budget_fires_spi086_once_at_worst() {
+        use spi_platform::FlushReason;
+        let mut meta = bounded_meta();
+        meta.batch_bounds.push(crate::model::BatchBound {
+            channel: ChannelId(0),
+            max_msgs: 4,
+        });
+        let flush = |ts, msgs, bytes| ProbeEvent {
+            ts,
+            pe: PeId(0),
+            kind: ProbeKind::BatchFlush {
+                channel: ChannelId(0),
+                msgs,
+                bytes,
+                reason: FlushReason::Full,
+            },
+        };
+        let trace = Trace {
+            meta,
+            events: vec![flush(1, 4, 64), flush(2, 5, 80), flush(3, 6, 96)],
+        };
+        let r = check(&trace);
+        assert_eq!(codes(&r), vec!["SPI086"]);
+        assert!(r.diagnostics[0].message.contains("6 record(s)"));
+        assert!(r.diagnostics[0].message.contains("t=3"));
+        assert!(r.diagnostics[0].message.contains("budget of 4"));
+        assert_eq!(r.diagnostics[0].locus, Locus::Edge(EdgeId(0)));
+    }
+
+    #[test]
+    fn undeclared_batched_channels_are_exempt_from_spi086() {
+        use spi_platform::FlushReason;
+        // Channel 7 flushes huge batches but declares no bound — an
+        // ad-hoc batched endpoint owes the checker nothing. Channel 0
+        // declares a bound and stays inside it.
+        let mut meta = bounded_meta();
+        meta.batch_bounds.push(crate::model::BatchBound {
+            channel: ChannelId(0),
+            max_msgs: 4,
+        });
+        let flush = |ts, ch, msgs| ProbeEvent {
+            ts,
+            pe: PeId(0),
+            kind: ProbeKind::BatchFlush {
+                channel: ChannelId(ch),
+                msgs,
+                bytes: msgs * 16,
+                reason: FlushReason::Deadline,
+            },
+        };
+        let trace = Trace {
+            meta,
+            events: vec![flush(1, 7, 1000), flush(2, 0, 4)],
+        };
+        let r = check(&trace);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
     }
 
     #[test]

@@ -51,9 +51,10 @@ pub use check::{check, ConformanceReport};
 pub use export::{render_gantt, to_chrome_json};
 pub use metrics::{aggregate, ActorMetrics, ChannelMetrics, PeMetrics, TraceMetrics};
 pub use model::{
-    ClockKind, EdgeBound, SupervisionBounds, Trace, TraceMeta, TraceParseError, NATIVE_VERSION,
+    BatchBound, ClockKind, EdgeBound, SupervisionBounds, Trace, TraceMeta, TraceParseError,
+    NATIVE_VERSION,
 };
 
 // Re-export the probe-side vocabulary so trace consumers need only this
 // crate.
-pub use spi_platform::{payload_digest, NopTracer, ProbeEvent, ProbeKind, Tracer};
+pub use spi_platform::{payload_digest, FlushReason, NopTracer, ProbeEvent, ProbeKind, Tracer};

@@ -16,7 +16,7 @@
 use std::fmt;
 
 use spi_dataflow::EdgeId;
-use spi_platform::{ChannelId, PeId, ProbeEvent, ProbeKind};
+use spi_platform::{ChannelId, FlushReason, PeId, ProbeEvent, ProbeKind};
 
 /// Format version written in the header line.
 pub const NATIVE_VERSION: u32 = 1;
@@ -61,6 +61,18 @@ pub struct EdgeBound {
     pub bound_tokens: Option<u64>,
 }
 
+/// The declared batching budget of one channel: the most records its
+/// sending endpoint may coalesce into a single flush, as lowered from
+/// the schedule (`spi_sched::BatchPlan`). The conformance checker holds
+/// every observed [`ProbeKind::BatchFlush`] against this (SPI086).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchBound {
+    /// Platform channel the budget applies to.
+    pub channel: ChannelId,
+    /// Most records one flush may carry.
+    pub max_msgs: u64,
+}
+
 /// Declared supervision budgets of a supervised run — the bounds the
 /// conformance checker holds the observed `Fault*` events against
 /// (diagnostics SPI090–SPI092).
@@ -101,6 +113,10 @@ pub struct TraceMeta {
     /// Supervision budgets when the run was supervised; `None` for
     /// plain runs (the fault-budget checks SPI090–SPI092 are skipped).
     pub supervision: Option<SupervisionBounds>,
+    /// Batching budgets for channels whose senders coalesce records.
+    /// Channels not listed are exempt from the SPI086 budget check
+    /// (ad-hoc batched endpoints in tests and benches declare nothing).
+    pub batch_bounds: Vec<BatchBound>,
 }
 
 impl TraceMeta {
@@ -114,6 +130,7 @@ impl TraceMeta {
             iterations: 0,
             dropped: 0,
             supervision: None,
+            batch_bounds: Vec::new(),
         }
     }
 
@@ -176,6 +193,9 @@ impl Trace {
                 e.edge.0, e.channel.0, e.capacity_bytes, e.max_message_bytes, tokens
             ));
         }
+        for b in &m.batch_bounds {
+            out.push_str(&format!("# batch ch {} max {}\n", b.channel.0, b.max_msgs));
+        }
         for ev in &self.events {
             out.push_str(&format!("E {} {} ", ev.ts, ev.pe.0));
             match ev.kind {
@@ -214,6 +234,16 @@ impl Trace {
                     substituted,
                 } => out.push_str(&format!("fd {} {}", channel.0, u8::from(substituted))),
                 ProbeKind::FaultRestart { iter } => out.push_str(&format!("fx {iter}")),
+                ProbeKind::BatchFlush {
+                    channel,
+                    msgs,
+                    bytes,
+                    reason,
+                } => out.push_str(&format!(
+                    "bf {} {msgs} {bytes} {}",
+                    channel.0,
+                    reason.code()
+                )),
                 _ => out.push('?'),
             }
             out.push('\n');
@@ -327,6 +357,20 @@ fn parse_meta_line(rest: &str, n: usize, meta: &mut TraceMeta) -> Result<(), Tra
                 },
             });
         }
+        "batch" => {
+            let f: Vec<&str> = val.split_whitespace().collect();
+            // "ch <n> max <m>"
+            if f.len() != 4 || f[0] != "ch" || f[2] != "max" {
+                return Err(TraceParseError::at(
+                    n,
+                    format!("malformed batch line {val:?}"),
+                ));
+            }
+            meta.batch_bounds.push(BatchBound {
+                channel: ChannelId(parse_u64(f[1], n, "channel")? as usize),
+                max_msgs: parse_u64(f[3], n, "max")?,
+            });
+        }
         // Unknown keys are forward-compatible comments.
         _ => {}
     }
@@ -412,6 +456,17 @@ fn parse_event_line(rest: &str, n: usize) -> Result<ProbeEvent, TraceParseError>
             substituted: arg(4)? != 0,
         },
         "fx" => ProbeKind::FaultRestart { iter: arg(3)? },
+        "bf" => {
+            let code = arg(6)? as u32;
+            ProbeKind::BatchFlush {
+                channel: ChannelId(arg(3)? as usize),
+                msgs: arg(4)? as u32,
+                bytes: arg(5)? as u32,
+                reason: FlushReason::from_code(code).ok_or_else(|| {
+                    TraceParseError::at(n, format!("unknown flush reason code {code}"))
+                })?,
+            }
+        }
         other => {
             return Err(TraceParseError::at(
                 n,
@@ -590,6 +645,62 @@ mod tests {
         assert!(text.contains("fx 7"));
         let back = Trace::from_native(&text).unwrap();
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn batch_meta_and_flush_events_roundtrip() {
+        let mut t = sample_trace();
+        t.meta.batch_bounds.push(BatchBound {
+            channel: ChannelId(1),
+            max_msgs: 8,
+        });
+        t.events.extend([
+            ProbeEvent {
+                ts: 30,
+                pe: PeId(0),
+                kind: ProbeKind::BatchFlush {
+                    channel: ChannelId(1),
+                    msgs: 8,
+                    bytes: 128,
+                    reason: FlushReason::Full,
+                },
+            },
+            ProbeEvent {
+                ts: 31,
+                pe: PeId(0),
+                kind: ProbeKind::BatchFlush {
+                    channel: ChannelId(1),
+                    msgs: 3,
+                    bytes: 48,
+                    reason: FlushReason::Deadline,
+                },
+            },
+            ProbeEvent {
+                ts: 32,
+                pe: PeId(0),
+                kind: ProbeKind::BatchFlush {
+                    channel: ChannelId(1),
+                    msgs: 1,
+                    bytes: 16,
+                    reason: FlushReason::Final,
+                },
+            },
+        ]);
+        let text = t.to_native();
+        assert!(text.contains("# batch ch 1 max 8"));
+        assert!(text.contains("bf 1 8 128 0"));
+        assert!(text.contains("bf 1 3 48 2"));
+        assert!(text.contains("bf 1 1 16 4"));
+        let back = Trace::from_native(&text).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn malformed_batch_meta_and_unknown_flush_codes_are_rejected() {
+        let err = Trace::from_native("# spi-trace v1\n# batch ch 1\n").unwrap_err();
+        assert!(err.to_string().contains("malformed batch"));
+        let err = Trace::from_native("# spi-trace v1\nE 1 0 bf 1 2 32 9\n").unwrap_err();
+        assert!(err.to_string().contains("unknown flush reason"));
     }
 
     #[test]

@@ -8,11 +8,14 @@
 #   scripts/bench_gate.sh [--tolerance PCT]
 #   scripts/bench_gate.sh --synthetic-regression
 #
-# `--synthetic-regression` self-tests the gate twice: it scales the
-# fresh numbers down 20% and verifies the comparison trips, then strips
+# `--synthetic-regression` self-tests the gate three ways: it scales
+# the fresh numbers down 20% and verifies the comparison trips; strips
 # a section from a baseline copy and verifies the gate warns without
-# failing. CI runs both right after the real gate so a silently broken
-# comparison cannot go green.
+# failing; and strips a metric from a candidate copy (baseline still
+# has it) and verifies the gate fails hard — a benchmark that silently
+# stops reporting a number must not read as "no regression". CI runs
+# all three right after the real gate so a silently broken comparison
+# cannot go green.
 #
 # A metric present in the fresh run but absent from the baseline — a
 # newly added scenario, e.g. `net_loopback` before its baseline lands —
@@ -68,6 +71,15 @@ metric() { # file needle key
 
 FAILURES=0
 WARNINGS=0
+DELTA_ROWS=""
+# Appends one row to the delta report (written as JSON after the gate
+# so CI can upload it as an artifact).
+delta_row() { # file needle key cand base delta_pct status
+  local sect="${2//\"/\\\"}"
+  DELTA_ROWS="$DELTA_ROWS    {\"file\": \"$1\", \"section\": \"$sect\", \"key\": \"$3\", \
+\"candidate\": \"$4\", \"baseline\": \"$5\", \"delta_pct\": \"$6\", \"status\": \"$7\"},\n"
+}
+
 # Compares one metric: candidate must be >= baseline * (1 - TOL/100).
 # A metric the candidate reports but the baseline lacks is recorded as
 # a warning (new scenario, no history yet); a metric the baseline has
@@ -81,11 +93,13 @@ gate_one() { # file needle key candidate_dir baseline_dir
     printf 'WARN  %-24s %-24s %14s — new metric, no baseline; record it on the next baseline refresh\n' \
       "$needle" "$key" "$cand"
     WARNINGS=$((WARNINGS + 1))
+    delta_row "$file" "$needle" "$key" "$cand" "" "" "warn-new-metric"
     return
   fi
   if [ -z "$cand" ] || [ -z "$base" ]; then
     echo "FAIL  $file $needle $key: metric missing (candidate='$cand' baseline='$base')"
     FAILURES=$((FAILURES + 1))
+    delta_row "$file" "$needle" "$key" "$cand" "$base" "" "fail-missing-metric"
     return
   fi
   local verdict
@@ -96,12 +110,25 @@ gate_one() { # file needle key candidate_dir baseline_dir
   local status="${verdict%% *}" delta="${verdict##* }"
   printf '%-4s  %-24s %-24s %14s vs %-14s (%+s%%)\n' \
     "$status" "$needle" "$key" "$cand" "$base" "$delta"
+  delta_row "$file" "$needle" "$key" "$cand" "$base" "$delta" \
+    "$([ "$status" = FAIL ] && echo fail-regressed || echo ok)"
   [ "$status" = "FAIL" ] && FAILURES=$((FAILURES + 1))
   return 0
 }
 
+# Writes the accumulated delta rows as a JSON artifact.
+write_delta() { # out_path
+  {
+    printf '{\n  "tolerance_pct": %s,\n  "metrics": [\n' "$TOL"
+    printf '%b' "$DELTA_ROWS" | sed '$ s/,$//'
+    printf '  ],\n  "failures": %s,\n  "warnings": %s\n}\n' "$FAILURES" "$WARNINGS"
+  } > "$1"
+  echo "== bench_gate: delta report written to $1"
+}
+
 run_gate() { # candidate_dir baseline_dir
   local cand="$1" base="$2"
+  DELTA_ROWS=""
   gate_one BENCH_transport.json '"name": "raw_spsc_8B"' locked_msgs_per_sec "$cand" "$base"
   gate_one BENCH_transport.json '"name": "raw_spsc_8B"' ring_msgs_per_sec "$cand" "$base"
   gate_one BENCH_transport.json '"name": "pipeline_3pe"' locked_msgs_per_sec "$cand" "$base"
@@ -112,6 +139,7 @@ run_gate() { # candidate_dir baseline_dir
   gate_one BENCH_transport.json '"pointer_exchange"' ring_msgs_per_sec "$cand" "$base"
   gate_one BENCH_transport.json '"pointer_exchange"' pointer_msgs_per_sec "$cand" "$base"
   gate_one BENCH_transport.json '"net_loopback"' net_msgs_per_sec "$cand" "$base"
+  gate_one BENCH_transport.json '"net_loopback"' net_unbatched_msgs_per_sec "$cand" "$base"
   gate_one BENCH_transport.json '"supervision"' bare_msgs_per_sec "$cand" "$base"
   gate_one BENCH_transport.json '"supervision"' supervised_msgs_per_sec "$cand" "$base"
   gate_one BENCH_trace.json '"name": "pipeline_3pe_fir"' nop_msgs_per_sec "$cand" "$base"
@@ -163,10 +191,32 @@ if [ "$MODE" = "synthetic" ]; then
     exit 1
   fi
   echo "== bench_gate self-test passed: new section warned ($WARNINGS) without failing"
+
+  # Third self-test: the reverse direction. A metric the baseline has
+  # but the candidate lost — a benchmark that silently stopped
+  # reporting a number — must FAIL hard, never read as "no regression".
+  LOST_DIR="$(mktemp -d)"
+  sed 's/"net_msgs_per_sec": [0-9.]*, //' \
+    "$BENCH_DIR/BENCH_transport.json" > "$LOST_DIR/BENCH_transport.json"
+  cp "$BENCH_DIR/BENCH_trace.json" "$LOST_DIR/BENCH_trace.json"
+  if grep -q '"net_msgs_per_sec"' "$LOST_DIR/BENCH_transport.json"; then
+    echo "== bench_gate self-test FAILED: could not strip net_msgs_per_sec from the candidate copy" >&2
+    exit 1
+  fi
+  FAILURES=0
+  WARNINGS=0
+  echo "== bench_gate self-test: a metric missing from the candidate must fail hard"
+  run_gate "$LOST_DIR" "$BENCH_DIR"
+  if [ "$FAILURES" -eq 0 ]; then
+    echo "== bench_gate self-test FAILED: a metric lost from the run sailed through the gate" >&2
+    exit 1
+  fi
+  echo "== bench_gate self-test passed: removed metric rejected ($FAILURES failure(s))"
   exit 0
 fi
 
 run_gate "$BENCH_DIR" "$REPO"
+write_delta "$BENCH_DIR/BENCH_delta.json"
 if [ "$FAILURES" -gt 0 ]; then
   echo "== bench_gate: $FAILURES metric(s) regressed beyond ${TOL}% vs the committed baseline" >&2
   exit 1
