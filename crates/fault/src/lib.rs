@@ -55,7 +55,6 @@ use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::thread;
 use std::time::Duration;
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -347,11 +346,11 @@ impl Transport for FaultyTransport {
         self.record(idx, kind);
         match kind {
             FaultKind::Delay { micros } => {
-                thread::sleep(Duration::from_micros(micros));
+                spi_platform::shim::sleep(Duration::from_micros(micros));
                 self.inner.send(data, timeout)
             }
             FaultKind::Stall { millis } => {
-                thread::sleep(Duration::from_millis(millis));
+                spi_platform::shim::sleep(Duration::from_millis(millis));
                 self.inner.send(data, timeout)
             }
             FaultKind::Drop => Err(TransportError::Injected {
@@ -424,11 +423,11 @@ impl Transport for FaultyTransport {
         self.record(idx, kind);
         match kind {
             FaultKind::Delay { micros } => {
-                thread::sleep(Duration::from_micros(micros));
+                spi_platform::shim::sleep(Duration::from_micros(micros));
                 self.inner.send_token(token, timeout)
             }
             FaultKind::Stall { millis } => {
-                thread::sleep(Duration::from_millis(millis));
+                spi_platform::shim::sleep(Duration::from_millis(millis));
                 self.inner.send_token(token, timeout)
             }
             // Dropping the token releases its pool slot, if any — a

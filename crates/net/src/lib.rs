@@ -39,6 +39,7 @@ pub mod error;
 pub mod launcher;
 pub mod merge;
 pub mod node;
+pub mod stream;
 pub mod transport;
 pub mod wire;
 
@@ -49,4 +50,5 @@ pub use launcher::{
 };
 pub use merge::{merge_node_traces, NodeTrace};
 pub use node::{build_endpoints, deploy, socket_path, ChannelRole, Deployment};
+pub use stream::NetStream;
 pub use transport::{loopback, loopback_with, AckPolicy, BatchParams, NetReceiver, NetSender};

@@ -1,0 +1,47 @@
+//! The byte-stream seam under [`crate::NetSender`] /
+//! [`crate::NetReceiver`].
+//!
+//! The transport logic — framing, vectored batch writes, credit acks,
+//! flush policy — is generic over any full-duplex byte stream with the
+//! small surface a `UnixStream` offers: cloneable handles (separate
+//! reader/writer views of one connection) and half/full shutdown. Real
+//! deployments use `UnixStream`; the `spi-sim` deterministic simulator
+//! substitutes an in-memory pair whose reads and writes are schedule
+//! points with seeded partial-I/O, exercising the exact short-read /
+//! short-write loops in [`crate::wire`] without a kernel in the loop.
+
+use std::io::{Read, Write};
+use std::net::Shutdown;
+use std::os::unix::net::UnixStream;
+
+/// A connected, cloneable, shutdown-capable byte stream.
+///
+/// `try_clone` must return a handle onto the *same* connection (reads
+/// and writes interleave with the original); `shutdown` must cause
+/// blocked and future reads on every clone to observe EOF per
+/// [`Shutdown`] semantics, like a socket.
+pub trait NetStream: Read + Write + Send + Sized + 'static {
+    /// A second handle onto the same connection.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from the underlying handle duplication.
+    fn try_clone(&self) -> std::io::Result<Self>;
+
+    /// Shuts down the read, write, or both halves of the connection.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from the underlying shutdown.
+    fn shutdown(&self, how: Shutdown) -> std::io::Result<()>;
+}
+
+impl NetStream for UnixStream {
+    fn try_clone(&self) -> std::io::Result<Self> {
+        UnixStream::try_clone(self)
+    }
+
+    fn shutdown(&self, how: Shutdown) -> std::io::Result<()> {
+        UnixStream::shutdown(self, how)
+    }
+}

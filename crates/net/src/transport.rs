@@ -58,14 +58,16 @@ use std::collections::VecDeque;
 use std::io::Write;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
+use spi_platform::shim::{self, AtomicBool, Condvar, Mutex};
 use spi_platform::{
     ChannelId, ChannelSpec, FlushReason, PeId, ProbeKind, Tracer, Transport, TransportError,
 };
 
+use crate::stream::NetStream;
 use crate::wire::{frame_with, read_record, write_framed_vectored, write_record};
 
 /// How long [`NetSender::connect`] keeps retrying a missing socket path
@@ -92,10 +94,11 @@ fn effective_capacity(spec: &ChannelSpec) -> usize {
 
 fn closed_err(timeout: Duration, since: Instant) -> TransportError {
     // `idle` never exceeds the configured deadline (scheduling jitter
-    // can overshoot it); RingTransport reports the same shape.
+    // can overshoot it); RingTransport reports the same shape. Read the
+    // clock through the shim so the figure is virtual under `spi-sim`.
     TransportError::Timeout {
         after: timeout,
-        idle: since.elapsed().min(timeout),
+        idle: shim::now().saturating_duration_since(since).min(timeout),
     }
 }
 
@@ -211,7 +214,7 @@ struct PendingBatch {
     first_at: Option<Instant>,
 }
 
-struct SenderShared {
+struct SenderShared<S: NetStream> {
     capacity: usize,
     max_msg: usize,
     batch: BatchParams,
@@ -227,18 +230,18 @@ struct SenderShared {
     /// Wakes the deadline-flusher thread when a batch starts or the
     /// endpoint closes. Paired with `pending`.
     flush_wake: Condvar,
-    stream: Mutex<UnixStream>,
+    stream: Mutex<S>,
     /// Sticky peer-is-blocked hint from a HUNGRY ack; cleared by the
     /// next successful flush (whose records will unpark the peer).
     hungry: AtomicBool,
     probe: OnceLock<ProbePoint>,
 }
 
-impl SenderShared {
+impl<S: NetStream> SenderShared<S> {
     /// Drains the pending batch with one vectored write. No-op when
     /// nothing is pending; on a socket error the channel closes.
     fn flush(&self, reason: FlushReason) -> std::io::Result<()> {
-        let mut p = self.pending.lock().expect("pending batch");
+        let mut p = self.pending.lock();
         self.flush_locked(&mut p, reason)
     }
 
@@ -250,7 +253,7 @@ impl SenderShared {
         let bytes = std::mem::take(&mut p.bytes);
         p.first_at = None;
         let res = {
-            let mut tx = self.stream.lock().expect("sender stream");
+            let mut tx = self.stream.lock();
             write_framed_vectored(&mut *tx as &mut dyn Write, &records)
         };
         match res {
@@ -286,8 +289,12 @@ impl SenderShared {
 /// Owns the socket's write half, a background thread draining credit
 /// acknowledgements from the read half, and — when batching is on — a
 /// deadline-flusher thread enforcing the Nagle timer.
-pub struct NetSender {
-    shared: Arc<SenderShared>,
+///
+/// Generic over the underlying byte stream ([`NetStream`]): real
+/// deployments use the `UnixStream` default, `spi-sim` substitutes a
+/// deterministic in-memory pair.
+pub struct NetSender<S: NetStream = UnixStream> {
+    shared: Arc<SenderShared<S>>,
 }
 
 impl NetSender {
@@ -325,20 +332,18 @@ impl NetSender {
         };
         Ok(NetSender::from_stream_with(stream, spec, batch))
     }
+}
 
+impl<S: NetStream> NetSender<S> {
     /// Wraps an already-connected stream (socketpair loopback, tests),
     /// unbatched.
-    pub fn from_stream(stream: UnixStream, spec: &ChannelSpec) -> NetSender {
+    pub fn from_stream(stream: S, spec: &ChannelSpec) -> NetSender<S> {
         NetSender::from_stream_with(stream, spec, BatchParams::disabled())
     }
 
     /// Wraps an already-connected stream with record coalescing
     /// configured.
-    pub fn from_stream_with(
-        stream: UnixStream,
-        spec: &ChannelSpec,
-        batch: BatchParams,
-    ) -> NetSender {
+    pub fn from_stream_with(stream: S, spec: &ChannelSpec, batch: BatchParams) -> NetSender<S> {
         let capacity = effective_capacity(spec);
         let batch = BatchParams {
             max_msgs: batch.max_msgs.max(1),
@@ -348,27 +353,36 @@ impl NetSender {
             capacity,
             max_msg: spec.max_message_bytes.max(1),
             batch,
-            state: Mutex::new(SenderState {
-                credits: capacity,
-                in_flight_msgs: 0,
-                grants: 0,
-            }),
-            credit_back: Condvar::new(),
-            closed: AtomicBool::new(false),
-            pending: Mutex::new(PendingBatch {
-                records: Vec::new(),
-                bytes: 0,
-                first_at: None,
-            }),
-            flush_wake: Condvar::new(),
-            stream: Mutex::new(stream.try_clone().expect("clone socket")),
-            hungry: AtomicBool::new(false),
+            state: Mutex::labeled(
+                SenderState {
+                    credits: capacity,
+                    in_flight_msgs: 0,
+                    grants: 0,
+                },
+                "net_sender_state",
+            ),
+            credit_back: Condvar::labeled("net_credit_back"),
+            closed: AtomicBool::labeled(false, "net_sender_closed"),
+            pending: Mutex::labeled(
+                PendingBatch {
+                    records: Vec::new(),
+                    bytes: 0,
+                    first_at: None,
+                },
+                "net_pending_batch",
+            ),
+            flush_wake: Condvar::labeled("net_flush_wake"),
+            stream: Mutex::labeled(
+                stream.try_clone().expect("clone socket"),
+                "net_sender_stream",
+            ),
+            hungry: AtomicBool::labeled(false, "net_hungry"),
             probe: OnceLock::new(),
         });
         let reader = Arc::clone(&shared);
         // Detached on purpose: the thread holds only the Arc and exits
         // as soon as the socket EOFs or errors (Drop shuts it down).
-        std::thread::spawn(move || {
+        shim::spawn("net-ack", move || {
             let mut rx = stream;
             loop {
                 match read_record(&mut rx) {
@@ -379,7 +393,7 @@ impl NetSender {
                         let msgs = word(4) as usize;
                         let flags = word(8);
                         if freed > 0 || msgs > 0 {
-                            let mut st = reader.state.lock().expect("sender state");
+                            let mut st = reader.state.lock();
                             st.credits = (st.credits + freed).min(reader.capacity);
                             st.in_flight_msgs = st.in_flight_msgs.saturating_sub(msgs);
                             st.grants += 1;
@@ -410,26 +424,20 @@ impl NetSender {
             // Deadline flusher: parks on `flush_wake` until a batch
             // starts, then sleeps out the Nagle deadline and drains
             // whatever is still pending.
-            std::thread::spawn(move || {
-                let mut p = fl.pending.lock().expect("pending batch");
+            shim::spawn("net-flush", move || {
+                let mut p = fl.pending.lock();
                 while !fl.closed.load(Ordering::Acquire) {
                     let Some(first_at) = p.first_at else {
-                        let (guard, _) = fl
-                            .flush_wake
-                            .wait_timeout(p, Duration::from_millis(50))
-                            .expect("pending batch");
+                        let (guard, _) = fl.flush_wake.wait_timeout(p, Duration::from_millis(50));
                         p = guard;
                         continue;
                     };
-                    let age = first_at.elapsed();
+                    let age = shim::now().saturating_duration_since(first_at);
                     if age >= fl.batch.flush_after {
                         let _ = fl.flush_locked(&mut p, FlushReason::Deadline);
                         continue;
                     }
-                    let (guard, _) = fl
-                        .flush_wake
-                        .wait_timeout(p, fl.batch.flush_after - age)
-                        .expect("pending batch");
+                    let (guard, _) = fl.flush_wake.wait_timeout(p, fl.batch.flush_after - age);
                     p = guard;
                 }
             });
@@ -460,7 +468,7 @@ impl NetSender {
     pub fn flush_pending(&self) -> Result<(), TransportError> {
         self.shared
             .flush(FlushReason::Final)
-            .map_err(|_| closed_err(Duration::ZERO, Instant::now()))
+            .map_err(|_| closed_err(Duration::ZERO, shim::now()))
     }
 
     fn closed(&self) -> bool {
@@ -468,14 +476,15 @@ impl NetSender {
     }
 }
 
-impl Drop for NetSender {
+impl<S: NetStream> Drop for NetSender<S> {
     fn drop(&mut self) {
         // Drain any coalesced records first: peers distinguish a clean
         // EOF from a truncated stream, and credits for unsent bytes are
         // unrecoverable either way.
         let _ = self.shared.flush(FlushReason::Final);
         self.shared.closed.store(true, Ordering::Release);
-        if let Ok(s) = self.shared.stream.lock() {
+        {
+            let s = self.shared.stream.lock();
             let _ = s.shutdown(std::net::Shutdown::Both);
         }
         self.shared.credit_back.notify_all();
@@ -483,7 +492,7 @@ impl Drop for NetSender {
     }
 }
 
-impl Transport for NetSender {
+impl<S: NetStream> Transport for NetSender<S> {
     fn capacity_bytes(&self) -> usize {
         self.shared.capacity
     }
@@ -493,20 +502,16 @@ impl Transport for NetSender {
     }
 
     fn len_bytes(&self) -> usize {
-        let st = self.shared.state.lock().expect("sender state");
+        let st = self.shared.state.lock();
         self.shared.capacity - st.credits
     }
 
     fn occupancy(&self) -> usize {
-        self.shared
-            .state
-            .lock()
-            .expect("sender state")
-            .in_flight_msgs
+        self.shared.state.lock().in_flight_msgs
     }
 
     fn snapshot(&self) -> (usize, usize) {
-        let st = self.shared.state.lock().expect("sender state");
+        let st = self.shared.state.lock();
         (self.shared.capacity - st.credits, st.in_flight_msgs)
     }
 
@@ -538,11 +543,11 @@ impl Transport for NetSender {
                 max: self.shared.max_msg,
             });
         }
-        let start = Instant::now();
+        let start = shim::now();
         let deadline = start + timeout;
         let credits_after;
         {
-            let mut st = self.shared.state.lock().expect("sender state");
+            let mut st = self.shared.state.lock();
             let mut seen_grants = st.grants;
             let mut progress_at = start;
             // An idle channel always admits one message (credits start
@@ -556,7 +561,7 @@ impl Transport for NetSender {
                     // Credits can only return for records the peer has
                     // seen — drain the pending batch before waiting.
                     let unsent = {
-                        let p = self.shared.pending.lock().expect("pending batch");
+                        let p = self.shared.pending.lock();
                         !p.records.is_empty()
                     };
                     if unsent {
@@ -564,11 +569,11 @@ impl Transport for NetSender {
                         if self.shared.flush(FlushReason::Window).is_err() {
                             return Err(closed_err(timeout, start));
                         }
-                        st = self.shared.state.lock().expect("sender state");
+                        st = self.shared.state.lock();
                         continue;
                     }
                 }
-                let now = Instant::now();
+                let now = shim::now();
                 if st.grants != seen_grants {
                     seen_grants = st.grants;
                     progress_at = now;
@@ -579,11 +584,7 @@ impl Transport for NetSender {
                         idle: now.duration_since(progress_at).min(timeout),
                     });
                 }
-                let (guard, _) = self
-                    .shared
-                    .credit_back
-                    .wait_timeout(st, deadline - now)
-                    .expect("sender state");
+                let (guard, _) = self.shared.credit_back.wait_timeout(st, deadline - now);
                 st = guard;
             }
             st.credits -= len;
@@ -592,9 +593,9 @@ impl Transport for NetSender {
         }
         let rec = frame_with(len, fill);
         let flush_reason = {
-            let mut p = self.shared.pending.lock().expect("pending batch");
+            let mut p = self.shared.pending.lock();
             if p.records.is_empty() {
-                p.first_at = Some(Instant::now());
+                p.first_at = Some(shim::now());
                 // Arm the deadline flusher for this batch.
                 self.shared.flush_wake.notify_all();
             }
@@ -651,23 +652,31 @@ struct ReceiverState {
 /// endpoint's `Drop` and the pump thread cannot race past each other:
 /// whichever runs second sees the other's effect and performs the
 /// socket shutdown exactly once.
-#[derive(Default)]
-struct AckSlot {
+struct AckSlot<S> {
     /// Populated by the pump once the connection exists (immediately
     /// for socketpair construction, after accept when bound).
-    stream: Option<UnixStream>,
+    stream: Option<S>,
     /// Set by the endpoint's `Drop`.
     dropped: bool,
 }
 
-struct ReceiverShared {
+impl<S> Default for AckSlot<S> {
+    fn default() -> Self {
+        AckSlot {
+            stream: None,
+            dropped: false,
+        }
+    }
+}
+
+struct ReceiverShared<S: NetStream> {
     capacity: usize,
     max_msg: usize,
     ack_policy: AckPolicy,
     state: Mutex<ReceiverState>,
     arrived: Condvar,
     closed: AtomicBool,
-    ack_tx: Mutex<AckSlot>,
+    ack_tx: Mutex<AckSlot<S>>,
 }
 
 /// The receiving endpoint of a cross-process channel.
@@ -676,8 +685,11 @@ struct ReceiverShared {
 /// drains data records into a bounded-by-protocol queue; consuming a
 /// message accumulates credit that is returned to the sender per the
 /// endpoint's [`AckPolicy`].
-pub struct NetReceiver {
-    shared: Arc<ReceiverShared>,
+/// Generic over the underlying byte stream ([`NetStream`]): real
+/// deployments use the `UnixStream` default, `spi-sim` substitutes a
+/// deterministic in-memory pair.
+pub struct NetReceiver<S: NetStream = UnixStream> {
+    shared: Arc<ReceiverShared<S>>,
     /// Socket path to poke on Drop so a never-connected accept thread
     /// unblocks and exits.
     listener_path: Option<std::path::PathBuf>,
@@ -708,7 +720,7 @@ impl NetReceiver {
         let listener = UnixListener::bind(path)?;
         let shared = Self::shared_for(spec, ack);
         let reader = Arc::clone(&shared);
-        std::thread::spawn(move || {
+        shim::spawn("net-accept", move || {
             let Ok((stream, _)) = listener.accept() else {
                 reader.closed.store(true, Ordering::Release);
                 reader.arrived.notify_all();
@@ -721,25 +733,27 @@ impl NetReceiver {
             listener_path: Some(path.to_path_buf()),
         })
     }
+}
 
+impl<S: NetStream> NetReceiver<S> {
     /// Wraps an already-connected stream (socketpair loopback, tests),
     /// acking every message.
-    pub fn from_stream(stream: UnixStream, spec: &ChannelSpec) -> NetReceiver {
+    pub fn from_stream(stream: S, spec: &ChannelSpec) -> NetReceiver<S> {
         NetReceiver::from_stream_with(stream, spec, AckPolicy::immediate())
     }
 
     /// Wraps an already-connected stream with a coalesced ack policy.
-    pub fn from_stream_with(stream: UnixStream, spec: &ChannelSpec, ack: AckPolicy) -> NetReceiver {
+    pub fn from_stream_with(stream: S, spec: &ChannelSpec, ack: AckPolicy) -> NetReceiver<S> {
         let shared = Self::shared_for(spec, ack);
         let reader = Arc::clone(&shared);
-        std::thread::spawn(move || Self::pump(&reader, stream));
+        shim::spawn("net-pump", move || Self::pump(&reader, stream));
         NetReceiver {
             shared,
             listener_path: None,
         }
     }
 
-    fn shared_for(spec: &ChannelSpec, ack: AckPolicy) -> Arc<ReceiverShared> {
+    fn shared_for(spec: &ChannelSpec, ack: AckPolicy) -> Arc<ReceiverShared<S>> {
         Arc::new(ReceiverShared {
             capacity: effective_capacity(spec),
             max_msg: spec.max_message_bytes.max(1),
@@ -747,24 +761,27 @@ impl NetReceiver {
                 every_msgs: ack.every_msgs.max(1),
                 ..ack
             },
-            state: Mutex::new(ReceiverState {
-                queue: VecDeque::new(),
-                queued_bytes: 0,
-                arrivals: 0,
-                unacked_bytes: 0,
-                unacked_msgs: 0,
-                hungry_sent: false,
-            }),
-            arrived: Condvar::new(),
-            closed: AtomicBool::new(false),
-            ack_tx: Mutex::new(AckSlot::default()),
+            state: Mutex::labeled(
+                ReceiverState {
+                    queue: VecDeque::new(),
+                    queued_bytes: 0,
+                    arrivals: 0,
+                    unacked_bytes: 0,
+                    unacked_msgs: 0,
+                    hungry_sent: false,
+                },
+                "net_receiver_state",
+            ),
+            arrived: Condvar::labeled("net_arrived"),
+            closed: AtomicBool::labeled(false, "net_receiver_closed"),
+            ack_tx: Mutex::labeled(AckSlot::default(), "net_ack_tx"),
         })
     }
 
     /// Reads data records off `stream` into the queue until EOF/error.
-    fn pump(shared: &Arc<ReceiverShared>, stream: UnixStream) {
+    fn pump(shared: &Arc<ReceiverShared<S>>, stream: S) {
         {
-            let mut slot = shared.ack_tx.lock().expect("ack stream");
+            let mut slot = shared.ack_tx.lock();
             if slot.dropped {
                 // The endpoint was dropped before the connection came
                 // up; tear it down here — Drop could not, it never saw
@@ -776,7 +793,7 @@ impl NetReceiver {
         }
         let mut rx = stream;
         while let Ok(Some(msg)) = read_record(&mut rx) {
-            let mut st = shared.state.lock().expect("receiver state");
+            let mut st = shared.state.lock();
             st.queued_bytes += msg.len();
             st.arrivals += 1;
             st.hungry_sent = false;
@@ -794,7 +811,7 @@ impl NetReceiver {
 
     /// Writes one cumulative credit-ack record.
     fn ack(&self, freed_bytes: usize, freed_msgs: usize, flags: u32) {
-        let mut slot = self.shared.ack_tx.lock().expect("ack stream");
+        let mut slot = self.shared.ack_tx.lock();
         if let Some(tx) = slot.stream.as_mut() {
             let mut rec = [0u8; ACK_BYTES];
             rec[..4].copy_from_slice(&(freed_bytes as u32).to_le_bytes());
@@ -840,11 +857,11 @@ impl NetReceiver {
     }
 }
 
-impl Drop for NetReceiver {
+impl<S: NetStream> Drop for NetReceiver<S> {
     fn drop(&mut self) {
         self.shared.closed.store(true, Ordering::Release);
         let connected = {
-            let mut slot = self.shared.ack_tx.lock().expect("ack stream");
+            let mut slot = self.shared.ack_tx.lock();
             slot.dropped = true;
             if let Some(tx) = slot.stream.as_ref() {
                 let _ = tx.shutdown(std::net::Shutdown::Both);
@@ -868,7 +885,7 @@ impl Drop for NetReceiver {
     }
 }
 
-impl Transport for NetReceiver {
+impl<S: NetStream> Transport for NetReceiver<S> {
     fn capacity_bytes(&self) -> usize {
         self.shared.capacity
     }
@@ -878,24 +895,15 @@ impl Transport for NetReceiver {
     }
 
     fn len_bytes(&self) -> usize {
-        self.shared
-            .state
-            .lock()
-            .expect("receiver state")
-            .queued_bytes
+        self.shared.state.lock().queued_bytes
     }
 
     fn occupancy(&self) -> usize {
-        self.shared
-            .state
-            .lock()
-            .expect("receiver state")
-            .queue
-            .len()
+        self.shared.state.lock().queue.len()
     }
 
     fn snapshot(&self) -> (usize, usize) {
-        let st = self.shared.state.lock().expect("receiver state");
+        let st = self.shared.state.lock();
         (st.queued_bytes, st.queue.len())
     }
 
@@ -905,7 +913,7 @@ impl Transport for NetReceiver {
 
     fn try_recv(&self) -> Result<Vec<u8>, TransportError> {
         let (msg, due) = {
-            let mut st = self.shared.state.lock().expect("receiver state");
+            let mut st = self.shared.state.lock();
             match st.queue.pop_front() {
                 Some(m) => {
                     st.queued_bytes -= m.len();
@@ -944,11 +952,11 @@ impl Transport for NetReceiver {
         consume: &mut dyn FnMut(&[u8]),
         timeout: Duration,
     ) -> Result<(), TransportError> {
-        let start = Instant::now();
+        let start = shim::now();
         let deadline = start + timeout;
         let mut seen_arrivals: Option<u64> = None;
         let mut progress_at = start;
-        let mut st = self.shared.state.lock().expect("receiver state");
+        let mut st = self.shared.state.lock();
         let (msg, due) = loop {
             if let Some(m) = st.queue.pop_front() {
                 st.queued_bytes -= m.len();
@@ -963,10 +971,10 @@ impl Transport for NetReceiver {
             if let Some((b, n)) = self.settle_hungry(&mut st) {
                 drop(st);
                 self.ack(b, n, ACK_FLAG_HUNGRY);
-                st = self.shared.state.lock().expect("receiver state");
+                st = self.shared.state.lock();
                 continue;
             }
-            let now = Instant::now();
+            let now = shim::now();
             if seen_arrivals != Some(st.arrivals) {
                 if seen_arrivals.is_some() {
                     progress_at = now;
@@ -979,11 +987,7 @@ impl Transport for NetReceiver {
                     idle: now.duration_since(progress_at).min(timeout),
                 });
             }
-            let (guard, _) = self
-                .shared
-                .arrived
-                .wait_timeout(st, deadline - now)
-                .expect("receiver state");
+            let (guard, _) = self.shared.arrived.wait_timeout(st, deadline - now);
             st = guard;
         };
         drop(st);

@@ -63,6 +63,8 @@ mod resource;
 mod runner;
 pub mod shim;
 mod sim;
+#[cfg(feature = "verify-shim")]
+pub mod simrt;
 mod supervise;
 mod trace;
 mod transport;

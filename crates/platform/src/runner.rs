@@ -17,7 +17,6 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, Mutex};
-use std::thread;
 use std::time::Duration;
 
 use crate::error::{BlockKind, BlockedOp, PlatformError, Result};
@@ -266,7 +265,7 @@ impl ThreadedRunner {
         let results: Mutex<Vec<Option<ThreadedPeResult>>> =
             Mutex::new((0..programs.len()).map(|_| None).collect());
 
-        thread::scope(|scope| {
+        crate::shim::scope(|scope| {
             for (idx, mut program) in programs.into_iter().enumerate() {
                 let endpoints = &endpoints;
                 let timed_out = &timed_out;
@@ -276,7 +275,7 @@ impl ThreadedRunner {
                 // them up front so the hot loop never touches the
                 // tracer's (locking) intern table.
                 let labels = intern_labels(probe, &program);
-                scope.spawn(move || {
+                scope.spawn_named(format!("pe{idx}"), move || {
                     let mut local = PeLocal::default();
                     let mut prologue = std::mem::take(&mut program.prologue);
                     let mut aborted = false;

@@ -41,7 +41,6 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
-use std::thread;
 use std::time::{Duration, Instant};
 
 use crate::error::{BlockKind, PlatformError, Result};
@@ -382,7 +381,7 @@ impl PeCtx<'_> {
 
     fn idle_since(&self, ch: usize) -> Duration {
         let anchor = self.chans[ch].last_ok.unwrap_or(self.started);
-        Instant::now().duration_since(anchor)
+        crate::shim::now().duration_since(anchor)
     }
 
     fn backoff(&self, attempt: u32) {
@@ -391,7 +390,7 @@ impl PeCtx<'_> {
             return;
         }
         let exp = base.saturating_mul(1u32 << attempt.saturating_sub(1).min(16));
-        thread::sleep(exp.min(MAX_BACKOFF));
+        crate::shim::sleep(exp.min(MAX_BACKOFF));
     }
 
     /// Transmits one logical token; returns `false` when the PE must
@@ -415,7 +414,7 @@ impl PeCtx<'_> {
                 Ok(()) => {
                     let c = &mut self.chans[ch.0];
                     c.send_seq = seq.wrapping_add(1);
-                    c.last_ok = Some(Instant::now());
+                    c.last_ok = Some(crate::shim::now());
                     if self.probe.is_some() {
                         let (occ_b, occ_m) = logical_snapshot(ep.as_ref());
                         self.emit(ProbeKind::Send {
@@ -546,7 +545,7 @@ impl PeCtx<'_> {
         let c = &mut self.chans[ch.0];
         c.recv_seq = c.recv_seq.wrapping_add(1);
         c.last_len = payload.len();
-        c.last_ok = Some(Instant::now());
+        c.last_ok = Some(crate::shim::now());
         if self.probe.is_some() {
             let (occ_b, occ_m) = logical_snapshot(self.endpoints[ch.0].as_ref());
             self.emit(ProbeKind::Recv {
@@ -674,7 +673,7 @@ pub(crate) fn run_supervised(
         Mutex::new((0..programs.len()).map(|_| None).collect());
     let n_chans = specs.len();
 
-    thread::scope(|scope| {
+    crate::shim::scope(|scope| {
         for (idx, mut program) in programs.into_iter().enumerate() {
             let fault = &fault;
             let results = &results;
@@ -686,12 +685,12 @@ pub(crate) fn run_supervised(
                 endpoints,
                 probe,
                 fault,
-                started: Instant::now(),
+                started: crate::shim::now(),
                 chans: vec![ChanState::default(); n_chans],
                 restarts: 0,
             };
-            scope.spawn(move || {
-                ctx.started = Instant::now();
+            scope.spawn_named(format!("pe{idx}"), move || {
+                ctx.started = crate::shim::now();
                 let mut local = PeLocal::default();
                 let mut prologue = std::mem::take(&mut program.prologue);
                 let mut aborted = false;

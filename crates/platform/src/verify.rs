@@ -86,7 +86,13 @@ enum Role {
 /// is abandoned (prune or failure). Swallowed by the panic hook.
 struct ModelAbort;
 
-fn install_abort_hook() {
+/// Whether a caught panic payload is the abort sentinel (shared with
+/// [`crate::simrt`], which swallows it in its thread wrapper).
+pub(crate) fn is_model_abort(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload.is::<ModelAbort>()
+}
+
+pub(crate) fn install_abort_hook() {
     static HOOK: Once = Once::new();
     HOOK.call_once(|| {
         let prev = panic::take_hook();
@@ -361,13 +367,13 @@ impl Drop for WorkerPool {
     }
 }
 
-fn abort_unwind() {
+pub(crate) fn abort_unwind() {
     if !std::thread::panicking() {
         panic::panic_any(ModelAbort);
     }
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -954,7 +960,7 @@ fn drive(
 /// Default scheduling policy: stay on the previously-running thread
 /// when possible (keeps discovered schedules low-preemption), else
 /// lowest awake thread id.
-fn prefer(last: Option<usize>, enabled: &[usize], sleep: &[(usize, Op)]) -> usize {
+pub(crate) fn prefer(last: Option<usize>, enabled: &[usize], sleep: &[(usize, Op)]) -> usize {
     let asleep = |t: usize| sleep.iter().any(|(s, _)| *s == t);
     if let Some(l) = last {
         if enabled.contains(&l) && !asleep(l) {
@@ -997,6 +1003,47 @@ fn count_switches(granted: &[(usize, Op)]) -> usize {
     granted.windows(2).filter(|w| w[0].0 != w[1].0).count()
 }
 
+/// Context switches in a schedule given as thread ids per step.
+pub(crate) fn count_switches_ids(schedule: &[usize]) -> usize {
+    schedule.windows(2).filter(|w| w[0] != w[1]).count()
+}
+
+/// Greedy context-switch deferral, shared by the model checker's
+/// witness minimizer and the simulator's schedule shrinker
+/// ([`crate::simrt::shrink`]): repeatedly try to defer each context
+/// switch by one step — force the schedule prefix plus one more step of
+/// the previous thread, let the replayer complete the run — and adopt
+/// any reproduction with strictly fewer switches. `replay` returns the
+/// full granted schedule when the forced prefix still reproduces the
+/// original failure, `None` otherwise. `budget` caps replay attempts.
+pub(crate) fn greedy_defer(
+    mut best: Vec<usize>,
+    mut budget: usize,
+    mut replay: impl FnMut(&[usize]) -> Option<Vec<usize>>,
+) -> Vec<usize> {
+    let mut improved = true;
+    while improved && budget > 0 {
+        improved = false;
+        let mut i = 1;
+        while i < best.len() && budget > 0 {
+            if best[i] != best[i - 1] {
+                budget -= 1;
+                let mut forced: Vec<usize> = best[..i].to_vec();
+                forced.push(best[i - 1]);
+                if let Some(cand) = replay(&forced) {
+                    if count_switches_ids(&cand) < count_switches_ids(&best) {
+                        best = cand;
+                        improved = true;
+                        continue;
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+    best
+}
+
 /// Greedy schedule minimization: repeatedly try to defer each context
 /// switch by one step (forcing the previous thread to continue, then
 /// completing with the stay-on-thread default policy) and keep any
@@ -1010,37 +1057,29 @@ fn report_failure(
     pool: &mut Option<WorkerPool>,
 ) -> Failure {
     let raw_steps = res.granted.len();
-    let mut best: Vec<usize> = res.granted.iter().map(|&(t, _)| t).collect();
     let mut best_granted = res.granted;
     let mut best_kind = kind;
     let labels = res.labels;
 
     if opts.minimize {
-        let mut budget = 200usize;
-        let mut improved = true;
-        while improved && budget > 0 {
-            improved = false;
-            let mut i = 1;
-            while i < best.len() && budget > 0 {
-                if best[i] != best[i - 1] {
-                    budget -= 1;
-                    let mut forced: Vec<usize> = best[..i].to_vec();
-                    forced.push(best[i - 1]);
-                    let r = run_once(opts, scenario, Mode::Forced(&forced), pool);
-                    if let RunOutcome::Failed(k) = r.outcome {
-                        if same_kind(&k, &best_kind) {
-                            let cand: Vec<usize> = r.granted.iter().map(|&(t, _)| t).collect();
-                            if count_switches(&r.granted) < count_switches(&best_granted) {
-                                best = cand;
-                                best_granted = r.granted;
-                                best_kind = k;
-                                improved = true;
-                                continue;
-                            }
-                        }
-                    }
+        let ids: Vec<usize> = best_granted.iter().map(|&(t, _)| t).collect();
+        let want = best_kind.clone();
+        let best = greedy_defer(ids, 200, |forced| {
+            let r = run_once(opts, scenario, Mode::Forced(forced), pool);
+            match r.outcome {
+                RunOutcome::Failed(ref k) if same_kind(k, &want) => {
+                    Some(r.granted.iter().map(|&(t, _)| t).collect())
                 }
-                i += 1;
+                _ => None,
+            }
+        });
+        // One last forced replay of the winner recovers its granted ops
+        // for the reported trace (greedy_defer only tracks thread ids).
+        let r = run_once(opts, scenario, Mode::Forced(&best), pool);
+        if let RunOutcome::Failed(k) = r.outcome {
+            if same_kind(&k, &best_kind) {
+                best_granted = r.granted;
+                best_kind = k;
             }
         }
     }
@@ -1071,7 +1110,7 @@ fn scenario_names(scenario: &impl Fn(&mut Scenario)) -> Vec<String> {
     sc.threads.into_iter().map(|(n, _)| n).collect()
 }
 
-fn same_kind(a: &FailureKind, b: &FailureKind) -> bool {
+pub(crate) fn same_kind(a: &FailureKind, b: &FailureKind) -> bool {
     matches!(
         (a, b),
         (FailureKind::Deadlock { .. }, FailureKind::Deadlock { .. })

@@ -397,29 +397,53 @@ fn unsupervised_run_surfaces_injected_fault_as_channel_fault() {
     }
 }
 
+fn assert_stalled_timeout(kind: TransportKind) {
+    let spec = ChannelSpec {
+        capacity_bytes: 4,
+        max_message_bytes: 4,
+        ..ChannelSpec::default()
+    };
+    let t = kind.instantiate(&spec);
+    t.send(&[1, 2, 3, 4], Duration::from_millis(10)).unwrap();
+    let err = t
+        .send(&[5, 6, 7, 8], Duration::from_millis(50))
+        .unwrap_err();
+    match err {
+        TransportError::Timeout { after, idle } => {
+            assert_eq!(after, Duration::from_millis(50), "{kind:?}");
+            // Nobody drained the channel, so the peer was idle for
+            // (at least) the whole wait.
+            assert!(idle >= Duration::from_millis(50), "{kind:?}: idle {idle:?}");
+        }
+        other => panic!("expected Timeout under {kind:?}, got {other}"),
+    }
+}
+
 #[test]
 fn stalled_channel_timeout_reports_peer_idle_time() {
     // A deadline miss distinguishes "peer alive but slow" from "peer
     // dead": the error carries how long the peer showed no progress.
+    //
+    // With the instrumentation seam compiled in, the deadline waits on
+    // the simulator's virtual clock: the 50ms assertion is exact and
+    // costs no wall time. The locked transport is the uninstrumented
+    // raw-std baseline by design, so it (and the no-feature build)
+    // keeps the wall-clock variant.
+    #[cfg(feature = "verify-shim")]
+    {
+        let r = spi_platform::simrt::run(&spi_platform::simrt::SimOptions::seeded(17), || {
+            assert_stalled_timeout(TransportKind::Ring)
+        });
+        assert!(r.failure.is_none(), "sim run failed: {:?}", r.failure);
+        assert!(
+            r.vtime >= Duration::from_millis(50),
+            "deadline must wait on the virtual clock, vtime {:?}",
+            r.vtime
+        );
+        assert_stalled_timeout(TransportKind::Locked);
+    }
+    #[cfg(not(feature = "verify-shim"))]
     for kind in kinds() {
-        let spec = ChannelSpec {
-            capacity_bytes: 4,
-            max_message_bytes: 4,
-            ..ChannelSpec::default()
-        };
-        let t = kind.instantiate(&spec);
-        t.send(&[1, 2, 3, 4], Duration::from_millis(10)).unwrap();
-        let err = t
-            .send(&[5, 6, 7, 8], Duration::from_millis(50))
-            .unwrap_err();
-        match err {
-            TransportError::Timeout { after, idle } => {
-                assert_eq!(after, Duration::from_millis(50), "{kind:?}");
-                // Nobody drained the channel, so the peer was idle for
-                // (at least) the whole wait.
-                assert!(idle >= Duration::from_millis(50), "{kind:?}: idle {idle:?}");
-            }
-            other => panic!("expected Timeout under {kind:?}, got {other}"),
-        }
+        assert_stalled_timeout(kind);
     }
 }

@@ -260,6 +260,16 @@ macro_rules! prop_assert_ne {
     ($($tt:tt)*) => { assert_ne!($($tt)*) };
 }
 
+/// Environment variable pinning property tests to one case index:
+/// `SPI_CHAOS_SEED=<case> cargo test …` replays exactly the case a
+/// failure report printed, skipping all others.
+pub const CHAOS_SEED_VAR: &str = "SPI_CHAOS_SEED";
+
+/// Reads the [`CHAOS_SEED_VAR`] case override, if any.
+pub fn pinned_case() -> Option<u32> {
+    std::env::var(CHAOS_SEED_VAR).ok()?.trim().parse().ok()
+}
+
 #[doc(hidden)]
 #[macro_export]
 macro_rules! __proptest_cases {
@@ -270,10 +280,23 @@ macro_rules! __proptest_cases {
         $(#[$meta])*
         fn $name() {
             let config: $crate::ProptestConfig = $cfg;
-            for case in 0..config.cases {
-                let mut __rng = $crate::TestRng::for_case(stringify!($name), case);
-                $(let $p = $crate::Strategy::generate(&($s), &mut __rng);)+
-                $body
+            let (first, last) = match $crate::pinned_case() {
+                ::std::option::Option::Some(c) => (c, c),
+                ::std::option::Option::None => (0, config.cases.saturating_sub(1)),
+            };
+            for case in first..=last {
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    let mut __rng = $crate::TestRng::for_case(stringify!($name), case);
+                    $(let $p = $crate::Strategy::generate(&($s), &mut __rng);)+
+                    $body
+                }));
+                if let ::std::result::Result::Err(cause) = outcome {
+                    ::std::eprintln!(
+                        "proptest case {} of `{}` failed\nreplay: {}={} cargo test {} -- --nocapture",
+                        case, stringify!($name), $crate::CHAOS_SEED_VAR, case, stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(cause);
+                }
             }
         }
     )*};
@@ -303,6 +326,29 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    static COUNTED_RUNS: AtomicU32 = AtomicU32::new(0);
+
+    // Declared without #[test] so the pin test below can drive it.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        fn counted(_x in 0u32..10) {
+            COUNTED_RUNS.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn case_loop_respects_chaos_seed_pin() {
+        COUNTED_RUNS.store(0, Ordering::Relaxed);
+        counted();
+        let expect = match crate::pinned_case() {
+            Some(_) => 1,
+            None => 5,
+        };
+        assert_eq!(COUNTED_RUNS.load(Ordering::Relaxed), expect);
+    }
 
     fn pair() -> impl Strategy<Value = (u32, u32)> {
         (1u32..5, 10u32..20)

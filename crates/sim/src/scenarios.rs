@@ -1,0 +1,393 @@
+//! Ready-made whole-system scenarios for the deterministic simulator.
+//!
+//! Every builder constructs its entire object graph *inside* the call,
+//! so a scenario closure like `|| fir_pipeline(4, false)` produces the
+//! same shim-object numbering — and therefore a byte-identical event
+//! log — on every run of the same seed. All of them run the real
+//! production stack: [`ThreadedRunner`] worker threads over
+//! [`RingTransport`] rings, `spi-fault` decorators, and the `spi-net`
+//! framed credit protocol over [`SimStream`] sockets.
+//!
+//! [`TransportKind::Locked`] is deliberately absent: the locked queue
+//! uses raw `std::sync` primitives (by design — it is the
+//! uninstrumented baseline), which would block real OS threads
+//! invisibly to the scheduler and hang the controller.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use spi_fault::{FaultKind, FaultPlan};
+use spi_net::{AckPolicy, BatchParams, NetReceiver, NetSender};
+use spi_platform::shim;
+use spi_platform::{
+    ChannelId, ChannelSpec, FlushReason, Op, PeId, PeLocal, ProbeKind, Program, RingTransport,
+    ThreadedRunner, Tracer, Transport, TransportKind,
+};
+
+use crate::{sim_stream_pair, SIM_TIMEOUT};
+
+fn byte_spec(capacity_bytes: usize) -> ChannelSpec {
+    ChannelSpec {
+        capacity_bytes,
+        max_message_bytes: 4,
+        ..ChannelSpec::default()
+    }
+}
+
+/// A 3-PE FIR pipeline over ring channels: a source streams `u32`
+/// samples, a filter PE folds a 3-tap moving sum over them, a sink
+/// accumulates the filtered stream. With `faulted`, a `spi-fault` plan
+/// injects delays and a duplicated token — faults the unsupervised
+/// pipeline tolerates (completion is still asserted), but which
+/// perturb the schedule and the message stream. (`Corrupt`/`Drop`
+/// surface as channel faults without supervision, so they belong to
+/// the supervised scenarios, not this one.)
+///
+/// # Panics
+///
+/// When the run fails or the sink's final accumulator state is absent.
+pub fn fir_pipeline(iterations: u64, faulted: bool) {
+    let channels = vec![byte_spec(16), byte_spec(16)];
+    let source = Program::new(
+        vec![Op::Send {
+            channel: ChannelId(0),
+            payload: Box::new(|l: &mut PeLocal| (l.iter as u32).to_le_bytes().to_vec()),
+        }],
+        iterations,
+    );
+    let filter = Program::new(
+        vec![
+            Op::Recv {
+                channel: ChannelId(0),
+            },
+            Op::Compute {
+                label: "fir3".into(),
+                work: Box::new(|l: &mut PeLocal| {
+                    let v = l.take_from(ChannelId(0)).expect("sample");
+                    let x = u32::from_le_bytes(v[..4].try_into().expect("4-byte sample"));
+                    let mut taps = l.store.remove("taps").unwrap_or_default();
+                    taps.extend_from_slice(&x.to_le_bytes());
+                    let n = taps.len() / 4;
+                    let start = n.saturating_sub(3);
+                    let y: u32 = (start..n)
+                        .map(|i| {
+                            u32::from_le_bytes(taps[i * 4..i * 4 + 4].try_into().expect("tap"))
+                        })
+                        .fold(0u32, u32::wrapping_add);
+                    l.store.insert("taps".into(), taps);
+                    l.store.insert("y".into(), y.to_le_bytes().to_vec());
+                    3
+                }),
+            },
+            Op::Send {
+                channel: ChannelId(1),
+                payload: Box::new(|l: &mut PeLocal| l.store["y"].clone()),
+            },
+        ],
+        iterations,
+    );
+    let sink = Program::new(
+        vec![
+            Op::Recv {
+                channel: ChannelId(1),
+            },
+            Op::Compute {
+                label: "acc".into(),
+                work: Box::new(|l: &mut PeLocal| {
+                    let v = l.take_from(ChannelId(1)).expect("filtered sample");
+                    let y = u32::from_le_bytes(v[..4].try_into().expect("4-byte result"));
+                    let acc = l
+                        .store
+                        .get("acc")
+                        .map(|a| u32::from_le_bytes(a[..4].try_into().expect("acc")))
+                        .unwrap_or(0);
+                    l.store
+                        .insert("acc".into(), y.wrapping_add(acc).to_le_bytes().to_vec());
+                    1
+                }),
+            },
+        ],
+        iterations,
+    );
+
+    let mut runner = ThreadedRunner::new()
+        .transport(TransportKind::Ring)
+        .timeout(SIM_TIMEOUT);
+    if faulted {
+        // Delays perturb timing, the duplicate perturbs the stream;
+        // none of them lose a message, so the pipeline still completes
+        // (the duplicated token shifts which samples the filter sees,
+        // leaving at most one undelivered message behind).
+        let plan = FaultPlan::new()
+            .inject(ChannelId(0), 1, FaultKind::Delay { micros: 300 })
+            .inject(ChannelId(0), 2, FaultKind::Duplicate)
+            .inject(ChannelId(1), 1, FaultKind::Delay { micros: 700 });
+        let (decorator, _log) = plan.into_decorator().expect("valid fault plan");
+        runner = runner.decorate_transports(decorator);
+    }
+    let results = runner
+        .run(&channels, vec![source, filter, sink])
+        .expect("pipeline completes");
+    assert_eq!(results.len(), 3, "one result per PE");
+    assert!(
+        iterations == 0 || results[2].store.contains_key("acc"),
+        "sink accumulated"
+    );
+}
+
+/// The PR 3 lost-wakeup oracle at whole-system scale: one producer
+/// pushes two messages through a single-slot ring while two consumers
+/// share the receive endpoint, each taking one message. With
+/// `reverted`, the ring's wait list uses the pre-PR 3
+/// wake-all-*with*-dequeue behavior; under `strict_park` scheduling
+/// (park deadlines never fire) the lost wakeup then surfaces as a
+/// deadlock on some seeds. With `reverted = false` this must complete
+/// on every seed.
+pub fn ring_shared_consumers(reverted: bool) {
+    let ring = Arc::new(if reverted {
+        RingTransport::new_with_reverted_wakeup(4, 4)
+    } else {
+        RingTransport::new(4, 4)
+    });
+    shim::scope(|s| {
+        let p = Arc::clone(&ring);
+        s.spawn_named("producer".into(), move || {
+            for i in 0..2u32 {
+                p.send_with(
+                    4,
+                    &mut |buf| buf.copy_from_slice(&i.to_le_bytes()),
+                    SIM_TIMEOUT,
+                )
+                .expect("send");
+            }
+        });
+        for name in ["consumer-1", "consumer-2"] {
+            let c = Arc::clone(&ring);
+            s.spawn_named(name.into(), move || {
+                c.recv_with(&mut |_| {}, SIM_TIMEOUT).expect("recv");
+            });
+        }
+    });
+}
+
+/// Builds a connected `NetSender`/`NetReceiver` pair over a seeded
+/// [`SimStream`] socket, with the receiver's ack policy matched to the
+/// sender's batch parameters.
+fn net_pair(
+    stream_seed: u64,
+    batch: BatchParams,
+) -> (NetSender<crate::SimStream>, NetReceiver<crate::SimStream>) {
+    let spec = byte_spec(64);
+    let (a, b) = sim_stream_pair(stream_seed);
+    let tx = NetSender::from_stream_with(a, &spec, batch);
+    let rx = NetReceiver::from_stream_with(b, &spec, AckPolicy::for_batch(&spec, batch));
+    (tx, rx)
+}
+
+/// Full framed round trip over the simulated socket: a producer thread
+/// sends `msgs` sequenced records through the credit window, a
+/// consumer thread receives and checks order. Partial reads and short
+/// writes on the [`SimStream`] exercise the wire-format resume loops
+/// on nearly every record.
+pub fn net_round_trip(stream_seed: u64, msgs: u32, batch: BatchParams) {
+    let (tx, rx) = net_pair(stream_seed, batch);
+    shim::scope(|s| {
+        let txr = &tx;
+        s.spawn_named("producer".into(), move || {
+            for i in 0..msgs {
+                txr.send(&i.to_le_bytes(), SIM_TIMEOUT).expect("send");
+            }
+            txr.flush_pending().expect("final flush");
+        });
+        let rxr = &rx;
+        s.spawn_named("consumer".into(), move || {
+            for i in 0..msgs {
+                let got = rxr.recv(SIM_TIMEOUT).expect("recv");
+                assert_eq!(got, i.to_le_bytes(), "FIFO order violated");
+            }
+        });
+    });
+    drop(tx);
+    drop(rx);
+}
+
+/// A probe tracer that records every [`ProbeKind::BatchFlush`] reason.
+struct FlushLog {
+    reasons: shim::Mutex<Vec<FlushReason>>,
+}
+
+impl Tracer for FlushLog {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn intern(&self, _label: &str) -> u32 {
+        0
+    }
+
+    fn record(&self, _pe: PeId, _ts: u64, kind: ProbeKind) {
+        if let ProbeKind::BatchFlush { reason, .. } = kind {
+            self.reasons.lock().push(reason);
+        }
+    }
+
+    fn now(&self) -> u64 {
+        // Keep probe timestamps off the wall clock: determinism over
+        // fidelity, the sim log carries virtual time already.
+        0
+    }
+}
+
+fn flush_log() -> Arc<FlushLog> {
+    Arc::new(FlushLog {
+        reasons: shim::Mutex::labeled(Vec::new(), "sim_flush_log"),
+    })
+}
+
+/// Flush-policy edge: the Nagle deadline fires with a non-empty partial
+/// batch. Three records go into an 8-record batch window while the
+/// consumer sits in a virtual-time sleep past the deadline, so neither
+/// a Full nor a Hungry trigger can flush first; the records must reach
+/// the consumer via a [`FlushReason::Deadline`] flush on the virtual
+/// clock.
+pub fn net_deadline_flush(stream_seed: u64) {
+    let batch = BatchParams {
+        max_msgs: 8,
+        flush_after: Duration::from_millis(5),
+    };
+    let (tx, rx) = net_pair(stream_seed, batch);
+    let log = flush_log();
+    tx.set_probe(Arc::clone(&log) as Arc<dyn Tracer>, PeId(0), ChannelId(0));
+    shim::scope(|s| {
+        let txr = &tx;
+        s.spawn_named("producer".into(), move || {
+            for i in 0..3u32 {
+                txr.send(&i.to_le_bytes(), SIM_TIMEOUT).expect("send");
+            }
+        });
+        let rxr = &rx;
+        s.spawn_named("consumer".into(), move || {
+            // Stay out of recv until well past the deadline: a parked
+            // consumer would send a HUNGRY ack and flush early.
+            shim::sleep(Duration::from_millis(50));
+            for i in 0..3u32 {
+                let got = rxr.recv(SIM_TIMEOUT).expect("recv");
+                assert_eq!(got, i.to_le_bytes());
+            }
+        });
+    });
+    let reasons = log.reasons.lock().clone();
+    assert!(
+        reasons.contains(&FlushReason::Deadline),
+        "expected a Deadline flush, got {reasons:?}"
+    );
+    drop(tx);
+    drop(rx);
+}
+
+/// Flush-policy edge: the Hungry→Full transition. A consumer parked in
+/// `recv` earns a HUNGRY-flagged ack, so the first record flushes
+/// immediately despite a cold batch window and an hour-long deadline;
+/// once the consumer stops being hungry, a full window of records must
+/// flush via [`FlushReason::Full`].
+pub fn net_hungry_then_full(stream_seed: u64) {
+    let batch = BatchParams {
+        max_msgs: 4,
+        flush_after: Duration::from_secs(3600),
+    };
+    let (tx, rx) = net_pair(stream_seed, batch);
+    let log = flush_log();
+    tx.set_probe(Arc::clone(&log) as Arc<dyn Tracer>, PeId(0), ChannelId(0));
+    shim::scope(|s| {
+        let txr = &tx;
+        s.spawn_named("producer".into(), move || {
+            // Give the consumer time to park and report hungry.
+            shim::sleep(Duration::from_millis(20));
+            txr.send(&0u32.to_le_bytes(), SIM_TIMEOUT).expect("send");
+            // Now a full window: must flush on count, not deadline.
+            for i in 1..=4u32 {
+                txr.send(&i.to_le_bytes(), SIM_TIMEOUT).expect("send");
+            }
+            txr.flush_pending().expect("final flush");
+        });
+        let rxr = &rx;
+        s.spawn_named("consumer".into(), move || {
+            for i in 0..=4u32 {
+                let got = rxr.recv(SIM_TIMEOUT).expect("recv");
+                assert_eq!(got, i.to_le_bytes());
+            }
+        });
+    });
+    let reasons = log.reasons.lock().clone();
+    assert!(
+        reasons.contains(&FlushReason::Hungry) || reasons.first() == Some(&FlushReason::Full),
+        "expected the first record to leave via a Hungry flush, got {reasons:?}"
+    );
+    assert!(
+        reasons.contains(&FlushReason::Full),
+        "expected a Full-window flush, got {reasons:?}"
+    );
+    drop(tx);
+    drop(rx);
+}
+
+/// Flush-policy edge: the Final flush racing peer EOF. A producer
+/// batches records it never flushes explicitly, the consumer tears
+/// down concurrently; the sender's `flush_pending` (and its Drop-time
+/// Final flush) must either deliver cleanly or observe the close as an
+/// error — never panic, never hang the virtual clock.
+pub fn net_final_flush_races_eof(stream_seed: u64) {
+    let batch = BatchParams {
+        max_msgs: 8,
+        flush_after: Duration::from_secs(3600),
+    };
+    let (tx, rx) = net_pair(stream_seed, batch);
+    shim::scope(|s| {
+        let txr = &tx;
+        s.spawn_named("producer".into(), move || {
+            for i in 0..3u32 {
+                // The peer may already be gone: Closed is acceptable,
+                // wedging or panicking is not.
+                if txr.send(&i.to_le_bytes(), SIM_TIMEOUT).is_err() {
+                    return;
+                }
+            }
+            let _ = txr.flush_pending();
+        });
+        s.spawn_named("closer".into(), move || {
+            drop(rx);
+        });
+    });
+    drop(tx);
+}
+
+/// A stalled ring channel under virtual time: a full single-slot ring
+/// times a second send out after exactly the requested deadline, and
+/// the error's idle measurement equals the deadline to the nanosecond —
+/// assertions that are only exact because `shim::now()` reads the
+/// virtual clock.
+pub fn stalled_ring_reports_exact_idle() {
+    let spec = byte_spec(4);
+    let t = TransportKind::Ring.instantiate(&spec);
+    t.send(&[1, 2, 3, 4], Duration::from_millis(10))
+        .expect("first send fills the slot");
+    let before = shim::now();
+    let err = t
+        .send(&[5, 6, 7, 8], Duration::from_millis(50))
+        .expect_err("single slot is full");
+    let waited = shim::now().duration_since(before);
+    match err {
+        spi_platform::TransportError::Timeout { after, idle } => {
+            assert_eq!(after, Duration::from_millis(50));
+            assert!(
+                idle >= Duration::from_millis(50),
+                "peer never progressed, idle {idle:?}"
+            );
+            assert!(
+                waited >= Duration::from_millis(50),
+                "deadline honored in virtual time, waited {waited:?}"
+            );
+        }
+        other => panic!("expected Timeout, got {other}"),
+    }
+}

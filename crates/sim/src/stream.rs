@@ -1,0 +1,171 @@
+//! [`SimStream`]: the in-memory, schedule-aware socket replacing
+//! `UnixStream` under simulation.
+//!
+//! A pair models one connected full-duplex socket as two directional
+//! byte queues guarded by [`spi_platform::shim`] primitives, so every
+//! read and write is a schedule point the seeded scheduler interleaves
+//! like any other synchronization. On top of that, both directions
+//! carry their own seeded PRNG and deliberately fragment I/O:
+//!
+//! * reads return a random non-empty **prefix** of what is buffered,
+//! * writes accept a random non-empty prefix of at most
+//!   [`MAX_WRITE_CHUNK`] bytes.
+//!
+//! The chunk cap is co-prime with the 4-byte record-length prefix, so
+//! frames routinely split *inside* the length word — the exact
+//! short-read/short-write loops in `spi_net::wire` (and the vectored
+//! batch writer's partial-write resume) get exercised on virtually
+//! every run, something a kernel socketpair almost never does.
+//!
+//! Shutdown follows socket semantics: closing the write half EOFs the
+//! peer's reads once it drains; writes into a shut-down direction fail
+//! with `BrokenPipe`.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::Shutdown;
+use std::sync::Arc;
+
+use spi_net::NetStream;
+use spi_platform::shim::{Condvar, Mutex};
+
+/// Largest single `write` the stream accepts. Chosen co-prime with the
+/// wire format's 4-byte length prefix so records fragment mid-header.
+pub const MAX_WRITE_CHUNK: usize = 7;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+struct Half {
+    buf: VecDeque<u8>,
+    /// Set by shutdown of either end; readers drain then see EOF,
+    /// writers fail immediately.
+    eof: bool,
+    rng: u64,
+}
+
+struct Dir {
+    st: Mutex<Half>,
+    changed: Condvar,
+}
+
+impl Dir {
+    fn new(seed: u64, label: &'static str) -> Arc<Dir> {
+        Arc::new(Dir {
+            st: Mutex::labeled(
+                Half {
+                    buf: VecDeque::new(),
+                    eof: false,
+                    rng: seed,
+                },
+                label,
+            ),
+            changed: Condvar::labeled(label),
+        })
+    }
+
+    fn close(&self) {
+        self.st.lock().eof = true;
+        self.changed.notify_all();
+    }
+}
+
+/// One endpoint of an in-memory simulated socket pair. Implements
+/// [`NetStream`], so `NetSender::<SimStream>::from_stream_with` /
+/// `NetReceiver::<SimStream>::from_stream_with` run the full framed
+/// credit protocol over it. Construct pairs with [`sim_stream_pair`].
+pub struct SimStream {
+    rd: Arc<Dir>,
+    wr: Arc<Dir>,
+}
+
+/// Creates a connected pair of [`SimStream`] endpoints whose partial
+/// I/O boundaries are derived from `seed`.
+///
+/// Outside a simulation session the pair still works (the shim
+/// primitives fall back to `std::sync`), making it usable from plain
+/// unit tests too.
+pub fn sim_stream_pair(seed: u64) -> (SimStream, SimStream) {
+    let mut s = seed ^ 0xA076_1D64_78BD_642F;
+    let a2b = Dir::new(splitmix(&mut s), "sim_stream_a2b");
+    let b2a = Dir::new(splitmix(&mut s), "sim_stream_b2a");
+    (
+        SimStream {
+            rd: Arc::clone(&b2a),
+            wr: Arc::clone(&a2b),
+        },
+        SimStream { rd: a2b, wr: b2a },
+    )
+}
+
+impl Read for SimStream {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        if out.is_empty() {
+            return Ok(0);
+        }
+        let mut h = self.rd.st.lock();
+        loop {
+            if !h.buf.is_empty() {
+                let avail = h.buf.len().min(out.len());
+                let n = 1 + (splitmix(&mut h.rng) as usize) % avail;
+                for slot in out.iter_mut().take(n) {
+                    *slot = h.buf.pop_front().expect("sized by avail");
+                }
+                return Ok(n);
+            }
+            if h.eof {
+                return Ok(0);
+            }
+            h = self.rd.changed.wait(h);
+        }
+    }
+}
+
+impl Write for SimStream {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        if data.is_empty() {
+            return Ok(0);
+        }
+        let mut h = self.wr.st.lock();
+        if h.eof {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "simulated peer closed",
+            ));
+        }
+        let cap = data.len().min(MAX_WRITE_CHUNK);
+        let n = 1 + (splitmix(&mut h.rng) as usize) % cap;
+        h.buf.extend(&data[..n]);
+        drop(h);
+        self.wr.changed.notify_all();
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl NetStream for SimStream {
+    fn try_clone(&self) -> io::Result<Self> {
+        Ok(SimStream {
+            rd: Arc::clone(&self.rd),
+            wr: Arc::clone(&self.wr),
+        })
+    }
+
+    fn shutdown(&self, how: Shutdown) -> io::Result<()> {
+        if matches!(how, Shutdown::Read | Shutdown::Both) {
+            self.rd.close();
+        }
+        if matches!(how, Shutdown::Write | Shutdown::Both) {
+            self.wr.close();
+        }
+        Ok(())
+    }
+}

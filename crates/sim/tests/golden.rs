@@ -1,0 +1,63 @@
+//! Golden-log snapshot tests (ISSUE satellite): two canonical sim
+//! event logs are committed under `tests/golden/` and every run must
+//! reproduce them byte-identically — the broadest regression net the
+//! repo has, since *any* behavioral drift in the runner, the ring
+//! transport, the shims, or the scheduler itself shows up as a log
+//! diff. Regenerate deliberately with `scripts/sim_regen.sh` (sets
+//! `SPI_SIM_REGEN=1`) after intentional changes, and read the diff.
+
+use spi_sim::{check, scenarios, SimOptions, SimRun};
+
+const TEST: &str = "golden";
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn assert_golden(name: &str, run: &SimRun) {
+    let path = golden_path(name);
+    let header = format!(
+        "# spi-sim golden log: seed {} steps {} vtime {}ns\n",
+        run.seed,
+        run.steps,
+        run.vtime.as_nanos()
+    );
+    let body = format!("{header}{}", run.log);
+    if std::env::var_os("SPI_SIM_REGEN").is_some() {
+        std::fs::write(&path, &body).expect("write golden log");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden log {} ({e}); run scripts/sim_regen.sh",
+            name
+        )
+    });
+    assert!(
+        want == body,
+        "sim event log drifted from {name} (seed {}).\n\
+         If the change is intentional, regenerate with scripts/sim_regen.sh and review the diff.\n\
+         first divergence at byte {}",
+        run.seed,
+        want.bytes()
+            .zip(body.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| want.len().min(body.len())),
+    );
+}
+
+#[test]
+fn golden_fir_clean() {
+    let opts = SimOptions::seeded(1);
+    let run = check(TEST, &opts, || scenarios::fir_pipeline(3, false));
+    assert_golden("fir_clean.log", &run);
+}
+
+#[test]
+fn golden_fir_faulted() {
+    let opts = SimOptions::seeded(2);
+    let run = check(TEST, &opts, || scenarios::fir_pipeline(3, true));
+    assert_golden("fir_faulted.log", &run);
+}

@@ -1,0 +1,70 @@
+//! The acceptance gate from the ISSUE: the simulator must *rediscover*
+//! the PR 3 lost-wakeup bug. `RingTransport::new_with_reverted_wakeup`
+//! mechanically reverts the wait-list fix (wake-all *with* dequeue);
+//! under `strict_park` scheduling — park deadlines never fire, so the
+//! bounded park slices production code uses cannot mask a lost wakeup
+//! — some seeds must deadlock the shared-consumer scenario, and the
+//! shrunk schedule must still reproduce it.
+
+use spi_sim::{env_seed, replay, run, scenarios, shrink, FailureKind, SimOptions};
+
+fn strict(seed: u64) -> SimOptions {
+    SimOptions {
+        strict_park: true,
+        ..SimOptions::seeded(seed)
+    }
+}
+
+#[test]
+fn sim_rediscovers_pr3_lost_wakeup() {
+    // Sweep seeds until the bug surfaces. The deadlock needs a specific
+    // wake-steal interleaving, so not every seed hits it; the budget is
+    // far above the empirically observed discovery rate.
+    let seeds: Vec<u64> = match env_seed("SPI_SIM_SEED") {
+        Some(s) => vec![s],
+        None => (0..200).collect(),
+    };
+    let mut found = None;
+    for seed in seeds {
+        let r = run(&strict(seed), || scenarios::ring_shared_consumers(true));
+        if let Some(f) = r.failure {
+            found = Some((seed, f));
+            break;
+        }
+    }
+    let (seed, failure) = found.expect("no seed deadlocked the reverted-wakeup ring");
+    assert!(
+        matches!(failure.kind, FailureKind::Deadlock { .. }),
+        "expected a deadlock, got: {failure}"
+    );
+    println!("rediscovered at seed {seed}: replay with SPI_SIM_SEED={seed}");
+
+    // Shrink the witness with the model checker's minimization and make
+    // sure the minimized schedule still reproduces the same deadlock.
+    let opts = strict(seed);
+    let small = shrink(&opts, &failure, || scenarios::ring_shared_consumers(true));
+    assert!(
+        matches!(small.kind, FailureKind::Deadlock { .. }),
+        "shrunk schedule changed failure kind: {small}"
+    );
+    assert!(
+        small.context_switches <= failure.context_switches,
+        "shrinking increased context switches ({} > {})",
+        small.context_switches,
+        failure.context_switches
+    );
+    let again = replay(&opts, &small.schedule, || {
+        scenarios::ring_shared_consumers(true)
+    });
+    let f = again.failure.expect("shrunk schedule no longer fails");
+    assert!(matches!(f.kind, FailureKind::Deadlock { .. }));
+    println!("shrunk witness:\n{small}");
+
+    // The shipped fix survives the exact seed that killed the revert.
+    let fixed = run(&strict(seed), || scenarios::ring_shared_consumers(false));
+    assert!(
+        fixed.failure.is_none(),
+        "fixed ring failed under the bug-finding seed: {:?}",
+        fixed.failure
+    );
+}

@@ -37,5 +37,6 @@ pub use spi_dsp as dsp;
 pub use spi_fault as fault;
 pub use spi_platform as platform;
 pub use spi_sched as sched;
+pub use spi_sim as sim;
 pub use spi_trace as trace;
 pub use spi_verify as verify;
